@@ -1,0 +1,6 @@
+//! Design-choice ablations: factorization function, temperature schedule.
+
+fn main() {
+    let opts = optinter_bench::ExpOptions::from_args();
+    optinter_bench::experiments::ablation::run(&opts);
+}

@@ -1,0 +1,18 @@
+//! Runs the entire experiment suite (every table and figure) sequentially.
+
+use optinter_bench::experiments;
+
+fn main() {
+    let opts = optinter_bench::ExpOptions::from_args();
+    let t0 = std::time::Instant::now();
+    experiments::table2::run(&opts);
+    let _ = experiments::table5::run(&opts);
+    experiments::table6::run(&opts);
+    experiments::table7::run(&opts);
+    experiments::table8::run(&opts);
+    experiments::table9::run(&opts);
+    experiments::figure4::run(&opts);
+    experiments::figure5::run(&opts);
+    experiments::figure6::run(&opts);
+    println!("\nFull suite completed in {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's figure4. See `optinter-bench` docs for options.
+
+fn main() {
+    let opts = optinter_bench::ExpOptions::from_args();
+    optinter_bench::experiments::figure4::run(&opts);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table5. See `optinter-bench` docs for options.
+
+fn main() {
+    let opts = optinter_bench::ExpOptions::from_args();
+    let _ = optinter_bench::experiments::table5::run(&opts);
+}

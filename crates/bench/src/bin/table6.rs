@@ -1,0 +1,6 @@
+//! Regenerates the paper's table6. See `optinter-bench` docs for options.
+
+fn main() {
+    let opts = optinter_bench::ExpOptions::from_args();
+    optinter_bench::experiments::table6::run(&opts);
+}

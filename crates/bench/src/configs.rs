@@ -1,0 +1,161 @@
+//! Per-profile hyper-parameters — the Table IV analogue, scaled to the
+//! synthetic substrate — plus command-line options shared by all binaries.
+
+use optinter_core::OptInterConfig;
+use optinter_data::Profile;
+use optinter_models::BaselineConfig;
+
+/// Baseline hyper-parameters for a profile (Table IV, scaled).
+pub fn baseline_config(profile: Profile, seed: u64) -> BaselineConfig {
+    let mut cfg = BaselineConfig { seed, ..BaselineConfig::default() };
+    match profile {
+        Profile::CriteoLike => {
+            cfg.embed_dim = 16;
+        }
+        Profile::AvazuLike => {
+            cfg.embed_dim = 16;
+        }
+        Profile::IpinyouLike => {
+            cfg.embed_dim = 12;
+            // Rare positives: smaller LR stabilises training (the paper
+            // similarly uses a much smaller lr_o on iPinYou).
+            cfg.lr = 2e-3;
+        }
+        Profile::PrivateLike => {
+            cfg.embed_dim = 16;
+        }
+        Profile::Tiny => {
+            cfg = BaselineConfig { seed, ..BaselineConfig::test_small() };
+        }
+    }
+    cfg
+}
+
+/// OptInter hyper-parameters for a profile (Table IV, scaled). `s2` follows
+/// the paper's per-dataset cross-embedding sizes (Criteo 10, Avazu 4,
+/// iPinYou 2), scaled down together with `s1`.
+pub fn optinter_config(profile: Profile, seed: u64) -> OptInterConfig {
+    let base = baseline_config(profile, seed);
+    let mut cfg = OptInterConfig {
+        orig_dim: base.embed_dim,
+        hidden: base.hidden.clone(),
+        layer_norm: base.layer_norm,
+        batch_size: base.batch_size,
+        lr: base.lr,
+        lr_cross: base.lr,
+        adam_eps: base.adam_eps,
+        retrain_epochs: base.epochs,
+        seed,
+        ..OptInterConfig::default()
+    };
+    match profile {
+        Profile::CriteoLike => cfg.cross_dim = 8,
+        Profile::AvazuLike => cfg.cross_dim = 4,
+        Profile::IpinyouLike => cfg.cross_dim = 2,
+        Profile::PrivateLike => cfg.cross_dim = 8,
+        Profile::Tiny => {
+            cfg = OptInterConfig { seed, ..OptInterConfig::test_small() };
+        }
+    }
+    cfg
+}
+
+/// Options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Dataset rows per profile (`None` = the profile default).
+    pub rows: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+    /// Repeats for significance tests.
+    pub repeats: usize,
+    /// Quick smoke mode (tiny datasets, 1 repeat).
+    pub quick: bool,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self { rows: None, seed: 42, repeats: 5, quick: false }
+    }
+}
+
+impl ExpOptions {
+    /// Parses `--rows N`, `--seed S`, `--repeats R` and `--quick` from
+    /// `std::env::args`, ignoring unknown flags.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--rows" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.rows = Some(v);
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.seed = v;
+                        i += 1;
+                    }
+                }
+                "--repeats" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.repeats = v;
+                        i += 1;
+                    }
+                }
+                "--quick" => opts.quick = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        if opts.quick {
+            opts.rows.get_or_insert(6_000);
+            opts.repeats = opts.repeats.min(2);
+        }
+        opts
+    }
+
+    /// Rows to generate for a profile under these options.
+    pub fn rows_for(&self, profile: Profile) -> usize {
+        self.rows.unwrap_or_else(|| profile.default_rows())
+    }
+
+    /// Generates the bundle for a profile under these options.
+    pub fn bundle(&self, profile: Profile) -> optinter_data::DatasetBundle {
+        profile.bundle_with_rows(self.rows_for(profile), self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_follow_paper_s2_ordering() {
+        // Criteo s2 > Avazu s2 > iPinYou s2, as in Table IV.
+        let c = optinter_config(Profile::CriteoLike, 0).cross_dim;
+        let a = optinter_config(Profile::AvazuLike, 0).cross_dim;
+        let i = optinter_config(Profile::IpinyouLike, 0).cross_dim;
+        assert!(c > a && a > i, "{c} {a} {i}");
+    }
+
+    #[test]
+    fn options_default_uses_profile_rows() {
+        let opts = ExpOptions::default();
+        assert_eq!(opts.rows_for(Profile::Tiny), Profile::Tiny.default_rows());
+    }
+
+    #[test]
+    fn baseline_and_optinter_configs_agree() {
+        for p in Profile::paper_datasets() {
+            let b = baseline_config(p, 7);
+            let o = optinter_config(p, 7);
+            assert_eq!(b.embed_dim, o.orig_dim);
+            assert_eq!(b.hidden, o.hidden);
+            assert_eq!(b.seed, o.seed);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Design-choice ablations beyond the paper's tables (DESIGN.md §5):
+//!
+//! 1. **Factorization function** — the paper picks the Hadamard product as
+//!    the representative factorized method (Sec. II-C1) and notes the
+//!    framework extends to other operations. We compare Hadamard,
+//!    pointwise-addition and the generalized (learned-weight) product both
+//!    as OptInter-F and inside the full two-stage pipeline.
+//! 2. **Temperature schedule** — the Gumbel-softmax temperature τ is
+//!    annealed during search; we compare annealing against fixed high/low
+//!    temperatures.
+
+use crate::configs::{optinter_config, ExpOptions};
+use crate::report::{format_params, save_json, Table};
+use optinter_core::gumbel::TauSchedule;
+use optinter_core::{run_two_stage, train_fixed, Architecture, FactFn, Method, SearchStrategy};
+use optinter_data::Profile;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct JsonRow {
+    ablation: String,
+    variant: String,
+    auc: f64,
+    log_loss: f64,
+    params: usize,
+}
+
+/// Runs both ablations on the Criteo-like profile.
+pub fn run(opts: &ExpOptions) {
+    let profile = Profile::CriteoLike;
+    let bundle = opts.bundle(profile);
+    let mut json = Vec::new();
+
+    println!("\n## Ablation A — factorization function (criteo_like)\n");
+    let mut table = Table::new(&["Fact. fn", "OptInter-F AUC", "OptInter AUC", "OptInter params"]);
+    for fact_fn in [FactFn::Hadamard, FactFn::PointwiseAdd, FactFn::Generalized] {
+        let cfg = optinter_config(profile, opts.seed).with_fact_fn(fact_fn);
+        let (_, rf) = train_fixed(
+            &bundle,
+            &cfg,
+            Architecture::uniform(Method::Factorize, bundle.data.num_pairs),
+        );
+        let ro = run_two_stage(&bundle, &cfg, SearchStrategy::Joint);
+        table.push(vec![
+            fact_fn.tag().into(),
+            format!("{:.4}", rf.auc),
+            format!("{:.4}", ro.auc),
+            format_params(ro.num_params),
+        ]);
+        json.push(JsonRow {
+            ablation: "fact_fn".into(),
+            variant: fact_fn.tag().into(),
+            auc: ro.auc,
+            log_loss: ro.log_loss,
+            params: ro.num_params,
+        });
+    }
+    println!("{}", table.render());
+
+    println!("## Ablation B — Gumbel-softmax temperature schedule (criteo_like)\n");
+    let mut table = Table::new(&["Schedule", "AUC", "Log loss", "Arch [m,f,n]"]);
+    for (name, tau) in [
+        ("annealed 1.0 -> 0.2", TauSchedule { start: 1.0, end: 0.2 }),
+        ("fixed 1.0", TauSchedule { start: 1.0, end: 1.0 }),
+        ("fixed 0.2", TauSchedule { start: 0.2, end: 0.2 }),
+        ("fixed 5.0", TauSchedule { start: 5.0, end: 5.0 }),
+    ] {
+        let mut cfg = optinter_config(profile, opts.seed);
+        cfg.tau = tau;
+        let r = run_two_stage(&bundle, &cfg, SearchStrategy::Joint);
+        let arch = r.architecture.as_ref().expect("architecture");
+        table.push(vec![
+            name.into(),
+            format!("{:.4}", r.auc),
+            format!("{:.4}", r.log_loss),
+            arch.counts_string(),
+        ]);
+        json.push(JsonRow {
+            ablation: "tau".into(),
+            variant: name.into(),
+            auc: r.auc,
+            log_loss: r.log_loss,
+            params: r.num_params,
+        });
+    }
+    println!("{}", table.render());
+    save_json("ablation", &json);
+}

@@ -1,0 +1,75 @@
+//! Figure 4: efficiency–effectiveness trade-off. Sweeps the memorized
+//! embedding size `s2` and reports (parameter count, AUC) points for
+//! OptInter-M and OptInter, mirroring the paper's OptInter-M(X) /
+//! OptInter(Y) curves.
+
+use crate::configs::{optinter_config, ExpOptions};
+use crate::report::{format_params, save_json, Table};
+use optinter_core::{search_architecture, train_fixed, Architecture, Method, SearchStrategy};
+use optinter_data::Profile;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct JsonPoint {
+    dataset: String,
+    series: String,
+    cross_dim: usize,
+    params: usize,
+    auc: f64,
+}
+
+/// Cross-embedding sizes swept (the paper varies 5 and 10).
+const SWEEP: [usize; 4] = [2, 4, 8, 12];
+
+/// Runs Figure 4 on the Criteo- and Avazu-like profiles.
+pub fn run(opts: &ExpOptions) {
+    println!("\n## Figure 4 — efficiency vs effectiveness (params vs AUC)\n");
+    let mut json = Vec::new();
+    for profile in [Profile::CriteoLike, Profile::AvazuLike] {
+        let bundle = opts.bundle(profile);
+        let base_cfg = optinter_config(profile, opts.seed);
+        // Search once at the default size; the sweep re-trains the same
+        // architecture with different memorized-embedding sizes.
+        let searched =
+            search_architecture(&bundle, &base_cfg, SearchStrategy::Joint).architecture;
+        let mut table = Table::new(&["Series", "Cross.E.", "Param.", "AUC"]);
+        for s2 in SWEEP {
+            let cfg = optinter_config(profile, opts.seed).with_cross_dim(s2);
+            let (_, rm) = train_fixed(
+                &bundle,
+                &cfg,
+                Architecture::uniform(Method::Memorize, bundle.data.num_pairs),
+            );
+            table.push(vec![
+                format!("OptInter-M({s2})"),
+                s2.to_string(),
+                format_params(rm.num_params),
+                format!("{:.4}", rm.auc),
+            ]);
+            json.push(JsonPoint {
+                dataset: profile.name().into(),
+                series: "OptInter-M".into(),
+                cross_dim: s2,
+                params: rm.num_params,
+                auc: rm.auc,
+            });
+            let (_, ro) = train_fixed(&bundle, &cfg, searched.clone());
+            table.push(vec![
+                format!("OptInter({s2})"),
+                s2.to_string(),
+                format_params(ro.num_params),
+                format!("{:.4}", ro.auc),
+            ]);
+            json.push(JsonPoint {
+                dataset: profile.name().into(),
+                series: "OptInter".into(),
+                cross_dim: s2,
+                params: ro.num_params,
+                auc: ro.auc,
+            });
+        }
+        println!("### {}\n", profile.name());
+        println!("{}", table.render());
+    }
+    save_json("figure4", &json);
+}

@@ -1,0 +1,97 @@
+//! Figure 6: the interpretability case study — a heat-map of mutual
+//! information per field pair next to the searched method map, rendered as
+//! text matrices. The two maps should correlate: high-MI pairs get
+//! memorized, low-MI pairs dropped (paper Sec. III-G2).
+
+use crate::configs::{optinter_config, ExpOptions};
+use crate::experiments::figure5::pair_mutual_info;
+use crate::report::save_json;
+use optinter_core::{search_architecture, SearchStrategy};
+use optinter_data::{PairIndexer, Profile};
+use optinter_tensor::stats::spearman;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct JsonOut {
+    dataset: String,
+    mi: Vec<f64>,
+    methods: Vec<String>,
+    mi_method_spearman: f64,
+}
+
+/// MI bucket for the text heat-map: `.` low, `+` medium, `#` high.
+fn mi_glyph(mi: f64, lo: f64, hi: f64) -> char {
+    if hi <= lo {
+        return '.';
+    }
+    let frac = (mi - lo) / (hi - lo);
+    if frac > 0.66 {
+        '#'
+    } else if frac > 0.33 {
+        '+'
+    } else {
+        '.'
+    }
+}
+
+/// Runs Figure 6 on the Avazu-like profile (the paper's case study).
+pub fn run(opts: &ExpOptions) {
+    println!("\n## Figure 6 — MI heat-map vs searched method map (avazu_like)\n");
+    let profile = Profile::AvazuLike;
+    let bundle = opts.bundle(profile);
+    let cfg = optinter_config(profile, opts.seed);
+    let arch = search_architecture(&bundle, &cfg, SearchStrategy::Joint).architecture;
+    let mi = pair_mutual_info(&bundle);
+    let m = bundle.data.num_fields;
+    let pairs = PairIndexer::new(m);
+    let (lo, hi) = optinter_tensor::stats::min_max(&mi);
+
+    println!("(a) mutual information ('#' high, '+' medium, '.' low)\n");
+    print_matrix(m, |i, j| mi_glyph(mi[pairs.index_of(i, j)], lo, hi));
+    println!("\n(b) searched methods (M memorize, F factorize, N naive)\n");
+    print_matrix(m, |i, j| {
+        arch.method(pairs.index_of(i, j)).tag().chars().next().expect("tag")
+    });
+
+    // Quantify the correlation the paper shows visually: rank-correlate MI
+    // with the "strength" of the selected method (M=2, F=1, N=0).
+    let method_rank: Vec<f64> = (0..pairs.num_pairs())
+        .map(|p| match arch.method(p) {
+            optinter_core::Method::Memorize => 2.0,
+            optinter_core::Method::Factorize => 1.0,
+            optinter_core::Method::Naive => 0.0,
+        })
+        .collect();
+    let rho = spearman(&mi, &method_rank);
+    println!("\nSpearman correlation between MI and selected-method strength: {rho:.3}\n");
+    save_json(
+        "figure6",
+        &JsonOut {
+            dataset: profile.name().into(),
+            mi,
+            methods: (0..pairs.num_pairs())
+                .map(|p| arch.method(p).tag().to_string())
+                .collect(),
+            mi_method_spearman: rho,
+        },
+    );
+}
+
+fn print_matrix(m: usize, cell: impl Fn(usize, usize) -> char) {
+    print!("    ");
+    for j in 0..m {
+        print!("{j:>3}");
+    }
+    println!();
+    for i in 0..m {
+        print!("{i:>3} ");
+        for j in 0..m {
+            if j > i {
+                print!("  {}", cell(i, j));
+            } else {
+                print!("   ");
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,12 @@
+//! One module per paper table/figure; each exposes `run(&ExpOptions)`.
+
+pub mod ablation;
+pub mod figure4;
+pub mod figure5;
+pub mod figure6;
+pub mod table2;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+pub mod table9;

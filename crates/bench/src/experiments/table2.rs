@@ -1,0 +1,42 @@
+//! Table II: dataset statistics for the four profiles.
+
+use crate::configs::ExpOptions;
+use crate::report::save_json;
+use optinter_data::stats::DatasetStats;
+use optinter_data::Profile;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct JsonRow {
+    name: String,
+    samples: usize,
+    num_categorical: usize,
+    num_cross: usize,
+    orig_values: u64,
+    cross_values: u64,
+    pos_ratio: f64,
+}
+
+/// Prints Table II for the four paper profiles.
+pub fn run(opts: &ExpOptions) {
+    println!("\n## Table II — dataset statistics (synthetic profiles)\n");
+    println!("{}", DatasetStats::header());
+    println!("{}", DatasetStats::separator());
+    let mut json = Vec::new();
+    for profile in Profile::paper_datasets() {
+        let bundle = opts.bundle(profile);
+        let stats = DatasetStats::compute(&bundle);
+        println!("{}", stats.row());
+        json.push(JsonRow {
+            name: stats.name.clone(),
+            samples: stats.samples,
+            num_categorical: stats.num_categorical,
+            num_cross: stats.num_cross,
+            orig_values: stats.orig_values,
+            cross_values: stats.cross_values,
+            pos_ratio: stats.pos_ratio,
+        });
+    }
+    save_json("table2", &json);
+    println!();
+}

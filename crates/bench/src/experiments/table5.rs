@@ -1,0 +1,79 @@
+//! Table V: overall performance comparison — every baseline plus the three
+//! OptInter variants on the four dataset profiles — and the paired
+//! significance test of OptInter against the best baseline (Sec. III-A5).
+
+use crate::configs::{optinter_config, ExpOptions};
+use crate::report::{format_params, save_json, Table};
+use crate::runner::{run_baseline_row, run_optinter_rows, Row};
+use optinter_core::{run_two_stage, train_fixed, Architecture, Method, SearchStrategy};
+use optinter_data::Profile;
+use optinter_metrics::paired_t_test;
+use optinter_models::ModelKind;
+use std::time::Instant;
+
+/// Runs Table V and returns all rows (reused by `table6`).
+pub fn run(opts: &ExpOptions) -> Vec<Row> {
+    println!("\n## Table V — overall performance comparison\n");
+    let mut all_rows = Vec::new();
+    for profile in Profile::paper_datasets() {
+        let t0 = Instant::now();
+        let bundle = opts.bundle(profile);
+        let mut rows = Vec::new();
+        for kind in ModelKind::table5_baselines() {
+            rows.push(run_baseline_row(kind, profile, &bundle, opts.seed));
+        }
+        rows.extend(run_optinter_rows(profile, &bundle, opts.seed));
+        let mut table = Table::new(&["Model", "AUC", "Log loss", "Param.", "Arch [m,f,n]"]);
+        for row in &rows {
+            table.push(vec![
+                row.model.clone(),
+                format!("{:.4}", row.auc),
+                format!("{:.4}", row.log_loss),
+                format_params(row.params),
+                row.arch_counts
+                    .map(|c| format!("[{},{},{}]", c[0], c[1], c[2]))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        println!("### {} ({} rows, {:.1?})\n", profile.name(), bundle.len(), t0.elapsed());
+        println!("{}", table.render());
+        all_rows.extend(rows);
+    }
+    if opts.repeats >= 2 {
+        significance(opts);
+    }
+    save_json("table5", &all_rows);
+    all_rows
+}
+
+/// Paired t-test of OptInter vs the best baseline (OptInter-M) over
+/// repeated runs with different seeds, as in the paper's Sec. III-A5.
+fn significance(opts: &ExpOptions) {
+    println!("### Significance (paired t-test over {} seeds, OptInter vs OptInter-M)\n", opts.repeats);
+    let mut table = Table::new(&["Dataset", "OptInter mean AUC", "OptInter-M mean AUC", "t", "p-value"]);
+    for profile in Profile::paper_datasets() {
+        let bundle = opts.bundle(profile);
+        let mut optinter = Vec::new();
+        let mut optinter_m = Vec::new();
+        for rep in 0..opts.repeats {
+            let cfg = optinter_config(profile, opts.seed + 1 + rep as u64);
+            let r = run_two_stage(&bundle, &cfg, SearchStrategy::Joint);
+            optinter.push(r.auc);
+            let (_, rm) = train_fixed(
+                &bundle,
+                &cfg,
+                Architecture::uniform(Method::Memorize, bundle.data.num_pairs),
+            );
+            optinter_m.push(rm.auc);
+        }
+        let t = paired_t_test(&optinter, &optinter_m);
+        table.push(vec![
+            profile.name().into(),
+            format!("{:.4}", optinter.iter().sum::<f64>() / optinter.len() as f64),
+            format!("{:.4}", optinter_m.iter().sum::<f64>() / optinter_m.len() as f64),
+            format!("{:.2}", t.t),
+            format!("{:.4}", t.p_value),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,87 @@
+//! Table VIII: ablation on the search stage — random vs bi-level vs the
+//! paper's joint search, on the three public profiles.
+
+use crate::configs::{optinter_config, ExpOptions};
+use crate::report::{format_params, save_json, Table};
+use optinter_core::{run_two_stage, search_architecture, train_fixed, SearchStrategy};
+use optinter_data::Profile;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct JsonRow {
+    dataset: String,
+    strategy: String,
+    auc: f64,
+    log_loss: f64,
+    arch: Option<[usize; 3]>,
+    params: usize,
+}
+
+/// Runs Table VIII.
+pub fn run(opts: &ExpOptions) {
+    println!("\n## Table VIII — search-algorithm ablation\n");
+    let mut json = Vec::new();
+    for profile in Profile::public_datasets() {
+        let bundle = opts.bundle(profile);
+        let cfg = optinter_config(profile, opts.seed);
+        let mut table = Table::new(&["Search", "AUC", "Log loss", "Arch [m,f,n]", "Param."]);
+        // Random: mean over `repeats` random architectures (paper: 10).
+        let trials = opts.repeats.max(2);
+        let mut aucs = Vec::new();
+        let mut lls = Vec::new();
+        let mut params = Vec::new();
+        for t in 0..trials {
+            let out = search_architecture(
+                &bundle,
+                &cfg,
+                SearchStrategy::Random { seed: opts.seed + 100 + t as u64 },
+            );
+            let (_, r) = train_fixed(&bundle, &cfg, out.architecture);
+            aucs.push(r.auc);
+            lls.push(r.log_loss);
+            params.push(r.num_params);
+        }
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let mean_params =
+            (params.iter().sum::<usize>() as f64 / params.len() as f64).round() as usize;
+        table.push(vec![
+            format!("Random (mean of {trials})"),
+            format!("{:.4}", mean(&aucs)),
+            format!("{:.4}", mean(&lls)),
+            "-".into(),
+            format_params(mean_params),
+        ]);
+        json.push(JsonRow {
+            dataset: profile.name().into(),
+            strategy: "random".into(),
+            auc: mean(&aucs),
+            log_loss: mean(&lls),
+            arch: None,
+            params: mean_params,
+        });
+        for (name, strat) in
+            [("Bi-level", SearchStrategy::BiLevel), ("OptInter (joint)", SearchStrategy::Joint)]
+        {
+            let r = run_two_stage(&bundle, &cfg, strat);
+            let arch = r.architecture.as_ref().expect("two-stage yields an architecture");
+            table.push(vec![
+                name.into(),
+                format!("{:.4}", r.auc),
+                format!("{:.4}", r.log_loss),
+                arch.counts_string(),
+                format_params(r.num_params),
+            ]);
+            json.push(JsonRow {
+                dataset: profile.name().into(),
+                strategy: name.into(),
+                auc: r.auc,
+                log_loss: r.log_loss,
+                arch: Some(arch.counts()),
+                params: r.num_params,
+            });
+        }
+        println!("### {}\n", profile.name());
+        println!("{}", table.render());
+    }
+    save_json("table8", &json);
+}

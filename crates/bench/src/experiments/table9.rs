@@ -1,0 +1,59 @@
+//! Table IX: ablation on the re-train stage — evaluating the searched
+//! supernet directly ("w.o.") vs re-training the selected architecture from
+//! scratch ("w.", the paper's Algorithm 2).
+
+use crate::configs::{optinter_config, ExpOptions};
+use crate::report::{save_json, Table};
+use optinter_core::search::joint_search_supernet;
+use optinter_core::trainer::{evaluate_supernet, train_fixed};
+use optinter_data::Profile;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct JsonRow {
+    dataset: String,
+    with_retrain_auc: f64,
+    with_retrain_logloss: f64,
+    without_retrain_auc: f64,
+    without_retrain_logloss: f64,
+}
+
+/// Runs Table IX on the Criteo- and Avazu-like profiles.
+pub fn run(opts: &ExpOptions) {
+    println!("\n## Table IX — re-train stage ablation\n");
+    let mut table =
+        Table::new(&["Dataset", "AUC w.", "Log loss w.", "AUC w.o.", "Log loss w.o."]);
+    let mut json = Vec::new();
+    for profile in [Profile::CriteoLike, Profile::AvazuLike] {
+        let bundle = opts.bundle(profile);
+        let cfg = optinter_config(profile, opts.seed);
+        let (mut supernet, outcome) = joint_search_supernet(&bundle, &cfg);
+        // Without re-train: the supernet as-is, soft architecture at the
+        // final annealed temperature.
+        let wo = evaluate_supernet(
+            &mut supernet,
+            &bundle,
+            bundle.split.test.clone(),
+            cfg.batch_size,
+            cfg.tau.end,
+        );
+        // With re-train: discrete architecture, fresh weights (Alg. 2).
+        let (_, w) = train_fixed(&bundle, &cfg, outcome.architecture);
+        table.push(vec![
+            profile.name().into(),
+            format!("{:.4}", w.auc),
+            format!("{:.4}", w.log_loss),
+            format!("{:.4}", wo.auc),
+            format!("{:.4}", wo.log_loss),
+        ]);
+        json.push(JsonRow {
+            dataset: profile.name().into(),
+            with_retrain_auc: w.auc,
+            with_retrain_logloss: w.log_loss,
+            without_retrain_auc: wo.auc,
+            without_retrain_logloss: wo.log_loss,
+        });
+    }
+    println!("{}", table.render());
+    save_json("table9", &json);
+}

@@ -1,0 +1,134 @@
+//! Markdown / JSON experiment reporting.
+
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned markdown table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "table row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as column-aligned markdown.
+    pub fn render(&self) -> String {
+        render_table(&self.header, &self.rows)
+    }
+}
+
+/// Renders header + rows as column-aligned markdown.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for c in 0..cols {
+            line.push_str(&format!(" {:<w$} |", cells[c], w = widths[c]));
+        }
+        line
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Saves a serializable result to `results/<name>.json` (relative to the
+/// current directory), creating the directory if needed. Failure to write
+/// is reported on stderr but never aborts an experiment.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: could not create results dir: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Formats a parameter count like the paper (`0.5M`, `13M`, `493K`).
+pub fn format_params(n: usize) -> String {
+    if n >= 10_000_000 {
+        format!("{:.0}M", n as f64 / 1e6)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.0}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["model", "auc"]);
+        t.push(vec!["LR".into(), "0.77".into()]);
+        t.push(vec!["OptInter".into(), "0.81".into()]);
+        let r = t.render();
+        assert!(r.contains("| model    | auc  |"));
+        assert!(r.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push(vec!["x".into()]);
+    }
+
+    #[test]
+    fn param_formatting() {
+        assert_eq!(format_params(493_273), "493K");
+        assert_eq!(format_params(1_500_000), "1.5M");
+        assert_eq!(format_params(25_000_000), "25M");
+        assert_eq!(format_params(42), "42");
+    }
+}

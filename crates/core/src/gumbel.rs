@@ -1,0 +1,157 @@
+//! The Gumbel-softmax relaxation (paper Eqs. 16–18).
+//!
+//! Architecture parameters are stored as unconstrained logits `a_k`
+//! (playing the role of `log α_k` in Eq. 16). A relaxed selection is
+//!
+//! `p_k = softmax((a_k + g_k) / τ)`, `g_k = -log(-log(u_k))`, `u_k ~ U(0,1)`
+//!
+//! which is differentiable in `a_k`, so the architecture parameters learn
+//! by plain gradient descent jointly with the network weights.
+
+use optinter_tensor::ops::{softmax_backward_slice, softmax_slice};
+use rand::Rng;
+
+/// Draws one standard Gumbel noise sample.
+#[inline]
+pub fn gumbel_noise(rng: &mut impl Rng) -> f32 {
+    // Clamp away from 0 and 1 to keep the double log finite.
+    let u: f32 = rng.gen::<f32>().clamp(1e-10, 1.0 - 1e-7);
+    -(-u.ln()).ln()
+}
+
+/// One relaxed selection over `K` candidates: the sampled probabilities and
+/// the cached pieces needed to backpropagate into the logits.
+#[derive(Debug, Clone)]
+pub struct GumbelSample {
+    /// Relaxed probabilities `p_k` (sum to 1).
+    pub probs: Vec<f32>,
+    tau: f32,
+}
+
+impl GumbelSample {
+    /// Samples `p = softmax((logits + g) / tau)` with fresh Gumbel noise.
+    pub fn draw(logits: &[f32], tau: f32, rng: &mut impl Rng) -> Self {
+        let perturbed: Vec<f32> = logits.iter().map(|&a| a + gumbel_noise(rng)).collect();
+        let probs = softmax_slice(&perturbed, tau);
+        Self { probs, tau }
+    }
+
+    /// Deterministic variant without noise (used at evaluation time when a
+    /// soft architecture is still active, and in tests).
+    pub fn deterministic(logits: &[f32], tau: f32) -> Self {
+        Self { probs: softmax_slice(logits, tau), tau }
+    }
+
+    /// Backpropagates an upstream gradient on the probabilities into the
+    /// logits: `d L / d a_k` (the Gumbel noise is a constant w.r.t. `a`).
+    pub fn backward(&self, dprobs: &[f32], dlogits: &mut [f32]) {
+        softmax_backward_slice(&self.probs, dprobs, self.tau, dlogits);
+    }
+}
+
+/// Linear temperature annealing schedule from `tau_start` to `tau_end`.
+#[derive(Debug, Clone, Copy)]
+pub struct TauSchedule {
+    /// Initial temperature.
+    pub start: f32,
+    /// Final temperature.
+    pub end: f32,
+}
+
+impl TauSchedule {
+    /// Temperature at training progress `frac` in `[0, 1]`.
+    pub fn at(&self, frac: f32) -> f32 {
+        let f = frac.clamp(0.0, 1.0);
+        (self.start + (self.end - self.start) * f).max(1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noise_has_gumbel_moments() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 50_000;
+        let xs: Vec<f32> = (0..n).map(|_| gumbel_noise(&mut rng)).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        // Gumbel mean is the Euler–Mascheroni constant ~0.5772.
+        assert!((mean - 0.5772).abs() < 0.02, "mean {mean}");
+        let var = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        // Gumbel variance is pi^2/6 ~ 1.6449.
+        assert!((var - 1.6449).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn sample_probs_are_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = GumbelSample::draw(&[0.3, -0.5, 1.2], 0.7, &mut rng);
+            let sum: f32 = s.probs.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(s.probs.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn argmax_frequency_matches_softmax_weights() {
+        // Sampling property of the Gumbel trick: argmax(logits + g) is a
+        // categorical draw with probabilities softmax(logits).
+        let logits = [1.0f32, 0.0, -1.0];
+        let expected = softmax_slice(&logits, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 30_000;
+        let mut counts = [0u32; 3];
+        for _ in 0..n {
+            let s = GumbelSample::draw(&logits, 0.05, &mut rng);
+            let arg = optinter_tensor::ops::argmax(&s.probs);
+            counts[arg] += 1;
+        }
+        for k in 0..3 {
+            let freq = counts[k] as f32 / n as f32;
+            assert!(
+                (freq - expected[k]).abs() < 0.02,
+                "class {k}: freq {freq} vs expected {}",
+                expected[k]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let logits = [0.2f32, -0.4, 0.9];
+        let tau = 0.6;
+        let dprobs = [0.5f32, -1.0, 0.25];
+        let s = GumbelSample::deterministic(&logits, tau);
+        let mut dlogits = [0.0f32; 3];
+        s.backward(&dprobs, &mut dlogits);
+        let eps = 1e-3;
+        for k in 0..3 {
+            let mut lp = logits;
+            lp[k] += eps;
+            let mut lm = logits;
+            lm[k] -= eps;
+            let pp = GumbelSample::deterministic(&lp, tau).probs;
+            let pm = GumbelSample::deterministic(&lm, tau).probs;
+            let mut num = 0.0;
+            for j in 0..3 {
+                num += dprobs[j] * (pp[j] - pm[j]) / (2.0 * eps);
+            }
+            assert!((dlogits[k] - num).abs() < 2e-3, "k={k}: {} vs {num}", dlogits[k]);
+        }
+    }
+
+    #[test]
+    fn tau_schedule_interpolates() {
+        let s = TauSchedule { start: 1.0, end: 0.2 };
+        assert_eq!(s.at(0.0), 1.0);
+        assert!((s.at(0.5) - 0.6).abs() < 1e-6);
+        assert!((s.at(1.0) - 0.2).abs() < 1e-6);
+        // Clamped outside [0, 1].
+        assert_eq!(s.at(-1.0), 1.0);
+        assert!((s.at(2.0) - 0.2).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,579 @@
+//! The fixed-architecture OptInter network (re-train stage, Algorithm 2).
+//!
+//! Given a discrete [`Architecture`], each pair contributes exactly one
+//! embedding to the MLP input: its cross-product embedding (memorize), its
+//! Hadamard product (factorize), or nothing (naïve). Only memorized pairs
+//! get rows in the cross-product table, so the parameter count reflects the
+//! selection — this is the source of OptInter's 18%–91% parameter savings
+//! over OptInter-M (paper Table V).
+//!
+//! `OptInterNet` with a uniform architecture realises the fixed baselines:
+//! all-memorize = **OptInter-M**, all-factorize = **OptInter-F**, and
+//! all-naïve is an FNN-style model.
+
+use crate::arch::{Architecture, Method};
+use crate::config::{FactFn, OptInterConfig};
+use optinter_data::{Batch, EncodedDataset, PairIndexer};
+use optinter_nn::{bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig, Parameter};
+use optinter_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The dataset dimensions a model needs to size its tables.
+#[derive(Debug, Clone)]
+pub struct DataDims {
+    /// Number of original fields `M`.
+    pub num_fields: usize,
+    /// Number of pairs `M(M-1)/2`.
+    pub num_pairs: usize,
+    /// Global original vocabulary size.
+    pub orig_vocab: u32,
+    /// Global cross vocabulary size.
+    pub cross_vocab: u32,
+    /// Global offset of each pair in the cross id space.
+    pub pair_offsets: Vec<u32>,
+    /// Per-pair cross vocabulary sizes (OOV included).
+    pub pair_vocab_sizes: Vec<u32>,
+}
+
+impl DataDims {
+    /// Extracts dimensions from an encoded dataset.
+    pub fn of(data: &EncodedDataset) -> Self {
+        Self {
+            num_fields: data.num_fields,
+            num_pairs: data.num_pairs,
+            orig_vocab: data.orig_vocab,
+            cross_vocab: data.cross_vocab,
+            pair_offsets: data.pair_offsets.clone(),
+            pair_vocab_sizes: data.pair_vocab_sizes.clone(),
+        }
+    }
+
+    /// Pair indexer for these dimensions.
+    pub fn pairs(&self) -> PairIndexer {
+        PairIndexer::new(self.num_fields)
+    }
+}
+
+/// Where a pair's embedding lands in the MLP input.
+#[derive(Debug, Clone, Copy)]
+struct PairSlot {
+    method: Method,
+    /// Column offset in the MLP input (meaningless for naïve pairs).
+    input_offset: usize,
+    /// For memorized pairs: slot index among memorized pairs.
+    mem_slot: usize,
+    /// For memorized pairs: row offset in the compact cross table.
+    compact_offset: u32,
+}
+
+/// Fixed-architecture OptInter model.
+pub struct OptInterNet {
+    cfg: OptInterConfig,
+    dims: DataDims,
+    architecture: Architecture,
+    slots: Vec<PairSlot>,
+    num_memorized: usize,
+    e_orig: EmbeddingTable,
+    /// Compact cross table: rows only for memorized pairs.
+    e_cross: EmbeddingTable,
+    /// Per-pair weights for the generalized product (one row per pair,
+    /// only rows of factorized pairs are used). `None` for the other
+    /// factorization functions.
+    fact_weights: Option<Parameter>,
+    mlp: Mlp,
+    input_dim: usize,
+    adam_net: Adam,
+    adam_cross: Adam,
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    fields: Vec<u32>,
+    mem_ids: Vec<u32>,
+    eo: Matrix,
+}
+
+impl OptInterNet {
+    /// Builds a freshly-initialised network for the given architecture.
+    pub fn new(cfg: OptInterConfig, dims: DataDims, architecture: Architecture) -> Self {
+        assert_eq!(
+            architecture.num_pairs(),
+            dims.num_pairs,
+            "architecture does not match dataset pair count"
+        );
+        let s1 = cfg.orig_dim;
+        let s2 = cfg.cross_dim;
+        let mut slots = Vec::with_capacity(dims.num_pairs);
+        let mut input_offset = dims.num_fields * s1;
+        let mut compact_offset = 0u32;
+        let mut mem_slot = 0usize;
+        for p in 0..dims.num_pairs {
+            let method = architecture.method(p);
+            let slot = PairSlot {
+                method,
+                input_offset,
+                mem_slot,
+                compact_offset,
+            };
+            match method {
+                Method::Memorize => {
+                    input_offset += s2;
+                    compact_offset += dims.pair_vocab_sizes[p];
+                    mem_slot += 1;
+                }
+                Method::Factorize => {
+                    input_offset += s1;
+                }
+                Method::Naive => {}
+            }
+            slots.push(slot);
+        }
+        let num_memorized = mem_slot;
+        let input_dim = input_offset;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF17ED);
+        let e_orig = EmbeddingTable::new(&mut rng, dims.orig_vocab as usize, s1);
+        let e_cross = EmbeddingTable::new(&mut rng, compact_offset.max(1) as usize, s2);
+        let mlp = Mlp::new(&mut rng, &MlpConfig {
+            input_dim,
+            hidden: cfg.hidden.clone(),
+            output_dim: 1,
+            layer_norm: cfg.layer_norm,
+            ln_eps: 1e-5,
+        });
+        let adam_net = Adam::with_lr_eps(cfg.lr, cfg.adam_eps);
+        let adam_cross = Adam::with_lr_eps(cfg.lr_cross, cfg.adam_eps);
+        // Generalized-product weights start at 1: it reduces to Hadamard.
+        let fact_weights = (cfg.fact_fn == FactFn::Generalized)
+            .then(|| Parameter::new(Matrix::filled(dims.num_pairs, s1, 1.0)));
+        Self {
+            cfg,
+            dims,
+            architecture,
+            slots,
+            num_memorized,
+            e_orig,
+            e_cross,
+            fact_weights,
+            mlp,
+            input_dim,
+            adam_net,
+            adam_cross,
+            cache: None,
+        }
+    }
+
+    /// The fixed architecture.
+    pub fn architecture(&self) -> &Architecture {
+        &self.architecture
+    }
+
+    /// MLP input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Number of memorized pairs.
+    pub fn num_memorized(&self) -> usize {
+        self.num_memorized
+    }
+
+    /// Total trainable parameters. The compact cross table only holds rows
+    /// for memorized pairs, so parameter counts track the architecture.
+    pub fn num_params(&mut self) -> usize {
+        let cross = if self.num_memorized == 0 { 0 } else { self.e_cross.num_params() };
+        // Generalized-product weights: only factorized pairs' rows are live.
+        let fact = if self.fact_weights.is_some() {
+            let factorized = self.architecture.counts()[Method::Factorize.index()];
+            factorized * self.cfg.orig_dim
+        } else {
+            0
+        };
+        self.e_orig.num_params() + cross + fact + self.mlp.num_params()
+    }
+
+    /// Translates a batch's global cross ids into compact table ids for the
+    /// memorized pairs only: output is `[B * num_memorized]`.
+    fn gather_mem_ids(&self, batch: &Batch) -> Vec<u32> {
+        if self.num_memorized == 0 {
+            return Vec::new();
+        }
+        assert!(
+            !batch.cross.is_empty(),
+            "architecture memorizes pairs but the batch has no cross features"
+        );
+        let p_count = self.dims.num_pairs;
+        let b = batch.len();
+        let mut out = Vec::with_capacity(b * self.num_memorized);
+        for r in 0..b {
+            let row = &batch.cross[r * p_count..(r + 1) * p_count];
+            for (p, slot) in self.slots.iter().enumerate() {
+                if slot.method == Method::Memorize {
+                    let local = row[p] - self.dims.pair_offsets[p];
+                    out.push(slot.compact_offset + local);
+                }
+            }
+        }
+        out
+    }
+
+    /// Forward pass producing `[B, 1]` logits.
+    pub fn forward(&mut self, batch: &Batch) -> Matrix {
+        let m = self.dims.num_fields;
+        let s1 = self.cfg.orig_dim;
+        let s2 = self.cfg.cross_dim;
+        assert_eq!(batch.num_fields, m, "OptInterNet: field count mismatch");
+        let b = batch.len();
+        let eo = self.e_orig.lookup_fields(&batch.fields, m);
+        let mem_ids = self.gather_mem_ids(batch);
+        let em = if self.num_memorized > 0 {
+            self.e_cross.lookup_fields(&mem_ids, self.num_memorized)
+        } else {
+            Matrix::zeros(b, 0)
+        };
+        let mut input = Matrix::zeros(b, self.input_dim);
+        input.copy_block_from(&eo, 0);
+        for (p, slot) in self.slots.iter().enumerate() {
+            match slot.method {
+                Method::Memorize => {
+                    for r in 0..b {
+                        let src = &em.row(r)[slot.mem_slot * s2..(slot.mem_slot + 1) * s2];
+                        input.row_mut(r)[slot.input_offset..slot.input_offset + s2]
+                            .copy_from_slice(src);
+                    }
+                }
+                Method::Factorize => {
+                    let (i, j) = self.dims.pairs().pair_at(p);
+                    for r in 0..b {
+                        let eo_row = eo.row(r);
+                        let (ei_start, ej_start) = (i * s1, j * s1);
+                        let dst_row = input.row_mut(r);
+                        match self.cfg.fact_fn {
+                            FactFn::Hadamard => {
+                                for c in 0..s1 {
+                                    dst_row[slot.input_offset + c] =
+                                        eo_row[ei_start + c] * eo_row[ej_start + c];
+                                }
+                            }
+                            FactFn::PointwiseAdd => {
+                                for c in 0..s1 {
+                                    dst_row[slot.input_offset + c] =
+                                        eo_row[ei_start + c] + eo_row[ej_start + c];
+                                }
+                            }
+                            FactFn::Generalized => {
+                                let w = self
+                                    .fact_weights
+                                    .as_ref()
+                                    .expect("generalized weights")
+                                    .value
+                                    .row(p);
+                                for c in 0..s1 {
+                                    dst_row[slot.input_offset + c] = w[c]
+                                        * eo_row[ei_start + c]
+                                        * eo_row[ej_start + c];
+                                }
+                            }
+                        }
+                    }
+                }
+                Method::Naive => {}
+            }
+        }
+        let logits = self.mlp.forward(&input);
+        self.cache = Some(Cache { fields: batch.fields.clone(), mem_ids, eo });
+        logits
+    }
+
+    /// Backward pass from logit gradients.
+    pub fn backward(&mut self, grad_logits: &Matrix) {
+        let cache = self.cache.take().expect("OptInterNet::backward before forward");
+        let m = self.dims.num_fields;
+        let s1 = self.cfg.orig_dim;
+        let s2 = self.cfg.cross_dim;
+        let b = grad_logits.rows();
+        let dinput = self.mlp.backward(grad_logits);
+        let mut d_eo = dinput.block(0, m * s1);
+        let mut d_em = Matrix::zeros(b, self.num_memorized * s2);
+        for (p, slot) in self.slots.iter().enumerate() {
+            match slot.method {
+                Method::Memorize => {
+                    for r in 0..b {
+                        let src = &dinput.row(r)[slot.input_offset..slot.input_offset + s2];
+                        let dst =
+                            &mut d_em.row_mut(r)[slot.mem_slot * s2..(slot.mem_slot + 1) * s2];
+                        dst.copy_from_slice(src);
+                    }
+                }
+                Method::Factorize => {
+                    let (i, j) = self.dims.pairs().pair_at(p);
+                    let fact_fn = self.cfg.fact_fn;
+                    for r in 0..b {
+                        let eo_row = cache.eo.row(r);
+                        let ei: Vec<f32> = eo_row[i * s1..(i + 1) * s1].to_vec();
+                        let ej: Vec<f32> = eo_row[j * s1..(j + 1) * s1].to_vec();
+                        let g_row = dinput.row(r);
+                        let d_row = d_eo.row_mut(r);
+                        match fact_fn {
+                            FactFn::Hadamard => {
+                                for c in 0..s1 {
+                                    let g = g_row[slot.input_offset + c];
+                                    d_row[i * s1 + c] += g * ej[c];
+                                    d_row[j * s1 + c] += g * ei[c];
+                                }
+                            }
+                            FactFn::PointwiseAdd => {
+                                for c in 0..s1 {
+                                    let g = g_row[slot.input_offset + c];
+                                    d_row[i * s1 + c] += g;
+                                    d_row[j * s1 + c] += g;
+                                }
+                            }
+                            FactFn::Generalized => {
+                                let fw = self.fact_weights.as_mut().expect("generalized weights");
+                                let w: Vec<f32> = fw.value.row(p).to_vec();
+                                let dw = fw.grad.row_mut(p);
+                                for c in 0..s1 {
+                                    let g = g_row[slot.input_offset + c];
+                                    d_row[i * s1 + c] += g * w[c] * ej[c];
+                                    d_row[j * s1 + c] += g * w[c] * ei[c];
+                                    dw[c] += g * ei[c] * ej[c];
+                                }
+                            }
+                        }
+                    }
+                }
+                Method::Naive => {}
+            }
+        }
+        self.e_orig.accumulate_grad_fields(&cache.fields, m, &d_eo);
+        if self.num_memorized > 0 {
+            self.e_cross.accumulate_grad_fields(&cache.mem_ids, self.num_memorized, &d_em);
+        }
+    }
+
+    /// Applies one Adam step to all weights.
+    pub fn step(&mut self) {
+        self.adam_net.begin_step();
+        let mut adam = self.adam_net.clone();
+        self.mlp.visit_params(&mut |p| adam.step(p, 0.0));
+        if let Some(fw) = self.fact_weights.as_mut() {
+            adam.step(fw, 0.0);
+        }
+        self.adam_net = adam;
+        self.e_orig.apply_adam(&self.adam_net, self.cfg.l2_orig);
+        if self.num_memorized > 0 {
+            self.adam_cross.begin_step();
+            self.e_cross.apply_adam(&self.adam_cross, self.cfg.l2_cross);
+        }
+    }
+
+    /// Exports every trainable weight as `(name, matrix)` pairs in a
+    /// stable order (used by [`crate::persist`]).
+    pub fn export_weights(&mut self) -> Vec<(String, Matrix)> {
+        let mut out = Vec::new();
+        out.push(("e_orig".to_string(), self.e_orig.weight().clone()));
+        out.push(("e_cross".to_string(), self.e_cross.weight().clone()));
+        if let Some(fw) = self.fact_weights.as_ref() {
+            out.push(("fact_weights".to_string(), fw.value.clone()));
+        }
+        let mut idx = 0usize;
+        self.mlp.visit_params(&mut |p| {
+            out.push((format!("mlp.{idx}"), p.value.clone()));
+            idx += 1;
+        });
+        out
+    }
+
+    /// Imports weights previously produced by
+    /// [`export_weights`](Self::export_weights). Optimizer state is reset.
+    ///
+    /// # Errors
+    /// Returns an error when a name is missing or a shape mismatches.
+    pub fn import_weights(&mut self, weights: &[(String, Matrix)]) -> Result<(), String> {
+        use std::collections::HashMap;
+        let map: HashMap<&str, &Matrix> =
+            weights.iter().map(|(n, m)| (n.as_str(), m)).collect();
+        let fetch = |name: &str, expect: (usize, usize)| -> Result<Matrix, String> {
+            let m = map
+                .get(name)
+                .ok_or_else(|| format!("missing weight `{name}`"))?;
+            if m.shape() != expect {
+                return Err(format!(
+                    "weight `{name}` shape {:?} does not match expected {:?}",
+                    m.shape(),
+                    expect
+                ));
+            }
+            Ok((*m).clone())
+        };
+        *self.e_orig.weight_mut() = fetch("e_orig", self.e_orig.weight().shape())?;
+        *self.e_cross.weight_mut() = fetch("e_cross", self.e_cross.weight().shape())?;
+        if let Some(fw) = self.fact_weights.as_mut() {
+            fw.value = fetch("fact_weights", fw.value.shape())?;
+            fw.reset_opt_state();
+        }
+        let mut idx = 0usize;
+        let mut err: Option<String> = None;
+        self.mlp.visit_params(&mut |p| {
+            if err.is_some() {
+                return;
+            }
+            match fetch(&format!("mlp.{idx}"), p.value.shape()) {
+                Ok(m) => {
+                    p.value = m;
+                    p.grad.fill_zero();
+                    p.reset_opt_state();
+                }
+                Err(e) => err = Some(e),
+            }
+            idx += 1;
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        self.cache = None;
+        Ok(())
+    }
+
+    /// One training step; returns the mean batch loss.
+    pub fn train_batch(&mut self, batch: &Batch) -> f32 {
+        let logits = self.forward(batch);
+        let (loss_value, grad) = bce_with_logits(&logits, &batch.labels);
+        self.backward(&grad);
+        self.step();
+        loss_value
+    }
+
+    /// Predicted probabilities.
+    pub fn predict(&mut self, batch: &Batch) -> Vec<f32> {
+        let logits = self.forward(batch);
+        self.cache = None;
+        loss::probabilities(&logits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinter_data::{BatchIter, Profile};
+
+    fn setup(arch_fn: impl Fn(usize) -> Architecture) -> (OptInterNet, optinter_data::DatasetBundle) {
+        let bundle = Profile::Tiny.bundle_with_rows(1500, 11);
+        let dims = DataDims::of(&bundle.data);
+        let arch = arch_fn(dims.num_pairs);
+        let cfg = OptInterConfig { seed: 5, ..OptInterConfig::test_small() };
+        (OptInterNet::new(cfg, dims, arch), bundle)
+    }
+
+    #[test]
+    fn all_naive_has_smallest_input() {
+        let (naive, _) = setup(|p| Architecture::uniform(Method::Naive, p));
+        let (fac, _) = setup(|p| Architecture::uniform(Method::Factorize, p));
+        let (mem, _) = setup(|p| Architecture::uniform(Method::Memorize, p));
+        assert!(naive.input_dim() < fac.input_dim());
+        assert!(naive.input_dim() < mem.input_dim());
+    }
+
+    #[test]
+    fn param_count_tracks_architecture() {
+        let (mut naive, _) = setup(|p| Architecture::uniform(Method::Naive, p));
+        let (mut fac, _) = setup(|p| Architecture::uniform(Method::Factorize, p));
+        let (mut mem, _) = setup(|p| Architecture::uniform(Method::Memorize, p));
+        let n_naive = naive.num_params();
+        let n_fac = fac.num_params();
+        let n_mem = mem.num_params();
+        assert!(n_mem > n_fac, "memorize {n_mem} must exceed factorize {n_fac}");
+        assert!(n_fac > n_naive, "factorize {n_fac} must exceed naive {n_naive}");
+    }
+
+    #[test]
+    fn mixed_architecture_trains() {
+        let (mut net, bundle) = setup(|p| {
+            let mut methods = Vec::with_capacity(p);
+            for i in 0..p {
+                methods.push(Method::from_index(i % 3));
+            }
+            Architecture::new(methods)
+        });
+        let mut first = None;
+        let mut last = 0.0;
+        for epoch in 0..3 {
+            for batch in BatchIter::new(&bundle.data, 0..1000, 128, Some(epoch)) {
+                last = net.train_batch(&batch);
+                first.get_or_insert(last);
+            }
+        }
+        assert!(last < first.unwrap(), "loss did not decrease");
+    }
+
+    #[test]
+    fn all_naive_ignores_cross_features() {
+        let (mut net, bundle) = setup(|p| Architecture::uniform(Method::Naive, p));
+        let batch = BatchIter::new(&bundle.data, 0..16, 16, None).next().unwrap();
+        let with_cross = net.predict(&batch);
+        let mut no_cross = batch.clone();
+        no_cross.cross.clear();
+        let without = net.predict(&no_cross);
+        assert_eq!(with_cross, without);
+    }
+
+    #[test]
+    fn memorized_ids_stay_in_compact_range() {
+        let (net, bundle) = setup(|p| Architecture::uniform(Method::Memorize, p));
+        let batch = BatchIter::new(&bundle.data, 0..64, 64, None).next().unwrap();
+        let ids = net.gather_mem_ids(&batch);
+        assert_eq!(ids.len(), 64 * net.num_memorized());
+        let max = net.e_cross.vocab() as u32;
+        assert!(ids.iter().all(|&id| id < max));
+    }
+
+    #[test]
+    fn all_fact_fns_train_and_predict() {
+        use crate::config::FactFn;
+        let bundle = Profile::Tiny.bundle_with_rows(1500, 11);
+        let dims = DataDims::of(&bundle.data);
+        let mut aucs = Vec::new();
+        for fact_fn in [FactFn::Hadamard, FactFn::PointwiseAdd, FactFn::Generalized] {
+            let cfg = OptInterConfig { seed: 5, fact_fn, ..OptInterConfig::test_small() };
+            let arch = Architecture::uniform(Method::Factorize, dims.num_pairs);
+            let mut net = OptInterNet::new(cfg, dims.clone(), arch);
+            for batch in BatchIter::new(&bundle.data, 0..1000, 128, Some(1)) {
+                let loss = net.train_batch(&batch);
+                assert!(loss.is_finite(), "{}: loss {loss}", fact_fn.tag());
+            }
+            let batch = BatchIter::new(&bundle.data, 1000..1400, 400, None).next().unwrap();
+            let probs = net.predict(&batch);
+            assert!(probs.iter().all(|p| p.is_finite()), "{}", fact_fn.tag());
+            aucs.push(optinter_metrics::auc(&probs, &batch.labels));
+        }
+        for (i, auc) in aucs.iter().enumerate() {
+            assert!(*auc > 0.52, "fact fn {i} AUC {auc} at chance");
+        }
+    }
+
+    #[test]
+    fn generalized_product_initialises_to_hadamard() {
+        use crate::config::FactFn;
+        let bundle = Profile::Tiny.bundle_with_rows(300, 12);
+        let dims = DataDims::of(&bundle.data);
+        let arch = Architecture::uniform(Method::Factorize, dims.num_pairs);
+        let cfg_h = OptInterConfig { seed: 9, fact_fn: FactFn::Hadamard, ..OptInterConfig::test_small() };
+        let cfg_g = OptInterConfig { seed: 9, fact_fn: FactFn::Generalized, ..OptInterConfig::test_small() };
+        let mut h = OptInterNet::new(cfg_h, dims.clone(), arch.clone());
+        let mut g = OptInterNet::new(cfg_g, dims, arch);
+        let batch = BatchIter::new(&bundle.data, 0..32, 32, None).next().unwrap();
+        // With weights at 1 the generalized product equals the Hadamard one.
+        assert_eq!(h.predict(&batch), g.predict(&batch));
+        // But the generalized variant has more trainable parameters.
+        assert!(g.num_params() > h.num_params());
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let (mut net, bundle) = setup(|p| Architecture::uniform(Method::Factorize, p));
+        let batch = BatchIter::new(&bundle.data, 0..32, 32, None).next().unwrap();
+        let probs = net.predict(&batch);
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}

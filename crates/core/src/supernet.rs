@@ -1,0 +1,547 @@
+//! The search-stage model (paper Sec. II-C2, Algorithm 1).
+//!
+//! For every feature pair the supernet computes all three candidate
+//! embeddings — memorized `e^m_(i,j)`, factorized `e^f_(i,j) = e^o_i ⊗
+//! e^o_j`, naïve `e^n = 0` — zero-pads them to a common width, and mixes
+//! them with Gumbel-softmax-relaxed architecture weights (Eq. 18):
+//!
+//! `e^b_(i,j) = p^m e^m + p^f e^f + p^n e^n`.
+//!
+//! The mixed pair embeddings are concatenated with the original embeddings
+//! and fed to the MLP classifier. One backward pass produces gradients for
+//! network weights Θ *and* architecture logits α, which are updated
+//! simultaneously by separate Adam instances (the paper's joint scheme).
+
+use crate::arch::{Architecture, Method};
+use crate::config::{FactFn, OptInterConfig};
+use crate::gumbel::GumbelSample;
+use crate::net::DataDims;
+use optinter_data::Batch;
+use optinter_nn::{bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig, Parameter};
+use optinter_tensor::{ops, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The OptInter supernet: network weights plus relaxed architecture.
+pub struct Supernet {
+    cfg: OptInterConfig,
+    dims: DataDims,
+    e_orig: EmbeddingTable,
+    e_cross: EmbeddingTable,
+    mlp: Mlp,
+    /// Architecture logits, one row per pair, columns `[mem, fac, naive]`.
+    arch: Parameter,
+    /// Per-pair weights for the generalized product (`None` otherwise).
+    fact_weights: Option<Parameter>,
+    adam_net: Adam,
+    adam_cross: Adam,
+    adam_arch: Adam,
+    noise_rng: StdRng,
+    cache: Option<ForwardCache>,
+}
+
+struct ForwardCache {
+    fields: Vec<u32>,
+    cross: Vec<u32>,
+    eo: Matrix,
+    em: Matrix,
+    ef: Matrix,
+    samples: Vec<GumbelSample>,
+}
+
+impl Supernet {
+    /// Builds a supernet for a dataset's dimensions.
+    pub fn new(cfg: OptInterConfig, dims: DataDims) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let s1 = cfg.orig_dim;
+        let s2 = cfg.cross_dim;
+        let d = cfg.mixed_dim();
+        let input_dim = dims.num_fields * s1 + dims.num_pairs * d;
+        let mlp = Mlp::new(&mut rng, &MlpConfig {
+            input_dim,
+            hidden: cfg.hidden.clone(),
+            output_dim: 1,
+            layer_norm: cfg.layer_norm,
+            ln_eps: 1e-5,
+        });
+        let e_orig = EmbeddingTable::new(&mut rng, dims.orig_vocab as usize, s1);
+        let e_cross = EmbeddingTable::new(&mut rng, dims.cross_vocab as usize, s2);
+        // Architecture logits start at zero: uniform prior over methods.
+        let arch = Parameter::zeros(dims.num_pairs, 3);
+        // Generalized-product weights start at 1: reduces to Hadamard.
+        let fact_weights = (cfg.fact_fn == FactFn::Generalized)
+            .then(|| Parameter::new(Matrix::filled(dims.num_pairs, s1, 1.0)));
+        let adam_net = Adam::with_lr_eps(cfg.lr, cfg.adam_eps);
+        let adam_cross = Adam::with_lr_eps(cfg.lr_cross, cfg.adam_eps);
+        let adam_arch = Adam::with_lr_eps(cfg.lr_arch, cfg.adam_eps);
+        let noise_rng = StdRng::seed_from_u64(cfg.seed ^ 0x6A3B);
+        Self {
+            cfg,
+            dims,
+            e_orig,
+            e_cross,
+            mlp,
+            arch,
+            fact_weights,
+            adam_net,
+            adam_cross,
+            adam_arch,
+            noise_rng,
+            cache: None,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OptInterConfig {
+        &self.cfg
+    }
+
+    /// Dataset dimensions.
+    pub fn dims(&self) -> &DataDims {
+        &self.dims
+    }
+
+    /// Total trainable parameters (embeddings + MLP + architecture).
+    pub fn num_params(&mut self) -> usize {
+        let fact = self.fact_weights.as_ref().map_or(0, |fw| fw.len());
+        self.e_orig.num_params() + self.e_cross.num_params() + self.mlp.num_params()
+            + self.arch.len()
+            + fact
+    }
+
+    /// Current architecture logits (rows = pairs).
+    pub fn arch_logits(&self) -> &Matrix {
+        &self.arch.value
+    }
+
+    /// Mutable architecture logits (bi-level search updates these
+    /// through a separate pass; tests use this to force selections).
+    pub fn arch_logits_mut(&mut self) -> &mut Matrix {
+        &mut self.arch.value
+    }
+
+    /// Accumulated architecture gradient (diagnostics / gradient checks).
+    pub fn arch_grad(&self) -> &Matrix {
+        &self.arch.grad
+    }
+
+    /// Softmax probabilities of each pair's method (temperature 1, no noise).
+    pub fn arch_probs(&self) -> Vec<[f32; 3]> {
+        (0..self.dims.num_pairs)
+            .map(|p| {
+                let probs = ops::softmax_slice(self.arch.value.row(p), 1.0);
+                [probs[0], probs[1], probs[2]]
+            })
+            .collect()
+    }
+
+    /// Extracts the discrete architecture by per-pair argmax (Eq. 19).
+    pub fn extract_architecture(&self) -> Architecture {
+        let methods = (0..self.dims.num_pairs)
+            .map(|p| Method::from_index(ops::argmax(self.arch.value.row(p))))
+            .collect();
+        Architecture::new(methods)
+    }
+
+    /// Forward pass producing `[B, 1]` logits.
+    ///
+    /// With `train = true`, architecture weights are sampled with fresh
+    /// Gumbel noise at temperature `tau`; otherwise the noiseless softmax at
+    /// the same temperature is used.
+    pub fn forward(&mut self, batch: &Batch, tau: f32, train: bool) -> Matrix {
+        let m = self.dims.num_fields;
+        let p_count = self.dims.num_pairs;
+        let s1 = self.cfg.orig_dim;
+        let s2 = self.cfg.cross_dim;
+        let d = self.cfg.mixed_dim();
+        assert_eq!(batch.num_fields, m, "supernet: field count mismatch");
+        assert!(!batch.cross.is_empty(), "supernet needs cross features in the batch");
+        let b = batch.len();
+
+        let eo = self.e_orig.lookup_fields(&batch.fields, m);
+        let em = self.e_cross.lookup_fields(&batch.cross, p_count);
+
+        // Factorized candidates for all pairs: ef[b, p*s1 + c].
+        let fact_fn = self.cfg.fact_fn;
+        let mut ef = Matrix::zeros(b, p_count * s1);
+        for (p, (i, j)) in self.dims.pairs().iter().enumerate() {
+            for r in 0..b {
+                let eo_row = eo.row(r);
+                let (ei, ej) = (&eo_row[i * s1..(i + 1) * s1], &eo_row[j * s1..(j + 1) * s1]);
+                let dst = &mut ef.row_mut(r)[p * s1..(p + 1) * s1];
+                match fact_fn {
+                    FactFn::Hadamard => {
+                        for c in 0..s1 {
+                            dst[c] = ei[c] * ej[c];
+                        }
+                    }
+                    FactFn::PointwiseAdd => {
+                        for c in 0..s1 {
+                            dst[c] = ei[c] + ej[c];
+                        }
+                    }
+                    FactFn::Generalized => {
+                        let w = self
+                            .fact_weights
+                            .as_ref()
+                            .expect("generalized weights")
+                            .value
+                            .row(p);
+                        for c in 0..s1 {
+                            dst[c] = w[c] * ei[c] * ej[c];
+                        }
+                    }
+                }
+            }
+        }
+
+        // Relaxed method weights per pair.
+        let samples: Vec<GumbelSample> = (0..p_count)
+            .map(|p| {
+                let logits = self.arch.value.row(p);
+                if train {
+                    GumbelSample::draw(logits, tau, &mut self.noise_rng)
+                } else {
+                    GumbelSample::deterministic(logits, tau)
+                }
+            })
+            .collect();
+
+        // Assemble the MLP input: [e^o | mixed pair embeddings].
+        let mut input = Matrix::zeros(b, m * s1 + p_count * d);
+        input.copy_block_from(&eo, 0);
+        for (p, sample) in samples.iter().enumerate() {
+            let pm = sample.probs[0];
+            let pf = sample.probs[1];
+            let base = m * s1 + p * d;
+            for r in 0..b {
+                let em_row = &em.row(r)[p * s2..(p + 1) * s2];
+                let ef_row = &ef.row(r)[p * s1..(p + 1) * s1];
+                let dst = &mut input.row_mut(r)[base..base + d];
+                for c in 0..d {
+                    let mut v = 0.0f32;
+                    if c < s2 {
+                        v += pm * em_row[c];
+                    }
+                    if c < s1 {
+                        v += pf * ef_row[c];
+                    }
+                    dst[c] = v;
+                }
+            }
+        }
+
+        let logits = self.mlp.forward(&input);
+        self.cache = Some(ForwardCache {
+            fields: batch.fields.clone(),
+            cross: batch.cross.clone(),
+            eo,
+            em,
+            ef,
+            samples,
+        });
+        logits
+    }
+
+    /// Backward pass from logit gradients; accumulates gradients on network
+    /// weights, both embedding tables and the architecture logits.
+    pub fn backward(&mut self, grad_logits: &Matrix) {
+        let cache = self.cache.take().expect("Supernet::backward before forward");
+        let m = self.dims.num_fields;
+        let p_count = self.dims.num_pairs;
+        let s1 = self.cfg.orig_dim;
+        let s2 = self.cfg.cross_dim;
+        let d = self.cfg.mixed_dim();
+        let b = grad_logits.rows();
+
+        let dinput = self.mlp.backward(grad_logits);
+
+        let mut d_eo = dinput.block(0, m * s1);
+        let mut d_em = Matrix::zeros(b, p_count * s2);
+        for (p, (i, j)) in self.dims.pairs().iter().enumerate() {
+            let sample = &cache.samples[p];
+            let (pm, pf) = (sample.probs[0], sample.probs[1]);
+            let base = m * s1 + p * d;
+            let mut dpm = 0.0f32;
+            let mut dpf = 0.0f32;
+            for r in 0..b {
+                let g = &dinput.row(r)[base..base + d];
+                let em_row = &cache.em.row(r)[p * s2..(p + 1) * s2];
+                let ef_row = &cache.ef.row(r)[p * s1..(p + 1) * s1];
+                let eo_row = cache.eo.row(r);
+                // d p_m, d p_f: inner products with the candidates.
+                for c in 0..s2.min(d) {
+                    dpm += g[c] * em_row[c];
+                }
+                for c in 0..s1.min(d) {
+                    dpf += g[c] * ef_row[c];
+                }
+                // d e^m = p_m * g (truncated to s2).
+                let dem_row = &mut d_em.row_mut(r)[p * s2..(p + 1) * s2];
+                for c in 0..s2.min(d) {
+                    dem_row[c] += pm * g[c];
+                }
+                // d e^f = p_f * g; factorization-function backward into
+                // the two fields (and the pair weights for Generalized).
+                let (ei, ej) = (
+                    eo_row[i * s1..(i + 1) * s1].to_vec(),
+                    eo_row[j * s1..(j + 1) * s1].to_vec(),
+                );
+                let deo_row = d_eo.row_mut(r);
+                match self.cfg.fact_fn {
+                    FactFn::Hadamard => {
+                        for c in 0..s1.min(d) {
+                            let def = pf * g[c];
+                            deo_row[i * s1 + c] += def * ej[c];
+                            deo_row[j * s1 + c] += def * ei[c];
+                        }
+                    }
+                    FactFn::PointwiseAdd => {
+                        for c in 0..s1.min(d) {
+                            let def = pf * g[c];
+                            deo_row[i * s1 + c] += def;
+                            deo_row[j * s1 + c] += def;
+                        }
+                    }
+                    FactFn::Generalized => {
+                        let fw = self.fact_weights.as_mut().expect("generalized weights");
+                        let w: Vec<f32> = fw.value.row(p).to_vec();
+                        let dw = fw.grad.row_mut(p);
+                        for c in 0..s1.min(d) {
+                            let def = pf * g[c];
+                            deo_row[i * s1 + c] += def * w[c] * ej[c];
+                            deo_row[j * s1 + c] += def * w[c] * ei[c];
+                            dw[c] += def * ei[c] * ej[c];
+                        }
+                    }
+                }
+            }
+            // d p_n = 0 (the naive embedding is identically zero).
+            let dprobs = [dpm, dpf, 0.0];
+            let mut dlogits = [0.0f32; 3];
+            sample.backward(&dprobs, &mut dlogits);
+            let arow = self.arch.grad.row_mut(p);
+            for c in 0..3 {
+                arow[c] += dlogits[c];
+            }
+        }
+
+        self.e_orig.accumulate_grad_fields(&cache.fields, m, &d_eo);
+        self.e_cross.accumulate_grad_fields(&cache.cross, p_count, &d_em);
+    }
+
+    /// Applies one simultaneous optimizer step to Θ and α (Algorithm 1).
+    pub fn step(&mut self) {
+        self.step_weights();
+        self.step_arch();
+    }
+
+    /// Updates only the network weights Θ (bi-level search uses this on
+    /// training batches).
+    pub fn step_weights(&mut self) {
+        self.adam_net.begin_step();
+        let l2 = self.cfg.l2_orig;
+        let mut adam = self.adam_net.clone();
+        self.mlp.visit_params(&mut |p| adam.step(p, 0.0));
+        if let Some(fw) = self.fact_weights.as_mut() {
+            adam.step(fw, 0.0);
+        }
+        self.adam_net = adam;
+        self.e_orig.apply_adam(&self.adam_net, l2);
+        self.adam_cross.begin_step();
+        self.e_cross.apply_adam(&self.adam_cross, self.cfg.l2_cross);
+    }
+
+    /// Updates only the architecture parameters α (bi-level search uses
+    /// this on validation batches). Discards pending embedding gradients.
+    pub fn step_arch(&mut self) {
+        self.adam_arch.begin_step();
+        self.adam_arch.clone().step(&mut self.arch, 0.0);
+    }
+
+    /// Zeroes only the architecture gradient (bi-level: after a Θ step the
+    /// training batch's α gradient must not leak into the next α step).
+    pub fn zero_arch_grad(&mut self) {
+        self.arch.grad.fill_zero();
+    }
+
+    /// Zeroes network-weight and embedding gradients (bi-level: after an α
+    /// step the validation batch's Θ gradients must be dropped).
+    pub fn zero_weight_grads(&mut self) {
+        self.mlp.zero_grads();
+        if let Some(fw) = self.fact_weights.as_mut() {
+            fw.grad.fill_zero();
+        }
+        self.e_orig.clear_grads();
+        self.e_cross.clear_grads();
+    }
+
+    /// Discards all pending gradients without applying them.
+    pub fn discard_grads(&mut self) {
+        self.mlp.zero_grads();
+        self.arch.grad.fill_zero();
+        if let Some(fw) = self.fact_weights.as_mut() {
+            fw.grad.fill_zero();
+        }
+        self.e_orig.clear_grads();
+        self.e_cross.clear_grads();
+    }
+
+    /// One full training step (forward, loss, backward, joint update).
+    /// Returns the mean batch loss.
+    pub fn train_batch(&mut self, batch: &Batch, tau: f32) -> f32 {
+        let logits = self.forward(batch, tau, true);
+        let (loss_value, grad) = bce_with_logits(&logits, &batch.labels);
+        self.backward(&grad);
+        self.step();
+        loss_value
+    }
+
+    /// Predicted probabilities with the current (soft) architecture.
+    pub fn predict(&mut self, batch: &Batch, tau: f32) -> Vec<f32> {
+        let logits = self.forward(batch, tau, false);
+        self.cache = None;
+        loss::probabilities(&logits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinter_data::{BatchIter, Profile};
+
+    fn tiny_setup() -> (Supernet, optinter_data::DatasetBundle) {
+        let bundle = Profile::Tiny.bundle_with_rows(1200, 7);
+        let dims = DataDims::of(&bundle.data);
+        let cfg = OptInterConfig { seed: 3, ..OptInterConfig::test_small() };
+        (Supernet::new(cfg, dims), bundle)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (mut net, bundle) = tiny_setup();
+        let batch = BatchIter::new(&bundle.data, 0..64, 64, None).next().unwrap();
+        let logits = net.forward(&batch, 1.0, true);
+        assert_eq!(logits.shape(), (64, 1));
+    }
+
+    #[test]
+    fn initial_architecture_is_uniformish() {
+        let (net, _) = tiny_setup();
+        for probs in net.arch_probs() {
+            for p in probs {
+                assert!((p - 1.0 / 3.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn train_reduces_loss() {
+        let (mut net, bundle) = tiny_setup();
+        let mut first = None;
+        let mut last = 0.0;
+        for epoch in 0..3 {
+            for batch in BatchIter::new(&bundle.data, 0..800, 128, Some(epoch)) {
+                last = net.train_batch(&batch, 1.0);
+                first.get_or_insert(last);
+            }
+        }
+        assert!(last < first.unwrap(), "loss did not decrease: {first:?} -> {last}");
+    }
+
+    #[test]
+    fn architecture_moves_from_uniform_during_training() {
+        let (mut net, bundle) = tiny_setup();
+        for epoch in 0..4 {
+            for batch in BatchIter::new(&bundle.data, 0..800, 128, Some(epoch)) {
+                net.train_batch(&batch, 0.5);
+            }
+        }
+        let probs = net.arch_probs();
+        let moved = probs
+            .iter()
+            .any(|row| row.iter().any(|&p| (p - 1.0 / 3.0).abs() > 0.05));
+        assert!(moved, "architecture logits never moved: {probs:?}");
+    }
+
+    #[test]
+    fn extract_architecture_matches_argmax() {
+        let (mut net, _) = tiny_setup();
+        // Force a known pattern.
+        for p in 0..net.dims.num_pairs {
+            let target = p % 3;
+            for c in 0..3 {
+                net.arch.value.set(p, c, if c == target { 5.0 } else { -5.0 });
+            }
+        }
+        let arch = net.extract_architecture();
+        for p in 0..arch.num_pairs() {
+            assert_eq!(arch.method(p).index(), p % 3);
+        }
+    }
+
+    #[test]
+    fn arch_gradient_matches_finite_differences() {
+        // End-to-end validation of the Gumbel-softmax backward: with the
+        // noiseless (deterministic) relaxation, the analytic d loss / d α
+        // must match central finite differences through the whole network.
+        let (mut net, bundle) = tiny_setup();
+        let batch = BatchIter::new(&bundle.data, 0..32, 32, None).next().unwrap();
+        let tau = 0.7;
+        // Move logits off the uniform point so gradients are non-trivial.
+        for p in 0..net.dims.num_pairs {
+            for c in 0..3 {
+                net.arch.value.set(p, c, ((p * 3 + c) as f32 * 0.37).sin() * 0.5);
+            }
+        }
+        let loss_at = |net: &mut Supernet, batch: &Batch| -> f32 {
+            let logits = net.forward(batch, tau, false);
+            net.cache = None;
+            bce_with_logits(&logits, &batch.labels).0
+        };
+        let logits = net.forward(&batch, tau, false);
+        let (_, grad) = bce_with_logits(&logits, &batch.labels);
+        net.backward(&grad);
+        let analytic = net.arch.grad.clone();
+        net.discard_grads();
+        let eps = 1e-2f32;
+        let mut max_err = 0.0f32;
+        for p in 0..net.dims.num_pairs.min(4) {
+            for c in 0..3 {
+                let orig = net.arch.value.get(p, c);
+                net.arch.value.set(p, c, orig + eps);
+                let fp = loss_at(&mut net, &batch);
+                net.arch.value.set(p, c, orig - eps);
+                let fm = loss_at(&mut net, &batch);
+                net.arch.value.set(p, c, orig);
+                let numeric = (fp - fm) / (2.0 * eps);
+                let err = (numeric - analytic.get(p, c)).abs();
+                max_err = max_err.max(err);
+            }
+        }
+        assert!(max_err < 5e-3, "arch gradient check failed: max err {max_err}");
+    }
+
+    #[test]
+    fn predict_returns_probabilities() {
+        let (mut net, bundle) = tiny_setup();
+        let batch = BatchIter::new(&bundle.data, 0..32, 32, None).next().unwrap();
+        let probs = net.predict(&batch, 0.5);
+        assert_eq!(probs.len(), 32);
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn discard_grads_prevents_update_effect() {
+        let (mut net, bundle) = tiny_setup();
+        let batch = BatchIter::new(&bundle.data, 0..64, 64, None).next().unwrap();
+        let logits = net.forward(&batch, 1.0, true);
+        let (_, grad) = bce_with_logits(&logits, &batch.labels);
+        net.backward(&grad);
+        net.discard_grads();
+        let before = net.arch.value.clone();
+        net.step_arch();
+        // With zero gradients Adam still divides 0/sqrt(0)+eps = 0: no move.
+        assert_eq!(net.arch.value, before);
+    }
+}

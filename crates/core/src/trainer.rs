@@ -1,0 +1,177 @@
+//! Shared training / evaluation loops and the full two-stage pipeline
+//! (search → re-train, paper Algorithms 1–2).
+
+use crate::arch::Architecture;
+use crate::config::OptInterConfig;
+use crate::net::{DataDims, OptInterNet};
+use crate::search::{search_architecture, SearchStrategy};
+use crate::supernet::Supernet;
+use optinter_data::{BatchIter, DatasetBundle};
+use optinter_metrics::{evaluate, EvalResult};
+use std::ops::Range;
+
+/// Outcome of training a model on a bundle.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Test-set AUC.
+    pub auc: f64,
+    /// Test-set log-loss.
+    pub log_loss: f64,
+    /// Trainable parameter count of the evaluated model.
+    pub num_params: usize,
+    /// Mean training loss of the final epoch.
+    pub final_train_loss: f32,
+    /// The architecture used (when applicable).
+    pub architecture: Option<Architecture>,
+}
+
+/// Evaluates a fixed-architecture network over a row range.
+pub fn evaluate_net(
+    net: &mut OptInterNet,
+    bundle: &DatasetBundle,
+    range: Range<usize>,
+    batch_size: usize,
+) -> EvalResult {
+    let mut probs = Vec::with_capacity(range.len());
+    let mut labels = Vec::with_capacity(range.len());
+    for batch in BatchIter::new(&bundle.data, range, batch_size, None) {
+        probs.extend(net.predict(&batch));
+        labels.extend_from_slice(&batch.labels);
+    }
+    evaluate(&probs, &labels)
+}
+
+/// Evaluates a supernet (soft architecture, no re-train) over a row range —
+/// the Table IX "without re-train" condition.
+pub fn evaluate_supernet(
+    net: &mut Supernet,
+    bundle: &DatasetBundle,
+    range: Range<usize>,
+    batch_size: usize,
+    tau: f32,
+) -> EvalResult {
+    let mut probs = Vec::with_capacity(range.len());
+    let mut labels = Vec::with_capacity(range.len());
+    for batch in BatchIter::new(&bundle.data, range, batch_size, None) {
+        probs.extend(net.predict(&batch, tau));
+        labels.extend_from_slice(&batch.labels);
+    }
+    evaluate(&probs, &labels)
+}
+
+/// Trains a fixed architecture from scratch (Algorithm 2) with epoch-level
+/// early stopping on the validation split, and reports the test metrics of
+/// the best-validation epoch. Returns the trained network and its report.
+///
+/// `cfg.retrain_epochs` is the epoch budget; training stops early once the
+/// validation AUC has not improved for two consecutive epochs (deep CTR
+/// models at this data scale overfit quickly, so every model — baseline or
+/// OptInter — is trained under the same rule).
+pub fn train_fixed(
+    bundle: &DatasetBundle,
+    cfg: &OptInterConfig,
+    architecture: Architecture,
+) -> (OptInterNet, TrainReport) {
+    let mut net = OptInterNet::new(cfg.clone(), DataDims::of(&bundle.data), architecture);
+    let mut final_loss = 0.0f32;
+    let mut best_val = f64::NEG_INFINITY;
+    let mut best_test = None;
+    let mut since_best = 0usize;
+    for epoch in 0..cfg.retrain_epochs.max(1) {
+        let mut epoch_loss = 0.0f32;
+        let mut count = 0usize;
+        for batch in BatchIter::new(
+            &bundle.data,
+            bundle.split.train.clone(),
+            cfg.batch_size,
+            Some(cfg.seed.wrapping_add(0x5EED + epoch as u64)),
+        ) {
+            epoch_loss += net.train_batch(&batch);
+            count += 1;
+        }
+        final_loss = epoch_loss / count.max(1) as f32;
+        let val = evaluate_net(&mut net, bundle, bundle.split.val.clone(), cfg.batch_size);
+        if val.auc > best_val {
+            best_val = val.auc;
+            best_test =
+                Some(evaluate_net(&mut net, bundle, bundle.split.test.clone(), cfg.batch_size));
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= 2 {
+                break;
+            }
+        }
+    }
+    let eval = best_test
+        .unwrap_or_else(|| evaluate_net(&mut net, bundle, bundle.split.test.clone(), cfg.batch_size));
+    let report = TrainReport {
+        auc: eval.auc,
+        log_loss: eval.log_loss,
+        num_params: net.num_params(),
+        final_train_loss: final_loss,
+        architecture: Some(net.architecture().clone()),
+    };
+    (net, report)
+}
+
+/// The full OptInter pipeline: search stage (Algorithm 1 or an ablation
+/// strategy) followed by re-training from scratch (Algorithm 2).
+pub fn run_two_stage(
+    bundle: &DatasetBundle,
+    cfg: &OptInterConfig,
+    strategy: SearchStrategy,
+) -> TrainReport {
+    let outcome = search_architecture(bundle, cfg, strategy);
+    let (_, report) = train_fixed(bundle, cfg, outcome.architecture);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Method;
+    use optinter_data::Profile;
+
+    fn setup() -> (DatasetBundle, OptInterConfig) {
+        let bundle = Profile::Tiny.bundle_with_rows(2500, 31);
+        let cfg = OptInterConfig { seed: 2, retrain_epochs: 2, ..OptInterConfig::test_small() };
+        (bundle, cfg)
+    }
+
+    #[test]
+    fn fixed_training_beats_chance() {
+        let (bundle, cfg) = setup();
+        let arch = Architecture::uniform(Method::Memorize, bundle.data.num_pairs);
+        let (_, report) = train_fixed(&bundle, &cfg, arch);
+        assert!(report.auc > 0.6, "AUC {} too low", report.auc);
+        assert!(report.log_loss < 0.8);
+        assert!(report.num_params > 0);
+    }
+
+    #[test]
+    fn two_stage_pipeline_runs() {
+        let (bundle, cfg) = setup();
+        let report = run_two_stage(&bundle, &cfg, SearchStrategy::Joint);
+        assert!(report.auc > 0.55, "AUC {}", report.auc);
+        assert!(report.architecture.is_some());
+    }
+
+    #[test]
+    fn oracle_architecture_performs_well() {
+        let (bundle, cfg) = setup();
+        let oracle = Architecture::oracle(&bundle.planted);
+        let (_, report) = train_fixed(&bundle, &cfg, oracle);
+        assert!(report.auc > 0.65, "oracle AUC {}", report.auc);
+    }
+
+    #[test]
+    fn retraining_is_deterministic() {
+        let (bundle, cfg) = setup();
+        let arch = Architecture::uniform(Method::Factorize, bundle.data.num_pairs);
+        let (_, r1) = train_fixed(&bundle, &cfg, arch.clone());
+        let (_, r2) = train_fixed(&bundle, &cfg, arch);
+        assert_eq!(r1.auc, r2.auc);
+        assert_eq!(r1.log_loss, r2.log_loss);
+    }
+}

@@ -1,0 +1,183 @@
+//! Mini-batch iteration with optional deterministic shuffling.
+
+use crate::dataset::EncodedDataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::ops::Range;
+
+/// One gathered mini-batch.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Row-major `[B * M]` global original-feature ids.
+    pub fields: Vec<u32>,
+    /// Row-major `[B * P]` global cross-feature ids (empty when the
+    /// iterator was built with `with_cross(false)`).
+    pub cross: Vec<u32>,
+    /// Labels.
+    pub labels: Vec<f32>,
+    /// Number of fields per example.
+    pub num_fields: usize,
+    /// Number of pairs per example.
+    pub num_pairs: usize,
+}
+
+impl Batch {
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the batch has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Iterator producing gathered mini-batches over a row range.
+pub struct BatchIter<'a> {
+    data: &'a EncodedDataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+    include_cross: bool,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Creates an iterator over `range`. With `shuffle_seed = Some(s)` the
+    /// row order is a seeded permutation; with `None` it is sequential.
+    pub fn new(
+        data: &'a EncodedDataset,
+        range: Range<usize>,
+        batch_size: usize,
+        shuffle_seed: Option<u64>,
+    ) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(range.end <= data.len(), "range exceeds dataset");
+        let mut order: Vec<usize> = range.collect();
+        if let Some(seed) = shuffle_seed {
+            let mut rng = StdRng::seed_from_u64(seed);
+            order.shuffle(&mut rng);
+        }
+        Self { data, order, batch_size, cursor: 0, include_cross: true }
+    }
+
+    /// Controls whether batches gather cross-feature ids (models that never
+    /// memorize can skip the gather).
+    pub fn with_cross(mut self, include: bool) -> Self {
+        self.include_cross = include;
+        self
+    }
+
+    /// Number of batches this iterator will yield.
+    pub fn num_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let rows = &self.order[self.cursor..end];
+        self.cursor = end;
+        let m = self.data.num_fields;
+        let p = self.data.num_pairs;
+        let mut fields = Vec::with_capacity(rows.len() * m);
+        let mut cross = Vec::with_capacity(if self.include_cross { rows.len() * p } else { 0 });
+        let mut labels = Vec::with_capacity(rows.len());
+        for &r in rows {
+            fields.extend_from_slice(self.data.row_fields(r));
+            if self.include_cross {
+                cross.extend_from_slice(self.data.row_cross(r));
+            }
+            labels.push(self.data.labels[r]);
+        }
+        Some(Batch { fields, cross, labels, num_fields: m, num_pairs: p })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBundle;
+    use crate::generator::{PlantedKind, SyntheticSpec};
+
+    fn bundle() -> DatasetBundle {
+        let spec = SyntheticSpec {
+            name: "batch-test".into(),
+            seed: 1,
+            cardinalities: vec![5, 5, 5],
+            zipf_exponent: 0.5,
+            planted: PlantedKind::assign(1, 1, 1, 3, 1),
+            field_weight_std: 0.2,
+            memorized_std: 0.8,
+            factorized_std: 0.8,
+            latent_dim: 2,
+            nonlinear_std: 0.0,
+            noise_std: 0.0,
+            target_pos_ratio: 0.4,
+        };
+        DatasetBundle::from_spec(spec, 103, 1, 5)
+    }
+
+    #[test]
+    fn covers_all_rows_exactly_once() {
+        let b = bundle();
+        let iter = BatchIter::new(&b.data, 0..b.len(), 10, Some(9));
+        assert_eq!(iter.num_batches(), 11);
+        let mut total = 0;
+        for batch in iter {
+            assert!(batch.len() <= 10);
+            total += batch.len();
+        }
+        assert_eq!(total, 103);
+    }
+
+    #[test]
+    fn sequential_order_preserved_without_shuffle() {
+        let b = bundle();
+        let mut iter = BatchIter::new(&b.data, 0..5, 3, None);
+        let first = iter.next().unwrap();
+        assert_eq!(&first.fields[0..3], b.data.row_fields(0));
+        assert_eq!(&first.fields[3..6], b.data.row_fields(1));
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let b = bundle();
+        let a: Vec<f32> = BatchIter::new(&b.data, 0..50, 7, Some(42))
+            .flat_map(|batch| batch.labels)
+            .collect();
+        let c: Vec<f32> = BatchIter::new(&b.data, 0..50, 7, Some(42))
+            .flat_map(|batch| batch.labels)
+            .collect();
+        assert_eq!(a, c);
+        let d: Vec<f32> = BatchIter::new(&b.data, 0..50, 7, Some(43))
+            .flat_map(|batch| batch.labels)
+            .collect();
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn without_cross_skips_gather() {
+        let b = bundle();
+        let batch = BatchIter::new(&b.data, 0..10, 10, None)
+            .with_cross(false)
+            .next()
+            .unwrap();
+        assert!(batch.cross.is_empty());
+        assert_eq!(batch.fields.len(), 10 * 3);
+    }
+
+    #[test]
+    fn range_subset_only() {
+        let b = bundle();
+        let total: usize = BatchIter::new(&b.data, 20..40, 8, Some(1)).map(|x| x.len()).sum();
+        assert_eq!(total, 20);
+    }
+}

@@ -1,0 +1,187 @@
+//! Cross-product transformation (paper Eq. 4).
+//!
+//! For every field pair `(i, j)` the cross-product transformed feature of a
+//! row is the combination of its raw values, `x^m_(i,j) =
+//! onehot(x_i × x_j)`. Like the original features, cross values below a
+//! frequency threshold collapse into a per-pair OOV bucket — this is where
+//! the memorized method's feature-sparsity problem (paper Sec. I) shows up,
+//! so the thresholding is faithful to the paper's preprocessing.
+
+use crate::schema::{PairIndexer, Schema};
+use std::collections::HashMap;
+
+/// Raw cross value of a pair: a single u64 combining both raw field values.
+#[inline]
+pub fn raw_cross(vi: u32, vj: u32) -> u64 {
+    ((vi as u64) << 32) | vj as u64
+}
+
+/// Vocabulary of one pair's cross-product values.
+#[derive(Debug, Clone)]
+pub struct PairVocab {
+    map: HashMap<u64, u32>,
+    size: u32,
+}
+
+impl PairVocab {
+    fn from_counts(counts: &HashMap<u64, u32>, min_count: u32) -> Self {
+        let mut kept: Vec<u64> = counts
+            .iter()
+            .filter(|&(_, &c)| c >= min_count)
+            .map(|(&v, _)| v)
+            .collect();
+        kept.sort_unstable();
+        let map: HashMap<u64, u32> =
+            kept.iter().enumerate().map(|(i, &v)| (v, i as u32 + 1)).collect();
+        let size = map.len() as u32 + 1;
+        Self { map, size }
+    }
+
+    /// Local id of a raw cross value (0 = OOV).
+    pub fn encode(&self, raw: u64) -> u32 {
+        self.map.get(&raw).copied().unwrap_or(0)
+    }
+
+    /// Vocabulary size including OOV.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+}
+
+/// Cross-product vocabularies for all pairs plus the global id layout.
+#[derive(Debug, Clone)]
+pub struct CrossVocab {
+    pairs: Vec<PairVocab>,
+    offsets: Vec<u32>,
+    total: u32,
+    indexer: PairIndexer,
+}
+
+impl CrossVocab {
+    /// Builds cross vocabularies by counting pair combinations over the
+    /// given (training) rows. `rows` is row-major `[N * M]` of raw values.
+    pub fn build(schema: &Schema, rows: &[u32], min_count: u32) -> Self {
+        let m = schema.num_fields();
+        assert_eq!(rows.len() % m, 0, "cross vocab: ragged rows");
+        let n = rows.len() / m;
+        let indexer = schema.pairs();
+        let np = indexer.num_pairs();
+        let mut counts: Vec<HashMap<u64, u32>> = vec![HashMap::new(); np];
+        for r in 0..n {
+            let row = &rows[r * m..(r + 1) * m];
+            for (p, (i, j)) in indexer.iter().enumerate() {
+                *counts[p].entry(raw_cross(row[i], row[j])).or_insert(0) += 1;
+            }
+        }
+        let pairs: Vec<PairVocab> =
+            counts.iter().map(|c| PairVocab::from_counts(c, min_count)).collect();
+        let mut offsets = Vec::with_capacity(np);
+        let mut total = 0u32;
+        for pv in &pairs {
+            offsets.push(total);
+            total += pv.size();
+        }
+        Self { pairs, offsets, total, indexer }
+    }
+
+    /// Number of pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Total global cross vocabulary size (the paper's "#cross value").
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Per-pair vocabulary sizes (OOV included).
+    pub fn sizes(&self) -> Vec<u32> {
+        self.pairs.iter().map(|p| p.size()).collect()
+    }
+
+    /// Global offset of pair `p`.
+    pub fn offset(&self, p: usize) -> u32 {
+        self.offsets[p]
+    }
+
+    /// Global cross id of pair `p` for raw values `(vi, vj)`.
+    pub fn encode(&self, p: usize, vi: u32, vj: u32) -> u32 {
+        self.offsets[p] + self.pairs[p].encode(raw_cross(vi, vj))
+    }
+
+    /// Encodes every row's cross features: output is row-major `[N * P]`.
+    pub fn encode_rows(&self, schema: &Schema, rows: &[u32]) -> Vec<u32> {
+        let m = schema.num_fields();
+        assert_eq!(rows.len() % m, 0, "encode_rows: ragged rows");
+        let n = rows.len() / m;
+        let mut out = Vec::with_capacity(n * self.num_pairs());
+        for r in 0..n {
+            let row = &rows[r * m..(r + 1) * m];
+            for (p, (i, j)) in self.indexer.iter().enumerate() {
+                out.push(self.encode(p, row[i], row[j]));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema3() -> Schema {
+        Schema::new(vec![4, 4, 4])
+    }
+
+    #[test]
+    fn raw_cross_is_injective() {
+        assert_ne!(raw_cross(1, 2), raw_cross(2, 1));
+        assert_ne!(raw_cross(0, 5), raw_cross(5, 0));
+        assert_eq!(raw_cross(3, 3), raw_cross(3, 3));
+    }
+
+    #[test]
+    fn counts_and_threshold() {
+        let schema = schema3();
+        // Rows: (1,2,3) twice, (1,2,0) once.
+        let rows = vec![1, 2, 3, 1, 2, 3, 1, 2, 0];
+        let cv = CrossVocab::build(&schema, &rows, 2);
+        // Pair (0,1) = (1,2) appears 3x -> kept.
+        assert_ne!(cv.encode(0, 1, 2), cv.offset(0));
+        // Pair (1,2) = (2,3) appears twice -> kept; (2,0) once -> OOV.
+        assert_ne!(cv.encode(2, 2, 3), cv.offset(2));
+        assert_eq!(cv.encode(2, 2, 0), cv.offset(2));
+    }
+
+    #[test]
+    fn encode_rows_shape_and_values() {
+        let schema = schema3();
+        let rows = vec![1, 2, 3, 1, 2, 3];
+        let cv = CrossVocab::build(&schema, &rows, 1);
+        let encoded = cv.encode_rows(&schema, &rows);
+        assert_eq!(encoded.len(), 2 * 3);
+        // Both rows identical -> identical encodings.
+        assert_eq!(&encoded[0..3], &encoded[3..6]);
+        // Ids fall inside each pair's bucket.
+        for (p, &id) in encoded[0..3].iter().enumerate() {
+            assert!(id >= cv.offset(p));
+            assert!(id < cv.offset(p) + cv.sizes()[p]);
+        }
+    }
+
+    #[test]
+    fn total_is_sum_of_sizes() {
+        let schema = schema3();
+        let rows = vec![0, 1, 2, 3, 0, 1, 2, 3, 0];
+        let cv = CrossVocab::build(&schema, &rows, 1);
+        assert_eq!(cv.total(), cv.sizes().iter().sum::<u32>());
+    }
+
+    #[test]
+    fn unseen_combination_is_oov() {
+        let schema = schema3();
+        let rows = vec![1, 1, 1];
+        let cv = CrossVocab::build(&schema, &rows, 1);
+        assert_eq!(cv.encode(0, 3, 3), cv.offset(0));
+    }
+}

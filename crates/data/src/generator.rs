@@ -1,0 +1,475 @@
+//! Planted-structure synthetic click-log generation.
+//!
+//! Each field pair is planted with one of the three interaction characters
+//! the paper studies (Sec. I): **memorized** — an idiosyncratic effect per
+//! cross-value combination that no low-rank factorization can express;
+//! **factorized** — an inner product of per-field-value latent vectors; or
+//! **none**. The ground-truth click probability is
+//!
+//! `p(click) = sigmoid(bias + Σ_f w_f(v_f) + Σ_planted pair effects + noise)`
+//!
+//! with every weight a deterministic hash of `(seed, identifiers)`, so the
+//! ground truth needs no storage and is reproducible. The bias is calibrated
+//! so that the marginal positive ratio matches the profile (Table II's
+//! `pos ratio` column).
+
+use crate::hash;
+use crate::schema::{PairIndexer, Schema};
+use crate::zipf::Zipf;
+use optinter_tensor::numerics::sigmoid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The interaction character planted on a field pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlantedKind {
+    /// Idiosyncratic per-cross-value effect (best memorized).
+    Memorized,
+    /// Low-rank latent inner-product effect (best factorized).
+    Factorized,
+    /// No direct interaction effect (best left naïve).
+    None,
+}
+
+impl PlantedKind {
+    /// Deterministically assigns kinds to `num_pairs` pairs with the given
+    /// target counts, shuffled by `seed`.
+    ///
+    /// # Panics
+    /// Panics if the counts do not sum to `num_pairs`.
+    pub fn assign(
+        num_memorized: usize,
+        num_factorized: usize,
+        num_none: usize,
+        num_pairs: usize,
+        seed: u64,
+    ) -> Vec<PlantedKind> {
+        assert_eq!(
+            num_memorized + num_factorized + num_none,
+            num_pairs,
+            "planted counts must cover every pair"
+        );
+        let mut kinds = Vec::with_capacity(num_pairs);
+        kinds.extend(std::iter::repeat_n(PlantedKind::Memorized, num_memorized));
+        kinds.extend(std::iter::repeat_n(PlantedKind::Factorized, num_factorized));
+        kinds.extend(std::iter::repeat_n(PlantedKind::None, num_none));
+        // Fisher-Yates with hash-derived indices for determinism.
+        for i in (1..kinds.len()).rev() {
+            let j = (hash::combine(seed, &[0xA11, i as u64]) % (i as u64 + 1)) as usize;
+            kinds.swap(i, j);
+        }
+        kinds
+    }
+
+    /// Assigns kinds by pair sparsity, mirroring real click logs: the
+    /// `num_memorized` pairs with the *smallest* cross-cardinality get
+    /// memorized effects (their combinations repeat often enough to
+    /// memorize), the `num_factorized` pairs with the *largest*
+    /// cross-cardinality get factorized effects (individual combinations
+    /// are too rare to memorize, but per-value latents are learnable), and
+    /// the middle gets none.
+    ///
+    /// # Panics
+    /// Panics if the counts exceed the number of pairs.
+    pub fn assign_by_cardinality(
+        cardinalities: &[u32],
+        num_memorized: usize,
+        num_factorized: usize,
+    ) -> Vec<PlantedKind> {
+        let indexer = crate::schema::PairIndexer::new(cardinalities.len());
+        let np = indexer.num_pairs();
+        assert!(
+            num_memorized + num_factorized <= np,
+            "planted counts exceed pair count"
+        );
+        let mut order: Vec<usize> = (0..np).collect();
+        let cross_card = |p: usize| {
+            let (i, j) = indexer.pair_at(p);
+            cardinalities[i] as u64 * cardinalities[j] as u64
+        };
+        order.sort_by_key(|&p| (cross_card(p), p));
+        let mut kinds = vec![PlantedKind::None; np];
+        for &p in order.iter().take(num_memorized) {
+            kinds[p] = PlantedKind::Memorized;
+        }
+        for &p in order.iter().rev().take(num_factorized) {
+            kinds[p] = PlantedKind::Factorized;
+        }
+        kinds
+    }
+
+    /// Short display tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            PlantedKind::Memorized => "mem",
+            PlantedKind::Factorized => "fac",
+            PlantedKind::None => "none",
+        }
+    }
+}
+
+/// Full specification of a synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    /// Human-readable name (e.g. `criteo_like`).
+    pub name: String,
+    /// Master seed; all ground-truth weights derive from it.
+    pub seed: u64,
+    /// Per-field raw cardinalities.
+    pub cardinalities: Vec<u32>,
+    /// Zipf exponent for value frequencies (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Planted kind per pair, in [`PairIndexer`] flat order.
+    pub planted: Vec<PlantedKind>,
+    /// Std-dev of per-field-value main-effect weights.
+    pub field_weight_std: f32,
+    /// Std-dev of memorized pair effects.
+    pub memorized_std: f32,
+    /// Scale of factorized pair effects.
+    pub factorized_std: f32,
+    /// Rank of the planted latent vectors.
+    pub latent_dim: usize,
+    /// Scale of the planted *higher-order nonlinearity*: a `tanh` of a
+    /// hashed one-dimensional projection of all field values. Shallow
+    /// pairwise models (LR, Poly2, FM) cannot express it; deep classifiers
+    /// can — this mirrors the higher-order structure of real click logs
+    /// that gives deep CTR models their edge in the paper's Table V.
+    pub nonlinear_std: f32,
+    /// Std-dev of irreducible per-sample logit noise.
+    pub noise_std: f32,
+    /// Target marginal positive ratio.
+    pub target_pos_ratio: f64,
+}
+
+impl SyntheticSpec {
+    /// Schema implied by the cardinalities.
+    pub fn schema(&self) -> Schema {
+        Schema::new(self.cardinalities.clone())
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) {
+        let schema = self.schema();
+        assert_eq!(
+            self.planted.len(),
+            schema.num_pairs(),
+            "spec `{}`: planted kinds must cover every pair",
+            self.name
+        );
+        assert!(self.latent_dim > 0, "latent_dim must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.target_pos_ratio) && self.target_pos_ratio > 0.0,
+            "target_pos_ratio must be in (0, 1)"
+        );
+    }
+}
+
+/// A generated raw dataset: rows of raw categorical values plus labels.
+#[derive(Debug, Clone)]
+pub struct RawDataset {
+    /// Schema the rows follow.
+    pub schema: Schema,
+    /// Row-major values, `rows[n * M + f]` = raw value of field `f` in row `n`.
+    pub rows: Vec<u32>,
+    /// Binary click labels.
+    pub labels: Vec<u8>,
+    /// Ground-truth logits (diagnostics; an oracle upper bound for AUC).
+    pub logits: Vec<f32>,
+}
+
+impl RawDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Raw value of field `f` in row `n`.
+    pub fn value(&self, n: usize, f: usize) -> u32 {
+        self.rows[n * self.schema.num_fields() + f]
+    }
+
+    /// Empirical positive ratio.
+    pub fn pos_ratio(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().map(|&y| y as u64).sum::<u64>() as f64 / self.labels.len() as f64
+    }
+}
+
+/// Generates datasets from a [`SyntheticSpec`].
+pub struct SyntheticGenerator {
+    spec: SyntheticSpec,
+    samplers: Vec<Zipf>,
+    pairs: PairIndexer,
+    bias: f32,
+}
+
+// Hash-domain tags keeping the weight families independent.
+const TAG_FIELD: u64 = 1;
+const TAG_MEM: u64 = 2;
+const TAG_LATENT: u64 = 3;
+const TAG_NONLIN: u64 = 4;
+
+impl SyntheticGenerator {
+    /// Builds a generator, calibrating the bias so the marginal positive
+    /// ratio approximates `spec.target_pos_ratio`.
+    pub fn new(spec: SyntheticSpec) -> Self {
+        spec.validate();
+        let samplers = spec
+            .cardinalities
+            .iter()
+            .map(|&c| Zipf::new(c, spec.zipf_exponent))
+            .collect();
+        let pairs = PairIndexer::new(spec.cardinalities.len());
+        let mut gen = Self { spec, samplers, pairs, bias: 0.0 };
+        gen.bias = gen.calibrate_bias(4000);
+        gen
+    }
+
+    /// The spec this generator realises.
+    pub fn spec(&self) -> &SyntheticSpec {
+        &self.spec
+    }
+
+    /// The calibrated intercept.
+    pub fn bias(&self) -> f32 {
+        self.bias
+    }
+
+    /// Main-effect weight of value `v` in field `f`.
+    pub fn field_weight(&self, f: usize, v: u32) -> f32 {
+        hash::hash_normal(self.spec.seed, &[TAG_FIELD, f as u64, v as u64])
+            * self.spec.field_weight_std
+    }
+
+    /// Memorized pair effect for pair `p` at values `(vi, vj)`.
+    pub fn memorized_effect(&self, p: usize, vi: u32, vj: u32) -> f32 {
+        hash::hash_normal(self.spec.seed, &[TAG_MEM, p as u64, vi as u64, vj as u64])
+            * self.spec.memorized_std
+    }
+
+    /// Latent vector of value `v` in field `f` (rank = `latent_dim`).
+    pub fn latent(&self, f: usize, v: u32) -> Vec<f32> {
+        (0..self.spec.latent_dim)
+            .map(|d| hash::hash_normal(self.spec.seed, &[TAG_LATENT, f as u64, v as u64, d as u64]))
+            .collect()
+    }
+
+    /// Factorized pair effect: scaled inner product of the field latents.
+    pub fn factorized_effect(&self, i: usize, j: usize, vi: u32, vj: u32) -> f32 {
+        let zi = self.latent(i, vi);
+        let zj = self.latent(j, vj);
+        let dot: f32 = zi.iter().zip(zj.iter()).map(|(a, b)| a * b).sum();
+        dot / (self.spec.latent_dim as f32).sqrt() * self.spec.factorized_std
+    }
+
+    /// The higher-order nonlinear component: a product of three saturated
+    /// hashed projections of all field values, scaled by `nonlinear_std`.
+    ///
+    /// A product of two sums is still second-order (expressible by pairwise
+    /// cross weights); a product of *three* zero-mean factors has no
+    /// main-effect or pairwise shadow at all, so shallow pairwise models
+    /// (LR, Poly2, FM) cannot capture it while a deep classifier over the
+    /// original embeddings can — this mirrors the higher-order structure of
+    /// real click logs that gives deep CTR models their edge in Table V.
+    pub fn nonlinear_effect(&self, values: &[u32]) -> f32 {
+        if self.spec.nonlinear_std == 0.0 {
+            return 0.0;
+        }
+        let m = (values.len() as f32).sqrt();
+        let mut abc = [0.0f32; 3];
+        for (f, &v) in values.iter().enumerate() {
+            for (t, acc) in abc.iter_mut().enumerate() {
+                *acc += hash::hash_normal(
+                    self.spec.seed,
+                    &[TAG_NONLIN, t as u64 + 1, f as u64, v as u64],
+                );
+            }
+        }
+        abc.iter().map(|&x| (1.5 * x / m).tanh()).product::<f32>() * self.spec.nonlinear_std
+    }
+
+    /// Ground-truth logit of a row (excluding noise and bias).
+    pub fn structural_logit(&self, row: &[f32], values: &[u32]) -> f32 {
+        let _ = row;
+        let mut logit = self.nonlinear_effect(values);
+        for (f, &v) in values.iter().enumerate() {
+            logit += self.field_weight(f, v);
+        }
+        for (p, (i, j)) in self.pairs.iter().enumerate() {
+            match self.spec.planted[p] {
+                PlantedKind::Memorized => {
+                    logit += self.memorized_effect(p, values[i], values[j]);
+                }
+                PlantedKind::Factorized => {
+                    logit += self.factorized_effect(i, j, values[i], values[j]);
+                }
+                PlantedKind::None => {}
+            }
+        }
+        logit
+    }
+
+    fn calibrate_bias(&self, n_calib: usize) -> f32 {
+        let mut rng = StdRng::seed_from_u64(self.spec.seed ^ 0xCA11B);
+        let m = self.spec.cardinalities.len();
+        let mut logits = Vec::with_capacity(n_calib);
+        let mut values = vec![0u32; m];
+        for _ in 0..n_calib {
+            for (f, v) in values.iter_mut().enumerate() {
+                *v = self.samplers[f].sample(&mut rng);
+            }
+            logits.push(self.structural_logit(&[], &values));
+        }
+        // Binary search the bias for the target mean click probability.
+        let target = self.spec.target_pos_ratio as f32;
+        let mut lo = -30.0f32;
+        let mut hi = 30.0f32;
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            let mean: f32 =
+                logits.iter().map(|&z| sigmoid(z + mid)).sum::<f32>() / n_calib as f32;
+            if mean < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Generates `n` i.i.d. samples using `sample_seed` for the data draw
+    /// (value draws, label coin flips, noise). The ground-truth weights
+    /// depend only on the spec seed, so different sample seeds give fresh
+    /// datasets from the *same* underlying distribution.
+    pub fn generate(&self, n: usize, sample_seed: u64) -> RawDataset {
+        let m = self.spec.cardinalities.len();
+        let mut rng = StdRng::seed_from_u64(sample_seed);
+        let mut rows = Vec::with_capacity(n * m);
+        let mut labels = Vec::with_capacity(n);
+        let mut logits = Vec::with_capacity(n);
+        let mut values = vec![0u32; m];
+        for _ in 0..n {
+            for (f, v) in values.iter_mut().enumerate() {
+                *v = self.samplers[f].sample(&mut rng);
+            }
+            let mut logit = self.bias + self.structural_logit(&[], &values);
+            if self.spec.noise_std > 0.0 {
+                let (z, _) = optinter_tensor::init::box_muller(&mut rng);
+                logit += z * self.spec.noise_std;
+            }
+            let p = sigmoid(logit);
+            let y = u8::from(rng.gen::<f32>() < p);
+            rows.extend_from_slice(&values);
+            labels.push(y);
+            logits.push(logit);
+        }
+        RawDataset { schema: self.spec.schema(), rows, labels, logits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SyntheticSpec {
+        SyntheticSpec {
+            name: "tiny".into(),
+            seed: 7,
+            cardinalities: vec![8, 8, 8, 8],
+            zipf_exponent: 1.0,
+            planted: PlantedKind::assign(2, 2, 2, 6, 7),
+            field_weight_std: 0.3,
+            memorized_std: 1.0,
+            factorized_std: 1.0,
+            latent_dim: 4,
+            nonlinear_std: 0.5,
+            noise_std: 0.1,
+            target_pos_ratio: 0.25,
+        }
+    }
+
+    #[test]
+    fn assign_covers_and_is_deterministic() {
+        let a = PlantedKind::assign(3, 4, 5, 12, 42);
+        let b = PlantedKind::assign(3, 4, 5, 12, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().filter(|k| **k == PlantedKind::Memorized).count(), 3);
+        assert_eq!(a.iter().filter(|k| **k == PlantedKind::Factorized).count(), 4);
+        assert_eq!(a.iter().filter(|k| **k == PlantedKind::None).count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every pair")]
+    fn assign_rejects_bad_counts() {
+        PlantedKind::assign(1, 1, 1, 4, 0);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let g = SyntheticGenerator::new(tiny_spec());
+        let a = g.generate(100, 1);
+        let b = g.generate(100, 1);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.labels, b.labels);
+        let c = g.generate(100, 2);
+        assert_ne!(a.rows, c.rows);
+    }
+
+    #[test]
+    fn pos_ratio_near_target() {
+        let g = SyntheticGenerator::new(tiny_spec());
+        let d = g.generate(20_000, 3);
+        let ratio = d.pos_ratio();
+        assert!(
+            (ratio - 0.25).abs() < 0.04,
+            "pos ratio {ratio} too far from target 0.25"
+        );
+    }
+
+    #[test]
+    fn weights_are_functions_of_identity() {
+        let g = SyntheticGenerator::new(tiny_spec());
+        assert_eq!(g.field_weight(0, 3), g.field_weight(0, 3));
+        assert_ne!(g.field_weight(0, 3), g.field_weight(0, 4));
+        assert_ne!(g.field_weight(0, 3), g.field_weight(1, 3));
+        assert_eq!(g.memorized_effect(1, 2, 3), g.memorized_effect(1, 2, 3));
+        assert_ne!(g.memorized_effect(1, 2, 3), g.memorized_effect(1, 3, 2));
+    }
+
+    #[test]
+    fn factorized_effect_is_symmetric_in_rank() {
+        let g = SyntheticGenerator::new(tiny_spec());
+        // Same inputs -> same effect; latents shared per field.
+        let e1 = g.factorized_effect(0, 1, 2, 5);
+        let e2 = g.factorized_effect(0, 1, 2, 5);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn extreme_pos_ratio_calibrates() {
+        let mut spec = tiny_spec();
+        spec.target_pos_ratio = 0.01;
+        let g = SyntheticGenerator::new(spec);
+        let d = g.generate(30_000, 5);
+        let ratio = d.pos_ratio();
+        assert!((0.003..0.03).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn rows_respect_cardinalities() {
+        let g = SyntheticGenerator::new(tiny_spec());
+        let d = g.generate(500, 11);
+        for n in 0..d.len() {
+            for f in 0..4 {
+                assert!(d.value(n, f) < 8);
+            }
+        }
+    }
+}

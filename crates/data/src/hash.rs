@@ -1,0 +1,105 @@
+//! Deterministic hash-based pseudo-random number generation.
+//!
+//! The planted ground-truth model needs a weight for *every possible*
+//! feature value and cross-value combination — far too many to materialise.
+//! Instead, weights are defined as pure functions of `(seed, identifiers)`
+//! through SplitMix64, so any weight can be recomputed on demand and the
+//! ground truth is fully deterministic.
+
+/// One round of the SplitMix64 mixing function.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combines a seed with up to four identifiers into one well-mixed u64.
+pub fn combine(seed: u64, parts: &[u64]) -> u64 {
+    let mut h = splitmix64(seed ^ 0xD1B5_4A32_D192_ED03);
+    for &p in parts {
+        h = splitmix64(h ^ p.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    h
+}
+
+/// Uniform value in `[0, 1)` derived from a hash.
+#[inline]
+pub fn hash_unit(h: u64) -> f32 {
+    // Use the top 24 bits for an exactly-representable f32 in [0, 1).
+    (h >> 40) as f32 / (1u64 << 24) as f32
+}
+
+/// Approximately standard-normal value derived from a hash.
+///
+/// Sum of four independent uniforms, centred and scaled (Irwin–Hall with
+/// n = 4 has variance 1/3; scaling by sqrt(3) gives unit variance). The
+/// tails are lighter than a true Gaussian, which is fine for planting
+/// effect weights.
+pub fn hash_normal(seed: u64, parts: &[u64]) -> f32 {
+    let h = combine(seed, parts);
+    let u1 = hash_unit(h);
+    let u2 = hash_unit(splitmix64(h ^ 1));
+    let u3 = hash_unit(splitmix64(h ^ 2));
+    let u4 = hash_unit(splitmix64(h ^ 3));
+    (u1 + u2 + u3 + u4 - 2.0) * (3.0f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+        // Single-bit input changes should flip many output bits.
+        let diff = (splitmix64(1) ^ splitmix64(0)).count_ones();
+        assert!(diff > 16, "poor avalanche: {diff} bits");
+    }
+
+    #[test]
+    fn combine_depends_on_all_parts() {
+        let a = combine(7, &[1, 2, 3]);
+        assert_ne!(a, combine(7, &[1, 2, 4]));
+        assert_ne!(a, combine(7, &[2, 1, 3]));
+        assert_ne!(a, combine(8, &[1, 2, 3]));
+        assert_eq!(a, combine(7, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn hash_unit_in_range() {
+        for i in 0..1000u64 {
+            let u = hash_unit(splitmix64(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn hash_normal_moments() {
+        let n = 20_000u64;
+        let xs: Vec<f32> = (0..n).map(|i| hash_normal(99, &[i])).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn hash_unit_roughly_uniform() {
+        let n = 10_000u64;
+        let mut buckets = [0u32; 10];
+        for i in 0..n {
+            let u = hash_unit(combine(5, &[i]));
+            buckets[(u * 10.0) as usize] += 1;
+        }
+        for (b, &count) in buckets.iter().enumerate() {
+            let expected = n as f32 / 10.0;
+            assert!(
+                (count as f32 - expected).abs() < expected * 0.15,
+                "bucket {b}: {count}"
+            );
+        }
+    }
+}

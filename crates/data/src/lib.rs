@@ -1,0 +1,43 @@
+//! Synthetic multi-field categorical click-log substrate.
+//!
+//! The paper evaluates on four industrial datasets (Criteo, Avazu, iPinYou
+//! and a private Huawei log — Table II) that are not available here. This
+//! crate replaces them with *planted-structure* synthetic datasets that
+//! exercise exactly the same code paths and make the paper's central claim
+//! testable:
+//!
+//! - every sample is a multi-field categorical row with Zipf-distributed
+//!   value frequencies (like real CTR logs);
+//! - the ground-truth click logit assigns each field pair one of the three
+//!   interaction characters the paper studies — **memorized** (idiosyncratic
+//!   per-cross-value effect, not factorizable), **factorized** (low-rank
+//!   inner-product effect), or **none** — so an ideal OptInter search should
+//!   recover the planted assignment;
+//! - preprocessing mirrors the paper: frequency thresholding with an OOV
+//!   bucket per field (min-count 20 for Criteo, 5 for Avazu), cross-product
+//!   transformation of all `M(M-1)/2` second-order pairs (Eq. 4), and
+//!   train/validation/test splits.
+//!
+//! Entry points: [`profiles`] for the four scaled-down dataset profiles,
+//! [`generator::SyntheticGenerator`] for custom workloads,
+//! [`dataset::EncodedDataset`] + [`batch::BatchIter`] for training.
+
+pub mod batch;
+pub mod cross;
+pub mod dataset;
+pub mod generator;
+pub mod hash;
+pub mod profiles;
+pub mod schema;
+pub mod stats;
+pub mod vocab;
+pub mod zipf;
+
+#[cfg(test)]
+mod proptests;
+
+pub use batch::{Batch, BatchIter};
+pub use dataset::{DatasetBundle, EncodedDataset, Split};
+pub use generator::{PlantedKind, RawDataset, SyntheticGenerator, SyntheticSpec};
+pub use profiles::Profile;
+pub use schema::{PairIndexer, Schema};

@@ -1,0 +1,136 @@
+//! Property-based tests on the data substrate: vocabulary encoding, the
+//! cross-product transform, batching, and generation invariants.
+
+#![cfg(test)]
+
+use crate::batch::BatchIter;
+use crate::cross::CrossVocab;
+use crate::dataset::{DatasetBundle, Split};
+use crate::generator::{PlantedKind, SyntheticSpec};
+use crate::schema::Schema;
+use crate::vocab::Vocabulary;
+use crate::zipf::Zipf;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
+    (2usize..5, 3u32..12, 0.0f64..1.5, 0.05f64..0.5, 0u64..50).prop_map(
+        |(m, card, zipf, pos, seed)| {
+            let pairs = m * (m - 1) / 2;
+            let mem = pairs / 3;
+            let fac = pairs / 3;
+            SyntheticSpec {
+                name: "prop".into(),
+                seed,
+                cardinalities: vec![card; m],
+                zipf_exponent: zipf,
+                planted: PlantedKind::assign(mem, fac, pairs - mem - fac, pairs, seed),
+                field_weight_std: 0.3,
+                memorized_std: 0.8,
+                factorized_std: 0.8,
+                latent_dim: 2,
+                nonlinear_std: 0.0,
+                noise_std: 0.1,
+                target_pos_ratio: pos,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn encoded_ids_always_in_vocab_range(spec in arb_spec()) {
+        let bundle = DatasetBundle::from_spec(spec, 300, 1, 7);
+        for &id in &bundle.data.fields {
+            prop_assert!(id < bundle.data.orig_vocab);
+        }
+        for &id in &bundle.data.cross {
+            prop_assert!(id < bundle.data.cross_vocab);
+        }
+    }
+
+    #[test]
+    fn vocab_offsets_partition_the_id_space(spec in arb_spec()) {
+        let bundle = DatasetBundle::from_spec(spec, 200, 1, 8);
+        let d = &bundle.data;
+        let mut expected = 0u32;
+        for (f, &offset) in d.field_offsets.iter().enumerate() {
+            prop_assert_eq!(offset, expected);
+            expected += d.field_vocab_sizes[f];
+        }
+        prop_assert_eq!(expected, d.orig_vocab);
+        let mut expected = 0u32;
+        for (p, &offset) in d.pair_offsets.iter().enumerate() {
+            prop_assert_eq!(offset, expected);
+            expected += d.pair_vocab_sizes[p];
+        }
+        prop_assert_eq!(expected, d.cross_vocab);
+    }
+
+    #[test]
+    fn higher_min_count_never_grows_vocab(
+        rows in proptest::collection::vec(0u32..6, 30..120),
+    ) {
+        let n = rows.len() / 2 * 2;
+        let rows = &rows[..n];
+        let schema = Schema::new(vec![6, 6]);
+        let v1 = Vocabulary::build(&schema, rows, 1);
+        let v2 = Vocabulary::build(&schema, rows, 3);
+        prop_assert!(v2.total() <= v1.total());
+        let c1 = CrossVocab::build(&schema, rows, 1);
+        let c2 = CrossVocab::build(&schema, rows, 3);
+        prop_assert!(c2.total() <= c1.total());
+    }
+
+    #[test]
+    fn batches_partition_any_range(
+        n in 10usize..200,
+        batch_size in 1usize..40,
+        shuffle in proptest::bool::ANY,
+    ) {
+        let spec = SyntheticSpec {
+            name: "batch-prop".into(),
+            seed: 1,
+            cardinalities: vec![4, 4],
+            zipf_exponent: 0.5,
+            planted: vec![PlantedKind::Memorized],
+            field_weight_std: 0.2,
+            memorized_std: 0.5,
+            factorized_std: 0.5,
+            latent_dim: 2,
+            nonlinear_std: 0.0,
+            noise_std: 0.0,
+            target_pos_ratio: 0.3,
+        };
+        let bundle = DatasetBundle::from_spec(spec, 250, 1, 3);
+        let range = 0..n.min(bundle.len());
+        let seed = shuffle.then_some(9u64);
+        let total: usize = BatchIter::new(&bundle.data, range.clone(), batch_size, seed)
+            .map(|b| b.len())
+            .sum();
+        prop_assert_eq!(total, range.len());
+    }
+
+    #[test]
+    fn split_covers_everything_disjointly(n in 10usize..5000) {
+        let s = Split::fractions(n, 0.7, 0.1);
+        prop_assert_eq!(s.train.start, 0);
+        prop_assert_eq!(s.train.end, s.val.start);
+        prop_assert_eq!(s.val.end, s.test.start);
+        prop_assert_eq!(s.test.end, n);
+        prop_assert!(!s.test.is_empty());
+    }
+
+    #[test]
+    fn zipf_quantile_is_monotone(
+        n in 2u32..50,
+        s in 0.0f64..2.0,
+        u1 in 0.0f64..1.0,
+        u2 in 0.0f64..1.0,
+    ) {
+        let z = Zipf::new(n, s);
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(z.quantile(lo) <= z.quantile(hi));
+    }
+}

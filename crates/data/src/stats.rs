@@ -1,0 +1,115 @@
+//! Dataset statistics — the Table II analogue.
+
+use crate::dataset::DatasetBundle;
+
+/// Summary statistics of an encoded dataset, mirroring the columns of the
+/// paper's Table II: sample count, categorical field count, cross-feature
+/// count, distinct original values, distinct cross values, positive ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of samples.
+    pub samples: usize,
+    /// Number of categorical fields (`#cate`).
+    pub num_categorical: usize,
+    /// Number of cross-product transformed features (`#cross`).
+    pub num_cross: usize,
+    /// Total original vocabulary size (`#orig value`).
+    pub orig_values: u64,
+    /// Total cross vocabulary size (`#cross value`).
+    pub cross_values: u64,
+    /// Marginal positive ratio (`pos ratio`).
+    pub pos_ratio: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics for a bundle.
+    pub fn compute(bundle: &DatasetBundle) -> Self {
+        Self {
+            name: bundle.spec.name.clone(),
+            samples: bundle.len(),
+            num_categorical: bundle.data.num_fields,
+            num_cross: bundle.data.num_pairs,
+            orig_values: bundle.data.orig_vocab as u64,
+            cross_values: bundle.data.cross_vocab as u64,
+            pos_ratio: bundle.data.pos_ratio(0..bundle.len()),
+        }
+    }
+
+    /// Markdown table header matching Table II's columns.
+    pub fn header() -> String {
+        format!(
+            "| {:<14} | {:>9} | {:>5} | {:>6} | {:>11} | {:>12} | {:>9} |",
+            "Dataset", "#samples", "#cate", "#cross", "#orig value", "#cross value", "pos ratio"
+        )
+    }
+
+    /// Markdown separator row.
+    pub fn separator() -> String {
+        format!(
+            "|{}|{}|{}|{}|{}|{}|{}|",
+            "-".repeat(16),
+            "-".repeat(11),
+            "-".repeat(7),
+            "-".repeat(8),
+            "-".repeat(13),
+            "-".repeat(14),
+            "-".repeat(11)
+        )
+    }
+
+    /// One markdown table row.
+    pub fn row(&self) -> String {
+        format!(
+            "| {:<14} | {:>9} | {:>5} | {:>6} | {:>11} | {:>12} | {:>9.4} |",
+            self.name,
+            self.samples,
+            self.num_categorical,
+            self.num_cross,
+            self.orig_values,
+            self.cross_values,
+            self.pos_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{PlantedKind, SyntheticSpec};
+
+    #[test]
+    fn stats_match_bundle() {
+        let spec = SyntheticSpec {
+            name: "stats-test".into(),
+            seed: 2,
+            cardinalities: vec![10, 10, 10, 10],
+            zipf_exponent: 1.0,
+            planted: PlantedKind::assign(2, 2, 2, 6, 2),
+            field_weight_std: 0.3,
+            memorized_std: 1.0,
+            factorized_std: 1.0,
+            latent_dim: 2,
+            nonlinear_std: 0.0,
+            noise_std: 0.1,
+            target_pos_ratio: 0.3,
+        };
+        let bundle = DatasetBundle::from_spec(spec, 500, 1, 9);
+        let stats = DatasetStats::compute(&bundle);
+        assert_eq!(stats.samples, 500);
+        assert_eq!(stats.num_categorical, 4);
+        assert_eq!(stats.num_cross, 6);
+        assert_eq!(stats.orig_values, bundle.data.orig_vocab as u64);
+        assert_eq!(stats.cross_values, bundle.data.cross_vocab as u64);
+        assert!(stats.cross_values > stats.orig_values, "cross vocab should dominate");
+        assert!((0.1..0.6).contains(&stats.pos_ratio));
+    }
+
+    #[test]
+    fn rows_render() {
+        let header = DatasetStats::header();
+        assert!(header.contains("#cross value"));
+        assert!(DatasetStats::separator().starts_with('|'));
+    }
+}

@@ -1,0 +1,133 @@
+//! Zipf-distributed categorical value sampling.
+//!
+//! Real CTR logs have heavily skewed value frequencies — a few head values
+//! dominate, with a long tail of rare values. We model each field's value
+//! distribution as Zipf with exponent `s`, sampled by inverse-CDF binary
+//! search over a precomputed cumulative table.
+
+use rand::Rng;
+
+/// A Zipf(`s`) sampler over `{0, 1, ..., n-1}` where value `v` has
+/// probability proportional to `1 / (v + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `s = 0` gives the uniform distribution.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: u32, s: f64) -> Self {
+        assert!(n > 0, "Zipf over empty support");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for v in 0..n {
+            acc += 1.0 / ((v + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        // Guard against floating point: the last entry must be exactly 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Support size.
+    pub fn support(&self) -> u32 {
+        self.cdf.len() as u32
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut impl Rng) -> u32 {
+        let u: f64 = rng.gen();
+        self.quantile(u)
+    }
+
+    /// The value whose CDF bucket contains `u` in `[0, 1)`.
+    pub fn quantile(&self, u: f64) -> u32 {
+        // partition_point returns the first index with cdf[i] >= u... we
+        // want the first index where cdf[i] > u would skip mass at exact
+        // boundaries; use >= u which maps u=0 to value 0.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) as u32
+    }
+
+    /// Probability of value `v`.
+    pub fn pmf(&self, v: u32) -> f64 {
+        let v = v as usize;
+        if v == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[v] - self.cdf[v - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        for v in 0..4 {
+            assert!((z.pmf(v) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.2);
+        let total: f64 = (0..100).map(|v| z.pmf(v)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn head_dominates_with_high_s() {
+        let z = Zipf::new(1000, 1.5);
+        assert!(z.pmf(0) > 0.3);
+        assert!(z.pmf(999) < 1e-4);
+    }
+
+    #[test]
+    fn samples_follow_pmf() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 100_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for (v, &count) in counts.iter().enumerate() {
+            let empirical = count as f64 / n as f64;
+            let expected = z.pmf(v as u32);
+            assert!(
+                (empirical - expected).abs() < 0.01,
+                "value {v}: {empirical} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_edges() {
+        let z = Zipf::new(5, 1.0);
+        assert_eq!(z.quantile(0.0), 0);
+        assert_eq!(z.quantile(0.9999999), 4);
+    }
+
+    #[test]
+    fn single_value_support() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

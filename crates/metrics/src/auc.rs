@@ -1,0 +1,127 @@
+//! Tie-aware AUC (Area Under the ROC Curve).
+//!
+//! Computed exactly via the rank-sum (Mann–Whitney) identity:
+//! `AUC = (R_pos - n_pos (n_pos + 1) / 2) / (n_pos * n_neg)` where `R_pos`
+//! is the sum of the average ranks of the positive examples. Tied scores
+//! share the mean rank, so ties contribute 0.5 — the standard convention.
+
+/// AUC of scores against binary labels (`label > 0.5` is positive).
+///
+/// Returns 0.5 when either class is empty (an undefined AUC; 0.5 is the
+/// no-skill convention and keeps downstream aggregation total).
+pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "auc: length mismatch");
+    let n = scores.len();
+    if n == 0 {
+        return 0.5;
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut rank_sum_pos = 0.0f64;
+    let mut n_pos = 0u64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            if labels[k] > 0.5 {
+                rank_sum_pos += avg_rank;
+                n_pos += 1;
+            }
+        }
+        i = j + 1;
+    }
+    let n_neg = n as u64 - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    (rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert_eq!(auc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_separation_is_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert_eq!(auc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn all_tied_scores_are_half() {
+        let scores = [0.5; 6];
+        let labels = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_returns_half() {
+        assert_eq!(auc(&[0.1, 0.9], &[1.0, 1.0]), 0.5);
+        assert_eq!(auc(&[0.1, 0.9], &[0.0, 0.0]), 0.5);
+        assert_eq!(auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn known_partial_value() {
+        // Positives at scores 0.8, 0.4; negatives at 0.6, 0.2.
+        // Pairs: (0.8,0.6)=1, (0.8,0.2)=1, (0.4,0.6)=0, (0.4,0.2)=1 -> 3/4.
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!((auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_count_half() {
+        // Positive at 0.5, negative at 0.5: the only pair is tied -> 0.5.
+        let scores = [0.5, 0.5];
+        let labels = [1.0, 0.0];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invariant_to_monotone_transform() {
+        let scores = [0.1f32, 0.4, 0.35, 0.8, 0.65];
+        let labels = [0.0, 0.0, 1.0, 1.0, 1.0];
+        let a = auc(&scores, &labels);
+        let transformed: Vec<f32> = scores.iter().map(|&s| s * s * 10.0 + 1.0).collect();
+        let b = auc(&transformed, &labels);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_pairwise_bruteforce() {
+        // Compare with the O(n^2) definition on a pseudo-random input.
+        let scores: Vec<f32> = (0..50).map(|i| ((i * 37) % 17) as f32 / 17.0).collect();
+        let labels: Vec<f32> = (0..50).map(|i| ((i * 13) % 3 == 0) as u8 as f32).collect();
+        let fast = auc(&scores, &labels);
+        let mut wins = 0.0f64;
+        let mut total = 0.0f64;
+        for i in 0..50 {
+            for j in 0..50 {
+                if labels[i] > 0.5 && labels[j] < 0.5 {
+                    total += 1.0;
+                    if scores[i] > scores[j] {
+                        wins += 1.0;
+                    } else if scores[i] == scores[j] {
+                        wins += 0.5;
+                    }
+                }
+            }
+        }
+        assert!((fast - wins / total).abs() < 1e-10);
+    }
+}

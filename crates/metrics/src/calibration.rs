@@ -1,0 +1,137 @@
+//! Probability calibration diagnostics.
+//!
+//! CTR systems consume predicted probabilities directly (for bid pricing,
+//! expected-revenue ranking), so calibration matters beyond AUC. This
+//! module provides the expected calibration error (ECE) over equal-width
+//! probability bins and the raw reliability table behind it.
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityBin {
+    /// Inclusive lower edge of the predicted-probability bin.
+    pub lower: f64,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub upper: f64,
+    /// Number of predictions falling in the bin.
+    pub count: usize,
+    /// Mean predicted probability in the bin.
+    pub mean_predicted: f64,
+    /// Empirical positive rate in the bin.
+    pub mean_observed: f64,
+}
+
+/// Builds an equal-width reliability table with `bins` bins.
+///
+/// # Panics
+/// Panics if `bins == 0` or lengths mismatch.
+pub fn reliability_table(probs: &[f32], labels: &[f32], bins: usize) -> Vec<ReliabilityBin> {
+    assert!(bins > 0, "reliability_table: need at least one bin");
+    assert_eq!(probs.len(), labels.len(), "reliability_table: length mismatch");
+    let mut counts = vec![0usize; bins];
+    let mut sum_pred = vec![0.0f64; bins];
+    let mut sum_obs = vec![0.0f64; bins];
+    for (&p, &y) in probs.iter().zip(labels.iter()) {
+        let idx = (((p as f64) * bins as f64) as usize).min(bins - 1);
+        counts[idx] += 1;
+        sum_pred[idx] += p as f64;
+        sum_obs[idx] += y as f64;
+    }
+    (0..bins)
+        .map(|i| ReliabilityBin {
+            lower: i as f64 / bins as f64,
+            upper: (i + 1) as f64 / bins as f64,
+            count: counts[i],
+            mean_predicted: if counts[i] > 0 { sum_pred[i] / counts[i] as f64 } else { 0.0 },
+            mean_observed: if counts[i] > 0 { sum_obs[i] / counts[i] as f64 } else { 0.0 },
+        })
+        .collect()
+}
+
+/// Expected calibration error: the count-weighted mean absolute gap between
+/// predicted and observed positive rates across bins.
+pub fn expected_calibration_error(probs: &[f32], labels: &[f32], bins: usize) -> f64 {
+    let table = reliability_table(probs, labels, bins);
+    let n: usize = table.iter().map(|b| b.count).sum();
+    if n == 0 {
+        return 0.0;
+    }
+    table
+        .iter()
+        .map(|b| {
+            (b.count as f64 / n as f64) * (b.mean_predicted - b.mean_observed).abs()
+        })
+        .sum()
+}
+
+/// Calibration intercept: log-odds of the observed rate minus mean predicted
+/// log-odds. Positive values mean the model under-predicts.
+pub fn calibration_ratio(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "calibration_ratio: length mismatch");
+    if probs.is_empty() {
+        return 1.0;
+    }
+    let mean_pred: f64 = probs.iter().map(|&p| p as f64).sum::<f64>() / probs.len() as f64;
+    let mean_obs: f64 = labels.iter().map(|&y| y as f64).sum::<f64>() / labels.len() as f64;
+    if mean_pred <= 0.0 {
+        return 1.0;
+    }
+    mean_obs / mean_pred
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_has_zero_ece() {
+        // Predict exactly the empirical rate within each bin.
+        let mut probs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..1000 {
+            let p = 0.25f32;
+            probs.push(p);
+            labels.push(u8::from(i % 4 == 0) as f32);
+        }
+        let ece = expected_calibration_error(&probs, &labels, 10);
+        assert!(ece < 1e-9, "ece {ece}");
+        assert!((calibration_ratio(&probs, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overconfident_predictions_have_high_ece() {
+        // Predict 0.95 when the true rate is 0.5.
+        let probs = vec![0.95f32; 1000];
+        let labels: Vec<f32> = (0..1000).map(|i| (i % 2) as f32).collect();
+        let ece = expected_calibration_error(&probs, &labels, 10);
+        assert!((ece - 0.45).abs() < 1e-6, "ece {ece}");
+        assert!(calibration_ratio(&probs, &labels) < 0.6);
+    }
+
+    #[test]
+    fn reliability_table_bins_correctly() {
+        let probs = [0.05f32, 0.15, 0.95, 1.0];
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        let table = reliability_table(&probs, &labels, 10);
+        assert_eq!(table.len(), 10);
+        assert_eq!(table[0].count, 1);
+        assert_eq!(table[1].count, 1);
+        // p = 1.0 lands in the last bin (inclusive upper edge).
+        assert_eq!(table[9].count, 2);
+        assert_eq!(table[9].mean_observed, 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        assert_eq!(expected_calibration_error(&[], &[], 5), 0.0);
+        assert_eq!(calibration_ratio(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn ece_bounded_by_one() {
+        let probs = vec![1.0f32; 50];
+        let labels = vec![0.0f32; 50];
+        let ece = expected_calibration_error(&probs, &labels, 4);
+        assert!(ece <= 1.0 + 1e-12);
+        assert!(ece > 0.9);
+    }
+}

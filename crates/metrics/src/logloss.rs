@@ -1,0 +1,63 @@
+//! Mean binary cross-entropy of predicted probabilities (paper Eq. 13).
+
+use optinter_tensor::numerics::bce_from_prob;
+
+/// Mean log-loss of probabilities against binary labels.
+///
+/// Probabilities are clamped to `(1e-7, 1 - 1e-7)` before taking logs.
+///
+/// # Panics
+/// Panics on a length mismatch or empty input.
+pub fn log_loss(probs: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "log_loss: length mismatch");
+    assert!(!probs.is_empty(), "log_loss: empty input");
+    let total: f64 = probs
+        .iter()
+        .zip(labels.iter())
+        .map(|(&p, &y)| bce_from_prob(p, y) as f64)
+        .sum();
+    total / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uninformed_prediction_is_ln2() {
+        let probs = [0.5; 4];
+        let labels = [0.0, 1.0, 0.0, 1.0];
+        assert!((log_loss(&probs, &labels) - std::f64::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_prediction_near_zero() {
+        let probs = [0.9999, 0.0001];
+        let labels = [1.0, 0.0];
+        assert!(log_loss(&probs, &labels) < 1e-3);
+    }
+
+    #[test]
+    fn extreme_probs_do_not_produce_infinity() {
+        let probs = [1.0, 0.0];
+        let labels = [0.0, 1.0];
+        let ll = log_loss(&probs, &labels);
+        assert!(ll.is_finite());
+        assert!(ll > 10.0);
+    }
+
+    #[test]
+    fn base_rate_prediction_matches_entropy() {
+        // Predicting the base rate for every example gives the label entropy.
+        let labels: Vec<f32> = (0..100).map(|i| (i < 30) as u8 as f32).collect();
+        let probs = vec![0.3f32; 100];
+        let expected = -(0.3f64 * 0.3f64.ln() + 0.7 * 0.7f64.ln());
+        assert!((log_loss(&probs, &labels) - expected).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn empty_input_panics() {
+        log_loss(&[], &[]);
+    }
+}

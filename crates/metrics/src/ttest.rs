@@ -1,0 +1,246 @@
+//! Two-tailed t-tests for significance reporting (paper Sec. III-A5: ten
+//! repeats, two-tailed pairwise t-test, significance at p < 0.005).
+//!
+//! The Student-t CDF is evaluated through the regularized incomplete beta
+//! function `I_x(a, b)` computed with the Lentz continued-fraction method —
+//! no external statistics crate needed.
+
+use optinter_tensor::stats::{mean, sample_variance};
+
+/// Result of a t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom (Welch–Satterthwaite for the unpaired test).
+    pub df: f64,
+    /// Two-tailed p-value.
+    pub p_value: f64,
+}
+
+impl TTestResult {
+    /// Whether the difference is significant at level `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEFFS[0];
+        let t = x + 7.5;
+        for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via Lentz's continued
+/// fraction (Numerical Recipes style).
+fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation for faster convergence. The comparison is
+    // `<=` so the boundary case (a = b, x = 0.5) takes the direct branch
+    // instead of recursing onto itself forever.
+    if x <= (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - incomplete_beta(b, a, 1.0 - x)
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m_f = m as f64;
+        let m2 = 2.0 * m_f;
+        // Even step.
+        let aa = m_f * (b - m_f) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m_f) * (qab + m_f) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Two-tailed p-value of a t statistic with `df` degrees of freedom:
+/// `p = I_{df/(df+t^2)}(df/2, 1/2)`.
+pub fn two_tailed_p(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    if df <= 0.0 {
+        return 1.0;
+    }
+    incomplete_beta(df / 2.0, 0.5, df / (df + t * t)).clamp(0.0, 1.0)
+}
+
+/// Welch's unequal-variance t-test between two independent samples.
+pub fn welch_t_test(xs: &[f64], ys: &[f64]) -> TTestResult {
+    assert!(xs.len() >= 2 && ys.len() >= 2, "welch_t_test: need at least 2 samples per group");
+    let (mx, my) = (mean(xs), mean(ys));
+    let (vx, vy) = (sample_variance(xs), sample_variance(ys));
+    let (nx, ny) = (xs.len() as f64, ys.len() as f64);
+    let se_sq = vx / nx + vy / ny;
+    if se_sq <= 0.0 {
+        // Identical constants: no evidence of difference (or exact equality).
+        let t = if mx == my { 0.0 } else { f64::INFINITY };
+        return TTestResult { t, df: nx + ny - 2.0, p_value: if mx == my { 1.0 } else { 0.0 } };
+    }
+    let t = (mx - my) / se_sq.sqrt();
+    let df = se_sq * se_sq
+        / ((vx / nx).powi(2) / (nx - 1.0) + (vy / ny).powi(2) / (ny - 1.0));
+    TTestResult { t, df, p_value: two_tailed_p(t, df) }
+}
+
+/// Paired two-tailed t-test over matched samples (the paper's "pairwise"
+/// test across repeated runs with shared seeds).
+pub fn paired_t_test(xs: &[f64], ys: &[f64]) -> TTestResult {
+    assert_eq!(xs.len(), ys.len(), "paired_t_test: length mismatch");
+    assert!(xs.len() >= 2, "paired_t_test: need at least 2 pairs");
+    let diffs: Vec<f64> = xs.iter().zip(ys.iter()).map(|(&x, &y)| x - y).collect();
+    let md = mean(&diffs);
+    let vd = sample_variance(&diffs);
+    let n = diffs.len() as f64;
+    if vd <= 0.0 {
+        let t = if md == 0.0 { 0.0 } else { f64::INFINITY };
+        return TTestResult { t, df: n - 1.0, p_value: if md == 0.0 { 1.0 } else { 0.0 } };
+    }
+    let t = md / (vd / n).sqrt();
+    let df = n - 1.0;
+    TTestResult { t, df, p_value: two_tailed_p(t, df) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Gamma(5) = 24.
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        // Gamma(0.5) = sqrt(pi).
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_edges() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(1, 1) = x (uniform CDF).
+        assert!((incomplete_beta(1.0, 1.0, 0.37) - 0.37).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_cdf_known_quantiles() {
+        // df=10: t=2.228 is the 97.5% quantile -> two-tailed p = 0.05.
+        assert!((two_tailed_p(2.228, 10.0) - 0.05).abs() < 2e-3);
+        // df=1 (Cauchy): t=1 -> two-tailed p = 0.5.
+        assert!((two_tailed_p(1.0, 1.0) - 0.5).abs() < 1e-6);
+        // t=0 -> p=1.
+        assert!((two_tailed_p(0.0, 5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_detects_clear_difference() {
+        let xs = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02, 0.98, 1.08, 0.92, 1.0];
+        let ys = [2.0, 2.1, 1.9, 2.05, 1.95, 2.02, 1.98, 2.08, 1.92, 2.0];
+        let r = welch_t_test(&xs, &ys);
+        assert!(r.significant(0.005), "p = {}", r.p_value);
+        assert!(r.t < 0.0);
+    }
+
+    #[test]
+    fn welch_no_difference_high_p() {
+        let xs = [1.0, 1.2, 0.8, 1.1, 0.9];
+        let ys = [1.05, 1.15, 0.85, 1.02, 0.93];
+        let r = welch_t_test(&xs, &ys);
+        assert!(r.p_value > 0.3, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn paired_detects_consistent_small_shift() {
+        // A tiny but perfectly consistent improvement: paired test sees it.
+        let xs = [0.800, 0.810, 0.805, 0.795, 0.802, 0.808, 0.799, 0.803, 0.806, 0.801];
+        let ys: Vec<f64> = xs.iter().map(|&x| x - 0.001).collect();
+        let r = paired_t_test(&xs, &ys);
+        assert!(r.significant(0.005), "p = {}", r.p_value);
+        // Welch on the same data cannot: between-run variance dominates.
+        let w = welch_t_test(&xs, &ys);
+        assert!(!w.significant(0.005));
+    }
+
+    #[test]
+    fn identical_samples_p_one() {
+        let xs = [1.0, 2.0, 3.0];
+        let r = paired_t_test(&xs, &xs);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn constant_but_different_groups() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [2.0, 2.0, 2.0];
+        let r = welch_t_test(&xs, &ys);
+        assert_eq!(r.p_value, 0.0);
+    }
+}

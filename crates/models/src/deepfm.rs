@@ -1,0 +1,189 @@
+//! DeepFM (Guo et al. 2017): an FM component and a deep MLP sharing one
+//! embedding table; the two logits are summed (paper Table III: factorized,
+//! `<e_i, e_j>`, deep classifier).
+
+use crate::traits::{BaselineConfig, Category, CtrModel, Taxonomy};
+use optinter_data::Batch;
+use optinter_nn::{loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig, Parameter};
+use optinter_tensor::{numerics, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// DeepFM: shared-embedding FM + MLP.
+pub struct DeepFm {
+    linear: EmbeddingTable,
+    emb: EmbeddingTable,
+    bias: Parameter,
+    mlp: Mlp,
+    adam: Adam,
+    l2: f32,
+    num_fields: usize,
+    dim: usize,
+}
+
+impl DeepFm {
+    /// Creates a DeepFM for the dataset's vocabulary.
+    pub fn new(cfg: &BaselineConfig, orig_vocab: u32, num_fields: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xDEEF);
+        let k = cfg.embed_dim;
+        let emb = EmbeddingTable::new(&mut rng, orig_vocab as usize, k);
+        let mlp = Mlp::new(&mut rng, &MlpConfig {
+            input_dim: num_fields * k,
+            hidden: cfg.hidden.clone(),
+            output_dim: 1,
+            layer_norm: cfg.layer_norm,
+            ln_eps: 1e-5,
+        });
+        Self {
+            linear: EmbeddingTable::zeros(orig_vocab as usize, 1),
+            emb,
+            bias: Parameter::zeros(1, 1),
+            mlp,
+            adam: Adam::with_lr_eps(cfg.lr, cfg.adam_eps),
+            l2: cfg.l2,
+            num_fields,
+            dim: k,
+        }
+    }
+
+    /// FM-component logits plus the embedding matrix (shared with the MLP).
+    fn fm_logits(&self, batch: &Batch, emb: &Matrix) -> Vec<f32> {
+        let m = self.num_fields;
+        let k = self.dim;
+        let b = batch.len();
+        let bias = self.bias.value.get(0, 0);
+        let mut out = Vec::with_capacity(b);
+        for r in 0..b {
+            let mut z = bias;
+            for f in 0..m {
+                z += self.linear.row(batch.fields[r * m + f])[0];
+            }
+            let row = emb.row(r);
+            for c in 0..k {
+                let mut s = 0.0f32;
+                let mut q = 0.0f32;
+                for f in 0..m {
+                    let v = row[f * k + c];
+                    s += v;
+                    q += v * v;
+                }
+                z += 0.5 * (s * s - q);
+            }
+            out.push(z);
+        }
+        out
+    }
+}
+
+impl CtrModel for DeepFm {
+    fn name(&self) -> &'static str {
+        "DeepFM"
+    }
+
+    fn taxonomy(&self) -> Taxonomy {
+        Taxonomy {
+            category: Category::Factorized,
+            methods: "{f}",
+            factorization_fn: "<e_i, e_j>",
+            classifier: "Deep",
+        }
+    }
+
+    fn train_batch(&mut self, batch: &Batch) -> f32 {
+        let m = self.num_fields;
+        let k = self.dim;
+        let b = batch.len();
+        let emb = self.emb.lookup_fields(&batch.fields, m);
+        let deep_logits = self.mlp.forward(&emb);
+        let fm = self.fm_logits(batch, &emb);
+        let inv_b = 1.0 / b as f32;
+        let mut loss_value = 0.0f32;
+        let mut grad = Matrix::zeros(b, 1);
+        let mut grad_rows = Matrix::zeros(b, 1);
+        let mut dbias = 0.0f32;
+        for (r, &fm_logit) in fm.iter().enumerate().take(b) {
+            let z = deep_logits.get(r, 0) + fm_logit;
+            let y = batch.labels[r];
+            loss_value += numerics::stable_bce(z, y);
+            let g = numerics::stable_bce_grad(z, y) * inv_b;
+            grad.set(r, 0, g);
+            grad_rows.set(r, 0, g);
+            dbias += g;
+        }
+        // Deep path.
+        let mut d_emb = self.mlp.backward(&grad);
+        // FM path: dv_i += g * (S - v_i) per coordinate.
+        for r in 0..b {
+            let g = grad.get(r, 0);
+            let row = emb.row(r).to_vec();
+            let d_row = d_emb.row_mut(r);
+            for c in 0..k {
+                let mut s = 0.0f32;
+                for f in 0..m {
+                    s += row[f * k + c];
+                }
+                for f in 0..m {
+                    d_row[f * k + c] += g * (s - row[f * k + c]);
+                }
+            }
+        }
+        for f in 0..m {
+            let ids: Vec<u32> = (0..b).map(|r| batch.fields[r * m + f]).collect();
+            self.linear.accumulate_grad(&ids, &grad_rows);
+        }
+        self.emb.accumulate_grad_fields(&batch.fields, m, &d_emb);
+        self.bias.grad.set(0, 0, dbias);
+        self.adam.begin_step();
+        let mut adam = self.adam.clone();
+        self.mlp.visit_params(&mut |p| adam.step(p, 0.0));
+        adam.step(&mut self.bias, 0.0);
+        self.adam = adam;
+        self.linear.apply_adam(&self.adam, 0.0);
+        self.emb.apply_adam(&self.adam, self.l2);
+        loss_value * inv_b
+    }
+
+    fn predict(&mut self, batch: &Batch) -> Vec<f32> {
+        let emb = self.emb.lookup_fields(&batch.fields, self.num_fields);
+        let deep = self.mlp.forward(&emb);
+        let fm = self.fm_logits(batch, &emb);
+        let logits = Matrix::from_vec(
+            batch.len(),
+            1,
+            (0..batch.len()).map(|r| deep.get(r, 0) + fm[r]).collect(),
+        );
+        loss::probabilities(&logits)
+    }
+
+    fn num_params(&mut self) -> usize {
+        self.linear.num_params() + self.emb.num_params() + 1 + self.mlp.num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_model;
+    use optinter_data::Profile;
+
+    #[test]
+    fn deepfm_trains_and_beats_chance() {
+        let bundle = Profile::Tiny.bundle_with_rows(4000, 21);
+        let cfg = BaselineConfig::test_small();
+        let mut model = DeepFm::new(&cfg, bundle.data.orig_vocab, bundle.data.num_fields);
+        let r = run_model(&mut model, &bundle, &cfg);
+        assert!(r.auc > 0.6, "DeepFM AUC {}", r.auc);
+    }
+
+    #[test]
+    fn shares_one_embedding_table() {
+        let bundle = Profile::Tiny.bundle_with_rows(300, 22);
+        let cfg = BaselineConfig::test_small();
+        let mut model = DeepFm::new(&cfg, bundle.data.orig_vocab, bundle.data.num_fields);
+        let vocab = bundle.data.orig_vocab as usize;
+        // One dense table + one linear table, no duplicate embeddings.
+        let expected_emb = vocab * cfg.embed_dim + vocab + 1;
+        assert!(model.num_params() > expected_emb);
+        assert!(model.num_params() < expected_emb + 2 * vocab * cfg.embed_dim);
+    }
+}

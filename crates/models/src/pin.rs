@@ -1,0 +1,195 @@
+//! PIN — Product-network In Network (Qu et al. 2019): each feature pair is
+//! processed by its own micro network over `[e_i, e_j, e_i ⊙ e_j]`, and the
+//! micro-network outputs are concatenated with the original embeddings and
+//! fed to the top MLP. The micro network is the paper's "net(e_i, e_j)"
+//! learnable factorization function (Table III).
+
+use crate::traits::{BaselineConfig, Category, CtrModel, Taxonomy};
+use optinter_data::{Batch, PairIndexer};
+use optinter_nn::{bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig};
+use optinter_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// PIN: per-pair micro networks + top MLP.
+pub struct Pin {
+    emb: EmbeddingTable,
+    subnets: Vec<Mlp>,
+    top: Mlp,
+    adam: Adam,
+    l2: f32,
+    num_fields: usize,
+    dim: usize,
+    sub_out: usize,
+    pairs: PairIndexer,
+}
+
+impl Pin {
+    /// Creates a PIN. `cfg.subnet` gives the micro-network shape: all but
+    /// the last entry are hidden widths, the last is the output width
+    /// (Table IV: `sub-net=[40,5]`).
+    pub fn new(cfg: &BaselineConfig, orig_vocab: u32, num_fields: usize) -> Self {
+        assert!(cfg.subnet.len() >= 2, "PIN subnet needs at least [hidden, out]");
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x914);
+        let k = cfg.embed_dim;
+        let pairs = PairIndexer::new(num_fields);
+        let sub_hidden: Vec<usize> = cfg.subnet[..cfg.subnet.len() - 1].to_vec();
+        let sub_out = *cfg.subnet.last().expect("subnet non-empty");
+        let subnets: Vec<Mlp> = (0..pairs.num_pairs())
+            .map(|_| {
+                Mlp::new(&mut rng, &MlpConfig {
+                    input_dim: 3 * k,
+                    hidden: sub_hidden.clone(),
+                    output_dim: sub_out,
+                    layer_norm: cfg.layer_norm,
+                    ln_eps: 1e-5,
+                })
+            })
+            .collect();
+        let top = Mlp::new(&mut rng, &MlpConfig {
+            input_dim: num_fields * k + pairs.num_pairs() * sub_out,
+            hidden: cfg.hidden.clone(),
+            output_dim: 1,
+            layer_norm: cfg.layer_norm,
+            ln_eps: 1e-5,
+        });
+        let emb = EmbeddingTable::new(&mut rng, orig_vocab as usize, k);
+        Self {
+            emb,
+            subnets,
+            top,
+            adam: Adam::with_lr_eps(cfg.lr, cfg.adam_eps),
+            l2: cfg.l2,
+            num_fields,
+            dim: k,
+            sub_out,
+            pairs,
+        }
+    }
+
+    /// Builds the per-pair micro-network inputs `[e_i | e_j | e_i ⊙ e_j]`.
+    fn pair_input(&self, emb: &Matrix, i: usize, j: usize) -> Matrix {
+        let k = self.dim;
+        let b = emb.rows();
+        let mut x = Matrix::zeros(b, 3 * k);
+        for r in 0..b {
+            let row = emb.row(r);
+            let dst = x.row_mut(r);
+            for c in 0..k {
+                let (vi, vj) = (row[i * k + c], row[j * k + c]);
+                dst[c] = vi;
+                dst[k + c] = vj;
+                dst[2 * k + c] = vi * vj;
+            }
+        }
+        x
+    }
+
+    fn forward(&mut self, batch: &Batch) -> (Matrix, Matrix) {
+        let m = self.num_fields;
+        let k = self.dim;
+        let b = batch.len();
+        let emb = self.emb.lookup_fields(&batch.fields, m);
+        let mut input = Matrix::zeros(b, m * k + self.pairs.num_pairs() * self.sub_out);
+        input.copy_block_from(&emb, 0);
+        let pair_list: Vec<(usize, usize)> = self.pairs.iter().collect();
+        for (p, &(i, j)) in pair_list.iter().enumerate() {
+            let x = self.pair_input(&emb, i, j);
+            let out = self.subnets[p].forward(&x);
+            input.copy_block_from(&out, m * k + p * self.sub_out);
+        }
+        let logits = self.top.forward(&input);
+        (logits, emb)
+    }
+}
+
+impl CtrModel for Pin {
+    fn name(&self) -> &'static str {
+        "PIN"
+    }
+
+    fn taxonomy(&self) -> Taxonomy {
+        Taxonomy {
+            category: Category::Factorized,
+            methods: "{f}",
+            factorization_fn: "net(e_i, e_j)",
+            classifier: "Deep",
+        }
+    }
+
+    fn train_batch(&mut self, batch: &Batch) -> f32 {
+        let m = self.num_fields;
+        let k = self.dim;
+        let (logits, emb) = self.forward(batch);
+        let (loss_value, grad) = bce_with_logits(&logits, &batch.labels);
+        let d_input = self.top.backward(&grad);
+        let mut d_emb = d_input.block(0, m * k);
+        let pair_list: Vec<(usize, usize)> = self.pairs.iter().collect();
+        for (p, &(i, j)) in pair_list.iter().enumerate() {
+            let d_out = d_input.block(m * k + p * self.sub_out, self.sub_out);
+            let d_x = self.subnets[p].backward(&d_out);
+            // Split the micro-net input gradient back onto the embeddings.
+            for r in 0..d_x.rows() {
+                let row = emb.row(r);
+                let g = d_x.row(r);
+                let d_row = d_emb.row_mut(r);
+                for c in 0..k {
+                    let (vi, vj) = (row[i * k + c], row[j * k + c]);
+                    d_row[i * k + c] += g[c] + g[2 * k + c] * vj;
+                    d_row[j * k + c] += g[k + c] + g[2 * k + c] * vi;
+                }
+            }
+        }
+        self.emb.accumulate_grad_fields(&batch.fields, m, &d_emb);
+        self.adam.begin_step();
+        let mut adam = self.adam.clone();
+        self.top.visit_params(&mut |p| adam.step(p, 0.0));
+        for subnet in self.subnets.iter_mut() {
+            subnet.visit_params(&mut |p| adam.step(p, 0.0));
+        }
+        self.adam = adam;
+        self.emb.apply_adam(&self.adam, self.l2);
+        loss_value
+    }
+
+    fn predict(&mut self, batch: &Batch) -> Vec<f32> {
+        let (logits, _) = self.forward(batch);
+        loss::probabilities(&logits)
+    }
+
+    fn num_params(&mut self) -> usize {
+        let sub: usize = self.subnets.iter_mut().map(|s| s.num_params()).sum();
+        self.emb.num_params() + sub + self.top.num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_model;
+    use optinter_data::Profile;
+
+    #[test]
+    fn pin_trains_and_beats_chance() {
+        let bundle = Profile::Tiny.bundle_with_rows(3000, 25);
+        let cfg = BaselineConfig::test_small();
+        let mut model = Pin::new(&cfg, bundle.data.orig_vocab, bundle.data.num_fields);
+        let r = run_model(&mut model, &bundle, &cfg);
+        assert!(r.auc > 0.58, "PIN AUC {}", r.auc);
+    }
+
+    #[test]
+    fn has_one_subnet_per_pair() {
+        let bundle = Profile::Tiny.bundle_with_rows(300, 26);
+        let cfg = BaselineConfig::test_small();
+        let pin = Pin::new(&cfg, bundle.data.orig_vocab, bundle.data.num_fields);
+        assert_eq!(pin.subnets.len(), bundle.data.num_pairs);
+    }
+
+    #[test]
+    #[should_panic(expected = "subnet needs at least")]
+    fn rejects_degenerate_subnet() {
+        let cfg = BaselineConfig { subnet: vec![5], ..BaselineConfig::test_small() };
+        let _ = Pin::new(&cfg, 100, 4);
+    }
+}

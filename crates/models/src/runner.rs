@@ -1,0 +1,112 @@
+//! Shared training / evaluation loops for the model zoo.
+
+use crate::traits::{BaselineConfig, CtrModel};
+use optinter_data::{BatchIter, DatasetBundle};
+use optinter_metrics::{evaluate, EvalResult};
+use std::ops::Range;
+
+/// Result of a full train-and-evaluate run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Model name.
+    pub model: String,
+    /// Test AUC.
+    pub auc: f64,
+    /// Test log-loss.
+    pub log_loss: f64,
+    /// Trainable parameter count.
+    pub num_params: usize,
+    /// Mean training loss of the final epoch.
+    pub final_train_loss: f32,
+}
+
+/// Trains a model on the bundle's training split. Returns the mean training
+/// loss of the final epoch.
+pub fn train_model(model: &mut dyn CtrModel, bundle: &DatasetBundle, cfg: &BaselineConfig) -> f32 {
+    let mut final_loss = 0.0f32;
+    for epoch in 0..cfg.epochs.max(1) {
+        let mut sum = 0.0f32;
+        let mut count = 0usize;
+        let iter = BatchIter::new(
+            &bundle.data,
+            bundle.split.train.clone(),
+            cfg.batch_size,
+            Some(cfg.seed.wrapping_add(0xE90C + epoch as u64)),
+        )
+        .with_cross(model.needs_cross());
+        for batch in iter {
+            sum += model.train_batch(&batch);
+            count += 1;
+        }
+        final_loss = sum / count.max(1) as f32;
+        model.end_epoch(epoch);
+    }
+    final_loss
+}
+
+/// Evaluates a model over a row range.
+pub fn evaluate_model(
+    model: &mut dyn CtrModel,
+    bundle: &DatasetBundle,
+    range: Range<usize>,
+    batch_size: usize,
+) -> EvalResult {
+    let mut probs = Vec::with_capacity(range.len());
+    let mut labels = Vec::with_capacity(range.len());
+    let iter = BatchIter::new(&bundle.data, range, batch_size, None)
+        .with_cross(model.needs_cross());
+    for batch in iter {
+        probs.extend(model.predict(&batch));
+        labels.extend_from_slice(&batch.labels);
+    }
+    evaluate(&probs, &labels)
+}
+
+/// Trains on the training split with epoch-level early stopping on the
+/// validation split (patience 2), reporting the test metrics of the
+/// best-validation epoch. `cfg.epochs` is the epoch budget.
+pub fn run_model(model: &mut dyn CtrModel, bundle: &DatasetBundle, cfg: &BaselineConfig) -> RunReport {
+    let mut final_train_loss = 0.0f32;
+    let mut best_val = f64::NEG_INFINITY;
+    let mut best_test = None;
+    let mut since_best = 0usize;
+    for epoch in 0..cfg.epochs.max(1) {
+        let mut sum = 0.0f32;
+        let mut count = 0usize;
+        let iter = BatchIter::new(
+            &bundle.data,
+            bundle.split.train.clone(),
+            cfg.batch_size,
+            Some(cfg.seed.wrapping_add(0xE90C + epoch as u64)),
+        )
+        .with_cross(model.needs_cross());
+        for batch in iter {
+            sum += model.train_batch(&batch);
+            count += 1;
+        }
+        final_train_loss = sum / count.max(1) as f32;
+        model.end_epoch(epoch);
+        let val = evaluate_model(model, bundle, bundle.split.val.clone(), cfg.batch_size);
+        if val.auc > best_val {
+            best_val = val.auc;
+            best_test =
+                Some(evaluate_model(model, bundle, bundle.split.test.clone(), cfg.batch_size));
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= 2 {
+                break;
+            }
+        }
+    }
+    let eval = best_test.unwrap_or_else(|| {
+        evaluate_model(model, bundle, bundle.split.test.clone(), cfg.batch_size)
+    });
+    RunReport {
+        model: model.name().to_string(),
+        auc: eval.auc,
+        log_loss: eval.log_loss,
+        num_params: model.num_params(),
+        final_train_loss,
+    }
+}

@@ -1,0 +1,359 @@
+//! Embedding tables with sparse gradient accumulation.
+//!
+//! The embedding layer (paper Sec. II-B2) maps one-hot encoded categorical
+//! features to dense vectors: `e_i = E x_i`. Because each mini-batch touches
+//! only a tiny fraction of the vocabulary, gradients are accumulated
+//! per-touched-row and the Adam update is applied lazily to exactly those
+//! rows — the standard "sparse Adam" used by production CTR trainers.
+
+use crate::optim::Adam;
+use optinter_tensor::{init, Matrix};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// An embedding table of shape `[vocab, dim]` with sparse gradients.
+pub struct EmbeddingTable {
+    weight: Matrix,
+    /// Lazily allocated Adam first-moment state.
+    m: Option<Matrix>,
+    /// Lazily allocated Adam second-moment state.
+    v: Option<Matrix>,
+    /// Accumulated gradients for rows touched since the last update.
+    grads: HashMap<u32, Vec<f32>>,
+}
+
+impl EmbeddingTable {
+    /// Creates a Xavier-initialised table with `vocab` rows of size `dim`.
+    pub fn new(rng: &mut impl Rng, vocab: usize, dim: usize) -> Self {
+        Self {
+            weight: init::xavier_embedding(rng, vocab, dim),
+            m: None,
+            v: None,
+            grads: HashMap::new(),
+        }
+    }
+
+    /// Creates a zero-initialised table (useful for tests).
+    pub fn zeros(vocab: usize, dim: usize) -> Self {
+        Self { weight: Matrix::zeros(vocab, dim), m: None, v: None, grads: HashMap::new() }
+    }
+
+    /// Vocabulary size (number of rows).
+    pub fn vocab(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.weight.len()
+    }
+
+    /// Immutable view of row `idx`.
+    pub fn row(&self, idx: u32) -> &[f32] {
+        self.weight.row(idx as usize)
+    }
+
+    /// Mutable access to the raw weight matrix (tests / analysis only).
+    pub fn weight_mut(&mut self) -> &mut Matrix {
+        &mut self.weight
+    }
+
+    /// Immutable access to the raw weight matrix.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// Looks up a batch of single indices, producing `[B, dim]`.
+    pub fn lookup(&self, indices: &[u32]) -> Matrix {
+        let dim = self.dim();
+        let mut out = Matrix::zeros(indices.len(), dim);
+        for (r, &idx) in indices.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.weight.row(idx as usize));
+        }
+        out
+    }
+
+    /// Looks up a flattened multi-field batch.
+    ///
+    /// `flat` is row-major `[B * num_fields]`: example `b`'s field `f` index
+    /// lives at `flat[b * num_fields + f]`. Output is `[B, num_fields*dim]`
+    /// with field blocks concatenated in order — the paper's Eq. 7 layout.
+    pub fn lookup_fields(&self, flat: &[u32], num_fields: usize) -> Matrix {
+        assert!(num_fields > 0, "lookup_fields: need at least one field");
+        assert_eq!(flat.len() % num_fields, 0, "lookup_fields: ragged batch");
+        let batch = flat.len() / num_fields;
+        let dim = self.dim();
+        let mut out = Matrix::zeros(batch, num_fields * dim);
+        for b in 0..batch {
+            let row = out.row_mut(b);
+            for f in 0..num_fields {
+                let idx = flat[b * num_fields + f] as usize;
+                row[f * dim..(f + 1) * dim].copy_from_slice(self.weight.row(idx));
+            }
+        }
+        out
+    }
+
+    /// Mean-pooled lookup for multivalent features (paper Sec. II-B2):
+    /// each example has a *set* of values; their embeddings are averaged.
+    /// Empty sets produce a zero vector.
+    pub fn lookup_mean(&self, value_sets: &[Vec<u32>]) -> Matrix {
+        let dim = self.dim();
+        let mut out = Matrix::zeros(value_sets.len(), dim);
+        for (r, set) in value_sets.iter().enumerate() {
+            if set.is_empty() {
+                continue;
+            }
+            let row = out.row_mut(r);
+            for &idx in set {
+                for (o, &w) in row.iter_mut().zip(self.weight.row(idx as usize).iter()) {
+                    *o += w;
+                }
+            }
+            let inv = 1.0 / set.len() as f32;
+            for o in row.iter_mut() {
+                *o *= inv;
+            }
+        }
+        out
+    }
+
+    /// Accumulates gradients for a single-index lookup (inverse of
+    /// [`lookup`](Self::lookup)). `grad` has shape `[B, dim]`.
+    pub fn accumulate_grad(&mut self, indices: &[u32], grad: &Matrix) {
+        assert_eq!(grad.rows(), indices.len(), "accumulate_grad: batch mismatch");
+        assert_eq!(grad.cols(), self.dim(), "accumulate_grad: dim mismatch");
+        for (r, &idx) in indices.iter().enumerate() {
+            let acc = self.grads.entry(idx).or_insert_with(|| vec![0.0; self.weight.cols()]);
+            for (a, &g) in acc.iter_mut().zip(grad.row(r).iter()) {
+                *a += g;
+            }
+        }
+    }
+
+    /// Accumulates gradients for a multi-field lookup (inverse of
+    /// [`lookup_fields`](Self::lookup_fields)). `grad` has shape
+    /// `[B, num_fields*dim]`.
+    pub fn accumulate_grad_fields(&mut self, flat: &[u32], num_fields: usize, grad: &Matrix) {
+        let dim = self.dim();
+        assert_eq!(flat.len() % num_fields, 0, "accumulate_grad_fields: ragged batch");
+        let batch = flat.len() / num_fields;
+        assert_eq!(grad.rows(), batch, "accumulate_grad_fields: batch mismatch");
+        assert_eq!(grad.cols(), num_fields * dim, "accumulate_grad_fields: dim mismatch");
+        for b in 0..batch {
+            let grow = grad.row(b);
+            for f in 0..num_fields {
+                let idx = flat[b * num_fields + f];
+                let acc = self.grads.entry(idx).or_insert_with(|| vec![0.0; dim]);
+                for (a, &g) in acc.iter_mut().zip(grow[f * dim..(f + 1) * dim].iter()) {
+                    *a += g;
+                }
+            }
+        }
+    }
+
+    /// Accumulates gradients for a mean-pooled lookup (inverse of
+    /// [`lookup_mean`](Self::lookup_mean)).
+    pub fn accumulate_grad_mean(&mut self, value_sets: &[Vec<u32>], grad: &Matrix) {
+        assert_eq!(grad.rows(), value_sets.len(), "accumulate_grad_mean: batch mismatch");
+        assert_eq!(grad.cols(), self.dim(), "accumulate_grad_mean: dim mismatch");
+        for (r, set) in value_sets.iter().enumerate() {
+            if set.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / set.len() as f32;
+            for &idx in set {
+                let acc = self.grads.entry(idx).or_insert_with(|| vec![0.0; self.weight.cols()]);
+                for (a, &g) in acc.iter_mut().zip(grad.row(r).iter()) {
+                    *a += g * inv;
+                }
+            }
+        }
+    }
+
+    /// Number of rows with pending gradient accumulation.
+    pub fn touched_rows(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// Applies a lazy Adam update to every touched row, then clears the
+    /// accumulated gradients. Weight decay is applied to touched rows only
+    /// (the sparse-L2 convention).
+    pub fn apply_adam(&mut self, adam: &Adam, weight_decay: f32) {
+        if self.grads.is_empty() {
+            return;
+        }
+        let (rows, cols) = self.weight.shape();
+        if self.m.is_none() {
+            self.m = Some(Matrix::zeros(rows, cols));
+            self.v = Some(Matrix::zeros(rows, cols));
+        }
+        let (bc1, bc2) = adam.bias_corrections();
+        let m = self.m.as_mut().expect("adam m");
+        let v = self.v.as_mut().expect("adam v");
+        for (&idx, grad) in self.grads.iter() {
+            let idx = idx as usize;
+            adam.step_row(
+                self.weight.row_mut(idx),
+                grad,
+                m.row_mut(idx),
+                v.row_mut(idx),
+                weight_decay,
+                bc1,
+                bc2,
+            );
+        }
+        self.grads.clear();
+    }
+
+    /// Applies plain SGD to touched rows (tests / ablations), then clears.
+    pub fn apply_sgd(&mut self, lr: f32, weight_decay: f32) {
+        for (&idx, grad) in self.grads.iter() {
+            let row = self.weight.row_mut(idx as usize);
+            for (w, &g) in row.iter_mut().zip(grad.iter()) {
+                *w -= lr * (g + weight_decay * *w);
+            }
+        }
+        self.grads.clear();
+    }
+
+    /// Discards pending gradients without applying them.
+    pub fn clear_grads(&mut self) {
+        self.grads.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, DenseOptimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_table() -> EmbeddingTable {
+        let mut t = EmbeddingTable::zeros(4, 2);
+        for r in 0..4 {
+            for c in 0..2 {
+                t.weight_mut().set(r, c, (r * 2 + c) as f32);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn lookup_copies_rows() {
+        let t = small_table();
+        let out = t.lookup(&[2, 0, 2]);
+        assert_eq!(out.row(0), &[4.0, 5.0]);
+        assert_eq!(out.row(1), &[0.0, 1.0]);
+        assert_eq!(out.row(2), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn lookup_fields_layout() {
+        let t = small_table();
+        // 2 examples x 2 fields
+        let flat = [0u32, 1, 2, 3];
+        let out = t.lookup_fields(&flat, 2);
+        assert_eq!(out.shape(), (2, 4));
+        assert_eq!(out.row(0), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(out.row(1), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn lookup_mean_pools() {
+        let t = small_table();
+        let sets = vec![vec![0, 2], vec![], vec![3]];
+        let out = t.lookup_mean(&sets);
+        assert_eq!(out.row(0), &[2.0, 3.0]); // mean of [0,1] and [4,5]
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+        assert_eq!(out.row(2), &[6.0, 7.0]);
+    }
+
+    #[test]
+    fn grad_accumulation_sums_repeated_indices() {
+        let mut t = small_table();
+        let grad = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        t.accumulate_grad(&[1, 1], &grad);
+        assert_eq!(t.touched_rows(), 1);
+        t.apply_sgd(1.0, 0.0);
+        // Row 1 started [2,3]; grad sum [3,3] -> [−1, 0]
+        assert_eq!(t.row(1), &[-1.0, 0.0]);
+        assert_eq!(t.touched_rows(), 0);
+    }
+
+    #[test]
+    fn fields_grad_roundtrip() {
+        let mut t = small_table();
+        let flat = [0u32, 1];
+        let grad = Matrix::from_rows(&[&[0.5, 0.5, 1.5, 1.5]]);
+        t.accumulate_grad_fields(&flat, 2, &grad);
+        t.apply_sgd(1.0, 0.0);
+        assert_eq!(t.row(0), &[-0.5, 0.5]);
+        assert_eq!(t.row(1), &[0.5, 1.5]);
+    }
+
+    #[test]
+    fn mean_grad_splits_evenly() {
+        let mut t = small_table();
+        let sets = vec![vec![0, 1]];
+        let grad = Matrix::from_rows(&[&[2.0, 2.0]]);
+        t.accumulate_grad_mean(&sets, &grad);
+        t.apply_sgd(1.0, 0.0);
+        // Each of rows 0 and 1 receives grad 1.0.
+        assert_eq!(t.row(0), &[-1.0, 0.0]);
+        assert_eq!(t.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn untouched_rows_not_updated_by_adam() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = EmbeddingTable::new(&mut rng, 10, 4);
+        let before_row9 = t.row(9).to_vec();
+        let mut adam = Adam::with_lr_eps(0.01, 1e-8);
+        let grad = Matrix::filled(1, 4, 1.0);
+        t.accumulate_grad(&[3], &grad);
+        adam.begin_step();
+        t.apply_adam(&adam, 0.0);
+        assert_eq!(t.row(9), before_row9.as_slice());
+        // Touched row moved.
+        assert!(t.row(3).iter().zip(before_row9.iter()).any(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn sparse_adam_matches_dense_adam_for_always_touched_row() {
+        // A row touched every step must follow exactly the dense Adam
+        // trajectory of an equivalent parameter.
+        let mut table = EmbeddingTable::zeros(1, 3);
+        table.weight_mut().fill_with(1.0);
+        let mut dense = crate::param::Parameter::new(Matrix::filled(1, 3, 1.0));
+        let mut adam = Adam::with_lr_eps(0.05, 1e-8);
+        for step in 0..20 {
+            let g = 0.1 * (step as f32 + 1.0);
+            let grad = Matrix::filled(1, 3, g);
+            table.accumulate_grad(&[0], &grad);
+            dense.grad = grad.clone();
+            adam.begin_step();
+            table.apply_adam(&adam, 0.0);
+            adam.step(&mut dense, 0.0);
+        }
+        for (a, b) in table.row(0).iter().zip(dense.value.as_slice().iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn clear_grads_discards_pending() {
+        let mut t = small_table();
+        t.accumulate_grad(&[0], &Matrix::filled(1, 2, 1.0));
+        t.clear_grads();
+        let before = t.row(0).to_vec();
+        t.apply_sgd(1.0, 0.0);
+        assert_eq!(t.row(0), before.as_slice());
+    }
+}

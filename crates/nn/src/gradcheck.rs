@@ -1,0 +1,108 @@
+//! Finite-difference gradient checking.
+//!
+//! Every backward pass in the workspace is validated against central
+//! finite differences through these helpers. They are `pub` (not
+//! test-only) so downstream crates can gradient-check their own composite
+//! models in their test suites.
+
+use optinter_tensor::Matrix;
+
+/// Result of a gradient check: the worst absolute and relative error seen.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// Maximum absolute difference between analytic and numeric gradients.
+    pub max_abs_err: f32,
+    /// Maximum relative difference (normalised by magnitudes + 1e-6).
+    pub max_rel_err: f32,
+}
+
+impl GradCheckReport {
+    /// True when both error measures are below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_err < tol || self.max_rel_err < tol
+    }
+}
+
+/// Checks an analytic gradient of a scalar function with respect to a
+/// matrix, by central finite differences.
+///
+/// `f` must be a pure function of `x` (re-evaluable at perturbed points).
+/// `analytic` is the claimed gradient `d f / d x`, same shape as `x`.
+pub fn check_grad_matrix(
+    x: &Matrix,
+    analytic: &Matrix,
+    eps: f32,
+    mut f: impl FnMut(&Matrix) -> f32,
+) -> GradCheckReport {
+    assert_eq!(x.shape(), analytic.shape(), "gradcheck: shape mismatch");
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    let mut xp = x.clone();
+    for i in 0..x.len() {
+        let orig = xp.as_slice()[i];
+        xp.as_mut_slice()[i] = orig + eps;
+        let fp = f(&xp);
+        xp.as_mut_slice()[i] = orig - eps;
+        let fm = f(&xp);
+        xp.as_mut_slice()[i] = orig;
+        let numeric = (fp - fm) / (2.0 * eps);
+        let ana = analytic.as_slice()[i];
+        let abs = (numeric - ana).abs();
+        let rel = abs / (numeric.abs() + ana.abs() + 1e-6);
+        if abs > max_abs {
+            max_abs = abs;
+        }
+        if rel > max_rel {
+            max_rel = rel;
+        }
+    }
+    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel }
+}
+
+/// Convenience: asserts that the analytic gradient matches finite
+/// differences within `tol`, panicking with a diagnostic otherwise.
+pub fn assert_grad_matches(
+    x: &Matrix,
+    analytic: &Matrix,
+    eps: f32,
+    tol: f32,
+    f: impl FnMut(&Matrix) -> f32,
+) {
+    let report = check_grad_matrix(x, analytic, eps, f);
+    assert!(
+        report.passes(tol),
+        "gradient check failed: max_abs_err={} max_rel_err={} (tol {tol})",
+        report.max_abs_err,
+        report.max_rel_err
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient_passes() {
+        // f(x) = sum(x^2), grad = 2x.
+        let x = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let analytic = x.map(|v| 2.0 * v);
+        let report = check_grad_matrix(&x, &analytic, 1e-3, |m| m.frob_sq());
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn wrong_gradient_fails() {
+        let x = Matrix::from_rows(&[&[1.0, -2.0]]);
+        let wrong = x.map(|v| 3.0 * v);
+        let report = check_grad_matrix(&x, &wrong, 1e-3, |m| m.frob_sq());
+        assert!(!report.passes(1e-2));
+    }
+
+    #[test]
+    fn zero_function_zero_gradient() {
+        let x = Matrix::filled(2, 2, 5.0);
+        let analytic = Matrix::zeros(2, 2);
+        let report = check_grad_matrix(&x, &analytic, 1e-3, |_| 7.0);
+        assert!(report.max_abs_err < 1e-4);
+    }
+}

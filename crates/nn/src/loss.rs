@@ -1,0 +1,81 @@
+//! Training losses. The paper optimises mean binary cross-entropy / log-loss
+//! over mini-batches (Eq. 13); we fuse it with the sigmoid (Eq. 12) for
+//! numerical stability.
+
+use optinter_tensor::{numerics, Matrix};
+
+/// Fused sigmoid + mean binary-cross-entropy over a batch of logits.
+///
+/// `logits` has shape `[B, 1]`; `labels` has length `B` with values in
+/// `{0.0, 1.0}`. Returns `(mean_loss, grad)` where `grad[i] =
+/// (sigmoid(logit_i) - y_i) / B` — the gradient of the *mean* loss with
+/// respect to each logit, ready to feed into the classifier backward pass.
+pub fn bce_with_logits(logits: &Matrix, labels: &[f32]) -> (f32, Matrix) {
+    assert_eq!(logits.cols(), 1, "bce_with_logits: logits must be [B, 1]");
+    assert_eq!(logits.rows(), labels.len(), "bce_with_logits: batch size mismatch");
+    let b = labels.len();
+    assert!(b > 0, "bce_with_logits: empty batch");
+    let inv_b = 1.0 / b as f32;
+    let mut grad = Matrix::zeros(b, 1);
+    let mut loss = 0.0f32;
+    for (i, &y) in labels.iter().enumerate() {
+        let z = logits.get(i, 0);
+        loss += numerics::stable_bce(z, y);
+        grad.set(i, 0, numerics::stable_bce_grad(z, y) * inv_b);
+    }
+    (loss * inv_b, grad)
+}
+
+/// Predicted probabilities from a `[B, 1]` logit matrix.
+pub fn probabilities(logits: &Matrix) -> Vec<f32> {
+    assert_eq!(logits.cols(), 1, "probabilities: logits must be [B, 1]");
+    (0..logits.rows()).map(|i| numerics::sigmoid(logits.get(i, 0))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_logit_loss_is_ln2() {
+        let logits = Matrix::zeros(4, 1);
+        let labels = [0.0, 1.0, 0.0, 1.0];
+        let (loss, grad) = bce_with_logits(&logits, &labels);
+        assert!((loss - std::f32::consts::LN_2).abs() < 1e-6);
+        // grad = (0.5 - y)/4
+        assert!((grad.get(0, 0) - 0.125).abs() < 1e-6);
+        assert!((grad.get(1, 0) + 0.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_low_loss() {
+        let logits = Matrix::from_rows(&[&[10.0], &[-10.0]]);
+        let (loss, _) = bce_with_logits(&logits, &[1.0, 0.0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn confident_wrong_prediction_high_loss() {
+        let logits = Matrix::from_rows(&[&[10.0]]);
+        let (loss, _) = bce_with_logits(&logits, &[0.0]);
+        assert!(loss > 9.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.7], &[-1.3], &[2.0]]);
+        let labels = [1.0, 0.0, 0.0];
+        let (_, grad) = bce_with_logits(&logits, &labels);
+        crate::gradcheck::assert_grad_matches(&logits, &grad, 1e-3, 1e-2, |m| {
+            bce_with_logits(m, &labels).0
+        });
+    }
+
+    #[test]
+    fn probabilities_are_sigmoids() {
+        let logits = Matrix::from_rows(&[&[0.0], &[100.0]]);
+        let p = probabilities(&logits);
+        assert!((p[0] - 0.5).abs() < 1e-7);
+        assert!(p[1] > 0.999);
+    }
+}

@@ -1,0 +1,190 @@
+//! The paper's classifier: a stack of `LN(relu(W a + b))` hidden layers
+//! followed by a linear output to a single logit (Eqs. 9–12).
+
+use crate::layers::{Dense, LayerNorm, Relu};
+use crate::param::Parameter;
+use crate::Layer;
+use optinter_tensor::Matrix;
+use rand::Rng;
+
+/// Configuration for an [`Mlp`].
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Input feature dimension.
+    pub input_dim: usize,
+    /// Hidden layer widths, e.g. `[128, 128, 64]` (paper's `net`).
+    pub hidden: Vec<usize>,
+    /// Output dimension (1 for a CTR logit).
+    pub output_dim: usize,
+    /// Whether to apply layer normalisation after each ReLU (paper: `LN=true`).
+    pub layer_norm: bool,
+    /// LayerNorm epsilon.
+    pub ln_eps: f32,
+}
+
+impl MlpConfig {
+    /// The paper's default classifier shape for a given input size.
+    pub fn classifier(input_dim: usize, hidden: Vec<usize>) -> Self {
+        Self { input_dim, hidden, output_dim: 1, layer_norm: true, ln_eps: 1e-5 }
+    }
+}
+
+struct HiddenBlock {
+    dense: Dense,
+    relu: Relu,
+    norm: Option<LayerNorm>,
+}
+
+/// Multi-layer perceptron with ReLU activations and optional LayerNorm.
+pub struct Mlp {
+    blocks: Vec<HiddenBlock>,
+    output: Dense,
+    input_dim: usize,
+}
+
+impl Mlp {
+    /// Builds an MLP from a config with Xavier-initialised weights.
+    pub fn new(rng: &mut impl Rng, config: &MlpConfig) -> Self {
+        let mut blocks = Vec::with_capacity(config.hidden.len());
+        let mut prev = config.input_dim;
+        for &width in &config.hidden {
+            blocks.push(HiddenBlock {
+                dense: Dense::new(rng, prev, width),
+                relu: Relu::new(),
+                norm: config.layer_norm.then(|| LayerNorm::new(width, config.ln_eps)),
+            });
+            prev = width;
+        }
+        let output = Dense::new(rng, prev, config.output_dim);
+        Self { blocks, output, input_dim: config.input_dim }
+    }
+
+    /// Input dimension the MLP expects.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Number of hidden blocks.
+    pub fn depth(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+impl Layer for Mlp {
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut a = x.clone();
+        for block in self.blocks.iter_mut() {
+            a = block.dense.forward(&a);
+            a = block.relu.forward(&a);
+            if let Some(norm) = block.norm.as_mut() {
+                a = norm.forward(&a);
+            }
+        }
+        self.output.forward(&a)
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = self.output.backward(grad_out);
+        for block in self.blocks.iter_mut().rev() {
+            if let Some(norm) = block.norm.as_mut() {
+                g = norm.backward(&g);
+            }
+            g = block.relu.backward(&g);
+            g = block.dense.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        for block in self.blocks.iter_mut() {
+            block.dense.visit_params(f);
+            if let Some(norm) = block.norm.as_mut() {
+                norm.visit_params(f);
+            }
+        }
+        self.output.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::bce_with_logits;
+    use crate::optim::{Adam, DenseOptimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_is_batch_by_out() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mlp = Mlp::new(&mut rng, &MlpConfig::classifier(6, vec![8, 4]));
+        let x = Matrix::zeros(5, 6);
+        let y = mlp.forward(&x);
+        assert_eq!(y.shape(), (5, 1));
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = MlpConfig::classifier(6, vec![8, 4]);
+        let mut mlp = Mlp::new(&mut rng, &cfg);
+        // dense: 6*8+8, ln: 8+8, dense: 8*4+4, ln: 4+4, out: 4*1+1
+        let expected = (6 * 8 + 8) + 16 + (8 * 4 + 4) + 8 + 5;
+        assert_eq!(mlp.num_params(), expected);
+    }
+
+    #[test]
+    fn learns_xor_like_function() {
+        // A small MLP must fit a nonlinear function of two inputs; a linear
+        // model cannot, so convergence validates the full backward chain.
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = MlpConfig { input_dim: 2, hidden: vec![16, 16], output_dim: 1, layer_norm: true, ln_eps: 1e-5 };
+        let mut mlp = Mlp::new(&mut rng, &cfg);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let labels = [0.0, 1.0, 1.0, 0.0];
+        let mut opt = Adam::with_lr_eps(0.02, 1e-8);
+        let mut final_loss = f32::MAX;
+        for _ in 0..800 {
+            let logits = mlp.forward(&x);
+            let (loss, grad) = bce_with_logits(&logits, &labels);
+            final_loss = loss;
+            mlp.backward(&grad);
+            opt.begin_step();
+            mlp.visit_params(&mut |p| opt.step(p, 0.0));
+        }
+        assert!(final_loss < 0.05, "XOR loss did not converge: {final_loss}");
+    }
+
+    #[test]
+    fn gradcheck_full_mlp_input_gradient() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = MlpConfig { input_dim: 3, hidden: vec![5], output_dim: 1, layer_norm: true, ln_eps: 1e-3 };
+        let mut mlp = Mlp::new(&mut rng, &cfg);
+        let x = Matrix::from_rows(&[&[0.3, -0.5, 0.9], &[1.1, 0.2, -0.7]]);
+        let labels = [1.0, 0.0];
+        let logits = mlp.forward(&x);
+        let (_, grad) = bce_with_logits(&logits, &labels);
+        let dx = mlp.backward(&grad);
+        crate::gradcheck::assert_grad_matches(&x, &dx, 5e-3, 3e-2, |xp| {
+            let logits = mlp.forward(xp);
+            let mut loss = 0.0;
+            for (i, &y) in labels.iter().enumerate() {
+                loss += optinter_tensor::numerics::stable_bce(logits.get(i, 0), y);
+            }
+            loss / labels.len() as f32
+        });
+    }
+
+    #[test]
+    fn no_layernorm_variant_works() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = MlpConfig { input_dim: 4, hidden: vec![6], output_dim: 1, layer_norm: false, ln_eps: 1e-5 };
+        let mut mlp = Mlp::new(&mut rng, &cfg);
+        let x = Matrix::filled(2, 4, 0.5);
+        let y = mlp.forward(&x);
+        assert_eq!(y.shape(), (2, 1));
+        let g = Matrix::filled(2, 1, 1.0);
+        let dx = mlp.backward(&g);
+        assert_eq!(dx.shape(), (2, 4));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests on the NN substrate: every layer's backward pass
+//! must match finite differences for arbitrary shapes and inputs, and the
+//! optimizers must respect their invariants.
+
+#![cfg(test)]
+
+use crate::gradcheck::check_grad_matrix;
+use crate::layers::{Dense, LayerNorm, Relu};
+use crate::loss::bce_with_logits;
+use crate::optim::{Adam, DenseOptimizer, Grda, GrdaConfig};
+use crate::param::Parameter;
+use crate::Layer;
+use optinter_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dense_input_gradient_matches_fd(
+        seed in 0u64..1000,
+        batch in 1usize..4,
+        in_dim in 1usize..5,
+        out_dim in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = Dense::new(&mut rng, in_dim, out_dim);
+        let x = optinter_tensor::init::uniform(&mut rng, batch, in_dim, -1.0, 1.0);
+        // Scalar objective: sum of outputs.
+        let y = layer.forward(&x);
+        let ones = Matrix::filled(y.rows(), y.cols(), 1.0);
+        let dx = layer.backward(&ones);
+        let report = check_grad_matrix(&x, &dx, 1e-3, |xp| layer.forward(xp).sum());
+        prop_assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn layernorm_input_gradient_matches_fd(
+        seed in 0u64..1000,
+        batch in 1usize..3,
+        dim in 2usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = LayerNorm::new(dim, 1e-2);
+        // Weighted-sum objective to exercise off-diagonal terms.
+        let weights = optinter_tensor::init::uniform(&mut rng, batch, dim, -1.0, 1.0);
+        let x = optinter_tensor::init::uniform(&mut rng, batch, dim, -1.0, 1.0);
+        let y = layer.forward(&x);
+        let dy = weights.clone();
+        let dx = layer.backward(&dy);
+        let _ = y;
+        let report = check_grad_matrix(&x, &dx, 1e-3, |xp| {
+            let out = layer.forward(xp);
+            out.hadamard(&weights).sum()
+        });
+        prop_assert!(report.passes(3e-2), "{report:?}");
+    }
+
+    #[test]
+    fn relu_gradient_matches_fd(
+        data in proptest::collection::vec(-2.0f32..2.0, 12),
+    ) {
+        // Avoid kink points at exactly zero.
+        let data: Vec<f32> = data.into_iter()
+            .map(|v| if v.abs() < 0.05 { v + 0.1 } else { v })
+            .collect();
+        let x = Matrix::from_vec(3, 4, data);
+        let mut relu = Relu::new();
+        let _ = relu.forward(&x);
+        let dx = relu.backward(&Matrix::filled(3, 4, 1.0));
+        let report = check_grad_matrix(&x, &dx, 1e-3, |xp| {
+            let mut r = Relu::new();
+            r.forward(xp).sum()
+        });
+        prop_assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn bce_gradient_matches_fd(
+        logits in proptest::collection::vec(-4.0f32..4.0, 1..8),
+    ) {
+        let labels: Vec<f32> = logits.iter().enumerate()
+            .map(|(i, _)| (i % 2) as f32).collect();
+        let m = Matrix::from_vec(logits.len(), 1, logits);
+        let (_, grad) = bce_with_logits(&m, &labels);
+        let report = check_grad_matrix(&m, &grad, 1e-3, |mp| {
+            bce_with_logits(mp, &labels).0
+        });
+        prop_assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn adam_moves_opposite_to_gradient_sign(
+        g in proptest::collection::vec(-1.0f32..1.0, 4),
+    ) {
+        prop_assume!(g.iter().all(|v| v.abs() > 1e-3));
+        let mut p = Parameter::new(Matrix::zeros(1, 4));
+        p.grad = Matrix::from_vec(1, 4, g.clone());
+        let mut opt = Adam::with_lr_eps(0.01, 1e-8);
+        opt.begin_step();
+        opt.step(&mut p, 0.0);
+        for (w, gi) in p.value.as_slice().iter().zip(g.iter()) {
+            prop_assert!(w * gi <= 0.0, "weight {w} moved along gradient {gi}");
+        }
+    }
+
+    #[test]
+    fn grda_never_flips_accumulator_sign_via_threshold(
+        c in 0.0f32..1.0,
+        mu in 0.1f32..0.9,
+    ) {
+        // Soft-thresholding shrinks towards zero but never crosses it.
+        let mut p = Parameter::new(Matrix::from_vec(1, 2, vec![0.5, -0.5]));
+        let mut opt = Grda::new(GrdaConfig { lr: 0.01, c, mu });
+        for _ in 0..20 {
+            p.grad = Matrix::zeros(1, 2);
+            opt.begin_step();
+            opt.step(&mut p, 0.0);
+        }
+        prop_assert!(p.value.get(0, 0) >= 0.0);
+        prop_assert!(p.value.get(0, 1) <= 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Weight initialisation schemes.
+//!
+//! The paper (Sec. III-A4) uses Xavier/Glorot uniform initialisation for all
+//! dense layers and embedding tables, which keeps early-training activations
+//! and gradients well-scaled. Everything is seeded explicitly so that every
+//! experiment in the reproduction is deterministic.
+
+use crate::Matrix;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation for a `fan_in x fan_out` weight
+/// matrix: entries drawn from `U[-sqrt(6/(fan_in+fan_out)), +sqrt(...)]`.
+pub fn xavier_uniform(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, fan_in, fan_out, -bound, bound)
+}
+
+/// Xavier-style initialisation for an embedding table of shape
+/// `vocab x dim`, where fan-in/fan-out are taken as the embedding dimension
+/// on both sides (the common convention for lookup tables).
+pub fn xavier_embedding(rng: &mut impl Rng, vocab: usize, dim: usize) -> Matrix {
+    let bound = (6.0 / (2.0 * dim.max(1) as f32)).sqrt();
+    uniform(rng, vocab, dim, -bound, bound)
+}
+
+/// Matrix with entries drawn from `U[lo, hi)`.
+pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+    let dist = Uniform::new(lo, hi);
+    let data = (0..rows * cols).map(|_| dist.sample(rng)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Matrix with i.i.d. standard-normal entries scaled by `std`.
+///
+/// Uses the Box–Muller transform so we only depend on a uniform source.
+pub fn normal(rng: &mut impl Rng, rows: usize, cols: usize, std: f32) -> Matrix {
+    let mut data = Vec::with_capacity(rows * cols);
+    while data.len() < rows * cols {
+        let (z0, z1) = box_muller(rng);
+        data.push(z0 * std);
+        if data.len() < rows * cols {
+            data.push(z1 * std);
+        }
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// One pair of independent standard-normal samples via Box–Muller.
+pub fn box_muller(rng: &mut impl Rng) -> (f32, f32) {
+    // Avoid u1 == 0 which would make ln(u1) = -inf.
+    let u1: f32 = loop {
+        let u: f32 = rng.gen();
+        if u > f32::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f32 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fan_in = 50;
+        let fan_out = 30;
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let m = xavier_uniform(&mut rng, fan_in, fan_out);
+        assert_eq!(m.shape(), (fan_in, fan_out));
+        assert!(m.as_slice().iter().all(|&v| v >= -bound && v < bound));
+    }
+
+    #[test]
+    fn xavier_is_seed_deterministic() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(7), 10, 10);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(7), 10, 10);
+        assert_eq!(a, b);
+        let c = xavier_uniform(&mut StdRng::seed_from_u64(8), 10, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = normal(&mut rng, 100, 100, 2.0);
+        let mean = m.mean();
+        let var = m.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+            / m.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn normal_odd_element_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = normal(&mut rng, 3, 3, 1.0);
+        assert_eq!(m.len(), 9);
+        assert!(m.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn embedding_init_bound_depends_on_dim_only() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dim = 16;
+        let bound = (6.0 / (2.0 * dim as f32)).sqrt();
+        let m = xavier_embedding(&mut rng, 1000, dim);
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= bound));
+    }
+}

@@ -1,0 +1,34 @@
+//! Dense linear-algebra substrate for the OptInter reproduction.
+//!
+//! This crate provides the minimal numerical kernel every other crate builds
+//! on: a row-major [`Matrix`] of `f32`, the handful of BLAS-like operations
+//! needed by manual backpropagation ([`Matrix::matmul`],
+//! [`Matrix::matmul_at_b`], [`Matrix::matmul_a_bt`], AXPY-style updates),
+//! numerically stable scalar functions ([`numerics`]), weight initialisation
+//! ([`init`]), and small statistics helpers ([`stats`]).
+//!
+//! Everything is deliberately simple, allocation-conscious and
+//! single-threaded: the reproduction targets deterministic CPU training, and
+//! the hot loops are written so LLVM can auto-vectorise them (inner loops
+//! over contiguous row slices, no bounds checks in the `k`-loop thanks to
+//! slice re-borrows).
+//!
+//! # Example
+//!
+//! ```
+//! use optinter_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! ```
+
+pub mod init;
+pub mod matrix;
+pub mod numerics;
+pub mod ops;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use numerics::{log1p_exp, sigmoid, stable_bce, stable_bce_grad};

@@ -1,0 +1,140 @@
+//! Numerically stable scalar functions used throughout training and
+//! evaluation.
+//!
+//! CTR training is dominated by the sigmoid + binary-cross-entropy pipeline
+//! (paper Eq. 12–13). Computing `log(sigmoid(x))` naively overflows for
+//! moderately large logits, so every caller in the workspace goes through
+//! the fused, stable forms here.
+
+/// Stable sigmoid: `1 / (1 + e^-x)` without overflow for large `|x|`.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// Stable `log(1 + e^x)` (softplus).
+#[inline]
+pub fn log1p_exp(x: f32) -> f32 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Binary cross-entropy of a logit against a {0,1} label, computed in the
+/// fused, overflow-free form:
+///
+/// `BCE(y, logit) = log(1 + e^logit) - y * logit`
+///
+/// which equals `-(y log p + (1-y) log(1-p))` for `p = sigmoid(logit)`.
+#[inline]
+pub fn stable_bce(logit: f32, label: f32) -> f32 {
+    log1p_exp(logit) - label * logit
+}
+
+/// Gradient of [`stable_bce`] with respect to the logit: `sigmoid(logit) - y`.
+#[inline]
+pub fn stable_bce_grad(logit: f32, label: f32) -> f32 {
+    sigmoid(logit) - label
+}
+
+/// Clamps a probability into `(eps, 1 - eps)` for safe `ln` calls.
+#[inline]
+pub fn clamp_prob(p: f32, eps: f32) -> f32 {
+    p.clamp(eps, 1.0 - eps)
+}
+
+/// Binary cross-entropy of a *probability* against a {0,1} label with
+/// clamping. Prefer [`stable_bce`] when a logit is available.
+#[inline]
+pub fn bce_from_prob(p: f32, label: f32) -> f32 {
+    let p = clamp_prob(p, 1e-7);
+    -(label * p.ln() + (1.0 - label) * (1.0 - p).ln())
+}
+
+/// Inverse sigmoid (logit function) with clamping.
+#[inline]
+pub fn logit(p: f32) -> f32 {
+    let p = clamp_prob(p, 1e-7);
+    (p / (1.0 - p)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_basic_values() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+    }
+
+    #[test]
+    fn sigmoid_no_overflow_extremes() {
+        assert_eq!(sigmoid(1e5), 1.0);
+        assert_eq!(sigmoid(-1e5), 0.0);
+        assert!(sigmoid(f32::MAX).is_finite());
+        assert!(sigmoid(f32::MIN).is_finite());
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        for x in [-7.5f32, -1.0, -0.25, 0.5, 3.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log1p_exp_matches_naive_in_safe_range() {
+        for x in [-5.0f32, -1.0, 0.0, 1.0, 5.0] {
+            let naive = (1.0 + x.exp()).ln();
+            assert!((log1p_exp(x) - naive).abs() < 1e-5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn log1p_exp_no_overflow() {
+        assert!((log1p_exp(100.0) - 100.0).abs() < 1e-3);
+        assert!(log1p_exp(-100.0) < 1e-6);
+    }
+
+    #[test]
+    fn stable_bce_matches_prob_form() {
+        for &(logit_v, y) in &[(0.0f32, 1.0f32), (2.0, 0.0), (-3.0, 1.0), (0.7, 0.0)] {
+            let p = sigmoid(logit_v);
+            let expected = bce_from_prob(p, y);
+            assert!((stable_bce(logit_v, y) - expected).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn stable_bce_grad_is_residual() {
+        assert!((stable_bce_grad(0.0, 1.0) + 0.5).abs() < 1e-7);
+        assert!((stable_bce_grad(0.0, 0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn stable_bce_grad_matches_finite_difference() {
+        let eps = 1e-3f32;
+        for &(x, y) in &[(0.3f32, 1.0f32), (-1.2, 0.0), (2.5, 1.0)] {
+            let num = (stable_bce(x + eps, y) - stable_bce(x - eps, y)) / (2.0 * eps);
+            let ana = stable_bce_grad(x, y);
+            assert!((num - ana).abs() < 1e-3, "x={x} y={y} num={num} ana={ana}");
+        }
+    }
+
+    #[test]
+    fn logit_inverts_sigmoid() {
+        for p in [0.01f32, 0.2, 0.5, 0.8, 0.99] {
+            assert!((sigmoid(logit(p)) - p).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Row-wise tensor operations: softmax, log-softmax, and reductions used by
+//! the Gumbel-softmax combination block and by layer normalisation.
+
+use crate::Matrix;
+
+/// In-place row-wise softmax with temperature.
+///
+/// Each row `x` becomes `exp((x - max(x)) / tau) / sum(...)`. Subtracting the
+/// row max keeps the exponentials bounded for any input scale.
+///
+/// # Panics
+/// Panics if `tau <= 0`.
+pub fn softmax_rows_inplace(m: &mut Matrix, tau: f32) {
+    assert!(tau > 0.0, "softmax temperature must be positive, got {tau}");
+    let cols = m.cols();
+    if cols == 0 {
+        return;
+    }
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = ((*v - max) / tau).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Row-wise softmax over a plain slice, returning probabilities.
+pub fn softmax_slice(x: &[f32], tau: f32) -> Vec<f32> {
+    assert!(tau > 0.0, "softmax temperature must be positive, got {tau}");
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut out: Vec<f32> = x.iter().map(|&v| ((v - max) / tau).exp()).collect();
+    let sum: f32 = out.iter().sum();
+    let inv = 1.0 / sum;
+    for v in out.iter_mut() {
+        *v *= inv;
+    }
+    out
+}
+
+/// Backward pass of softmax for a single row.
+///
+/// Given probabilities `p = softmax(x / tau)` and upstream gradient `dp`,
+/// writes `dx` where `dx_i = (p_i / tau) * (dp_i - sum_j dp_j p_j)`.
+pub fn softmax_backward_slice(p: &[f32], dp: &[f32], tau: f32, dx: &mut [f32]) {
+    debug_assert_eq!(p.len(), dp.len());
+    debug_assert_eq!(p.len(), dx.len());
+    let inner: f32 = p.iter().zip(dp.iter()).map(|(&pi, &di)| pi * di).sum();
+    let inv_tau = 1.0 / tau;
+    for ((d, &pi), &di) in dx.iter_mut().zip(p.iter()).zip(dp.iter()) {
+        *d = pi * inv_tau * (di - inner);
+    }
+}
+
+/// Index of the maximum element of a slice (first on ties).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn argmax(x: &[f32]) -> usize {
+    assert!(!x.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    let mut best_v = x[0];
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v > best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+/// Row-wise mean and (biased) variance, as used by layer normalisation.
+pub fn row_mean_var(row: &[f32]) -> (f32, f32) {
+    let n = row.len() as f32;
+    if row.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = row.iter().sum::<f32>() / n;
+    let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        softmax_rows_inplace(&mut m, 1.0);
+        for r in 0..m.rows() {
+            assert_close(m.row(r).iter().sum::<f32>(), 1.0, 1e-6);
+            assert!(m.row(r).iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax_slice(&[1.0, 2.0, 3.0], 1.0);
+        let b = softmax_slice(&[101.0, 102.0, 103.0], 1.0);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_close(*x, *y, 1e-6);
+        }
+    }
+
+    #[test]
+    fn low_temperature_approaches_onehot() {
+        let p = softmax_slice(&[1.0, 2.0, 3.0], 0.01);
+        assert!(p[2] > 0.999);
+    }
+
+    #[test]
+    fn high_temperature_approaches_uniform() {
+        let p = softmax_slice(&[1.0, 2.0, 3.0], 1e4);
+        for &v in &p {
+            assert_close(v, 1.0 / 3.0, 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_inputs() {
+        let p = softmax_slice(&[1e4, 1e4 + 1.0], 1.0);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert_close(p[0] + p[1], 1.0, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn softmax_rejects_nonpositive_tau() {
+        softmax_slice(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let x = [0.5f32, -1.0, 2.0];
+        let tau = 0.7;
+        let dp = [0.3f32, -0.2, 0.9];
+        let p = softmax_slice(&x, tau);
+        let mut dx = [0.0f32; 3];
+        softmax_backward_slice(&p, &dp, tau, &mut dx);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let pp = softmax_slice(&xp, tau);
+            let pm = softmax_slice(&xm, tau);
+            let mut num = 0.0;
+            for j in 0..3 {
+                num += dp[j] * (pp[j] - pm[j]) / (2.0 * eps);
+            }
+            assert_close(dx[i], num, 2e-3);
+        }
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn row_mean_var_known() {
+        let (m, v) = row_mean_var(&[1.0, 2.0, 3.0, 4.0]);
+        assert_close(m, 2.5, 1e-6);
+        assert_close(v, 1.25, 1e-6);
+    }
+}

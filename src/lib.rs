@@ -1,0 +1,38 @@
+//! # OptInter — Memorize, Factorize, or be Naïve
+//!
+//! A from-scratch Rust reproduction of *"Memorize, Factorize, or be Naïve:
+//! Learning Optimal Feature Interaction Methods for CTR Prediction"*
+//! (ICDE 2022). This umbrella crate re-exports every subsystem:
+//!
+//! - [`tensor`] — dense matrices and numerics;
+//! - [`nn`] — layers with manual backprop, optimizers, embedding tables;
+//! - [`data`] — planted-structure synthetic click logs, cross-product
+//!   transform, vocabularies, batching;
+//! - [`metrics`] — AUC, log-loss, mutual information, t-tests;
+//! - [`core`] — the OptInter framework: combination block, Gumbel-softmax
+//!   search, two-stage training;
+//! - [`models`] — the baseline zoo (LR, Poly2, FM family, FNN, PNNs,
+//!   DeepFM, PIN, AutoFIS).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use optinter::core::{run_two_stage, OptInterConfig, SearchStrategy};
+//! use optinter::data::Profile;
+//!
+//! // Generate a small planted-structure dataset, search for the optimal
+//! // per-pair interaction methods, re-train and evaluate.
+//! let bundle = Profile::Tiny.bundle_with_rows(2_000, 7);
+//! let cfg = OptInterConfig::test_small();
+//! let report = run_two_stage(&bundle, &cfg, SearchStrategy::Joint);
+//! assert!(report.auc > 0.5);
+//! let arch = report.architecture.expect("two-stage yields an architecture");
+//! assert_eq!(arch.num_pairs(), bundle.data.num_pairs);
+//! ```
+
+pub use optinter_core as core;
+pub use optinter_data as data;
+pub use optinter_metrics as metrics;
+pub use optinter_models as models;
+pub use optinter_nn as nn;
+pub use optinter_tensor as tensor;

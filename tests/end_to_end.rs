@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: the full OptInter pipeline from synthetic
+//! data generation through search, re-training and evaluation.
+
+use optinter::core::{
+    run_two_stage, search_architecture, train_fixed, Architecture, Method, OptInterConfig,
+    SearchStrategy,
+};
+use optinter::data::Profile;
+use optinter::metrics::auc;
+
+fn bundle() -> optinter::data::DatasetBundle {
+    Profile::Tiny.bundle_with_rows(4_000, 99)
+}
+
+fn cfg() -> OptInterConfig {
+    OptInterConfig { seed: 17, ..OptInterConfig::test_small() }
+}
+
+#[test]
+fn oracle_logits_upper_bound_every_model() {
+    let b = bundle();
+    let test = b.split.test.clone();
+    let bayes = auc(&b.oracle_logits[test.clone()], &b.data.labels[test]);
+    let (_, report) =
+        train_fixed(&b, &cfg(), Architecture::uniform(Method::Memorize, b.data.num_pairs));
+    assert!(
+        bayes > report.auc,
+        "Bayes-oracle AUC {bayes} must upper-bound trained AUC {}",
+        report.auc
+    );
+    assert!(bayes > 0.8, "planted structure should be strongly predictive, got {bayes}");
+}
+
+#[test]
+fn two_stage_beats_all_naive() {
+    let b = bundle();
+    let c = cfg();
+    let (_, naive) =
+        train_fixed(&b, &c, Architecture::uniform(Method::Naive, b.data.num_pairs));
+    let optinter = run_two_stage(&b, &c, SearchStrategy::Joint);
+    assert!(
+        optinter.auc > naive.auc - 0.005,
+        "OptInter ({}) should not lose to all-naive ({})",
+        optinter.auc,
+        naive.auc
+    );
+}
+
+#[test]
+fn searched_architecture_is_mixed_not_degenerate() {
+    let b = bundle();
+    let outcome = search_architecture(&b, &cfg(), SearchStrategy::Joint);
+    let counts = outcome.architecture.counts();
+    // On a dataset planted with all three kinds, the search should use at
+    // least two different methods.
+    let used = counts.iter().filter(|&&c| c > 0).count();
+    assert!(used >= 2, "degenerate architecture: {counts:?}");
+}
+
+#[test]
+fn search_beats_random_architectures_on_average() {
+    let b = bundle();
+    let c = cfg();
+    let searched = run_two_stage(&b, &c, SearchStrategy::Joint);
+    let mut random_sum = 0.0;
+    let trials = 3;
+    for t in 0..trials {
+        let r = run_two_stage(&b, &c, SearchStrategy::Random { seed: 1000 + t });
+        random_sum += r.auc;
+    }
+    let random_mean = random_sum / trials as f64;
+    assert!(
+        searched.auc > random_mean - 0.01,
+        "searched ({}) should be at least on par with random mean ({})",
+        searched.auc,
+        random_mean
+    );
+}
+
+#[test]
+fn optinter_uses_fewer_params_than_all_memorize() {
+    let b = bundle();
+    let c = cfg();
+    let (_, mem) =
+        train_fixed(&b, &c, Architecture::uniform(Method::Memorize, b.data.num_pairs));
+    let searched = run_two_stage(&b, &c, SearchStrategy::Joint);
+    let arch = searched.architecture.as_ref().expect("architecture");
+    if arch.counts()[0] < b.data.num_pairs {
+        assert!(
+            searched.num_params < mem.num_params,
+            "partial memorization ({}) must use fewer params than OptInter-M ({})",
+            searched.num_params,
+            mem.num_params
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_reproducible_end_to_end() {
+    let b = bundle();
+    let c = cfg();
+    let r1 = run_two_stage(&b, &c, SearchStrategy::Joint);
+    let r2 = run_two_stage(&b, &c, SearchStrategy::Joint);
+    assert_eq!(r1.auc, r2.auc);
+    assert_eq!(r1.architecture, r2.architecture);
+}
