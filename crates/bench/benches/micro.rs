@@ -9,14 +9,16 @@ use optinter_core::{Architecture, Method, OptInterConfig, OptInterNet, Supernet}
 use optinter_data::{BatchIter, Profile};
 use optinter_models::{build_model, BaselineConfig, ModelKind};
 use optinter_nn::{Adam, EmbeddingTable};
-use optinter_tensor::{init, Matrix};
+use optinter_tensor::{init, Matrix, Pool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("tensor");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     let mut rng = StdRng::seed_from_u64(0);
     for &(m, k, n) in &[(128usize, 256usize, 64usize), (256, 720, 64)] {
         let a = init::uniform(&mut rng, m, k, -1.0, 1.0);
@@ -25,20 +27,30 @@ fn bench_matmul(c: &mut Criterion) {
             let mut out = Matrix::zeros(m, n);
             bench.iter(|| a.matmul_into(&b, &mut out));
         });
+        for threads in [2usize, 4] {
+            let pool = Pool::new(threads);
+            group.bench_function(format!("matmul_{m}x{k}x{n}_t{threads}"), |bench| {
+                bench.iter(|| a.matmul_pooled(&b, &pool));
+            });
+        }
     }
     group.finish();
 }
 
 fn bench_embedding(c: &mut Criterion) {
     let mut group = c.benchmark_group("embedding");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     let mut rng = StdRng::seed_from_u64(1);
     let table_size = 50_000;
     let dim = 16;
     let batch = 128;
     let fields = 12;
     let mut table = EmbeddingTable::new(&mut rng, table_size, dim);
-    let ids: Vec<u32> = (0..batch * fields).map(|i| (i * 37 % table_size) as u32).collect();
+    let ids: Vec<u32> = (0..batch * fields)
+        .map(|i| (i * 37 % table_size) as u32)
+        .collect();
     group.bench_function("lookup_fields_128x12x16", |b| {
         b.iter(|| table.lookup_fields(&ids, fields));
     });
@@ -55,7 +67,9 @@ fn bench_embedding(c: &mut Criterion) {
 
 fn bench_gumbel_and_auc(c: &mut Criterion) {
     let mut group = c.benchmark_group("metrics");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     let mut rng = StdRng::seed_from_u64(2);
     let logits = [0.3f32, -0.5, 1.1];
     group.bench_function("gumbel_sample_x66", |b| {
@@ -66,8 +80,12 @@ fn bench_gumbel_and_auc(c: &mut Criterion) {
             }
         });
     });
-    let scores: Vec<f32> = (0..10_000).map(|i| ((i * 37) % 997) as f32 / 997.0).collect();
-    let labels: Vec<f32> = (0..10_000).map(|i| ((i * 13) % 5 == 0) as u8 as f32).collect();
+    let scores: Vec<f32> = (0..10_000)
+        .map(|i| ((i * 37) % 997) as f32 / 997.0)
+        .collect();
+    let labels: Vec<f32> = (0..10_000)
+        .map(|i| ((i * 13) % 5 == 0) as u8 as f32)
+        .collect();
     group.bench_function("auc_10k", |b| {
         b.iter(|| optinter_metrics::auc(&scores, &labels));
     });
@@ -76,7 +94,9 @@ fn bench_gumbel_and_auc(c: &mut Criterion) {
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("data");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("generate_and_encode_tiny_2k", |b| {
         b.iter(|| Profile::Tiny.bundle_with_rows(2_000, 7));
     });
@@ -85,11 +105,20 @@ fn bench_generation(c: &mut Criterion) {
 
 fn bench_train_steps(c: &mut Criterion) {
     let mut group = c.benchmark_group("train_step");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let bundle = Profile::Tiny.bundle_with_rows(2_000, 9);
-    let batch = BatchIter::new(&bundle.data, 0..128, 128, None).next().expect("batch");
+    let batch = BatchIter::new(&bundle.data, 0..128, 128, None)
+        .next()
+        .expect("batch");
     let bcfg = BaselineConfig::test_small();
-    for kind in [ModelKind::Fm, ModelKind::Fnn, ModelKind::Ipnn, ModelKind::Pin] {
+    for kind in [
+        ModelKind::Fm,
+        ModelKind::Fnn,
+        ModelKind::Ipnn,
+        ModelKind::Pin,
+    ] {
         group.bench_function(format!("{}_batch128", kind.name()), |b| {
             b.iter_batched(
                 || build_model(kind, &bcfg, &bundle.data),
@@ -102,7 +131,9 @@ fn bench_train_steps(c: &mut Criterion) {
     let dims = DataDims::of(&bundle.data);
     group.bench_function("OptInterNet_mixed_batch128", |b| {
         let arch = Architecture::new(
-            (0..dims.num_pairs).map(|p| Method::from_index(p % 3)).collect(),
+            (0..dims.num_pairs)
+                .map(|p| Method::from_index(p % 3))
+                .collect(),
         );
         b.iter_batched(
             || OptInterNet::new(cfg.clone(), dims.clone(), arch.clone()),
@@ -117,6 +148,18 @@ fn bench_train_steps(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+    // Thread sweep for the acceptance speedup check: results are
+    // bit-identical across the sweep, so only wall-clock should move.
+    for threads in [1usize, 2, 4] {
+        let tcfg = cfg.with_threads(threads);
+        group.bench_function(format!("Supernet_search_batch128_t{threads}"), |b| {
+            b.iter_batched(
+                || Supernet::new(tcfg.clone(), dims.clone()),
+                |mut net| net.train_batch(&batch, 0.5),
+                BatchSize::SmallInput,
+            );
+        });
+    }
     group.finish();
 }
 

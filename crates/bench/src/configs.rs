@@ -5,9 +5,15 @@ use optinter_core::OptInterConfig;
 use optinter_data::Profile;
 use optinter_models::BaselineConfig;
 
-/// Baseline hyper-parameters for a profile (Table IV, scaled).
-pub fn baseline_config(profile: Profile, seed: u64) -> BaselineConfig {
-    let mut cfg = BaselineConfig { seed, ..BaselineConfig::default() };
+/// Baseline hyper-parameters for a profile (Table IV, scaled). `threads`
+/// selects the intra-batch data-parallel worker count (1 = serial); any
+/// value yields bit-identical results.
+pub fn baseline_config(profile: Profile, seed: u64, threads: usize) -> BaselineConfig {
+    let mut cfg = BaselineConfig {
+        seed,
+        num_threads: threads,
+        ..BaselineConfig::default()
+    };
     match profile {
         Profile::CriteoLike => {
             cfg.embed_dim = 16;
@@ -25,7 +31,11 @@ pub fn baseline_config(profile: Profile, seed: u64) -> BaselineConfig {
             cfg.embed_dim = 16;
         }
         Profile::Tiny => {
-            cfg = BaselineConfig { seed, ..BaselineConfig::test_small() };
+            cfg = BaselineConfig {
+                seed,
+                num_threads: threads,
+                ..BaselineConfig::test_small()
+            };
         }
     }
     cfg
@@ -34,8 +44,8 @@ pub fn baseline_config(profile: Profile, seed: u64) -> BaselineConfig {
 /// OptInter hyper-parameters for a profile (Table IV, scaled). `s2` follows
 /// the paper's per-dataset cross-embedding sizes (Criteo 10, Avazu 4,
 /// iPinYou 2), scaled down together with `s1`.
-pub fn optinter_config(profile: Profile, seed: u64) -> OptInterConfig {
-    let base = baseline_config(profile, seed);
+pub fn optinter_config(profile: Profile, seed: u64, threads: usize) -> OptInterConfig {
+    let base = baseline_config(profile, seed, threads);
     let mut cfg = OptInterConfig {
         orig_dim: base.embed_dim,
         hidden: base.hidden.clone(),
@@ -46,6 +56,7 @@ pub fn optinter_config(profile: Profile, seed: u64) -> OptInterConfig {
         adam_eps: base.adam_eps,
         retrain_epochs: base.epochs,
         seed,
+        num_threads: threads,
         ..OptInterConfig::default()
     };
     match profile {
@@ -54,7 +65,11 @@ pub fn optinter_config(profile: Profile, seed: u64) -> OptInterConfig {
         Profile::IpinyouLike => cfg.cross_dim = 2,
         Profile::PrivateLike => cfg.cross_dim = 8,
         Profile::Tiny => {
-            cfg = OptInterConfig { seed, ..OptInterConfig::test_small() };
+            cfg = OptInterConfig {
+                seed,
+                num_threads: threads,
+                ..OptInterConfig::test_small()
+            };
         }
     }
     cfg
@@ -71,17 +86,26 @@ pub struct ExpOptions {
     pub repeats: usize,
     /// Quick smoke mode (tiny datasets, 1 repeat).
     pub quick: bool,
+    /// Intra-batch data-parallel threads (1 = serial, bit-identical either
+    /// way).
+    pub threads: usize,
 }
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        Self { rows: None, seed: 42, repeats: 5, quick: false }
+        Self {
+            rows: None,
+            seed: 42,
+            repeats: 5,
+            quick: false,
+            threads: 1,
+        }
     }
 }
 
 impl ExpOptions {
-    /// Parses `--rows N`, `--seed S`, `--repeats R` and `--quick` from
-    /// `std::env::args`, ignoring unknown flags.
+    /// Parses `--rows N`, `--seed S`, `--repeats R`, `--threads T` and
+    /// `--quick` from `std::env::args`, ignoring unknown flags.
     pub fn from_args() -> Self {
         let mut opts = Self::default();
         let args: Vec<String> = std::env::args().collect();
@@ -106,6 +130,12 @@ impl ExpOptions {
                         i += 1;
                     }
                 }
+                "--threads" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.threads = v;
+                        i += 1;
+                    }
+                }
                 "--quick" => opts.quick = true,
                 _ => {}
             }
@@ -127,6 +157,16 @@ impl ExpOptions {
     pub fn bundle(&self, profile: Profile) -> optinter_data::DatasetBundle {
         profile.bundle_with_rows(self.rows_for(profile), self.seed)
     }
+
+    /// Baseline hyper-parameters for a profile under these options.
+    pub fn baseline_config(&self, profile: Profile) -> BaselineConfig {
+        baseline_config(profile, self.seed, self.threads)
+    }
+
+    /// OptInter hyper-parameters for a profile under these options.
+    pub fn optinter_config(&self, profile: Profile) -> OptInterConfig {
+        optinter_config(profile, self.seed, self.threads)
+    }
 }
 
 #[cfg(test)]
@@ -136,9 +176,9 @@ mod tests {
     #[test]
     fn configs_follow_paper_s2_ordering() {
         // Criteo s2 > Avazu s2 > iPinYou s2, as in Table IV.
-        let c = optinter_config(Profile::CriteoLike, 0).cross_dim;
-        let a = optinter_config(Profile::AvazuLike, 0).cross_dim;
-        let i = optinter_config(Profile::IpinyouLike, 0).cross_dim;
+        let c = optinter_config(Profile::CriteoLike, 0, 1).cross_dim;
+        let a = optinter_config(Profile::AvazuLike, 0, 1).cross_dim;
+        let i = optinter_config(Profile::IpinyouLike, 0, 1).cross_dim;
         assert!(c > a && a > i, "{c} {a} {i}");
     }
 
@@ -151,11 +191,23 @@ mod tests {
     #[test]
     fn baseline_and_optinter_configs_agree() {
         for p in Profile::paper_datasets() {
-            let b = baseline_config(p, 7);
-            let o = optinter_config(p, 7);
+            let b = baseline_config(p, 7, 4);
+            let o = optinter_config(p, 7, 4);
             assert_eq!(b.embed_dim, o.orig_dim);
             assert_eq!(b.hidden, o.hidden);
             assert_eq!(b.seed, o.seed);
+            assert_eq!(b.num_threads, 4);
+            assert_eq!(o.num_threads, 4);
         }
+    }
+
+    #[test]
+    fn threads_flag_reaches_both_configs() {
+        let opts = ExpOptions {
+            threads: 3,
+            ..ExpOptions::default()
+        };
+        assert_eq!(opts.baseline_config(Profile::Tiny).num_threads, 3);
+        assert_eq!(opts.optinter_config(Profile::Tiny).num_threads, 3);
     }
 }

@@ -32,9 +32,14 @@ pub fn run(opts: &ExpOptions) {
     let mut json = Vec::new();
 
     println!("\n## Ablation A — factorization function (criteo_like)\n");
-    let mut table = Table::new(&["Fact. fn", "OptInter-F AUC", "OptInter AUC", "OptInter params"]);
+    let mut table = Table::new(&[
+        "Fact. fn",
+        "OptInter-F AUC",
+        "OptInter AUC",
+        "OptInter params",
+    ]);
     for fact_fn in [FactFn::Hadamard, FactFn::PointwiseAdd, FactFn::Generalized] {
-        let cfg = optinter_config(profile, opts.seed).with_fact_fn(fact_fn);
+        let cfg = optinter_config(profile, opts.seed, opts.threads).with_fact_fn(fact_fn);
         let (_, rf) = train_fixed(
             &bundle,
             &cfg,
@@ -60,12 +65,36 @@ pub fn run(opts: &ExpOptions) {
     println!("## Ablation B — Gumbel-softmax temperature schedule (criteo_like)\n");
     let mut table = Table::new(&["Schedule", "AUC", "Log loss", "Arch [m,f,n]"]);
     for (name, tau) in [
-        ("annealed 1.0 -> 0.2", TauSchedule { start: 1.0, end: 0.2 }),
-        ("fixed 1.0", TauSchedule { start: 1.0, end: 1.0 }),
-        ("fixed 0.2", TauSchedule { start: 0.2, end: 0.2 }),
-        ("fixed 5.0", TauSchedule { start: 5.0, end: 5.0 }),
+        (
+            "annealed 1.0 -> 0.2",
+            TauSchedule {
+                start: 1.0,
+                end: 0.2,
+            },
+        ),
+        (
+            "fixed 1.0",
+            TauSchedule {
+                start: 1.0,
+                end: 1.0,
+            },
+        ),
+        (
+            "fixed 0.2",
+            TauSchedule {
+                start: 0.2,
+                end: 0.2,
+            },
+        ),
+        (
+            "fixed 5.0",
+            TauSchedule {
+                start: 5.0,
+                end: 5.0,
+            },
+        ),
     ] {
-        let mut cfg = optinter_config(profile, opts.seed);
+        let mut cfg = optinter_config(profile, opts.seed, opts.threads);
         cfg.tau = tau;
         let r = run_two_stage(&bundle, &cfg, SearchStrategy::Joint);
         let arch = r.architecture.as_ref().expect("architecture");

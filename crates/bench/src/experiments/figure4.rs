@@ -27,14 +27,13 @@ pub fn run(opts: &ExpOptions) {
     let mut json = Vec::new();
     for profile in [Profile::CriteoLike, Profile::AvazuLike] {
         let bundle = opts.bundle(profile);
-        let base_cfg = optinter_config(profile, opts.seed);
+        let base_cfg = optinter_config(profile, opts.seed, opts.threads);
         // Search once at the default size; the sweep re-trains the same
         // architecture with different memorized-embedding sizes.
-        let searched =
-            search_architecture(&bundle, &base_cfg, SearchStrategy::Joint).architecture;
+        let searched = search_architecture(&bundle, &base_cfg, SearchStrategy::Joint).architecture;
         let mut table = Table::new(&["Series", "Cross.E.", "Param.", "AUC"]);
         for s2 in SWEEP {
-            let cfg = optinter_config(profile, opts.seed).with_cross_dim(s2);
+            let cfg = optinter_config(profile, opts.seed, opts.threads).with_cross_dim(s2);
             let (_, rm) = train_fixed(
                 &bundle,
                 &cfg,

@@ -18,8 +18,7 @@ pub fn pair_mutual_info(bundle: &DatasetBundle) -> Vec<f64> {
     let labels: Vec<f32> = bundle.data.labels[train.clone()].to_vec();
     (0..bundle.data.num_pairs)
         .map(|p| {
-            let ids: Vec<u32> =
-                train.clone().map(|n| bundle.data.row_cross(n)[p]).collect();
+            let ids: Vec<u32> = train.clone().map(|n| bundle.data.row_cross(n)[p]).collect();
             mutual_information_corrected(&ids, &labels)
         })
         .collect()
@@ -39,7 +38,7 @@ pub fn run(opts: &ExpOptions) {
     let mut json = Vec::new();
     for profile in [Profile::CriteoLike, Profile::AvazuLike] {
         let bundle = opts.bundle(profile);
-        let cfg = optinter_config(profile, opts.seed);
+        let cfg = optinter_config(profile, opts.seed, opts.threads);
         let arch = search_architecture(&bundle, &cfg, SearchStrategy::Joint).architecture;
         let mi = pair_mutual_info(&bundle);
         let mut table = Table::new(&["Method", "#pairs", "mean MI (nats)"]);

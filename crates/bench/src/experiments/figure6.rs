@@ -39,7 +39,7 @@ pub fn run(opts: &ExpOptions) {
     println!("\n## Figure 6 — MI heat-map vs searched method map (avazu_like)\n");
     let profile = Profile::AvazuLike;
     let bundle = opts.bundle(profile);
-    let cfg = optinter_config(profile, opts.seed);
+    let cfg = optinter_config(profile, opts.seed, opts.threads);
     let arch = search_architecture(&bundle, &cfg, SearchStrategy::Joint).architecture;
     let mi = pair_mutual_info(&bundle);
     let m = bundle.data.num_fields;
@@ -50,7 +50,11 @@ pub fn run(opts: &ExpOptions) {
     print_matrix(m, |i, j| mi_glyph(mi[pairs.index_of(i, j)], lo, hi));
     println!("\n(b) searched methods (M memorize, F factorize, N naive)\n");
     print_matrix(m, |i, j| {
-        arch.method(pairs.index_of(i, j)).tag().chars().next().expect("tag")
+        arch.method(pairs.index_of(i, j))
+            .tag()
+            .chars()
+            .next()
+            .expect("tag")
     });
 
     // Quantify the correlation the paper shows visually: rank-correlate MI

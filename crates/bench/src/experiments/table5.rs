@@ -20,9 +20,15 @@ pub fn run(opts: &ExpOptions) -> Vec<Row> {
         let bundle = opts.bundle(profile);
         let mut rows = Vec::new();
         for kind in ModelKind::table5_baselines() {
-            rows.push(run_baseline_row(kind, profile, &bundle, opts.seed));
+            rows.push(run_baseline_row(
+                kind,
+                profile,
+                &bundle,
+                opts.seed,
+                opts.threads,
+            ));
         }
-        rows.extend(run_optinter_rows(profile, &bundle, opts.seed));
+        rows.extend(run_optinter_rows(profile, &bundle, opts.seed, opts.threads));
         let mut table = Table::new(&["Model", "AUC", "Log loss", "Param.", "Arch [m,f,n]"]);
         for row in &rows {
             table.push(vec![
@@ -35,7 +41,12 @@ pub fn run(opts: &ExpOptions) -> Vec<Row> {
                     .unwrap_or_else(|| "-".into()),
             ]);
         }
-        println!("### {} ({} rows, {:.1?})\n", profile.name(), bundle.len(), t0.elapsed());
+        println!(
+            "### {} ({} rows, {:.1?})\n",
+            profile.name(),
+            bundle.len(),
+            t0.elapsed()
+        );
         println!("{}", table.render());
         all_rows.extend(rows);
     }
@@ -49,14 +60,23 @@ pub fn run(opts: &ExpOptions) -> Vec<Row> {
 /// Paired t-test of OptInter vs the best baseline (OptInter-M) over
 /// repeated runs with different seeds, as in the paper's Sec. III-A5.
 fn significance(opts: &ExpOptions) {
-    println!("### Significance (paired t-test over {} seeds, OptInter vs OptInter-M)\n", opts.repeats);
-    let mut table = Table::new(&["Dataset", "OptInter mean AUC", "OptInter-M mean AUC", "t", "p-value"]);
+    println!(
+        "### Significance (paired t-test over {} seeds, OptInter vs OptInter-M)\n",
+        opts.repeats
+    );
+    let mut table = Table::new(&[
+        "Dataset",
+        "OptInter mean AUC",
+        "OptInter-M mean AUC",
+        "t",
+        "p-value",
+    ]);
     for profile in Profile::paper_datasets() {
         let bundle = opts.bundle(profile);
         let mut optinter = Vec::new();
         let mut optinter_m = Vec::new();
         for rep in 0..opts.repeats {
-            let cfg = optinter_config(profile, opts.seed + 1 + rep as u64);
+            let cfg = optinter_config(profile, opts.seed + 1 + rep as u64, opts.threads);
             let r = run_two_stage(&bundle, &cfg, SearchStrategy::Joint);
             optinter.push(r.auc);
             let (_, rm) = train_fixed(
@@ -69,8 +89,14 @@ fn significance(opts: &ExpOptions) {
         let t = paired_t_test(&optinter, &optinter_m);
         table.push(vec![
             profile.name().into(),
-            format!("{:.4}", optinter.iter().sum::<f64>() / optinter.len() as f64),
-            format!("{:.4}", optinter_m.iter().sum::<f64>() / optinter_m.len() as f64),
+            format!(
+                "{:.4}",
+                optinter.iter().sum::<f64>() / optinter.len() as f64
+            ),
+            format!(
+                "{:.4}",
+                optinter_m.iter().sum::<f64>() / optinter_m.len() as f64
+            ),
             format!("{:.2}", t.t),
             format!("{:.4}", t.p_value),
         ]);

@@ -65,7 +65,7 @@ pub fn run(opts: &ExpOptions) {
     let mut cells = vec!["AutoFIS".to_string()];
     for profile in profiles {
         let bundle = opts.bundle(profile);
-        let cfg = baseline_config(profile, opts.seed);
+        let cfg = baseline_config(profile, opts.seed, opts.threads);
         let mut model = AutoFis::new(&cfg, bundle.data.orig_vocab, bundle.data.num_fields);
         train_model(&mut model, &bundle, &cfg);
         let counts = model.selection_counts();
@@ -84,7 +84,7 @@ pub fn run(opts: &ExpOptions) {
     let mut truth_cells = vec!["(planted truth)".to_string()];
     for profile in profiles {
         let bundle = opts.bundle(profile);
-        let cfg = optinter_config(profile, opts.seed);
+        let cfg = optinter_config(profile, opts.seed, opts.threads);
         let arch = search_architecture(&bundle, &cfg, SearchStrategy::Joint).architecture;
         let counts = arch.counts();
         let agreement = arch.agreement_with(&bundle.planted);

@@ -27,16 +27,20 @@ pub fn run(opts: &ExpOptions) {
     for profile in [Profile::CriteoLike, Profile::AvazuLike] {
         let bundle = opts.bundle(profile);
         // OptInter reference run.
-        let ocfg = optinter_config(profile, opts.seed);
+        let ocfg = optinter_config(profile, opts.seed, opts.threads);
         let oreport = run_two_stage(&bundle, &ocfg, SearchStrategy::Joint);
         // Enlarge baseline embeddings until the (embedding-dominated)
         // parameter count matches OptInter's.
         let vocab = bundle.data.orig_vocab as usize;
         let enlarged_dim = (oreport.num_params / vocab).max(ocfg.orig_dim + 1);
-        let mut table =
-            Table::new(&["Model", "AUC", "Log loss", "Orig.E.", "Cross.E.", "Param."]);
-        for kind in [ModelKind::Fm, ModelKind::Fnn, ModelKind::Ipnn, ModelKind::DeepFm] {
-            let mut cfg = baseline_config(profile, opts.seed);
+        let mut table = Table::new(&["Model", "AUC", "Log loss", "Orig.E.", "Cross.E.", "Param."]);
+        for kind in [
+            ModelKind::Fm,
+            ModelKind::Fnn,
+            ModelKind::Ipnn,
+            ModelKind::DeepFm,
+        ] {
+            let mut cfg = baseline_config(profile, opts.seed, opts.threads);
             cfg.embed_dim = enlarged_dim;
             let mut model = build_model(kind, &cfg, &bundle.data);
             let r = run_model(model.as_mut(), &bundle, &cfg);
@@ -73,7 +77,11 @@ pub fn run(opts: &ExpOptions) {
             log_loss: oreport.log_loss,
             params: oreport.num_params,
         });
-        println!("### {} (baseline embeddings enlarged to {})\n", profile.name(), enlarged_dim);
+        println!(
+            "### {} (baseline embeddings enlarged to {})\n",
+            profile.name(),
+            enlarged_dim
+        );
         println!("{}", table.render());
     }
     save_json("table7", &json);

@@ -23,7 +23,7 @@ pub fn run(opts: &ExpOptions) {
     let mut json = Vec::new();
     for profile in Profile::public_datasets() {
         let bundle = opts.bundle(profile);
-        let cfg = optinter_config(profile, opts.seed);
+        let cfg = optinter_config(profile, opts.seed, opts.threads);
         let mut table = Table::new(&["Search", "AUC", "Log loss", "Arch [m,f,n]", "Param."]);
         // Random: mean over `repeats` random architectures (paper: 10).
         let trials = opts.repeats.max(2);
@@ -34,7 +34,9 @@ pub fn run(opts: &ExpOptions) {
             let out = search_architecture(
                 &bundle,
                 &cfg,
-                SearchStrategy::Random { seed: opts.seed + 100 + t as u64 },
+                SearchStrategy::Random {
+                    seed: opts.seed + 100 + t as u64,
+                },
             );
             let (_, r) = train_fixed(&bundle, &cfg, out.architecture);
             aucs.push(r.auc);
@@ -59,11 +61,15 @@ pub fn run(opts: &ExpOptions) {
             arch: None,
             params: mean_params,
         });
-        for (name, strat) in
-            [("Bi-level", SearchStrategy::BiLevel), ("OptInter (joint)", SearchStrategy::Joint)]
-        {
+        for (name, strat) in [
+            ("Bi-level", SearchStrategy::BiLevel),
+            ("OptInter (joint)", SearchStrategy::Joint),
+        ] {
             let r = run_two_stage(&bundle, &cfg, strat);
-            let arch = r.architecture.as_ref().expect("two-stage yields an architecture");
+            let arch = r
+                .architecture
+                .as_ref()
+                .expect("two-stage yields an architecture");
             table.push(vec![
                 name.into(),
                 format!("{:.4}", r.auc),

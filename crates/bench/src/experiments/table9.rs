@@ -21,12 +21,17 @@ struct JsonRow {
 /// Runs Table IX on the Criteo- and Avazu-like profiles.
 pub fn run(opts: &ExpOptions) {
     println!("\n## Table IX — re-train stage ablation\n");
-    let mut table =
-        Table::new(&["Dataset", "AUC w.", "Log loss w.", "AUC w.o.", "Log loss w.o."]);
+    let mut table = Table::new(&[
+        "Dataset",
+        "AUC w.",
+        "Log loss w.",
+        "AUC w.o.",
+        "Log loss w.o.",
+    ]);
     let mut json = Vec::new();
     for profile in [Profile::CriteoLike, Profile::AvazuLike] {
         let bundle = opts.bundle(profile);
-        let cfg = optinter_config(profile, opts.seed);
+        let cfg = optinter_config(profile, opts.seed, opts.threads);
         let (mut supernet, outcome) = joint_search_supernet(&bundle, &cfg);
         // Without re-train: the supernet as-is, soft architecture at the
         // final annealed temperature.

@@ -1,7 +1,9 @@
 //! Shared experiment execution: one row of Table V per call.
 
 use crate::configs::{baseline_config, optinter_config};
-use optinter_core::{run_two_stage, train_fixed, Architecture, Method, SearchStrategy, TrainReport};
+use optinter_core::{
+    run_two_stage, train_fixed, Architecture, Method, SearchStrategy, TrainReport,
+};
 use optinter_data::{DatasetBundle, Profile};
 use optinter_models::autofis::run_autofis;
 use optinter_models::{build_model, run_model, ModelKind};
@@ -26,14 +28,15 @@ pub struct Row {
     pub planted_agreement: Option<f64>,
 }
 
-/// Runs one baseline on a bundle.
+/// Runs one baseline on a bundle with `threads` data-parallel workers.
 pub fn run_baseline_row(
     kind: ModelKind,
     profile: Profile,
     bundle: &DatasetBundle,
     seed: u64,
+    threads: usize,
 ) -> Row {
-    let cfg = baseline_config(profile, seed);
+    let cfg = baseline_config(profile, seed, threads);
     if kind == ModelKind::AutoFis {
         let (report, counts) = run_autofis(bundle, &cfg);
         return Row {
@@ -59,7 +62,12 @@ pub fn run_baseline_row(
     }
 }
 
-fn report_to_row(profile: Profile, name: &str, report: &TrainReport, bundle: &DatasetBundle) -> Row {
+fn report_to_row(
+    profile: Profile,
+    name: &str,
+    report: &TrainReport,
+    bundle: &DatasetBundle,
+) -> Row {
     let (counts, agreement) = match &report.architecture {
         Some(arch) => (
             Some(arch.counts()),
@@ -80,8 +88,13 @@ fn report_to_row(profile: Profile, name: &str, report: &TrainReport, bundle: &Da
 
 /// Runs OptInter-F, OptInter-M and full OptInter (joint search + re-train)
 /// on a bundle, returning three rows.
-pub fn run_optinter_rows(profile: Profile, bundle: &DatasetBundle, seed: u64) -> Vec<Row> {
-    let cfg = optinter_config(profile, seed);
+pub fn run_optinter_rows(
+    profile: Profile,
+    bundle: &DatasetBundle,
+    seed: u64,
+    threads: usize,
+) -> Vec<Row> {
+    let cfg = optinter_config(profile, seed, threads);
     let mut rows = Vec::with_capacity(3);
     let (_, rf) = train_fixed(
         bundle,

@@ -115,7 +115,11 @@ impl Architecture {
 
     /// Fraction of pairs whose method matches the planted oracle.
     pub fn agreement_with(&self, planted: &[PlantedKind]) -> f64 {
-        assert_eq!(self.methods.len(), planted.len(), "agreement: pair count mismatch");
+        assert_eq!(
+            self.methods.len(),
+            planted.len(),
+            "agreement: pair count mismatch"
+        );
         let hits = self
             .methods
             .iter()
@@ -152,7 +156,11 @@ mod tests {
 
     #[test]
     fn oracle_maps_planted_kinds() {
-        let planted = vec![PlantedKind::Memorized, PlantedKind::Factorized, PlantedKind::None];
+        let planted = vec![
+            PlantedKind::Memorized,
+            PlantedKind::Factorized,
+            PlantedKind::None,
+        ];
         let a = Architecture::oracle(&planted);
         assert_eq!(
             a.methods(),

@@ -65,6 +65,9 @@ pub struct OptInterConfig {
     pub tau: TauSchedule,
     /// Master seed for weight init, shuffling and Gumbel noise.
     pub seed: u64,
+    /// Intra-batch data-parallel threads (1 = serial). Any value produces
+    /// bit-identical results; see `optinter_tensor::pool`.
+    pub num_threads: usize,
 }
 
 impl Default for OptInterConfig {
@@ -87,8 +90,12 @@ impl Default for OptInterConfig {
             search_epochs: 2,
             retrain_epochs: 8,
             fact_fn: FactFn::Hadamard,
-            tau: TauSchedule { start: 1.0, end: 0.2 },
+            tau: TauSchedule {
+                start: 1.0,
+                end: 0.2,
+            },
             seed: 0,
+            num_threads: 1,
         }
     }
 }
@@ -120,19 +127,36 @@ impl OptInterConfig {
 
     /// Returns a copy with a different seed (for repeated significance runs).
     pub fn with_seed(&self, seed: u64) -> Self {
-        Self { seed, ..self.clone() }
+        Self {
+            seed,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with a different cross-embedding size (Figure 4's
     /// `s2` sweep).
     pub fn with_cross_dim(&self, cross_dim: usize) -> Self {
-        Self { cross_dim, ..self.clone() }
+        Self {
+            cross_dim,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with a different factorization function (the
     /// factorization-function ablation).
     pub fn with_fact_fn(&self, fact_fn: FactFn) -> Self {
-        Self { fact_fn, ..self.clone() }
+        Self {
+            fact_fn,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with a different data-parallel thread count.
+    pub fn with_threads(&self, num_threads: usize) -> Self {
+        Self {
+            num_threads,
+            ..self.clone()
+        }
     }
 }
 
@@ -159,7 +183,11 @@ mod tests {
 
     #[test]
     fn mixed_dim_is_max() {
-        let c = OptInterConfig { orig_dim: 4, cross_dim: 10, ..OptInterConfig::default() };
+        let c = OptInterConfig {
+            orig_dim: 4,
+            cross_dim: 10,
+            ..OptInterConfig::default()
+        };
         assert_eq!(c.mixed_dim(), 10);
     }
 }

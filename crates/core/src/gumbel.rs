@@ -39,7 +39,10 @@ impl GumbelSample {
     /// Deterministic variant without noise (used at evaluation time when a
     /// soft architecture is still active, and in tests).
     pub fn deterministic(logits: &[f32], tau: f32) -> Self {
-        Self { probs: softmax_slice(logits, tau), tau }
+        Self {
+            probs: softmax_slice(logits, tau),
+            tau,
+        }
     }
 
     /// Backpropagates an upstream gradient on the probabilities into the
@@ -140,13 +143,20 @@ mod tests {
             for j in 0..3 {
                 num += dprobs[j] * (pp[j] - pm[j]) / (2.0 * eps);
             }
-            assert!((dlogits[k] - num).abs() < 2e-3, "k={k}: {} vs {num}", dlogits[k]);
+            assert!(
+                (dlogits[k] - num).abs() < 2e-3,
+                "k={k}: {} vs {num}",
+                dlogits[k]
+            );
         }
     }
 
     #[test]
     fn tau_schedule_interpolates() {
-        let s = TauSchedule { start: 1.0, end: 0.2 };
+        let s = TauSchedule {
+            start: 1.0,
+            end: 0.2,
+        };
         assert_eq!(s.at(0.0), 1.0);
         assert!((s.at(0.5) - 0.6).abs() < 1e-6);
         assert!((s.at(1.0) - 0.2).abs() < 1e-6);

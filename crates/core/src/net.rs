@@ -14,8 +14,11 @@
 use crate::arch::{Architecture, Method};
 use crate::config::{FactFn, OptInterConfig};
 use optinter_data::{Batch, EncodedDataset, PairIndexer};
-use optinter_nn::{bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig, Parameter};
-use optinter_tensor::Matrix;
+use optinter_nn::{
+    bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig, Parameter,
+};
+use optinter_tensor::pool::{chunks_for, SendPtr};
+use optinter_tensor::{Matrix, Pool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -85,6 +88,7 @@ pub struct OptInterNet {
     input_dim: usize,
     adam_net: Adam,
     adam_cross: Adam,
+    pool: Pool,
     cache: Option<Cache>,
 }
 
@@ -134,13 +138,18 @@ impl OptInterNet {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF17ED);
         let e_orig = EmbeddingTable::new(&mut rng, dims.orig_vocab as usize, s1);
         let e_cross = EmbeddingTable::new(&mut rng, compact_offset.max(1) as usize, s2);
-        let mlp = Mlp::new(&mut rng, &MlpConfig {
-            input_dim,
-            hidden: cfg.hidden.clone(),
-            output_dim: 1,
-            layer_norm: cfg.layer_norm,
-            ln_eps: 1e-5,
-        });
+        let mut mlp = Mlp::new(
+            &mut rng,
+            &MlpConfig {
+                input_dim,
+                hidden: cfg.hidden.clone(),
+                output_dim: 1,
+                layer_norm: cfg.layer_norm,
+                ln_eps: 1e-5,
+            },
+        );
+        let pool = Pool::new(cfg.num_threads);
+        mlp.set_pool(&pool);
         let adam_net = Adam::with_lr_eps(cfg.lr, cfg.adam_eps);
         let adam_cross = Adam::with_lr_eps(cfg.lr_cross, cfg.adam_eps);
         // Generalized-product weights start at 1: it reduces to Hadamard.
@@ -159,6 +168,7 @@ impl OptInterNet {
             input_dim,
             adam_net,
             adam_cross,
+            pool,
             cache: None,
         }
     }
@@ -181,7 +191,11 @@ impl OptInterNet {
     /// Total trainable parameters. The compact cross table only holds rows
     /// for memorized pairs, so parameter counts track the architecture.
     pub fn num_params(&mut self) -> usize {
-        let cross = if self.num_memorized == 0 { 0 } else { self.e_cross.num_params() };
+        let cross = if self.num_memorized == 0 {
+            0
+        } else {
+            self.e_cross.num_params()
+        };
         // Generalized-product weights: only factorized pairs' rows are live.
         let fact = if self.fact_weights.is_some() {
             let factorized = self.architecture.counts()[Method::Factorize.index()];
@@ -224,70 +238,92 @@ impl OptInterNet {
         let s2 = self.cfg.cross_dim;
         assert_eq!(batch.num_fields, m, "OptInterNet: field count mismatch");
         let b = batch.len();
-        let eo = self.e_orig.lookup_fields(&batch.fields, m);
+        let eo = self
+            .e_orig
+            .lookup_fields_pooled(&batch.fields, m, &self.pool);
         let mem_ids = self.gather_mem_ids(batch);
         let em = if self.num_memorized > 0 {
-            self.e_cross.lookup_fields(&mem_ids, self.num_memorized)
+            self.e_cross
+                .lookup_fields_pooled(&mem_ids, self.num_memorized, &self.pool)
         } else {
             Matrix::zeros(b, 0)
         };
+        // Assemble the MLP input, sharded over batch rows. Every element is
+        // written exactly once by the job owning its row, so the result is
+        // bit-identical to serial assembly for any thread count.
         let mut input = Matrix::zeros(b, self.input_dim);
-        input.copy_block_from(&eo, 0);
-        for (p, slot) in self.slots.iter().enumerate() {
-            match slot.method {
-                Method::Memorize => {
-                    for r in 0..b {
-                        let src = &em.row(r)[slot.mem_slot * s2..(slot.mem_slot + 1) * s2];
-                        input.row_mut(r)[slot.input_offset..slot.input_offset + s2]
-                            .copy_from_slice(src);
-                    }
-                }
-                Method::Factorize => {
-                    let (i, j) = self.dims.pairs().pair_at(p);
-                    for r in 0..b {
-                        let eo_row = eo.row(r);
-                        let (ei_start, ej_start) = (i * s1, j * s1);
-                        let dst_row = input.row_mut(r);
-                        match self.cfg.fact_fn {
-                            FactFn::Hadamard => {
-                                for c in 0..s1 {
-                                    dst_row[slot.input_offset + c] =
-                                        eo_row[ei_start + c] * eo_row[ej_start + c];
+        {
+            let input_dim = self.input_dim;
+            let input_ptr = SendPtr(input.as_mut_slice().as_mut_ptr());
+            let slots = &self.slots;
+            let pairs = self.dims.pairs();
+            let fact_fn = self.cfg.fact_fn;
+            let fw_val = self.fact_weights.as_ref().map(|fw| &fw.value);
+            let eo_ref = &eo;
+            let em_ref = &em;
+            let (chunk, njobs) = chunks_for(b, self.pool.threads());
+            self.pool.run(njobs, |job| {
+                let r0 = job * chunk;
+                let r1 = (r0 + chunk).min(b);
+                for r in r0..r1 {
+                    // SAFETY: input row `r` belongs to exactly this job.
+                    let dst_row = unsafe { input_ptr.slice(r * input_dim, input_dim) };
+                    let eo_row = eo_ref.row(r);
+                    dst_row[..m * s1].copy_from_slice(eo_row);
+                    for (p, slot) in slots.iter().enumerate() {
+                        match slot.method {
+                            Method::Memorize => {
+                                let src =
+                                    &em_ref.row(r)[slot.mem_slot * s2..(slot.mem_slot + 1) * s2];
+                                dst_row[slot.input_offset..slot.input_offset + s2]
+                                    .copy_from_slice(src);
+                            }
+                            Method::Factorize => {
+                                let (i, j) = pairs.pair_at(p);
+                                let (ei_start, ej_start) = (i * s1, j * s1);
+                                match fact_fn {
+                                    FactFn::Hadamard => {
+                                        for c in 0..s1 {
+                                            dst_row[slot.input_offset + c] =
+                                                eo_row[ei_start + c] * eo_row[ej_start + c];
+                                        }
+                                    }
+                                    FactFn::PointwiseAdd => {
+                                        for c in 0..s1 {
+                                            dst_row[slot.input_offset + c] =
+                                                eo_row[ei_start + c] + eo_row[ej_start + c];
+                                        }
+                                    }
+                                    FactFn::Generalized => {
+                                        let w = fw_val.expect("generalized weights").row(p);
+                                        for c in 0..s1 {
+                                            dst_row[slot.input_offset + c] =
+                                                w[c] * eo_row[ei_start + c] * eo_row[ej_start + c];
+                                        }
+                                    }
                                 }
                             }
-                            FactFn::PointwiseAdd => {
-                                for c in 0..s1 {
-                                    dst_row[slot.input_offset + c] =
-                                        eo_row[ei_start + c] + eo_row[ej_start + c];
-                                }
-                            }
-                            FactFn::Generalized => {
-                                let w = self
-                                    .fact_weights
-                                    .as_ref()
-                                    .expect("generalized weights")
-                                    .value
-                                    .row(p);
-                                for c in 0..s1 {
-                                    dst_row[slot.input_offset + c] = w[c]
-                                        * eo_row[ei_start + c]
-                                        * eo_row[ej_start + c];
-                                }
-                            }
+                            Method::Naive => {}
                         }
                     }
                 }
-                Method::Naive => {}
-            }
+            });
         }
         let logits = self.mlp.forward(&input);
-        self.cache = Some(Cache { fields: batch.fields.clone(), mem_ids, eo });
+        self.cache = Some(Cache {
+            fields: batch.fields.clone(),
+            mem_ids,
+            eo,
+        });
         logits
     }
 
     /// Backward pass from logit gradients.
     pub fn backward(&mut self, grad_logits: &Matrix) {
-        let cache = self.cache.take().expect("OptInterNet::backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("OptInterNet::backward before forward");
         let m = self.dims.num_fields;
         let s1 = self.cfg.orig_dim;
         let s2 = self.cfg.cross_dim;
@@ -295,60 +331,109 @@ impl OptInterNet {
         let dinput = self.mlp.backward(grad_logits);
         let mut d_eo = dinput.block(0, m * s1);
         let mut d_em = Matrix::zeros(b, self.num_memorized * s2);
-        for (p, slot) in self.slots.iter().enumerate() {
-            match slot.method {
-                Method::Memorize => {
-                    for r in 0..b {
-                        let src = &dinput.row(r)[slot.input_offset..slot.input_offset + s2];
-                        let dst =
-                            &mut d_em.row_mut(r)[slot.mem_slot * s2..(slot.mem_slot + 1) * s2];
-                        dst.copy_from_slice(src);
+        let fact_fn = self.cfg.fact_fn;
+        let pairs = self.dims.pairs();
+        let slots = &self.slots;
+        let cache_ref = &cache;
+        let dinput_ref = &dinput;
+
+        // Pass A — parallel over pairs (generalized product only): each
+        // factorized pair owns its weight-gradient row, accumulated over
+        // ascending batch rows exactly as the fused serial loop does.
+        if let Some(fw) = self.fact_weights.as_mut() {
+            let fw_grad_ptr = SendPtr(fw.grad.as_mut_slice().as_mut_ptr());
+            self.pool.run(slots.len(), |p| {
+                let slot = &slots[p];
+                if slot.method != Method::Factorize {
+                    return;
+                }
+                let (i, j) = pairs.pair_at(p);
+                // SAFETY: weight-grad row `p` belongs to exactly this job.
+                let dw = unsafe { fw_grad_ptr.slice(p * s1, s1) };
+                for r in 0..b {
+                    let eo_row = cache_ref.eo.row(r);
+                    let (ei, ej) = (&eo_row[i * s1..(i + 1) * s1], &eo_row[j * s1..(j + 1) * s1]);
+                    let g_row = dinput_ref.row(r);
+                    for c in 0..s1 {
+                        let g = g_row[slot.input_offset + c];
+                        dw[c] += g * ei[c] * ej[c];
                     }
                 }
-                Method::Factorize => {
-                    let (i, j) = self.dims.pairs().pair_at(p);
-                    let fact_fn = self.cfg.fact_fn;
-                    for r in 0..b {
-                        let eo_row = cache.eo.row(r);
-                        let ei: Vec<f32> = eo_row[i * s1..(i + 1) * s1].to_vec();
-                        let ej: Vec<f32> = eo_row[j * s1..(j + 1) * s1].to_vec();
-                        let g_row = dinput.row(r);
-                        let d_row = d_eo.row_mut(r);
-                        match fact_fn {
-                            FactFn::Hadamard => {
-                                for c in 0..s1 {
-                                    let g = g_row[slot.input_offset + c];
-                                    d_row[i * s1 + c] += g * ej[c];
-                                    d_row[j * s1 + c] += g * ei[c];
+            });
+        }
+
+        // Pass B — parallel over batch rows: d e^m copies and the d e^o
+        // accumulation. Iterating pairs in ascending order inside each row
+        // job reproduces the fused loop's per-element accumulation order,
+        // so the gradients are bit-identical for any thread count.
+        {
+            let eo_width = m * s1;
+            let em_width = self.num_memorized * s2;
+            let d_eo_ptr = SendPtr(d_eo.as_mut_slice().as_mut_ptr());
+            let d_em_ptr = SendPtr(d_em.as_mut_slice().as_mut_ptr());
+            let fw_val = self.fact_weights.as_ref().map(|fw| &fw.value);
+            let (chunk, njobs) = chunks_for(b, self.pool.threads());
+            self.pool.run(njobs, |job| {
+                let r0 = job * chunk;
+                let r1 = (r0 + chunk).min(b);
+                for r in r0..r1 {
+                    // SAFETY: gradient rows `r` belong to exactly this job.
+                    let d_row = unsafe { d_eo_ptr.slice(r * eo_width, eo_width) };
+                    let dem_full = unsafe { d_em_ptr.slice(r * em_width, em_width) };
+                    let eo_row = cache_ref.eo.row(r);
+                    let g_row = dinput_ref.row(r);
+                    for (p, slot) in slots.iter().enumerate() {
+                        match slot.method {
+                            Method::Memorize => {
+                                let src = &g_row[slot.input_offset..slot.input_offset + s2];
+                                dem_full[slot.mem_slot * s2..(slot.mem_slot + 1) * s2]
+                                    .copy_from_slice(src);
+                            }
+                            Method::Factorize => {
+                                let (i, j) = pairs.pair_at(p);
+                                let (ei, ej) =
+                                    (&eo_row[i * s1..(i + 1) * s1], &eo_row[j * s1..(j + 1) * s1]);
+                                match fact_fn {
+                                    FactFn::Hadamard => {
+                                        for c in 0..s1 {
+                                            let g = g_row[slot.input_offset + c];
+                                            d_row[i * s1 + c] += g * ej[c];
+                                            d_row[j * s1 + c] += g * ei[c];
+                                        }
+                                    }
+                                    FactFn::PointwiseAdd => {
+                                        for c in 0..s1 {
+                                            let g = g_row[slot.input_offset + c];
+                                            d_row[i * s1 + c] += g;
+                                            d_row[j * s1 + c] += g;
+                                        }
+                                    }
+                                    FactFn::Generalized => {
+                                        let w = fw_val.expect("generalized weights").row(p);
+                                        for c in 0..s1 {
+                                            let g = g_row[slot.input_offset + c];
+                                            d_row[i * s1 + c] += g * w[c] * ej[c];
+                                            d_row[j * s1 + c] += g * w[c] * ei[c];
+                                        }
+                                    }
                                 }
                             }
-                            FactFn::PointwiseAdd => {
-                                for c in 0..s1 {
-                                    let g = g_row[slot.input_offset + c];
-                                    d_row[i * s1 + c] += g;
-                                    d_row[j * s1 + c] += g;
-                                }
-                            }
-                            FactFn::Generalized => {
-                                let fw = self.fact_weights.as_mut().expect("generalized weights");
-                                let w: Vec<f32> = fw.value.row(p).to_vec();
-                                let dw = fw.grad.row_mut(p);
-                                for c in 0..s1 {
-                                    let g = g_row[slot.input_offset + c];
-                                    d_row[i * s1 + c] += g * w[c] * ej[c];
-                                    d_row[j * s1 + c] += g * w[c] * ei[c];
-                                    dw[c] += g * ei[c] * ej[c];
-                                }
-                            }
+                            Method::Naive => {}
                         }
                     }
                 }
-                Method::Naive => {}
-            }
+            });
         }
-        self.e_orig.accumulate_grad_fields(&cache.fields, m, &d_eo);
+        let pool = self.pool.clone();
+        self.e_orig
+            .accumulate_grad_fields_pooled(&cache.fields, m, &d_eo, &pool);
         if self.num_memorized > 0 {
-            self.e_cross.accumulate_grad_fields(&cache.mem_ids, self.num_memorized, &d_em);
+            self.e_cross.accumulate_grad_fields_pooled(
+                &cache.mem_ids,
+                self.num_memorized,
+                &d_em,
+                &pool,
+            );
         }
     }
 
@@ -392,8 +477,7 @@ impl OptInterNet {
     /// Returns an error when a name is missing or a shape mismatches.
     pub fn import_weights(&mut self, weights: &[(String, Matrix)]) -> Result<(), String> {
         use std::collections::HashMap;
-        let map: HashMap<&str, &Matrix> =
-            weights.iter().map(|(n, m)| (n.as_str(), m)).collect();
+        let map: HashMap<&str, &Matrix> = weights.iter().map(|(n, m)| (n.as_str(), m)).collect();
         let fetch = |name: &str, expect: (usize, usize)| -> Result<Matrix, String> {
             let m = map
                 .get(name)
@@ -458,11 +542,16 @@ mod tests {
     use super::*;
     use optinter_data::{BatchIter, Profile};
 
-    fn setup(arch_fn: impl Fn(usize) -> Architecture) -> (OptInterNet, optinter_data::DatasetBundle) {
+    fn setup(
+        arch_fn: impl Fn(usize) -> Architecture,
+    ) -> (OptInterNet, optinter_data::DatasetBundle) {
         let bundle = Profile::Tiny.bundle_with_rows(1500, 11);
         let dims = DataDims::of(&bundle.data);
         let arch = arch_fn(dims.num_pairs);
-        let cfg = OptInterConfig { seed: 5, ..OptInterConfig::test_small() };
+        let cfg = OptInterConfig {
+            seed: 5,
+            ..OptInterConfig::test_small()
+        };
         (OptInterNet::new(cfg, dims, arch), bundle)
     }
 
@@ -483,8 +572,14 @@ mod tests {
         let n_naive = naive.num_params();
         let n_fac = fac.num_params();
         let n_mem = mem.num_params();
-        assert!(n_mem > n_fac, "memorize {n_mem} must exceed factorize {n_fac}");
-        assert!(n_fac > n_naive, "factorize {n_fac} must exceed naive {n_naive}");
+        assert!(
+            n_mem > n_fac,
+            "memorize {n_mem} must exceed factorize {n_fac}"
+        );
+        assert!(
+            n_fac > n_naive,
+            "factorize {n_fac} must exceed naive {n_naive}"
+        );
     }
 
     #[test]
@@ -510,7 +605,9 @@ mod tests {
     #[test]
     fn all_naive_ignores_cross_features() {
         let (mut net, bundle) = setup(|p| Architecture::uniform(Method::Naive, p));
-        let batch = BatchIter::new(&bundle.data, 0..16, 16, None).next().unwrap();
+        let batch = BatchIter::new(&bundle.data, 0..16, 16, None)
+            .next()
+            .unwrap();
         let with_cross = net.predict(&batch);
         let mut no_cross = batch.clone();
         no_cross.cross.clear();
@@ -521,7 +618,9 @@ mod tests {
     #[test]
     fn memorized_ids_stay_in_compact_range() {
         let (net, bundle) = setup(|p| Architecture::uniform(Method::Memorize, p));
-        let batch = BatchIter::new(&bundle.data, 0..64, 64, None).next().unwrap();
+        let batch = BatchIter::new(&bundle.data, 0..64, 64, None)
+            .next()
+            .unwrap();
         let ids = net.gather_mem_ids(&batch);
         assert_eq!(ids.len(), 64 * net.num_memorized());
         let max = net.e_cross.vocab() as u32;
@@ -535,14 +634,20 @@ mod tests {
         let dims = DataDims::of(&bundle.data);
         let mut aucs = Vec::new();
         for fact_fn in [FactFn::Hadamard, FactFn::PointwiseAdd, FactFn::Generalized] {
-            let cfg = OptInterConfig { seed: 5, fact_fn, ..OptInterConfig::test_small() };
+            let cfg = OptInterConfig {
+                seed: 5,
+                fact_fn,
+                ..OptInterConfig::test_small()
+            };
             let arch = Architecture::uniform(Method::Factorize, dims.num_pairs);
             let mut net = OptInterNet::new(cfg, dims.clone(), arch);
             for batch in BatchIter::new(&bundle.data, 0..1000, 128, Some(1)) {
                 let loss = net.train_batch(&batch);
                 assert!(loss.is_finite(), "{}: loss {loss}", fact_fn.tag());
             }
-            let batch = BatchIter::new(&bundle.data, 1000..1400, 400, None).next().unwrap();
+            let batch = BatchIter::new(&bundle.data, 1000..1400, 400, None)
+                .next()
+                .unwrap();
             let probs = net.predict(&batch);
             assert!(probs.iter().all(|p| p.is_finite()), "{}", fact_fn.tag());
             aucs.push(optinter_metrics::auc(&probs, &batch.labels));
@@ -558,11 +663,21 @@ mod tests {
         let bundle = Profile::Tiny.bundle_with_rows(300, 12);
         let dims = DataDims::of(&bundle.data);
         let arch = Architecture::uniform(Method::Factorize, dims.num_pairs);
-        let cfg_h = OptInterConfig { seed: 9, fact_fn: FactFn::Hadamard, ..OptInterConfig::test_small() };
-        let cfg_g = OptInterConfig { seed: 9, fact_fn: FactFn::Generalized, ..OptInterConfig::test_small() };
+        let cfg_h = OptInterConfig {
+            seed: 9,
+            fact_fn: FactFn::Hadamard,
+            ..OptInterConfig::test_small()
+        };
+        let cfg_g = OptInterConfig {
+            seed: 9,
+            fact_fn: FactFn::Generalized,
+            ..OptInterConfig::test_small()
+        };
         let mut h = OptInterNet::new(cfg_h, dims.clone(), arch.clone());
         let mut g = OptInterNet::new(cfg_g, dims, arch);
-        let batch = BatchIter::new(&bundle.data, 0..32, 32, None).next().unwrap();
+        let batch = BatchIter::new(&bundle.data, 0..32, 32, None)
+            .next()
+            .unwrap();
         // With weights at 1 the generalized product equals the Hadamard one.
         assert_eq!(h.predict(&batch), g.predict(&batch));
         // But the generalized variant has more trainable parameters.
@@ -572,7 +687,9 @@ mod tests {
     #[test]
     fn predictions_are_probabilities() {
         let (mut net, bundle) = setup(|p| Architecture::uniform(Method::Factorize, p));
-        let batch = BatchIter::new(&bundle.data, 0..32, 32, None).next().unwrap();
+        let batch = BatchIter::new(&bundle.data, 0..32, 32, None)
+            .next()
+            .unwrap();
         let probs = net.predict(&batch);
         assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
     }

@@ -91,7 +91,10 @@ pub fn read_weights(path: &Path) -> io::Result<Vec<(String, Matrix)>> {
     for _ in 0..count {
         let name_len = read_u32(&mut r)? as usize;
         if name_len > 4096 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "weight name too long"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "weight name too long",
+            ));
         }
         let mut name_bytes = vec![0u8; name_len];
         r.read_exact(&mut name_bytes)?;
@@ -167,7 +170,10 @@ mod tests {
         std::fs::create_dir_all(&dir).expect("tempdir");
         let path = dir.join("weights.bin");
         let weights = vec![
-            ("a".to_string(), Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])),
+            (
+                "a".to_string(),
+                Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]),
+            ),
             ("b.long/name".to_string(), Matrix::filled(1, 3, -0.5)),
         ];
         write_weights(&path, &weights).expect("write");
@@ -189,10 +195,16 @@ mod tests {
     #[test]
     fn trained_net_roundtrips_predictions() {
         let bundle = Profile::Tiny.bundle_with_rows(1200, 41);
-        let cfg = OptInterConfig { seed: 4, retrain_epochs: 1, ..OptInterConfig::test_small() };
+        let cfg = OptInterConfig {
+            seed: 4,
+            retrain_epochs: 1,
+            ..OptInterConfig::test_small()
+        };
         let arch = Architecture::uniform(Method::Memorize, bundle.data.num_pairs);
         let (mut net, _) = train_fixed(&bundle, &cfg, arch.clone());
-        let batch = BatchIter::new(&bundle.data, 0..64, 64, None).next().expect("batch");
+        let batch = BatchIter::new(&bundle.data, 0..64, 64, None)
+            .next()
+            .expect("batch");
         let before = net.predict(&batch);
 
         let dir = std::env::temp_dir().join("optinter-persist-test");
@@ -201,7 +213,10 @@ mod tests {
         save_net(&mut net, &path).expect("save");
 
         // Fresh net with different seed: predictions differ before loading.
-        let cfg2 = OptInterConfig { seed: 99, ..cfg.clone() };
+        let cfg2 = OptInterConfig {
+            seed: 99,
+            ..cfg.clone()
+        };
         let mut fresh = OptInterNet::new(cfg2, DataDims::of(&bundle.data), arch);
         assert_ne!(fresh.predict(&batch), before);
         load_net_weights(&mut fresh, &path).expect("load");

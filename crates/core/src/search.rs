@@ -113,8 +113,11 @@ pub fn joint_search_supernet(
         }
         final_loss = epoch_loss / count.max(1) as f32;
     }
-    let outcome =
-        SearchOutcome { architecture: net.extract_architecture(), final_loss, supernet_params };
+    let outcome = SearchOutcome {
+        architecture: net.extract_architecture(),
+        final_loss,
+        supernet_params,
+    };
     (net, outcome)
 }
 
@@ -182,7 +185,11 @@ fn bilevel_search(bundle: &DatasetBundle, cfg: &OptInterConfig) -> SearchOutcome
         }
         final_loss = epoch_loss / count.max(1) as f32;
     }
-    SearchOutcome { architecture: net.extract_architecture(), final_loss, supernet_params }
+    SearchOutcome {
+        architecture: net.extract_architecture(),
+        final_loss,
+        supernet_params,
+    }
 }
 
 #[cfg(test)]
@@ -195,7 +202,11 @@ mod tests {
     }
 
     fn tiny_cfg() -> OptInterConfig {
-        OptInterConfig { seed: 1, search_epochs: 1, ..OptInterConfig::test_small() }
+        OptInterConfig {
+            seed: 1,
+            search_epochs: 1,
+            ..OptInterConfig::test_small()
+        }
     }
 
     #[test]

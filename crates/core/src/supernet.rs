@@ -11,14 +11,30 @@
 //! and fed to the MLP classifier. One backward pass produces gradients for
 //! network weights Θ *and* architecture logits α, which are updated
 //! simultaneously by separate Adam instances (the paper's joint scheme).
+//!
+//! # Parallelism
+//!
+//! When `cfg.num_threads > 1` the per-batch work shards across a
+//! [`Pool`] under the owner-computes discipline (see
+//! `optinter_tensor::pool`): the forward pass row-shards candidate and
+//! input assembly, the MLP's matmuls row-block, and the backward pass runs
+//! as two passes — one parallel over *pairs* (each pair owns its `dp_m`,
+//! `dp_f`, architecture-gradient row and generalized-weight row) and one
+//! parallel over *batch rows* (each row owns its slices of `d e^o` and
+//! `d e^m`). Every floating-point accumulator keeps the serial loop's
+//! element-wise accumulation order, so training is bit-identical to the
+//! single-threaded path for any thread count.
 
 use crate::arch::{Architecture, Method};
 use crate::config::{FactFn, OptInterConfig};
 use crate::gumbel::GumbelSample;
 use crate::net::DataDims;
 use optinter_data::Batch;
-use optinter_nn::{bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig, Parameter};
-use optinter_tensor::{ops, Matrix};
+use optinter_nn::{
+    bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig, Parameter,
+};
+use optinter_tensor::pool::{chunks_for, SendPtr};
+use optinter_tensor::{ops, Matrix, Pool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,6 +53,7 @@ pub struct Supernet {
     adam_cross: Adam,
     adam_arch: Adam,
     noise_rng: StdRng,
+    pool: Pool,
     cache: Option<ForwardCache>,
 }
 
@@ -57,13 +74,18 @@ impl Supernet {
         let s2 = cfg.cross_dim;
         let d = cfg.mixed_dim();
         let input_dim = dims.num_fields * s1 + dims.num_pairs * d;
-        let mlp = Mlp::new(&mut rng, &MlpConfig {
-            input_dim,
-            hidden: cfg.hidden.clone(),
-            output_dim: 1,
-            layer_norm: cfg.layer_norm,
-            ln_eps: 1e-5,
-        });
+        let pool = Pool::new(cfg.num_threads);
+        let mut mlp = Mlp::new(
+            &mut rng,
+            &MlpConfig {
+                input_dim,
+                hidden: cfg.hidden.clone(),
+                output_dim: 1,
+                layer_norm: cfg.layer_norm,
+                ln_eps: 1e-5,
+            },
+        );
+        mlp.set_pool(&pool);
         let e_orig = EmbeddingTable::new(&mut rng, dims.orig_vocab as usize, s1);
         let e_cross = EmbeddingTable::new(&mut rng, dims.cross_vocab as usize, s2);
         // Architecture logits start at zero: uniform prior over methods.
@@ -87,6 +109,7 @@ impl Supernet {
             adam_cross,
             adam_arch,
             noise_rng,
+            pool,
             cache: None,
         }
     }
@@ -104,7 +127,9 @@ impl Supernet {
     /// Total trainable parameters (embeddings + MLP + architecture).
     pub fn num_params(&mut self) -> usize {
         let fact = self.fact_weights.as_ref().map_or(0, |fw| fw.len());
-        self.e_orig.num_params() + self.e_cross.num_params() + self.mlp.num_params()
+        self.e_orig.num_params()
+            + self.e_cross.num_params()
+            + self.mlp.num_params()
             + self.arch.len()
             + fact
     }
@@ -155,47 +180,66 @@ impl Supernet {
         let s2 = self.cfg.cross_dim;
         let d = self.cfg.mixed_dim();
         assert_eq!(batch.num_fields, m, "supernet: field count mismatch");
-        assert!(!batch.cross.is_empty(), "supernet needs cross features in the batch");
+        assert!(
+            !batch.cross.is_empty(),
+            "supernet needs cross features in the batch"
+        );
         let b = batch.len();
 
-        let eo = self.e_orig.lookup_fields(&batch.fields, m);
-        let em = self.e_cross.lookup_fields(&batch.cross, p_count);
+        let eo = self
+            .e_orig
+            .lookup_fields_pooled(&batch.fields, m, &self.pool);
+        let em = self
+            .e_cross
+            .lookup_fields_pooled(&batch.cross, p_count, &self.pool);
 
-        // Factorized candidates for all pairs: ef[b, p*s1 + c].
+        // Factorized candidates for all pairs: ef[b, p*s1 + c]. Sharded over
+        // batch rows; each element is a pure function of `eo` (and the pair
+        // weights), so any row split is bit-identical to the serial loop.
         let fact_fn = self.cfg.fact_fn;
+        let pairs: Vec<(usize, usize)> = self.dims.pairs().iter().collect();
+        let fw_val = self.fact_weights.as_ref().map(|fw| &fw.value);
         let mut ef = Matrix::zeros(b, p_count * s1);
-        for (p, (i, j)) in self.dims.pairs().iter().enumerate() {
-            for r in 0..b {
-                let eo_row = eo.row(r);
-                let (ei, ej) = (&eo_row[i * s1..(i + 1) * s1], &eo_row[j * s1..(j + 1) * s1]);
-                let dst = &mut ef.row_mut(r)[p * s1..(p + 1) * s1];
-                match fact_fn {
-                    FactFn::Hadamard => {
-                        for c in 0..s1 {
-                            dst[c] = ei[c] * ej[c];
-                        }
-                    }
-                    FactFn::PointwiseAdd => {
-                        for c in 0..s1 {
-                            dst[c] = ei[c] + ej[c];
-                        }
-                    }
-                    FactFn::Generalized => {
-                        let w = self
-                            .fact_weights
-                            .as_ref()
-                            .expect("generalized weights")
-                            .value
-                            .row(p);
-                        for c in 0..s1 {
-                            dst[c] = w[c] * ei[c] * ej[c];
+        {
+            let ef_width = p_count * s1;
+            let ef_ptr = SendPtr(ef.as_mut_slice().as_mut_ptr());
+            let (chunk, njobs) = chunks_for(b, self.pool.threads());
+            self.pool.run(njobs, |job| {
+                let r0 = job * chunk;
+                let r1 = (r0 + chunk).min(b);
+                for r in r0..r1 {
+                    let eo_row = eo.row(r);
+                    // SAFETY: `ef` row `r` belongs to exactly this job.
+                    let ef_row = unsafe { ef_ptr.slice(r * ef_width, ef_width) };
+                    for (p, &(i, j)) in pairs.iter().enumerate() {
+                        let (ei, ej) =
+                            (&eo_row[i * s1..(i + 1) * s1], &eo_row[j * s1..(j + 1) * s1]);
+                        let dst = &mut ef_row[p * s1..(p + 1) * s1];
+                        match fact_fn {
+                            FactFn::Hadamard => {
+                                for c in 0..s1 {
+                                    dst[c] = ei[c] * ej[c];
+                                }
+                            }
+                            FactFn::PointwiseAdd => {
+                                for c in 0..s1 {
+                                    dst[c] = ei[c] + ej[c];
+                                }
+                            }
+                            FactFn::Generalized => {
+                                let w = fw_val.expect("generalized weights").row(p);
+                                for c in 0..s1 {
+                                    dst[c] = w[c] * ei[c] * ej[c];
+                                }
+                            }
                         }
                     }
                 }
-            }
+            });
         }
 
-        // Relaxed method weights per pair.
+        // Relaxed method weights per pair. Gumbel noise must come off the
+        // shared stream in pair order, so this stays serial.
         let samples: Vec<GumbelSample> = (0..p_count)
             .map(|p| {
                 let logits = self.arch.value.row(p);
@@ -207,28 +251,40 @@ impl Supernet {
             })
             .collect();
 
-        // Assemble the MLP input: [e^o | mixed pair embeddings].
-        let mut input = Matrix::zeros(b, m * s1 + p_count * d);
-        input.copy_block_from(&eo, 0);
-        for (p, sample) in samples.iter().enumerate() {
-            let pm = sample.probs[0];
-            let pf = sample.probs[1];
-            let base = m * s1 + p * d;
-            for r in 0..b {
-                let em_row = &em.row(r)[p * s2..(p + 1) * s2];
-                let ef_row = &ef.row(r)[p * s1..(p + 1) * s1];
-                let dst = &mut input.row_mut(r)[base..base + d];
-                for c in 0..d {
-                    let mut v = 0.0f32;
-                    if c < s2 {
-                        v += pm * em_row[c];
+        // Assemble the MLP input: [e^o | mixed pair embeddings]. Also
+        // sharded over batch rows under owner-computes.
+        let in_width = m * s1 + p_count * d;
+        let mut input = Matrix::zeros(b, in_width);
+        {
+            let in_ptr = SendPtr(input.as_mut_slice().as_mut_ptr());
+            let (chunk, njobs) = chunks_for(b, self.pool.threads());
+            self.pool.run(njobs, |job| {
+                let r0 = job * chunk;
+                let r1 = (r0 + chunk).min(b);
+                for r in r0..r1 {
+                    // SAFETY: `input` row `r` belongs to exactly this job.
+                    let in_row = unsafe { in_ptr.slice(r * in_width, in_width) };
+                    in_row[..m * s1].copy_from_slice(eo.row(r));
+                    for (p, sample) in samples.iter().enumerate() {
+                        let pm = sample.probs[0];
+                        let pf = sample.probs[1];
+                        let base = m * s1 + p * d;
+                        let em_row = &em.row(r)[p * s2..(p + 1) * s2];
+                        let ef_row = &ef.row(r)[p * s1..(p + 1) * s1];
+                        let dst = &mut in_row[base..base + d];
+                        for c in 0..d {
+                            let mut v = 0.0f32;
+                            if c < s2 {
+                                v += pm * em_row[c];
+                            }
+                            if c < s1 {
+                                v += pf * ef_row[c];
+                            }
+                            dst[c] = v;
+                        }
                     }
-                    if c < s1 {
-                        v += pf * ef_row[c];
-                    }
-                    dst[c] = v;
                 }
-            }
+            });
         }
 
         let logits = self.mlp.forward(&input);
@@ -246,7 +302,10 @@ impl Supernet {
     /// Backward pass from logit gradients; accumulates gradients on network
     /// weights, both embedding tables and the architecture logits.
     pub fn backward(&mut self, grad_logits: &Matrix) {
-        let cache = self.cache.take().expect("Supernet::backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("Supernet::backward before forward");
         let m = self.dims.num_fields;
         let p_count = self.dims.num_pairs;
         let s1 = self.cfg.orig_dim;
@@ -256,78 +315,146 @@ impl Supernet {
 
         let dinput = self.mlp.backward(grad_logits);
 
-        let mut d_eo = dinput.block(0, m * s1);
-        let mut d_em = Matrix::zeros(b, p_count * s2);
-        for (p, (i, j)) in self.dims.pairs().iter().enumerate() {
-            let sample = &cache.samples[p];
-            let (pm, pf) = (sample.probs[0], sample.probs[1]);
-            let base = m * s1 + p * d;
-            let mut dpm = 0.0f32;
-            let mut dpf = 0.0f32;
-            for r in 0..b {
-                let g = &dinput.row(r)[base..base + d];
-                let em_row = &cache.em.row(r)[p * s2..(p + 1) * s2];
-                let ef_row = &cache.ef.row(r)[p * s1..(p + 1) * s1];
-                let eo_row = cache.eo.row(r);
-                // d p_m, d p_f: inner products with the candidates.
-                for c in 0..s2.min(d) {
-                    dpm += g[c] * em_row[c];
-                }
-                for c in 0..s1.min(d) {
-                    dpf += g[c] * ef_row[c];
-                }
-                // d e^m = p_m * g (truncated to s2).
-                let dem_row = &mut d_em.row_mut(r)[p * s2..(p + 1) * s2];
-                for c in 0..s2.min(d) {
-                    dem_row[c] += pm * g[c];
-                }
-                // d e^f = p_f * g; factorization-function backward into
-                // the two fields (and the pair weights for Generalized).
-                let (ei, ej) = (
-                    eo_row[i * s1..(i + 1) * s1].to_vec(),
-                    eo_row[j * s1..(j + 1) * s1].to_vec(),
-                );
-                let deo_row = d_eo.row_mut(r);
-                match self.cfg.fact_fn {
-                    FactFn::Hadamard => {
-                        for c in 0..s1.min(d) {
-                            let def = pf * g[c];
-                            deo_row[i * s1 + c] += def * ej[c];
-                            deo_row[j * s1 + c] += def * ei[c];
-                        }
+        // Two owner-computes passes replace the serial fused pair loop.
+        // Splitting is safe because the pair-owned accumulators (dp_m, dp_f,
+        // arch grad, generalized weights) and the row-owned ones (d e^o,
+        // d e^m) never alias, and each pass keeps every accumulator's
+        // element-wise accumulation order identical to the fused loop:
+        // ascending `r` per pair in pass A, ascending `p` per row in pass B.
+        let fact_fn = self.cfg.fact_fn;
+        let pairs: Vec<(usize, usize)> = self.dims.pairs().iter().collect();
+
+        // Pass A — parallel over pairs: dp_m/dp_f reductions (ascending r,
+        // exactly as the fused loop accumulated them), the Gumbel backward,
+        // this pair's architecture-gradient row, and for the generalized
+        // product this pair's weight-gradient row.
+        {
+            let arch_grad_ptr = SendPtr(self.arch.grad.as_mut_slice().as_mut_ptr());
+            let fw_grad_ptr = self
+                .fact_weights
+                .as_mut()
+                .map(|fw| SendPtr(fw.grad.as_mut_slice().as_mut_ptr()));
+            let cache_ref = &cache;
+            let dinput_ref = &dinput;
+            self.pool.run(p_count, |p| {
+                let (i, j) = pairs[p];
+                let sample = &cache_ref.samples[p];
+                let pf = sample.probs[1];
+                let base = m * s1 + p * d;
+                let mut dpm = 0.0f32;
+                let mut dpf = 0.0f32;
+                for r in 0..b {
+                    let g = &dinput_ref.row(r)[base..base + d];
+                    let em_row = &cache_ref.em.row(r)[p * s2..(p + 1) * s2];
+                    let ef_row = &cache_ref.ef.row(r)[p * s1..(p + 1) * s1];
+                    // d p_m, d p_f: inner products with the candidates.
+                    for c in 0..s2.min(d) {
+                        dpm += g[c] * em_row[c];
                     }
-                    FactFn::PointwiseAdd => {
-                        for c in 0..s1.min(d) {
-                            let def = pf * g[c];
-                            deo_row[i * s1 + c] += def;
-                            deo_row[j * s1 + c] += def;
-                        }
+                    for c in 0..s1.min(d) {
+                        dpf += g[c] * ef_row[c];
                     }
-                    FactFn::Generalized => {
-                        let fw = self.fact_weights.as_mut().expect("generalized weights");
-                        let w: Vec<f32> = fw.value.row(p).to_vec();
-                        let dw = fw.grad.row_mut(p);
+                    if fact_fn == FactFn::Generalized {
+                        let eo_row = cache_ref.eo.row(r);
+                        let (ei, ej) =
+                            (&eo_row[i * s1..(i + 1) * s1], &eo_row[j * s1..(j + 1) * s1]);
+                        // SAFETY: weight-grad row `p` belongs to this job.
+                        let dw = unsafe {
+                            fw_grad_ptr
+                                .as_ref()
+                                .expect("generalized weights")
+                                .slice(p * s1, s1)
+                        };
                         for c in 0..s1.min(d) {
                             let def = pf * g[c];
-                            deo_row[i * s1 + c] += def * w[c] * ej[c];
-                            deo_row[j * s1 + c] += def * w[c] * ei[c];
                             dw[c] += def * ei[c] * ej[c];
                         }
                     }
                 }
-            }
-            // d p_n = 0 (the naive embedding is identically zero).
-            let dprobs = [dpm, dpf, 0.0];
-            let mut dlogits = [0.0f32; 3];
-            sample.backward(&dprobs, &mut dlogits);
-            let arow = self.arch.grad.row_mut(p);
-            for c in 0..3 {
-                arow[c] += dlogits[c];
-            }
+                // d p_n = 0 (the naive embedding is identically zero).
+                let dprobs = [dpm, dpf, 0.0];
+                let mut dlogits = [0.0f32; 3];
+                sample.backward(&dprobs, &mut dlogits);
+                // SAFETY: arch-grad row `p` belongs to exactly this job.
+                let arow = unsafe { arch_grad_ptr.slice(p * 3, 3) };
+                for c in 0..3 {
+                    arow[c] += dlogits[c];
+                }
+            });
         }
 
-        self.e_orig.accumulate_grad_fields(&cache.fields, m, &d_eo);
-        self.e_cross.accumulate_grad_fields(&cache.cross, p_count, &d_em);
+        // Pass B — parallel over batch rows: d e^m and d e^o. A row of
+        // `d e^o` receives contributions from every pair containing its
+        // fields; iterating pairs in ascending order inside the row job
+        // reproduces the fused loop's per-element accumulation order.
+        let mut d_eo = dinput.block(0, m * s1);
+        let mut d_em = Matrix::zeros(b, p_count * s2);
+        {
+            let eo_width = m * s1;
+            let em_width = p_count * s2;
+            let d_eo_ptr = SendPtr(d_eo.as_mut_slice().as_mut_ptr());
+            let d_em_ptr = SendPtr(d_em.as_mut_slice().as_mut_ptr());
+            let fw_val = self.fact_weights.as_ref().map(|fw| &fw.value);
+            let cache_ref = &cache;
+            let dinput_ref = &dinput;
+            let (chunk, njobs) = chunks_for(b, self.pool.threads());
+            self.pool.run(njobs, |job| {
+                let r0 = job * chunk;
+                let r1 = (r0 + chunk).min(b);
+                for r in r0..r1 {
+                    // SAFETY: gradient rows `r` belong to exactly this job.
+                    let deo_row = unsafe { d_eo_ptr.slice(r * eo_width, eo_width) };
+                    let dem_full = unsafe { d_em_ptr.slice(r * em_width, em_width) };
+                    let eo_row = cache_ref.eo.row(r);
+                    let din_row = dinput_ref.row(r);
+                    for (p, &(i, j)) in pairs.iter().enumerate() {
+                        let sample = &cache_ref.samples[p];
+                        let (pm, pf) = (sample.probs[0], sample.probs[1]);
+                        let base = m * s1 + p * d;
+                        let g = &din_row[base..base + d];
+                        // d e^m = p_m * g (truncated to s2).
+                        let dem_row = &mut dem_full[p * s2..(p + 1) * s2];
+                        for c in 0..s2.min(d) {
+                            dem_row[c] += pm * g[c];
+                        }
+                        // d e^f = p_f * g; factorization-function backward
+                        // into the two fields.
+                        let (ei, ej) =
+                            (&eo_row[i * s1..(i + 1) * s1], &eo_row[j * s1..(j + 1) * s1]);
+                        match fact_fn {
+                            FactFn::Hadamard => {
+                                for c in 0..s1.min(d) {
+                                    let def = pf * g[c];
+                                    deo_row[i * s1 + c] += def * ej[c];
+                                    deo_row[j * s1 + c] += def * ei[c];
+                                }
+                            }
+                            FactFn::PointwiseAdd => {
+                                for c in 0..s1.min(d) {
+                                    let def = pf * g[c];
+                                    deo_row[i * s1 + c] += def;
+                                    deo_row[j * s1 + c] += def;
+                                }
+                            }
+                            FactFn::Generalized => {
+                                let w = fw_val.expect("generalized weights").row(p);
+                                for c in 0..s1.min(d) {
+                                    let def = pf * g[c];
+                                    deo_row[i * s1 + c] += def * w[c] * ej[c];
+                                    deo_row[j * s1 + c] += def * w[c] * ei[c];
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        let pool = self.pool.clone();
+        self.e_orig
+            .accumulate_grad_fields_pooled(&cache.fields, m, &d_eo, &pool);
+        self.e_cross
+            .accumulate_grad_fields_pooled(&cache.cross, p_count, &d_em, &pool);
     }
 
     /// Applies one simultaneous optimizer step to Θ and α (Algorithm 1).
@@ -413,14 +540,19 @@ mod tests {
     fn tiny_setup() -> (Supernet, optinter_data::DatasetBundle) {
         let bundle = Profile::Tiny.bundle_with_rows(1200, 7);
         let dims = DataDims::of(&bundle.data);
-        let cfg = OptInterConfig { seed: 3, ..OptInterConfig::test_small() };
+        let cfg = OptInterConfig {
+            seed: 3,
+            ..OptInterConfig::test_small()
+        };
         (Supernet::new(cfg, dims), bundle)
     }
 
     #[test]
     fn forward_shapes() {
         let (mut net, bundle) = tiny_setup();
-        let batch = BatchIter::new(&bundle.data, 0..64, 64, None).next().unwrap();
+        let batch = BatchIter::new(&bundle.data, 0..64, 64, None)
+            .next()
+            .unwrap();
         let logits = net.forward(&batch, 1.0, true);
         assert_eq!(logits.shape(), (64, 1));
     }
@@ -446,7 +578,10 @@ mod tests {
                 first.get_or_insert(last);
             }
         }
-        assert!(last < first.unwrap(), "loss did not decrease: {first:?} -> {last}");
+        assert!(
+            last < first.unwrap(),
+            "loss did not decrease: {first:?} -> {last}"
+        );
     }
 
     #[test]
@@ -471,7 +606,9 @@ mod tests {
         for p in 0..net.dims.num_pairs {
             let target = p % 3;
             for c in 0..3 {
-                net.arch.value.set(p, c, if c == target { 5.0 } else { -5.0 });
+                net.arch
+                    .value
+                    .set(p, c, if c == target { 5.0 } else { -5.0 });
             }
         }
         let arch = net.extract_architecture();
@@ -482,50 +619,87 @@ mod tests {
 
     #[test]
     fn arch_gradient_matches_finite_differences() {
-        // End-to-end validation of the Gumbel-softmax backward: with the
-        // noiseless (deterministic) relaxation, the analytic d loss / d α
-        // must match central finite differences through the whole network.
-        let (mut net, bundle) = tiny_setup();
-        let batch = BatchIter::new(&bundle.data, 0..32, 32, None).next().unwrap();
+        arch_gradcheck_for(FactFn::Hadamard, 1);
+    }
+
+    #[test]
+    fn arch_gradient_matches_finite_differences_pointwise_add() {
+        arch_gradcheck_for(FactFn::PointwiseAdd, 1);
+    }
+
+    #[test]
+    fn arch_gradient_matches_finite_differences_generalized() {
+        arch_gradcheck_for(FactFn::Generalized, 1);
+    }
+
+    #[test]
+    fn arch_gradient_matches_finite_differences_pooled() {
+        // The same check through the 2-thread data-parallel path: the
+        // pooled forward/backward must produce the same (correct) α
+        // gradients as the serial one.
+        arch_gradcheck_for(FactFn::Generalized, 2);
+    }
+
+    /// End-to-end validation of the Gumbel-softmax backward: with the
+    /// noiseless (deterministic) relaxation, the analytic d loss / d α must
+    /// match central finite differences through the whole network.
+    fn arch_gradcheck_for(fact_fn: FactFn, num_threads: usize) {
+        let bundle = Profile::Tiny.bundle_with_rows(1200, 7);
+        let dims = DataDims::of(&bundle.data);
+        let cfg = OptInterConfig {
+            seed: 3,
+            fact_fn,
+            num_threads,
+            ..OptInterConfig::test_small()
+        };
+        let mut net = Supernet::new(cfg, dims);
+        let batch = BatchIter::new(&bundle.data, 0..32, 32, None)
+            .next()
+            .unwrap();
         let tau = 0.7;
         // Move logits off the uniform point so gradients are non-trivial.
         for p in 0..net.dims.num_pairs {
             for c in 0..3 {
-                net.arch.value.set(p, c, ((p * 3 + c) as f32 * 0.37).sin() * 0.5);
+                net.arch
+                    .value
+                    .set(p, c, ((p * 3 + c) as f32 * 0.37).sin() * 0.5);
             }
         }
-        let loss_at = |net: &mut Supernet, batch: &Batch| -> f32 {
-            let logits = net.forward(batch, tau, false);
-            net.cache = None;
-            bce_with_logits(&logits, &batch.labels).0
-        };
         let logits = net.forward(&batch, tau, false);
         let (_, grad) = bce_with_logits(&logits, &batch.labels);
         net.backward(&grad);
         let analytic = net.arch.grad.clone();
         net.discard_grads();
-        let eps = 1e-2f32;
-        let mut max_err = 0.0f32;
-        for p in 0..net.dims.num_pairs.min(4) {
-            for c in 0..3 {
-                let orig = net.arch.value.get(p, c);
-                net.arch.value.set(p, c, orig + eps);
-                let fp = loss_at(&mut net, &batch);
-                net.arch.value.set(p, c, orig - eps);
-                let fm = loss_at(&mut net, &batch);
-                net.arch.value.set(p, c, orig);
-                let numeric = (fp - fm) / (2.0 * eps);
-                let err = (numeric - analytic.get(p, c)).abs();
-                max_err = max_err.max(err);
-            }
-        }
-        assert!(max_err < 5e-3, "arch gradient check failed: max err {max_err}");
+        let entries: Vec<(usize, usize)> = (0..net.dims.num_pairs.min(4))
+            .flat_map(|p| (0..3).map(move |c| (p, c)))
+            .collect();
+        let cell = std::cell::RefCell::new(&mut net);
+        let report = optinter_nn::gradcheck::check_grad_entries(
+            &entries,
+            1e-2,
+            |p, c| analytic.get(p, c),
+            |p, c| cell.borrow().arch.value.get(p, c),
+            |p, c, v| cell.borrow_mut().arch.value.set(p, c, v),
+            || {
+                let mut n = cell.borrow_mut();
+                let logits = n.forward(&batch, tau, false);
+                n.cache = None;
+                bce_with_logits(&logits, &batch.labels).0
+            },
+        );
+        assert!(
+            report.max_abs_err < 5e-3,
+            "{} arch gradient check failed: {report:?}",
+            fact_fn.tag()
+        );
     }
 
     #[test]
     fn predict_returns_probabilities() {
         let (mut net, bundle) = tiny_setup();
-        let batch = BatchIter::new(&bundle.data, 0..32, 32, None).next().unwrap();
+        let batch = BatchIter::new(&bundle.data, 0..32, 32, None)
+            .next()
+            .unwrap();
         let probs = net.predict(&batch, 0.5);
         assert_eq!(probs.len(), 32);
         assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
@@ -534,7 +708,9 @@ mod tests {
     #[test]
     fn discard_grads_prevents_update_effect() {
         let (mut net, bundle) = tiny_setup();
-        let batch = BatchIter::new(&bundle.data, 0..64, 64, None).next().unwrap();
+        let batch = BatchIter::new(&bundle.data, 0..64, 64, None)
+            .next()
+            .unwrap();
         let logits = net.forward(&batch, 1.0, true);
         let (_, grad) = bce_with_logits(&logits, &batch.labels);
         net.backward(&grad);

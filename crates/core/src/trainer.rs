@@ -93,8 +93,12 @@ pub fn train_fixed(
         let val = evaluate_net(&mut net, bundle, bundle.split.val.clone(), cfg.batch_size);
         if val.auc > best_val {
             best_val = val.auc;
-            best_test =
-                Some(evaluate_net(&mut net, bundle, bundle.split.test.clone(), cfg.batch_size));
+            best_test = Some(evaluate_net(
+                &mut net,
+                bundle,
+                bundle.split.test.clone(),
+                cfg.batch_size,
+            ));
             since_best = 0;
         } else {
             since_best += 1;
@@ -103,8 +107,9 @@ pub fn train_fixed(
             }
         }
     }
-    let eval = best_test
-        .unwrap_or_else(|| evaluate_net(&mut net, bundle, bundle.split.test.clone(), cfg.batch_size));
+    let eval = best_test.unwrap_or_else(|| {
+        evaluate_net(&mut net, bundle, bundle.split.test.clone(), cfg.batch_size)
+    });
     let report = TrainReport {
         auc: eval.auc,
         log_loss: eval.log_loss,
@@ -135,7 +140,11 @@ mod tests {
 
     fn setup() -> (DatasetBundle, OptInterConfig) {
         let bundle = Profile::Tiny.bundle_with_rows(2500, 31);
-        let cfg = OptInterConfig { seed: 2, retrain_epochs: 2, ..OptInterConfig::test_small() };
+        let cfg = OptInterConfig {
+            seed: 2,
+            retrain_epochs: 2,
+            ..OptInterConfig::test_small()
+        };
         (bundle, cfg)
     }
 

@@ -59,7 +59,13 @@ impl<'a> BatchIter<'a> {
             let mut rng = StdRng::seed_from_u64(seed);
             order.shuffle(&mut rng);
         }
-        Self { data, order, batch_size, cursor: 0, include_cross: true }
+        Self {
+            data,
+            order,
+            batch_size,
+            cursor: 0,
+            include_cross: true,
+        }
     }
 
     /// Controls whether batches gather cross-feature ids (models that never
@@ -88,7 +94,11 @@ impl Iterator for BatchIter<'_> {
         let m = self.data.num_fields;
         let p = self.data.num_pairs;
         let mut fields = Vec::with_capacity(rows.len() * m);
-        let mut cross = Vec::with_capacity(if self.include_cross { rows.len() * p } else { 0 });
+        let mut cross = Vec::with_capacity(if self.include_cross {
+            rows.len() * p
+        } else {
+            0
+        });
         let mut labels = Vec::with_capacity(rows.len());
         for &r in rows {
             fields.extend_from_slice(self.data.row_fields(r));
@@ -97,7 +107,13 @@ impl Iterator for BatchIter<'_> {
             }
             labels.push(self.data.labels[r]);
         }
-        Some(Batch { fields, cross, labels, num_fields: m, num_pairs: p })
+        Some(Batch {
+            fields,
+            cross,
+            labels,
+            num_fields: m,
+            num_pairs: p,
+        })
     }
 }
 
@@ -177,7 +193,9 @@ mod tests {
     #[test]
     fn range_subset_only() {
         let b = bundle();
-        let total: usize = BatchIter::new(&b.data, 20..40, 8, Some(1)).map(|x| x.len()).sum();
+        let total: usize = BatchIter::new(&b.data, 20..40, 8, Some(1))
+            .map(|x| x.len())
+            .sum();
         assert_eq!(total, 20);
     }
 }

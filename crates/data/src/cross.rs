@@ -31,8 +31,11 @@ impl PairVocab {
             .map(|(&v, _)| v)
             .collect();
         kept.sort_unstable();
-        let map: HashMap<u64, u32> =
-            kept.iter().enumerate().map(|(i, &v)| (v, i as u32 + 1)).collect();
+        let map: HashMap<u64, u32> = kept
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32 + 1))
+            .collect();
         let size = map.len() as u32 + 1;
         Self { map, size }
     }
@@ -73,15 +76,22 @@ impl CrossVocab {
                 *counts[p].entry(raw_cross(row[i], row[j])).or_insert(0) += 1;
             }
         }
-        let pairs: Vec<PairVocab> =
-            counts.iter().map(|c| PairVocab::from_counts(c, min_count)).collect();
+        let pairs: Vec<PairVocab> = counts
+            .iter()
+            .map(|c| PairVocab::from_counts(c, min_count))
+            .collect();
         let mut offsets = Vec::with_capacity(np);
         let mut total = 0u32;
         for pv in &pairs {
             offsets.push(total);
             total += pv.size();
         }
-        Self { pairs, offsets, total, indexer }
+        Self {
+            pairs,
+            offsets,
+            total,
+            indexer,
+        }
     }
 
     /// Number of pairs.

@@ -23,11 +23,18 @@ pub struct Split {
 impl Split {
     /// Builds a split from fractions. Fractions must sum to at most 1.
     pub fn fractions(n: usize, train: f64, val: f64) -> Self {
-        assert!(train > 0.0 && val >= 0.0 && train + val < 1.0, "invalid split fractions");
+        assert!(
+            train > 0.0 && val >= 0.0 && train + val < 1.0,
+            "invalid split fractions"
+        );
         let n_train = (n as f64 * train).round() as usize;
         let n_val = (n as f64 * val).round() as usize;
         assert!(n_train + n_val < n, "split leaves no test rows");
-        Self { train: 0..n_train, val: n_train..n_train + n_val, test: n_train + n_val..n }
+        Self {
+            train: 0..n_train,
+            val: n_train..n_train + n_val,
+            test: n_train + n_val..n,
+        }
     }
 }
 
@@ -80,7 +87,9 @@ impl EncodedDataset {
             field_vocab_sizes: vocab.sizes(),
             pair_vocab_sizes: cross_vocab.sizes(),
             field_offsets: (0..m).map(|f| vocab.offset(f)).collect(),
-            pair_offsets: (0..raw.schema.num_pairs()).map(|p| cross_vocab.offset(p)).collect(),
+            pair_offsets: (0..raw.schema.num_pairs())
+                .map(|p| cross_vocab.offset(p))
+                .collect(),
         }
     }
 
@@ -141,7 +150,13 @@ impl DatasetBundle {
         let data = EncodedDataset::encode(&raw, split.train.clone(), min_count);
         let spec = generator.spec().clone();
         let planted = spec.planted.clone();
-        Self { spec, data, split, planted, oracle_logits: raw.logits }
+        Self {
+            spec,
+            data,
+            split,
+            planted,
+            oracle_logits: raw.logits,
+        }
     }
 
     /// Number of samples.

@@ -227,7 +227,12 @@ impl SyntheticGenerator {
             .map(|&c| Zipf::new(c, spec.zipf_exponent))
             .collect();
         let pairs = PairIndexer::new(spec.cardinalities.len());
-        let mut gen = Self { spec, samplers, pairs, bias: 0.0 };
+        let mut gen = Self {
+            spec,
+            samplers,
+            pairs,
+            bias: 0.0,
+        };
         gen.bias = gen.calibrate_bias(4000);
         gen
     }
@@ -333,8 +338,7 @@ impl SyntheticGenerator {
         let mut hi = 30.0f32;
         for _ in 0..60 {
             let mid = 0.5 * (lo + hi);
-            let mean: f32 =
-                logits.iter().map(|&z| sigmoid(z + mid)).sum::<f32>() / n_calib as f32;
+            let mean: f32 = logits.iter().map(|&z| sigmoid(z + mid)).sum::<f32>() / n_calib as f32;
             if mean < target {
                 lo = mid;
             } else {
@@ -370,7 +374,12 @@ impl SyntheticGenerator {
             labels.push(y);
             logits.push(logit);
         }
-        RawDataset { schema: self.spec.schema(), rows, labels, logits }
+        RawDataset {
+            schema: self.spec.schema(),
+            rows,
+            labels,
+            logits,
+        }
     }
 }
 
@@ -400,8 +409,14 @@ mod tests {
         let a = PlantedKind::assign(3, 4, 5, 12, 42);
         let b = PlantedKind::assign(3, 4, 5, 12, 42);
         assert_eq!(a, b);
-        assert_eq!(a.iter().filter(|k| **k == PlantedKind::Memorized).count(), 3);
-        assert_eq!(a.iter().filter(|k| **k == PlantedKind::Factorized).count(), 4);
+        assert_eq!(
+            a.iter().filter(|k| **k == PlantedKind::Memorized).count(),
+            3
+        );
+        assert_eq!(
+            a.iter().filter(|k| **k == PlantedKind::Factorized).count(),
+            4
+        );
         assert_eq!(a.iter().filter(|k| **k == PlantedKind::None).count(), 5);
     }
 

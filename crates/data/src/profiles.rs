@@ -36,12 +36,21 @@ pub enum Profile {
 impl Profile {
     /// All four paper datasets (excludes `Tiny`).
     pub fn paper_datasets() -> [Profile; 4] {
-        [Profile::CriteoLike, Profile::AvazuLike, Profile::IpinyouLike, Profile::PrivateLike]
+        [
+            Profile::CriteoLike,
+            Profile::AvazuLike,
+            Profile::IpinyouLike,
+            Profile::PrivateLike,
+        ]
     }
 
     /// The three public paper datasets (Tables VI and VIII scope).
     pub fn public_datasets() -> [Profile; 3] {
-        [Profile::CriteoLike, Profile::AvazuLike, Profile::IpinyouLike]
+        [
+            Profile::CriteoLike,
+            Profile::AvazuLike,
+            Profile::IpinyouLike,
+        ]
     }
 
     /// Profile name (used in reports).
@@ -71,7 +80,7 @@ impl Profile {
                     factorized_std: 1.0,
                     latent_dim: 4,
                     nonlinear_std: 0.3,
-            noise_std: 0.3,
+                    noise_std: 0.3,
                     target_pos_ratio: 0.23,
                 }
             }
@@ -90,7 +99,7 @@ impl Profile {
                     factorized_std: 1.0,
                     latent_dim: 4,
                     nonlinear_std: 0.3,
-            noise_std: 0.3,
+                    noise_std: 0.3,
                     target_pos_ratio: 0.17,
                 }
             }
@@ -107,7 +116,7 @@ impl Profile {
                     factorized_std: 0.8,
                     latent_dim: 4,
                     nonlinear_std: 0.3,
-            noise_std: 0.3,
+                    noise_std: 0.3,
                     // The real iPinYou pos ratio (8e-4) would leave too few
                     // positives at this scale for stable AUC; 0.02 keeps the
                     // "rare positives" character while remaining measurable.
@@ -127,7 +136,7 @@ impl Profile {
                     factorized_std: 1.0,
                     latent_dim: 4,
                     nonlinear_std: 0.3,
-            noise_std: 0.3,
+                    noise_std: 0.3,
                     target_pos_ratio: 0.17,
                 }
             }
@@ -144,7 +153,7 @@ impl Profile {
                     factorized_std: 1.0,
                     latent_dim: 3,
                     nonlinear_std: 0.6,
-            noise_std: 0.2,
+                    noise_std: 0.2,
                     target_pos_ratio: 0.3,
                 }
             }
@@ -210,7 +219,11 @@ mod tests {
         assert_eq!(b.data.num_pairs, 15);
         assert_eq!(b.len(), 2000);
         let stats = DatasetStats::compute(&b);
-        assert!((0.15..0.45).contains(&stats.pos_ratio), "{}", stats.pos_ratio);
+        assert!(
+            (0.15..0.45).contains(&stats.pos_ratio),
+            "{}",
+            stats.pos_ratio
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ impl Schema {
     /// Panics if any cardinality is zero or there are fewer than two fields.
     pub fn new(cardinalities: Vec<u32>) -> Self {
         assert!(cardinalities.len() >= 2, "schema needs at least two fields");
-        assert!(cardinalities.iter().all(|&c| c > 0), "field cardinality must be positive");
+        assert!(
+            cardinalities.iter().all(|&c| c > 0),
+            "field cardinality must be positive"
+        );
         Self { cardinalities }
     }
 

@@ -102,7 +102,10 @@ mod tests {
         assert_eq!(stats.num_cross, 6);
         assert_eq!(stats.orig_values, bundle.data.orig_vocab as u64);
         assert_eq!(stats.cross_values, bundle.data.cross_vocab as u64);
-        assert!(stats.cross_values > stats.orig_values, "cross vocab should dominate");
+        assert!(
+            stats.cross_values > stats.orig_values,
+            "cross vocab should dominate"
+        );
         assert!((0.1..0.6).contains(&stats.pos_ratio));
     }
 

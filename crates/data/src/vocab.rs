@@ -26,8 +26,11 @@ impl FieldVocab {
             .map(|(&v, _)| v)
             .collect();
         kept.sort_unstable(); // deterministic id assignment
-        let map: HashMap<u32, u32> =
-            kept.iter().enumerate().map(|(i, &v)| (v, i as u32 + 1)).collect();
+        let map: HashMap<u32, u32> = kept
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32 + 1))
+            .collect();
         let size = map.len() as u32 + 1; // +1 for OOV slot 0
         Self { map, size }
     }
@@ -69,15 +72,21 @@ impl Vocabulary {
                 *count.entry(rows[i * m + f]).or_insert(0) += 1;
             }
         }
-        let fields: Vec<FieldVocab> =
-            counts.iter().map(|c| FieldVocab::from_counts(c, min_count)).collect();
+        let fields: Vec<FieldVocab> = counts
+            .iter()
+            .map(|c| FieldVocab::from_counts(c, min_count))
+            .collect();
         let mut offsets = Vec::with_capacity(m);
         let mut total = 0u32;
         for fv in &fields {
             offsets.push(total);
             total += fv.size();
         }
-        Self { fields, offsets, total }
+        Self {
+            fields,
+            offsets,
+            total,
+        }
     }
 
     /// Number of fields.

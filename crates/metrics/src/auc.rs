@@ -17,7 +17,9 @@ pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
     }
     let mut idx: Vec<usize> = (0..n).collect();
     idx.sort_by(|&a, &b| {
-        scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut rank_sum_pos = 0.0f64;
     let mut n_pos = 0u64;
@@ -90,6 +92,56 @@ mod tests {
         let scores = [0.5, 0.5];
         let labels = [1.0, 0.0];
         assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_example_returns_half() {
+        // One example means one empty class — undefined AUC, 0.5 by
+        // convention, for either label.
+        assert_eq!(auc(&[0.3], &[1.0]), 0.5);
+        assert_eq!(auc(&[0.3], &[0.0]), 0.5);
+    }
+
+    #[test]
+    fn tied_blocks_match_pairwise_bruteforce() {
+        // Heavy ties: only three distinct score values across 30 examples,
+        // with both classes inside every tied block. The rank-sum identity
+        // with mean ranks must agree with the O(n^2) definition where a
+        // tied pair counts 0.5.
+        let scores: Vec<f32> = (0..30).map(|i| (i % 3) as f32 * 0.25).collect();
+        let labels: Vec<f32> = (0..30).map(|i| ((i * 7) % 4 == 0) as u8 as f32).collect();
+        let fast = auc(&scores, &labels);
+        let mut wins = 0.0f64;
+        let mut total = 0.0f64;
+        for i in 0..30 {
+            for j in 0..30 {
+                if labels[i] > 0.5 && labels[j] < 0.5 {
+                    total += 1.0;
+                    if scores[i] > scores[j] {
+                        wins += 1.0;
+                    } else if scores[i] == scores[j] {
+                        wins += 0.5;
+                    }
+                }
+            }
+        }
+        assert!(
+            (fast - wins / total).abs() < 1e-12,
+            "{fast} vs {}",
+            wins / total
+        );
+    }
+
+    #[test]
+    fn tied_scores_with_skewed_classes() {
+        // A single tied block plus one separated positive: AUC must blend
+        // the 0.5-per-tied-pair convention with the clean win.
+        // Pairs: (1.0 vs 0.5)=1, (0.5 vs 0.5 tie)=0.5 x2 -> (1+0.5+0.5)/3? No:
+        // positives at {1.0, 0.5}, negatives at {0.5, 0.5}. Pairs:
+        // (1.0,0.5)=1 twice; (0.5,0.5)=0.5 twice -> 3/4.
+        let scores = [1.0f32, 0.5, 0.5, 0.5];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!((auc(&scores, &labels) - 0.75).abs() < 1e-12);
     }
 
     #[test]

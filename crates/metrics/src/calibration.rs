@@ -26,7 +26,11 @@ pub struct ReliabilityBin {
 /// Panics if `bins == 0` or lengths mismatch.
 pub fn reliability_table(probs: &[f32], labels: &[f32], bins: usize) -> Vec<ReliabilityBin> {
     assert!(bins > 0, "reliability_table: need at least one bin");
-    assert_eq!(probs.len(), labels.len(), "reliability_table: length mismatch");
+    assert_eq!(
+        probs.len(),
+        labels.len(),
+        "reliability_table: length mismatch"
+    );
     let mut counts = vec![0usize; bins];
     let mut sum_pred = vec![0.0f64; bins];
     let mut sum_obs = vec![0.0f64; bins];
@@ -41,8 +45,16 @@ pub fn reliability_table(probs: &[f32], labels: &[f32], bins: usize) -> Vec<Reli
             lower: i as f64 / bins as f64,
             upper: (i + 1) as f64 / bins as f64,
             count: counts[i],
-            mean_predicted: if counts[i] > 0 { sum_pred[i] / counts[i] as f64 } else { 0.0 },
-            mean_observed: if counts[i] > 0 { sum_obs[i] / counts[i] as f64 } else { 0.0 },
+            mean_predicted: if counts[i] > 0 {
+                sum_pred[i] / counts[i] as f64
+            } else {
+                0.0
+            },
+            mean_observed: if counts[i] > 0 {
+                sum_obs[i] / counts[i] as f64
+            } else {
+                0.0
+            },
         })
         .collect()
 }
@@ -57,16 +69,18 @@ pub fn expected_calibration_error(probs: &[f32], labels: &[f32], bins: usize) ->
     }
     table
         .iter()
-        .map(|b| {
-            (b.count as f64 / n as f64) * (b.mean_predicted - b.mean_observed).abs()
-        })
+        .map(|b| (b.count as f64 / n as f64) * (b.mean_predicted - b.mean_observed).abs())
         .sum()
 }
 
 /// Calibration intercept: log-odds of the observed rate minus mean predicted
 /// log-odds. Positive values mean the model under-predicts.
 pub fn calibration_ratio(probs: &[f32], labels: &[f32]) -> f64 {
-    assert_eq!(probs.len(), labels.len(), "calibration_ratio: length mismatch");
+    assert_eq!(
+        probs.len(),
+        labels.len(),
+        "calibration_ratio: length mismatch"
+    );
     if probs.is_empty() {
         return 1.0;
     }

@@ -35,7 +35,10 @@ pub struct EvalResult {
 
 /// Evaluates predicted probabilities against binary labels.
 pub fn evaluate(probs: &[f32], labels: &[f32]) -> EvalResult {
-    EvalResult { auc: auc(probs, labels), log_loss: log_loss(probs, labels) }
+    EvalResult {
+        auc: auc(probs, labels),
+        log_loss: log_loss(probs, labels),
+    }
 }
 
 #[cfg(test)]

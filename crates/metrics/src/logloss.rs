@@ -60,4 +60,38 @@ mod tests {
     fn empty_input_panics() {
         log_loss(&[], &[]);
     }
+
+    #[test]
+    fn confidently_wrong_hits_clamp_penalty() {
+        // p is clamped to (1e-7, 1 - 1e-7) before the log, so a maximally
+        // wrong prediction costs about -ln(1e-7) ~ 16.1 on the low side.
+        // The high side pays -ln(2^-23) ~ 15.9: in f32 `1.0 - 1e-7` rounds
+        // to `1 - 2^-23`, the nearest representable value. Both are finite.
+        let expected = -(1e-7f64).ln();
+        for (p, y) in [(0.0f32, 1.0f32), (1.0, 0.0)] {
+            let ll = log_loss(&[p], &[y]);
+            assert!(ll.is_finite());
+            assert!(
+                (ll - expected).abs() < 0.2,
+                "p={p} y={y}: {ll} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn confidently_right_is_near_zero_not_negative() {
+        // The clamp keeps -ln(1 - 1e-7) positive but tiny.
+        let ll = log_loss(&[1.0, 0.0], &[1.0, 0.0]);
+        assert!(ll >= 0.0);
+        assert!(ll < 1e-5, "{ll}");
+    }
+
+    #[test]
+    fn mixed_extremes_average_correctly() {
+        // One perfectly right and one perfectly wrong prediction: the mean
+        // is half of the clamp penalty (the near-zero right term vanishes).
+        let wrong = log_loss(&[1.0], &[0.0]);
+        let ll = log_loss(&[1.0, 1.0], &[1.0, 0.0]);
+        assert!((ll - wrong / 2.0).abs() < 1e-6, "{ll} vs {}", wrong / 2.0);
+    }
 }

@@ -22,7 +22,11 @@ pub fn binary_entropy(p: f64) -> f64 {
 /// is); the paper's analysis compares *relative* MI across pairs, which the
 /// bias does not reorder materially at our sample sizes.
 pub fn mutual_information(ids: &[u32], labels: &[f32]) -> f64 {
-    assert_eq!(ids.len(), labels.len(), "mutual_information: length mismatch");
+    assert_eq!(
+        ids.len(),
+        labels.len(),
+        "mutual_information: length mismatch"
+    );
     let n = ids.len();
     if n == 0 {
         return 0.0;
@@ -140,12 +144,17 @@ mod tests {
         // MI is noticeably positive, the corrected estimate near zero.
         let n = 2000usize;
         // Odd modulus so the id carries no parity information about i.
-        let ids: Vec<u32> = (0..n).map(|i| ((i * 2654435761usize) % 499) as u32).collect();
+        let ids: Vec<u32> = (0..n)
+            .map(|i| ((i * 2654435761usize) % 499) as u32)
+            .collect();
         let labels: Vec<f32> = (0..n).map(|i| (((i * 7919 + 13) / 7) % 2) as f32).collect();
         let plugin = mutual_information(&ids, &labels);
         let corrected = mutual_information_corrected(&ids, &labels);
         assert!(plugin > 0.02, "plug-in bias should be visible: {plugin}");
-        assert!(corrected < plugin / 2.0, "correction too weak: {corrected} vs {plugin}");
+        assert!(
+            corrected < plugin / 2.0,
+            "correction too weak: {corrected} vs {plugin}"
+        );
     }
 
     #[test]
@@ -163,7 +172,13 @@ mod tests {
         let labels: Vec<f32> = (0..2000).map(|i| (i % 2) as f32).collect();
         let a: Vec<u32> = (0..2000).map(|i| (i % 2) as u32).collect();
         let b: Vec<u32> = (0..2000)
-            .map(|i| if i % 8 < 2 { 1 - (i % 2) as u32 } else { (i % 2) as u32 })
+            .map(|i| {
+                if i % 8 < 2 {
+                    1 - (i % 2) as u32
+                } else {
+                    (i % 2) as u32
+                }
+            })
             .collect();
         let c: Vec<u32> = (0..2000).map(|i| ((i * 7919) % 5) as u32).collect();
         let mi_a = mutual_information(&a, &labels);

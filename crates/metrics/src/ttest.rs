@@ -136,7 +136,10 @@ pub fn two_tailed_p(t: f64, df: f64) -> f64 {
 
 /// Welch's unequal-variance t-test between two independent samples.
 pub fn welch_t_test(xs: &[f64], ys: &[f64]) -> TTestResult {
-    assert!(xs.len() >= 2 && ys.len() >= 2, "welch_t_test: need at least 2 samples per group");
+    assert!(
+        xs.len() >= 2 && ys.len() >= 2,
+        "welch_t_test: need at least 2 samples per group"
+    );
     let (mx, my) = (mean(xs), mean(ys));
     let (vx, vy) = (sample_variance(xs), sample_variance(ys));
     let (nx, ny) = (xs.len() as f64, ys.len() as f64);
@@ -144,12 +147,19 @@ pub fn welch_t_test(xs: &[f64], ys: &[f64]) -> TTestResult {
     if se_sq <= 0.0 {
         // Identical constants: no evidence of difference (or exact equality).
         let t = if mx == my { 0.0 } else { f64::INFINITY };
-        return TTestResult { t, df: nx + ny - 2.0, p_value: if mx == my { 1.0 } else { 0.0 } };
+        return TTestResult {
+            t,
+            df: nx + ny - 2.0,
+            p_value: if mx == my { 1.0 } else { 0.0 },
+        };
     }
     let t = (mx - my) / se_sq.sqrt();
-    let df = se_sq * se_sq
-        / ((vx / nx).powi(2) / (nx - 1.0) + (vy / ny).powi(2) / (ny - 1.0));
-    TTestResult { t, df, p_value: two_tailed_p(t, df) }
+    let df = se_sq * se_sq / ((vx / nx).powi(2) / (nx - 1.0) + (vy / ny).powi(2) / (ny - 1.0));
+    TTestResult {
+        t,
+        df,
+        p_value: two_tailed_p(t, df),
+    }
 }
 
 /// Paired two-tailed t-test over matched samples (the paper's "pairwise"
@@ -163,11 +173,19 @@ pub fn paired_t_test(xs: &[f64], ys: &[f64]) -> TTestResult {
     let n = diffs.len() as f64;
     if vd <= 0.0 {
         let t = if md == 0.0 { 0.0 } else { f64::INFINITY };
-        return TTestResult { t, df: n - 1.0, p_value: if md == 0.0 { 1.0 } else { 0.0 } };
+        return TTestResult {
+            t,
+            df: n - 1.0,
+            p_value: if md == 0.0 { 1.0 } else { 0.0 },
+        };
     }
     let t = md / (vd / n).sqrt();
     let df = n - 1.0;
-    TTestResult { t, df, p_value: two_tailed_p(t, df) }
+    TTestResult {
+        t,
+        df,
+        p_value: two_tailed_p(t, df),
+    }
 }
 
 #[cfg(test)]
@@ -220,7 +238,9 @@ mod tests {
     #[test]
     fn paired_detects_consistent_small_shift() {
         // A tiny but perfectly consistent improvement: paired test sees it.
-        let xs = [0.800, 0.810, 0.805, 0.795, 0.802, 0.808, 0.799, 0.803, 0.806, 0.801];
+        let xs = [
+            0.800, 0.810, 0.805, 0.795, 0.802, 0.808, 0.799, 0.803, 0.806, 0.801,
+        ];
         let ys: Vec<f64> = xs.iter().map(|&x| x - 0.001).collect();
         let r = paired_t_test(&xs, &ys);
         assert!(r.significant(0.005), "p = {}", r.p_value);

@@ -12,7 +12,10 @@
 
 use crate::traits::{BaselineConfig, Category, CtrModel, Taxonomy};
 use optinter_data::{Batch, DatasetBundle, PairIndexer};
-use optinter_nn::{bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Grda, GrdaConfig, Layer, Mlp, MlpConfig, Parameter};
+use optinter_nn::{
+    bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Grda, GrdaConfig, Layer, Mlp,
+    MlpConfig, Parameter,
+};
 use optinter_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,7 +45,12 @@ impl AutoFis {
     }
 
     /// Creates an AutoFIS model in re-train mode with a fixed selection.
-    pub fn retrain(cfg: &BaselineConfig, orig_vocab: u32, num_fields: usize, mask: Vec<bool>) -> Self {
+    pub fn retrain(
+        cfg: &BaselineConfig,
+        orig_vocab: u32,
+        num_fields: usize,
+        mask: Vec<bool>,
+    ) -> Self {
         Self::build(cfg, orig_vocab, num_fields, Some(mask))
     }
 
@@ -59,13 +67,17 @@ impl AutoFis {
             assert_eq!(mask.len(), pairs.num_pairs(), "mask must cover every pair");
         }
         let emb = EmbeddingTable::new(&mut rng, orig_vocab as usize, k);
-        let mlp = Mlp::new(&mut rng, &MlpConfig {
-            input_dim: num_fields * k + pairs.num_pairs(),
-            hidden: cfg.hidden.clone(),
-            output_dim: 1,
-            layer_norm: cfg.layer_norm,
-            ln_eps: 1e-5,
-        });
+        let mut mlp = Mlp::new(
+            &mut rng,
+            &MlpConfig {
+                input_dim: num_fields * k + pairs.num_pairs(),
+                hidden: cfg.hidden.clone(),
+                output_dim: 1,
+                layer_norm: cfg.layer_norm,
+                ln_eps: 1e-5,
+            },
+        );
+        mlp.set_pool(&optinter_tensor::Pool::new(cfg.num_threads));
         // Search mode: gates start at 0 so GRDA's dual accumulator starts
         // at the pruning threshold — gates that receive consistent signal
         // escape it, idle gates stay exactly zero (directional pruning).
@@ -77,7 +89,11 @@ impl AutoFis {
             gates,
             fixed_mask,
             adam: Adam::with_lr_eps(cfg.lr, cfg.adam_eps),
-            grda: Grda::new(GrdaConfig { lr: cfg.lr, c: cfg.grda_c, mu: cfg.grda_mu }),
+            grda: Grda::new(GrdaConfig {
+                lr: cfg.lr,
+                c: cfg.grda_c,
+                mu: cfg.grda_mu,
+            }),
             l2: cfg.l2,
             num_fields,
             dim: k,

@@ -27,13 +27,17 @@ impl DeepFm {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xDEEF);
         let k = cfg.embed_dim;
         let emb = EmbeddingTable::new(&mut rng, orig_vocab as usize, k);
-        let mlp = Mlp::new(&mut rng, &MlpConfig {
-            input_dim: num_fields * k,
-            hidden: cfg.hidden.clone(),
-            output_dim: 1,
-            layer_norm: cfg.layer_norm,
-            ln_eps: 1e-5,
-        });
+        let mut mlp = Mlp::new(
+            &mut rng,
+            &MlpConfig {
+                input_dim: num_fields * k,
+                hidden: cfg.hidden.clone(),
+                output_dim: 1,
+                layer_norm: cfg.layer_norm,
+                ln_eps: 1e-5,
+            },
+        );
+        mlp.set_pool(&optinter_tensor::Pool::new(cfg.num_threads));
         Self {
             linear: EmbeddingTable::zeros(orig_vocab as usize, 1),
             emb,

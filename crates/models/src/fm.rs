@@ -243,7 +243,11 @@ impl CtrModel for FmFamily {
     }
 
     fn predict(&mut self, batch: &Batch) -> Vec<f32> {
-        self.forward(batch).0.iter().map(|&z| numerics::sigmoid(z)).collect()
+        self.forward(batch)
+            .0
+            .iter()
+            .map(|&z| numerics::sigmoid(z))
+            .collect()
     }
 
     fn num_params(&mut self) -> usize {
@@ -271,7 +275,12 @@ pub struct FwFm(FmFamily);
 impl FwFm {
     /// Creates an FwFM.
     pub fn new(cfg: &BaselineConfig, orig_vocab: u32, num_fields: usize) -> Self {
-        Self(FmFamily::new(Variant::FieldWeighted, cfg, orig_vocab, num_fields))
+        Self(FmFamily::new(
+            Variant::FieldWeighted,
+            cfg,
+            orig_vocab,
+            num_fields,
+        ))
     }
 }
 
@@ -281,7 +290,12 @@ pub struct FmFm(FmFamily);
 impl FmFm {
     /// Creates an FmFM.
     pub fn new(cfg: &BaselineConfig, orig_vocab: u32, num_fields: usize) -> Self {
-        Self(FmFamily::new(Variant::FieldMatrixed, cfg, orig_vocab, num_fields))
+        Self(FmFamily::new(
+            Variant::FieldMatrixed,
+            cfg,
+            orig_vocab,
+            num_fields,
+        ))
     }
 }
 
@@ -422,7 +436,16 @@ mod tests {
         let cfg = BaselineConfig::test_small();
         let mut model = FmFm::new(&cfg, bundle.data.orig_vocab, bundle.data.num_fields);
         crate::runner::train_model(&mut model, &bundle, &cfg);
-        let eval = evaluate_model(&mut model, &bundle, bundle.split.test.clone(), cfg.batch_size);
-        assert!(eval.auc.is_finite() && eval.auc > 0.55, "FmFM AUC {}", eval.auc);
+        let eval = evaluate_model(
+            &mut model,
+            &bundle,
+            bundle.split.test.clone(),
+            cfg.batch_size,
+        );
+        assert!(
+            eval.auc.is_finite() && eval.auc > 0.55,
+            "FmFM AUC {}",
+            eval.auc
+        );
     }
 }

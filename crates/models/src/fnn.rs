@@ -3,7 +3,9 @@
 
 use crate::traits::{BaselineConfig, Category, CtrModel, Taxonomy};
 use optinter_data::Batch;
-use optinter_nn::{bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig};
+use optinter_nn::{
+    bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,13 +24,17 @@ impl Fnn {
     pub fn new(cfg: &BaselineConfig, orig_vocab: u32, num_fields: usize) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF44);
         let emb = EmbeddingTable::new(&mut rng, orig_vocab as usize, cfg.embed_dim);
-        let mlp = Mlp::new(&mut rng, &MlpConfig {
-            input_dim: num_fields * cfg.embed_dim,
-            hidden: cfg.hidden.clone(),
-            output_dim: 1,
-            layer_norm: cfg.layer_norm,
-            ln_eps: 1e-5,
-        });
+        let mut mlp = Mlp::new(
+            &mut rng,
+            &MlpConfig {
+                input_dim: num_fields * cfg.embed_dim,
+                hidden: cfg.hidden.clone(),
+                output_dim: 1,
+                layer_norm: cfg.layer_norm,
+                ln_eps: 1e-5,
+            },
+        );
+        mlp.set_pool(&optinter_tensor::Pool::new(cfg.num_threads));
         Self {
             emb,
             mlp,

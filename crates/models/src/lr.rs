@@ -90,7 +90,10 @@ impl CtrModel for Lr {
     }
 
     fn predict(&mut self, batch: &Batch) -> Vec<f32> {
-        self.logits(batch).iter().map(|&z| numerics::sigmoid(z)).collect()
+        self.logits(batch)
+            .iter()
+            .map(|&z| numerics::sigmoid(z))
+            .collect()
     }
 
     fn num_params(&mut self) -> usize {
@@ -110,7 +113,12 @@ mod tests {
         let cfg = BaselineConfig::test_small();
         let mut model = Lr::new(&cfg, bundle.data.orig_vocab, bundle.data.num_fields);
         train_model(&mut model, &bundle, &cfg);
-        let eval = evaluate_model(&mut model, &bundle, bundle.split.test.clone(), cfg.batch_size);
+        let eval = evaluate_model(
+            &mut model,
+            &bundle,
+            bundle.split.test.clone(),
+            cfg.batch_size,
+        );
         assert!(eval.auc > 0.55, "LR AUC {} should beat chance", eval.auc);
     }
 

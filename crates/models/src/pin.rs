@@ -6,7 +6,9 @@
 
 use crate::traits::{BaselineConfig, Category, CtrModel, Taxonomy};
 use optinter_data::{Batch, PairIndexer};
-use optinter_nn::{bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig};
+use optinter_nn::{
+    bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig,
+};
 use optinter_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,30 +31,43 @@ impl Pin {
     /// the last entry are hidden widths, the last is the output width
     /// (Table IV: `sub-net=[40,5]`).
     pub fn new(cfg: &BaselineConfig, orig_vocab: u32, num_fields: usize) -> Self {
-        assert!(cfg.subnet.len() >= 2, "PIN subnet needs at least [hidden, out]");
+        assert!(
+            cfg.subnet.len() >= 2,
+            "PIN subnet needs at least [hidden, out]"
+        );
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x914);
         let k = cfg.embed_dim;
         let pairs = PairIndexer::new(num_fields);
         let sub_hidden: Vec<usize> = cfg.subnet[..cfg.subnet.len() - 1].to_vec();
         let sub_out = *cfg.subnet.last().expect("subnet non-empty");
+        let pool = optinter_tensor::Pool::new(cfg.num_threads);
         let subnets: Vec<Mlp> = (0..pairs.num_pairs())
             .map(|_| {
-                Mlp::new(&mut rng, &MlpConfig {
-                    input_dim: 3 * k,
-                    hidden: sub_hidden.clone(),
-                    output_dim: sub_out,
-                    layer_norm: cfg.layer_norm,
-                    ln_eps: 1e-5,
-                })
+                let mut sub = Mlp::new(
+                    &mut rng,
+                    &MlpConfig {
+                        input_dim: 3 * k,
+                        hidden: sub_hidden.clone(),
+                        output_dim: sub_out,
+                        layer_norm: cfg.layer_norm,
+                        ln_eps: 1e-5,
+                    },
+                );
+                sub.set_pool(&pool);
+                sub
             })
             .collect();
-        let top = Mlp::new(&mut rng, &MlpConfig {
-            input_dim: num_fields * k + pairs.num_pairs() * sub_out,
-            hidden: cfg.hidden.clone(),
-            output_dim: 1,
-            layer_norm: cfg.layer_norm,
-            ln_eps: 1e-5,
-        });
+        let mut top = Mlp::new(
+            &mut rng,
+            &MlpConfig {
+                input_dim: num_fields * k + pairs.num_pairs() * sub_out,
+                hidden: cfg.hidden.clone(),
+                output_dim: 1,
+                layer_norm: cfg.layer_norm,
+                ln_eps: 1e-5,
+            },
+        );
+        top.set_pool(&pool);
         let emb = EmbeddingTable::new(&mut rng, orig_vocab as usize, k);
         Self {
             emb,
@@ -189,7 +204,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "subnet needs at least")]
     fn rejects_degenerate_subnet() {
-        let cfg = BaselineConfig { subnet: vec![5], ..BaselineConfig::test_small() };
+        let cfg = BaselineConfig {
+            subnet: vec![5],
+            ..BaselineConfig::test_small()
+        };
         let _ = Pin::new(&cfg, 100, 4);
     }
 }

@@ -10,7 +10,9 @@
 
 use crate::traits::{BaselineConfig, Category, CtrModel, Taxonomy};
 use optinter_data::{Batch, PairIndexer};
-use optinter_nn::{bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig};
+use optinter_nn::{
+    bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig,
+};
 use optinter_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,13 +53,17 @@ impl Pnn {
             ProductKind::Outer => k * k,
         };
         let emb = EmbeddingTable::new(&mut rng, orig_vocab as usize, k);
-        let mlp = Mlp::new(&mut rng, &MlpConfig {
-            input_dim: num_fields * k + product_dim,
-            hidden: cfg.hidden.clone(),
-            output_dim: 1,
-            layer_norm: cfg.layer_norm,
-            ln_eps: 1e-5,
-        });
+        let mut mlp = Mlp::new(
+            &mut rng,
+            &MlpConfig {
+                input_dim: num_fields * k + product_dim,
+                hidden: cfg.hidden.clone(),
+                output_dim: 1,
+                layer_norm: cfg.layer_norm,
+                ln_eps: 1e-5,
+            },
+        );
+        mlp.set_pool(&optinter_tensor::Pool::new(cfg.num_threads));
         Self {
             kind,
             emb,
@@ -181,9 +187,14 @@ impl CtrModel for Pnn {
         let logits = self.mlp.forward(&input);
         let (loss_value, grad) = bce_with_logits(&logits, &batch.labels);
         let d_input = self.mlp.backward(&grad);
-        let cache = Cache { fields: batch.fields.clone(), emb, pooled };
+        let cache = Cache {
+            fields: batch.fields.clone(),
+            emb,
+            pooled,
+        };
         let d_emb = self.backward_products(batch, &d_input, &cache);
-        self.emb.accumulate_grad_fields(&cache.fields, self.num_fields, &d_emb);
+        self.emb
+            .accumulate_grad_fields(&cache.fields, self.num_fields, &d_emb);
         self.cache = None;
         self.adam.begin_step();
         let mut adam = self.adam.clone();

@@ -20,7 +20,13 @@ pub struct Poly2 {
 
 impl Poly2 {
     /// Creates a Poly2 model for the dataset's vocab sizes.
-    pub fn new(cfg: &BaselineConfig, orig_vocab: u32, cross_vocab: u32, num_fields: usize, num_pairs: usize) -> Self {
+    pub fn new(
+        cfg: &BaselineConfig,
+        orig_vocab: u32,
+        cross_vocab: u32,
+        num_fields: usize,
+        num_pairs: usize,
+    ) -> Self {
         Self {
             linear: EmbeddingTable::zeros(orig_vocab as usize, 1),
             cross: EmbeddingTable::zeros(cross_vocab as usize, 1),
@@ -101,7 +107,10 @@ impl CtrModel for Poly2 {
     }
 
     fn predict(&mut self, batch: &Batch) -> Vec<f32> {
-        self.logits(batch).iter().map(|&z| numerics::sigmoid(z)).collect()
+        self.logits(batch)
+            .iter()
+            .map(|&z| numerics::sigmoid(z))
+            .collect()
     }
 
     fn num_params(&mut self) -> usize {
@@ -135,8 +144,12 @@ mod tests {
             bundle.data.num_pairs,
         );
         train_model(&mut poly, &bundle, &cfg);
-        let poly_eval =
-            evaluate_model(&mut poly, &bundle, bundle.split.test.clone(), cfg.batch_size);
+        let poly_eval = evaluate_model(
+            &mut poly,
+            &bundle,
+            bundle.split.test.clone(),
+            cfg.batch_size,
+        );
         assert!(
             poly_eval.auc > lr_eval.auc,
             "Poly2 ({}) should beat LR ({}) on planted interactions",

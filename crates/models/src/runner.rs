@@ -53,8 +53,8 @@ pub fn evaluate_model(
 ) -> EvalResult {
     let mut probs = Vec::with_capacity(range.len());
     let mut labels = Vec::with_capacity(range.len());
-    let iter = BatchIter::new(&bundle.data, range, batch_size, None)
-        .with_cross(model.needs_cross());
+    let iter =
+        BatchIter::new(&bundle.data, range, batch_size, None).with_cross(model.needs_cross());
     for batch in iter {
         probs.extend(model.predict(&batch));
         labels.extend_from_slice(&batch.labels);
@@ -65,7 +65,11 @@ pub fn evaluate_model(
 /// Trains on the training split with epoch-level early stopping on the
 /// validation split (patience 2), reporting the test metrics of the
 /// best-validation epoch. `cfg.epochs` is the epoch budget.
-pub fn run_model(model: &mut dyn CtrModel, bundle: &DatasetBundle, cfg: &BaselineConfig) -> RunReport {
+pub fn run_model(
+    model: &mut dyn CtrModel,
+    bundle: &DatasetBundle,
+    cfg: &BaselineConfig,
+) -> RunReport {
     let mut final_train_loss = 0.0f32;
     let mut best_val = f64::NEG_INFINITY;
     let mut best_test = None;
@@ -89,8 +93,12 @@ pub fn run_model(model: &mut dyn CtrModel, bundle: &DatasetBundle, cfg: &Baselin
         let val = evaluate_model(model, bundle, bundle.split.val.clone(), cfg.batch_size);
         if val.auc > best_val {
             best_val = val.auc;
-            best_test =
-                Some(evaluate_model(model, bundle, bundle.split.test.clone(), cfg.batch_size));
+            best_test = Some(evaluate_model(
+                model,
+                bundle,
+                bundle.split.test.clone(),
+                cfg.batch_size,
+            ));
             since_best = 0;
         } else {
             since_best += 1;

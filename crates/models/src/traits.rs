@@ -95,6 +95,9 @@ pub struct BaselineConfig {
     pub grda_c: f32,
     /// AutoFIS GRDA `mu` (Table IV).
     pub grda_mu: f32,
+    /// Intra-batch data-parallel threads for deep classifiers (1 = serial).
+    /// Any value produces bit-identical results; see `optinter_tensor::pool`.
+    pub num_threads: usize,
 }
 
 impl Default for BaselineConfig {
@@ -112,6 +115,7 @@ impl Default for BaselineConfig {
             subnet: vec![16, 4],
             grda_c: 5e-4,
             grda_mu: 0.8,
+            num_threads: 1,
         }
     }
 }
@@ -132,7 +136,18 @@ impl BaselineConfig {
 
     /// Returns a copy with a different seed.
     pub fn with_seed(&self, seed: u64) -> Self {
-        Self { seed, ..self.clone() }
+        Self {
+            seed,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with a different data-parallel thread count.
+    pub fn with_threads(&self, num_threads: usize) -> Self {
+        Self {
+            num_threads,
+            ..self.clone()
+        }
     }
 }
 

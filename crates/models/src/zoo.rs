@@ -91,7 +91,11 @@ impl ModelKind {
 }
 
 /// Builds a model of the given kind sized for a dataset.
-pub fn build_model(kind: ModelKind, cfg: &BaselineConfig, data: &EncodedDataset) -> Box<dyn CtrModel> {
+pub fn build_model(
+    kind: ModelKind,
+    cfg: &BaselineConfig,
+    data: &EncodedDataset,
+) -> Box<dyn CtrModel> {
     let vocab = data.orig_vocab;
     let m = data.num_fields;
     match kind {
@@ -104,9 +108,7 @@ pub fn build_model(kind: ModelKind, cfg: &BaselineConfig, data: &EncodedDataset)
         ModelKind::Opnn => Box::new(Opnn::new(cfg, vocab, m)),
         ModelKind::DeepFm => Box::new(DeepFm::new(cfg, vocab, m)),
         ModelKind::Pin => Box::new(Pin::new(cfg, vocab, m)),
-        ModelKind::Poly2 => {
-            Box::new(Poly2::new(cfg, vocab, data.cross_vocab, m, data.num_pairs))
-        }
+        ModelKind::Poly2 => Box::new(Poly2::new(cfg, vocab, data.cross_vocab, m, data.num_pairs)),
         ModelKind::AutoFis => Box::new(AutoFis::new(cfg, vocab, m)),
     }
 }
@@ -129,7 +131,9 @@ mod tests {
             let probs = model.predict(&batch);
             assert_eq!(probs.len(), 16, "{}", model.name());
             assert!(
-                probs.iter().all(|&p| (0.0..=1.0).contains(&p) && p.is_finite()),
+                probs
+                    .iter()
+                    .all(|&p| (0.0..=1.0).contains(&p) && p.is_finite()),
                 "{} produced invalid probabilities",
                 model.name()
             );
@@ -147,7 +151,11 @@ mod tests {
         for kind in ModelKind::all() {
             let mut model = build_model(kind, &cfg, &bundle.data);
             let loss = model.train_batch(&batch);
-            assert!(loss.is_finite() && loss > 0.0, "{}: loss {loss}", model.name());
+            assert!(
+                loss.is_finite() && loss > 0.0,
+                "{}: loss {loss}",
+                model.name()
+            );
         }
     }
 
@@ -161,7 +169,12 @@ mod tests {
             let model = build_model(kind, &cfg, &bundle.data);
             seen.insert(model.taxonomy().category);
         }
-        for cat in [Category::Naive, Category::Memorized, Category::Factorized, Category::Hybrid] {
+        for cat in [
+            Category::Naive,
+            Category::Memorized,
+            Category::Factorized,
+            Category::Hybrid,
+        ] {
             assert!(seen.contains(&cat), "missing category {cat:?}");
         }
     }

@@ -7,9 +7,14 @@
 //! rows — the standard "sparse Adam" used by production CTR trainers.
 
 use crate::optim::Adam;
+use optinter_tensor::pool::{chunks_for, Pool, SendPtr};
 use optinter_tensor::{init, Matrix};
 use rand::Rng;
 use std::collections::HashMap;
+
+/// Work size (scalar copies / adds) below which the pooled embedding paths
+/// stay serial; the fallback never changes results.
+const POOL_MIN_WORK: usize = 16 * 1024;
 
 /// An embedding table of shape `[vocab, dim]` with sparse gradients.
 pub struct EmbeddingTable {
@@ -35,7 +40,12 @@ impl EmbeddingTable {
 
     /// Creates a zero-initialised table (useful for tests).
     pub fn zeros(vocab: usize, dim: usize) -> Self {
-        Self { weight: Matrix::zeros(vocab, dim), m: None, v: None, grads: HashMap::new() }
+        Self {
+            weight: Matrix::zeros(vocab, dim),
+            m: None,
+            v: None,
+            grads: HashMap::new(),
+        }
     }
 
     /// Vocabulary size (number of rows).
@@ -73,7 +83,8 @@ impl EmbeddingTable {
         let dim = self.dim();
         let mut out = Matrix::zeros(indices.len(), dim);
         for (r, &idx) in indices.iter().enumerate() {
-            out.row_mut(r).copy_from_slice(self.weight.row(idx as usize));
+            out.row_mut(r)
+                .copy_from_slice(self.weight.row(idx as usize));
         }
         out
     }
@@ -96,6 +107,36 @@ impl EmbeddingTable {
                 row[f * dim..(f + 1) * dim].copy_from_slice(self.weight.row(idx));
             }
         }
+        out
+    }
+
+    /// [`lookup_fields`](Self::lookup_fields) with the batch rows sharded
+    /// across `pool`. Pure row copies, so trivially bit-identical to the
+    /// serial lookup for any thread count.
+    pub fn lookup_fields_pooled(&self, flat: &[u32], num_fields: usize, pool: &Pool) -> Matrix {
+        assert!(num_fields > 0, "lookup_fields: need at least one field");
+        assert_eq!(flat.len() % num_fields, 0, "lookup_fields: ragged batch");
+        let dim = self.dim();
+        if pool.is_serial() || flat.len() * dim < POOL_MIN_WORK {
+            return self.lookup_fields(flat, num_fields);
+        }
+        let batch = flat.len() / num_fields;
+        let width = num_fields * dim;
+        let mut out = Matrix::zeros(batch, width);
+        let (chunk, njobs) = chunks_for(batch, pool.threads());
+        let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+        pool.run(njobs, |job| {
+            let b0 = job * chunk;
+            let b1 = (b0 + chunk).min(batch);
+            for b in b0..b1 {
+                // SAFETY: output row `b` belongs to exactly this job.
+                let row = unsafe { out_ptr.slice(b * width, width) };
+                for f in 0..num_fields {
+                    let idx = flat[b * num_fields + f] as usize;
+                    row[f * dim..(f + 1) * dim].copy_from_slice(self.weight.row(idx));
+                }
+            }
+        });
         out
     }
 
@@ -126,10 +167,17 @@ impl EmbeddingTable {
     /// Accumulates gradients for a single-index lookup (inverse of
     /// [`lookup`](Self::lookup)). `grad` has shape `[B, dim]`.
     pub fn accumulate_grad(&mut self, indices: &[u32], grad: &Matrix) {
-        assert_eq!(grad.rows(), indices.len(), "accumulate_grad: batch mismatch");
+        assert_eq!(
+            grad.rows(),
+            indices.len(),
+            "accumulate_grad: batch mismatch"
+        );
         assert_eq!(grad.cols(), self.dim(), "accumulate_grad: dim mismatch");
         for (r, &idx) in indices.iter().enumerate() {
-            let acc = self.grads.entry(idx).or_insert_with(|| vec![0.0; self.weight.cols()]);
+            let acc = self
+                .grads
+                .entry(idx)
+                .or_insert_with(|| vec![0.0; self.weight.cols()]);
             for (a, &g) in acc.iter_mut().zip(grad.row(r).iter()) {
                 *a += g;
             }
@@ -139,19 +187,86 @@ impl EmbeddingTable {
     /// Accumulates gradients for a multi-field lookup (inverse of
     /// [`lookup_fields`](Self::lookup_fields)). `grad` has shape
     /// `[B, num_fields*dim]`.
+    ///
+    /// Per call, each row's contributions are summed in `(b, f)` scan order
+    /// into a fresh per-call accumulator that is then merged into the
+    /// pending gradients — the same association the key-sharded
+    /// [`accumulate_grad_fields_pooled`](Self::accumulate_grad_fields_pooled)
+    /// path uses, so the two are bit-identical for any thread count.
     pub fn accumulate_grad_fields(&mut self, flat: &[u32], num_fields: usize, grad: &Matrix) {
+        self.accumulate_grad_fields_pooled(flat, num_fields, grad, &Pool::serial());
+    }
+
+    /// Key-sharded parallel version of
+    /// [`accumulate_grad_fields`](Self::accumulate_grad_fields).
+    ///
+    /// Each lane owns the rows with `idx % lanes == lane` and scans the
+    /// whole batch in `(b, f)` order, so a given row's partial sum is built
+    /// in exactly the serial accumulation order no matter how many lanes
+    /// run. Lanes touch disjoint keys, so merging them into the pending
+    /// gradients involves no cross-thread floating-point reduction at all.
+    pub fn accumulate_grad_fields_pooled(
+        &mut self,
+        flat: &[u32],
+        num_fields: usize,
+        grad: &Matrix,
+        pool: &Pool,
+    ) {
         let dim = self.dim();
-        assert_eq!(flat.len() % num_fields, 0, "accumulate_grad_fields: ragged batch");
+        assert_eq!(
+            flat.len() % num_fields,
+            0,
+            "accumulate_grad_fields: ragged batch"
+        );
         let batch = flat.len() / num_fields;
         assert_eq!(grad.rows(), batch, "accumulate_grad_fields: batch mismatch");
-        assert_eq!(grad.cols(), num_fields * dim, "accumulate_grad_fields: dim mismatch");
-        for b in 0..batch {
-            let grow = grad.row(b);
-            for f in 0..num_fields {
-                let idx = flat[b * num_fields + f];
-                let acc = self.grads.entry(idx).or_insert_with(|| vec![0.0; dim]);
-                for (a, &g) in acc.iter_mut().zip(grow[f * dim..(f + 1) * dim].iter()) {
-                    *a += g;
+        assert_eq!(
+            grad.cols(),
+            num_fields * dim,
+            "accumulate_grad_fields: dim mismatch"
+        );
+        let lanes = if pool.is_serial() || flat.len() * dim < POOL_MIN_WORK {
+            1
+        } else {
+            pool.threads()
+        };
+        let mut lane_maps: Vec<HashMap<u32, Vec<f32>>> =
+            (0..lanes).map(|_| HashMap::new()).collect();
+        let fill_lane = |map: &mut HashMap<u32, Vec<f32>>, lane: usize| {
+            for b in 0..batch {
+                let grow = grad.row(b);
+                for f in 0..num_fields {
+                    let idx = flat[b * num_fields + f];
+                    if idx as usize % lanes != lane {
+                        continue;
+                    }
+                    let acc = map.entry(idx).or_insert_with(|| vec![0.0; dim]);
+                    for (a, &g) in acc.iter_mut().zip(grow[f * dim..(f + 1) * dim].iter()) {
+                        *a += g;
+                    }
+                }
+            }
+        };
+        if lanes == 1 {
+            fill_lane(&mut lane_maps[0], 0);
+        } else {
+            let maps_ptr = SendPtr(lane_maps.as_mut_ptr());
+            pool.run(lanes, |lane| {
+                // SAFETY: lane `lane` is the only job writing map `lane`.
+                fill_lane(unsafe { &mut *maps_ptr.add(lane) }, lane);
+            });
+        }
+        for map in lane_maps {
+            for (idx, partial) in map {
+                match self.grads.entry(idx) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        for (a, &g) in e.get_mut().iter_mut().zip(partial.iter()) {
+                            *a += g;
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(partial);
+                    }
                 }
             }
         }
@@ -160,15 +275,26 @@ impl EmbeddingTable {
     /// Accumulates gradients for a mean-pooled lookup (inverse of
     /// [`lookup_mean`](Self::lookup_mean)).
     pub fn accumulate_grad_mean(&mut self, value_sets: &[Vec<u32>], grad: &Matrix) {
-        assert_eq!(grad.rows(), value_sets.len(), "accumulate_grad_mean: batch mismatch");
-        assert_eq!(grad.cols(), self.dim(), "accumulate_grad_mean: dim mismatch");
+        assert_eq!(
+            grad.rows(),
+            value_sets.len(),
+            "accumulate_grad_mean: batch mismatch"
+        );
+        assert_eq!(
+            grad.cols(),
+            self.dim(),
+            "accumulate_grad_mean: dim mismatch"
+        );
         for (r, set) in value_sets.iter().enumerate() {
             if set.is_empty() {
                 continue;
             }
             let inv = 1.0 / set.len() as f32;
             for &idx in set {
-                let acc = self.grads.entry(idx).or_insert_with(|| vec![0.0; self.weight.cols()]);
+                let acc = self
+                    .grads
+                    .entry(idx)
+                    .or_insert_with(|| vec![0.0; self.weight.cols()]);
                 for (a, &g) in acc.iter_mut().zip(grad.row(r).iter()) {
                     *a += g * inv;
                 }
@@ -344,6 +470,45 @@ mod tests {
         }
         for (a, b) in table.row(0).iter().zip(dense.value.as_slice().iter()) {
             assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn pooled_lookup_and_sharded_grads_match_serial_bitwise() {
+        // Large enough to clear POOL_MIN_WORK so the parallel paths run.
+        let (batch, fields, dim, vocab) = (256, 8, 8, 37);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut serial_t = EmbeddingTable::new(&mut rng, vocab, dim);
+        let mut pooled_t = EmbeddingTable::zeros(vocab, dim);
+        pooled_t
+            .weight_mut()
+            .as_mut_slice()
+            .copy_from_slice(serial_t.weight().as_slice());
+        let flat: Vec<u32> = (0..batch * fields)
+            .map(|i| ((i * 7 + i / 11) % vocab) as u32)
+            .collect();
+        let grad = Matrix::from_fn(batch, fields * dim, |r, c| {
+            ((r * 31 + c) as f32 * 0.01).sin()
+        });
+        let pool = optinter_tensor::Pool::new(4);
+        let lookup_serial = serial_t.lookup_fields(&flat, fields);
+        let lookup_pooled = pooled_t.lookup_fields_pooled(&flat, fields, &pool);
+        assert_eq!(lookup_serial.as_slice(), lookup_pooled.as_slice());
+        serial_t.accumulate_grad_fields(&flat, fields, &grad);
+        pooled_t.accumulate_grad_fields_pooled(&flat, fields, &grad, &pool);
+        serial_t.apply_sgd(1.0, 0.0);
+        pooled_t.apply_sgd(1.0, 0.0);
+        for (a, b) in serial_t
+            .weight()
+            .as_slice()
+            .iter()
+            .zip(pooled_t.weight().as_slice())
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "sharded grads diverged: {a} vs {b}"
+            );
         }
     }
 

@@ -56,7 +56,58 @@ pub fn check_grad_matrix(
             max_rel = rel;
         }
     }
-    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
+}
+
+/// Checks an analytic gradient for a *subset of entries* of a parameter
+/// that lives inside a model, by central finite differences.
+///
+/// Unlike [`check_grad_matrix`], the parameter is not handed over as a
+/// standalone matrix: the caller supplies `get`/`set` accessors that reach
+/// into the model and an `eval` closure that re-runs the scalar objective
+/// with whatever state the parameter currently holds. This fits embedded
+/// parameters such as the supernet's architecture logits `α`, where the
+/// objective is a full forward pass and perturbing one logit requires
+/// mutating the model in place. `set` must be exact (no side effects beyond
+/// the entry), and `eval` must be deterministic between calls.
+///
+/// `entries` lists the `(row, col)` positions to probe; `analytic(row,
+/// col)` returns the claimed gradient at each.
+pub fn check_grad_entries(
+    entries: &[(usize, usize)],
+    eps: f32,
+    mut analytic: impl FnMut(usize, usize) -> f32,
+    mut get: impl FnMut(usize, usize) -> f32,
+    mut set: impl FnMut(usize, usize, f32),
+    mut eval: impl FnMut() -> f32,
+) -> GradCheckReport {
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for &(r, c) in entries {
+        let orig = get(r, c);
+        set(r, c, orig + eps);
+        let fp = eval();
+        set(r, c, orig - eps);
+        let fm = eval();
+        set(r, c, orig);
+        let numeric = (fp - fm) / (2.0 * eps);
+        let ana = analytic(r, c);
+        let abs = (numeric - ana).abs();
+        let rel = abs / (numeric.abs() + ana.abs() + 1e-6);
+        if abs > max_abs {
+            max_abs = abs;
+        }
+        if rel > max_rel {
+            max_rel = rel;
+        }
+    }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
 }
 
 /// Convenience: asserts that the analytic gradient matches finite
@@ -104,5 +155,49 @@ mod tests {
         let analytic = Matrix::zeros(2, 2);
         let report = check_grad_matrix(&x, &analytic, 1e-3, |_| 7.0);
         assert!(report.max_abs_err < 1e-4);
+    }
+
+    #[test]
+    fn entrywise_check_on_embedded_parameter() {
+        // The parameter lives inside a "model" (here a plain matrix behind
+        // a RefCell-free mutable binding); f(x) = sum(x^3), grad = 3x^2.
+        let mut x = Matrix::from_rows(&[&[0.8, -1.2], &[0.4, 1.5]]);
+        let entries = [(0usize, 0usize), (0, 1), (1, 0), (1, 1)];
+        let snapshot = x.clone();
+        let report = {
+            let cell = std::cell::RefCell::new(&mut x);
+            check_grad_entries(
+                &entries,
+                1e-3,
+                |r, c| {
+                    let v = snapshot.get(r, c);
+                    3.0 * v * v
+                },
+                |r, c| cell.borrow().get(r, c),
+                |r, c, v| cell.borrow_mut().set(r, c, v),
+                || cell.borrow().as_slice().iter().map(|v| v * v * v).sum(),
+            )
+        };
+        assert!(report.passes(1e-2), "{report:?}");
+        // The probe must restore the parameter exactly.
+        assert_eq!(x.as_slice(), snapshot.as_slice());
+    }
+
+    #[test]
+    fn entrywise_check_rejects_wrong_gradient() {
+        let mut x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let entries = [(0usize, 0usize), (0, 1)];
+        let report = {
+            let cell = std::cell::RefCell::new(&mut x);
+            check_grad_entries(
+                &entries,
+                1e-3,
+                |_, _| 100.0,
+                |r, c| cell.borrow().get(r, c),
+                |r, c, v| cell.borrow_mut().set(r, c, v),
+                || cell.borrow().frob_sq(),
+            )
+        };
+        assert!(!report.passes(1e-2));
     }
 }

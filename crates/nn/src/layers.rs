@@ -3,25 +3,32 @@
 
 use crate::param::Parameter;
 use crate::Layer;
-use optinter_tensor::{init, Matrix};
+use optinter_tensor::{init, Matrix, Pool};
 use rand::Rng;
 
 /// Fully-connected layer `y = x W + b` with `W: [in, out]`, `b: [1, out]`.
+///
+/// The three matmuls (forward product, weight gradient, input gradient) run
+/// through the layer's [`Pool`] via the owner-computes `*_pooled` kernels,
+/// so results are bit-identical to serial execution for any thread count.
+/// The bias-gradient column sums are a cross-row reduction and stay serial.
 pub struct Dense {
     /// Weight matrix, shape `[in_dim, out_dim]`.
     pub w: Parameter,
     /// Bias row vector, shape `[1, out_dim]`.
     pub b: Parameter,
     cached_input: Option<Matrix>,
+    pool: Pool,
 }
 
 impl Dense {
-    /// Creates a Xavier-initialised dense layer.
+    /// Creates a Xavier-initialised dense layer (serial pool).
     pub fn new(rng: &mut impl Rng, in_dim: usize, out_dim: usize) -> Self {
         Self {
             w: Parameter::new(init::xavier_uniform(rng, in_dim, out_dim)),
             b: Parameter::zeros(1, out_dim),
             cached_input: None,
+            pool: Pool::serial(),
         }
     }
 
@@ -34,12 +41,17 @@ impl Dense {
     pub fn out_dim(&self) -> usize {
         self.w.value.cols()
     }
+
+    /// Runs this layer's matmuls on `pool` from now on.
+    pub fn set_pool(&mut self, pool: Pool) {
+        self.pool = pool;
+    }
 }
 
 impl Layer for Dense {
     fn forward(&mut self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.in_dim(), "Dense: input dim mismatch");
-        let mut y = x.matmul(&self.w.value);
+        let mut y = x.matmul_pooled(&self.w.value, &self.pool);
         let b = self.b.value.row(0);
         for r in 0..y.rows() {
             for (v, &bi) in y.row_mut(r).iter_mut().zip(b.iter()) {
@@ -58,7 +70,7 @@ impl Layer for Dense {
         assert_eq!(grad_out.rows(), x.rows(), "Dense: grad batch mismatch");
         assert_eq!(grad_out.cols(), self.out_dim(), "Dense: grad dim mismatch");
         // dW += x^T g
-        x.matmul_at_b_accumulate(grad_out, &mut self.w.grad, 1.0);
+        x.matmul_at_b_accumulate_pooled(grad_out, &mut self.w.grad, 1.0, &self.pool);
         // db += column sums of g
         let db = self.b.grad.row_mut(0);
         for r in 0..grad_out.rows() {
@@ -67,7 +79,7 @@ impl Layer for Dense {
             }
         }
         // dx = g W^T
-        grad_out.matmul_a_bt(&self.w.value)
+        grad_out.matmul_a_bt_pooled(&self.w.value, &self.pool)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
@@ -182,7 +194,11 @@ impl Layer for LayerNorm {
             .cached_xhat
             .as_ref()
             .expect("LayerNorm::backward called before forward");
-        assert_eq!(grad_out.shape(), xhat.shape(), "LayerNorm: grad shape mismatch");
+        assert_eq!(
+            grad_out.shape(),
+            xhat.shape(),
+            "LayerNorm: grad shape mismatch"
+        );
         let n = xhat.cols();
         let n_f = n as f32;
         let gamma = self.gamma.value.row(0);

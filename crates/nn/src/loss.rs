@@ -12,7 +12,11 @@ use optinter_tensor::{numerics, Matrix};
 /// respect to each logit, ready to feed into the classifier backward pass.
 pub fn bce_with_logits(logits: &Matrix, labels: &[f32]) -> (f32, Matrix) {
     assert_eq!(logits.cols(), 1, "bce_with_logits: logits must be [B, 1]");
-    assert_eq!(logits.rows(), labels.len(), "bce_with_logits: batch size mismatch");
+    assert_eq!(
+        logits.rows(),
+        labels.len(),
+        "bce_with_logits: batch size mismatch"
+    );
     let b = labels.len();
     assert!(b > 0, "bce_with_logits: empty batch");
     let inv_b = 1.0 / b as f32;
@@ -29,7 +33,9 @@ pub fn bce_with_logits(logits: &Matrix, labels: &[f32]) -> (f32, Matrix) {
 /// Predicted probabilities from a `[B, 1]` logit matrix.
 pub fn probabilities(logits: &Matrix) -> Vec<f32> {
     assert_eq!(logits.cols(), 1, "probabilities: logits must be [B, 1]");
-    (0..logits.rows()).map(|i| numerics::sigmoid(logits.get(i, 0))).collect()
+    (0..logits.rows())
+        .map(|i| numerics::sigmoid(logits.get(i, 0)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -25,7 +25,13 @@ pub struct MlpConfig {
 impl MlpConfig {
     /// The paper's default classifier shape for a given input size.
     pub fn classifier(input_dim: usize, hidden: Vec<usize>) -> Self {
-        Self { input_dim, hidden, output_dim: 1, layer_norm: true, ln_eps: 1e-5 }
+        Self {
+            input_dim,
+            hidden,
+            output_dim: 1,
+            layer_norm: true,
+            ln_eps: 1e-5,
+        }
     }
 }
 
@@ -51,12 +57,18 @@ impl Mlp {
             blocks.push(HiddenBlock {
                 dense: Dense::new(rng, prev, width),
                 relu: Relu::new(),
-                norm: config.layer_norm.then(|| LayerNorm::new(width, config.ln_eps)),
+                norm: config
+                    .layer_norm
+                    .then(|| LayerNorm::new(width, config.ln_eps)),
             });
             prev = width;
         }
         let output = Dense::new(rng, prev, config.output_dim);
-        Self { blocks, output, input_dim: config.input_dim }
+        Self {
+            blocks,
+            output,
+            input_dim: config.input_dim,
+        }
     }
 
     /// Input dimension the MLP expects.
@@ -67,6 +79,16 @@ impl Mlp {
     /// Number of hidden blocks.
     pub fn depth(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Runs every dense layer's matmuls on `pool` from now on. Results stay
+    /// bit-identical to serial execution for any thread count (see
+    /// [`optinter_tensor::pool`]).
+    pub fn set_pool(&mut self, pool: &optinter_tensor::Pool) {
+        for block in self.blocks.iter_mut() {
+            block.dense.set_pool(pool.clone());
+        }
+        self.output.set_pool(pool.clone());
     }
 }
 
@@ -138,7 +160,13 @@ mod tests {
         // A small MLP must fit a nonlinear function of two inputs; a linear
         // model cannot, so convergence validates the full backward chain.
         let mut rng = StdRng::seed_from_u64(7);
-        let cfg = MlpConfig { input_dim: 2, hidden: vec![16, 16], output_dim: 1, layer_norm: true, ln_eps: 1e-5 };
+        let cfg = MlpConfig {
+            input_dim: 2,
+            hidden: vec![16, 16],
+            output_dim: 1,
+            layer_norm: true,
+            ln_eps: 1e-5,
+        };
         let mut mlp = Mlp::new(&mut rng, &cfg);
         let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
         let labels = [0.0, 1.0, 1.0, 0.0];
@@ -158,7 +186,13 @@ mod tests {
     #[test]
     fn gradcheck_full_mlp_input_gradient() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = MlpConfig { input_dim: 3, hidden: vec![5], output_dim: 1, layer_norm: true, ln_eps: 1e-3 };
+        let cfg = MlpConfig {
+            input_dim: 3,
+            hidden: vec![5],
+            output_dim: 1,
+            layer_norm: true,
+            ln_eps: 1e-3,
+        };
         let mut mlp = Mlp::new(&mut rng, &cfg);
         let x = Matrix::from_rows(&[&[0.3, -0.5, 0.9], &[1.1, 0.2, -0.7]]);
         let labels = [1.0, 0.0];
@@ -178,7 +212,13 @@ mod tests {
     #[test]
     fn no_layernorm_variant_works() {
         let mut rng = StdRng::seed_from_u64(11);
-        let cfg = MlpConfig { input_dim: 4, hidden: vec![6], output_dim: 1, layer_norm: false, ln_eps: 1e-5 };
+        let cfg = MlpConfig {
+            input_dim: 4,
+            hidden: vec![6],
+            output_dim: 1,
+            layer_norm: false,
+            ln_eps: 1e-5,
+        };
         let mut mlp = Mlp::new(&mut rng, &cfg);
         let x = Matrix::filled(2, 4, 0.5);
         let y = mlp.forward(&x);

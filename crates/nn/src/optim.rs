@@ -40,7 +40,12 @@ impl DenseOptimizer for Sgd {
         let lr = self.lr;
         if weight_decay > 0.0 {
             let wd = weight_decay;
-            for (g, &w) in p.grad.as_mut_slice().iter_mut().zip(p.value.as_slice().iter()) {
+            for (g, &w) in p
+                .grad
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.value.as_slice().iter())
+            {
                 *g += wd * w;
             }
         }
@@ -64,7 +69,12 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 }
 
@@ -84,7 +94,11 @@ impl Adam {
 
     /// Creates Adam with the default betas and the given lr / eps.
     pub fn with_lr_eps(lr: f32, eps: f32) -> Self {
-        Self::new(AdamConfig { lr, eps, ..AdamConfig::default() })
+        Self::new(AdamConfig {
+            lr,
+            eps,
+            ..AdamConfig::default()
+        })
     }
 
     /// Current timestep (number of `begin_step` calls).
@@ -96,7 +110,10 @@ impl Adam {
     /// timestep, shared by dense and sparse updates.
     pub fn bias_corrections(&self) -> (f32, f32) {
         let t = self.t.max(1) as i32;
-        (1.0 - self.config.beta1.powi(t), 1.0 - self.config.beta2.powi(t))
+        (
+            1.0 - self.config.beta1.powi(t),
+            1.0 - self.config.beta2.powi(t),
+        )
     }
 
     /// Applies a lazy Adam update to a single row (used by embedding tables:
@@ -179,7 +196,11 @@ pub struct GrdaConfig {
 
 impl Default for GrdaConfig {
     fn default() -> Self {
-        Self { lr: 1e-3, c: 5e-4, mu: 0.8 }
+        Self {
+            lr: 1e-3,
+            c: 5e-4,
+            mu: 0.8,
+        }
     }
 }
 
@@ -284,7 +305,11 @@ mod tests {
         let mut opt = Adam::with_lr_eps(0.1, 1e-8);
         opt.begin_step();
         opt.step(&mut p, 0.0);
-        assert!((p.value.get(0, 0) + 0.1).abs() < 1e-4, "{}", p.value.get(0, 0));
+        assert!(
+            (p.value.get(0, 0) + 0.1).abs() < 1e-4,
+            "{}",
+            p.value.get(0, 0)
+        );
     }
 
     #[test]
@@ -304,14 +329,22 @@ mod tests {
         // receives none; GRDA should keep the first alive and shrink the
         // second to exactly zero.
         let mut p = Parameter::new(Matrix::from_rows(&[&[0.01, 0.01]]));
-        let mut opt = Grda::new(GrdaConfig { lr: 0.05, c: 0.3, mu: 0.6 });
+        let mut opt = Grda::new(GrdaConfig {
+            lr: 0.05,
+            c: 0.3,
+            mu: 0.6,
+        });
         for _ in 0..200 {
             // Gradient pushes coordinate 0 strongly negative (grow w), none on 1.
             p.grad = Matrix::from_rows(&[&[-1.0, 0.0]]);
             opt.begin_step();
             opt.step(&mut p, 0.0);
         }
-        assert!(p.value.get(0, 0) > 0.5, "driven weight {}", p.value.get(0, 0));
+        assert!(
+            p.value.get(0, 0) > 0.5,
+            "driven weight {}",
+            p.value.get(0, 0)
+        );
         assert_eq!(p.value.get(0, 1), 0.0, "idle weight must be pruned to zero");
     }
 

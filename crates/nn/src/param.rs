@@ -26,7 +26,12 @@ impl Parameter {
     /// Wraps a value matrix into a parameter with a zeroed gradient.
     pub fn new(value: Matrix) -> Self {
         let grad = Matrix::zeros(value.rows(), value.cols());
-        Self { value, grad, slot_a: None, slot_b: None }
+        Self {
+            value,
+            grad,
+            slot_a: None,
+            slot_b: None,
+        }
     }
 
     /// A zero-initialised parameter of the given shape.

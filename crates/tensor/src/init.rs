@@ -92,7 +92,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let m = normal(&mut rng, 100, 100, 2.0);
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / m.len() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");

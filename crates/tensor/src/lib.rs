@@ -7,11 +7,16 @@
 //! numerically stable scalar functions ([`numerics`]), weight initialisation
 //! ([`init`]), and small statistics helpers ([`stats`]).
 //!
-//! Everything is deliberately simple, allocation-conscious and
-//! single-threaded: the reproduction targets deterministic CPU training, and
-//! the hot loops are written so LLVM can auto-vectorise them (inner loops
-//! over contiguous row slices, no bounds checks in the `k`-loop thanks to
-//! slice re-borrows).
+//! Everything is deliberately simple and allocation-conscious: the
+//! reproduction targets deterministic CPU training, and the hot loops are
+//! written so LLVM can auto-vectorise them (inner loops over contiguous row
+//! slices, no bounds checks in the `k`-loop thanks to slice re-borrows).
+//!
+//! Optional intra-batch data parallelism comes from [`pool::Pool`]: the
+//! `*_pooled` matmul variants row-block the kernels across a worker pool
+//! under an owner-computes discipline, so their results are bit-identical
+//! to the serial path for any thread count (see the [`pool`] module docs
+//! for the determinism contract).
 //!
 //! # Example
 //!
@@ -28,7 +33,9 @@ pub mod init;
 pub mod matrix;
 pub mod numerics;
 pub mod ops;
+pub mod pool;
 pub mod stats;
 
 pub use matrix::Matrix;
 pub use numerics::{log1p_exp, sigmoid, stable_bce, stable_bce_grad};
+pub use pool::Pool;

@@ -1,6 +1,20 @@
 //! Row-major dense `f32` matrix and the matmul variants used by backprop.
+//!
+//! Every matmul kernel comes in two flavours: the plain serial method and a
+//! `*_pooled` variant that row-blocks the same loops across a
+//! [`Pool`](crate::pool::Pool). The pooled variants follow the
+//! owner-computes discipline described in the [`pool`](crate::pool) module
+//! docs — each output row is produced by exactly one job running the exact
+//! serial per-row loop — so they are bit-identical to the serial kernels
+//! for any thread count.
 
+use crate::pool::{chunks_for, Pool, SendPtr};
 use std::fmt;
+
+/// Multiply-add count below which the `*_pooled` kernels run serially:
+/// dispatch overhead would dominate, and the fallback is free because the
+/// two paths produce bit-identical results.
+const POOL_MIN_FLOPS: usize = 32 * 1024;
 
 /// A dense, row-major matrix of `f32` values.
 ///
@@ -35,12 +49,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a flat row-major vector.
@@ -70,10 +92,18 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), cols, "Matrix::from_rows: row {i} has inconsistent length");
+            assert_eq!(
+                row.len(),
+                cols,
+                "Matrix::from_rows: row {i} has inconsistent length"
+            );
             data.extend_from_slice(row);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a matrix whose element `(r, c)` is `f(r, c)`.
@@ -179,8 +209,15 @@ impl Matrix {
 
     /// Copies the contents of column `c` into a new vector.
     pub fn col_to_vec(&self, c: usize) -> Vec<f32> {
-        assert!(c < self.cols, "col_to_vec: column {} out of bounds ({})", c, self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        assert!(
+            c < self.cols,
+            "col_to_vec: column {} out of bounds ({})",
+            c,
+            self.cols
+        );
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Resets every element to zero, keeping the allocation.
@@ -231,9 +268,18 @@ impl Matrix {
 
     /// `out += alpha * self * other`.
     pub fn matmul_accumulate(&self, other: &Matrix, out: &mut Matrix, alpha: f32) {
-        assert_eq!(self.cols, other.rows, "matmul_accumulate: inner dimensions differ");
-        assert_eq!(out.rows, self.rows, "matmul_accumulate: output row count mismatch");
-        assert_eq!(out.cols, other.cols, "matmul_accumulate: output col count mismatch");
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul_accumulate: inner dimensions differ"
+        );
+        assert_eq!(
+            out.rows, self.rows,
+            "matmul_accumulate: output row count mismatch"
+        );
+        assert_eq!(
+            out.cols, other.cols,
+            "matmul_accumulate: output col count mismatch"
+        );
         let n = other.cols;
         for r in 0..self.rows {
             let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
@@ -264,8 +310,14 @@ impl Matrix {
     /// `out += alpha * self^T * other`.
     pub fn matmul_at_b_accumulate(&self, other: &Matrix, out: &mut Matrix, alpha: f32) {
         assert_eq!(self.rows, other.rows, "matmul_at_b: row counts differ");
-        assert_eq!(out.rows, self.cols, "matmul_at_b: output row count mismatch");
-        assert_eq!(out.cols, other.cols, "matmul_at_b: output col count mismatch");
+        assert_eq!(
+            out.rows, self.cols,
+            "matmul_at_b: output row count mismatch"
+        );
+        assert_eq!(
+            out.cols, other.cols,
+            "matmul_at_b: output col count mismatch"
+        );
         let n = other.cols;
         for r in 0..self.rows {
             let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
@@ -296,8 +348,14 @@ impl Matrix {
     /// `self * other^T` written into `out` (overwriting it).
     pub fn matmul_a_bt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_a_bt: col counts differ");
-        assert_eq!(out.rows, self.rows, "matmul_a_bt: output row count mismatch");
-        assert_eq!(out.cols, other.rows, "matmul_a_bt: output col count mismatch");
+        assert_eq!(
+            out.rows, self.rows,
+            "matmul_a_bt: output row count mismatch"
+        );
+        assert_eq!(
+            out.cols, other.rows,
+            "matmul_a_bt: output col count mismatch"
+        );
         for r in 0..self.rows {
             let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
             let out_row = &mut out.data[r * other.rows..(r + 1) * other.rows];
@@ -310,6 +368,187 @@ impl Matrix {
                 *o = acc;
             }
         }
+    }
+
+    /// Matrix product `self * other` row-blocked across `pool`, allocating.
+    ///
+    /// Bit-identical to [`Matrix::matmul`] for any thread count.
+    pub fn matmul_pooled(&self, other: &Matrix, pool: &Pool) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into_pooled(other, &mut out, pool);
+        out
+    }
+
+    /// `self * other` written into `out`, row-blocked across `pool`.
+    ///
+    /// Bit-identical to [`Matrix::matmul_into`] for any thread count.
+    pub fn matmul_into_pooled(&self, other: &Matrix, out: &mut Matrix, pool: &Pool) {
+        assert_eq!(self.cols, other.rows, "matmul: inner dimensions differ");
+        assert_eq!(out.rows, self.rows, "matmul: output row count mismatch");
+        assert_eq!(out.cols, other.cols, "matmul: output col count mismatch");
+        out.fill_zero();
+        self.matmul_accumulate_pooled(other, out, 1.0, pool);
+    }
+
+    /// `out += alpha * self * other`, row-blocked across `pool`.
+    ///
+    /// Each job owns a contiguous block of output rows and runs the serial
+    /// per-row loop on it, so the result is bit-identical to
+    /// [`Matrix::matmul_accumulate`] for any thread count.
+    pub fn matmul_accumulate_pooled(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        alpha: f32,
+        pool: &Pool,
+    ) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul_accumulate: inner dimensions differ"
+        );
+        assert_eq!(
+            out.rows, self.rows,
+            "matmul_accumulate: output row count mismatch"
+        );
+        assert_eq!(
+            out.cols, other.cols,
+            "matmul_accumulate: output col count mismatch"
+        );
+        if pool.is_serial() || self.rows * self.cols * other.cols < POOL_MIN_FLOPS {
+            return self.matmul_accumulate(other, out, alpha);
+        }
+        let n = other.cols;
+        let m = self.cols;
+        let rows = self.rows;
+        let (chunk, njobs) = chunks_for(rows, pool.threads());
+        let out_ptr = SendPtr(out.data.as_mut_ptr());
+        pool.run(njobs, |job| {
+            let r0 = job * chunk;
+            let r1 = (r0 + chunk).min(rows);
+            for r in r0..r1 {
+                let a_row = &self.data[r * m..(r + 1) * m];
+                // SAFETY: output row `r` belongs to exactly this job.
+                let out_row = unsafe { out_ptr.slice(r * n, n) };
+                for (k, &a_rk) in a_row.iter().enumerate() {
+                    let scaled = alpha * a_rk;
+                    if scaled == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[k * n..(k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += scaled * b;
+                    }
+                }
+            }
+        });
+    }
+
+    /// `self^T * other` row-blocked across `pool`, allocating.
+    ///
+    /// Bit-identical to [`Matrix::matmul_at_b`] for any thread count.
+    pub fn matmul_at_b_pooled(&self, other: &Matrix, pool: &Pool) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_at_b_accumulate_pooled(other, &mut out, 1.0, pool);
+        out
+    }
+
+    /// `out += alpha * self^T * other`, blocked over output rows.
+    ///
+    /// The serial kernel iterates `r` outermost, so output element `(k, j)`
+    /// receives its `r` contributions in ascending order. Here each job owns
+    /// a block of output rows `k` and replays the same ascending-`r`
+    /// accumulation per row, which keeps the result bit-identical to
+    /// [`Matrix::matmul_at_b_accumulate`] for any thread count.
+    pub fn matmul_at_b_accumulate_pooled(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        alpha: f32,
+        pool: &Pool,
+    ) {
+        assert_eq!(self.rows, other.rows, "matmul_at_b: row counts differ");
+        assert_eq!(
+            out.rows, self.cols,
+            "matmul_at_b: output row count mismatch"
+        );
+        assert_eq!(
+            out.cols, other.cols,
+            "matmul_at_b: output col count mismatch"
+        );
+        if pool.is_serial() || self.rows * self.cols * other.cols < POOL_MIN_FLOPS {
+            return self.matmul_at_b_accumulate(other, out, alpha);
+        }
+        let n = other.cols;
+        let m = self.cols;
+        let rows = self.rows;
+        let (chunk, njobs) = chunks_for(m, pool.threads());
+        let out_ptr = SendPtr(out.data.as_mut_ptr());
+        pool.run(njobs, |job| {
+            let k0 = job * chunk;
+            let k1 = (k0 + chunk).min(m);
+            for k in k0..k1 {
+                // SAFETY: output row `k` belongs to exactly this job.
+                let out_row = unsafe { out_ptr.slice(k * n, n) };
+                for r in 0..rows {
+                    let scaled = alpha * self.data[r * m + k];
+                    if scaled == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[r * n..(r + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += scaled * b;
+                    }
+                }
+            }
+        });
+    }
+
+    /// `self * other^T` row-blocked across `pool`, allocating.
+    ///
+    /// Bit-identical to [`Matrix::matmul_a_bt`] for any thread count.
+    pub fn matmul_a_bt_pooled(&self, other: &Matrix, pool: &Pool) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_a_bt_into_pooled(other, &mut out, pool);
+        out
+    }
+
+    /// `self * other^T` written into `out`, row-blocked across `pool`.
+    ///
+    /// Bit-identical to [`Matrix::matmul_a_bt_into`] for any thread count.
+    pub fn matmul_a_bt_into_pooled(&self, other: &Matrix, out: &mut Matrix, pool: &Pool) {
+        assert_eq!(self.cols, other.cols, "matmul_a_bt: col counts differ");
+        assert_eq!(
+            out.rows, self.rows,
+            "matmul_a_bt: output row count mismatch"
+        );
+        assert_eq!(
+            out.cols, other.rows,
+            "matmul_a_bt: output col count mismatch"
+        );
+        if pool.is_serial() || self.rows * self.cols * other.rows < POOL_MIN_FLOPS {
+            return self.matmul_a_bt_into(other, out);
+        }
+        let bn = other.rows;
+        let rows = self.rows;
+        let (chunk, njobs) = chunks_for(rows, pool.threads());
+        let out_ptr = SendPtr(out.data.as_mut_ptr());
+        pool.run(njobs, |job| {
+            let r0 = job * chunk;
+            let r1 = (r0 + chunk).min(rows);
+            for r in r0..r1 {
+                let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+                // SAFETY: output row `r` belongs to exactly this job.
+                let out_row = unsafe { out_ptr.slice(r * bn, bn) };
+                for (c, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &other.data[c * other.cols..(c + 1) * other.cols];
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
     }
 
     /// Element-wise `self += other`.
@@ -344,7 +583,11 @@ impl Matrix {
             .zip(other.data.iter())
             .map(|(&a, &b)| a * b)
             .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -357,7 +600,11 @@ impl Matrix {
     /// Returns a new matrix with `f` applied to every element.
     pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Matrix {
         let data = self.data.iter().map(|&a| f(a)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Sum of all elements.
@@ -398,7 +645,8 @@ impl Matrix {
             self.cols
         );
         for r in 0..self.rows {
-            let dst = &mut self.data[r * self.cols + col_offset..r * self.cols + col_offset + src.cols];
+            let dst =
+                &mut self.data[r * self.cols + col_offset..r * self.cols + col_offset + src.cols];
             dst.copy_from_slice(src.row(r));
         }
     }
@@ -423,9 +671,13 @@ impl Matrix {
     /// Adds `src` into the column block starting at `col_offset`.
     pub fn add_block(&mut self, src: &Matrix, col_offset: usize) {
         assert_eq!(self.rows, src.rows, "add_block: row count mismatch");
-        assert!(col_offset + src.cols <= self.cols, "add_block: block exceeds matrix");
+        assert!(
+            col_offset + src.cols <= self.cols,
+            "add_block: block exceeds matrix"
+        );
         for r in 0..self.rows {
-            let dst = &mut self.data[r * self.cols + col_offset..r * self.cols + col_offset + src.cols];
+            let dst =
+                &mut self.data[r * self.cols + col_offset..r * self.cols + col_offset + src.cols];
             for (d, &s) in dst.iter_mut().zip(src.row(r).iter()) {
                 *d += s;
             }
@@ -566,6 +818,57 @@ mod tests {
         assert_eq!(dot(&a, &b), 32.0);
         axpy_slice(2.0, &a, &mut b);
         assert_eq!(b, [6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn pooled_matmuls_are_bit_identical_to_serial() {
+        // Large enough to clear POOL_MIN_FLOPS so the parallel path runs.
+        let a = Matrix::from_fn(96, 64, |r, c| ((r * 67 + c * 13) as f32 * 0.013).sin());
+        let b = Matrix::from_fn(64, 48, |r, c| ((r * 31 + c * 29) as f32 * 0.017).cos());
+        // Same row count as `a`, as `matmul_at_b` requires.
+        let g = Matrix::from_fn(96, 48, |r, c| ((r * 5 + c * 11) as f32 * 0.019).sin());
+        let bt = Matrix::from_fn(48, 64, |r, c| ((r * 7 + c * 3) as f32 * 0.011).sin());
+        for threads in [1, 2, 3, 4, 7] {
+            let pool = Pool::new(threads);
+            let ab = a.matmul(&b);
+            let ab_p = a.matmul_pooled(&b, &pool);
+            assert_bits_eq(&ab, &ab_p, "matmul", threads);
+            let atb = a.matmul_at_b(&g);
+            let atb_p = a.matmul_at_b_pooled(&g, &pool);
+            assert_bits_eq(&atb, &atb_p, "matmul_at_b", threads);
+            let abt = a.matmul_a_bt(&bt);
+            let abt_p = a.matmul_a_bt_pooled(&bt, &pool);
+            assert_bits_eq(&abt, &abt_p, "matmul_a_bt", threads);
+        }
+    }
+
+    #[test]
+    fn pooled_accumulate_variants_respect_alpha_and_existing_contents() {
+        let a = Matrix::from_fn(80, 64, |r, c| ((r + 2 * c) as f32 * 0.01).sin());
+        let b = Matrix::from_fn(64, 40, |r, c| ((3 * r + c) as f32 * 0.02).cos());
+        let pool = Pool::new(4);
+        let mut serial = Matrix::filled(80, 40, 0.5);
+        let mut pooled = Matrix::filled(80, 40, 0.5);
+        a.matmul_accumulate(&b, &mut serial, -1.25);
+        a.matmul_accumulate_pooled(&b, &mut pooled, -1.25, &pool);
+        assert_bits_eq(&serial, &pooled, "matmul_accumulate", 4);
+        let g = Matrix::from_fn(80, 40, |r, c| ((r + 7 * c) as f32 * 0.03).sin());
+        let mut serial_t = Matrix::filled(64, 40, -0.25);
+        let mut pooled_t = Matrix::filled(64, 40, -0.25);
+        a.matmul_at_b_accumulate(&g, &mut serial_t, 0.75);
+        a.matmul_at_b_accumulate_pooled(&g, &mut pooled_t, 0.75, &pool);
+        assert_bits_eq(&serial_t, &pooled_t, "matmul_at_b_accumulate", 4);
+    }
+
+    fn assert_bits_eq(serial: &Matrix, pooled: &Matrix, kernel: &str, threads: usize) {
+        assert_eq!(serial.shape(), pooled.shape());
+        for (i, (s, p)) in serial.as_slice().iter().zip(pooled.as_slice()).enumerate() {
+            assert_eq!(
+                s.to_bits(),
+                p.to_bits(),
+                "{kernel} with {threads} threads diverged at flat index {i}: {s} vs {p}"
+            );
+        }
     }
 
     #[test]

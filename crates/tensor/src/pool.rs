@@ -1,0 +1,433 @@
+//! A small persistent worker pool for intra-batch data parallelism.
+//!
+//! Design goals, in priority order:
+//!
+//! 1. **Bitwise determinism.** The pool never changes *what* is computed,
+//!    only *who* computes it. Callers partition work so that every output
+//!    element is written by exactly one job ("owner computes"), and each
+//!    job performs its floating-point accumulations in the same order as
+//!    the serial code. Under that contract results are bit-identical to
+//!    the single-threaded path for any thread count and any job/thread
+//!    interleaving — jobs race only for *which* disjoint piece they run,
+//!    never for the contents of one.
+//! 2. **No dependencies.** Built on `std::thread` + `Mutex`/`Condvar`
+//!    only; the build environment has no access to crates.io.
+//! 3. **Cheap steady state.** Workers are spawned once and parked on a
+//!    condvar between batches, so per-call overhead is two lock
+//!    round-trips plus wakeups — small against a mini-batch matmul.
+//!
+//! `Pool::new(1)` (and [`Pool::serial`]) creates a pool with no worker
+//! threads at all: [`Pool::run`] then executes jobs inline on the caller,
+//! making the single-threaded path literally the same code as before.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// Raw-pointer wrapper that asserts a parallel job's writes are disjoint.
+///
+/// Rust cannot see that two jobs writing different rows of the same matrix
+/// never alias, so kernels share the output buffer as a `SendPtr` and take
+/// responsibility for the ownership discipline themselves.
+pub struct SendPtr<T>(pub *mut T);
+
+// SAFETY: callers uphold the owner-computes contract — each element behind
+// the pointer is written by at most one job per `Pool::run` call.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer offset by `i` elements.
+    ///
+    /// # Safety
+    /// `i` must be in bounds of the original allocation, and no other job
+    /// may touch the addressed element during this `run` call.
+    #[inline]
+    pub unsafe fn add(&self, i: usize) -> *mut T {
+        self.0.add(i)
+    }
+
+    /// Mutable slice `[start, start + len)` behind the pointer.
+    ///
+    /// # Safety
+    /// Same contract as [`SendPtr::add`], for the whole range.
+    // The `&self -> &mut` shape is the point of this type: `SendPtr` is a
+    // raw-pointer capability, not a borrow, and exclusivity is the caller's
+    // owner-computes obligation stated above.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn slice(&self, start: usize, len: usize) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(start), len)
+    }
+}
+
+/// Splits `total` items into chunks sized for `threads`-way execution.
+///
+/// Returns `(chunk_len, num_chunks)`. Several chunks per thread keep the
+/// dynamic job counter useful for load balancing; the split never affects
+/// results because every chunk is owner-computed.
+pub fn chunks_for(total: usize, threads: usize) -> (usize, usize) {
+    if total == 0 {
+        return (1, 0);
+    }
+    let chunk = total.div_ceil(threads.max(1) * 4).max(1);
+    (chunk, total.div_ceil(chunk))
+}
+
+type Task = *const (dyn Fn(usize) + Sync);
+
+#[derive(Clone, Copy)]
+struct SendTask(Task);
+
+// SAFETY: the task pointer is only dereferenced between job publication and
+// the completion barrier in `Inner::run`, while the referent is alive.
+unsafe impl Send for SendTask {}
+
+struct State {
+    epoch: u64,
+    task: Option<SendTask>,
+    counter: Arc<AtomicUsize>,
+    num_jobs: usize,
+    /// Workers still executing (or yet to notice) the current epoch.
+    running: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers that a new epoch (or shutdown) is available.
+    work: Condvar,
+    /// Signals the caller that `running` reached zero.
+    done: Condvar,
+}
+
+struct Inner {
+    shared: Arc<Shared>,
+    workers: usize,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Inner {
+    fn run(&self, num_jobs: usize, f: &(dyn Fn(usize) + Sync)) {
+        // Erase the closure's lifetime so it can sit in shared state. The
+        // completion barrier below guarantees every worker is done with it
+        // before this frame returns.
+        let task = SendTask(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), Task>(
+                f as *const (dyn Fn(usize) + Sync),
+            )
+        });
+        let counter = {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert_eq!(st.running, 0, "pool: overlapping run calls");
+            st.epoch += 1;
+            st.task = Some(task);
+            st.counter = Arc::new(AtomicUsize::new(0));
+            st.num_jobs = num_jobs;
+            st.running = self.workers;
+            self.shared.work.notify_all();
+            st.counter.clone()
+        };
+        // The caller participates instead of idling.
+        let caller_result = panic::catch_unwind(AssertUnwindSafe(|| loop {
+            let i = counter.fetch_add(1, Ordering::Relaxed);
+            if i >= num_jobs {
+                break;
+            }
+            f(i);
+        }));
+        // Barrier: `f` (and the buffers it borrows) must outlive every
+        // worker's use of it.
+        let mut st = self.shared.state.lock().unwrap();
+        while st.running > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.task = None;
+        let worker_panicked = std::mem::replace(&mut st.panicked, false);
+        drop(st);
+        if let Err(payload) = caller_result {
+            panic::resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("optinter-tensor pool: a worker thread panicked");
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.handles.get_mut().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let (task, counter, num_jobs) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break (
+                        st.task.expect("pool: epoch advanced without a task"),
+                        st.counter.clone(),
+                        st.num_jobs,
+                    );
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        // SAFETY: the caller of `Inner::run` blocks until `running` drops to
+        // zero, so the closure behind `task` is alive for this whole block.
+        let f = unsafe { &*task.0 };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| loop {
+            let i = counter.fetch_add(1, Ordering::Relaxed);
+            if i >= num_jobs {
+                break;
+            }
+            f(i);
+        }));
+        let mut st = shared.state.lock().unwrap();
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.running -= 1;
+        if st.running == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Handle to a worker pool; clones share the same threads.
+///
+/// See the module docs for the determinism contract. A pool of one thread
+/// holds no OS threads and runs everything inline.
+#[derive(Clone)]
+pub struct Pool {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Pool {
+    /// Creates a pool executing with `threads`-way parallelism (the caller
+    /// counts as one of the threads). `threads <= 1` yields the inline
+    /// serial pool.
+    pub fn new(threads: usize) -> Self {
+        if threads <= 1 {
+            return Self { inner: None };
+        }
+        let workers = threads - 1;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                task: None,
+                counter: Arc::new(AtomicUsize::new(0)),
+                num_jobs: 0,
+                running: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = shared.clone();
+                thread::Builder::new()
+                    .name("optinter-pool".into())
+                    .spawn(move || worker_loop(shared))
+                    .expect("pool: failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            inner: Some(Arc::new(Inner {
+                shared,
+                workers,
+                handles: Mutex::new(handles),
+            })),
+        }
+    }
+
+    /// The inline single-threaded pool.
+    pub fn serial() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether jobs run inline on the caller with no worker threads.
+    #[inline]
+    pub fn is_serial(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Degree of parallelism (caller included).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        match &self.inner {
+            None => 1,
+            Some(inner) => inner.workers + 1,
+        }
+    }
+
+    /// Executes `f(0), f(1), ..., f(num_jobs - 1)`, each exactly once, and
+    /// returns once all have finished.
+    ///
+    /// Jobs may run on any thread in any order, so `f` must only perform
+    /// writes that are disjoint across job indices (owner computes). On a
+    /// serial pool the jobs run inline in index order.
+    pub fn run<F: Fn(usize) + Sync>(&self, num_jobs: usize, f: F) {
+        match &self.inner {
+            None => {
+                for i in 0..num_jobs {
+                    f(i);
+                }
+            }
+            Some(inner) => {
+                if num_jobs == 0 {
+                    return;
+                }
+                if num_jobs == 1 {
+                    f(0);
+                    return;
+                }
+                inner.run(num_jobs, &f);
+            }
+        }
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_pool_runs_inline_in_order() {
+        let pool = Pool::serial();
+        assert!(pool.is_serial());
+        assert_eq!(pool.threads(), 1);
+        let seen = Mutex::new(Vec::new());
+        pool.run(5, |i| seen.lock().unwrap().push(i));
+        assert_eq!(*seen.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_runs() {
+        let pool = Pool::new(3);
+        for round in 0..50 {
+            let sum = AtomicUsize::new(0);
+            pool.run(round + 1, |i| {
+                sum.fetch_add(i + 1, Ordering::Relaxed);
+            });
+            let n = round + 1;
+            assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn clones_share_the_same_workers() {
+        let pool = Pool::new(2);
+        let clone = pool.clone();
+        let sum = AtomicUsize::new(0);
+        clone.run(10, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+        assert_eq!(clone.threads(), 2);
+    }
+
+    #[test]
+    fn job_panic_propagates_to_the_caller() {
+        let pool = Pool::new(2);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(64, |i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must survive a panicked run.
+        let sum = AtomicUsize::new(0);
+        pool.run(4, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn disjoint_writes_through_sendptr() {
+        let pool = Pool::new(4);
+        let mut out = vec![0u32; 257];
+        let ptr = SendPtr(out.as_mut_ptr());
+        let (chunk, njobs) = chunks_for(out.len(), pool.threads());
+        let total = out.len();
+        pool.run(njobs, |j| {
+            let start = j * chunk;
+            let end = (start + chunk).min(total);
+            // SAFETY: chunks are disjoint across job indices.
+            let slice = unsafe { ptr.slice(start, end - start) };
+            for (off, v) in slice.iter_mut().enumerate() {
+                *v = (start + off) as u32;
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as u32);
+        }
+    }
+
+    #[test]
+    fn chunks_cover_everything() {
+        for total in [0usize, 1, 2, 7, 64, 1000] {
+            for threads in [1usize, 2, 4, 7] {
+                let (chunk, njobs) = chunks_for(total, threads);
+                assert!(njobs * chunk >= total);
+                assert!(njobs == 0 || (njobs - 1) * chunk < total);
+            }
+        }
+    }
+}

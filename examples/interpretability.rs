@@ -38,7 +38,10 @@ fn main() {
     let arch = search_architecture(&bundle, &cfg, SearchStrategy::Joint).architecture;
     let pairs = PairIndexer::new(bundle.data.num_fields);
 
-    println!("{:<8} {:<10} {:>10} {:<10} {:<10}", "pair", "fields", "MI (nats)", "searched", "planted");
+    println!(
+        "{:<8} {:<10} {:>10} {:<10} {:<10}",
+        "pair", "fields", "MI (nats)", "searched", "planted"
+    );
     let mut rows: Vec<(usize, f64)> = mi.iter().copied().enumerate().collect();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite MI"));
     for (p, mi_p) in &rows {
@@ -66,12 +69,21 @@ fn main() {
             continue;
         }
         let mean = selected.iter().map(|&p| mi[p]).sum::<f64>() / selected.len() as f64;
-        println!("  {:<10} {:>2} pairs   {:.5} nats", method.tag(), selected.len(), mean);
+        println!(
+            "  {:<10} {:>2} pairs   {:.5} nats",
+            method.tag(),
+            selected.len(),
+            mean
+        );
     }
 
     // And per planted kind, for reference.
     println!("\nmean MI per planted kind (ground truth):");
-    for kind in [PlantedKind::Memorized, PlantedKind::Factorized, PlantedKind::None] {
+    for kind in [
+        PlantedKind::Memorized,
+        PlantedKind::Factorized,
+        PlantedKind::None,
+    ] {
         let planted: Vec<usize> = bundle
             .planted
             .iter()
@@ -80,6 +92,11 @@ fn main() {
             .map(|(p, _)| p)
             .collect();
         let mean = planted.iter().map(|&p| mi[p]).sum::<f64>() / planted.len().max(1) as f64;
-        println!("  {:<10} {:>2} pairs   {:.5} nats", kind.tag(), planted.len(), mean);
+        println!(
+            "  {:<10} {:>2} pairs   {:.5} nats",
+            kind.tag(),
+            planted.len(),
+            mean
+        );
     }
 }

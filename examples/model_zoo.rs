@@ -5,8 +5,8 @@
 //! cargo run --release --example model_zoo
 //! ```
 
-use optinter::models::{build_model, run_model, BaselineConfig, ModelKind};
 use optinter::data::Profile;
+use optinter::models::{build_model, run_model, BaselineConfig, ModelKind};
 
 fn main() {
     let bundle = Profile::Tiny.bundle_with_rows(10_000, 7);

@@ -1,0 +1,235 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion it uses: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `sample_size` /
+//! `measurement_time`, and `Bencher::iter` / `iter_batched`. Timing is
+//! plain wall-clock (`Instant`): each benchmark is warmed up briefly, then
+//! run for the configured number of samples, and the median per-iteration
+//! time is printed. No statistical analysis, plots, or baselines — good
+//! enough to compare kernels and catch order-of-magnitude regressions.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost (mirror of `criterion::BatchSize`).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Setup output is cheap; run one routine call per setup call.
+    SmallInput,
+    /// Alias accepted for API parity; treated like `SmallInput`.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Measurement harness passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration duration of the last run, in nanoseconds.
+    result_ns: f64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            result_ns: 0.0,
+        }
+    }
+
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few untimed calls so lazy init and caches settle.
+        for _ in 0..2 {
+            std::hint::black_box(routine());
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+        self.result_ns = median(&mut times);
+    }
+
+    /// Times `routine` on fresh values from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..2 {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+        self.result_ns = median(&mut times);
+    }
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    if times.is_empty() {
+        return 0.0;
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("nan duration"));
+    times[times.len() / 2]
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named set of related benchmarks (mirror of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Accepted for API parity; sampling here is count-based, not time-based.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its median per-iteration time.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher);
+        println!(
+            "{}/{:<40} {:>12}",
+            self.name,
+            id,
+            format_ns(bencher.result_ns)
+        );
+        self
+    }
+
+    /// Ends the group (printing already happened per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.default_samples);
+        f(&mut bencher);
+        println!("{:<48} {:>12}", id, format_ns(bencher.result_ns));
+        self
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a runner (mirror of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main()` running the listed groups (mirror of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; nothing here parses
+            // them, and unknown flags are deliberately ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher::new(5);
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(b.result_ns > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut b = Bencher::new(3);
+        b.iter_batched(
+            || vec![1u32; 64],
+            |v| v.iter().sum::<u32>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.result_ns >= 0.0);
+    }
+
+    #[test]
+    fn group_chains_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(1));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -1,0 +1,129 @@
+//! Offline drop-in `#[derive(Serialize)]` for the serde shim.
+//!
+//! Upstream serde_derive leans on `syn`/`quote`, which are unavailable in
+//! this build environment, so this macro walks the raw token stream
+//! directly. It supports exactly what the workspace uses: non-generic
+//! structs with named fields (doc comments and other attributes on fields
+//! are skipped). Anything else is a compile error with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error tokens"),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<TokenStream, String> {
+    let (name, fields) = parse_struct(input)?;
+    let mut pushes = String::new();
+    for field in &fields {
+        pushes.push_str(&format!(
+            "obj.push(({field:?}.to_string(), \
+             ::serde::Serialize::to_json_value(&self.{field})));\n"
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::json::Value {{\n\
+                 let mut obj: Vec<(String, ::serde::json::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::json::Value::Object(obj)\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse()
+        .map_err(|e| format!("serde_derive: generated code failed to parse: {e:?}"))
+}
+
+/// Extracts the struct name and its field names from a derive input.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility, find the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following [...] group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => return Err(format!("expected struct name, got {other:?}")),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err("serde_derive shim supports only structs with named fields".into());
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or_else(|| "serde_derive shim: no struct found".to_string())?;
+    // The next token must be the { ... } field block (no generics in this
+    // workspace); tuple structs and generics are rejected explicitly.
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("serde_derive shim does not support generic structs".into());
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("serde_derive shim does not support tuple structs".into());
+            }
+            Some(_) => {}
+            None => return Err("serde_derive shim: struct body not found".into()),
+        }
+    };
+    Ok((name, parse_fields(body.stream())?))
+}
+
+/// Collects field names from the brace-delimited struct body.
+fn parse_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip field attributes (doc comments expand to #[doc = ...]).
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility may carry a scope group: pub(crate).
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected `:` after field `{id}`, got {other:?}")),
+                }
+                fields.push(id.to_string());
+                // Skip the type up to the next top-level comma. Angle
+                // brackets nest (Vec<T>); bracket/paren types arrive as
+                // single groups, so only `<`/`>` depth needs tracking.
+                let mut angle_depth = 0i32;
+                for tt in tokens.by_ref() {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            Some(other) => return Err(format!("unexpected token in struct body: {other:?}")),
+        }
+    }
+    Ok(fields)
+}

@@ -1,0 +1,199 @@
+//! Offline drop-in subset of `serde_json`: pretty-printing of values that
+//! implement the shim `serde::Serialize`. Only writing is supported —
+//! nothing in this workspace parses JSON back.
+
+use serde::json::Value;
+use serde::Serialize;
+use std::fmt;
+
+/// Serialization error (mirror of `serde_json::Error`).
+///
+/// The shim's direct value conversion cannot fail, so this is only here to
+/// keep `to_string_pretty`'s `Result` signature compatible.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as pretty JSON with two-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_json_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_json_value(), &mut out);
+    Ok(out)
+}
+
+fn write_scalar(v: &Value, out: &mut String) -> bool {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            // Match serde_json: non-finite numbers become null, and finite
+            // ones always carry a decimal point or exponent.
+            if f.is_finite() {
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(s, out),
+        Value::Array(_) | Value::Object(_) => return false,
+    }
+    true
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, indent: usize, out: &mut String) {
+    if write_scalar(v, out) {
+        return;
+    }
+    let pad = "  ".repeat(indent);
+    let inner_pad = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&inner_pad);
+                write_value(item, indent + 1, out);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, item)) in entries.iter().enumerate() {
+                out.push_str(&inner_pad);
+                write_escaped(key, out);
+                out.push_str(": ");
+                write_value(item, indent + 1, out);
+                out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+        _ => unreachable!("scalars handled above"),
+    }
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    if write_scalar(v, out) {
+        return;
+    }
+    match v {
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(key, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+        _ => unreachable!("scalars handled above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Row {
+        name: String,
+        auc: f64,
+        counts: Option<[usize; 3]>,
+    }
+
+    impl Serialize for Row {
+        fn to_json_value(&self) -> Value {
+            Value::Object(vec![
+                ("name".into(), self.name.to_json_value()),
+                ("auc".into(), self.auc.to_json_value()),
+                ("counts".into(), self.counts.to_json_value()),
+            ])
+        }
+    }
+
+    #[test]
+    fn pretty_prints_nested_structs() {
+        let rows = vec![
+            Row {
+                name: "fm".into(),
+                auc: 0.75,
+                counts: None,
+            },
+            Row {
+                name: "optinter".into(),
+                auc: 0.8125,
+                counts: Some([3, 2, 1]),
+            },
+        ];
+        let json = to_string_pretty(&rows).unwrap();
+        assert!(json.contains("\"name\": \"fm\""));
+        assert!(json.contains("\"auc\": 0.75"));
+        assert!(json.contains("\"counts\": null"));
+        assert!(json.contains("3,\n"));
+        assert!(json.starts_with("[\n"));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point_and_escapes_work() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+    }
+}

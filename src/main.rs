@@ -129,7 +129,10 @@ impl Options {
 
     fn config(&self, num_pairs_hint: usize) -> Result<OptInterConfig, String> {
         let _ = num_pairs_hint;
-        Ok(OptInterConfig { seed: self.seed()?, ..OptInterConfig::default() })
+        Ok(OptInterConfig {
+            seed: self.seed()?,
+            ..OptInterConfig::default()
+        })
     }
 
     fn architecture(&self, num_pairs: usize) -> Result<Architecture, String> {

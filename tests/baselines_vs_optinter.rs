@@ -10,7 +10,11 @@ fn bundle() -> optinter::data::DatasetBundle {
 }
 
 fn bcfg() -> BaselineConfig {
-    BaselineConfig { seed: 3, epochs: 4, ..BaselineConfig::test_small() }
+    BaselineConfig {
+        seed: 3,
+        epochs: 4,
+        ..BaselineConfig::test_small()
+    }
 }
 
 #[test]
@@ -36,11 +40,20 @@ fn deep_memorized_beats_deep_naive_on_planted_data() {
     // (same original embeddings plus the cross features); on data with
     // planted memorized pairs it must win.
     let b = bundle();
-    let cfg = OptInterConfig { seed: 3, ..OptInterConfig::test_small() };
-    let (_, mem) =
-        train_fixed(&b, &cfg, Architecture::uniform(Method::Memorize, b.data.num_pairs));
-    let (_, naive) =
-        train_fixed(&b, &cfg, Architecture::uniform(Method::Naive, b.data.num_pairs));
+    let cfg = OptInterConfig {
+        seed: 3,
+        ..OptInterConfig::test_small()
+    };
+    let (_, mem) = train_fixed(
+        &b,
+        &cfg,
+        Architecture::uniform(Method::Memorize, b.data.num_pairs),
+    );
+    let (_, naive) = train_fixed(
+        &b,
+        &cfg,
+        Architecture::uniform(Method::Naive, b.data.num_pairs),
+    );
     assert!(
         mem.auc > naive.auc,
         "OptInter-M ({}) should beat all-naive ({}) on memorization-heavy data",
@@ -55,10 +68,16 @@ fn memorizing_only_planted_pairs_matches_full_memorization() {
     // it should be competitive with memorizing everything while using
     // fewer parameters (the paper's efficiency claim).
     let b = bundle();
-    let cfg = OptInterConfig { seed: 3, ..OptInterConfig::test_small() };
+    let cfg = OptInterConfig {
+        seed: 3,
+        ..OptInterConfig::test_small()
+    };
     let (_, oracle) = train_fixed(&b, &cfg, Architecture::oracle(&b.planted));
-    let (_, full) =
-        train_fixed(&b, &cfg, Architecture::uniform(Method::Memorize, b.data.num_pairs));
+    let (_, full) = train_fixed(
+        &b,
+        &cfg,
+        Architecture::uniform(Method::Memorize, b.data.num_pairs),
+    );
     assert!(oracle.num_params < full.num_params);
     assert!(
         oracle.auc > full.auc - 0.02,

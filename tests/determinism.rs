@@ -1,0 +1,113 @@
+//! Thread-count determinism: the data-parallel execution layer must be
+//! bit-identical to the serial path for any worker count. These tests train
+//! the search-stage supernet and a fixed-architecture network with 1, 2 and
+//! 4 threads from the same seed and compare predicted probabilities,
+//! architecture probabilities and the final AUC **bitwise** — not within a
+//! tolerance. See `optinter_tensor::pool` and DESIGN.md for why this holds.
+
+use optinter_core::net::DataDims;
+use optinter_core::{Architecture, FactFn, Method, OptInterConfig, OptInterNet, Supernet};
+use optinter_data::{Batch, BatchIter, DatasetBundle, Profile};
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn bundle() -> DatasetBundle {
+    Profile::Tiny.bundle_with_rows(1_500, 23)
+}
+
+fn test_batch(bundle: &DatasetBundle) -> Batch {
+    BatchIter::new(&bundle.data, 1_000..1_400, 400, None)
+        .next()
+        .expect("test batch")
+}
+
+fn bits(probs: &[f32]) -> Vec<u32> {
+    probs.iter().map(|p| p.to_bits()).collect()
+}
+
+/// Trains the supernet and returns (predicted probs, alpha probs, AUC).
+fn train_supernet(bundle: &DatasetBundle, threads: usize) -> (Vec<f32>, Vec<[f32; 3]>, f64) {
+    let dims = DataDims::of(&bundle.data);
+    let cfg = OptInterConfig {
+        seed: 3,
+        num_threads: threads,
+        fact_fn: FactFn::Generalized,
+        ..OptInterConfig::test_small()
+    };
+    let mut net = Supernet::new(cfg, dims);
+    for epoch in 0..2u64 {
+        for batch in BatchIter::new(&bundle.data, 0..1_000, 128, Some(epoch)) {
+            let loss = net.train_batch(&batch, 0.7);
+            assert!(loss.is_finite(), "threads={threads}: loss {loss}");
+        }
+    }
+    let test = test_batch(bundle);
+    let probs = net.predict(&test, 0.7);
+    let auc = optinter_metrics::auc(&probs, &test.labels);
+    (probs, net.arch_probs(), auc)
+}
+
+#[test]
+fn supernet_training_is_bit_identical_across_thread_counts() {
+    let bundle = bundle();
+    let (ref_probs, ref_alpha, ref_auc) = train_supernet(&bundle, THREADS[0]);
+    assert!(ref_auc > 0.5, "reference run did not learn: AUC {ref_auc}");
+    for &threads in &THREADS[1..] {
+        let (probs, alpha, auc) = train_supernet(&bundle, threads);
+        assert_eq!(
+            bits(&ref_probs),
+            bits(&probs),
+            "predicted logits diverge at {threads} threads"
+        );
+        for (p, (a, b)) in ref_alpha.iter().zip(alpha.iter()).enumerate() {
+            assert_eq!(
+                bits(a),
+                bits(b),
+                "alpha probabilities diverge at pair {p}, {threads} threads"
+            );
+        }
+        assert_eq!(
+            ref_auc.to_bits(),
+            auc.to_bits(),
+            "final AUC diverges at {threads} threads"
+        );
+    }
+}
+
+/// Trains a fixed mixed architecture and returns predicted probabilities.
+fn train_fixed_arch(bundle: &DatasetBundle, threads: usize) -> Vec<f32> {
+    let dims = DataDims::of(&bundle.data);
+    let arch = Architecture::new(
+        (0..dims.num_pairs)
+            .map(|p| Method::from_index(p % 3))
+            .collect(),
+    );
+    let cfg = OptInterConfig {
+        seed: 5,
+        num_threads: threads,
+        fact_fn: FactFn::Generalized,
+        ..OptInterConfig::test_small()
+    };
+    let mut net = OptInterNet::new(cfg, dims, arch);
+    for epoch in 0..2u64 {
+        for batch in BatchIter::new(&bundle.data, 0..1_000, 128, Some(epoch)) {
+            let loss = net.train_batch(&batch);
+            assert!(loss.is_finite(), "threads={threads}: loss {loss}");
+        }
+    }
+    net.predict(&test_batch(bundle))
+}
+
+#[test]
+fn fixed_architecture_training_is_bit_identical_across_thread_counts() {
+    let bundle = bundle();
+    let reference = train_fixed_arch(&bundle, THREADS[0]);
+    for &threads in &THREADS[1..] {
+        let probs = train_fixed_arch(&bundle, threads);
+        assert_eq!(
+            bits(&reference),
+            bits(&probs),
+            "fixed-arch predictions diverge at {threads} threads"
+        );
+    }
+}

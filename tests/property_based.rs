@@ -3,9 +3,18 @@
 use optinter::data::generator::SyntheticSpec;
 use optinter::data::{DatasetBundle, PairIndexer, PlantedKind};
 use optinter::metrics::{auc, log_loss, mutual_information};
-use optinter::tensor::ops::{softmax_slice, argmax};
-use optinter::tensor::Matrix;
+use optinter::tensor::ops::{argmax, softmax_slice};
+use optinter::tensor::{Matrix, Pool};
 use proptest::prelude::*;
+
+/// Deterministic pseudo-random matrix for the parallel-vs-serial cases
+/// (entries vary with the proptest-chosen salt).
+fn salted_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let x = (r * 31 + c * 17) as f32 + salt as f32 * 0.13;
+        (x * 0.7).sin() * 1.5
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -92,6 +101,47 @@ proptest! {
             let (i, j) = idx.pair_at(p);
             prop_assert!(i < j && j < m);
             prop_assert_eq!(idx.index_of(i, j), p);
+        }
+    }
+
+    #[test]
+    fn pooled_matmul_equals_serial_exactly(
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+        threads in 1usize..8,
+        salt in 0u64..1000,
+    ) {
+        // The determinism guarantee is exact: for any shape and any thread
+        // count, the data-parallel kernel must be bit-identical to the
+        // serial one (not just close).
+        let a = salted_matrix(m, k, salt);
+        let b = salted_matrix(k, n, salt.wrapping_add(1));
+        let pool = Pool::new(threads);
+        let serial = a.matmul(&b);
+        let pooled = a.matmul_pooled(&b, &pool);
+        prop_assert_eq!(serial.shape(), pooled.shape());
+        for (s, p) in serial.as_slice().iter().zip(pooled.as_slice()) {
+            prop_assert_eq!(s.to_bits(), p.to_bits(), "{} vs {}", s, p);
+        }
+    }
+
+    #[test]
+    fn pooled_matmul_at_b_equals_serial_exactly(
+        rows in 1usize..48,
+        m in 1usize..32,
+        n in 1usize..32,
+        threads in 1usize..8,
+        salt in 0u64..1000,
+    ) {
+        let a = salted_matrix(rows, m, salt);
+        let g = salted_matrix(rows, n, salt.wrapping_add(2));
+        let pool = Pool::new(threads);
+        let serial = a.matmul_at_b(&g);
+        let pooled = a.matmul_at_b_pooled(&g, &pool);
+        prop_assert_eq!(serial.shape(), pooled.shape());
+        for (s, p) in serial.as_slice().iter().zip(pooled.as_slice()) {
+            prop_assert_eq!(s.to_bits(), p.to_bits(), "{} vs {}", s, p);
         }
     }
 
