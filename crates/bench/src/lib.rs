@@ -20,6 +20,8 @@
 //! (shrink everything for a smoke run). Results are printed as markdown and
 //! appended as JSON to `results/` for EXPERIMENTS.md bookkeeping.
 
+#![forbid(unsafe_code)]
+
 pub mod configs;
 pub mod experiments;
 pub mod report;

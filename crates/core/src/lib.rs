@@ -26,6 +26,8 @@
 //! - [`trainer`] — shared training/evaluation loops and the two-stage
 //!   search → re-train pipeline.
 
+#![forbid(unsafe_code)]
+
 pub mod arch;
 pub mod config;
 pub mod gumbel;

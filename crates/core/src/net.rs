@@ -17,7 +17,6 @@ use optinter_data::{Batch, EncodedDataset, PairIndexer};
 use optinter_nn::{
     bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig, Parameter,
 };
-use optinter_tensor::pool::{chunks_for, SendPtr};
 use optinter_tensor::{Matrix, Pool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -254,20 +253,14 @@ impl OptInterNet {
         let mut input = Matrix::zeros(b, self.input_dim);
         {
             let input_dim = self.input_dim;
-            let input_ptr = SendPtr(input.as_mut_slice().as_mut_ptr());
             let slots = &self.slots;
             let pairs = self.dims.pairs();
             let fact_fn = self.cfg.fact_fn;
             let fw_val = self.fact_weights.as_ref().map(|fw| &fw.value);
             let eo_ref = &eo;
             let em_ref = &em;
-            let (chunk, njobs) = chunks_for(b, self.pool.threads());
-            self.pool.run(njobs, |job| {
-                let r0 = job * chunk;
-                let r1 = (r0 + chunk).min(b);
-                for r in r0..r1 {
-                    // SAFETY: input row `r` belongs to exactly this job.
-                    let dst_row = unsafe { input_ptr.slice(r * input_dim, input_dim) };
+            self.pool
+                .for_rows(input.as_mut_slice(), input_dim, |r, dst_row| {
                     let eo_row = eo_ref.row(r);
                     dst_row[..m * s1].copy_from_slice(eo_row);
                     for (p, slot) in slots.iter().enumerate() {
@@ -306,8 +299,7 @@ impl OptInterNet {
                             Method::Naive => {}
                         }
                     }
-                }
-            });
+                });
         }
         let logits = self.mlp.forward(&input);
         self.cache = Some(Cache {
@@ -341,15 +333,12 @@ impl OptInterNet {
         // factorized pair owns its weight-gradient row, accumulated over
         // ascending batch rows exactly as the fused serial loop does.
         if let Some(fw) = self.fact_weights.as_mut() {
-            let fw_grad_ptr = SendPtr(fw.grad.as_mut_slice().as_mut_ptr());
-            self.pool.run(slots.len(), |p| {
+            self.pool.for_rows(fw.grad.as_mut_slice(), s1, |p, dw| {
                 let slot = &slots[p];
                 if slot.method != Method::Factorize {
                     return;
                 }
                 let (i, j) = pairs.pair_at(p);
-                // SAFETY: weight-grad row `p` belongs to exactly this job.
-                let dw = unsafe { fw_grad_ptr.slice(p * s1, s1) };
                 for r in 0..b {
                     let eo_row = cache_ref.eo.row(r);
                     let (ei, ej) = (&eo_row[i * s1..(i + 1) * s1], &eo_row[j * s1..(j + 1) * s1]);
@@ -369,17 +358,13 @@ impl OptInterNet {
         {
             let eo_width = m * s1;
             let em_width = self.num_memorized * s2;
-            let d_eo_ptr = SendPtr(d_eo.as_mut_slice().as_mut_ptr());
-            let d_em_ptr = SendPtr(d_em.as_mut_slice().as_mut_ptr());
             let fw_val = self.fact_weights.as_ref().map(|fw| &fw.value);
-            let (chunk, njobs) = chunks_for(b, self.pool.threads());
-            self.pool.run(njobs, |job| {
-                let r0 = job * chunk;
-                let r1 = (r0 + chunk).min(b);
-                for r in r0..r1 {
-                    // SAFETY: gradient rows `r` belong to exactly this job.
-                    let d_row = unsafe { d_eo_ptr.slice(r * eo_width, eo_width) };
-                    let dem_full = unsafe { d_em_ptr.slice(r * em_width, em_width) };
+            self.pool.for_rows2(
+                d_eo.as_mut_slice(),
+                eo_width,
+                d_em.as_mut_slice(),
+                em_width,
+                |r, d_row, dem_full| {
                     let eo_row = cache_ref.eo.row(r);
                     let g_row = dinput_ref.row(r);
                     for (p, slot) in slots.iter().enumerate() {
@@ -421,8 +406,8 @@ impl OptInterNet {
                             Method::Naive => {}
                         }
                     }
-                }
-            });
+                },
+            );
         }
         let pool = self.pool.clone();
         self.e_orig

@@ -33,7 +33,6 @@ use optinter_data::Batch;
 use optinter_nn::{
     bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig, Parameter,
 };
-use optinter_tensor::pool::{chunks_for, SendPtr};
 use optinter_tensor::{ops, Matrix, Pool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -202,15 +201,9 @@ impl Supernet {
         let mut ef = Matrix::zeros(b, p_count * s1);
         {
             let ef_width = p_count * s1;
-            let ef_ptr = SendPtr(ef.as_mut_slice().as_mut_ptr());
-            let (chunk, njobs) = chunks_for(b, self.pool.threads());
-            self.pool.run(njobs, |job| {
-                let r0 = job * chunk;
-                let r1 = (r0 + chunk).min(b);
-                for r in r0..r1 {
+            self.pool
+                .for_rows(ef.as_mut_slice(), ef_width, |r, ef_row| {
                     let eo_row = eo.row(r);
-                    // SAFETY: `ef` row `r` belongs to exactly this job.
-                    let ef_row = unsafe { ef_ptr.slice(r * ef_width, ef_width) };
                     for (p, &(i, j)) in pairs.iter().enumerate() {
                         let (ei, ej) =
                             (&eo_row[i * s1..(i + 1) * s1], &eo_row[j * s1..(j + 1) * s1]);
@@ -234,8 +227,7 @@ impl Supernet {
                             }
                         }
                     }
-                }
-            });
+                });
         }
 
         // Relaxed method weights per pair. Gumbel noise must come off the
@@ -255,37 +247,28 @@ impl Supernet {
         // sharded over batch rows under owner-computes.
         let in_width = m * s1 + p_count * d;
         let mut input = Matrix::zeros(b, in_width);
-        {
-            let in_ptr = SendPtr(input.as_mut_slice().as_mut_ptr());
-            let (chunk, njobs) = chunks_for(b, self.pool.threads());
-            self.pool.run(njobs, |job| {
-                let r0 = job * chunk;
-                let r1 = (r0 + chunk).min(b);
-                for r in r0..r1 {
-                    // SAFETY: `input` row `r` belongs to exactly this job.
-                    let in_row = unsafe { in_ptr.slice(r * in_width, in_width) };
-                    in_row[..m * s1].copy_from_slice(eo.row(r));
-                    for (p, sample) in samples.iter().enumerate() {
-                        let pm = sample.probs[0];
-                        let pf = sample.probs[1];
-                        let base = m * s1 + p * d;
-                        let em_row = &em.row(r)[p * s2..(p + 1) * s2];
-                        let ef_row = &ef.row(r)[p * s1..(p + 1) * s1];
-                        let dst = &mut in_row[base..base + d];
-                        for c in 0..d {
-                            let mut v = 0.0f32;
-                            if c < s2 {
-                                v += pm * em_row[c];
-                            }
-                            if c < s1 {
-                                v += pf * ef_row[c];
-                            }
-                            dst[c] = v;
+        self.pool
+            .for_rows(input.as_mut_slice(), in_width, |r, in_row| {
+                in_row[..m * s1].copy_from_slice(eo.row(r));
+                for (p, sample) in samples.iter().enumerate() {
+                    let pm = sample.probs[0];
+                    let pf = sample.probs[1];
+                    let base = m * s1 + p * d;
+                    let em_row = &em.row(r)[p * s2..(p + 1) * s2];
+                    let ef_row = &ef.row(r)[p * s1..(p + 1) * s1];
+                    let dst = &mut in_row[base..base + d];
+                    for c in 0..d {
+                        let mut v = 0.0f32;
+                        if c < s2 {
+                            v += pm * em_row[c];
                         }
+                        if c < s1 {
+                            v += pf * ef_row[c];
+                        }
+                        dst[c] = v;
                     }
                 }
             });
-        }
 
         let logits = self.mlp.forward(&input);
         self.cache = Some(ForwardCache {
@@ -329,58 +312,58 @@ impl Supernet {
         // this pair's architecture-gradient row, and for the generalized
         // product this pair's weight-gradient row.
         {
-            let arch_grad_ptr = SendPtr(self.arch.grad.as_mut_slice().as_mut_ptr());
-            let fw_grad_ptr = self
-                .fact_weights
-                .as_mut()
-                .map(|fw| SendPtr(fw.grad.as_mut_slice().as_mut_ptr()));
             let cache_ref = &cache;
             let dinput_ref = &dinput;
-            self.pool.run(p_count, |p| {
-                let (i, j) = pairs[p];
-                let sample = &cache_ref.samples[p];
-                let pf = sample.probs[1];
-                let base = m * s1 + p * d;
-                let mut dpm = 0.0f32;
-                let mut dpf = 0.0f32;
-                for r in 0..b {
-                    let g = &dinput_ref.row(r)[base..base + d];
-                    let em_row = &cache_ref.em.row(r)[p * s2..(p + 1) * s2];
-                    let ef_row = &cache_ref.ef.row(r)[p * s1..(p + 1) * s1];
-                    // d p_m, d p_f: inner products with the candidates.
-                    for c in 0..s2.min(d) {
-                        dpm += g[c] * em_row[c];
-                    }
-                    for c in 0..s1.min(d) {
-                        dpf += g[c] * ef_row[c];
-                    }
-                    if fact_fn == FactFn::Generalized {
-                        let eo_row = cache_ref.eo.row(r);
-                        let (ei, ej) =
-                            (&eo_row[i * s1..(i + 1) * s1], &eo_row[j * s1..(j + 1) * s1]);
-                        // SAFETY: weight-grad row `p` belongs to this job.
-                        let dw = unsafe {
-                            fw_grad_ptr
-                                .as_ref()
-                                .expect("generalized weights")
-                                .slice(p * s1, s1)
-                        };
+            // The generalized product is the only factorization with its own
+            // weights; for the other two the secondary buffer is empty and
+            // `dw` comes out as a zero-length slice.
+            let mut no_fw: Vec<f32> = Vec::new();
+            let (fw_grad, fw_width): (&mut [f32], usize) = match self.fact_weights.as_mut() {
+                Some(fw) => (fw.grad.as_mut_slice(), s1),
+                None => (&mut no_fw, 0),
+            };
+            self.pool.for_rows2(
+                self.arch.grad.as_mut_slice(),
+                3,
+                fw_grad,
+                fw_width,
+                |p, arow, dw| {
+                    let (i, j) = pairs[p];
+                    let sample = &cache_ref.samples[p];
+                    let pf = sample.probs[1];
+                    let base = m * s1 + p * d;
+                    let mut dpm = 0.0f32;
+                    let mut dpf = 0.0f32;
+                    for r in 0..b {
+                        let g = &dinput_ref.row(r)[base..base + d];
+                        let em_row = &cache_ref.em.row(r)[p * s2..(p + 1) * s2];
+                        let ef_row = &cache_ref.ef.row(r)[p * s1..(p + 1) * s1];
+                        // d p_m, d p_f: inner products with the candidates.
+                        for c in 0..s2.min(d) {
+                            dpm += g[c] * em_row[c];
+                        }
                         for c in 0..s1.min(d) {
-                            let def = pf * g[c];
-                            dw[c] += def * ei[c] * ej[c];
+                            dpf += g[c] * ef_row[c];
+                        }
+                        if fact_fn == FactFn::Generalized {
+                            let eo_row = cache_ref.eo.row(r);
+                            let (ei, ej) =
+                                (&eo_row[i * s1..(i + 1) * s1], &eo_row[j * s1..(j + 1) * s1]);
+                            for c in 0..s1.min(d) {
+                                let def = pf * g[c];
+                                dw[c] += def * ei[c] * ej[c];
+                            }
                         }
                     }
-                }
-                // d p_n = 0 (the naive embedding is identically zero).
-                let dprobs = [dpm, dpf, 0.0];
-                let mut dlogits = [0.0f32; 3];
-                sample.backward(&dprobs, &mut dlogits);
-                // SAFETY: arch-grad row `p` belongs to exactly this job.
-                let arow = unsafe { arch_grad_ptr.slice(p * 3, 3) };
-                for c in 0..3 {
-                    arow[c] += dlogits[c];
-                }
-            });
+                    // d p_n = 0 (the naive embedding is identically zero).
+                    let dprobs = [dpm, dpf, 0.0];
+                    let mut dlogits = [0.0f32; 3];
+                    sample.backward(&dprobs, &mut dlogits);
+                    for c in 0..3 {
+                        arow[c] += dlogits[c];
+                    }
+                },
+            );
         }
 
         // Pass B — parallel over batch rows: d e^m and d e^o. A row of
@@ -392,19 +375,15 @@ impl Supernet {
         {
             let eo_width = m * s1;
             let em_width = p_count * s2;
-            let d_eo_ptr = SendPtr(d_eo.as_mut_slice().as_mut_ptr());
-            let d_em_ptr = SendPtr(d_em.as_mut_slice().as_mut_ptr());
             let fw_val = self.fact_weights.as_ref().map(|fw| &fw.value);
             let cache_ref = &cache;
             let dinput_ref = &dinput;
-            let (chunk, njobs) = chunks_for(b, self.pool.threads());
-            self.pool.run(njobs, |job| {
-                let r0 = job * chunk;
-                let r1 = (r0 + chunk).min(b);
-                for r in r0..r1 {
-                    // SAFETY: gradient rows `r` belong to exactly this job.
-                    let deo_row = unsafe { d_eo_ptr.slice(r * eo_width, eo_width) };
-                    let dem_full = unsafe { d_em_ptr.slice(r * em_width, em_width) };
+            self.pool.for_rows2(
+                d_eo.as_mut_slice(),
+                eo_width,
+                d_em.as_mut_slice(),
+                em_width,
+                |r, deo_row, dem_full| {
                     let eo_row = cache_ref.eo.row(r);
                     let din_row = dinput_ref.row(r);
                     for (p, &(i, j)) in pairs.iter().enumerate() {
@@ -446,8 +425,8 @@ impl Supernet {
                             }
                         }
                     }
-                }
-            });
+                },
+            );
         }
 
         let pool = self.pool.clone();

@@ -25,12 +25,13 @@ pub struct PairVocab {
 
 impl PairVocab {
     fn from_counts(counts: &HashMap<u64, u32>, min_count: u32) -> Self {
+        // lint: allow(hash-iter, reason="collected into a Vec and fully sorted before id assignment")
         let mut kept: Vec<u64> = counts
             .iter()
             .filter(|&(_, &c)| c >= min_count)
             .map(|(&v, _)| v)
             .collect();
-        kept.sort_unstable();
+        kept.sort_unstable(); // deterministic: ids are a pure function of the counts
         let map: HashMap<u64, u32> = kept
             .iter()
             .enumerate()

@@ -22,6 +22,8 @@
 //! [`generator::SyntheticGenerator`] for custom workloads,
 //! [`dataset::EncodedDataset`] + [`batch::BatchIter`] for training.
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod cross;
 pub mod dataset;

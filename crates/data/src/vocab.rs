@@ -19,17 +19,26 @@ pub struct FieldVocab {
 
 impl FieldVocab {
     /// Builds from raw-value counts, keeping values with `count >= min_count`.
+    ///
+    /// Local ids are assigned frequency-then-key: most frequent value gets
+    /// id 1, ties broken by ascending raw value. The ordering is a total
+    /// order over the retained values, so the assignment is a pure function
+    /// of the counts — independent of the `HashMap`'s seed and of the order
+    /// rows were counted in. (Frequency-descending also means the hottest
+    /// embedding rows cluster at the front of each field's id range, which
+    /// keeps frequent lookups cache-friendly.)
     pub fn from_counts(counts: &HashMap<u32, u32>, min_count: u32) -> Self {
-        let mut kept: Vec<u32> = counts
+        // lint: allow(hash-iter, reason="collected into a Vec and fully sorted before id assignment")
+        let mut kept: Vec<(u32, u32)> = counts
             .iter()
             .filter(|&(_, &c)| c >= min_count)
-            .map(|(&v, _)| v)
+            .map(|(&v, &c)| (v, c))
             .collect();
-        kept.sort_unstable(); // deterministic id assignment
+        kept.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let map: HashMap<u32, u32> = kept
             .iter()
             .enumerate()
-            .map(|(i, &v)| (v, i as u32 + 1))
+            .map(|(i, &(v, _))| (v, i as u32 + 1))
             .collect();
         let size = map.len() as u32 + 1; // +1 for OOV slot 0
         Self { map, size }
@@ -176,6 +185,24 @@ mod tests {
         let rows = vec![0, 1, 2, 3, 4, 0];
         let v = Vocabulary::build(&schema, &rows, 1);
         assert_eq!(v.sizes(), vec![4, 4]); // 3 distinct + OOV each
+    }
+
+    #[test]
+    fn ids_are_assigned_frequency_then_key() {
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        // Frequencies: 9 -> 5x, {3, 7} -> 3x (tie), 1 -> 2x, 4 -> 1x (pruned).
+        counts.insert(9, 5);
+        counts.insert(3, 3);
+        counts.insert(7, 3);
+        counts.insert(1, 2);
+        counts.insert(4, 1);
+        let v = FieldVocab::from_counts(&counts, 2);
+        assert_eq!(v.encode(9), 1); // most frequent first
+        assert_eq!(v.encode(3), 2); // tie broken by ascending raw value
+        assert_eq!(v.encode(7), 3);
+        assert_eq!(v.encode(1), 4);
+        assert_eq!(v.encode(4), 0); // below min_count -> OOV
+        assert_eq!(v.size(), 5);
     }
 
     #[test]

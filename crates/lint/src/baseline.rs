@@ -1,0 +1,137 @@
+//! The panic-ratchet baseline: committed per-crate ceilings on
+//! `.unwrap()` / `.expect(` counts that may only go down.
+//!
+//! Stored as `lint-baseline.toml` at the workspace root. We parse the tiny
+//! TOML subset we emit ourselves (one `[unwrap-expect]` table of
+//! `key = integer` lines, `#` comments) rather than pulling in a TOML
+//! crate — the linter is dependency-free by design.
+
+use std::collections::BTreeMap;
+
+/// Per-crate unwrap/expect ceilings, keyed by crate key (`tensor`, `nn`,
+/// ..., `root`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub unwrap_expect: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parses the `lint-baseline.toml` subset. Errors carry the offending
+    /// line number.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut unwrap_expect = BTreeMap::new();
+        let mut section = String::new();
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(format!("baseline line {lineno}: unterminated table header"));
+                };
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "baseline line {lineno}: expected `key = integer`, got `{line}`"
+                ));
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let value: usize = value.trim().parse().map_err(|_| {
+                format!("baseline line {lineno}: value is not a non-negative integer")
+            })?;
+            match section.as_str() {
+                "unwrap-expect" => {
+                    if unwrap_expect.insert(key.clone(), value).is_some() {
+                        return Err(format!("baseline line {lineno}: duplicate key `{key}`"));
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "baseline line {lineno}: unknown table `[{other}]` \
+                         (only [unwrap-expect] is recognised)"
+                    ));
+                }
+            }
+        }
+        Ok(Self { unwrap_expect })
+    }
+
+    /// Serialises back to the same TOML subset `parse` accepts.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# Panic-ratchet baseline, maintained by `cargo run -p optinter-lint -- update-baseline`.\n\
+             # Per-crate ceilings on `.unwrap()` / `.expect(` sites in non-test code.\n\
+             # Counts may only decrease; raising a ceiling requires editing this file\n\
+             # by hand in the same PR that adds the panic site, which is the review hook.\n\
+             \n[unwrap-expect]\n",
+        );
+        for (k, v) in &self.unwrap_expect {
+            out.push_str(&format!("{k} = {v}\n"));
+        }
+        out
+    }
+
+    /// Compares observed counts against the ceilings. Returns one message
+    /// per violation: a crate above its ceiling, or a crate with panics but
+    /// no baseline entry at all.
+    pub fn check(&self, observed: &BTreeMap<String, usize>) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (krate, &count) in observed {
+            match self.unwrap_expect.get(krate) {
+                Some(&ceiling) if count > ceiling => problems.push(format!(
+                    "[panic-ratchet] crate `{krate}` has {count} unwrap/expect sites in \
+                     non-test code, above the baseline ceiling of {ceiling}; handle the \
+                     error or, if genuinely unreachable, raise the ceiling by hand in \
+                     lint-baseline.toml with justification in the PR"
+                )),
+                None if count > 0 => problems.push(format!(
+                    "[panic-ratchet] crate `{krate}` has {count} unwrap/expect sites but \
+                     no entry in lint-baseline.toml; run `cargo run -p optinter-lint -- \
+                     update-baseline` and commit the result"
+                )),
+                _ => {}
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_toml() {
+        let mut b = Baseline::default();
+        b.unwrap_expect.insert("core".to_string(), 3);
+        b.unwrap_expect.insert("data".to_string(), 0);
+        let text = b.to_toml();
+        assert_eq!(Baseline::parse(&text).expect("parse"), b);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("[unwrap-expect\ncore = 1").is_err());
+        assert!(Baseline::parse("[unwrap-expect]\ncore = many").is_err());
+        assert!(Baseline::parse("[other]\ncore = 1").is_err());
+        assert!(Baseline::parse("[unwrap-expect]\ncore = 1\ncore = 2").is_err());
+    }
+
+    #[test]
+    fn check_flags_increases_and_missing_entries_only() {
+        let b = Baseline::parse("[unwrap-expect]\ncore = 2\ndata = 1\n").expect("parse");
+        let mut observed = BTreeMap::new();
+        observed.insert("core".to_string(), 2); // at ceiling: fine
+        observed.insert("data".to_string(), 0); // below: fine
+        assert!(b.check(&observed).is_empty());
+        observed.insert("core".to_string(), 3); // above: flagged
+        observed.insert("nn".to_string(), 1); // missing entry: flagged
+        let problems = b.check(&observed);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+    }
+}

@@ -1,0 +1,471 @@
+//! A hand-written lexer for the subset of Rust surface syntax the lint
+//! rules need to see *correctly*.
+//!
+//! The rules in this crate are token-level, so the only hard requirement on
+//! the lexer is that it never confuses code with non-code: a `//` inside a
+//! string must not start a comment, an `unsafe` inside a doc comment must
+//! not trip the confinement rule, a lifetime `'a` must not be mistaken for
+//! an unterminated char literal, and `/* /* */ */` must nest the way Rust
+//! nests it. Everything else (precise number grammar, multi-char operators)
+//! is deliberately loose — single-char punctuation tokens are enough for
+//! pattern matching.
+//!
+//! Comments are kept in the token stream (with their text) because two
+//! rules read them: `unsafe`-confinement looks for `// SAFETY:` and the
+//! suppression convention looks for `// lint: allow(...)`.
+
+/// A lexed token. `Str`/`Char`/`Num` drop their text — no rule needs it —
+/// while idents, lifetimes and comments keep theirs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unsafe`, `for`, `HashMap`, `r#type`, ...).
+    Ident(String),
+    /// Lifetime such as `'a` or `'static` (without the quote).
+    Lifetime(String),
+    /// Single punctuation character.
+    Punct(char),
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\u{1F600}'`, `b'\n'`.
+    Char,
+    /// Numeric literal (integers, floats, any radix, suffixes).
+    Num,
+    /// Comment text, markers included (`// …`, `/* … */`, `/// …`, `//! …`).
+    Comment(String),
+}
+
+/// A token plus the 1-based line its first character sits on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A lexing failure; positioned so it can be reported like a diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn err(&self, line: u32, message: &str) -> LexError {
+        LexError {
+            line,
+            message: message.to_string(),
+        }
+    }
+
+    fn take_ident(&mut self) -> String {
+        let start = self.pos;
+        while is_ident_continue(self.peek(0)) {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// `//`-comment up to (not including) the newline.
+    fn line_comment(&mut self) -> Tok {
+        let start = self.pos;
+        while self.peek(0) != b'\n' && self.pos < self.src.len() {
+            self.pos += 1;
+        }
+        Tok::Comment(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    /// `/* ... */` with arbitrary nesting.
+    fn block_comment(&mut self) -> Result<Tok, LexError> {
+        let (start, start_line) = (self.pos, self.line);
+        self.pos += 2; // consume "/*"
+        let mut depth = 1usize;
+        while depth > 0 {
+            if self.pos >= self.src.len() {
+                return Err(self.err(start_line, "unterminated block comment"));
+            }
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.pos += 2;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump();
+            }
+        }
+        Ok(Tok::Comment(
+            String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+        ))
+    }
+
+    /// `"..."` with escapes; the opening quote is at `self.pos`.
+    fn quoted_string(&mut self) -> Result<Tok, LexError> {
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        loop {
+            if self.pos >= self.src.len() {
+                return Err(self.err(start_line, "unterminated string literal"));
+            }
+            match self.peek(0) {
+                b'\\' => {
+                    self.pos += 1; // the backslash
+                    self.bump(); // whatever is escaped (may be a newline)
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(Tok::Str);
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// `r"..."` / `r#"..."#` with `hashes` leading `#`s already counted;
+    /// `self.pos` is at the opening quote.
+    fn raw_string(&mut self, hashes: usize) -> Result<Tok, LexError> {
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        loop {
+            if self.pos >= self.src.len() {
+                return Err(self.err(start_line, "unterminated raw string literal"));
+            }
+            if self.peek(0) == b'"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(1 + matched) == b'#' {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    self.pos += 1 + hashes;
+                    return Ok(Tok::Str);
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Char literal with the opening `'` at `self.pos`.
+    fn char_literal(&mut self) -> Result<Tok, LexError> {
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        if self.peek(0) == b'\\' {
+            self.pos += 2; // backslash + escaped char ('n', '\'', 'u', 'x', ...)
+            if self.peek(0) == b'{' {
+                // \u{...}
+                while self.peek(0) != b'}' {
+                    if self.pos >= self.src.len() {
+                        return Err(self.err(start_line, "unterminated char escape"));
+                    }
+                    self.pos += 1;
+                }
+                self.pos += 1;
+            } else if self.src.get(self.pos.wrapping_sub(1)) == Some(&b'x') {
+                self.pos += 2; // two hex digits
+            }
+        } else {
+            // A single possibly multi-byte character.
+            self.pos += 1;
+            while self.peek(0) >= 0x80 {
+                self.pos += 1;
+            }
+        }
+        if self.peek(0) != b'\'' {
+            return Err(self.err(start_line, "unterminated char literal"));
+        }
+        self.pos += 1;
+        Ok(Tok::Char)
+    }
+
+    /// Loose numeric literal starting at a digit.
+    fn number(&mut self) -> Tok {
+        let radix_prefixed = self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b');
+        loop {
+            let c = self.peek(0);
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                // Decimal exponent sign: `1e-5`, `2.5E+3`.
+                if !radix_prefixed
+                    && (c == b'e' || c == b'E')
+                    && matches!(self.peek(1), b'+' | b'-')
+                    && self.peek(2).is_ascii_digit()
+                {
+                    self.pos += 2;
+                }
+                self.pos += 1;
+            } else if c == b'.' && self.peek(1).is_ascii_digit() {
+                // `1.5` yes; `0..n` and `x.method()` no.
+                self.pos += 1;
+            } else {
+                return Tok::Num;
+            }
+        }
+    }
+}
+
+/// Lexes a whole source file. Fails only on unterminated literals/comments,
+/// which on real input means the file would not compile anyway.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while lx.pos < lx.src.len() {
+        let line = lx.line;
+        let c = lx.peek(0);
+        if c == b'\n' || c.is_ascii_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let tok = match c {
+            b'/' => match lx.peek(1) {
+                b'/' => lx.line_comment(),
+                b'*' => lx.block_comment()?,
+                _ => {
+                    lx.pos += 1;
+                    Tok::Punct('/')
+                }
+            },
+            b'"' => lx.quoted_string()?,
+            b'\'' => {
+                // Lifetime iff the quote is followed by an ASCII ident that
+                // is NOT closed by another quote: `'a` / `'static` / `'_`
+                // are lifetimes, `'a'` / `'_'` / `'é'` are char literals.
+                let p1 = lx.peek(1);
+                if (p1.is_ascii_alphabetic() || p1 == b'_') && lx.peek(2) != b'\'' {
+                    lx.pos += 1;
+                    Tok::Lifetime(lx.take_ident())
+                } else {
+                    lx.char_literal()?
+                }
+            }
+            b'b' if lx.peek(1) == b'\'' => {
+                lx.pos += 1;
+                lx.char_literal()?
+            }
+            b'b' if lx.peek(1) == b'"' => {
+                lx.pos += 1;
+                lx.quoted_string()?
+            }
+            b'b' if lx.peek(1) == b'r' && matches!(lx.peek(2), b'"' | b'#') => {
+                lx.pos += 2;
+                let mut hashes = 0;
+                while lx.peek(hashes) == b'#' {
+                    hashes += 1;
+                }
+                lx.pos += hashes;
+                lx.raw_string(hashes)?
+            }
+            b'r' if matches!(lx.peek(1), b'"' | b'#') => {
+                let mut hashes = 0;
+                while lx.peek(1 + hashes) == b'#' {
+                    hashes += 1;
+                }
+                if lx.peek(1 + hashes) == b'"' {
+                    lx.pos += 1 + hashes;
+                    lx.raw_string(hashes)?
+                } else if hashes > 0 && is_ident_start(lx.peek(1 + hashes)) {
+                    // Raw identifier `r#type`.
+                    lx.pos += 1 + hashes;
+                    Tok::Ident(lx.take_ident())
+                } else {
+                    Tok::Ident(lx.take_ident())
+                }
+            }
+            _ if is_ident_start(c) => Tok::Ident(lx.take_ident()),
+            _ if c.is_ascii_digit() => lx.number(),
+            _ => {
+                lx.pos += 1;
+                Tok::Punct(c as char)
+            }
+        };
+        out.push(Token { tok, line });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src)
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        kinds(src)
+            .into_iter()
+            .filter_map(|t| match t {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_not_comments() {
+        let toks = kinds(r#"let url = "https://example.com/*notacomment*/"; done"#);
+        assert!(toks.contains(&Tok::Str));
+        assert!(!toks.iter().any(|t| matches!(t, Tok::Comment(_))));
+        assert_eq!(
+            idents(r#"let x = "// unsafe"; after"#),
+            vec!["let", "x", "after"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let toks = kinds("before /* outer /* inner */ still-outer */ after");
+        assert_eq!(
+            idents("before /* outer /* inner */ still-outer */ after"),
+            vec!["before", "after"]
+        );
+        assert_eq!(
+            toks.iter().filter(|t| matches!(t, Tok::Comment(_))).count(),
+            1
+        );
+        assert!(lex("/* /* */").is_err(), "unbalanced nesting must fail");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        // The quote inside the raw string must not end it early.
+        let toks = kinds(r###"let s = r#"contains "quotes" and \ backslash"#; after"###);
+        assert!(toks.contains(&Tok::Str));
+        assert_eq!(
+            idents(r###"let s = r#"contains "quotes" and \ backslash"#; after"###),
+            vec!["let", "s", "after"]
+        );
+        // Multiple hashes.
+        assert_eq!(
+            idents(r####"r##"inner "# not the end"## end"####),
+            vec!["end"]
+        );
+        // r" with zero hashes.
+        assert_eq!(idents(r#"r"plain raw" tail"#), vec!["tail"]);
+        // Byte raw string.
+        assert_eq!(idents(r###"br#"bytes"# tail"###), vec!["tail"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        // Lifetimes survive as lifetimes...
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'static str { x }");
+        assert!(toks.contains(&Tok::Lifetime("a".into())));
+        assert!(toks.contains(&Tok::Lifetime("static".into())));
+        assert!(!toks.contains(&Tok::Char));
+        // ...while char literals, including awkward ones, are chars.
+        for src in [
+            "'x'",
+            "'_'",
+            "'\\''",
+            "'\\\\'",
+            "'\\n'",
+            "'\\u{1F600}'",
+            "b'q'",
+        ] {
+            let toks = kinds(src);
+            assert_eq!(toks, vec![Tok::Char], "src = {src}");
+        }
+        // A lifetime immediately followed by more code lexes as a
+        // Lifetime token, not as an ident or a dangling quote.
+        let toks = kinds("impl<'de> Visitor<'de> for V");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| **t == Tok::Lifetime("de".into()))
+                .count(),
+            2
+        );
+        assert_eq!(
+            idents("impl<'de> Visitor<'de> for V"),
+            vec!["impl", "Visitor", "for", "V"]
+        );
+    }
+
+    #[test]
+    fn line_comments_capture_text_and_stop_at_newline() {
+        let toks = lex("x // SAFETY: fine\ny").expect("lex ok");
+        assert_eq!(toks[0].tok, Tok::Ident("x".into()));
+        assert_eq!(toks[1].tok, Tok::Comment("// SAFETY: fine".into()));
+        assert_eq!(toks[1].line, 1);
+        assert_eq!(toks[2].tok, Tok::Ident("y".into()));
+        assert_eq!(toks[2].line, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_through_multiline_literals() {
+        let src = "let a = \"two\nlines\";\nlet b = /* c\nc */ 1;\nlet c = 2;";
+        let toks = lex(src).expect("lex ok");
+        let line_of = |name: &str| {
+            toks.iter()
+                .find(|t| t.tok == Tok::Ident(name.into()))
+                .map(|t| t.line)
+        };
+        assert_eq!(line_of("a"), Some(1));
+        assert_eq!(line_of("b"), Some(3));
+        assert_eq!(line_of("c"), Some(5));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_operators() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e-3; let y = 0xFF; }");
+        // `0..10` must lex as Num, '.', '.', Num.
+        let dots = toks.iter().filter(|t| **t == Tok::Punct('.')).count();
+        assert_eq!(dots, 2);
+        assert_eq!(toks.iter().filter(|t| **t == Tok::Num).count(), 4);
+    }
+
+    #[test]
+    fn escaped_quotes_inside_strings() {
+        assert_eq!(
+            idents(r#"let s = "quote \" and \\ more"; after"#),
+            vec!["let", "s", "after"]
+        );
+    }
+
+    #[test]
+    fn unterminated_literals_error_with_line() {
+        let err = lex("\n\nlet s = \"oops").unwrap_err();
+        assert_eq!(err.line, 3);
+        // `'x` alone is lexically a lifetime, so use an escape to force the
+        // char-literal path.
+        assert!(lex("let c = '\\n").is_err());
+        assert!(lex("r#\"never closed\"").is_err());
+    }
+}

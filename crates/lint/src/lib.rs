@@ -1,0 +1,265 @@
+//! optinter-lint: a dependency-free workspace linter that statically
+//! enforces the invariants the determinism harness (PR 1) proves
+//! dynamically. See DESIGN.md §7 for the invariant model and the
+//! `lint: allow` waiver convention.
+//!
+//! Entry points:
+//! - [`check_workspace`] — lint every source file, compare panic counts to
+//!   the committed baseline, return a [`Report`].
+//! - [`update_baseline`] — rewrite `lint-baseline.toml` from the current
+//!   counts (used when a PR legitimately removes panic sites).
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use baseline::Baseline;
+use rules::{analyze_file, Diagnostic, FileMeta, Rule};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Everything one lint run found.
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-crate unwrap/expect counts in non-test code (ratchet input).
+    pub unwrap_expect: BTreeMap<String, usize>,
+    pub files_checked: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Walks the workspace and returns every `.rs` file the lint applies to,
+/// sorted, as (absolute path, meta). Shim crates (`shims/`) stand in for
+/// external dependencies and are out of scope, as is `target/`.
+fn workspace_sources(root: &Path) -> Result<Vec<(PathBuf, FileMeta)>, String> {
+    let mut out = Vec::new();
+    // crates/<name>/{src,benches,tests,examples}
+    let crates_dir = root.join("crates");
+    for krate in read_dir_sorted(&crates_dir)? {
+        if !krate.is_dir() {
+            continue;
+        }
+        let crate_key = krate
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        for (sub, is_test) in [
+            ("src", false),
+            ("benches", false),
+            ("tests", true),
+            ("examples", false),
+        ] {
+            collect_rs(root, &krate.join(sub), &crate_key, is_test, &mut out)?;
+        }
+    }
+    // Root crate: src/, tests/, examples/, benches/.
+    for (sub, is_test) in [
+        ("src", false),
+        ("tests", true),
+        ("examples", false),
+        ("benches", false),
+    ] {
+        collect_rs(root, &root.join(sub), "root", is_test, &mut out)?;
+    }
+    out.sort_by(|a, b| a.1.rel_path.cmp(&b.1.rel_path));
+    Ok(out)
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut entries = Vec::new();
+    let rd = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(_) => return Ok(entries), // absent directory: nothing to lint
+    };
+    for e in rd {
+        let e = e.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        entries.push(e.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    crate_key: &str,
+    is_test_dir: bool,
+    out: &mut Vec<(PathBuf, FileMeta)>,
+) -> Result<(), String> {
+    for entry in read_dir_sorted(dir)? {
+        if entry.is_dir() {
+            collect_rs(root, &entry, crate_key, is_test_dir, out)?;
+            continue;
+        }
+        if entry.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let rel_path = entry
+            .strip_prefix(root)
+            .map_err(|e| format!("path {}: {e}", entry.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push((
+            entry.clone(),
+            FileMeta {
+                rel_path,
+                crate_key: crate_key.to_string(),
+                is_test_file: is_test_dir,
+            },
+        ));
+    }
+    Ok(())
+}
+
+/// Lints one file's source text. Exposed so fixture tests can drive the
+/// full pipeline (lex → rules) without touching the filesystem.
+pub fn check_source(meta: &FileMeta, src: &str) -> rules::FileAnalysis {
+    match lexer::lex(src) {
+        Ok(tokens) => analyze_file(meta, &tokens),
+        Err(e) => rules::FileAnalysis {
+            diagnostics: vec![Diagnostic {
+                path: meta.rel_path.clone(),
+                line: e.line,
+                rule: Rule::Lex,
+                message: format!("lexer error: {}", e.message),
+            }],
+            unwrap_expect_count: 0,
+        },
+    }
+}
+
+/// Runs every rule over every workspace source file and compares the
+/// unwrap/expect tallies to `lint-baseline.toml`.
+pub fn check_workspace(root: &Path) -> Result<Report, String> {
+    let sources = workspace_sources(root)?;
+    let mut diagnostics = Vec::new();
+    let mut unwrap_expect: BTreeMap<String, usize> = BTreeMap::new();
+    let files_checked = sources.len();
+    for (path, meta) in &sources {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let analysis = check_source(meta, &src);
+        diagnostics.extend(analysis.diagnostics);
+        *unwrap_expect.entry(meta.crate_key.clone()).or_insert(0) += analysis.unwrap_expect_count;
+    }
+
+    // Panic ratchet: observed counts vs the committed baseline.
+    let baseline_path = root.join("lint-baseline.toml");
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            let baseline = Baseline::parse(&text)?;
+            for problem in baseline.check(&unwrap_expect) {
+                diagnostics.push(Diagnostic {
+                    path: "lint-baseline.toml".to_string(),
+                    line: 0,
+                    rule: Rule::PanicRatchet,
+                    message: problem,
+                });
+            }
+        }
+        Err(_) => diagnostics.push(Diagnostic {
+            path: "lint-baseline.toml".to_string(),
+            line: 0,
+            rule: Rule::PanicRatchet,
+            message: "missing lint-baseline.toml; run `cargo run -p optinter-lint -- \
+                      update-baseline` and commit the result"
+                .to_string(),
+        }),
+    }
+
+    Ok(Report {
+        diagnostics,
+        unwrap_expect,
+        files_checked,
+    })
+}
+
+/// Rewrites `lint-baseline.toml` from the current per-crate counts.
+/// Refuses to *raise* any existing ceiling — the ratchet only tightens
+/// automatically; loosening is a deliberate hand edit.
+pub fn update_baseline(root: &Path) -> Result<String, String> {
+    let report = check_workspace(root)?;
+    let baseline_path = root.join("lint-baseline.toml");
+    let old = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .map(|t| Baseline::parse(&t))
+        .transpose()?
+        .unwrap_or_default();
+    let mut raised = Vec::new();
+    for (krate, &count) in &report.unwrap_expect {
+        if let Some(&ceiling) = old.unwrap_expect.get(krate) {
+            if count > ceiling {
+                raised.push(format!("{krate}: {ceiling} -> {count}"));
+            }
+        }
+    }
+    if !raised.is_empty() {
+        return Err(format!(
+            "update-baseline would RAISE ceilings ({}); the ratchet only tightens. \
+             Remove the new unwrap/expect sites, or edit lint-baseline.toml by hand \
+             with justification in the PR.",
+            raised.join(", ")
+        ));
+    }
+    let new = Baseline {
+        unwrap_expect: report.unwrap_expect.clone(),
+    };
+    std::fs::write(&baseline_path, new.to_toml())
+        .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+    Ok(baseline_path.display().to_string())
+}
+
+/// Finds the workspace root by walking up from `start` until a directory
+/// containing both `Cargo.toml` and `crates/` appears.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace root (Cargo.toml + crates/) found above {}",
+                start.display()
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_source_reports_lex_errors_instead_of_panicking() {
+        let meta = FileMeta {
+            rel_path: "crates/core/src/broken.rs".to_string(),
+            crate_key: "core".to_string(),
+            is_test_file: false,
+        };
+        let a = check_source(&meta, "fn f() { let s = \"unterminated; }");
+        assert_eq!(a.diagnostics.len(), 1);
+        assert_eq!(a.diagnostics[0].rule, Rule::Lex);
+    }
+
+    #[test]
+    fn the_workspace_itself_is_clean() {
+        // The linter's own acceptance test: the repo must lint clean. This
+        // is the same check `tests/lint.rs` and CI run; keeping a copy here
+        // means `cargo test -p optinter-lint` alone proves the invariants.
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+        let report = check_workspace(&root).expect("lint run");
+        assert!(report.files_checked > 20, "walker found too few files");
+        let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+        assert!(
+            report.is_clean(),
+            "lint violations:\n{}",
+            rendered.join("\n")
+        );
+    }
+}

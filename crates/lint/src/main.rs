@@ -1,0 +1,100 @@
+//! CLI for the workspace linter.
+//!
+//! ```text
+//! cargo run -p optinter-lint -- check              # lint, exit 1 on findings
+//! cargo run -p optinter-lint -- update-baseline    # tighten the panic ratchet
+//! cargo run -p optinter-lint -- check --root PATH  # lint another checkout
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd: Option<&str> = None;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" | "update-baseline" if cmd.is_none() => cmd = Some(&args[i]),
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root_arg = Some(PathBuf::from(p)),
+                    None => return usage("--root needs a path"),
+                }
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unexpected argument `{other}`")),
+        }
+        i += 1;
+    }
+    let Some(cmd) = cmd else {
+        return usage("missing command");
+    };
+
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => return fail(&format!("cannot read current dir: {e}")),
+            };
+            match optinter_lint::find_workspace_root(&cwd) {
+                Ok(r) => r,
+                Err(e) => return fail(&e),
+            }
+        }
+    };
+
+    match cmd {
+        "check" => match optinter_lint::check_workspace(&root) {
+            Ok(report) => {
+                if report.is_clean() {
+                    println!(
+                        "optinter-lint: {} files clean (hash-iter, unsafe-confinement, \
+                         wall-clock, panic-ratchet)",
+                        report.files_checked
+                    );
+                    ExitCode::SUCCESS
+                } else {
+                    for d in &report.diagnostics {
+                        eprintln!("{d}");
+                    }
+                    eprintln!(
+                        "optinter-lint: {} violation(s) across {} files",
+                        report.diagnostics.len(),
+                        report.files_checked
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => fail(&e),
+        },
+        "update-baseline" => match optinter_lint::update_baseline(&root) {
+            Ok(path) => {
+                println!("optinter-lint: wrote {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e),
+        },
+        _ => unreachable!(),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("optinter-lint: {err}");
+    }
+    eprintln!("usage: optinter-lint <check|update-baseline> [--root PATH]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("optinter-lint: {msg}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,989 @@
+//! The four lint rules, run over the token stream of one file at a time.
+//!
+//! Rules are heuristic but *sound against the failure mode they police*:
+//!
+//! 1. **hash-iter** — iterating a `HashMap`/`HashSet` feeds nondeterministic
+//!    order into whatever consumes it; with float accumulation downstream
+//!    that breaks the bit-determinism contract of DESIGN.md §6. Iteration
+//!    sites must either not exist or carry an explicit, reasoned waiver.
+//! 2. **unsafe-confinement** — `unsafe` may only appear in the audited
+//!    kernel modules, and every occurrence needs a nearby `SAFETY:` note.
+//! 3. **wall-clock** — time and OS entropy make runs unreproducible, so
+//!    they are confined to the bench crate.
+//! 4. **panic-ratchet** — `.unwrap()`/`.expect(` counts per crate may not
+//!    grow past the committed baseline (`lint-baseline.toml`).
+//!
+//! Suppression convention (documented in DESIGN.md §7): a comment
+//! `// lint: allow(<rule>, reason="...")` on the offending line or the line
+//! directly above waives rules 1 and 3 at that site. A waiver without a
+//! reason is itself an error — the reason is the audit trail.
+
+use crate::lexer::{Tok, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule identifiers; `Display` gives the names used in diagnostics and in
+/// `lint: allow(...)` directives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    HashIter,
+    UnsafeConfinement,
+    WallClock,
+    PanicRatchet,
+    Directive,
+    Lex,
+}
+
+impl Rule {
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-iter",
+            Rule::UnsafeConfinement => "unsafe-confinement",
+            Rule::WallClock => "wall-clock",
+            Rule::PanicRatchet => "panic-ratchet",
+            Rule::Directive => "lint-directive",
+            Rule::Lex => "lex",
+        }
+    }
+}
+
+/// One finding, formatted as `path:line: [rule] message`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub path: String,
+    pub line: u32,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// What a file is, as far as rule scoping is concerned.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Workspace-relative path with `/` separators, e.g.
+    /// `crates/data/src/vocab.rs`.
+    pub rel_path: String,
+    /// Short crate key: `tensor`, `nn`, `core`, `models`, `metrics`,
+    /// `data`, `bench`, `lint`, or `root` for the top-level crate.
+    pub crate_key: String,
+    /// Whole file is test code (integration tests, proptest modules).
+    pub is_test_file: bool,
+}
+
+/// Crates whose non-test code the hash-iter rule applies to.
+const HASH_ITER_CRATES: &[&str] = &["tensor", "nn", "core", "models", "metrics", "data"];
+
+/// Modules allowed to contain `unsafe` (with SAFETY comments).
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/tensor/src/pool.rs", "crates/nn/src/embedding.rs"];
+
+/// Crate keys exempt from the wall-clock/entropy rule.
+const WALL_CLOCK_EXEMPT: &[&str] = &["bench"];
+
+/// Identifiers that reach for wall-clock time or OS entropy.
+const WALL_CLOCK_IDENTS: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "UNIX_EPOCH",
+    "OsRng",
+    "thread_rng",
+    "from_entropy",
+    "getrandom",
+    "RandomState",
+];
+
+/// Methods that iterate a hash container.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Maximum number of non-comment tokens the SAFETY-comment search walks
+/// back over before giving up (covers attributes and `pub unsafe fn` heads
+/// between the comment and the `unsafe` token).
+const SAFETY_LOOKBACK_TOKENS: usize = 30;
+
+/// Per-file analysis output: diagnostics plus the panic-ratchet tally.
+pub struct FileAnalysis {
+    pub diagnostics: Vec<Diagnostic>,
+    /// `.unwrap()` / `.expect(` sites in non-test code.
+    pub unwrap_expect_count: usize,
+}
+
+/// Runs every per-file rule. (The ratchet comparison against the baseline
+/// happens at workspace level, from the summed counts.)
+pub fn analyze_file(meta: &FileMeta, tokens: &[Token]) -> FileAnalysis {
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.tok, Tok::Comment(_)))
+        .map(|(i, _)| i)
+        .collect();
+    let test_mask = test_mask(tokens, &code, meta.is_test_file);
+    let allows = collect_allows(meta, tokens);
+    let mut diagnostics = allows.errors;
+
+    hash_iter_rule(
+        meta,
+        tokens,
+        &code,
+        &test_mask,
+        &allows.suppressed,
+        &mut diagnostics,
+    );
+    unsafe_rule(meta, tokens, &code, &mut diagnostics);
+    wall_clock_rule(meta, tokens, &code, &allows.suppressed, &mut diagnostics);
+    let unwrap_expect_count = count_unwrap_expect(tokens, &code, &test_mask);
+
+    FileAnalysis {
+        diagnostics,
+        unwrap_expect_count,
+    }
+}
+
+/// Marks every token that lives inside `#[cfg(test)]` / `#[test]` items.
+fn test_mask(tokens: &[Token], code: &[usize], whole_file: bool) -> Vec<bool> {
+    let mut mask = vec![whole_file; tokens.len()];
+    if whole_file {
+        return mask;
+    }
+    let n = code.len();
+    let tok = |ci: usize| &tokens[code[ci]].tok;
+    let mut ci = 0;
+    while ci < n {
+        if *tok(ci) != Tok::Punct('#') || ci + 1 >= n || *tok(ci + 1) != Tok::Punct('[') {
+            ci += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching ']'.
+        let attr_start = ci;
+        let mut depth = 0usize;
+        let mut j = ci + 1;
+        let mut is_test_attr = false;
+        let mut attr_head: Option<&str> = None;
+        while j < n {
+            match tok(j) {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(name) => {
+                    if attr_head.is_none() {
+                        attr_head = Some(name);
+                    }
+                    // `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]`,
+                    // but not `#[cfg(feature = "test-utils")]` — the bare
+                    // ident `test` only appears as a predicate.
+                    if name == "test" && matches!(attr_head, Some("test") | Some("cfg")) {
+                        is_test_attr = true;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test_attr {
+            ci = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then span the annotated item: up to
+        // the matching '}' of its first top-level brace, or a ';' for
+        // brace-less items (`#[cfg(test)] use ...;`, `mod tests;`).
+        let mut k = j + 1;
+        while k + 1 < n && *tok(k) == Tok::Punct('#') && *tok(k + 1) == Tok::Punct('[') {
+            let mut d = 0usize;
+            k += 1;
+            while k < n {
+                match tok(k) {
+                    Tok::Punct('[') => d += 1,
+                    Tok::Punct(']') => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut brace_depth = 0usize;
+        let end;
+        loop {
+            if k >= n {
+                end = n - 1;
+                break;
+            }
+            match tok(k) {
+                Tok::Punct('{') => brace_depth += 1,
+                Tok::Punct('}') => {
+                    brace_depth = brace_depth.saturating_sub(1);
+                    if brace_depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                Tok::Punct(';') if brace_depth == 0 => {
+                    end = k;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for &ti in &code[attr_start..=end.min(n - 1)] {
+            mask[ti] = true;
+        }
+        ci = end + 1;
+    }
+    mask
+}
+
+/// Parsed `lint: allow` directives: rule name -> set of lines covered
+/// (the directive's own line and the line after it).
+struct Allows {
+    suppressed: BTreeMap<&'static str, BTreeSet<u32>>,
+    errors: Vec<Diagnostic>,
+}
+
+fn collect_allows(meta: &FileMeta, tokens: &[Token]) -> Allows {
+    let mut suppressed: BTreeMap<&'static str, BTreeSet<u32>> = BTreeMap::new();
+    let mut errors = Vec::new();
+    for t in tokens {
+        let Tok::Comment(text) = &t.tok else { continue };
+        // A directive must START the comment (`// lint: allow(...)`); prose
+        // that merely mentions the convention mid-sentence is not one.
+        let body = text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim_start();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(args) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.split(')').next())
+        else {
+            errors.push(Diagnostic {
+                path: meta.rel_path.clone(),
+                line: t.line,
+                rule: Rule::Directive,
+                message: "malformed lint directive; expected `lint: allow(<rule>, reason=\"...\")`"
+                    .to_string(),
+            });
+            continue;
+        };
+        let mut parts = args.splitn(2, ',');
+        let rule_name = parts.next().unwrap_or("").trim();
+        let reason = parts.next().unwrap_or("").trim();
+        let known = match rule_name {
+            "hash-iter" => Some(Rule::HashIter.name()),
+            "wall-clock" => Some(Rule::WallClock.name()),
+            _ => None,
+        };
+        let Some(rule_key) = known else {
+            errors.push(Diagnostic {
+                path: meta.rel_path.clone(),
+                line: t.line,
+                rule: Rule::Directive,
+                message: format!(
+                    "unknown or non-waivable rule `{rule_name}` in lint directive \
+                     (waivable: hash-iter, wall-clock)"
+                ),
+            });
+            continue;
+        };
+        let has_reason = reason
+            .strip_prefix("reason=\"")
+            .map(|r| r.trim_end_matches('"').trim())
+            .is_some_and(|r| !r.is_empty());
+        if !has_reason {
+            errors.push(Diagnostic {
+                path: meta.rel_path.clone(),
+                line: t.line,
+                rule: Rule::Directive,
+                message: format!(
+                    "lint: allow({rule_key}) without a reason — add reason=\"...\" \
+                     explaining why the site is order-independent"
+                ),
+            });
+            continue;
+        }
+        let entry = suppressed.entry(rule_key).or_default();
+        entry.insert(t.line);
+        entry.insert(t.line + 1);
+    }
+    Allows { suppressed, errors }
+}
+
+fn is_suppressed(allows: &BTreeMap<&'static str, BTreeSet<u32>>, rule: Rule, line: u32) -> bool {
+    allows
+        .get(rule.name())
+        .is_some_and(|lines| lines.contains(&line))
+}
+
+/// Code-index ranges (inclusive, in `code` space) of every `fn` body.
+/// Where-clauses cannot contain `{`, so the first brace after the `fn`
+/// keyword opens the body; a `;` first means a bodiless declaration.
+fn fn_spans(tokens: &[Token], code: &[usize]) -> Vec<(usize, usize)> {
+    let n = code.len();
+    let tok = |ci: usize| &tokens[code[ci]].tok;
+    let mut spans = Vec::new();
+    for ci in 0..n {
+        if !matches!(tok(ci), Tok::Ident(s) if s == "fn") {
+            continue;
+        }
+        // `fn` must introduce a named item — this skips `Fn(...)` bounds
+        // and `fn(...)` pointer types, which have no name after `fn`.
+        if ci + 1 >= n || !matches!(tok(ci + 1), Tok::Ident(_)) {
+            continue;
+        }
+        let mut j = ci + 1;
+        let mut open = None;
+        while j < n {
+            match tok(j) {
+                Tok::Punct('{') => {
+                    open = Some(j);
+                    break;
+                }
+                Tok::Punct(';') => break,
+                _ => j += 1,
+            }
+        }
+        let Some(open) = open else { continue };
+        let mut depth = 0usize;
+        let mut k = open;
+        while k < n {
+            match tok(k) {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        spans.push((ci, k.min(n - 1)));
+    }
+    spans
+}
+
+/// Identifiers bound (or typed) as `HashMap`/`HashSet`, each with the span
+/// of its enclosing fn (`None` = item scope: struct fields, statics).
+/// Scoping to the enclosing fn stops a `counts: &HashMap` parameter in one
+/// function from tainting a `counts: Vec<HashMap>` local in another; within
+/// a function the tracking is still flow-insensitive, which only
+/// over-approximates (stricter lint, never unsound).
+struct HashBindings {
+    by_name: BTreeMap<String, Vec<Option<(usize, usize)>>>,
+}
+
+impl HashBindings {
+    fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// Is `name` hash-bound at code index `site`?
+    fn is_bound_at(&self, name: &str, site: usize) -> bool {
+        self.by_name.get(name).is_some_and(|spans| {
+            spans
+                .iter()
+                .any(|s| s.is_none_or(|(a, b)| a <= site && site <= b))
+        })
+    }
+}
+
+/// Collects hash-container bindings: `name: [&][mut] [path::]HashMap<...>`
+/// annotations (let bindings, fn params, struct fields) and
+/// `let [mut] name = HashMap::new()`-style initialisations.
+fn hash_bound_idents(tokens: &[Token], code: &[usize]) -> HashBindings {
+    let n = code.len();
+    let tok = |ci: usize| &tokens[code[ci]].tok;
+    let spans = fn_spans(tokens, code);
+    let innermost = |site: usize| -> Option<(usize, usize)> {
+        spans
+            .iter()
+            .filter(|&&(a, b)| a <= site && site <= b)
+            .max_by_key(|&&(a, _)| a)
+            .copied()
+    };
+    let mut out = HashBindings {
+        by_name: BTreeMap::new(),
+    };
+    let mut bind = |name: &str, site: usize| {
+        out.by_name
+            .entry(name.to_string())
+            .or_default()
+            .push(innermost(site));
+    };
+    let is_hash_ty = |name: &str| name == "HashMap" || name == "HashSet";
+    for ci in 0..n {
+        // Pattern A: Ident ':' <type path ending in HashMap/HashSet>
+        if let Tok::Ident(name) = tok(ci) {
+            if ci + 2 < n && *tok(ci + 1) == Tok::Punct(':') {
+                // Skip `&`, `&&`, `mut`, lifetimes before the path.
+                let mut j = ci + 2;
+                while j < n {
+                    match tok(j) {
+                        Tok::Punct('&') | Tok::Lifetime(_) => j += 1,
+                        Tok::Ident(k) if k == "mut" => j += 1,
+                        _ => break,
+                    }
+                }
+                // Walk the path `a::b::HashMap` up to `<`, `(`, etc.
+                let mut last_seg: Option<&str> = None;
+                while j < n {
+                    match tok(j) {
+                        Tok::Ident(seg) => {
+                            last_seg = Some(seg);
+                            j += 1;
+                        }
+                        Tok::Punct(':') if j + 1 < n && *tok(j + 1) == Tok::Punct(':') => {
+                            j += 2;
+                        }
+                        _ => break,
+                    }
+                }
+                if last_seg.is_some_and(is_hash_ty) {
+                    bind(name, ci);
+                }
+            }
+        }
+        // Pattern B: `let [mut] name = [path::]Hash{Map,Set}::...`
+        if *tok(ci) == Tok::Ident("let".to_string()) {
+            let mut j = ci + 1;
+            if j < n && *tok(j) == Tok::Ident("mut".to_string()) {
+                j += 1;
+            }
+            let Tok::Ident(name) = tok(j) else { continue };
+            if j + 1 >= n || *tok(j + 1) != Tok::Punct('=') {
+                continue;
+            }
+            let mut k = j + 2;
+            let mut last_seg: Option<&str> = None;
+            while k < n {
+                match tok(k) {
+                    Tok::Ident(seg) => {
+                        if is_hash_ty(seg) {
+                            last_seg = Some(seg);
+                        }
+                        k += 1;
+                        // Only look at the head of the initialiser.
+                        if !matches!(tok(k), Tok::Punct(':')) {
+                            break;
+                        }
+                    }
+                    Tok::Punct(':') if k + 1 < n && *tok(k + 1) == Tok::Punct(':') => k += 2,
+                    _ => break,
+                }
+            }
+            if last_seg.is_some() {
+                bind(name, j);
+            }
+        }
+    }
+    out
+}
+
+fn hash_iter_rule(
+    meta: &FileMeta,
+    tokens: &[Token],
+    code: &[usize],
+    test_mask: &[bool],
+    allows: &BTreeMap<&'static str, BTreeSet<u32>>,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    if !HASH_ITER_CRATES.contains(&meta.crate_key.as_str()) {
+        return;
+    }
+    let bindings = hash_bound_idents(tokens, code);
+    if bindings.is_empty() {
+        return;
+    }
+    let n = code.len();
+    let tok = |ci: usize| &tokens[code[ci]].tok;
+    let line = |ci: usize| tokens[code[ci]].line;
+    let mut report = |ci: usize, name: &str, how: &str| {
+        let l = line(ci);
+        if test_mask[code[ci]] || is_suppressed(allows, Rule::HashIter, l) {
+            return;
+        }
+        diagnostics.push(Diagnostic {
+            path: meta.rel_path.clone(),
+            line: l,
+            rule: Rule::HashIter,
+            message: format!(
+                "iteration over hash container `{name}` ({how}): order depends on the hash \
+                 seed and can break bit-determinism; sort the keys first or waive with \
+                 `// lint: allow(hash-iter, reason=\"...\")`"
+            ),
+        });
+    };
+    for ci in 0..n {
+        // `name.iter()` and friends.
+        if let Tok::Ident(name) = tok(ci) {
+            if bindings.is_bound_at(name, ci)
+                && ci + 3 < n
+                && *tok(ci + 1) == Tok::Punct('.')
+                && matches!(tok(ci + 2), Tok::Ident(m) if HASH_ITER_METHODS.contains(&m.as_str()))
+                && *tok(ci + 3) == Tok::Punct('(')
+            {
+                let Tok::Ident(m) = tok(ci + 2) else {
+                    unreachable!()
+                };
+                // Report at the receiver's line so an allow directive on
+                // the line above covers a multiline method chain.
+                report(ci, name, &format!(".{m}()"));
+            }
+        }
+        // `for pat in [&][mut] name {`.
+        if *tok(ci) == Tok::Ident("for".to_string()) {
+            // Find the `in` belonging to this `for` (patterns cannot
+            // contain the `in` keyword).
+            let mut j = ci + 1;
+            let mut found_in = None;
+            while j < n && j - ci < 64 {
+                match tok(j) {
+                    Tok::Ident(k) if k == "in" => {
+                        found_in = Some(j);
+                        break;
+                    }
+                    Tok::Punct('{') | Tok::Punct(';') => break,
+                    _ => j += 1,
+                }
+            }
+            let Some(in_ci) = found_in else { continue };
+            let mut k = in_ci + 1;
+            while k < n {
+                match tok(k) {
+                    Tok::Punct('&') => k += 1,
+                    Tok::Ident(m) if m == "mut" => k += 1,
+                    _ => break,
+                }
+            }
+            if let Tok::Ident(name) = tok(k) {
+                if bindings.is_bound_at(name, k) && k + 1 < n && *tok(k + 1) == Tok::Punct('{') {
+                    report(k, name, "for-in");
+                }
+            }
+        }
+    }
+}
+
+fn unsafe_rule(
+    meta: &FileMeta,
+    tokens: &[Token],
+    code: &[usize],
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    let allowlisted = UNSAFE_ALLOWLIST.contains(&meta.rel_path.as_str());
+    for (pos, &ti) in code.iter().enumerate() {
+        if tokens[ti].tok != Tok::Ident("unsafe".to_string()) {
+            continue;
+        }
+        if !allowlisted {
+            diagnostics.push(Diagnostic {
+                path: meta.rel_path.clone(),
+                line: tokens[ti].line,
+                rule: Rule::UnsafeConfinement,
+                message: format!(
+                    "`unsafe` outside the audited kernel allowlist ({}); \
+                     use the safe pool APIs (Pool::for_rows and friends) or move the \
+                     code into an allowlisted module",
+                    UNSAFE_ALLOWLIST.join(", ")
+                ),
+            });
+            continue;
+        }
+        // Allowlisted module: still demand a SAFETY comment close by.
+        // Walk the raw token stream backwards from the `unsafe`, giving up
+        // after SAFETY_LOOKBACK_TOKENS non-comment tokens.
+        let mut seen_code = 0usize;
+        let mut found = false;
+        let mut i = ti;
+        while i > 0 && seen_code < SAFETY_LOOKBACK_TOKENS {
+            i -= 1;
+            match &tokens[i].tok {
+                Tok::Comment(text) => {
+                    if text.contains("SAFETY") || text.contains("# Safety") {
+                        found = true;
+                        break;
+                    }
+                }
+                _ => seen_code += 1,
+            }
+        }
+        let _ = pos;
+        if !found {
+            diagnostics.push(Diagnostic {
+                path: meta.rel_path.clone(),
+                line: tokens[ti].line,
+                rule: Rule::UnsafeConfinement,
+                message: "`unsafe` without a preceding `// SAFETY:` comment justifying it"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn wall_clock_rule(
+    meta: &FileMeta,
+    tokens: &[Token],
+    code: &[usize],
+    allows: &BTreeMap<&'static str, BTreeSet<u32>>,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    if WALL_CLOCK_EXEMPT.contains(&meta.crate_key.as_str()) {
+        return;
+    }
+    for &ti in code {
+        let Tok::Ident(name) = &tokens[ti].tok else {
+            continue;
+        };
+        if !WALL_CLOCK_IDENTS.contains(&name.as_str()) {
+            continue;
+        }
+        let l = tokens[ti].line;
+        if is_suppressed(allows, Rule::WallClock, l) {
+            continue;
+        }
+        diagnostics.push(Diagnostic {
+            path: meta.rel_path.clone(),
+            line: l,
+            rule: Rule::WallClock,
+            message: format!(
+                "`{name}` reads wall-clock time or OS entropy, which makes runs \
+                 unreproducible; only the bench crate may do this (or waive with \
+                 `// lint: allow(wall-clock, reason=\"...\")`)"
+            ),
+        });
+    }
+}
+
+fn count_unwrap_expect(tokens: &[Token], code: &[usize], test_mask: &[bool]) -> usize {
+    let n = code.len();
+    let tok = |ci: usize| &tokens[code[ci]].tok;
+    let mut count = 0;
+    for ci in 0..n.saturating_sub(2) {
+        if *tok(ci) == Tok::Punct('.')
+            && matches!(tok(ci + 1), Tok::Ident(m) if m == "unwrap" || m == "expect")
+            && *tok(ci + 2) == Tok::Punct('(')
+            && !test_mask[code[ci + 1]]
+        {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn analyze(rel_path: &str, crate_key: &str, src: &str) -> FileAnalysis {
+        let meta = FileMeta {
+            rel_path: rel_path.to_string(),
+            crate_key: crate_key.to_string(),
+            is_test_file: false,
+        };
+        let tokens = lex(src).expect("fixture must lex");
+        analyze_file(&meta, &tokens)
+    }
+
+    fn rules_of(a: &FileAnalysis) -> Vec<Rule> {
+        a.diagnostics.iter().map(|d| d.rule).collect()
+    }
+
+    // ---- rule 1: hash-iter ------------------------------------------------
+
+    #[test]
+    fn hash_iteration_fires_on_typed_binding() {
+        let src = r#"
+            use std::collections::HashMap;
+            pub fn f(ids: &[u32]) -> f64 {
+                let mut counts: HashMap<u32, u64> = HashMap::new();
+                let mut acc = 0.0;
+                for (k, v) in counts.iter() { acc += *v as f64; }
+                acc
+            }
+        "#;
+        let a = analyze("crates/metrics/src/fixture.rs", "metrics", src);
+        assert_eq!(rules_of(&a), vec![Rule::HashIter]);
+    }
+
+    #[test]
+    fn hash_iteration_fires_on_for_in_and_values_and_params() {
+        let src = r#"
+            fn g(counts: &HashMap<u64, u32>) -> u64 {
+                let mut s = 0;
+                for (_, v) in counts { s += *v as u64; }
+                s += counts.values().map(|v| *v as u64).sum::<u64>();
+                s
+            }
+        "#;
+        let a = analyze("crates/data/src/fixture.rs", "data", src);
+        assert_eq!(rules_of(&a), vec![Rule::HashIter, Rule::HashIter]);
+    }
+
+    #[test]
+    fn hash_iteration_allows_lookup_only_use() {
+        let src = r#"
+            fn h(map: &HashMap<String, u32>, weights: &[(String, u32)]) -> u32 {
+                let total: u32 = weights.iter().map(|(_, w)| w).sum();
+                *map.get("x").unwrap_or(&total)
+            }
+        "#;
+        let a = analyze("crates/core/src/fixture.rs", "core", src);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn hash_iteration_respects_reasoned_allow() {
+        let src = r#"
+            fn f(counts: &HashMap<u32, u32>) -> Vec<u32> {
+                // lint: allow(hash-iter, reason="collected then sorted")
+                let mut kept: Vec<u32> = counts.iter().map(|(&k, _)| k).collect();
+                kept.sort_unstable();
+                kept
+            }
+        "#;
+        let a = analyze("crates/data/src/fixture.rs", "data", src);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn hash_iteration_allow_without_reason_is_an_error() {
+        let src = r#"
+            fn f(counts: &HashMap<u32, u32>) -> usize {
+                // lint: allow(hash-iter)
+                counts.keys().count()
+            }
+        "#;
+        let a = analyze("crates/data/src/fixture.rs", "data", src);
+        // The directive error plus the (unsuppressed) iteration itself.
+        assert!(
+            rules_of(&a).contains(&Rule::Directive),
+            "{:?}",
+            a.diagnostics
+        );
+        assert!(
+            rules_of(&a).contains(&Rule::HashIter),
+            "{:?}",
+            a.diagnostics
+        );
+    }
+
+    #[test]
+    fn hash_iteration_exempts_cfg_test_modules_and_other_crates() {
+        let src = r#"
+            pub fn real() -> u32 { 1 }
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashSet;
+                #[test]
+                fn t() {
+                    let mut seen: HashSet<u32> = HashSet::new();
+                    for v in seen.iter() { let _ = v; }
+                }
+            }
+        "#;
+        let a = analyze("crates/models/src/fixture.rs", "models", src);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        // Same source in the bench crate is out of scope entirely.
+        let b = analyze("crates/bench/src/fixture.rs", "bench", src);
+        assert!(b.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn bindings_are_scoped_to_their_fn() {
+        // `counts` is a HashMap in `a` but a slice in `b`; only `a`'s use
+        // sites may be flagged, and `a` has none.
+        let src = r#"
+            fn a(counts: &HashMap<u32, u32>) -> u32 { *counts.get(&1).unwrap_or(&0) }
+            fn b(counts: &[u32]) -> u32 { counts.iter().sum() }
+        "#;
+        let a = analyze("crates/data/src/fixture.rs", "data", src);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn struct_field_hashmaps_are_tracked_across_methods() {
+        let src = r#"
+            pub struct S { grads: HashMap<u32, f32> }
+            impl S {
+                fn sum(&self) -> f32 { self.grads.values().sum() }
+            }
+        "#;
+        let a = analyze("crates/nn/src/fixture.rs", "nn", src);
+        assert_eq!(rules_of(&a), vec![Rule::HashIter]);
+    }
+
+    #[test]
+    fn vec_of_hashmaps_is_not_flagged() {
+        let src = r#"
+            fn f() {
+                let mut lanes: Vec<HashMap<u32, u32>> = Vec::new();
+                for lane in lanes.iter_mut() { lane.insert(1, 2); }
+            }
+        "#;
+        let a = analyze("crates/nn/src/fixture.rs", "nn", src);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    // ---- rule 2: unsafe-confinement --------------------------------------
+
+    #[test]
+    fn unsafe_outside_allowlist_is_an_error() {
+        let src = r#"
+            pub fn f(p: *mut f32) {
+                // SAFETY: even a comment does not make this module audited.
+                unsafe { *p = 1.0; }
+            }
+        "#;
+        let a = analyze("crates/core/src/fixture.rs", "core", src);
+        assert_eq!(rules_of(&a), vec![Rule::UnsafeConfinement]);
+    }
+
+    #[test]
+    fn unsafe_in_allowlisted_module_needs_safety_comment() {
+        let bad = r#"
+            pub fn f(p: *mut f32) {
+                unsafe { *p = 1.0; }
+            }
+        "#;
+        let a = analyze("crates/tensor/src/pool.rs", "tensor", bad);
+        assert_eq!(rules_of(&a), vec![Rule::UnsafeConfinement]);
+
+        let good = r#"
+            pub fn f(p: *mut f32) {
+                // SAFETY: p is valid and exclusively owned by this call.
+                unsafe { *p = 1.0; }
+            }
+        "#;
+        let b = analyze("crates/tensor/src/pool.rs", "tensor", good);
+        assert!(b.diagnostics.is_empty(), "{:?}", b.diagnostics);
+    }
+
+    #[test]
+    fn unsafe_inside_string_or_comment_is_ignored() {
+        let src = r#"
+            const DOC: &str = "never write unsafe code here";
+            // this comment mentions unsafe too
+            pub fn f() {}
+        "#;
+        let a = analyze("crates/core/src/fixture.rs", "core", src);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn doc_safety_section_counts_for_unsafe_fn_decl() {
+        let src = r#"
+            /// Does a raw write.
+            ///
+            /// # Safety
+            /// Caller must own the pointee exclusively.
+            #[inline]
+            pub unsafe fn poke(p: *mut f32) {
+                // SAFETY: contract forwarded to the caller.
+                unsafe { *p = 0.0 }
+            }
+        "#;
+        let a = analyze("crates/tensor/src/pool.rs", "tensor", src);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    // ---- rule 3: wall-clock ----------------------------------------------
+
+    #[test]
+    fn wall_clock_fires_outside_bench_and_not_inside() {
+        let src = r#"
+            use std::time::Instant;
+            pub fn f() -> u64 { let t = Instant::now(); t.elapsed().as_nanos() as u64 }
+        "#;
+        let a = analyze("crates/core/src/fixture.rs", "core", src);
+        assert_eq!(
+            rules_of(&a),
+            vec![Rule::WallClock, Rule::WallClock],
+            "{:?}",
+            a.diagnostics
+        );
+        let b = analyze("crates/bench/src/fixture.rs", "bench", src);
+        assert!(b.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn entropy_sources_fire_and_allow_waives() {
+        let src = r#"
+            pub fn seed() -> u64 {
+                // lint: allow(wall-clock, reason="one-shot diagnostic id, not used in training")
+                let rng = rand::rngs::OsRng;
+                0
+            }
+        "#;
+        let a = analyze("crates/data/src/fixture.rs", "data", src);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        let src_no_allow = "pub fn seed() { let _ = rand::thread_rng(); }";
+        let b = analyze("crates/data/src/fixture.rs", "data", src_no_allow);
+        assert_eq!(rules_of(&b), vec![Rule::WallClock]);
+    }
+
+    // ---- rule 4: panic-ratchet -------------------------------------------
+
+    #[test]
+    fn unwrap_expect_counted_outside_tests_only() {
+        let src = r#"
+            pub fn f(x: Option<u32>) -> u32 {
+                let a = x.unwrap();
+                let b = x.expect("present");
+                let c = x.unwrap_or(0); // not counted
+                a + b + c
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); }
+            }
+        "#;
+        let a = analyze("crates/core/src/fixture.rs", "core", src);
+        assert_eq!(a.unwrap_expect_count, 2);
+    }
+
+    #[test]
+    fn whole_test_files_count_zero() {
+        let meta = FileMeta {
+            rel_path: "tests/fixture.rs".to_string(),
+            crate_key: "root".to_string(),
+            is_test_file: true,
+        };
+        let tokens = lex("fn f(x: Option<u32>) -> u32 { x.unwrap() }").expect("lex");
+        let a = analyze_file(&meta, &tokens);
+        assert_eq!(a.unwrap_expect_count, 0);
+    }
+}

@@ -12,6 +12,8 @@
 //!   (CTR systems consume the probabilities directly, so calibration
 //!   matters beyond ranking).
 
+#![forbid(unsafe_code)]
+
 pub mod auc;
 pub mod calibration;
 pub mod logloss;

@@ -12,6 +12,27 @@ pub fn binary_entropy(p: f64) -> f64 {
     -(p * p.ln() + (1.0 - p) * (1.0 - p).ln())
 }
 
+/// Per-id `(total, positive)` counts, sorted by id.
+///
+/// The float-accumulating estimators below iterate this vector instead of
+/// the `HashMap` it is distilled from, so every sum runs in ascending-id
+/// order and the result is independent of the hash seed (bit-determinism,
+/// DESIGN.md §6/§7). Integer counting itself is order-insensitive.
+fn sorted_counts(ids: &[u32], labels: &[f32]) -> Vec<(u32, (u64, u64))> {
+    let mut counts: HashMap<u32, (u64, u64)> = HashMap::new();
+    for (&id, &y) in ids.iter().zip(labels.iter()) {
+        let entry = counts.entry(id).or_insert((0, 0));
+        entry.0 += 1;
+        if y > 0.5 {
+            entry.1 += 1;
+        }
+    }
+    // lint: allow(hash-iter, reason="collected into a Vec and sorted by key before any float accumulation")
+    let mut out: Vec<(u32, (u64, u64))> = counts.into_iter().collect();
+    out.sort_unstable_by_key(|&(id, _)| id);
+    out
+}
+
 /// Mutual information (nats) between categorical ids and binary labels,
 /// estimated from empirical counts:
 ///
@@ -31,20 +52,16 @@ pub fn mutual_information(ids: &[u32], labels: &[f32]) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let mut counts: HashMap<u32, (u64, u64)> = HashMap::new();
-    let mut total_pos = 0u64;
-    for (&id, &y) in ids.iter().zip(labels.iter()) {
-        let entry = counts.entry(id).or_insert((0, 0));
-        entry.0 += 1;
-        if y > 0.5 {
-            entry.1 += 1;
-            total_pos += 1;
-        }
-    }
+    mi_from_counts(&sorted_counts(ids, labels), n)
+}
+
+/// Plug-in MI from pre-sorted per-id counts (ascending-id float sums).
+fn mi_from_counts(counts: &[(u32, (u64, u64))], n: usize) -> f64 {
+    let total_pos: u64 = counts.iter().map(|&(_, (_, p))| p).sum();
     let n_f = n as f64;
     let h_y = binary_entropy(total_pos as f64 / n_f);
     let mut h_y_given = 0.0f64;
-    for (&_id, &(count, pos)) in counts.iter() {
+    for &(_id, (count, pos)) in counts.iter() {
         let p_v = count as f64 / n_f;
         h_y_given += p_v * binary_entropy(pos as f64 / count as f64);
     }
@@ -59,28 +76,26 @@ pub fn mutual_information(ids: &[u32], labels: &[f32]) -> f64 {
 /// spuriously informative without this correction, which would distort the
 /// Figure 5 / Figure 6 analysis on scaled-down datasets.
 pub fn mutual_information_corrected(ids: &[u32], labels: &[f32]) -> f64 {
+    assert_eq!(
+        ids.len(),
+        labels.len(),
+        "mutual_information_corrected: length mismatch"
+    );
     let n = ids.len();
     if n == 0 {
         return 0.0;
     }
-    let plugin = mutual_information(ids, labels);
-    let mut counts: HashMap<u32, (u64, u64)> = HashMap::new();
-    for (&id, &y) in ids.iter().zip(labels.iter()) {
-        let entry = counts.entry(id).or_insert((0, 0));
-        entry.0 += 1;
-        if y > 0.5 {
-            entry.1 += 1;
-        }
-    }
+    let counts = sorted_counts(ids, labels);
+    let plugin = mi_from_counts(&counts, n);
     let k_x = counts.len() as f64;
     let k_xy = counts
-        .values()
-        .map(|&(count, pos)| {
+        .iter()
+        .map(|&(_, (count, pos))| {
             let neg = count - pos;
             (pos > 0) as u64 + (neg > 0) as u64
         })
         .sum::<u64>() as f64;
-    let total_pos: u64 = counts.values().map(|&(_, p)| p).sum();
+    let total_pos: u64 = counts.iter().map(|&(_, (_, p))| p).sum();
     let k_y = ((total_pos > 0) as u64 + (total_pos < n as u64) as u64) as f64;
     let bias = (k_xy - k_x - k_y + 1.0) / (2.0 * n as f64);
     (plugin - bias).max(0.0)
@@ -136,6 +151,25 @@ mod tests {
     fn empty_input_is_zero() {
         assert_eq!(mutual_information(&[], &[]), 0.0);
         assert_eq!(mutual_information_corrected(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mi_is_bitwise_independent_of_insertion_order() {
+        // Two `HashMap`s built from differently-ordered streams iterate in
+        // different orders (std re-seeds per instance); the sorted
+        // accumulation must still produce bit-identical sums.
+        let ids: Vec<u32> = (0..999).map(|i| ((i * 31) % 97) as u32).collect();
+        let labels: Vec<f32> = (0..999).map(|i| ((i * 7) % 3 == 0) as u8 as f32).collect();
+        let mut rev_ids = ids.clone();
+        rev_ids.reverse();
+        let mut rev_labels = labels.clone();
+        rev_labels.reverse();
+        let a = mutual_information(&ids, &labels);
+        let b = mutual_information(&rev_ids, &rev_labels);
+        assert_eq!(a.to_bits(), b.to_bits());
+        let ac = mutual_information_corrected(&ids, &labels);
+        let bc = mutual_information_corrected(&rev_ids, &rev_labels);
+        assert_eq!(ac.to_bits(), bc.to_bits());
     }
 
     #[test]

@@ -96,7 +96,7 @@ mod tests {
 
     #[test]
     fn fnn_beats_lr() {
-        let bundle = Profile::Tiny.bundle_with_rows(4000, 13);
+        let bundle = Profile::Tiny.bundle_with_rows(6000, 13);
         let cfg = BaselineConfig::test_small();
         let mut lr = Lr::new(&cfg, bundle.data.orig_vocab, bundle.data.num_fields);
         let lr_report = run_model(&mut lr, &bundle, &cfg);

@@ -23,6 +23,8 @@
 //! of them behind the uniform [`CtrModel`] interface used by the
 //! experiment harness.
 
+#![forbid(unsafe_code)]
+
 pub mod autofis;
 pub mod deepfm;
 pub mod fm;

@@ -269,7 +269,7 @@ mod tests {
 
     #[test]
     fn ipnn_beats_fnn_on_factorized_structure() {
-        let bundle = Profile::Tiny.bundle_with_rows(4000, 17);
+        let bundle = Profile::Tiny.bundle_with_rows(6000, 17);
         let cfg = BaselineConfig::test_small();
         let mut fnn = Fnn::new(&cfg, bundle.data.orig_vocab, bundle.data.num_fields);
         let fnn_r = run_model(&mut fnn, &bundle, &cfg);

@@ -7,7 +7,7 @@
 //! rows — the standard "sparse Adam" used by production CTR trainers.
 
 use crate::optim::Adam;
-use optinter_tensor::pool::{chunks_for, Pool, SendPtr};
+use optinter_tensor::pool::Pool;
 use optinter_tensor::{init, Matrix};
 use rand::Rng;
 use std::collections::HashMap;
@@ -123,18 +123,10 @@ impl EmbeddingTable {
         let batch = flat.len() / num_fields;
         let width = num_fields * dim;
         let mut out = Matrix::zeros(batch, width);
-        let (chunk, njobs) = chunks_for(batch, pool.threads());
-        let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
-        pool.run(njobs, |job| {
-            let b0 = job * chunk;
-            let b1 = (b0 + chunk).min(batch);
-            for b in b0..b1 {
-                // SAFETY: output row `b` belongs to exactly this job.
-                let row = unsafe { out_ptr.slice(b * width, width) };
-                for f in 0..num_fields {
-                    let idx = flat[b * num_fields + f] as usize;
-                    row[f * dim..(f + 1) * dim].copy_from_slice(self.weight.row(idx));
-                }
+        pool.for_rows(out.as_mut_slice(), width, |b, row| {
+            for f in 0..num_fields {
+                let idx = flat[b * num_fields + f] as usize;
+                row[f * dim..(f + 1) * dim].copy_from_slice(self.weight.row(idx));
             }
         });
         out
@@ -250,13 +242,10 @@ impl EmbeddingTable {
         if lanes == 1 {
             fill_lane(&mut lane_maps[0], 0);
         } else {
-            let maps_ptr = SendPtr(lane_maps.as_mut_ptr());
-            pool.run(lanes, |lane| {
-                // SAFETY: lane `lane` is the only job writing map `lane`.
-                fill_lane(unsafe { &mut *maps_ptr.add(lane) }, lane);
-            });
+            pool.for_each_mut(&mut lane_maps, |lane, map| fill_lane(map, lane));
         }
         for map in lane_maps {
+            // lint: allow(hash-iter, reason="keys are disjoint accumulators; per-key merge order is fixed by lane order")
             for (idx, partial) in map {
                 match self.grads.entry(idx) {
                     std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -322,6 +311,7 @@ impl EmbeddingTable {
         let (bc1, bc2) = adam.bias_corrections();
         let m = self.m.as_mut().expect("adam m");
         let v = self.v.as_mut().expect("adam v");
+        // lint: allow(hash-iter, reason="each key updates its own weight row; visit order cannot affect any float result")
         for (&idx, grad) in self.grads.iter() {
             let idx = idx as usize;
             adam.step_row(
@@ -339,6 +329,7 @@ impl EmbeddingTable {
 
     /// Applies plain SGD to touched rows (tests / ablations), then clears.
     pub fn apply_sgd(&mut self, lr: f32, weight_decay: f32) {
+        // lint: allow(hash-iter, reason="each key updates its own weight row; visit order cannot affect any float result")
         for (&idx, grad) in self.grads.iter() {
             let row = self.weight.row_mut(idx as usize);
             for (w, &g) in row.iter_mut().zip(grad.iter()) {

@@ -20,6 +20,11 @@
 //! All layers implement the [`Layer`] trait, so models compose them freely
 //! while owning their own interaction-specific forward/backward logic.
 
+// Kernel-adjacent crate: `unsafe` is permitted only in `embedding` (the
+// optinter-lint allowlist) and currently unused; unsafe operations inside
+// `unsafe fn`s must be wrapped in explicit `unsafe {}` blocks.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod embedding;
 pub mod gradcheck;
 pub mod layers;

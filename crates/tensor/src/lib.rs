@@ -29,6 +29,11 @@
 //! assert_eq!(c.as_slice(), a.as_slice());
 //! ```
 
+// `unsafe` lives only in `pool` (see DESIGN.md §7 and the optinter-lint
+// unsafe-confinement rule); inside an `unsafe fn`, every unsafe operation
+// still needs its own `unsafe {}` block with a SAFETY comment.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod init;
 pub mod matrix;
 pub mod numerics;

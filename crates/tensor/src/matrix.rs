@@ -8,7 +8,7 @@
 //! serial per-row loop — so they are bit-identical to the serial kernels
 //! for any thread count.
 
-use crate::pool::{chunks_for, Pool, SendPtr};
+use crate::pool::Pool;
 use std::fmt;
 
 /// Multiply-add count below which the `*_pooled` kernels run serially:
@@ -419,25 +419,16 @@ impl Matrix {
         }
         let n = other.cols;
         let m = self.cols;
-        let rows = self.rows;
-        let (chunk, njobs) = chunks_for(rows, pool.threads());
-        let out_ptr = SendPtr(out.data.as_mut_ptr());
-        pool.run(njobs, |job| {
-            let r0 = job * chunk;
-            let r1 = (r0 + chunk).min(rows);
-            for r in r0..r1 {
-                let a_row = &self.data[r * m..(r + 1) * m];
-                // SAFETY: output row `r` belongs to exactly this job.
-                let out_row = unsafe { out_ptr.slice(r * n, n) };
-                for (k, &a_rk) in a_row.iter().enumerate() {
-                    let scaled = alpha * a_rk;
-                    if scaled == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[k * n..(k + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += scaled * b;
-                    }
+        pool.for_rows(&mut out.data, n, |r, out_row| {
+            let a_row = &self.data[r * m..(r + 1) * m];
+            for (k, &a_rk) in a_row.iter().enumerate() {
+                let scaled = alpha * a_rk;
+                if scaled == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += scaled * b;
                 }
             }
         });
@@ -481,23 +472,15 @@ impl Matrix {
         let n = other.cols;
         let m = self.cols;
         let rows = self.rows;
-        let (chunk, njobs) = chunks_for(m, pool.threads());
-        let out_ptr = SendPtr(out.data.as_mut_ptr());
-        pool.run(njobs, |job| {
-            let k0 = job * chunk;
-            let k1 = (k0 + chunk).min(m);
-            for k in k0..k1 {
-                // SAFETY: output row `k` belongs to exactly this job.
-                let out_row = unsafe { out_ptr.slice(k * n, n) };
-                for r in 0..rows {
-                    let scaled = alpha * self.data[r * m + k];
-                    if scaled == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[r * n..(r + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += scaled * b;
-                    }
+        pool.for_rows(&mut out.data, n, |k, out_row| {
+            for r in 0..rows {
+                let scaled = alpha * self.data[r * m + k];
+                if scaled == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[r * n..(r + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += scaled * b;
                 }
             }
         });
@@ -529,24 +512,15 @@ impl Matrix {
             return self.matmul_a_bt_into(other, out);
         }
         let bn = other.rows;
-        let rows = self.rows;
-        let (chunk, njobs) = chunks_for(rows, pool.threads());
-        let out_ptr = SendPtr(out.data.as_mut_ptr());
-        pool.run(njobs, |job| {
-            let r0 = job * chunk;
-            let r1 = (r0 + chunk).min(rows);
-            for r in r0..r1 {
-                let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
-                // SAFETY: output row `r` belongs to exactly this job.
-                let out_row = unsafe { out_ptr.slice(r * bn, bn) };
-                for (c, o) in out_row.iter_mut().enumerate() {
-                    let b_row = &other.data[c * other.cols..(c + 1) * other.cols];
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                        acc += a * b;
-                    }
-                    *o = acc;
+        pool.for_rows(&mut out.data, bn, |r, out_row| {
+            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[c * other.cols..(c + 1) * other.cols];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
                 }
+                *o = acc;
             }
         });
     }

@@ -49,24 +49,34 @@ impl<T> SendPtr<T> {
     /// The wrapped pointer offset by `i` elements.
     ///
     /// # Safety
-    /// `i` must be in bounds of the original allocation, and no other job
-    /// may touch the addressed element during this `run` call.
+    /// `i` must be in bounds of the original allocation (or one past the
+    /// end), the allocation must outlive every use of the returned pointer,
+    /// and no other job may touch the addressed element during this `run`
+    /// call.
     #[inline]
     pub unsafe fn add(&self, i: usize) -> *mut T {
-        self.0.add(i)
+        // SAFETY: `i` is in bounds of the allocation per this function's
+        // `# Safety` contract.
+        unsafe { self.0.add(i) }
     }
 
     /// Mutable slice `[start, start + len)` behind the pointer.
     ///
     /// # Safety
-    /// Same contract as [`SendPtr::add`], for the whole range.
+    /// Same contract as [`SendPtr::add`], for the whole range: the entire
+    /// range must lie inside the original allocation, the allocation must
+    /// stay alive for the returned lifetime, and no other job (nor the
+    /// caller) may read or write any element of the range while the slice
+    /// exists.
     // The `&self -> &mut` shape is the point of this type: `SendPtr` is a
     // raw-pointer capability, not a borrow, and exclusivity is the caller's
     // owner-computes obligation stated above.
     #[allow(clippy::mut_from_ref)]
     #[inline]
     pub unsafe fn slice(&self, start: usize, len: usize) -> &mut [T] {
-        std::slice::from_raw_parts_mut(self.0.add(start), len)
+        // SAFETY: bounds, liveness and exclusivity are the caller's
+        // obligations per this function's `# Safety` contract.
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(start), len) }
     }
 }
 
@@ -119,9 +129,9 @@ struct Inner {
 
 impl Inner {
     fn run(&self, num_jobs: usize, f: &(dyn Fn(usize) + Sync)) {
-        // Erase the closure's lifetime so it can sit in shared state. The
-        // completion barrier below guarantees every worker is done with it
-        // before this frame returns.
+        // SAFETY: the transmute erases the closure's lifetime so it can sit
+        // in shared state; the completion barrier below guarantees every
+        // worker is done with it before this frame returns.
         let task = SendTask(unsafe {
             std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), Task>(
                 f as *const (dyn Fn(usize) + Sync),
@@ -312,6 +322,123 @@ impl Pool {
             }
         }
     }
+
+    /// Row-sharded parallel loop: views `out` as rows of `row_len` elements
+    /// and calls `f(r, row)` once for every row, with contiguous row chunks
+    /// distributed across the pool.
+    ///
+    /// This is the safe face of the owner-computes contract: the pool hands
+    /// each job disjoint `&mut [T]` row slices, so callers get intra-batch
+    /// parallel writes without writing `unsafe` themselves. Rows are visited
+    /// in ascending order within a job, and every row is visited exactly
+    /// once, so results are bit-identical to the serial loop for any thread
+    /// count.
+    ///
+    /// # Panics
+    /// Panics when `row_len == 0` or `out.len()` is not a multiple of
+    /// `row_len`.
+    pub fn for_rows<T, F>(&self, out: &mut [T], row_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(row_len > 0, "for_rows: row_len must be positive");
+        assert_eq!(out.len() % row_len, 0, "for_rows: ragged buffer");
+        let rows = out.len() / row_len;
+        let (chunk, njobs) = chunks_for(rows, self.threads());
+        let ptr = SendPtr(out.as_mut_ptr());
+        self.run(njobs, |job| {
+            let r0 = job * chunk;
+            let r1 = (r0 + chunk).min(rows);
+            for r in r0..r1 {
+                // SAFETY: row chunks are disjoint across job indices and in
+                // bounds (`r < rows`), and the caller's `&mut out` borrow is
+                // held for the whole `run`, so row `r` is written by exactly
+                // this job with no other access to it.
+                let row = unsafe { ptr.slice(r * row_len, row_len) };
+                f(r, row);
+            }
+        });
+    }
+
+    /// Two-buffer variant of [`for_rows`](Self::for_rows): `a` and `b` are
+    /// viewed as matrices with the same number of rows (of widths
+    /// `a_row_len` and `b_row_len`) and `f(r, a_row, b_row)` runs once per
+    /// row under the same owner-computes sharding.
+    ///
+    /// Either width may be zero, in which case that buffer must be empty
+    /// and its row slices come out empty; the row count is then taken from
+    /// the other buffer. This keeps call sites with an *optional* secondary
+    /// output (e.g. generalized-product weight gradients) on the safe path.
+    ///
+    /// # Panics
+    /// Panics when a buffer is ragged or the row counts disagree.
+    pub fn for_rows2<T, U, F>(
+        &self,
+        a: &mut [T],
+        a_row_len: usize,
+        b: &mut [U],
+        b_row_len: usize,
+        f: F,
+    ) where
+        T: Send,
+        U: Send,
+        F: Fn(usize, &mut [T], &mut [U]) + Sync,
+    {
+        let rows = if a_row_len > 0 {
+            assert_eq!(a.len() % a_row_len, 0, "for_rows2: ragged first buffer");
+            a.len() / a_row_len
+        } else {
+            assert!(a.is_empty(), "for_rows2: zero-width buffer must be empty");
+            assert!(b_row_len > 0, "for_rows2: both widths are zero");
+            b.len() / b_row_len
+        };
+        if b_row_len > 0 {
+            assert_eq!(b.len() % b_row_len, 0, "for_rows2: ragged second buffer");
+            assert_eq!(b.len() / b_row_len, rows, "for_rows2: row count mismatch");
+        } else {
+            assert!(b.is_empty(), "for_rows2: zero-width buffer must be empty");
+        }
+        let (chunk, njobs) = chunks_for(rows, self.threads());
+        let a_ptr = SendPtr(a.as_mut_ptr());
+        let b_ptr = SendPtr(b.as_mut_ptr());
+        self.run(njobs, |job| {
+            let r0 = job * chunk;
+            let r1 = (r0 + chunk).min(rows);
+            for r in r0..r1 {
+                // SAFETY: as in `for_rows` — rows are disjoint across jobs
+                // and in bounds for both buffers; a zero-width slice is a
+                // valid empty slice at the buffer's base pointer.
+                let a_row = unsafe { a_ptr.slice(r * a_row_len, a_row_len) };
+                // SAFETY: same disjointness argument for the second buffer.
+                let b_row = unsafe { b_ptr.slice(r * b_row_len, b_row_len) };
+                f(r, a_row, b_row);
+            }
+        });
+    }
+
+    /// Element-sharded parallel loop: calls `f(i, &mut items[i])` once per
+    /// element, one job per element. Safe for the same reason as
+    /// [`for_rows`](Self::for_rows): every element is owned by exactly one
+    /// job.
+    ///
+    /// Meant for small fleets of coarse accumulators (e.g. one gradient map
+    /// per lane), where each job does substantial work on its single item.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = items.len();
+        let ptr = SendPtr(items.as_mut_ptr());
+        self.run(n, |i| {
+            // SAFETY: job `i` is the only job addressing element `i`, the
+            // index is in bounds (`i < n`), and the caller's `&mut items`
+            // borrow outlives the `run`.
+            let item = unsafe { &mut *ptr.add(i) };
+            f(i, item);
+        });
+    }
 }
 
 impl Default for Pool {
@@ -417,6 +544,66 @@ mod tests {
         });
         for (i, &v) in out.iter().enumerate() {
             assert_eq!(v, i as u32);
+        }
+    }
+
+    #[test]
+    fn for_rows_visits_every_row_once_with_its_own_slice() {
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            let mut out = vec![0u32; 31 * 7];
+            pool.for_rows(&mut out, 7, |r, row| {
+                assert_eq!(row.len(), 7);
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v += (r * 7 + c) as u32;
+                }
+            });
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, i as u32, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_rows2_pairs_rows_and_allows_empty_second_buffer() {
+        let pool = Pool::new(3);
+        let mut a = vec![0u32; 10 * 3];
+        let mut b = vec![0u32; 10 * 2];
+        pool.for_rows2(&mut a, 3, &mut b, 2, |r, ar, br| {
+            ar.fill(r as u32);
+            br.fill(r as u32 + 100);
+        });
+        for r in 0..10 {
+            assert!(a[r * 3..(r + 1) * 3].iter().all(|&v| v == r as u32));
+            assert!(b[r * 2..(r + 1) * 2].iter().all(|&v| v == r as u32 + 100));
+        }
+        // Zero-width second buffer: row count comes from the first.
+        let mut empty: Vec<u32> = Vec::new();
+        let mut seen = vec![0u8; 10];
+        let seen_ptr = SendPtr(seen.as_mut_ptr());
+        pool.for_rows2(&mut a, 3, &mut empty, 0, |r, _ar, br| {
+            assert!(br.is_empty());
+            // SAFETY: row `r` of `seen` is owned by exactly this job.
+            unsafe { *seen_ptr.add(r) += 1 };
+        });
+        assert!(seen.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn for_rows_rejects_ragged_buffers() {
+        Pool::serial().for_rows(&mut [0u32; 7], 3, |_, _| {});
+    }
+
+    #[test]
+    fn for_each_mut_owns_each_element() {
+        let pool = Pool::new(4);
+        let mut items: Vec<Vec<usize>> = (0..9).map(|_| Vec::new()).collect();
+        pool.for_each_mut(&mut items, |i, item| {
+            item.push(i);
+        });
+        for (i, item) in items.iter().enumerate() {
+            assert_eq!(item, &vec![i]);
         }
     }
 

@@ -8,6 +8,7 @@
 
 use optinter::core::{search_architecture, train_fixed, OptInterConfig, SearchStrategy};
 use optinter::data::Profile;
+// lint: allow(wall-clock, reason="example prints wall-clock timings for the reader; nothing reproducible depends on them")
 use std::time::Instant;
 
 fn main() {
@@ -30,6 +31,7 @@ fn main() {
         ("Bi-level (DARTS-style)", SearchStrategy::BiLevel),
         ("Joint (OptInter)", SearchStrategy::Joint),
     ] {
+        // lint: allow(wall-clock, reason="timing column of the demo table; not part of any reproducible result")
         let t0 = Instant::now();
         let outcome = search_architecture(&bundle, &cfg, strategy);
         let agreement = outcome.architecture.agreement_with(&bundle.planted);
