@@ -9,7 +9,7 @@ use optinter_core::{Architecture, Method, OptInterConfig, OptInterNet, Supernet}
 use optinter_data::{BatchIter, Profile};
 use optinter_models::{build_model, BaselineConfig, ModelKind};
 use optinter_nn::{Adam, EmbeddingTable};
-use optinter_tensor::{init, Matrix, Pool};
+use optinter_tensor::{init, reference, Matrix, Pool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -33,6 +33,34 @@ fn bench_matmul(c: &mut Criterion) {
                 bench.iter(|| a.matmul_pooled(&b, &pool));
             });
         }
+        // Blocked (production) vs naive (reference) kernels, same shapes:
+        // keeps the microkernel speedup visible as a ratio in every run.
+        group.bench_function(format!("matmul_blocked_{m}x{k}x{n}"), |bench| {
+            let mut out = Matrix::zeros(m, n);
+            bench.iter(|| a.matmul_accumulate(&b, &mut out, 1.0));
+        });
+        group.bench_function(format!("matmul_naive_{m}x{k}x{n}"), |bench| {
+            let mut out = Matrix::zeros(m, n);
+            bench.iter(|| reference::matmul_accumulate(&a, &b, &mut out, 1.0));
+        });
+        let g = init::uniform(&mut rng, m, n, -1.0, 1.0);
+        group.bench_function(format!("matmul_at_b_blocked_{m}x{k}x{n}"), |bench| {
+            let mut out = Matrix::zeros(k, n);
+            bench.iter(|| a.matmul_at_b_accumulate(&g, &mut out, 1.0));
+        });
+        group.bench_function(format!("matmul_at_b_naive_{m}x{k}x{n}"), |bench| {
+            let mut out = Matrix::zeros(k, n);
+            bench.iter(|| reference::matmul_at_b_accumulate(&a, &g, &mut out, 1.0));
+        });
+        let bt = init::uniform(&mut rng, n, k, -1.0, 1.0);
+        group.bench_function(format!("matmul_a_bt_blocked_{m}x{k}x{n}"), |bench| {
+            let mut out = Matrix::zeros(m, n);
+            bench.iter(|| a.matmul_a_bt_into(&bt, &mut out));
+        });
+        group.bench_function(format!("matmul_a_bt_naive_{m}x{k}x{n}"), |bench| {
+            let mut out = Matrix::zeros(m, n);
+            bench.iter(|| reference::matmul_a_bt_into(&a, &bt, &mut out));
+        });
     }
     group.finish();
 }
@@ -62,6 +90,30 @@ fn bench_embedding(c: &mut Criterion) {
             table.apply_adam(&adam, 1e-4);
         });
     });
+    group.finish();
+
+    // Arena-path accumulation in isolation (no optimizer): the flat-slab
+    // gradient store is the whole point, so time it serial and pooled.
+    let mut group = c.benchmark_group("embedding_accumulate_grad");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    let mut table = EmbeddingTable::new(&mut rng, table_size, dim);
+    group.bench_function("serial_128x12x16", |b| {
+        b.iter(|| {
+            table.accumulate_grad_fields(&ids, fields, &grad);
+            table.clear_grads();
+        });
+    });
+    for threads in [2usize, 4] {
+        let pool = Pool::new(threads);
+        group.bench_function(format!("pooled_128x12x16_t{threads}"), |b| {
+            b.iter(|| {
+                table.accumulate_grad_fields_pooled(&ids, fields, &grad, &pool);
+                table.clear_grads();
+            });
+        });
+    }
     group.finish();
 }
 

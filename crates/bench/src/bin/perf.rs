@@ -1,0 +1,44 @@
+//! Substrate performance baseline: fixed-seed kernel and train-step
+//! throughput, appended to `results/BENCH_substrate.json`.
+//!
+//! Unlike the criterion micro-benchmarks (relative, interactive), this
+//! binary exists to leave a *committed trajectory*: every perf-focused PR
+//! runs it before and after and appends a labelled entry, so regressions
+//! and wins stay visible in-repo. The workload is fixed: the matmul shapes
+//! of a batch-256 MLP step (including the 256x720x64 forward product), the
+//! sparse embedding accumulate/update path, and one full training step of
+//! the search-stage supernet and the fixed-architecture OptInterNet at 1, 2
+//! and 4 threads.
+//!
+//! Usage: `cargo run --release -p optinter-bench --bin perf -- [--quick]
+//! [--label NAME] [--out PATH]`. `--quick` shrinks iteration counts to a
+//! smoke run (seconds, used by CI to catch kernels that panic on odd
+//! shapes); the JSON is still written.
+
+use optinter_bench::perf::{self, PerfOptions};
+
+fn main() {
+    let mut opts = PerfOptions::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--label" => {
+                if let Some(v) = args.get(i + 1) {
+                    opts.label = v.clone();
+                    i += 1;
+                }
+            }
+            "--out" => {
+                if let Some(v) = args.get(i + 1) {
+                    opts.out = v.clone();
+                    i += 1;
+                }
+            }
+            other => eprintln!("perf: ignoring unknown flag {other}"),
+        }
+        i += 1;
+    }
+    perf::run(&opts);
+}

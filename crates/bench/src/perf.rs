@@ -1,0 +1,355 @@
+//! Fixed-workload substrate performance measurements with a committed
+//! JSON trajectory (`results/BENCH_substrate.json`).
+//!
+//! Every entry appended by [`run`] is labelled, so before/after pairs from
+//! perf-focused PRs remain comparable forever. The workload is frozen (see
+//! the `--bin perf` docs); only iteration counts shrink under `--quick`.
+
+use optinter_core::net::DataDims;
+use optinter_core::{Architecture, Method, OptInterConfig, OptInterNet, Supernet};
+use optinter_data::{Batch, BatchIter, Profile};
+use optinter_nn::{Adam, EmbeddingTable};
+use optinter_tensor::{init, Matrix, Pool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Options for a perf run.
+#[derive(Debug, Clone)]
+pub struct PerfOptions {
+    /// Entry label recorded in the JSON (e.g. `pr3-before`).
+    pub label: String,
+    /// Smoke mode: tiny iteration counts, same workload and shapes.
+    pub quick: bool,
+    /// Output JSON path.
+    pub out: String,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        Self {
+            label: "dev".to_string(),
+            quick: false,
+            out: "results/BENCH_substrate.json".to_string(),
+        }
+    }
+}
+
+/// One timed kernel measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelRow {
+    /// Kernel name (`matmul`, `matmul_at_b`, `matmul_a_bt`).
+    pub kernel: String,
+    /// Kernel variant (`naive` reference or `blocked`).
+    pub variant: String,
+    /// `A` rows.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// `B` columns.
+    pub n: usize,
+    /// Worker threads (1 = serial).
+    pub threads: usize,
+    /// Median wall-clock per call.
+    pub ns_per_call: f64,
+    /// Throughput in `2*m*k*n / time` GFLOP/s.
+    pub gflops: f64,
+}
+
+/// Embedding-path measurement (batch 256 x 12 fields, 50k x 16 table).
+#[derive(Debug, Clone, Serialize)]
+pub struct EmbeddingRow {
+    /// Measured operation.
+    pub op: String,
+    /// Median wall-clock per call.
+    pub ns_per_call: f64,
+    /// Batch rows processed per second.
+    pub rows_per_sec: f64,
+}
+
+/// Full train-step measurement at batch 256.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrainRow {
+    /// Model (`supernet` or `optinternet`).
+    pub model: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Median wall-clock per training step.
+    pub ns_per_step: f64,
+    /// Examples per second at batch 256.
+    pub rows_per_sec: f64,
+    /// Final-step loss, as a cross-run determinism fingerprint.
+    pub last_loss: f32,
+}
+
+/// One labelled perf run (an element of the JSON trajectory array).
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfEntry {
+    /// Run label (`--label`).
+    pub label: String,
+    /// Whether this was a `--quick` smoke run.
+    pub quick: bool,
+    /// Kernel micro measurements.
+    pub matmul: Vec<KernelRow>,
+    /// Embedding accumulate/update measurements.
+    pub embedding: Vec<EmbeddingRow>,
+    /// End-to-end train-step measurements.
+    pub train_step: Vec<TrainRow>,
+}
+
+/// Median nanoseconds per call of `f` over `samples` timed runs.
+fn time_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    f(); // warm-up
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed().as_nanos() as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    times[times.len() / 2]
+}
+
+const MATMUL_SHAPES: [(usize, usize, usize); 2] = [(256, 720, 64), (128, 256, 64)];
+
+fn bench_matmul_variant(
+    rows: &mut Vec<KernelRow>,
+    variant: &str,
+    samples: usize,
+    run: &dyn Fn(&str, &Matrix, &Matrix, &mut Matrix, &Pool),
+) {
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    for &(m, k, n) in &MATMUL_SHAPES {
+        // Forward product `[m,k] x [k,n]`, the weight-gradient shape
+        // `[m,k]^T x [m,n]` and the input-gradient shape `[m,n] x [k,n]^T`.
+        let a = init::uniform(&mut rng, m, k, -1.0, 1.0);
+        let b = init::uniform(&mut rng, k, n, -1.0, 1.0);
+        let g = init::uniform(&mut rng, m, n, -1.0, 1.0);
+        let cases: [(&str, &Matrix, &Matrix, (usize, usize)); 3] = [
+            ("matmul", &a, &b, (m, n)),
+            ("matmul_at_b", &a, &g, (k, n)),
+            ("matmul_a_bt", &g, &b, (m, k)),
+        ];
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            for (name, lhs, rhs, (or, oc)) in cases {
+                let mut out = Matrix::zeros(or, oc);
+                let ns = time_ns(samples, || run(name, lhs, rhs, &mut out, &pool));
+                std::hint::black_box(out.as_slice());
+                rows.push(KernelRow {
+                    kernel: name.to_string(),
+                    variant: variant.to_string(),
+                    m,
+                    k,
+                    n,
+                    threads,
+                    ns_per_call: ns,
+                    gflops: 2.0 * (m * k * n) as f64 / ns,
+                });
+            }
+        }
+    }
+}
+
+fn bench_matmuls(quick: bool) -> Vec<KernelRow> {
+    let samples = if quick { 3 } else { 30 };
+    let mut rows = Vec::new();
+    bench_matmul_variant(
+        &mut rows,
+        "blocked",
+        samples,
+        &|name, lhs, rhs, out, pool| match name {
+            "matmul" => lhs.matmul_into_pooled(rhs, out, pool),
+            "matmul_at_b" => {
+                out.fill_zero();
+                lhs.matmul_at_b_accumulate_pooled(rhs, out, 1.0, pool)
+            }
+            _ => lhs.matmul_a_bt_into_pooled(rhs, out, pool),
+        },
+    );
+    bench_matmul_variant(
+        &mut rows,
+        "naive",
+        samples,
+        &|name, lhs, rhs, out, _pool| {
+            use optinter_tensor::reference;
+            match name {
+                "matmul" => {
+                    out.fill_zero();
+                    reference::matmul_accumulate(lhs, rhs, out, 1.0)
+                }
+                "matmul_at_b" => {
+                    out.fill_zero();
+                    reference::matmul_at_b_accumulate(lhs, rhs, out, 1.0)
+                }
+                _ => reference::matmul_a_bt_into(lhs, rhs, out),
+            }
+        },
+    );
+    rows
+}
+
+fn bench_embedding(quick: bool) -> Vec<EmbeddingRow> {
+    let samples = if quick { 3 } else { 30 };
+    let (vocab, dim, batch, fields) = (50_000usize, 16usize, 256usize, 12usize);
+    let mut rng = StdRng::seed_from_u64(0xE3B);
+    let mut table = EmbeddingTable::new(&mut rng, vocab, dim);
+    let ids: Vec<u32> = (0..batch * fields)
+        .map(|i| (i * 37 % vocab) as u32)
+        .collect();
+    let grad = Matrix::from_fn(batch, fields * dim, |r, c| {
+        ((r * 31 + c) as f32 * 0.01).sin()
+    });
+    let mut rows = Vec::new();
+    let lookup_ns = time_ns(samples, || {
+        std::hint::black_box(table.lookup_fields(&ids, fields));
+    });
+    rows.push(EmbeddingRow {
+        op: "lookup_fields".to_string(),
+        ns_per_call: lookup_ns,
+        rows_per_sec: batch as f64 / (lookup_ns * 1e-9),
+    });
+    let adam = Adam::with_lr_eps(1e-3, 1e-8);
+    let acc_ns = time_ns(samples, || {
+        table.accumulate_grad_fields(&ids, fields, &grad);
+        table.apply_adam(&adam, 1e-4);
+    });
+    rows.push(EmbeddingRow {
+        op: "accumulate_and_sparse_adam".to_string(),
+        ns_per_call: acc_ns,
+        rows_per_sec: batch as f64 / (acc_ns * 1e-9),
+    });
+    rows
+}
+
+fn train_batch_256(bundle: &optinter_data::DatasetBundle) -> Option<Batch> {
+    BatchIter::new(&bundle.data, 0..256, 256, None).next()
+}
+
+fn bench_train_steps(quick: bool) -> Vec<TrainRow> {
+    let steps = if quick { 3 } else { 25 };
+    let bundle = Profile::Tiny.bundle_with_rows(2_000, 9);
+    let dims = DataDims::of(&bundle.data);
+    let Some(batch) = train_batch_256(&bundle) else {
+        eprintln!("perf: could not build a 256-row batch");
+        return Vec::new();
+    };
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let cfg = OptInterConfig {
+            seed: 7,
+            num_threads: threads,
+            batch_size: 256,
+            ..OptInterConfig::test_small()
+        };
+        let mut super_net = Supernet::new(cfg.clone(), dims.clone());
+        let mut last_loss = 0.0f32;
+        let ns = time_ns(steps, || {
+            last_loss = super_net.train_batch(&batch, 0.7);
+        });
+        rows.push(TrainRow {
+            model: "supernet".to_string(),
+            threads,
+            ns_per_step: ns,
+            rows_per_sec: 256.0 / (ns * 1e-9),
+            last_loss,
+        });
+        let arch = Architecture::new(
+            (0..dims.num_pairs)
+                .map(|p| Method::from_index(p % 3))
+                .collect(),
+        );
+        let mut net = OptInterNet::new(cfg, dims.clone(), arch);
+        let ns = time_ns(steps, || {
+            last_loss = net.train_batch(&batch);
+        });
+        rows.push(TrainRow {
+            model: "optinternet".to_string(),
+            threads,
+            ns_per_step: ns,
+            rows_per_sec: 256.0 / (ns * 1e-9),
+            last_loss,
+        });
+    }
+    rows
+}
+
+/// Appends `entry` to the JSON trajectory array at `path`, creating the
+/// file (and `results/`) when missing. The existing file is spliced
+/// textually — the serde shim has no parser — so entries written by older
+/// kernel versions are preserved byte-for-byte.
+fn append_entry(path: &str, entry: &PerfEntry) {
+    let rendered = match serde_json::to_string_pretty(entry) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("perf: could not serialize entry: {e}");
+            return;
+        }
+    };
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("perf: could not create {}: {e}", dir.display());
+            return;
+        }
+    }
+    let merged = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(head) if head.trim_end().ends_with('[') => {
+                    // Existing but empty array.
+                    format!("[\n{rendered}\n]\n")
+                }
+                Some(head) => format!("{}\n,\n{rendered}\n]\n", head.trim_end()),
+                None => {
+                    eprintln!("perf: {path} is not a JSON array; rewriting");
+                    format!("[\n{rendered}\n]\n")
+                }
+            }
+        }
+        Err(_) => format!("[\n{rendered}\n]\n"),
+    };
+    match std::fs::write(path, merged) {
+        Ok(()) => println!("perf: appended entry `{}` to {path}", entry.label),
+        Err(e) => eprintln!("perf: could not write {path}: {e}"),
+    }
+}
+
+/// Runs the fixed workload and appends a labelled entry to the trajectory.
+pub fn run(opts: &PerfOptions) {
+    println!(
+        "perf: label={} quick={} out={}",
+        opts.label, opts.quick, opts.out
+    );
+    let matmul = bench_matmuls(opts.quick);
+    for row in &matmul {
+        println!(
+            "  {:>12} {:>7} {}x{}x{} t{}: {:>10.0} ns  {:>6.2} GFLOP/s",
+            row.kernel, row.variant, row.m, row.k, row.n, row.threads, row.ns_per_call, row.gflops
+        );
+    }
+    let embedding = bench_embedding(opts.quick);
+    for row in &embedding {
+        println!(
+            "  {:>26}: {:>10.0} ns  {:>10.0} rows/s",
+            row.op, row.ns_per_call, row.rows_per_sec
+        );
+    }
+    let train_step = bench_train_steps(opts.quick);
+    for row in &train_step {
+        println!(
+            "  {:>12} t{}: {:>12.0} ns/step  {:>8.0} rows/s  loss {:.6}",
+            row.model, row.threads, row.ns_per_step, row.rows_per_sec, row.last_loss
+        );
+    }
+    let entry = PerfEntry {
+        label: opts.label.clone(),
+        quick: opts.quick,
+        matmul,
+        embedding,
+        train_step,
+    };
+    append_entry(&opts.out, &entry);
+}

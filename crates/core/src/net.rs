@@ -15,7 +15,8 @@ use crate::arch::{Architecture, Method};
 use crate::config::{FactFn, OptInterConfig};
 use optinter_data::{Batch, EncodedDataset, PairIndexer};
 use optinter_nn::{
-    bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig, Parameter,
+    bce_with_logits_into, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig,
+    Parameter, Workspace,
 };
 use optinter_tensor::{Matrix, Pool};
 use rand::rngs::StdRng;
@@ -88,13 +89,33 @@ pub struct OptInterNet {
     adam_net: Adam,
     adam_cross: Adam,
     pool: Pool,
-    cache: Option<Cache>,
+    scr: NetScratch,
+    ws: Workspace,
 }
 
-struct Cache {
-    fields: Vec<u32>,
+/// Persistent per-step buffers. Each forward overwrites them in full, so a
+/// steady-state train step reuses their capacity instead of reallocating;
+/// `backward` reads the activations the matching forward left behind.
+struct NetScratch {
     mem_ids: Vec<u32>,
     eo: Matrix,
+    em: Matrix,
+    input: Matrix,
+    logits: Matrix,
+    grad_logits: Matrix,
+}
+
+impl NetScratch {
+    fn new() -> Self {
+        Self {
+            mem_ids: Vec::new(),
+            eo: Matrix::zeros(0, 0),
+            em: Matrix::zeros(0, 0),
+            input: Matrix::zeros(0, 0),
+            logits: Matrix::zeros(0, 0),
+            grad_logits: Matrix::zeros(0, 0),
+        }
+    }
 }
 
 impl OptInterNet {
@@ -168,7 +189,8 @@ impl OptInterNet {
             adam_net,
             adam_cross,
             pool,
-            cache: None,
+            scr: NetScratch::new(),
+            ws: Workspace::new(),
         }
     }
 
@@ -206,10 +228,11 @@ impl OptInterNet {
     }
 
     /// Translates a batch's global cross ids into compact table ids for the
-    /// memorized pairs only: output is `[B * num_memorized]`.
-    fn gather_mem_ids(&self, batch: &Batch) -> Vec<u32> {
+    /// memorized pairs only, into `out` (cleared first): `[B * num_memorized]`.
+    fn gather_mem_ids_into(&self, batch: &Batch, out: &mut Vec<u32>) {
+        out.clear();
         if self.num_memorized == 0 {
-            return Vec::new();
+            return;
         }
         assert!(
             !batch.cross.is_empty(),
@@ -217,7 +240,7 @@ impl OptInterNet {
         );
         let p_count = self.dims.num_pairs;
         let b = batch.len();
-        let mut out = Vec::with_capacity(b * self.num_memorized);
+        out.reserve(b * self.num_memorized);
         for r in 0..b {
             let row = &batch.cross[r * p_count..(r + 1) * p_count];
             for (p, slot) in self.slots.iter().enumerate() {
@@ -227,40 +250,51 @@ impl OptInterNet {
                 }
             }
         }
-        out
     }
 
     /// Forward pass producing `[B, 1]` logits.
     pub fn forward(&mut self, batch: &Batch) -> Matrix {
+        self.forward_step(batch);
+        self.scr.logits.clone()
+    }
+
+    /// Forward pass into the persistent scratch buffers; `self.scr.logits`
+    /// holds the `[B, 1]` logits afterwards. Allocation-free at steady state.
+    fn forward_step(&mut self, batch: &Batch) {
         let m = self.dims.num_fields;
         let s1 = self.cfg.orig_dim;
         let s2 = self.cfg.cross_dim;
         assert_eq!(batch.num_fields, m, "OptInterNet: field count mismatch");
         let b = batch.len();
-        let eo = self
-            .e_orig
-            .lookup_fields_pooled(&batch.fields, m, &self.pool);
-        let mem_ids = self.gather_mem_ids(batch);
-        let em = if self.num_memorized > 0 {
-            self.e_cross
-                .lookup_fields_pooled(&mem_ids, self.num_memorized, &self.pool)
+        self.e_orig
+            .lookup_fields_pooled_into(&batch.fields, m, &self.pool, &mut self.scr.eo);
+        let mut mem_ids = std::mem::take(&mut self.scr.mem_ids);
+        self.gather_mem_ids_into(batch, &mut mem_ids);
+        self.scr.mem_ids = mem_ids;
+        if self.num_memorized > 0 {
+            self.e_cross.lookup_fields_pooled_into(
+                &self.scr.mem_ids,
+                self.num_memorized,
+                &self.pool,
+                &mut self.scr.em,
+            );
         } else {
-            Matrix::zeros(b, 0)
-        };
+            self.scr.em.reset(b, 0);
+        }
         // Assemble the MLP input, sharded over batch rows. Every element is
         // written exactly once by the job owning its row, so the result is
         // bit-identical to serial assembly for any thread count.
-        let mut input = Matrix::zeros(b, self.input_dim);
+        self.scr.input.reset(b, self.input_dim);
         {
             let input_dim = self.input_dim;
             let slots = &self.slots;
             let pairs = self.dims.pairs();
             let fact_fn = self.cfg.fact_fn;
             let fw_val = self.fact_weights.as_ref().map(|fw| &fw.value);
-            let eo_ref = &eo;
-            let em_ref = &em;
+            let eo_ref = &self.scr.eo;
+            let em_ref = &self.scr.em;
             self.pool
-                .for_rows(input.as_mut_slice(), input_dim, |r, dst_row| {
+                .for_rows(self.scr.input.as_mut_slice(), input_dim, |r, dst_row| {
                     let eo_row = eo_ref.row(r);
                     dst_row[..m * s1].copy_from_slice(eo_row);
                     for (p, slot) in slots.iter().enumerate() {
@@ -301,32 +335,35 @@ impl OptInterNet {
                     }
                 });
         }
-        let logits = self.mlp.forward(&input);
-        self.cache = Some(Cache {
-            fields: batch.fields.clone(),
-            mem_ids,
-            eo,
-        });
-        logits
+        let (input, logits) = (&self.scr.input, &mut self.scr.logits);
+        self.mlp.forward_into(input, logits);
     }
 
-    /// Backward pass from logit gradients.
-    pub fn backward(&mut self, grad_logits: &Matrix) {
-        let cache = self
-            .cache
-            .take()
-            .expect("OptInterNet::backward before forward");
+    /// Backward pass from logit gradients. `batch` must be the one the
+    /// matching [`forward`](Self::forward) saw — the persistent scratch
+    /// holds that forward's activations but not the batch itself.
+    pub fn backward(&mut self, batch: &Batch, grad_logits: &Matrix) {
         let m = self.dims.num_fields;
         let s1 = self.cfg.orig_dim;
         let s2 = self.cfg.cross_dim;
         let b = grad_logits.rows();
-        let dinput = self.mlp.backward(grad_logits);
-        let mut d_eo = dinput.block(0, m * s1);
-        let mut d_em = Matrix::zeros(b, self.num_memorized * s2);
+        assert_eq!(
+            self.scr.input.rows(),
+            b,
+            "OptInterNet::backward before forward"
+        );
+        let mut dinput = self.ws.take(b, self.input_dim);
+        {
+            let input = &self.scr.input;
+            self.mlp.backward_into(input, grad_logits, &mut dinput);
+        }
+        let mut d_eo = self.ws.take(0, 0);
+        dinput.block_into(0, m * s1, &mut d_eo);
+        let mut d_em = self.ws.take(b, self.num_memorized * s2);
         let fact_fn = self.cfg.fact_fn;
         let pairs = self.dims.pairs();
         let slots = &self.slots;
-        let cache_ref = &cache;
+        let eo_ref = &self.scr.eo;
         let dinput_ref = &dinput;
 
         // Pass A — parallel over pairs (generalized product only): each
@@ -340,7 +377,7 @@ impl OptInterNet {
                 }
                 let (i, j) = pairs.pair_at(p);
                 for r in 0..b {
-                    let eo_row = cache_ref.eo.row(r);
+                    let eo_row = eo_ref.row(r);
                     let (ei, ej) = (&eo_row[i * s1..(i + 1) * s1], &eo_row[j * s1..(j + 1) * s1]);
                     let g_row = dinput_ref.row(r);
                     for c in 0..s1 {
@@ -365,7 +402,7 @@ impl OptInterNet {
                 d_em.as_mut_slice(),
                 em_width,
                 |r, d_row, dem_full| {
-                    let eo_row = cache_ref.eo.row(r);
+                    let eo_row = eo_ref.row(r);
                     let g_row = dinput_ref.row(r);
                     for (p, slot) in slots.iter().enumerate() {
                         match slot.method {
@@ -409,17 +446,19 @@ impl OptInterNet {
                 },
             );
         }
-        let pool = self.pool.clone();
         self.e_orig
-            .accumulate_grad_fields_pooled(&cache.fields, m, &d_eo, &pool);
+            .accumulate_grad_fields_pooled(&batch.fields, m, &d_eo, &self.pool);
         if self.num_memorized > 0 {
             self.e_cross.accumulate_grad_fields_pooled(
-                &cache.mem_ids,
+                &self.scr.mem_ids,
                 self.num_memorized,
                 &d_em,
-                &pool,
+                &self.pool,
             );
         }
+        self.ws.recycle(dinput);
+        self.ws.recycle(d_eo);
+        self.ws.recycle(d_em);
     }
 
     /// Applies one Adam step to all weights.
@@ -501,24 +540,27 @@ impl OptInterNet {
         if let Some(e) = err {
             return Err(e);
         }
-        self.cache = None;
+        // Poison the scratch so a stale backward cannot pair old activations
+        // with the imported weights.
+        self.scr.input.reset(0, 0);
         Ok(())
     }
 
     /// One training step; returns the mean batch loss.
     pub fn train_batch(&mut self, batch: &Batch) -> f32 {
-        let logits = self.forward(batch);
-        let (loss_value, grad) = bce_with_logits(&logits, &batch.labels);
-        self.backward(&grad);
+        self.forward_step(batch);
+        let mut grad = std::mem::replace(&mut self.scr.grad_logits, Matrix::zeros(0, 0));
+        let loss_value = bce_with_logits_into(&self.scr.logits, &batch.labels, &mut grad);
+        self.backward(batch, &grad);
+        self.scr.grad_logits = grad;
         self.step();
         loss_value
     }
 
     /// Predicted probabilities.
     pub fn predict(&mut self, batch: &Batch) -> Vec<f32> {
-        let logits = self.forward(batch);
-        self.cache = None;
-        loss::probabilities(&logits)
+        self.forward_step(batch);
+        loss::probabilities(&self.scr.logits)
     }
 }
 
@@ -606,7 +648,8 @@ mod tests {
         let batch = BatchIter::new(&bundle.data, 0..64, 64, None)
             .next()
             .unwrap();
-        let ids = net.gather_mem_ids(&batch);
+        let mut ids = Vec::new();
+        net.gather_mem_ids_into(&batch, &mut ids);
         assert_eq!(ids.len(), 64 * net.num_memorized());
         let max = net.e_cross.vocab() as u32;
         assert!(ids.iter().all(|&id| id < max));

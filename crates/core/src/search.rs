@@ -155,7 +155,7 @@ fn bilevel_search(bundle: &DatasetBundle, cfg: &OptInterConfig) -> SearchOutcome
             // Θ step on the training batch.
             let logits = net.forward(&batch, tau, true);
             let (l, grad) = bce_with_logits(&logits, &batch.labels);
-            net.backward(&grad);
+            net.backward(&batch, &grad);
             net.step_weights();
             net.zero_arch_grad();
             epoch_loss += l;
@@ -177,7 +177,7 @@ fn bilevel_search(bundle: &DatasetBundle, cfg: &OptInterConfig) -> SearchOutcome
             };
             let logits = net.forward(&val_batch, tau, true);
             let (_, grad) = bce_with_logits(&logits, &val_batch.labels);
-            net.backward(&grad);
+            net.backward(&val_batch, &grad);
             net.step_arch();
             net.zero_weight_grads();
             seen += 1;

@@ -31,7 +31,8 @@ use crate::gumbel::GumbelSample;
 use crate::net::DataDims;
 use optinter_data::Batch;
 use optinter_nn::{
-    bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig, Parameter,
+    bce_with_logits_into, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig,
+    Parameter, Workspace,
 };
 use optinter_tensor::{ops, Matrix, Pool};
 use rand::rngs::StdRng;
@@ -53,16 +54,37 @@ pub struct Supernet {
     adam_arch: Adam,
     noise_rng: StdRng,
     pool: Pool,
-    cache: Option<ForwardCache>,
+    /// `(i, j)` field indices of every pair, precomputed once.
+    pairs: Vec<(usize, usize)>,
+    scr: SupScratch,
+    ws: Workspace,
 }
 
-struct ForwardCache {
-    fields: Vec<u32>,
-    cross: Vec<u32>,
+/// Persistent per-step buffers. Each forward overwrites them in full, so a
+/// steady-state train step reuses their capacity instead of reallocating;
+/// `backward` reads the activations the matching forward left behind.
+struct SupScratch {
     eo: Matrix,
     em: Matrix,
     ef: Matrix,
+    input: Matrix,
+    logits: Matrix,
+    grad_logits: Matrix,
     samples: Vec<GumbelSample>,
+}
+
+impl SupScratch {
+    fn new() -> Self {
+        Self {
+            eo: Matrix::zeros(0, 0),
+            em: Matrix::zeros(0, 0),
+            ef: Matrix::zeros(0, 0),
+            input: Matrix::zeros(0, 0),
+            logits: Matrix::zeros(0, 0),
+            grad_logits: Matrix::zeros(0, 0),
+            samples: Vec::new(),
+        }
+    }
 }
 
 impl Supernet {
@@ -96,6 +118,7 @@ impl Supernet {
         let adam_cross = Adam::with_lr_eps(cfg.lr_cross, cfg.adam_eps);
         let adam_arch = Adam::with_lr_eps(cfg.lr_arch, cfg.adam_eps);
         let noise_rng = StdRng::seed_from_u64(cfg.seed ^ 0x6A3B);
+        let pairs: Vec<(usize, usize)> = dims.pairs().iter().collect();
         Self {
             cfg,
             dims,
@@ -109,7 +132,9 @@ impl Supernet {
             adam_arch,
             noise_rng,
             pool,
-            cache: None,
+            pairs,
+            scr: SupScratch::new(),
+            ws: Workspace::new(),
         }
     }
 
@@ -173,6 +198,13 @@ impl Supernet {
     /// Gumbel noise at temperature `tau`; otherwise the noiseless softmax at
     /// the same temperature is used.
     pub fn forward(&mut self, batch: &Batch, tau: f32, train: bool) -> Matrix {
+        self.forward_step(batch, tau, train);
+        self.scr.logits.clone()
+    }
+
+    /// Forward pass into the persistent scratch buffers; `self.scr.logits`
+    /// holds the `[B, 1]` logits afterwards. Allocation-free at steady state.
+    fn forward_step(&mut self, batch: &Batch, tau: f32, train: bool) {
         let m = self.dims.num_fields;
         let p_count = self.dims.num_pairs;
         let s1 = self.cfg.orig_dim;
@@ -185,25 +217,24 @@ impl Supernet {
         );
         let b = batch.len();
 
-        let eo = self
-            .e_orig
-            .lookup_fields_pooled(&batch.fields, m, &self.pool);
-        let em = self
-            .e_cross
-            .lookup_fields_pooled(&batch.cross, p_count, &self.pool);
+        self.e_orig
+            .lookup_fields_pooled_into(&batch.fields, m, &self.pool, &mut self.scr.eo);
+        self.e_cross
+            .lookup_fields_pooled_into(&batch.cross, p_count, &self.pool, &mut self.scr.em);
 
         // Factorized candidates for all pairs: ef[b, p*s1 + c]. Sharded over
         // batch rows; each element is a pure function of `eo` (and the pair
         // weights), so any row split is bit-identical to the serial loop.
         let fact_fn = self.cfg.fact_fn;
-        let pairs: Vec<(usize, usize)> = self.dims.pairs().iter().collect();
         let fw_val = self.fact_weights.as_ref().map(|fw| &fw.value);
-        let mut ef = Matrix::zeros(b, p_count * s1);
+        self.scr.ef.reset(b, p_count * s1);
         {
+            let pairs = &self.pairs;
+            let eo_ref = &self.scr.eo;
             let ef_width = p_count * s1;
             self.pool
-                .for_rows(ef.as_mut_slice(), ef_width, |r, ef_row| {
-                    let eo_row = eo.row(r);
+                .for_rows(self.scr.ef.as_mut_slice(), ef_width, |r, ef_row| {
+                    let eo_row = eo_ref.row(r);
                     for (p, &(i, j)) in pairs.iter().enumerate() {
                         let (ei, ej) =
                             (&eo_row[i * s1..(i + 1) * s1], &eo_row[j * s1..(j + 1) * s1]);
@@ -232,71 +263,79 @@ impl Supernet {
 
         // Relaxed method weights per pair. Gumbel noise must come off the
         // shared stream in pair order, so this stays serial.
-        let samples: Vec<GumbelSample> = (0..p_count)
-            .map(|p| {
-                let logits = self.arch.value.row(p);
-                if train {
-                    GumbelSample::draw(logits, tau, &mut self.noise_rng)
-                } else {
-                    GumbelSample::deterministic(logits, tau)
-                }
-            })
-            .collect();
+        let mut samples = std::mem::take(&mut self.scr.samples);
+        samples.clear();
+        samples.reserve(p_count);
+        for p in 0..p_count {
+            let logits = self.arch.value.row(p);
+            samples.push(if train {
+                GumbelSample::draw(logits, tau, &mut self.noise_rng)
+            } else {
+                GumbelSample::deterministic(logits, tau)
+            });
+        }
+        self.scr.samples = samples;
 
         // Assemble the MLP input: [e^o | mixed pair embeddings]. Also
         // sharded over batch rows under owner-computes.
         let in_width = m * s1 + p_count * d;
-        let mut input = Matrix::zeros(b, in_width);
-        self.pool
-            .for_rows(input.as_mut_slice(), in_width, |r, in_row| {
-                in_row[..m * s1].copy_from_slice(eo.row(r));
-                for (p, sample) in samples.iter().enumerate() {
-                    let pm = sample.probs[0];
-                    let pf = sample.probs[1];
-                    let base = m * s1 + p * d;
-                    let em_row = &em.row(r)[p * s2..(p + 1) * s2];
-                    let ef_row = &ef.row(r)[p * s1..(p + 1) * s1];
-                    let dst = &mut in_row[base..base + d];
-                    for c in 0..d {
-                        let mut v = 0.0f32;
-                        if c < s2 {
-                            v += pm * em_row[c];
+        self.scr.input.reset(b, in_width);
+        {
+            let eo_ref = &self.scr.eo;
+            let em_ref = &self.scr.em;
+            let ef_ref = &self.scr.ef;
+            let samples = &self.scr.samples;
+            self.pool
+                .for_rows(self.scr.input.as_mut_slice(), in_width, |r, in_row| {
+                    in_row[..m * s1].copy_from_slice(eo_ref.row(r));
+                    for (p, sample) in samples.iter().enumerate() {
+                        let pm = sample.probs[0];
+                        let pf = sample.probs[1];
+                        let base = m * s1 + p * d;
+                        let em_row = &em_ref.row(r)[p * s2..(p + 1) * s2];
+                        let ef_row = &ef_ref.row(r)[p * s1..(p + 1) * s1];
+                        let dst = &mut in_row[base..base + d];
+                        for c in 0..d {
+                            let mut v = 0.0f32;
+                            if c < s2 {
+                                v += pm * em_row[c];
+                            }
+                            if c < s1 {
+                                v += pf * ef_row[c];
+                            }
+                            dst[c] = v;
                         }
-                        if c < s1 {
-                            v += pf * ef_row[c];
-                        }
-                        dst[c] = v;
                     }
-                }
-            });
+                });
+        }
 
-        let logits = self.mlp.forward(&input);
-        self.cache = Some(ForwardCache {
-            fields: batch.fields.clone(),
-            cross: batch.cross.clone(),
-            eo,
-            em,
-            ef,
-            samples,
-        });
-        logits
+        let (input, logits) = (&self.scr.input, &mut self.scr.logits);
+        self.mlp.forward_into(input, logits);
     }
 
     /// Backward pass from logit gradients; accumulates gradients on network
-    /// weights, both embedding tables and the architecture logits.
-    pub fn backward(&mut self, grad_logits: &Matrix) {
-        let cache = self
-            .cache
-            .take()
-            .expect("Supernet::backward before forward");
+    /// weights, both embedding tables and the architecture logits. `batch`
+    /// must be the one the matching [`forward`](Self::forward) saw — the
+    /// persistent scratch holds that forward's activations but not the batch
+    /// itself.
+    pub fn backward(&mut self, batch: &Batch, grad_logits: &Matrix) {
         let m = self.dims.num_fields;
         let p_count = self.dims.num_pairs;
         let s1 = self.cfg.orig_dim;
         let s2 = self.cfg.cross_dim;
         let d = self.cfg.mixed_dim();
         let b = grad_logits.rows();
+        assert_eq!(
+            self.scr.input.rows(),
+            b,
+            "Supernet::backward before forward"
+        );
 
-        let dinput = self.mlp.backward(grad_logits);
+        let mut dinput = self.ws.take(b, self.scr.input.cols());
+        {
+            let input = &self.scr.input;
+            self.mlp.backward_into(input, grad_logits, &mut dinput);
+        }
 
         // Two owner-computes passes replace the serial fused pair loop.
         // Splitting is safe because the pair-owned accumulators (dp_m, dp_f,
@@ -305,14 +344,17 @@ impl Supernet {
         // element-wise accumulation order identical to the fused loop:
         // ascending `r` per pair in pass A, ascending `p` per row in pass B.
         let fact_fn = self.cfg.fact_fn;
-        let pairs: Vec<(usize, usize)> = self.dims.pairs().iter().collect();
 
         // Pass A — parallel over pairs: dp_m/dp_f reductions (ascending r,
         // exactly as the fused loop accumulated them), the Gumbel backward,
         // this pair's architecture-gradient row, and for the generalized
         // product this pair's weight-gradient row.
         {
-            let cache_ref = &cache;
+            let pairs = &self.pairs;
+            let eo_ref = &self.scr.eo;
+            let em_ref = &self.scr.em;
+            let ef_ref = &self.scr.ef;
+            let samples = &self.scr.samples;
             let dinput_ref = &dinput;
             // The generalized product is the only factorization with its own
             // weights; for the other two the secondary buffer is empty and
@@ -329,15 +371,15 @@ impl Supernet {
                 fw_width,
                 |p, arow, dw| {
                     let (i, j) = pairs[p];
-                    let sample = &cache_ref.samples[p];
+                    let sample = &samples[p];
                     let pf = sample.probs[1];
                     let base = m * s1 + p * d;
                     let mut dpm = 0.0f32;
                     let mut dpf = 0.0f32;
                     for r in 0..b {
                         let g = &dinput_ref.row(r)[base..base + d];
-                        let em_row = &cache_ref.em.row(r)[p * s2..(p + 1) * s2];
-                        let ef_row = &cache_ref.ef.row(r)[p * s1..(p + 1) * s1];
+                        let em_row = &em_ref.row(r)[p * s2..(p + 1) * s2];
+                        let ef_row = &ef_ref.row(r)[p * s1..(p + 1) * s1];
                         // d p_m, d p_f: inner products with the candidates.
                         for c in 0..s2.min(d) {
                             dpm += g[c] * em_row[c];
@@ -346,7 +388,7 @@ impl Supernet {
                             dpf += g[c] * ef_row[c];
                         }
                         if fact_fn == FactFn::Generalized {
-                            let eo_row = cache_ref.eo.row(r);
+                            let eo_row = eo_ref.row(r);
                             let (ei, ej) =
                                 (&eo_row[i * s1..(i + 1) * s1], &eo_row[j * s1..(j + 1) * s1]);
                             for c in 0..s1.min(d) {
@@ -370,13 +412,16 @@ impl Supernet {
         // `d e^o` receives contributions from every pair containing its
         // fields; iterating pairs in ascending order inside the row job
         // reproduces the fused loop's per-element accumulation order.
-        let mut d_eo = dinput.block(0, m * s1);
-        let mut d_em = Matrix::zeros(b, p_count * s2);
+        let mut d_eo = self.ws.take(0, 0);
+        dinput.block_into(0, m * s1, &mut d_eo);
+        let mut d_em = self.ws.take(b, p_count * s2);
         {
             let eo_width = m * s1;
             let em_width = p_count * s2;
             let fw_val = self.fact_weights.as_ref().map(|fw| &fw.value);
-            let cache_ref = &cache;
+            let pairs = &self.pairs;
+            let eo_ref = &self.scr.eo;
+            let samples = &self.scr.samples;
             let dinput_ref = &dinput;
             self.pool.for_rows2(
                 d_eo.as_mut_slice(),
@@ -384,10 +429,10 @@ impl Supernet {
                 d_em.as_mut_slice(),
                 em_width,
                 |r, deo_row, dem_full| {
-                    let eo_row = cache_ref.eo.row(r);
+                    let eo_row = eo_ref.row(r);
                     let din_row = dinput_ref.row(r);
                     for (p, &(i, j)) in pairs.iter().enumerate() {
-                        let sample = &cache_ref.samples[p];
+                        let sample = &samples[p];
                         let (pm, pf) = (sample.probs[0], sample.probs[1]);
                         let base = m * s1 + p * d;
                         let g = &din_row[base..base + d];
@@ -429,11 +474,13 @@ impl Supernet {
             );
         }
 
-        let pool = self.pool.clone();
         self.e_orig
-            .accumulate_grad_fields_pooled(&cache.fields, m, &d_eo, &pool);
+            .accumulate_grad_fields_pooled(&batch.fields, m, &d_eo, &self.pool);
         self.e_cross
-            .accumulate_grad_fields_pooled(&cache.cross, p_count, &d_em, &pool);
+            .accumulate_grad_fields_pooled(&batch.cross, p_count, &d_em, &self.pool);
+        self.ws.recycle(dinput);
+        self.ws.recycle(d_eo);
+        self.ws.recycle(d_em);
     }
 
     /// Applies one simultaneous optimizer step to Θ and α (Algorithm 1).
@@ -496,18 +543,19 @@ impl Supernet {
     /// One full training step (forward, loss, backward, joint update).
     /// Returns the mean batch loss.
     pub fn train_batch(&mut self, batch: &Batch, tau: f32) -> f32 {
-        let logits = self.forward(batch, tau, true);
-        let (loss_value, grad) = bce_with_logits(&logits, &batch.labels);
-        self.backward(&grad);
+        self.forward_step(batch, tau, true);
+        let mut grad = std::mem::replace(&mut self.scr.grad_logits, Matrix::zeros(0, 0));
+        let loss_value = bce_with_logits_into(&self.scr.logits, &batch.labels, &mut grad);
+        self.backward(batch, &grad);
+        self.scr.grad_logits = grad;
         self.step();
         loss_value
     }
 
     /// Predicted probabilities with the current (soft) architecture.
     pub fn predict(&mut self, batch: &Batch, tau: f32) -> Vec<f32> {
-        let logits = self.forward(batch, tau, false);
-        self.cache = None;
-        loss::probabilities(&logits)
+        self.forward_step(batch, tau, false);
+        loss::probabilities(&self.scr.logits)
     }
 }
 
@@ -515,6 +563,7 @@ impl Supernet {
 mod tests {
     use super::*;
     use optinter_data::{BatchIter, Profile};
+    use optinter_nn::bce_with_logits;
 
     fn tiny_setup() -> (Supernet, optinter_data::DatasetBundle) {
         let bundle = Profile::Tiny.bundle_with_rows(1200, 7);
@@ -646,7 +695,7 @@ mod tests {
         }
         let logits = net.forward(&batch, tau, false);
         let (_, grad) = bce_with_logits(&logits, &batch.labels);
-        net.backward(&grad);
+        net.backward(&batch, &grad);
         let analytic = net.arch.grad.clone();
         net.discard_grads();
         let entries: Vec<(usize, usize)> = (0..net.dims.num_pairs.min(4))
@@ -662,7 +711,6 @@ mod tests {
             || {
                 let mut n = cell.borrow_mut();
                 let logits = n.forward(&batch, tau, false);
-                n.cache = None;
                 bce_with_logits(&logits, &batch.labels).0
             },
         );
@@ -692,7 +740,7 @@ mod tests {
             .unwrap();
         let logits = net.forward(&batch, 1.0, true);
         let (_, grad) = bce_with_logits(&logits, &batch.labels);
-        net.backward(&grad);
+        net.backward(&batch, &grad);
         net.discard_grads();
         let before = net.arch.value.clone();
         net.step_arch();

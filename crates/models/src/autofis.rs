@@ -13,7 +13,7 @@
 use crate::traits::{BaselineConfig, Category, CtrModel, Taxonomy};
 use optinter_data::{Batch, DatasetBundle, PairIndexer};
 use optinter_nn::{
-    bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Grda, GrdaConfig, Layer, Mlp,
+    bce_with_logits_into, loss, Adam, DenseOptimizer, EmbeddingTable, Grda, GrdaConfig, Layer, Mlp,
     MlpConfig, Parameter,
 };
 use optinter_tensor::Matrix;
@@ -36,6 +36,16 @@ pub struct AutoFis {
     num_fields: usize,
     dim: usize,
     pairs: PairIndexer,
+    // Persistent step buffers: overwritten in full every batch so the
+    // steady-state train step reuses their capacity.
+    emb_buf: Matrix,
+    input: Matrix,
+    logits: Matrix,
+    grad: Matrix,
+    dinput: Matrix,
+    d_emb: Matrix,
+    /// Raw (ungated) inner products, cached for the gate gradient.
+    raw_ips: Vec<f32>,
 }
 
 impl AutoFis {
@@ -98,45 +108,55 @@ impl AutoFis {
             num_fields,
             dim: k,
             pairs,
+            emb_buf: Matrix::zeros(0, 0),
+            input: Matrix::zeros(0, 0),
+            logits: Matrix::zeros(0, 0),
+            grad: Matrix::zeros(0, 0),
+            dinput: Matrix::zeros(0, 0),
+            d_emb: Matrix::zeros(0, 0),
+            raw_ips: Vec::new(),
         }
     }
 
-    fn gate(&self, p: usize) -> f32 {
-        match &self.fixed_mask {
-            Some(mask) => {
-                if mask[p] {
-                    1.0
-                } else {
-                    0.0
-                }
-            }
-            None => self.gates.value.get(p, 0),
-        }
-    }
-
-    fn forward(&mut self, batch: &Batch) -> (Matrix, Matrix, Vec<f32>) {
+    /// Forward pass into the persistent scratch buffers; `self.logits`
+    /// holds the `[B, 1]` logits afterwards.
+    fn forward_step(&mut self, batch: &Batch) {
         let m = self.num_fields;
         let k = self.dim;
+        let np = self.pairs.num_pairs();
         let b = batch.len();
-        let emb = self.emb.lookup_fields(&batch.fields, m);
-        let mut input = Matrix::zeros(b, m * k + self.pairs.num_pairs());
-        input.copy_block_from(&emb, 0);
-        // Raw (ungated) inner products, cached for the gate gradient.
-        let mut raw_ips = vec![0.0f32; b * self.pairs.num_pairs()];
+        self.emb
+            .lookup_fields_into(&batch.fields, m, &mut self.emb_buf);
+        self.input.reset(b, m * k + np);
+        self.input.copy_block_from(&self.emb_buf, 0);
+        self.raw_ips.clear();
+        self.raw_ips.resize(b * np, 0.0);
+        let fixed_mask = self.fixed_mask.as_deref();
+        let gates_val = &self.gates.value;
         for r in 0..b {
-            let row = emb.row(r).to_vec();
-            let dst = input.row_mut(r);
+            let row = self.emb_buf.row(r);
+            let dst = self.input.row_mut(r);
             for (p, (i, j)) in self.pairs.iter().enumerate() {
                 let mut dot = 0.0f32;
                 for c in 0..k {
                     dot += row[i * k + c] * row[j * k + c];
                 }
-                raw_ips[r * self.pairs.num_pairs() + p] = dot;
-                dst[m * k + p] = self.gate(p) * dot;
+                self.raw_ips[r * np + p] = dot;
+                let gate = match fixed_mask {
+                    Some(mask) => {
+                        if mask[p] {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    None => gates_val.get(p, 0),
+                };
+                dst[m * k + p] = gate * dot;
             }
         }
-        let logits = self.mlp.forward(&input);
-        (logits, emb, raw_ips)
+        let (input, logits) = (&self.input, &mut self.logits);
+        self.mlp.forward_into(input, logits);
     }
 
     /// Current selection: `true` where the gate is non-zero.
@@ -176,20 +196,35 @@ impl CtrModel for AutoFis {
         let m = self.num_fields;
         let k = self.dim;
         let np = self.pairs.num_pairs();
-        let (logits, emb, raw_ips) = self.forward(batch);
-        let (loss_value, grad) = bce_with_logits(&logits, &batch.labels);
-        let d_input = self.mlp.backward(&grad);
-        let mut d_emb = d_input.block(0, m * k);
-        for r in 0..d_input.rows() {
-            let row = emb.row(r).to_vec();
-            let g_row = d_input.row(r);
-            let d_row = d_emb.row_mut(r);
+        self.forward_step(batch);
+        let loss_value = bce_with_logits_into(&self.logits, &batch.labels, &mut self.grad);
+        {
+            let (input, grad) = (&self.input, &self.grad);
+            self.mlp.backward_into(input, grad, &mut self.dinput);
+        }
+        self.dinput.block_into(0, m * k, &mut self.d_emb);
+        let fixed_mask = self.fixed_mask.as_deref();
+        let gates_val = &self.gates.value;
+        let gates_grad = &mut self.gates.grad;
+        for r in 0..self.dinput.rows() {
+            let row = self.emb_buf.row(r);
+            let g_row = self.dinput.row(r);
+            let d_row = self.d_emb.row_mut(r);
             for (p, (i, j)) in self.pairs.iter().enumerate() {
                 let g_ip = g_row[m * k + p];
-                let gate = self.gate(p);
+                let gate = match fixed_mask {
+                    Some(mask) => {
+                        if mask[p] {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    None => gates_val.get(p, 0),
+                };
                 // Gate gradient (search mode only).
-                if self.fixed_mask.is_none() {
-                    self.gates.grad.row_mut(p)[0] += g_ip * raw_ips[r * np + p];
+                if fixed_mask.is_none() {
+                    gates_grad.row_mut(p)[0] += g_ip * self.raw_ips[r * np + p];
                 }
                 // Embedding gradient through the gated inner product.
                 let scaled = g_ip * gate;
@@ -201,7 +236,8 @@ impl CtrModel for AutoFis {
                 }
             }
         }
-        self.emb.accumulate_grad_fields(&batch.fields, m, &d_emb);
+        self.emb
+            .accumulate_grad_fields(&batch.fields, m, &self.d_emb);
         self.adam.begin_step();
         let mut adam = self.adam.clone();
         self.mlp.visit_params(&mut |p| adam.step(p, 0.0));
@@ -219,8 +255,8 @@ impl CtrModel for AutoFis {
     }
 
     fn predict(&mut self, batch: &Batch) -> Vec<f32> {
-        let (logits, _, _) = self.forward(batch);
-        loss::probabilities(&logits)
+        self.forward_step(batch);
+        loss::probabilities(&self.logits)
     }
 
     fn num_params(&mut self) -> usize {

@@ -19,6 +19,15 @@ pub struct DeepFm {
     l2: f32,
     num_fields: usize,
     dim: usize,
+    // Persistent step buffers: overwritten in full every batch so the
+    // steady-state train step reuses their capacity.
+    emb_buf: Matrix,
+    deep_logits: Matrix,
+    grad: Matrix,
+    grad_rows: Matrix,
+    d_emb: Matrix,
+    fm: Vec<f32>,
+    ids: Vec<u32>,
 }
 
 impl DeepFm {
@@ -47,22 +56,31 @@ impl DeepFm {
             l2: cfg.l2,
             num_fields,
             dim: k,
+            emb_buf: Matrix::zeros(0, 0),
+            deep_logits: Matrix::zeros(0, 0),
+            grad: Matrix::zeros(0, 0),
+            grad_rows: Matrix::zeros(0, 0),
+            d_emb: Matrix::zeros(0, 0),
+            fm: Vec::new(),
+            ids: Vec::new(),
         }
     }
 
-    /// FM-component logits plus the embedding matrix (shared with the MLP).
-    fn fm_logits(&self, batch: &Batch, emb: &Matrix) -> Vec<f32> {
+    /// FM-component logits into `out`, reading the embeddings the last
+    /// lookup left in `self.emb_buf` (shared with the MLP).
+    fn fm_logits_into(&self, batch: &Batch, out: &mut Vec<f32>) {
         let m = self.num_fields;
         let k = self.dim;
         let b = batch.len();
         let bias = self.bias.value.get(0, 0);
-        let mut out = Vec::with_capacity(b);
+        out.clear();
+        out.reserve(b);
         for r in 0..b {
             let mut z = bias;
             for f in 0..m {
                 z += self.linear.row(batch.fields[r * m + f])[0];
             }
-            let row = emb.row(r);
+            let row = self.emb_buf.row(r);
             for c in 0..k {
                 let mut s = 0.0f32;
                 let mut q = 0.0f32;
@@ -75,7 +93,6 @@ impl DeepFm {
             }
             out.push(z);
         }
-        out
     }
 }
 
@@ -97,30 +114,36 @@ impl CtrModel for DeepFm {
         let m = self.num_fields;
         let k = self.dim;
         let b = batch.len();
-        let emb = self.emb.lookup_fields(&batch.fields, m);
-        let deep_logits = self.mlp.forward(&emb);
-        let fm = self.fm_logits(batch, &emb);
+        self.emb
+            .lookup_fields_into(&batch.fields, m, &mut self.emb_buf);
+        self.mlp.forward_into(&self.emb_buf, &mut self.deep_logits);
+        let mut fm = std::mem::take(&mut self.fm);
+        self.fm_logits_into(batch, &mut fm);
         let inv_b = 1.0 / b as f32;
         let mut loss_value = 0.0f32;
-        let mut grad = Matrix::zeros(b, 1);
-        let mut grad_rows = Matrix::zeros(b, 1);
+        self.grad.reset(b, 1);
+        self.grad_rows.reset(b, 1);
         let mut dbias = 0.0f32;
         for (r, &fm_logit) in fm.iter().enumerate().take(b) {
-            let z = deep_logits.get(r, 0) + fm_logit;
+            let z = self.deep_logits.get(r, 0) + fm_logit;
             let y = batch.labels[r];
             loss_value += numerics::stable_bce(z, y);
             let g = numerics::stable_bce_grad(z, y) * inv_b;
-            grad.set(r, 0, g);
-            grad_rows.set(r, 0, g);
+            self.grad.set(r, 0, g);
+            self.grad_rows.set(r, 0, g);
             dbias += g;
         }
+        self.fm = fm;
         // Deep path.
-        let mut d_emb = self.mlp.backward(&grad);
+        {
+            let (emb_buf, grad) = (&self.emb_buf, &self.grad);
+            self.mlp.backward_into(emb_buf, grad, &mut self.d_emb);
+        }
         // FM path: dv_i += g * (S - v_i) per coordinate.
         for r in 0..b {
-            let g = grad.get(r, 0);
-            let row = emb.row(r).to_vec();
-            let d_row = d_emb.row_mut(r);
+            let g = self.grad.get(r, 0);
+            let row = self.emb_buf.row(r);
+            let d_row = self.d_emb.row_mut(r);
             for c in 0..k {
                 let mut s = 0.0f32;
                 for f in 0..m {
@@ -132,10 +155,12 @@ impl CtrModel for DeepFm {
             }
         }
         for f in 0..m {
-            let ids: Vec<u32> = (0..b).map(|r| batch.fields[r * m + f]).collect();
-            self.linear.accumulate_grad(&ids, &grad_rows);
+            self.ids.clear();
+            self.ids.extend((0..b).map(|r| batch.fields[r * m + f]));
+            self.linear.accumulate_grad(&self.ids, &self.grad_rows);
         }
-        self.emb.accumulate_grad_fields(&batch.fields, m, &d_emb);
+        self.emb
+            .accumulate_grad_fields(&batch.fields, m, &self.d_emb);
         self.bias.grad.set(0, 0, dbias);
         self.adam.begin_step();
         let mut adam = self.adam.clone();
@@ -148,15 +173,17 @@ impl CtrModel for DeepFm {
     }
 
     fn predict(&mut self, batch: &Batch) -> Vec<f32> {
-        let emb = self.emb.lookup_fields(&batch.fields, self.num_fields);
-        let deep = self.mlp.forward(&emb);
-        let fm = self.fm_logits(batch, &emb);
-        let logits = Matrix::from_vec(
-            batch.len(),
-            1,
-            (0..batch.len()).map(|r| deep.get(r, 0) + fm[r]).collect(),
-        );
-        loss::probabilities(&logits)
+        self.emb
+            .lookup_fields_into(&batch.fields, self.num_fields, &mut self.emb_buf);
+        self.mlp.forward_into(&self.emb_buf, &mut self.deep_logits);
+        let mut fm = std::mem::take(&mut self.fm);
+        self.fm_logits_into(batch, &mut fm);
+        for (r, &fm_logit) in fm.iter().enumerate() {
+            let z = self.deep_logits.get(r, 0) + fm_logit;
+            self.deep_logits.set(r, 0, z);
+        }
+        self.fm = fm;
+        loss::probabilities(&self.deep_logits)
     }
 
     fn num_params(&mut self) -> usize {

@@ -4,8 +4,9 @@
 use crate::traits::{BaselineConfig, Category, CtrModel, Taxonomy};
 use optinter_data::Batch;
 use optinter_nn::{
-    bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig,
+    bce_with_logits_into, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig,
 };
+use optinter_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -16,7 +17,12 @@ pub struct Fnn {
     adam: Adam,
     l2: f32,
     num_fields: usize,
-    cached_fields: Option<Vec<u32>>,
+    // Persistent step buffers: overwritten in full every batch so the
+    // steady-state train step reuses their capacity.
+    input: Matrix,
+    logits: Matrix,
+    grad: Matrix,
+    dinput: Matrix,
 }
 
 impl Fnn {
@@ -41,7 +47,10 @@ impl Fnn {
             adam: Adam::with_lr_eps(cfg.lr, cfg.adam_eps),
             l2: cfg.l2,
             num_fields,
-            cached_fields: None,
+            input: Matrix::zeros(0, 0),
+            logits: Matrix::zeros(0, 0),
+            grad: Matrix::zeros(0, 0),
+            dinput: Matrix::zeros(0, 0),
         }
     }
 }
@@ -62,12 +71,14 @@ impl CtrModel for Fnn {
 
     fn train_batch(&mut self, batch: &Batch) -> f32 {
         let m = self.num_fields;
-        let input = self.emb.lookup_fields(&batch.fields, m);
-        let logits = self.mlp.forward(&input);
-        let (loss_value, grad) = bce_with_logits(&logits, &batch.labels);
-        let d_input = self.mlp.backward(&grad);
-        self.emb.accumulate_grad_fields(&batch.fields, m, &d_input);
-        self.cached_fields = None;
+        self.emb
+            .lookup_fields_into(&batch.fields, m, &mut self.input);
+        self.mlp.forward_into(&self.input, &mut self.logits);
+        let loss_value = bce_with_logits_into(&self.logits, &batch.labels, &mut self.grad);
+        self.mlp
+            .backward_into(&self.input, &self.grad, &mut self.dinput);
+        self.emb
+            .accumulate_grad_fields(&batch.fields, m, &self.dinput);
         self.adam.begin_step();
         let mut adam = self.adam.clone();
         self.mlp.visit_params(&mut |p| adam.step(p, 0.0));
@@ -77,9 +88,10 @@ impl CtrModel for Fnn {
     }
 
     fn predict(&mut self, batch: &Batch) -> Vec<f32> {
-        let input = self.emb.lookup_fields(&batch.fields, self.num_fields);
-        let logits = self.mlp.forward(&input);
-        loss::probabilities(&logits)
+        self.emb
+            .lookup_fields_into(&batch.fields, self.num_fields, &mut self.input);
+        self.mlp.forward_into(&self.input, &mut self.logits);
+        loss::probabilities(&self.logits)
     }
 
     fn num_params(&mut self) -> usize {

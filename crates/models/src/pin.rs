@@ -7,7 +7,7 @@
 use crate::traits::{BaselineConfig, Category, CtrModel, Taxonomy};
 use optinter_data::{Batch, PairIndexer};
 use optinter_nn::{
-    bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig,
+    bce_with_logits_into, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig,
 };
 use optinter_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -24,6 +24,21 @@ pub struct Pin {
     dim: usize,
     sub_out: usize,
     pairs: PairIndexer,
+    /// `(i, j)` field indices of every pair, precomputed once.
+    pair_list: Vec<(usize, usize)>,
+    // Persistent step buffers: overwritten in full every batch so the
+    // steady-state train step reuses their capacity.
+    emb_buf: Matrix,
+    input: Matrix,
+    logits: Matrix,
+    grad: Matrix,
+    dinput: Matrix,
+    d_emb: Matrix,
+    /// Per-pair micro-network inputs, held from forward to backward.
+    pair_x: Vec<Matrix>,
+    sub_out_buf: Matrix,
+    d_out: Matrix,
+    d_x: Matrix,
 }
 
 impl Pin {
@@ -69,6 +84,10 @@ impl Pin {
         );
         top.set_pool(&pool);
         let emb = EmbeddingTable::new(&mut rng, orig_vocab as usize, k);
+        let pair_list: Vec<(usize, usize)> = pairs.iter().collect();
+        let pair_x = (0..pairs.num_pairs())
+            .map(|_| Matrix::zeros(0, 0))
+            .collect();
         Self {
             emb,
             subnets,
@@ -79,42 +98,52 @@ impl Pin {
             dim: k,
             sub_out,
             pairs,
+            pair_list,
+            emb_buf: Matrix::zeros(0, 0),
+            input: Matrix::zeros(0, 0),
+            logits: Matrix::zeros(0, 0),
+            grad: Matrix::zeros(0, 0),
+            dinput: Matrix::zeros(0, 0),
+            d_emb: Matrix::zeros(0, 0),
+            pair_x,
+            sub_out_buf: Matrix::zeros(0, 0),
+            d_out: Matrix::zeros(0, 0),
+            d_x: Matrix::zeros(0, 0),
         }
     }
 
-    /// Builds the per-pair micro-network inputs `[e_i | e_j | e_i ⊙ e_j]`.
-    fn pair_input(&self, emb: &Matrix, i: usize, j: usize) -> Matrix {
-        let k = self.dim;
-        let b = emb.rows();
-        let mut x = Matrix::zeros(b, 3 * k);
-        for r in 0..b {
-            let row = emb.row(r);
-            let dst = x.row_mut(r);
-            for c in 0..k {
-                let (vi, vj) = (row[i * k + c], row[j * k + c]);
-                dst[c] = vi;
-                dst[k + c] = vj;
-                dst[2 * k + c] = vi * vj;
-            }
-        }
-        x
-    }
-
-    fn forward(&mut self, batch: &Batch) -> (Matrix, Matrix) {
+    /// Forward pass into the persistent scratch buffers; `self.logits`
+    /// holds the `[B, 1]` logits afterwards. Each pair's micro-network
+    /// input `[e_i | e_j | e_i ⊙ e_j]` is kept in `self.pair_x[p]` for the
+    /// backward pass.
+    fn forward_step(&mut self, batch: &Batch) {
         let m = self.num_fields;
         let k = self.dim;
         let b = batch.len();
-        let emb = self.emb.lookup_fields(&batch.fields, m);
-        let mut input = Matrix::zeros(b, m * k + self.pairs.num_pairs() * self.sub_out);
-        input.copy_block_from(&emb, 0);
-        let pair_list: Vec<(usize, usize)> = self.pairs.iter().collect();
-        for (p, &(i, j)) in pair_list.iter().enumerate() {
-            let x = self.pair_input(&emb, i, j);
-            let out = self.subnets[p].forward(&x);
-            input.copy_block_from(&out, m * k + p * self.sub_out);
+        self.emb
+            .lookup_fields_into(&batch.fields, m, &mut self.emb_buf);
+        self.input
+            .reset(b, m * k + self.pairs.num_pairs() * self.sub_out);
+        self.input.copy_block_from(&self.emb_buf, 0);
+        for (p, &(i, j)) in self.pair_list.iter().enumerate() {
+            let x = &mut self.pair_x[p];
+            x.reset(b, 3 * k);
+            for r in 0..b {
+                let row = self.emb_buf.row(r);
+                let dst = x.row_mut(r);
+                for c in 0..k {
+                    let (vi, vj) = (row[i * k + c], row[j * k + c]);
+                    dst[c] = vi;
+                    dst[k + c] = vj;
+                    dst[2 * k + c] = vi * vj;
+                }
+            }
+            self.subnets[p].forward_into(&self.pair_x[p], &mut self.sub_out_buf);
+            self.input
+                .copy_block_from(&self.sub_out_buf, m * k + p * self.sub_out);
         }
-        let logits = self.top.forward(&input);
-        (logits, emb)
+        let (input, logits) = (&self.input, &mut self.logits);
+        self.top.forward_into(input, logits);
     }
 }
 
@@ -135,19 +164,22 @@ impl CtrModel for Pin {
     fn train_batch(&mut self, batch: &Batch) -> f32 {
         let m = self.num_fields;
         let k = self.dim;
-        let (logits, emb) = self.forward(batch);
-        let (loss_value, grad) = bce_with_logits(&logits, &batch.labels);
-        let d_input = self.top.backward(&grad);
-        let mut d_emb = d_input.block(0, m * k);
-        let pair_list: Vec<(usize, usize)> = self.pairs.iter().collect();
-        for (p, &(i, j)) in pair_list.iter().enumerate() {
-            let d_out = d_input.block(m * k + p * self.sub_out, self.sub_out);
-            let d_x = self.subnets[p].backward(&d_out);
+        self.forward_step(batch);
+        let loss_value = bce_with_logits_into(&self.logits, &batch.labels, &mut self.grad);
+        {
+            let (input, grad) = (&self.input, &self.grad);
+            self.top.backward_into(input, grad, &mut self.dinput);
+        }
+        self.dinput.block_into(0, m * k, &mut self.d_emb);
+        for (p, &(i, j)) in self.pair_list.iter().enumerate() {
+            self.dinput
+                .block_into(m * k + p * self.sub_out, self.sub_out, &mut self.d_out);
+            self.subnets[p].backward_into(&self.pair_x[p], &self.d_out, &mut self.d_x);
             // Split the micro-net input gradient back onto the embeddings.
-            for r in 0..d_x.rows() {
-                let row = emb.row(r);
-                let g = d_x.row(r);
-                let d_row = d_emb.row_mut(r);
+            for r in 0..self.d_x.rows() {
+                let row = self.emb_buf.row(r);
+                let g = self.d_x.row(r);
+                let d_row = self.d_emb.row_mut(r);
                 for c in 0..k {
                     let (vi, vj) = (row[i * k + c], row[j * k + c]);
                     d_row[i * k + c] += g[c] + g[2 * k + c] * vj;
@@ -155,7 +187,8 @@ impl CtrModel for Pin {
                 }
             }
         }
-        self.emb.accumulate_grad_fields(&batch.fields, m, &d_emb);
+        self.emb
+            .accumulate_grad_fields(&batch.fields, m, &self.d_emb);
         self.adam.begin_step();
         let mut adam = self.adam.clone();
         self.top.visit_params(&mut |p| adam.step(p, 0.0));
@@ -168,8 +201,8 @@ impl CtrModel for Pin {
     }
 
     fn predict(&mut self, batch: &Batch) -> Vec<f32> {
-        let (logits, _) = self.forward(batch);
-        loss::probabilities(&logits)
+        self.forward_step(batch);
+        loss::probabilities(&self.logits)
     }
 
     fn num_params(&mut self) -> usize {

@@ -11,7 +11,7 @@
 use crate::traits::{BaselineConfig, Category, CtrModel, Taxonomy};
 use optinter_data::{Batch, PairIndexer};
 use optinter_nn::{
-    bce_with_logits, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig,
+    bce_with_logits_into, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig,
 };
 use optinter_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -33,14 +33,17 @@ pub struct Pnn {
     num_fields: usize,
     dim: usize,
     pairs: PairIndexer,
-    cache: Option<Cache>,
-}
-
-struct Cache {
-    fields: Vec<u32>,
-    emb: Matrix,
+    // Persistent step buffers: overwritten in full every batch so the
+    // steady-state train step reuses their capacity.
+    emb_buf: Matrix,
     /// OPNN: pooled embedding per row.
     pooled: Matrix,
+    input: Matrix,
+    logits: Matrix,
+    grad: Matrix,
+    dinput: Matrix,
+    d_emb: Matrix,
+    d_pool: Vec<f32>,
 }
 
 impl Pnn {
@@ -73,26 +76,42 @@ impl Pnn {
             num_fields,
             dim: k,
             pairs,
-            cache: None,
+            emb_buf: Matrix::zeros(0, 0),
+            pooled: Matrix::zeros(0, 0),
+            input: Matrix::zeros(0, 0),
+            logits: Matrix::zeros(0, 0),
+            grad: Matrix::zeros(0, 0),
+            dinput: Matrix::zeros(0, 0),
+            d_emb: Matrix::zeros(0, 0),
+            d_pool: Vec::new(),
         }
     }
 
-    fn build_input(&self, batch: &Batch) -> (Matrix, Matrix, Matrix) {
+    /// Fills `self.input` (and the `emb_buf`/`pooled` activations the
+    /// backward pass reads) from the batch.
+    fn build_input(&mut self, batch: &Batch) {
         let m = self.num_fields;
         let k = self.dim;
         let b = batch.len();
-        let emb = self.emb.lookup_fields(&batch.fields, m);
-        let (product_dim, mut pooled) = match self.kind {
-            ProductKind::Inner => (self.pairs.num_pairs(), Matrix::zeros(0, 0)),
-            ProductKind::Outer => (k * k, Matrix::zeros(b, k)),
+        self.emb
+            .lookup_fields_into(&batch.fields, m, &mut self.emb_buf);
+        let product_dim = match self.kind {
+            ProductKind::Inner => {
+                self.pooled.reset(0, 0);
+                self.pairs.num_pairs()
+            }
+            ProductKind::Outer => {
+                self.pooled.reset(b, k);
+                k * k
+            }
         };
-        let mut input = Matrix::zeros(b, m * k + product_dim);
-        input.copy_block_from(&emb, 0);
+        self.input.reset(b, m * k + product_dim);
+        self.input.copy_block_from(&self.emb_buf, 0);
         for r in 0..b {
-            let row = emb.row(r).to_vec();
-            let dst = input.row_mut(r);
+            let row = self.emb_buf.row(r);
             match self.kind {
                 ProductKind::Inner => {
+                    let dst = self.input.row_mut(r);
                     for (p, (i, j)) in self.pairs.iter().enumerate() {
                         let mut dot = 0.0f32;
                         for c in 0..k {
@@ -102,12 +121,14 @@ impl Pnn {
                     }
                 }
                 ProductKind::Outer => {
-                    let pool = pooled.row_mut(r);
+                    let pool = self.pooled.row_mut(r);
                     for f in 0..m {
                         for c in 0..k {
                             pool[c] += row[f * k + c];
                         }
                     }
+                    let dst = self.input.row_mut(r);
+                    let pool = self.pooled.row(r);
                     for a in 0..k {
                         for c in 0..k {
                             dst[m * k + a * k + c] = pool[a] * pool[c];
@@ -116,20 +137,21 @@ impl Pnn {
                 }
             }
         }
-        (input, emb, pooled)
     }
 
-    fn backward_products(&self, batch: &Batch, d_input: &Matrix, cache: &Cache) -> Matrix {
+    /// Propagates `self.dinput` through the product features into
+    /// `self.d_emb` (the gradient of the raw embedding block).
+    fn backward_products(&mut self, batch: &Batch) {
         let m = self.num_fields;
         let k = self.dim;
         let b = batch.len();
-        let mut d_emb = d_input.block(0, m * k);
+        self.dinput.block_into(0, m * k, &mut self.d_emb);
         for r in 0..b {
-            let row = cache.emb.row(r).to_vec();
-            let g_row = d_input.row(r);
-            let d_row = d_emb.row_mut(r);
+            let g_row = self.dinput.row(r);
             match self.kind {
                 ProductKind::Inner => {
+                    let row = self.emb_buf.row(r);
+                    let d_row = self.d_emb.row_mut(r);
                     for (p, (i, j)) in self.pairs.iter().enumerate() {
                         let g = g_row[m * k + p];
                         for c in 0..k {
@@ -139,26 +161,27 @@ impl Pnn {
                     }
                 }
                 ProductKind::Outer => {
-                    let pool = cache.pooled.row(r);
+                    let pool = self.pooled.row(r);
                     // d pool[a] = sum_c g[a,c] * pool[c] + g[c,a] * pool[c]
-                    let mut d_pool = vec![0.0f32; k];
+                    self.d_pool.clear();
+                    self.d_pool.resize(k, 0.0);
                     for a in 0..k {
                         for c in 0..k {
                             let g = g_row[m * k + a * k + c];
-                            d_pool[a] += g * pool[c];
-                            d_pool[c] += g * pool[a];
+                            self.d_pool[a] += g * pool[c];
+                            self.d_pool[c] += g * pool[a];
                         }
                     }
                     // pool = sum of all field embeddings: broadcast back.
+                    let d_row = self.d_emb.row_mut(r);
                     for f in 0..m {
                         for c in 0..k {
-                            d_row[f * k + c] += d_pool[c];
+                            d_row[f * k + c] += self.d_pool[c];
                         }
                     }
                 }
             }
         }
-        d_emb
     }
 }
 
@@ -183,19 +206,14 @@ impl CtrModel for Pnn {
     }
 
     fn train_batch(&mut self, batch: &Batch) -> f32 {
-        let (input, emb, pooled) = self.build_input(batch);
-        let logits = self.mlp.forward(&input);
-        let (loss_value, grad) = bce_with_logits(&logits, &batch.labels);
-        let d_input = self.mlp.backward(&grad);
-        let cache = Cache {
-            fields: batch.fields.clone(),
-            emb,
-            pooled,
-        };
-        let d_emb = self.backward_products(batch, &d_input, &cache);
+        self.build_input(batch);
+        self.mlp.forward_into(&self.input, &mut self.logits);
+        let loss_value = bce_with_logits_into(&self.logits, &batch.labels, &mut self.grad);
+        self.mlp
+            .backward_into(&self.input, &self.grad, &mut self.dinput);
+        self.backward_products(batch);
         self.emb
-            .accumulate_grad_fields(&cache.fields, self.num_fields, &d_emb);
-        self.cache = None;
+            .accumulate_grad_fields(&batch.fields, self.num_fields, &self.d_emb);
         self.adam.begin_step();
         let mut adam = self.adam.clone();
         self.mlp.visit_params(&mut |p| adam.step(p, 0.0));
@@ -205,9 +223,9 @@ impl CtrModel for Pnn {
     }
 
     fn predict(&mut self, batch: &Batch) -> Vec<f32> {
-        let (input, _, _) = self.build_input(batch);
-        let logits = self.mlp.forward(&input);
-        loss::probabilities(&logits)
+        self.build_input(batch);
+        self.mlp.forward_into(&self.input, &mut self.logits);
+        loss::probabilities(&self.logits)
     }
 
     fn num_params(&mut self) -> usize {

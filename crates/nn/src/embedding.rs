@@ -5,12 +5,24 @@
 //! only a tiny fraction of the vocabulary, gradients are accumulated
 //! per-touched-row and the Adam update is applied lazily to exactly those
 //! rows — the standard "sparse Adam" used by production CTR trainers.
+//!
+//! # Gradient arena
+//!
+//! Pending gradients live in a flat arena: a contiguous `[vocab * dim]`
+//! slab (allocated lazily, once) plus a vector of touched row ids and a
+//! per-row touched flag. Accumulation is a bounds-checked slab add — no
+//! hashing, no per-row boxing — and the apply step sorts the touched ids so
+//! rows update in ascending order, which keeps the update loop deterministic
+//! by construction (each row's Adam step only reads its own slab row, so the
+//! order cannot change any float, but a fixed order keeps traces and
+//! diagnostics stable too). Touched slab rows are re-zeroed on apply/clear;
+//! untouched rows are never written, so the slab stays clean without a
+//! `vocab`-sized sweep.
 
 use crate::optim::Adam;
 use optinter_tensor::pool::Pool;
 use optinter_tensor::{init, Matrix};
 use rand::Rng;
-use std::collections::HashMap;
 
 /// Work size (scalar copies / adds) below which the pooled embedding paths
 /// stay serial; the fallback never changes results.
@@ -23,8 +35,15 @@ pub struct EmbeddingTable {
     m: Option<Matrix>,
     /// Lazily allocated Adam second-moment state.
     v: Option<Matrix>,
-    /// Accumulated gradients for rows touched since the last update.
-    grads: HashMap<u32, Vec<f32>>,
+    /// Flat gradient arena: row `idx` of the slab accumulates the pending
+    /// gradient of weight row `idx`. Lazily allocated to `[vocab * dim]` on
+    /// first use; rows not in `touched` are all-zero by invariant.
+    grad_slab: Vec<f32>,
+    /// Ids with pending gradient, each listed exactly once (in first-touch
+    /// order until [`apply_adam`](Self::apply_adam) sorts them).
+    touched: Vec<u32>,
+    /// `touched_flags[idx]` mirrors membership of `idx` in `touched`.
+    touched_flags: Vec<bool>,
 }
 
 impl EmbeddingTable {
@@ -34,7 +53,9 @@ impl EmbeddingTable {
             weight: init::xavier_embedding(rng, vocab, dim),
             m: None,
             v: None,
-            grads: HashMap::new(),
+            grad_slab: Vec::new(),
+            touched: Vec::new(),
+            touched_flags: Vec::new(),
         }
     }
 
@@ -44,7 +65,9 @@ impl EmbeddingTable {
             weight: Matrix::zeros(vocab, dim),
             m: None,
             v: None,
-            grads: HashMap::new(),
+            grad_slab: Vec::new(),
+            touched: Vec::new(),
+            touched_flags: Vec::new(),
         }
     }
 
@@ -78,6 +101,26 @@ impl EmbeddingTable {
         &self.weight
     }
 
+    /// Ensures the gradient arena is allocated (one-time cost per table).
+    fn ensure_arena(&mut self) {
+        if self.grad_slab.is_empty() && !self.weight.is_empty() {
+            self.grad_slab.resize(self.weight.len(), 0.0);
+        }
+        if self.touched_flags.is_empty() {
+            self.touched_flags.resize(self.vocab(), false);
+        }
+    }
+
+    /// Registers `idx` as touched (idempotent).
+    #[inline]
+    fn touch(&mut self, idx: u32) {
+        let i = idx as usize;
+        if !self.touched_flags[i] {
+            self.touched_flags[i] = true;
+            self.touched.push(idx);
+        }
+    }
+
     /// Looks up a batch of single indices, producing `[B, dim]`.
     pub fn lookup(&self, indices: &[u32]) -> Matrix {
         let dim = self.dim();
@@ -95,11 +138,19 @@ impl EmbeddingTable {
     /// lives at `flat[b * num_fields + f]`. Output is `[B, num_fields*dim]`
     /// with field blocks concatenated in order — the paper's Eq. 7 layout.
     pub fn lookup_fields(&self, flat: &[u32], num_fields: usize) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.lookup_fields_into(flat, num_fields, &mut out);
+        out
+    }
+
+    /// [`lookup_fields`](Self::lookup_fields) into a caller-owned buffer
+    /// (reshaped as needed) — the allocation-free form.
+    pub fn lookup_fields_into(&self, flat: &[u32], num_fields: usize, out: &mut Matrix) {
         assert!(num_fields > 0, "lookup_fields: need at least one field");
         assert_eq!(flat.len() % num_fields, 0, "lookup_fields: ragged batch");
         let batch = flat.len() / num_fields;
         let dim = self.dim();
-        let mut out = Matrix::zeros(batch, num_fields * dim);
+        out.reset(batch, num_fields * dim);
         for b in 0..batch {
             let row = out.row_mut(b);
             for f in 0..num_fields {
@@ -107,29 +158,42 @@ impl EmbeddingTable {
                 row[f * dim..(f + 1) * dim].copy_from_slice(self.weight.row(idx));
             }
         }
-        out
     }
 
     /// [`lookup_fields`](Self::lookup_fields) with the batch rows sharded
     /// across `pool`. Pure row copies, so trivially bit-identical to the
     /// serial lookup for any thread count.
     pub fn lookup_fields_pooled(&self, flat: &[u32], num_fields: usize, pool: &Pool) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.lookup_fields_pooled_into(flat, num_fields, pool, &mut out);
+        out
+    }
+
+    /// [`lookup_fields_pooled`](Self::lookup_fields_pooled) into a
+    /// caller-owned buffer (reshaped as needed).
+    pub fn lookup_fields_pooled_into(
+        &self,
+        flat: &[u32],
+        num_fields: usize,
+        pool: &Pool,
+        out: &mut Matrix,
+    ) {
         assert!(num_fields > 0, "lookup_fields: need at least one field");
         assert_eq!(flat.len() % num_fields, 0, "lookup_fields: ragged batch");
         let dim = self.dim();
         if pool.is_serial() || flat.len() * dim < POOL_MIN_WORK {
-            return self.lookup_fields(flat, num_fields);
+            self.lookup_fields_into(flat, num_fields, out);
+            return;
         }
         let batch = flat.len() / num_fields;
         let width = num_fields * dim;
-        let mut out = Matrix::zeros(batch, width);
+        out.reset(batch, width);
         pool.for_rows(out.as_mut_slice(), width, |b, row| {
             for f in 0..num_fields {
                 let idx = flat[b * num_fields + f] as usize;
                 row[f * dim..(f + 1) * dim].copy_from_slice(self.weight.row(idx));
             }
         });
-        out
     }
 
     /// Mean-pooled lookup for multivalent features (paper Sec. II-B2):
@@ -165,11 +229,12 @@ impl EmbeddingTable {
             "accumulate_grad: batch mismatch"
         );
         assert_eq!(grad.cols(), self.dim(), "accumulate_grad: dim mismatch");
+        self.ensure_arena();
+        let dim = self.dim();
         for (r, &idx) in indices.iter().enumerate() {
-            let acc = self
-                .grads
-                .entry(idx)
-                .or_insert_with(|| vec![0.0; self.weight.cols()]);
+            self.touch(idx);
+            let i = idx as usize;
+            let acc = &mut self.grad_slab[i * dim..(i + 1) * dim];
             for (a, &g) in acc.iter_mut().zip(grad.row(r).iter()) {
                 *a += g;
             }
@@ -180,23 +245,23 @@ impl EmbeddingTable {
     /// [`lookup_fields`](Self::lookup_fields)). `grad` has shape
     /// `[B, num_fields*dim]`.
     ///
-    /// Per call, each row's contributions are summed in `(b, f)` scan order
-    /// into a fresh per-call accumulator that is then merged into the
-    /// pending gradients — the same association the key-sharded
+    /// Contributions add into each row's arena slot in `(b, f)` scan order —
+    /// the same association the lane-sharded
     /// [`accumulate_grad_fields_pooled`](Self::accumulate_grad_fields_pooled)
     /// path uses, so the two are bit-identical for any thread count.
     pub fn accumulate_grad_fields(&mut self, flat: &[u32], num_fields: usize, grad: &Matrix) {
         self.accumulate_grad_fields_pooled(flat, num_fields, grad, &Pool::serial());
     }
 
-    /// Key-sharded parallel version of
+    /// Lane-sharded parallel version of
     /// [`accumulate_grad_fields`](Self::accumulate_grad_fields).
     ///
-    /// Each lane owns the rows with `idx % lanes == lane` and scans the
-    /// whole batch in `(b, f)` order, so a given row's partial sum is built
-    /// in exactly the serial accumulation order no matter how many lanes
-    /// run. Lanes touch disjoint keys, so merging them into the pending
-    /// gradients involves no cross-thread floating-point reduction at all.
+    /// Each lane owns the arena rows with `idx % lanes == lane` and scans
+    /// the whole batch in `(b, f)` order, so a given row's pending sum is
+    /// built in exactly the serial accumulation order no matter how many
+    /// lanes run. Lanes touch disjoint rows (enforced by
+    /// [`Pool::for_lane_rows`]), so no cross-thread floating-point
+    /// reduction happens at all.
     pub fn accumulate_grad_fields_pooled(
         &mut self,
         flat: &[u32],
@@ -217,47 +282,44 @@ impl EmbeddingTable {
             num_fields * dim,
             "accumulate_grad_fields: dim mismatch"
         );
+        self.ensure_arena();
+        // Touched-id registration is a cheap serial scan; the FP work below
+        // is what shards.
+        for &idx in flat {
+            self.touch(idx);
+        }
         let lanes = if pool.is_serial() || flat.len() * dim < POOL_MIN_WORK {
             1
         } else {
             pool.threads()
         };
-        let mut lane_maps: Vec<HashMap<u32, Vec<f32>>> =
-            (0..lanes).map(|_| HashMap::new()).collect();
-        let fill_lane = |map: &mut HashMap<u32, Vec<f32>>, lane: usize| {
+        if lanes == 1 {
             for b in 0..batch {
                 let grow = grad.row(b);
                 for f in 0..num_fields {
-                    let idx = flat[b * num_fields + f];
-                    if idx as usize % lanes != lane {
-                        continue;
-                    }
-                    let acc = map.entry(idx).or_insert_with(|| vec![0.0; dim]);
+                    let i = flat[b * num_fields + f] as usize;
+                    let acc = &mut self.grad_slab[i * dim..(i + 1) * dim];
                     for (a, &g) in acc.iter_mut().zip(grow[f * dim..(f + 1) * dim].iter()) {
                         *a += g;
                     }
                 }
             }
-        };
-        if lanes == 1 {
-            fill_lane(&mut lane_maps[0], 0);
         } else {
-            pool.for_each_mut(&mut lane_maps, |lane, map| fill_lane(map, lane));
-        }
-        for map in lane_maps {
-            // lint: allow(hash-iter, reason="keys are disjoint accumulators; per-key merge order is fixed by lane order")
-            for (idx, partial) in map {
-                match self.grads.entry(idx) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        for (a, &g) in e.get_mut().iter_mut().zip(partial.iter()) {
+            pool.for_lane_rows(&mut self.grad_slab, dim, lanes, |_, mut lane| {
+                for b in 0..batch {
+                    let grow = grad.row(b);
+                    for f in 0..num_fields {
+                        let idx = flat[b * num_fields + f] as usize;
+                        if !lane.owns(idx) {
+                            continue;
+                        }
+                        let acc = lane.row_mut(idx);
+                        for (a, &g) in acc.iter_mut().zip(grow[f * dim..(f + 1) * dim].iter()) {
                             *a += g;
                         }
                     }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(partial);
-                    }
                 }
-            }
+            });
         }
     }
 
@@ -274,16 +336,17 @@ impl EmbeddingTable {
             self.dim(),
             "accumulate_grad_mean: dim mismatch"
         );
+        self.ensure_arena();
+        let dim = self.dim();
         for (r, set) in value_sets.iter().enumerate() {
             if set.is_empty() {
                 continue;
             }
             let inv = 1.0 / set.len() as f32;
             for &idx in set {
-                let acc = self
-                    .grads
-                    .entry(idx)
-                    .or_insert_with(|| vec![0.0; self.weight.cols()]);
+                self.touch(idx);
+                let i = idx as usize;
+                let acc = &mut self.grad_slab[i * dim..(i + 1) * dim];
                 for (a, &g) in acc.iter_mut().zip(grad.row(r).iter()) {
                     *a += g * inv;
                 }
@@ -293,14 +356,14 @@ impl EmbeddingTable {
 
     /// Number of rows with pending gradient accumulation.
     pub fn touched_rows(&self) -> usize {
-        self.grads.len()
+        self.touched.len()
     }
 
-    /// Applies a lazy Adam update to every touched row, then clears the
-    /// accumulated gradients. Weight decay is applied to touched rows only
-    /// (the sparse-L2 convention).
+    /// Applies a lazy Adam update to every touched row in ascending-id
+    /// order, then clears the accumulated gradients. Weight decay is applied
+    /// to touched rows only (the sparse-L2 convention).
     pub fn apply_adam(&mut self, adam: &Adam, weight_decay: f32) {
-        if self.grads.is_empty() {
+        if self.touched.is_empty() {
             return;
         }
         let (rows, cols) = self.weight.shape();
@@ -309,39 +372,59 @@ impl EmbeddingTable {
             self.v = Some(Matrix::zeros(rows, cols));
         }
         let (bc1, bc2) = adam.bias_corrections();
-        let m = self.m.as_mut().expect("adam m");
-        let v = self.v.as_mut().expect("adam v");
-        // lint: allow(hash-iter, reason="each key updates its own weight row; visit order cannot affect any float result")
-        for (&idx, grad) in self.grads.iter() {
-            let idx = idx as usize;
-            adam.step_row(
-                self.weight.row_mut(idx),
-                grad,
-                m.row_mut(idx),
-                v.row_mut(idx),
-                weight_decay,
-                bc1,
-                bc2,
-            );
+        let dim = self.dim();
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.sort_unstable();
+        if let (Some(m), Some(v)) = (self.m.as_mut(), self.v.as_mut()) {
+            for &idx in &touched {
+                let i = idx as usize;
+                let grad = &mut self.grad_slab[i * dim..(i + 1) * dim];
+                adam.step_row(
+                    self.weight.row_mut(i),
+                    grad,
+                    m.row_mut(i),
+                    v.row_mut(i),
+                    weight_decay,
+                    bc1,
+                    bc2,
+                );
+                grad.fill(0.0);
+                self.touched_flags[i] = false;
+            }
         }
-        self.grads.clear();
+        touched.clear();
+        self.touched = touched;
     }
 
-    /// Applies plain SGD to touched rows (tests / ablations), then clears.
+    /// Applies plain SGD to touched rows (tests / ablations) in ascending-id
+    /// order, then clears.
     pub fn apply_sgd(&mut self, lr: f32, weight_decay: f32) {
-        // lint: allow(hash-iter, reason="each key updates its own weight row; visit order cannot affect any float result")
-        for (&idx, grad) in self.grads.iter() {
-            let row = self.weight.row_mut(idx as usize);
+        let dim = self.dim();
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.sort_unstable();
+        for &idx in &touched {
+            let i = idx as usize;
+            let grad = &mut self.grad_slab[i * dim..(i + 1) * dim];
+            let row = self.weight.row_mut(i);
             for (w, &g) in row.iter_mut().zip(grad.iter()) {
                 *w -= lr * (g + weight_decay * *w);
             }
+            grad.fill(0.0);
+            self.touched_flags[i] = false;
         }
-        self.grads.clear();
+        touched.clear();
+        self.touched = touched;
     }
 
     /// Discards pending gradients without applying them.
     pub fn clear_grads(&mut self) {
-        self.grads.clear();
+        let dim = self.dim();
+        for &idx in &self.touched {
+            let i = idx as usize;
+            self.grad_slab[i * dim..(i + 1) * dim].fill(0.0);
+            self.touched_flags[i] = false;
+        }
+        self.touched.clear();
     }
 }
 
@@ -380,6 +463,15 @@ mod tests {
         assert_eq!(out.shape(), (2, 4));
         assert_eq!(out.row(0), &[0.0, 1.0, 2.0, 3.0]);
         assert_eq!(out.row(1), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn lookup_fields_into_reuses_buffer() {
+        let t = small_table();
+        let mut out = Matrix::zeros(7, 3);
+        t.lookup_fields_into(&[0u32, 1, 2, 3], 2, &mut out);
+        assert_eq!(out.shape(), (2, 4));
+        assert_eq!(out.row(0), &[0.0, 1.0, 2.0, 3.0]);
     }
 
     #[test]
@@ -425,6 +517,32 @@ mod tests {
         // Each of rows 0 and 1 receives grad 1.0.
         assert_eq!(t.row(0), &[-1.0, 0.0]);
         assert_eq!(t.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn arena_rows_are_rezeroed_after_apply() {
+        // A second step touching the same row must start from a clean slab
+        // row, not the previous step's gradient.
+        let mut t = small_table();
+        t.accumulate_grad(&[2], &Matrix::from_rows(&[&[1.0, 0.0]]));
+        t.apply_sgd(1.0, 0.0);
+        assert_eq!(t.row(2), &[3.0, 5.0]);
+        t.accumulate_grad(&[2], &Matrix::from_rows(&[&[0.0, 2.0]]));
+        t.apply_sgd(1.0, 0.0);
+        assert_eq!(t.row(2), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn clear_grads_rezeroes_touched_arena_rows() {
+        let mut t = small_table();
+        t.accumulate_grad(&[0], &Matrix::filled(1, 2, 1.0));
+        t.clear_grads();
+        assert_eq!(t.touched_rows(), 0);
+        let before = t.row(0).to_vec();
+        // A fresh accumulate must not see the discarded gradient.
+        t.accumulate_grad(&[0], &Matrix::filled(1, 2, 0.0));
+        t.apply_sgd(1.0, 0.0);
+        assert_eq!(t.row(0), before.as_slice());
     }
 
     #[test]

@@ -46,29 +46,29 @@ impl Dense {
     pub fn set_pool(&mut self, pool: Pool) {
         self.pool = pool;
     }
-}
 
-impl Layer for Dense {
-    fn forward(&mut self, x: &Matrix) -> Matrix {
+    /// Writes `x W + b` into `y` (reshaped as needed) without touching the
+    /// layer's cached state — the allocation-free path [`crate::Mlp`] uses
+    /// with workspace buffers.
+    pub fn forward_into(&self, x: &Matrix, y: &mut Matrix) {
         assert_eq!(x.cols(), self.in_dim(), "Dense: input dim mismatch");
-        let mut y = x.matmul_pooled(&self.w.value, &self.pool);
+        y.reset(x.rows(), self.out_dim());
+        x.matmul_accumulate_pooled(&self.w.value, y, 1.0, &self.pool);
         let b = self.b.value.row(0);
         for r in 0..y.rows() {
             for (v, &bi) in y.row_mut(r).iter_mut().zip(b.iter()) {
                 *v += bi;
             }
         }
-        self.cached_input = Some(x.clone());
-        y
     }
 
-    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let x = self
-            .cached_input
-            .as_ref()
-            .expect("Dense::backward called before forward");
+    /// Accumulates `dW`/`db` and writes `dx = g W^T` into `dx` (reshaped as
+    /// needed). `x` must be the input the matching forward pass saw; the
+    /// caller owns the activation chain, so nothing is cloned here.
+    pub fn backward_into(&mut self, x: &Matrix, grad_out: &Matrix, dx: &mut Matrix) {
         assert_eq!(grad_out.rows(), x.rows(), "Dense: grad batch mismatch");
         assert_eq!(grad_out.cols(), self.out_dim(), "Dense: grad dim mismatch");
+        assert_eq!(x.cols(), self.in_dim(), "Dense: input dim mismatch");
         // dW += x^T g
         x.matmul_at_b_accumulate_pooled(grad_out, &mut self.w.grad, 1.0, &self.pool);
         // db += column sums of g
@@ -79,7 +79,28 @@ impl Layer for Dense {
             }
         }
         // dx = g W^T
-        grad_out.matmul_a_bt_pooled(&self.w.value, &self.pool)
+        dx.reset(grad_out.rows(), self.in_dim());
+        grad_out.matmul_a_bt_into_pooled(&self.w.value, dx, &self.pool);
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut y);
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = match self.cached_input.take() {
+            Some(x) => x,
+            None => panic!("Dense::backward called before forward"),
+        };
+        let mut dx = Matrix::zeros(0, 0);
+        self.backward_into(&x, grad_out, &mut dx);
+        self.cached_input = Some(x);
+        dx
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
@@ -100,32 +121,43 @@ impl Relu {
     pub fn new() -> Self {
         Self::default()
     }
-}
 
-impl Layer for Relu {
-    fn forward(&mut self, x: &Matrix) -> Matrix {
-        self.shape = x.shape();
+    /// Rectifies `a` in place, recording the activation mask for
+    /// [`backward_inplace`](Self::backward_inplace) — no output buffer.
+    pub fn forward_inplace(&mut self, a: &mut Matrix) {
+        self.shape = a.shape();
         self.mask.clear();
-        self.mask.reserve(x.len());
-        let mut y = x.clone();
-        for v in y.as_mut_slice().iter_mut() {
+        self.mask.reserve(a.len());
+        for v in a.as_mut_slice().iter_mut() {
             let active = *v > 0.0;
             self.mask.push(active);
             if !active {
                 *v = 0.0;
             }
         }
-        y
     }
 
-    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        assert_eq!(grad_out.shape(), self.shape, "Relu: grad shape mismatch");
-        let mut dx = grad_out.clone();
-        for (d, &active) in dx.as_mut_slice().iter_mut().zip(self.mask.iter()) {
+    /// Zeroes the gradient entries of inactive units in place.
+    pub fn backward_inplace(&self, g: &mut Matrix) {
+        assert_eq!(g.shape(), self.shape, "Relu: grad shape mismatch");
+        for (d, &active) in g.as_mut_slice().iter_mut().zip(self.mask.iter()) {
             if !active {
                 *d = 0.0;
             }
         }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut y = x.clone();
+        self.forward_inplace(&mut y);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut dx = grad_out.clone();
+        self.backward_inplace(&mut dx);
         dx
     }
 
@@ -160,16 +192,18 @@ impl LayerNorm {
     pub fn dim(&self) -> usize {
         self.gamma.value.cols()
     }
-}
 
-impl Layer for LayerNorm {
-    fn forward(&mut self, x: &Matrix) -> Matrix {
+    /// Writes `LN(x)` into `y` (reshaped as needed). The normalised
+    /// activations are cached in a persistent buffer that is reused across
+    /// steps, so the steady state allocates nothing.
+    pub fn forward_into(&mut self, x: &Matrix, y: &mut Matrix) {
         assert_eq!(x.cols(), self.dim(), "LayerNorm: dim mismatch");
         let n = x.cols();
-        let mut xhat = Matrix::zeros(x.rows(), n);
+        let xhat = self.cached_xhat.get_or_insert_with(|| Matrix::zeros(0, 0));
+        xhat.reset(x.rows(), n);
         self.cached_inv_std.clear();
         self.cached_inv_std.reserve(x.rows());
-        let mut y = Matrix::zeros(x.rows(), n);
+        y.reset(x.rows(), n);
         let gamma = self.gamma.value.row(0);
         let beta = self.beta.value.row(0);
         for r in 0..x.rows() {
@@ -185,15 +219,15 @@ impl Layer for LayerNorm {
                 y_row[c] = gamma[c] * xh_row[c] + beta[c];
             }
         }
-        self.cached_xhat = Some(xhat);
-        y
     }
 
-    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let xhat = self
-            .cached_xhat
-            .as_ref()
-            .expect("LayerNorm::backward called before forward");
+    /// Accumulates `dgamma`/`dbeta` and writes the input gradient into `dx`
+    /// (reshaped as needed).
+    pub fn backward_into(&mut self, grad_out: &Matrix, dx: &mut Matrix) {
+        let xhat = match self.cached_xhat.as_ref() {
+            Some(xhat) => xhat,
+            None => panic!("LayerNorm::backward called before forward"),
+        };
         assert_eq!(
             grad_out.shape(),
             xhat.shape(),
@@ -204,7 +238,7 @@ impl Layer for LayerNorm {
         let gamma = self.gamma.value.row(0);
         let dgamma = self.gamma.grad.row_mut(0);
         let dbeta = self.beta.grad.row_mut(0);
-        let mut dx = Matrix::zeros(xhat.rows(), n);
+        dx.reset(xhat.rows(), n);
         for r in 0..xhat.rows() {
             let g = grad_out.row(r);
             let xh = xhat.row(r);
@@ -229,6 +263,19 @@ impl Layer for LayerNorm {
                 dx_row[c] = inv_std / n_f * (n_f * dxh - sum_dxhat - xh[c] * sum_dxhat_xhat);
             }
         }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut dx = Matrix::zeros(0, 0);
+        self.backward_into(grad_out, &mut dx);
         dx
     }
 

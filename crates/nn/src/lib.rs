@@ -32,16 +32,18 @@ pub mod loss;
 pub mod mlp;
 pub mod optim;
 pub mod param;
+pub mod workspace;
 
 #[cfg(test)]
 mod proptests;
 
 pub use embedding::EmbeddingTable;
 pub use layers::{Dense, LayerNorm, Relu};
-pub use loss::bce_with_logits;
+pub use loss::{bce_with_logits, bce_with_logits_into};
 pub use mlp::{Mlp, MlpConfig};
 pub use optim::{Adam, AdamConfig, DenseOptimizer, Grda, GrdaConfig, Sgd};
 pub use param::Parameter;
+pub use workspace::Workspace;
 
 use optinter_tensor::Matrix;
 

@@ -11,6 +11,14 @@ use optinter_tensor::{numerics, Matrix};
 /// (sigmoid(logit_i) - y_i) / B` — the gradient of the *mean* loss with
 /// respect to each logit, ready to feed into the classifier backward pass.
 pub fn bce_with_logits(logits: &Matrix, labels: &[f32]) -> (f32, Matrix) {
+    let mut grad = Matrix::zeros(0, 0);
+    let loss = bce_with_logits_into(logits, labels, &mut grad);
+    (loss, grad)
+}
+
+/// [`bce_with_logits`] writing the gradient into a caller-owned buffer
+/// (reshaped to `[B, 1]`) — the allocation-free form used by training loops.
+pub fn bce_with_logits_into(logits: &Matrix, labels: &[f32], grad: &mut Matrix) -> f32 {
     assert_eq!(logits.cols(), 1, "bce_with_logits: logits must be [B, 1]");
     assert_eq!(
         logits.rows(),
@@ -20,14 +28,14 @@ pub fn bce_with_logits(logits: &Matrix, labels: &[f32]) -> (f32, Matrix) {
     let b = labels.len();
     assert!(b > 0, "bce_with_logits: empty batch");
     let inv_b = 1.0 / b as f32;
-    let mut grad = Matrix::zeros(b, 1);
+    grad.reset(b, 1);
     let mut loss = 0.0f32;
     for (i, &y) in labels.iter().enumerate() {
         let z = logits.get(i, 0);
         loss += numerics::stable_bce(z, y);
         grad.set(i, 0, numerics::stable_bce_grad(z, y) * inv_b);
     }
-    (loss * inv_b, grad)
+    loss * inv_b
 }
 
 /// Predicted probabilities from a `[B, 1]` logit matrix.

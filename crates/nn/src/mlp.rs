@@ -3,6 +3,7 @@
 
 use crate::layers::{Dense, LayerNorm, Relu};
 use crate::param::Parameter;
+use crate::workspace::Workspace;
 use crate::Layer;
 use optinter_tensor::Matrix;
 use rand::Rng;
@@ -42,10 +43,24 @@ struct HiddenBlock {
 }
 
 /// Multi-layer perceptron with ReLU activations and optional LayerNorm.
+///
+/// The allocation-free entry points are [`forward_into`](Self::forward_into)
+/// and [`backward_into`](Self::backward_into): the MLP owns its activation
+/// chain in [`Workspace`]-recycled buffers and the caller owns the input, so
+/// a steady-state forward/backward cycle touches the heap zero times. The
+/// [`Layer`] trait impl delegates to the same code (cloning the input so the
+/// trait's self-contained `backward` contract still holds).
 pub struct Mlp {
     blocks: Vec<HiddenBlock>,
     output: Dense,
     input_dim: usize,
+    ws: Workspace,
+    /// Output of each hidden block from the last `forward_into`, held until
+    /// `backward_into` consumes them as the dense layers' inputs.
+    acts: Vec<Matrix>,
+    /// Input clone for the [`Layer`] trait path only; `forward_into` never
+    /// touches it.
+    cached_input: Option<Matrix>,
 }
 
 impl Mlp {
@@ -68,6 +83,9 @@ impl Mlp {
             blocks,
             output,
             input_dim: config.input_dim,
+            ws: Workspace::new(),
+            acts: Vec::new(),
+            cached_input: None,
         }
     }
 
@@ -90,31 +108,101 @@ impl Mlp {
         }
         self.output.set_pool(pool.clone());
     }
+
+    /// Forward pass into `out` (reshaped to `[B, output_dim]`), holding the
+    /// activation chain in recycled workspace buffers for the matching
+    /// [`backward_into`](Self::backward_into). Allocation-free once the
+    /// workspace has warmed up.
+    pub fn forward_into(&mut self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(x.cols(), self.input_dim, "Mlp: input dim mismatch");
+        for a in self.acts.drain(..) {
+            self.ws.recycle(a);
+        }
+        for i in 0..self.blocks.len() {
+            let mut z = self.ws.take(x.rows(), self.blocks[i].dense.out_dim());
+            {
+                let input: &Matrix = if i == 0 { x } else { &self.acts[i - 1] };
+                self.blocks[i].dense.forward_into(input, &mut z);
+            }
+            self.blocks[i].relu.forward_inplace(&mut z);
+            let z = if let Some(norm) = self.blocks[i].norm.as_mut() {
+                let mut y = self.ws.take(z.rows(), z.cols());
+                norm.forward_into(&z, &mut y);
+                self.ws.recycle(z);
+                y
+            } else {
+                z
+            };
+            self.acts.push(z);
+        }
+        let last: &Matrix = if self.blocks.is_empty() {
+            x
+        } else {
+            &self.acts[self.blocks.len() - 1]
+        };
+        self.output.forward_into(last, out);
+    }
+
+    /// Backward pass from `grad_out` into `dx` (reshaped to `[B,
+    /// input_dim]`), accumulating parameter gradients. `x` must be the same
+    /// input the matching [`forward_into`](Self::forward_into) saw; the
+    /// held activation chain is recycled on the way down.
+    pub fn backward_into(&mut self, x: &Matrix, grad_out: &Matrix, dx: &mut Matrix) {
+        assert_eq!(
+            self.acts.len(),
+            self.blocks.len(),
+            "Mlp::backward_into called before forward_into"
+        );
+        if self.blocks.is_empty() {
+            self.output.backward_into(x, grad_out, dx);
+            return;
+        }
+        let rows = grad_out.rows();
+        let nb = self.blocks.len();
+        let mut g = self.ws.take(rows, self.output.in_dim());
+        self.output
+            .backward_into(&self.acts[nb - 1], grad_out, &mut g);
+        for i in (0..nb).rev() {
+            if let Some(norm) = self.blocks[i].norm.as_mut() {
+                let mut t = self.ws.take(rows, g.cols());
+                norm.backward_into(&g, &mut t);
+                self.ws.recycle(std::mem::replace(&mut g, t));
+            }
+            self.blocks[i].relu.backward_inplace(&mut g);
+            if i == 0 {
+                self.blocks[i].dense.backward_into(x, &g, dx);
+            } else {
+                let mut t = self.ws.take(rows, self.blocks[i].dense.in_dim());
+                self.blocks[i]
+                    .dense
+                    .backward_into(&self.acts[i - 1], &g, &mut t);
+                self.ws.recycle(std::mem::replace(&mut g, t));
+            }
+        }
+        self.ws.recycle(g);
+        for a in self.acts.drain(..) {
+            self.ws.recycle(a);
+        }
+    }
 }
 
 impl Layer for Mlp {
     fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mut a = x.clone();
-        for block in self.blocks.iter_mut() {
-            a = block.dense.forward(&a);
-            a = block.relu.forward(&a);
-            if let Some(norm) = block.norm.as_mut() {
-                a = norm.forward(&a);
-            }
-        }
-        self.output.forward(&a)
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut out);
+        self.cached_input = Some(x.clone());
+        out
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let mut g = self.output.backward(grad_out);
-        for block in self.blocks.iter_mut().rev() {
-            if let Some(norm) = block.norm.as_mut() {
-                g = norm.backward(&g);
-            }
-            g = block.relu.backward(&g);
-            g = block.dense.backward(&g);
-        }
-        g
+        let x = match self.cached_input.take() {
+            Some(x) => x,
+            None => panic!("Mlp::backward called before forward"),
+        };
+        let mut dx = Matrix::zeros(0, 0);
+        self.backward_into(&x, grad_out, &mut dx);
+        self.cached_input = Some(x);
+        dx
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {

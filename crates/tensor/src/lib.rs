@@ -39,6 +39,9 @@ pub mod matrix;
 pub mod numerics;
 pub mod ops;
 pub mod pool;
+#[cfg(test)]
+mod proptests;
+pub mod reference;
 pub mod stats;
 
 pub use matrix::Matrix;

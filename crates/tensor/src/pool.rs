@@ -361,6 +361,45 @@ impl Pool {
         });
     }
 
+    /// Chunk-sharded variant of [`for_rows`](Self::for_rows): instead of one
+    /// row at a time, each job receives its whole contiguous block of rows
+    /// as a single `&mut [T]` plus the index of the block's first row.
+    ///
+    /// This exists for kernels that block over *groups* of rows (the
+    /// register-tiled matmuls process `MR` output rows together): handing
+    /// the job its full chunk lets it run the exact serial multi-row kernel
+    /// on it. Chunk boundaries never affect results because the kernels
+    /// guarantee per-element accumulation-order invariance under any row
+    /// grouping (see `crates/tensor/src/matrix.rs`).
+    ///
+    /// # Panics
+    /// Panics when `row_len == 0` or `out.len()` is not a multiple of
+    /// `row_len`.
+    pub fn for_row_chunks<T, F>(&self, out: &mut [T], row_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(row_len > 0, "for_row_chunks: row_len must be positive");
+        assert_eq!(out.len() % row_len, 0, "for_row_chunks: ragged buffer");
+        let rows = out.len() / row_len;
+        let (chunk, njobs) = chunks_for(rows, self.threads());
+        let ptr = SendPtr(out.as_mut_ptr());
+        self.run(njobs, |job| {
+            let r0 = job * chunk;
+            let r1 = (r0 + chunk).min(rows);
+            if r0 >= r1 {
+                return;
+            }
+            // SAFETY: row chunks are disjoint across job indices and in
+            // bounds (`r1 <= rows`), and the caller's `&mut out` borrow is
+            // held for the whole `run`, so this range is written by exactly
+            // this job with no other access to it.
+            let block = unsafe { ptr.slice(r0 * row_len, (r1 - r0) * row_len) };
+            f(r0, block);
+        });
+    }
+
     /// Two-buffer variant of [`for_rows`](Self::for_rows): `a` and `b` are
     /// viewed as matrices with the same number of rows (of widths
     /// `a_row_len` and `b_row_len`) and `f(r, a_row, b_row)` runs once per
@@ -417,6 +456,45 @@ impl Pool {
         });
     }
 
+    /// Lane-sharded scattered-row writes: runs `lanes` jobs, each receiving
+    /// a [`LaneRows`] view of `out` that can mutably borrow any row `r`
+    /// with `r % lanes == lane`. Ownership is enforced by an assert in
+    /// [`LaneRows::row_mut`], so two lanes can never write the same row.
+    ///
+    /// This is the safe face of owner-computes for *scattered* writes (the
+    /// sparse embedding-gradient arena: each lane scans the whole batch and
+    /// accumulates only into the slab rows it owns). Results are
+    /// bit-identical for any thread count as long as each lane visits its
+    /// rows' contributions in the same order the serial code would.
+    ///
+    /// # Panics
+    /// Panics when `row_len == 0`, `lanes == 0`, or `out.len()` is not a
+    /// multiple of `row_len`.
+    pub fn for_lane_rows<T, F>(&self, out: &mut [T], row_len: usize, lanes: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, LaneRows<'_, T>) + Sync,
+    {
+        assert!(row_len > 0, "for_lane_rows: row_len must be positive");
+        assert!(lanes > 0, "for_lane_rows: need at least one lane");
+        assert_eq!(out.len() % row_len, 0, "for_lane_rows: ragged buffer");
+        let rows = out.len() / row_len;
+        let ptr = SendPtr(out.as_mut_ptr());
+        self.run(lanes, |lane| {
+            f(
+                lane,
+                LaneRows {
+                    ptr,
+                    rows,
+                    row_len,
+                    lane,
+                    lanes,
+                    _borrow: std::marker::PhantomData,
+                },
+            );
+        });
+    }
+
     /// Element-sharded parallel loop: calls `f(i, &mut items[i])` once per
     /// element, one job per element. Safe for the same reason as
     /// [`for_rows`](Self::for_rows): every element is owned by exactly one
@@ -438,6 +516,59 @@ impl Pool {
             let item = unsafe { &mut *ptr.add(i) };
             f(i, item);
         });
+    }
+}
+
+/// One lane's view of a row-structured buffer inside
+/// [`Pool::for_lane_rows`]: grants mutable access to exactly the rows the
+/// lane owns (`r % lanes == lane`).
+pub struct LaneRows<'a, T> {
+    ptr: SendPtr<T>,
+    rows: usize,
+    row_len: usize,
+    lane: usize,
+    lanes: usize,
+    _borrow: std::marker::PhantomData<&'a mut [T]>,
+}
+
+impl<T> LaneRows<'_, T> {
+    /// This lane's index.
+    #[inline]
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// Total number of lanes.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Whether this lane owns row `r`.
+    #[inline]
+    pub fn owns(&self, r: usize) -> bool {
+        r % self.lanes == self.lane
+    }
+
+    /// Mutably borrows row `r`.
+    ///
+    /// # Panics
+    /// Panics when `r` is out of bounds or not owned by this lane.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        assert!(r < self.rows, "LaneRows: row {r} out of bounds");
+        assert!(
+            self.owns(r),
+            "LaneRows: row {r} is not owned by lane {} of {}",
+            self.lane,
+            self.lanes
+        );
+        // SAFETY: the asserts above guarantee `r` is in bounds and owned by
+        // exactly this lane (rows are partitioned by `r % lanes`), the
+        // caller of `for_lane_rows` holds `&mut out` for the whole `run`,
+        // and `&mut self` prevents this lane from holding two overlapping
+        // row borrows at once.
+        unsafe { self.ptr.slice(r * self.row_len, self.row_len) }
     }
 }
 
@@ -593,6 +724,57 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn for_rows_rejects_ragged_buffers() {
         Pool::serial().for_rows(&mut [0u32; 7], 3, |_, _| {});
+    }
+
+    #[test]
+    fn for_row_chunks_hands_out_disjoint_contiguous_blocks() {
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            let mut out = vec![0u32; 29 * 5];
+            pool.for_row_chunks(&mut out, 5, |r0, block| {
+                assert_eq!(block.len() % 5, 0);
+                for (off, v) in block.iter_mut().enumerate() {
+                    *v += (r0 * 5 + off) as u32;
+                }
+            });
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, i as u32, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_lane_rows_partitions_rows_by_modulus() {
+        for threads in [1usize, 3] {
+            let pool = Pool::new(threads);
+            let mut out = vec![0u32; 13 * 4];
+            pool.for_lane_rows(&mut out, 4, 3, |lane, mut rows| {
+                assert_eq!(rows.lanes(), 3);
+                assert_eq!(rows.lane(), lane);
+                for r in 0..13 {
+                    if rows.owns(r) {
+                        rows.row_mut(r).fill(lane as u32 + 1);
+                    }
+                }
+            });
+            for r in 0..13 {
+                let expect = (r % 3) as u32 + 1;
+                assert!(
+                    out[r * 4..(r + 1) * 4].iter().all(|&v| v == expect),
+                    "threads={threads} row={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned")]
+    fn lane_rows_rejects_foreign_rows() {
+        Pool::serial().for_lane_rows(&mut [0u32; 8], 2, 2, |lane, mut rows| {
+            if lane == 0 {
+                rows.row_mut(1);
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Property-based tests for the blocked matmul microkernels.
+//!
+//! Two families of invariants:
+//!
+//! 1. **Accuracy** — the register-tiled kernels in [`crate::matrix`] must
+//!    match the naive triple-loop kernels in [`crate::reference`] within a
+//!    `1e-4` relative tolerance on arbitrary shapes, including K/N that are
+//!    not multiples of the 4/8/16 tile edges (the remainder paths are the
+//!    easiest place for a blocking bug to hide).
+//! 2. **Determinism** — the pooled variants must be *bit-identical* to the
+//!    serial kernels for any thread count, because owner-computes
+//!    row-blocking runs the same microkernel over the same reduction order.
+
+#![cfg(test)]
+
+use crate::matrix::Matrix;
+use crate::pool::Pool;
+use crate::reference;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random matrix whose entries vary with `salt`.
+fn salted(rows: usize, cols: usize, salt: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let x = (r * 131 + c * 37) as f32 * 0.0137 + salt as f32 * 0.11;
+        (x.sin() * 1.7) + (x * 0.31).cos() * 0.4
+    })
+}
+
+/// Relative mismatch check: `|x - y| <= tol * max(1, |x|, |y|)`.
+fn rel_close(x: f32, y: f32, tol: f32) -> bool {
+    (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_matmul_accumulate_matches_reference(
+        m in 1usize..37,
+        k in 1usize..90,
+        n in 1usize..70,
+        salt in 0u64..1000,
+        alpha in -2.0f32..2.0,
+    ) {
+        let a = salted(m, k, salt);
+        let b = salted(k, n, salt ^ 0x5a);
+        let seed = salted(m, n, salt ^ 0xc3);
+        let mut blocked = seed.clone();
+        let mut naive = seed;
+        a.matmul_accumulate(&b, &mut blocked, alpha);
+        reference::matmul_accumulate(&a, &b, &mut naive, alpha);
+        for (i, (x, y)) in blocked.as_slice().iter().zip(naive.as_slice()).enumerate() {
+            prop_assert!(
+                rel_close(*x, *y, 1e-4),
+                "matmul_accumulate {m}x{k}x{n} alpha={alpha} diverged at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_at_b_accumulate_matches_reference(
+        m in 1usize..50,
+        k in 1usize..37,
+        n in 1usize..70,
+        salt in 0u64..1000,
+        alpha in -2.0f32..2.0,
+    ) {
+        // out[k, n] += alpha * a[m, k]^T * b[m, n]
+        let a = salted(m, k, salt);
+        let b = salted(m, n, salt ^ 0x5a);
+        let seed = salted(k, n, salt ^ 0xc3);
+        let mut blocked = seed.clone();
+        let mut naive = seed;
+        a.matmul_at_b_accumulate(&b, &mut blocked, alpha);
+        reference::matmul_at_b_accumulate(&a, &b, &mut naive, alpha);
+        for (i, (x, y)) in blocked.as_slice().iter().zip(naive.as_slice()).enumerate() {
+            prop_assert!(
+                rel_close(*x, *y, 1e-4),
+                "matmul_at_b_accumulate {m}x{k}x{n} alpha={alpha} diverged at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_a_bt_matches_reference(
+        m in 1usize..37,
+        k in 1usize..90,
+        n in 1usize..37,
+        salt in 0u64..1000,
+    ) {
+        // out[m, n] = a[m, k] * b[n, k]^T
+        let a = salted(m, k, salt);
+        let b = salted(n, k, salt ^ 0x5a);
+        let mut blocked = Matrix::zeros(m, n);
+        let mut naive = Matrix::zeros(m, n);
+        a.matmul_a_bt_into(&b, &mut blocked);
+        reference::matmul_a_bt_into(&a, &b, &mut naive);
+        for (i, (x, y)) in blocked.as_slice().iter().zip(naive.as_slice()).enumerate() {
+            prop_assert!(
+                rel_close(*x, *y, 1e-4),
+                "matmul_a_bt {m}x{k}x{n} diverged at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_tiled_kernels_bitwise_equal_serial(
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+        salt in 0u64..1000,
+        threads in 1usize..5,
+    ) {
+        let pool = Pool::new(threads);
+        let a = salted(m, k, salt);
+        let b = salted(k, n, salt ^ 0x11);
+        let mut serial = salted(m, n, salt ^ 0x22);
+        let mut pooled = serial.clone();
+        a.matmul_accumulate(&b, &mut serial, 0.75);
+        a.matmul_accumulate_pooled(&b, &mut pooled, 0.75, &pool);
+        for (i, (s, p)) in serial.as_slice().iter().zip(pooled.as_slice()).enumerate() {
+            prop_assert!(
+                s.to_bits() == p.to_bits(),
+                "matmul_accumulate {m}x{k}x{n} t={threads} not bitwise at {i}: {s} vs {p}"
+            );
+        }
+        let g = salted(m, n, salt ^ 0x33);
+        let mut serial_t = salted(k, n, salt ^ 0x44);
+        let mut pooled_t = serial_t.clone();
+        a.matmul_at_b_accumulate(&g, &mut serial_t, -0.5);
+        a.matmul_at_b_accumulate_pooled(&g, &mut pooled_t, -0.5, &pool);
+        for (i, (s, p)) in serial_t.as_slice().iter().zip(pooled_t.as_slice()).enumerate() {
+            prop_assert!(
+                s.to_bits() == p.to_bits(),
+                "matmul_at_b {m}x{k}x{n} t={threads} not bitwise at {i}: {s} vs {p}"
+            );
+        }
+        let bt = salted(n, k, salt ^ 0x55);
+        let mut serial_bt = Matrix::zeros(m, n);
+        let mut pooled_bt = Matrix::zeros(m, n);
+        a.matmul_a_bt_into(&bt, &mut serial_bt);
+        a.matmul_a_bt_into_pooled(&bt, &mut pooled_bt, &pool);
+        for (i, (s, p)) in serial_bt.as_slice().iter().zip(pooled_bt.as_slice()).enumerate() {
+            prop_assert!(
+                s.to_bits() == p.to_bits(),
+                "matmul_a_bt {m}x{k}x{n} t={threads} not bitwise at {i}: {s} vs {p}"
+            );
+        }
+    }
+}

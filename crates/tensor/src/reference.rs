@@ -1,0 +1,151 @@
+//! Naive reference matmul kernels.
+//!
+//! These are the straightforward triple-loop implementations the optimized
+//! kernels in [`crate::matrix`] are validated against. They are kept out of
+//! the hot path on purpose: proptests compare the blocked kernels to these
+//! within tolerance, and the `perf` benchmark binary times both so the
+//! blocked-vs-naive gap stays visible in the committed trajectory.
+//!
+//! Unlike the pre-blocking production kernels, these have no
+//! `if scaled == 0.0 { continue }` fast-path: skipping a zero multiplier is
+//! not IEEE-neutral (`0.0 * inf` must produce NaN, and `-0.0 + 0.0` must
+//! produce `0.0`), so the reference spells out every multiply-add.
+
+use crate::matrix::Matrix;
+
+/// `out += alpha * a * b` — naive `i-k-j` loop.
+///
+/// # Panics
+/// Panics on any dimension mismatch.
+pub fn matmul_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix, alpha: f32) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "reference matmul: inner dimensions differ"
+    );
+    assert_eq!(
+        out.rows(),
+        a.rows(),
+        "reference matmul: output row count mismatch"
+    );
+    assert_eq!(
+        out.cols(),
+        b.cols(),
+        "reference matmul: output col count mismatch"
+    );
+    let n = b.cols();
+    for r in 0..a.rows() {
+        let a_row = a.row(r);
+        let out_row = out.row_mut(r);
+        for (k, &a_rk) in a_row.iter().enumerate() {
+            let scaled = alpha * a_rk;
+            let b_row = &b.as_slice()[k * n..(k + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += scaled * bv;
+            }
+        }
+    }
+}
+
+/// `out += alpha * a^T * b` — naive loop, `r` outermost so each output
+/// element accumulates its `r` contributions in ascending order.
+///
+/// # Panics
+/// Panics on any dimension mismatch.
+pub fn matmul_at_b_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix, alpha: f32) {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "reference matmul_at_b: row counts differ"
+    );
+    assert_eq!(
+        out.rows(),
+        a.cols(),
+        "reference matmul_at_b: output row count mismatch"
+    );
+    assert_eq!(
+        out.cols(),
+        b.cols(),
+        "reference matmul_at_b: output col count mismatch"
+    );
+    let n = b.cols();
+    for r in 0..a.rows() {
+        let a_row = a.row(r);
+        let b_row = &b.as_slice()[r * n..(r + 1) * n];
+        for (k, &a_rk) in a_row.iter().enumerate() {
+            let scaled = alpha * a_rk;
+            let out_row = out.row_mut(k);
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += scaled * bv;
+            }
+        }
+    }
+}
+
+/// `out = a * b^T` — naive per-element ascending-`k` dot products.
+///
+/// # Panics
+/// Panics on any dimension mismatch.
+pub fn matmul_a_bt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "reference matmul_a_bt: col counts differ"
+    );
+    assert_eq!(
+        out.rows(),
+        a.rows(),
+        "reference matmul_a_bt: output row count mismatch"
+    );
+    assert_eq!(
+        out.cols(),
+        b.rows(),
+        "reference matmul_a_bt: output col count mismatch"
+    );
+    for r in 0..a.rows() {
+        let a_row = a.row(r);
+        let out_row = out.row_mut(r);
+        for (c, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(c);
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reference_matmul_matches_allocating_matmul() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = init::uniform(&mut rng, 7, 5, -1.0, 1.0);
+        let b = init::uniform(&mut rng, 5, 9, -1.0, 1.0);
+        let expected = a.matmul(&b);
+        let mut out = Matrix::zeros(7, 9);
+        matmul_accumulate(&a, &b, &mut out, 1.0);
+        for (x, y) in out.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn reference_propagates_nan_through_zero_coefficients() {
+        // A zero row in `a` multiplied against an inf entry of `b` must
+        // produce NaN in the whole output row (0 * inf = NaN).
+        let a = Matrix::from_fn(1, 2, |_, _| 0.0);
+        let mut b = Matrix::zeros(2, 3);
+        b.row_mut(0)[1] = f32::INFINITY;
+        let mut out = Matrix::zeros(1, 3);
+        matmul_accumulate(&a, &b, &mut out, 1.0);
+        assert!(out.row(0)[1].is_nan(), "0 * inf must be NaN");
+        assert_eq!(out.row(0)[0], 0.0);
+    }
+}
