@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use optinter_core::net::DataDims;
 use optinter_core::{Architecture, Method, OptInterConfig, OptInterNet, Supernet};
-use optinter_data::{BatchIter, Profile};
+use optinter_data::{BatchIter, BatchStream, Profile};
 use optinter_models::{build_model, BaselineConfig, ModelKind};
 use optinter_nn::{Adam, EmbeddingTable};
 use optinter_tensor::{init, reference, Matrix, Pool};
@@ -215,12 +215,42 @@ fn bench_train_steps(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_assembly");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
+    let bundle = Profile::AvazuLike.bundle_with_rows(4_000, 11);
+    let train = bundle.split.train.clone();
+    // One shuffled pass over the training split at batch 256: the
+    // allocating iterator vs the recycled-buffer stream (serial, so the
+    // comparison isolates allocation cost from overlap).
+    group.bench_function("alloc_per_batch", |b| {
+        b.iter(|| {
+            for batch in BatchIter::new(&bundle.data, train.clone(), 256, Some(42)) {
+                std::hint::black_box(batch.len());
+            }
+        });
+    });
+    group.bench_function("recycled_stream", |b| {
+        b.iter(|| {
+            BatchStream::new(&bundle.data, train.clone(), 256, Some(42))
+                .prefetch(false)
+                .for_each(|batch| {
+                    std::hint::black_box(batch.len());
+                });
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_matmul,
     bench_embedding,
     bench_gumbel_and_auc,
     bench_generation,
-    bench_train_steps
+    bench_train_steps,
+    bench_batch_assembly
 );
 criterion_main!(benches);

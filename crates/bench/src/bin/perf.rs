@@ -6,14 +6,18 @@
 //! runs it before and after and appends a labelled entry, so regressions
 //! and wins stay visible in-repo. The workload is fixed: the matmul shapes
 //! of a batch-256 MLP step (including the 256x720x64 forward product), the
-//! sparse embedding accumulate/update path, and one full training step of
-//! the search-stage supernet and the fixed-architecture OptInterNet at 1, 2
-//! and 4 threads.
+//! sparse embedding accumulate/update path, one full training step of the
+//! search-stage supernet and the fixed-architecture OptInterNet at 1, 2
+//! and 4 threads, and the input pipeline on the AvazuLike profile
+//! (cross-vocabulary build, row encoding, batch assembly, and full epochs
+//! with/without the prefetching stream).
 //!
 //! Usage: `cargo run --release -p optinter-bench --bin perf -- [--quick]
-//! [--label NAME] [--out PATH]`. `--quick` shrinks iteration counts to a
-//! smoke run (seconds, used by CI to catch kernels that panic on odd
-//! shapes); the JSON is still written.
+//! [--label NAME] [--out PATH] [--no-prefetch]`. `--quick` shrinks
+//! iteration counts to a smoke run (seconds, used by CI to catch kernels
+//! that panic on odd shapes); the JSON is still written. `--no-prefetch`
+//! runs the epoch measurements without assembly/compute overlap (the
+//! stream rows are then labelled `stream_serial`), for A/B comparisons.
 
 use optinter_bench::perf::{self, PerfOptions};
 
@@ -24,6 +28,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => opts.quick = true,
+            "--no-prefetch" => opts.prefetch = false,
             "--label" => {
                 if let Some(v) = args.get(i + 1) {
                     opts.label = v.clone();

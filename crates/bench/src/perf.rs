@@ -7,7 +7,8 @@
 
 use optinter_core::net::DataDims;
 use optinter_core::{Architecture, Method, OptInterConfig, OptInterNet, Supernet};
-use optinter_data::{Batch, BatchIter, Profile};
+use optinter_data::cross::{raw_cross, CrossVocab};
+use optinter_data::{Batch, BatchIter, BatchStream, Profile, Schema, SyntheticGenerator};
 use optinter_nn::{Adam, EmbeddingTable};
 use optinter_tensor::{init, Matrix, Pool};
 use rand::rngs::StdRng;
@@ -24,6 +25,10 @@ pub struct PerfOptions {
     pub quick: bool,
     /// Output JSON path.
     pub out: String,
+    /// Overlap batch assembly with compute in the epoch measurements
+    /// (`--no-prefetch` disables it for A/B runs; the affected rows are
+    /// labelled `stream_serial` instead of `prefetch`).
+    pub prefetch: bool,
 }
 
 impl Default for PerfOptions {
@@ -32,6 +37,7 @@ impl Default for PerfOptions {
             label: "dev".to_string(),
             quick: false,
             out: "results/BENCH_substrate.json".to_string(),
+            prefetch: true,
         }
     }
 }
@@ -83,6 +89,25 @@ pub struct TrainRow {
     pub last_loss: f32,
 }
 
+/// Input-pipeline measurement on the AvazuLike profile (10 fields, 45
+/// pairs): cross-vocabulary build, row encoding, batch assembly, and full
+/// training epochs with and without the prefetching stream.
+#[derive(Debug, Clone, Serialize)]
+pub struct InputRow {
+    /// Measured operation (`cross_vocab_build`, `encode_rows`,
+    /// `batch_assembly`, `epoch_optinternet`, `epoch_supernet`).
+    pub op: String,
+    /// Variant (`hashmap_reference`/`open_addressing`, `serial`/`pooled`,
+    /// `alloc_per_batch`/`recycled`, `batchiter`/`prefetch`).
+    pub variant: String,
+    /// Worker threads (1 = serial).
+    pub threads: usize,
+    /// Median wall-clock per call (per epoch for the epoch ops).
+    pub ns_per_call: f64,
+    /// Raw/encoded/trained rows processed per second.
+    pub rows_per_sec: f64,
+}
+
 /// One labelled perf run (an element of the JSON trajectory array).
 #[derive(Debug, Clone, Serialize)]
 pub struct PerfEntry {
@@ -96,6 +121,8 @@ pub struct PerfEntry {
     pub embedding: Vec<EmbeddingRow>,
     /// End-to-end train-step measurements.
     pub train_step: Vec<TrainRow>,
+    /// Input-pipeline measurements.
+    pub input: Vec<InputRow>,
 }
 
 /// Median nanoseconds per call of `f` over `samples` timed runs.
@@ -276,6 +303,273 @@ fn bench_train_steps(quick: bool) -> Vec<TrainRow> {
     rows
 }
 
+/// The pre-open-addressing cross-vocabulary build (per-pair SipHash
+/// `HashMap` counting, sorted id assignment into a second `HashMap`), kept
+/// here as the before-side of the `cross_vocab_build` and `encode_rows`
+/// comparisons. Returns the per-pair id maps and the total vocabulary size
+/// (the latter feeds a divergence check against the production path).
+#[allow(clippy::type_complexity)]
+fn reference_cross_vocab(
+    schema: &Schema,
+    rows: &[u32],
+    min_count: u32,
+) -> (Vec<std::collections::HashMap<u64, u32>>, u32) {
+    use std::collections::HashMap;
+    let indexer = schema.pairs();
+    let m = schema.num_fields();
+    let n = rows.len() / m;
+    let mut maps = Vec::with_capacity(indexer.num_pairs());
+    let mut total = 0u32;
+    for (i, j) in indexer.iter() {
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for r in 0..n {
+            *counts
+                .entry(raw_cross(rows[r * m + i], rows[r * m + j]))
+                .or_insert(0) += 1;
+        }
+        // lint: allow(hash-iter, reason="collected and sorted before id assignment; bench reference path")
+        let mut kept: Vec<u64> = counts
+            .iter()
+            .filter(|&(_, &c)| c >= min_count)
+            .map(|(&v, _)| v)
+            .collect();
+        kept.sort_unstable();
+        let ids: HashMap<u64, u32> = kept
+            .iter()
+            .enumerate()
+            .map(|(idx, &v)| (v, idx as u32 + 1))
+            .collect();
+        total += kept.len() as u32 + 1; // +1 for the OOV bucket
+        maps.push(ids);
+    }
+    (maps, total)
+}
+
+/// The pre-open-addressing row encoder: per-pair global offset plus a
+/// SipHash `HashMap` lookup per cross value.
+fn reference_encode_rows(
+    schema: &Schema,
+    maps: &[std::collections::HashMap<u64, u32>],
+    rows: &[u32],
+) -> Vec<u32> {
+    let indexer = schema.pairs();
+    let m = schema.num_fields();
+    let np = indexer.num_pairs();
+    let n = rows.len() / m;
+    let mut offsets = Vec::with_capacity(np);
+    let mut offset = 0u32;
+    for ids in maps {
+        offsets.push(offset);
+        offset += ids.len() as u32 + 1;
+    }
+    let mut out = vec![0u32; n * np];
+    for r in 0..n {
+        let row = &rows[r * m..(r + 1) * m];
+        for (p, (i, j)) in indexer.iter().enumerate() {
+            let raw = raw_cross(row[i], row[j]);
+            out[r * np + p] = offsets[p] + maps[p].get(&raw).copied().unwrap_or(0);
+        }
+    }
+    out
+}
+
+/// Input-pipeline measurements on the AvazuLike profile. The epoch ops use
+/// an intentionally small network (embedding dims 4/2, one hidden layer of
+/// 16) so batch assembly is a visible fraction of the step — the regime
+/// the prefetcher targets.
+fn bench_input(quick: bool, prefetch: bool) -> Vec<InputRow> {
+    let samples = if quick { 2 } else { 12 };
+    let n_raw = if quick { 4_000 } else { 40_000 };
+    let min_count = Profile::AvazuLike.min_count();
+    let raw = SyntheticGenerator::new(Profile::AvazuLike.spec()).generate(n_raw, 11);
+    let mut rows = Vec::new();
+
+    // Cross-vocabulary build: historical HashMap path vs the open-addressing
+    // table, serial and pair-sharded.
+    let (ref_maps, expected_total) = reference_cross_vocab(&raw.schema, &raw.rows, min_count);
+    let built_total = CrossVocab::build(&raw.schema, &raw.rows, min_count).total();
+    assert_eq!(
+        built_total, expected_total,
+        "open-addressing cross vocabulary diverges from the HashMap reference"
+    );
+    let ns = time_ns(samples, || {
+        std::hint::black_box(reference_cross_vocab(&raw.schema, &raw.rows, min_count).1);
+    });
+    rows.push(InputRow {
+        op: "cross_vocab_build".to_string(),
+        variant: "hashmap_reference".to_string(),
+        threads: 1,
+        ns_per_call: ns,
+        rows_per_sec: n_raw as f64 / (ns * 1e-9),
+    });
+    for threads in [1usize, 2, 4] {
+        let pool = Pool::new(threads);
+        let ns = time_ns(samples, || {
+            std::hint::black_box(
+                CrossVocab::build_with_pool(&raw.schema, &raw.rows, min_count, &pool).total(),
+            );
+        });
+        rows.push(InputRow {
+            op: "cross_vocab_build".to_string(),
+            variant: "open_addressing".to_string(),
+            threads,
+            ns_per_call: ns,
+            rows_per_sec: n_raw as f64 / (ns * 1e-9),
+        });
+    }
+
+    // Row encoding through the built vocabulary: historical HashMap lookup
+    // path, then the production encoder serial and row-sharded.
+    let vocab = CrossVocab::build(&raw.schema, &raw.rows, min_count);
+    assert_eq!(
+        vocab.encode_rows(&raw.schema, &raw.rows),
+        reference_encode_rows(&raw.schema, &ref_maps, &raw.rows),
+        "open-addressing encode diverges from the HashMap reference"
+    );
+    let ns = time_ns(samples, || {
+        std::hint::black_box(reference_encode_rows(&raw.schema, &ref_maps, &raw.rows).len());
+    });
+    rows.push(InputRow {
+        op: "encode_rows".to_string(),
+        variant: "hashmap_reference".to_string(),
+        threads: 1,
+        ns_per_call: ns,
+        rows_per_sec: n_raw as f64 / (ns * 1e-9),
+    });
+    for threads in [1usize, 2, 4] {
+        let pool = Pool::new(threads);
+        let ns = time_ns(samples, || {
+            std::hint::black_box(
+                vocab
+                    .encode_rows_with_pool(&raw.schema, &raw.rows, &pool)
+                    .len(),
+            );
+        });
+        rows.push(InputRow {
+            op: "encode_rows".to_string(),
+            variant: if threads == 1 { "serial" } else { "pooled" }.to_string(),
+            threads,
+            ns_per_call: ns,
+            rows_per_sec: n_raw as f64 / (ns * 1e-9),
+        });
+    }
+
+    // Batch assembly over the encoded dataset: the allocating iterator vs
+    // the recycled-buffer stream (both on the caller thread).
+    let n_encoded = if quick { 2_000 } else { 20_000 };
+    let bundle = Profile::AvazuLike.bundle_with_rows(n_encoded, 11);
+    let train = bundle.split.train.clone();
+    let assembly_samples = if quick { 2 } else { 20 };
+    let ns = time_ns(assembly_samples, || {
+        for batch in BatchIter::new(&bundle.data, train.clone(), 256, Some(42)) {
+            std::hint::black_box(batch.len());
+        }
+    });
+    rows.push(InputRow {
+        op: "batch_assembly".to_string(),
+        variant: "alloc_per_batch".to_string(),
+        threads: 1,
+        ns_per_call: ns,
+        rows_per_sec: train.len() as f64 / (ns * 1e-9),
+    });
+    let ns = time_ns(assembly_samples, || {
+        BatchStream::new(&bundle.data, train.clone(), 256, Some(42))
+            .prefetch(false)
+            .for_each(|batch| {
+                std::hint::black_box(batch.len());
+            });
+    });
+    rows.push(InputRow {
+        op: "batch_assembly".to_string(),
+        variant: "recycled".to_string(),
+        threads: 1,
+        ns_per_call: ns,
+        rows_per_sec: train.len() as f64 / (ns * 1e-9),
+    });
+
+    // Full training epochs: legacy allocating iterator vs the stream. The
+    // stream variant honours `--no-prefetch` so the overlap itself can be
+    // A/B-ed; the row is relabelled so the JSON stays unambiguous.
+    let epoch_samples = if quick { 1 } else { 5 };
+    let stream_variant = if prefetch {
+        "prefetch"
+    } else {
+        "stream_serial"
+    };
+    let dims = DataDims::of(&bundle.data);
+    for threads in [1usize, 2, 4] {
+        let cfg = OptInterConfig {
+            seed: 7,
+            num_threads: threads,
+            batch_size: 256,
+            orig_dim: 4,
+            cross_dim: 2,
+            hidden: vec![16],
+            ..OptInterConfig::test_small()
+        };
+        let arch = Architecture::new(
+            (0..dims.num_pairs)
+                .map(|p| Method::from_index(p % 3))
+                .collect(),
+        );
+        let mut net = OptInterNet::new(cfg.clone(), dims.clone(), arch);
+        let ns = time_ns(epoch_samples, || {
+            for batch in BatchIter::new(&bundle.data, train.clone(), cfg.batch_size, Some(42)) {
+                std::hint::black_box(net.train_batch(&batch));
+            }
+        });
+        rows.push(InputRow {
+            op: "epoch_optinternet".to_string(),
+            variant: "batchiter".to_string(),
+            threads,
+            ns_per_call: ns,
+            rows_per_sec: train.len() as f64 / (ns * 1e-9),
+        });
+        let ns = time_ns(epoch_samples, || {
+            BatchStream::new(&bundle.data, train.clone(), cfg.batch_size, Some(42))
+                .prefetch(prefetch)
+                .for_each(|batch| {
+                    std::hint::black_box(net.train_batch(batch));
+                });
+        });
+        rows.push(InputRow {
+            op: "epoch_optinternet".to_string(),
+            variant: stream_variant.to_string(),
+            threads,
+            ns_per_call: ns,
+            rows_per_sec: train.len() as f64 / (ns * 1e-9),
+        });
+        let mut super_net = Supernet::new(cfg.clone(), dims.clone());
+        let ns = time_ns(epoch_samples, || {
+            for batch in BatchIter::new(&bundle.data, train.clone(), cfg.batch_size, Some(42)) {
+                std::hint::black_box(super_net.train_batch(&batch, 0.7));
+            }
+        });
+        rows.push(InputRow {
+            op: "epoch_supernet".to_string(),
+            variant: "batchiter".to_string(),
+            threads,
+            ns_per_call: ns,
+            rows_per_sec: train.len() as f64 / (ns * 1e-9),
+        });
+        let ns = time_ns(epoch_samples, || {
+            BatchStream::new(&bundle.data, train.clone(), cfg.batch_size, Some(42))
+                .prefetch(prefetch)
+                .for_each(|batch| {
+                    std::hint::black_box(super_net.train_batch(batch, 0.7));
+                });
+        });
+        rows.push(InputRow {
+            op: "epoch_supernet".to_string(),
+            variant: stream_variant.to_string(),
+            threads,
+            ns_per_call: ns,
+            rows_per_sec: train.len() as f64 / (ns * 1e-9),
+        });
+    }
+    rows
+}
+
 /// Appends `entry` to the JSON trajectory array at `path`, creating the
 /// file (and `results/`) when missing. The existing file is spliced
 /// textually — the serde shim has no parser — so entries written by older
@@ -344,12 +638,20 @@ pub fn run(opts: &PerfOptions) {
             row.model, row.threads, row.ns_per_step, row.rows_per_sec, row.last_loss
         );
     }
+    let input = bench_input(opts.quick, opts.prefetch);
+    for row in &input {
+        println!(
+            "  {:>18} {:>17} t{}: {:>12.0} ns  {:>10.0} rows/s",
+            row.op, row.variant, row.threads, row.ns_per_call, row.rows_per_sec
+        );
+    }
     let entry = PerfEntry {
         label: opts.label.clone(),
         quick: opts.quick,
         matmul,
         embedding,
         train_step,
+        input,
     };
     append_entry(&opts.out, &entry);
 }

@@ -68,6 +68,11 @@ pub struct OptInterConfig {
     /// Intra-batch data-parallel threads (1 = serial). Any value produces
     /// bit-identical results; see `optinter_tensor::pool`.
     pub num_threads: usize,
+    /// Overlap batch assembly with compute via the prefetching
+    /// `optinter_data::BatchStream` (default on). Either value produces
+    /// bit-identical results; off keeps training entirely on the caller
+    /// thread (A/B timing, single-threaded debugging).
+    pub prefetch: bool,
 }
 
 impl Default for OptInterConfig {
@@ -96,6 +101,7 @@ impl Default for OptInterConfig {
             },
             seed: 0,
             num_threads: 1,
+            prefetch: true,
         }
     }
 }
@@ -155,6 +161,15 @@ impl OptInterConfig {
     pub fn with_threads(&self, num_threads: usize) -> Self {
         Self {
             num_threads,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with input prefetching toggled (the bench
+    /// `--no-prefetch` A/B switch).
+    pub fn with_prefetch(&self, prefetch: bool) -> Self {
+        Self {
+            prefetch,
             ..self.clone()
         }
     }

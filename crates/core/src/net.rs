@@ -199,6 +199,11 @@ impl OptInterNet {
         &self.architecture
     }
 
+    /// The configuration the network was built with.
+    pub fn config(&self) -> &OptInterConfig {
+        &self.cfg
+    }
+
     /// MLP input dimension.
     pub fn input_dim(&self) -> usize {
         self.input_dim

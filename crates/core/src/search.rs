@@ -13,7 +13,7 @@ use crate::arch::{Architecture, Method};
 use crate::config::OptInterConfig;
 use crate::net::DataDims;
 use crate::supernet::Supernet;
-use optinter_data::{BatchIter, DatasetBundle};
+use optinter_data::{Batch, BatchIter, BatchStream, DatasetBundle};
 use optinter_nn::bce_with_logits;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -100,17 +100,19 @@ pub fn joint_search_supernet(
     for epoch in 0..epochs {
         let mut epoch_loss = 0.0f32;
         let mut count = 0usize;
-        for batch in BatchIter::new(
+        BatchStream::new(
             &bundle.data,
             bundle.split.train.clone(),
             cfg.batch_size,
             Some(cfg.seed.wrapping_add(epoch as u64)),
-        ) {
+        )
+        .prefetch(cfg.prefetch)
+        .for_each(|batch| {
             let tau = cfg.tau.at(seen as f32 / total_batches as f32);
-            epoch_loss += net.train_batch(&batch, tau);
+            epoch_loss += net.train_batch(batch, tau);
             seen += 1;
             count += 1;
-        }
+        });
         final_loss = epoch_loss / count.max(1) as f32;
     }
     let outcome = SearchOutcome {
@@ -135,6 +137,10 @@ fn bilevel_search(bundle: &DatasetBundle, cfg: &OptInterConfig) -> SearchOutcome
     let total = (train_batches * epochs).max(1);
     let mut seen = 0usize;
     let mut final_loss = 0.0f32;
+    // The α updates pull validation batches on demand (they interleave with
+    // the Θ steps, so they cannot be prefetched); a single recycled buffer
+    // keeps the pull path allocation-free.
+    let mut val_buf = Batch::empty();
     for epoch in 0..epochs {
         // A fresh (cycling) validation stream per epoch for the α updates.
         let mut val_iter = BatchIter::new(
@@ -145,44 +151,42 @@ fn bilevel_search(bundle: &DatasetBundle, cfg: &OptInterConfig) -> SearchOutcome
         );
         let mut epoch_loss = 0.0f32;
         let mut count = 0usize;
-        for batch in BatchIter::new(
+        BatchStream::new(
             &bundle.data,
             bundle.split.train.clone(),
             cfg.batch_size,
             Some(cfg.seed.wrapping_add(epoch as u64)),
-        ) {
+        )
+        .prefetch(cfg.prefetch)
+        .for_each(|batch| {
             let tau = cfg.tau.at(seen as f32 / total as f32);
             // Θ step on the training batch.
-            let logits = net.forward(&batch, tau, true);
+            let logits = net.forward(batch, tau, true);
             let (l, grad) = bce_with_logits(&logits, &batch.labels);
-            net.backward(&batch, &grad);
+            net.backward(batch, &grad);
             net.step_weights();
             net.zero_arch_grad();
             epoch_loss += l;
             // α step on a validation batch.
-            let val_batch = match val_iter.next() {
-                Some(vb) => vb,
-                None => {
-                    val_iter = BatchIter::new(
-                        &bundle.data,
-                        bundle.split.val.clone(),
-                        cfg.batch_size,
-                        Some(cfg.seed.wrapping_add(2000 + seen as u64)),
-                    );
-                    match val_iter.next() {
-                        Some(vb) => vb,
-                        None => continue, // empty validation split
-                    }
+            if !val_iter.next_into(&mut val_buf) {
+                val_iter = BatchIter::new(
+                    &bundle.data,
+                    bundle.split.val.clone(),
+                    cfg.batch_size,
+                    Some(cfg.seed.wrapping_add(2000 + seen as u64)),
+                );
+                if !val_iter.next_into(&mut val_buf) {
+                    return; // empty validation split
                 }
-            };
-            let logits = net.forward(&val_batch, tau, true);
-            let (_, grad) = bce_with_logits(&logits, &val_batch.labels);
-            net.backward(&val_batch, &grad);
+            }
+            let logits = net.forward(&val_buf, tau, true);
+            let (_, grad) = bce_with_logits(&logits, &val_buf.labels);
+            net.backward(&val_buf, &grad);
             net.step_arch();
             net.zero_weight_grads();
             seen += 1;
             count += 1;
-        }
+        });
         final_loss = epoch_loss / count.max(1) as f32;
     }
     SearchOutcome {

@@ -6,7 +6,7 @@ use crate::config::OptInterConfig;
 use crate::net::{DataDims, OptInterNet};
 use crate::search::{search_architecture, SearchStrategy};
 use crate::supernet::Supernet;
-use optinter_data::{BatchIter, DatasetBundle};
+use optinter_data::{BatchStream, DatasetBundle};
 use optinter_metrics::{evaluate, EvalResult};
 use std::ops::Range;
 
@@ -34,10 +34,12 @@ pub fn evaluate_net(
 ) -> EvalResult {
     let mut probs = Vec::with_capacity(range.len());
     let mut labels = Vec::with_capacity(range.len());
-    for batch in BatchIter::new(&bundle.data, range, batch_size, None) {
-        probs.extend(net.predict(&batch));
-        labels.extend_from_slice(&batch.labels);
-    }
+    BatchStream::new(&bundle.data, range, batch_size, None)
+        .prefetch(net.config().prefetch)
+        .for_each(|batch| {
+            probs.extend(net.predict(batch));
+            labels.extend_from_slice(&batch.labels);
+        });
     evaluate(&probs, &labels)
 }
 
@@ -52,10 +54,12 @@ pub fn evaluate_supernet(
 ) -> EvalResult {
     let mut probs = Vec::with_capacity(range.len());
     let mut labels = Vec::with_capacity(range.len());
-    for batch in BatchIter::new(&bundle.data, range, batch_size, None) {
-        probs.extend(net.predict(&batch, tau));
-        labels.extend_from_slice(&batch.labels);
-    }
+    BatchStream::new(&bundle.data, range, batch_size, None)
+        .prefetch(net.config().prefetch)
+        .for_each(|batch| {
+            probs.extend(net.predict(batch, tau));
+            labels.extend_from_slice(&batch.labels);
+        });
     evaluate(&probs, &labels)
 }
 
@@ -80,15 +84,17 @@ pub fn train_fixed(
     for epoch in 0..cfg.retrain_epochs.max(1) {
         let mut epoch_loss = 0.0f32;
         let mut count = 0usize;
-        for batch in BatchIter::new(
+        BatchStream::new(
             &bundle.data,
             bundle.split.train.clone(),
             cfg.batch_size,
             Some(cfg.seed.wrapping_add(0x5EED + epoch as u64)),
-        ) {
-            epoch_loss += net.train_batch(&batch);
+        )
+        .prefetch(cfg.prefetch)
+        .for_each(|batch| {
+            epoch_loss += net.train_batch(batch);
             count += 1;
-        }
+        });
         final_loss = epoch_loss / count.max(1) as f32;
         let val = evaluate_net(&mut net, bundle, bundle.split.val.clone(), cfg.batch_size);
         if val.auc > best_val {

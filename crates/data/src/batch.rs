@@ -23,6 +23,18 @@ pub struct Batch {
 }
 
 impl Batch {
+    /// An empty batch buffer, ready to be filled via [`Batch::fill`] (or
+    /// [`BatchIter::next_into`]) without shape assumptions.
+    pub fn empty() -> Self {
+        Self {
+            fields: Vec::new(),
+            cross: Vec::new(),
+            labels: Vec::new(),
+            num_fields: 0,
+            num_pairs: 0,
+        }
+    }
+
     /// Batch size.
     pub fn len(&self) -> usize {
         self.labels.len()
@@ -32,20 +44,43 @@ impl Batch {
     pub fn is_empty(&self) -> bool {
         self.labels.is_empty()
     }
+
+    /// Gathers the given dataset rows into this buffer, reusing its
+    /// capacity. After the first few calls a recycled buffer has reached
+    /// the steady-state batch size and filling makes no heap allocations.
+    pub fn fill(&mut self, data: &EncodedDataset, rows: &[usize], include_cross: bool) {
+        self.num_fields = data.num_fields;
+        self.num_pairs = data.num_pairs;
+        self.fields.clear();
+        self.cross.clear();
+        self.labels.clear();
+        for &r in rows {
+            self.fields.extend_from_slice(data.row_fields(r));
+            if include_cross {
+                self.cross.extend_from_slice(data.row_cross(r));
+            }
+            self.labels.push(data.labels[r]);
+        }
+    }
 }
 
 /// Iterator producing gathered mini-batches over a row range.
 pub struct BatchIter<'a> {
     data: &'a EncodedDataset,
     order: Vec<usize>,
-    batch_size: usize,
-    cursor: usize,
+    /// Per-batch spans into `order`, precomputed once at construction.
+    spans: Vec<Range<usize>>,
+    next_span: usize,
     include_cross: bool,
 }
 
 impl<'a> BatchIter<'a> {
     /// Creates an iterator over `range`. With `shuffle_seed = Some(s)` the
     /// row order is a seeded permutation; with `None` it is sequential.
+    ///
+    /// Batch *contents* are a pure function of `(shuffle_seed, range,
+    /// batch_size)` — the prefetching stream in [`crate::prefetch`] relies
+    /// on this to overlap assembly with compute without changing results.
     pub fn new(
         data: &'a EncodedDataset,
         range: Range<usize>,
@@ -59,11 +94,14 @@ impl<'a> BatchIter<'a> {
             let mut rng = StdRng::seed_from_u64(seed);
             order.shuffle(&mut rng);
         }
+        let spans = (0..order.len().div_ceil(batch_size))
+            .map(|b| b * batch_size..((b + 1) * batch_size).min(order.len()))
+            .collect();
         Self {
             data,
             order,
-            batch_size,
-            cursor: 0,
+            spans,
+            next_span: 0,
             include_cross: true,
         }
     }
@@ -77,7 +115,21 @@ impl<'a> BatchIter<'a> {
 
     /// Number of batches this iterator will yield.
     pub fn num_batches(&self) -> usize {
-        self.order.len().div_ceil(self.batch_size)
+        self.spans.len()
+    }
+
+    /// Gathers the next batch into `out`, reusing its capacity. Returns
+    /// `false` (leaving `out` untouched) once the iterator is exhausted.
+    ///
+    /// This is the zero-allocation face of the iterator: recycled buffers
+    /// fed back through it never reallocate in steady state.
+    pub fn next_into(&mut self, out: &mut Batch) -> bool {
+        let Some(span) = self.spans.get(self.next_span) else {
+            return false;
+        };
+        self.next_span += 1;
+        out.fill(self.data, &self.order[span.clone()], self.include_cross);
+        true
     }
 }
 
@@ -85,35 +137,8 @@ impl Iterator for BatchIter<'_> {
     type Item = Batch;
 
     fn next(&mut self) -> Option<Batch> {
-        if self.cursor >= self.order.len() {
-            return None;
-        }
-        let end = (self.cursor + self.batch_size).min(self.order.len());
-        let rows = &self.order[self.cursor..end];
-        self.cursor = end;
-        let m = self.data.num_fields;
-        let p = self.data.num_pairs;
-        let mut fields = Vec::with_capacity(rows.len() * m);
-        let mut cross = Vec::with_capacity(if self.include_cross {
-            rows.len() * p
-        } else {
-            0
-        });
-        let mut labels = Vec::with_capacity(rows.len());
-        for &r in rows {
-            fields.extend_from_slice(self.data.row_fields(r));
-            if self.include_cross {
-                cross.extend_from_slice(self.data.row_cross(r));
-            }
-            labels.push(self.data.labels[r]);
-        }
-        Some(Batch {
-            fields,
-            cross,
-            labels,
-            num_fields: m,
-            num_pairs: p,
-        })
+        let mut batch = Batch::empty();
+        self.next_into(&mut batch).then_some(batch)
     }
 }
 
@@ -188,6 +213,36 @@ mod tests {
             .unwrap();
         assert!(batch.cross.is_empty());
         assert_eq!(batch.fields.len(), 10 * 3);
+    }
+
+    #[test]
+    fn next_into_matches_iterator_and_reuses_capacity() {
+        let b = bundle();
+        let batches: Vec<Batch> = BatchIter::new(&b.data, 0..50, 7, Some(3)).collect();
+        let mut iter = BatchIter::new(&b.data, 0..50, 7, Some(3));
+        let mut buf = Batch::empty();
+        let mut seen = 0usize;
+        let mut caps = (0, 0, 0);
+        while iter.next_into(&mut buf) {
+            assert_eq!(buf.fields, batches[seen].fields);
+            assert_eq!(buf.cross, batches[seen].cross);
+            assert_eq!(buf.labels, batches[seen].labels);
+            if seen == 1 {
+                caps = (
+                    buf.fields.capacity(),
+                    buf.cross.capacity(),
+                    buf.labels.capacity(),
+                );
+            } else if seen > 1 {
+                // Steady state: refills never grow the recycled buffer.
+                assert_eq!(buf.fields.capacity(), caps.0, "batch {seen}");
+                assert_eq!(buf.cross.capacity(), caps.1, "batch {seen}");
+                assert_eq!(buf.labels.capacity(), caps.2, "batch {seen}");
+            }
+            seen += 1;
+        }
+        assert_eq!(seen, batches.len());
+        assert!(!iter.next_into(&mut buf), "exhausted iterator must refuse");
     }
 
     #[test]

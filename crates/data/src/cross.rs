@@ -6,9 +6,20 @@
 //! frequency threshold collapse into a per-pair OOV bucket — this is where
 //! the memorized method's feature-sparsity problem (paper Sec. I) shows up,
 //! so the thresholding is faithful to the paper's preprocessing.
+//!
+//! Building these vocabularies is the "#cross values" blow-up the paper
+//! flags as the cost of memorization: every row contributes `M(M-1)/2`
+//! pair combinations. [`CrossVocab::build_with_pool`] shards that loop over
+//! *pairs* — each worker owns a disjoint pair subset and builds its
+//! [`PairVocab`]s alone, so there is no cross-thread merge and the result
+//! is bit-identical to the serial build for any thread count. Hashing uses
+//! the seed-free open-addressing [`OpenTable`] instead of SipHash
+//! `HashMap`s; id assignment still sorts kept raw values, so encoded
+//! datasets are byte-identical to the historical `HashMap` path.
 
+use crate::hash::OpenTable;
 use crate::schema::{PairIndexer, Schema};
-use std::collections::HashMap;
+use optinter_tensor::Pool;
 
 /// Raw cross value of a pair: a single u64 combining both raw field values.
 #[inline]
@@ -16,34 +27,54 @@ pub fn raw_cross(vi: u32, vj: u32) -> u64 {
     ((vi as u64) << 32) | vj as u64
 }
 
+/// Calls `f(p, raw)` for every pair `p` of `row` in flat pair order, with
+/// `raw` the pair's raw cross value.
+///
+/// This is the single definition of the pair-iteration pattern shared by
+/// vocabulary counting and both encode paths, so the hash and gather sides
+/// can never drift apart.
+#[inline]
+pub fn for_pair_crosses(indexer: PairIndexer, row: &[u32], mut f: impl FnMut(usize, u64)) {
+    debug_assert_eq!(row.len(), indexer.num_fields());
+    for (p, (i, j)) in indexer.iter().enumerate() {
+        f(p, raw_cross(row[i], row[j]));
+    }
+}
+
 /// Vocabulary of one pair's cross-product values.
 #[derive(Debug, Clone)]
 pub struct PairVocab {
-    map: HashMap<u64, u32>,
+    /// Raw cross value -> local id (1-based; 0 is the OOV bucket, which is
+    /// exactly what [`OpenTable::get`] returns for absent keys).
+    map: OpenTable,
     size: u32,
 }
 
 impl PairVocab {
-    fn from_counts(counts: &HashMap<u64, u32>, min_count: u32) -> Self {
-        // lint: allow(hash-iter, reason="collected into a Vec and fully sorted before id assignment")
-        let mut kept: Vec<u64> = counts
-            .iter()
-            .filter(|&(_, &c)| c >= min_count)
-            .map(|(&v, _)| v)
-            .collect();
-        kept.sort_unstable(); // deterministic: ids are a pure function of the counts
-        let map: HashMap<u64, u32> = kept
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i as u32 + 1))
-            .collect();
-        let size = map.len() as u32 + 1;
+    /// The empty vocabulary: every value is OOV.
+    fn empty() -> Self {
+        Self {
+            map: OpenTable::new(),
+            size: 1,
+        }
+    }
+
+    fn from_counts(counts: &OpenTable, min_count: u32) -> Self {
+        // Sorted ascending: ids are a pure function of the counts,
+        // independent of insertion order, matching the historical
+        // sort-then-assign HashMap path byte for byte.
+        let kept = counts.keys_with_at_least(min_count);
+        let mut map = OpenTable::with_capacity(kept.len());
+        for (i, &v) in kept.iter().enumerate() {
+            map.insert(v, i as u32 + 1);
+        }
+        let size = kept.len() as u32 + 1;
         Self { map, size }
     }
 
     /// Local id of a raw cross value (0 = OOV).
     pub fn encode(&self, raw: u64) -> u32 {
-        self.map.get(&raw).copied().unwrap_or(0)
+        self.map.get(raw)
     }
 
     /// Vocabulary size including OOV.
@@ -64,23 +95,34 @@ pub struct CrossVocab {
 impl CrossVocab {
     /// Builds cross vocabularies by counting pair combinations over the
     /// given (training) rows. `rows` is row-major `[N * M]` of raw values.
+    ///
+    /// Serial convenience wrapper around [`CrossVocab::build_with_pool`].
     pub fn build(schema: &Schema, rows: &[u32], min_count: u32) -> Self {
+        Self::build_with_pool(schema, rows, min_count, &Pool::serial())
+    }
+
+    /// Builds cross vocabularies with the pair-count loop sharded across
+    /// `pool` (owner computes: each pair's count table and vocabulary are
+    /// built entirely by one worker, so the result is bit-identical to the
+    /// serial build for any thread count).
+    pub fn build_with_pool(schema: &Schema, rows: &[u32], min_count: u32, pool: &Pool) -> Self {
         let m = schema.num_fields();
         assert_eq!(rows.len() % m, 0, "cross vocab: ragged rows");
         let n = rows.len() / m;
         let indexer = schema.pairs();
         let np = indexer.num_pairs();
-        let mut counts: Vec<HashMap<u64, u32>> = vec![HashMap::new(); np];
-        for r in 0..n {
-            let row = &rows[r * m..(r + 1) * m];
-            for (p, (i, j)) in indexer.iter().enumerate() {
-                *counts[p].entry(raw_cross(row[i], row[j])).or_insert(0) += 1;
+        let mut pairs: Vec<PairVocab> = (0..np).map(|_| PairVocab::empty()).collect();
+        pool.for_each_mut(&mut pairs, |p, pv| {
+            let (i, j) = indexer.pair_at(p);
+            // Distinct combinations are bounded by the row count; pre-sizing
+            // to it (capped so giant datasets don't over-allocate) makes the
+            // counting pass rehash-free.
+            let mut counts = OpenTable::with_capacity(n.min(1 << 20));
+            for r in 0..n {
+                counts.add(raw_cross(rows[r * m + i], rows[r * m + j]), 1);
             }
-        }
-        let pairs: Vec<PairVocab> = counts
-            .iter()
-            .map(|c| PairVocab::from_counts(c, min_count))
-            .collect();
+            *pv = PairVocab::from_counts(&counts, min_count);
+        });
         let mut offsets = Vec::with_capacity(np);
         let mut total = 0u32;
         for pv in &pairs {
@@ -120,18 +162,35 @@ impl CrossVocab {
         self.offsets[p] + self.pairs[p].encode(raw_cross(vi, vj))
     }
 
+    /// Encodes one row's cross features into `out` (length `P`).
+    #[inline]
+    fn encode_row_into(&self, row: &[u32], out: &mut [u32]) {
+        debug_assert_eq!(out.len(), self.num_pairs());
+        for_pair_crosses(self.indexer, row, |p, raw| {
+            out[p] = self.offsets[p] + self.pairs[p].encode(raw);
+        });
+    }
+
     /// Encodes every row's cross features: output is row-major `[N * P]`.
+    ///
+    /// Serial convenience wrapper around
+    /// [`CrossVocab::encode_rows_with_pool`].
     pub fn encode_rows(&self, schema: &Schema, rows: &[u32]) -> Vec<u32> {
+        self.encode_rows_with_pool(schema, rows, &Pool::serial())
+    }
+
+    /// Encodes every row's cross features with output rows sharded across
+    /// `pool`. Each output row is written by exactly one worker, so the
+    /// result is byte-identical to the serial encode.
+    pub fn encode_rows_with_pool(&self, schema: &Schema, rows: &[u32], pool: &Pool) -> Vec<u32> {
         let m = schema.num_fields();
         assert_eq!(rows.len() % m, 0, "encode_rows: ragged rows");
         let n = rows.len() / m;
-        let mut out = Vec::with_capacity(n * self.num_pairs());
-        for r in 0..n {
-            let row = &rows[r * m..(r + 1) * m];
-            for (p, (i, j)) in self.indexer.iter().enumerate() {
-                out.push(self.encode(p, row[i], row[j]));
-            }
-        }
+        let np = self.num_pairs();
+        let mut out = vec![0u32; n * np];
+        pool.for_rows(&mut out, np.max(1), |r, out_row| {
+            self.encode_row_into(&rows[r * m..(r + 1) * m], out_row);
+        });
         out
     }
 }
@@ -194,5 +253,105 @@ mod tests {
         let rows = vec![1, 1, 1];
         let cv = CrossVocab::build(&schema, &rows, 1);
         assert_eq!(cv.encode(0, 3, 3), cv.offset(0));
+    }
+
+    /// Reference build matching the historical `HashMap` implementation:
+    /// per-pair SipHash counting, sort kept values, assign ids 1..=K.
+    fn reference_build_sizes_and_encode(
+        schema: &Schema,
+        rows: &[u32],
+        min_count: u32,
+    ) -> (Vec<u32>, Vec<u32>) {
+        use std::collections::HashMap;
+        let m = schema.num_fields();
+        let n = rows.len() / m;
+        let indexer = schema.pairs();
+        let np = indexer.num_pairs();
+        let mut counts: Vec<HashMap<u64, u32>> = vec![HashMap::new(); np];
+        for r in 0..n {
+            let row = &rows[r * m..(r + 1) * m];
+            for (p, (i, j)) in indexer.iter().enumerate() {
+                *counts[p].entry(raw_cross(row[i], row[j])).or_insert(0) += 1;
+            }
+        }
+        let maps: Vec<HashMap<u64, u32>> = counts
+            .iter()
+            .map(|c| {
+                // lint: allow(hash-iter, reason="test reference path; collected and sorted before id assignment")
+                let mut kept: Vec<u64> = c
+                    .iter()
+                    .filter(|&(_, &cnt)| cnt >= min_count)
+                    .map(|(&v, _)| v)
+                    .collect();
+                kept.sort_unstable();
+                kept.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, i as u32 + 1))
+                    .collect()
+            })
+            .collect();
+        let sizes: Vec<u32> = maps.iter().map(|m| m.len() as u32 + 1).collect();
+        let mut offsets = vec![0u32; np];
+        let mut total = 0u32;
+        for (p, &s) in sizes.iter().enumerate() {
+            offsets[p] = total;
+            total += s;
+        }
+        let mut encoded = Vec::with_capacity(n * np);
+        for r in 0..n {
+            let row = &rows[r * m..(r + 1) * m];
+            for (p, (i, j)) in indexer.iter().enumerate() {
+                let raw = raw_cross(row[i], row[j]);
+                encoded.push(offsets[p] + maps[p].get(&raw).copied().unwrap_or(0));
+            }
+        }
+        (sizes, encoded)
+    }
+
+    #[test]
+    fn open_addressing_build_matches_hashmap_reference() {
+        let schema = Schema::new(vec![7, 5, 9, 3]);
+        // Deterministic pseudo-random rows with plenty of repeats.
+        let rows: Vec<u32> = (0..400 * 4)
+            .map(|i| {
+                let h = crate::hash::splitmix64(i as u64 ^ 0xC0FFEE);
+                (h % [7, 5, 9, 3][i % 4]) as u32
+            })
+            .collect();
+        for min_count in [1, 2, 4] {
+            let cv = CrossVocab::build(&schema, &rows, min_count);
+            let (ref_sizes, ref_encoded) =
+                reference_build_sizes_and_encode(&schema, &rows, min_count);
+            assert_eq!(cv.sizes(), ref_sizes, "min_count={min_count}");
+            assert_eq!(
+                cv.encode_rows(&schema, &rows),
+                ref_encoded,
+                "min_count={min_count}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_build_and_encode_are_byte_identical_to_serial() {
+        let schema = Schema::new(vec![11, 6, 4, 8, 5]);
+        let rows: Vec<u32> = (0..300 * 5)
+            .map(|i| {
+                let h = crate::hash::splitmix64(i as u64 ^ 0xFEED);
+                (h % [11, 6, 4, 8, 5][i % 5]) as u32
+            })
+            .collect();
+        let serial = CrossVocab::build(&schema, &rows, 2);
+        let serial_encoded = serial.encode_rows(&schema, &rows);
+        for threads in [2usize, 4] {
+            let pool = Pool::new(threads);
+            let cv = CrossVocab::build_with_pool(&schema, &rows, 2, &pool);
+            assert_eq!(cv.sizes(), serial.sizes(), "threads={threads}");
+            assert_eq!(cv.total(), serial.total(), "threads={threads}");
+            assert_eq!(
+                cv.encode_rows_with_pool(&schema, &rows, &pool),
+                serial_encoded,
+                "threads={threads}"
+            );
+        }
     }
 }

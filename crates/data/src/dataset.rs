@@ -4,6 +4,7 @@
 use crate::cross::CrossVocab;
 use crate::generator::{PlantedKind, RawDataset, SyntheticGenerator, SyntheticSpec};
 use crate::vocab::Vocabulary;
+use optinter_tensor::Pool;
 use std::ops::Range;
 
 /// Train / validation / test row ranges.
@@ -68,13 +69,29 @@ pub struct EncodedDataset {
 impl EncodedDataset {
     /// Encodes a raw dataset. Vocabularies are built on `vocab_rows`
     /// (normally the training range) and applied everywhere.
+    ///
+    /// Serial convenience wrapper around [`EncodedDataset::encode_with_pool`].
     pub fn encode(raw: &RawDataset, vocab_rows: Range<usize>, min_count: u32) -> Self {
+        Self::encode_with_pool(raw, vocab_rows, min_count, &Pool::serial())
+    }
+
+    /// Encodes a raw dataset with the cross-vocabulary build and the cross
+    /// encode sharded across `pool`. The result is byte-identical to the
+    /// serial [`EncodedDataset::encode`] for any thread count (owner
+    /// computes: every pair vocabulary and every output row is produced by
+    /// exactly one worker).
+    pub fn encode_with_pool(
+        raw: &RawDataset,
+        vocab_rows: Range<usize>,
+        min_count: u32,
+        pool: &Pool,
+    ) -> Self {
         let m = raw.schema.num_fields();
         let train_slice = &raw.rows[vocab_rows.start * m..vocab_rows.end * m];
         let vocab = Vocabulary::build(&raw.schema, train_slice, min_count);
-        let cross_vocab = CrossVocab::build(&raw.schema, train_slice, min_count);
+        let cross_vocab = CrossVocab::build_with_pool(&raw.schema, train_slice, min_count, pool);
         let fields = vocab.encode_rows(&raw.rows);
-        let cross = cross_vocab.encode_rows(&raw.schema, &raw.rows);
+        let cross = cross_vocab.encode_rows_with_pool(&raw.schema, &raw.rows, pool);
         let labels = raw.labels.iter().map(|&y| y as f32).collect();
         Self {
             num_fields: m,

@@ -46,6 +46,174 @@ pub fn hash_normal(seed: u64, parts: &[u64]) -> f32 {
     (u1 + u2 + u3 + u4 - 2.0) * (3.0f32).sqrt()
 }
 
+/// Deterministic open-addressing map from `u64` keys to **non-zero** `u32`
+/// values.
+///
+/// This replaces `std::collections::HashMap` on the cross-vocabulary hot
+/// path. `std`'s map is doubly unsuitable there: SipHash burns ~2ns per
+/// probe on a workload that does hundreds of millions of them, and its
+/// per-process random seed makes iteration order nondeterministic (which is
+/// why the old code had to collect-and-sort behind a lint waiver). This
+/// table uses a fixed, seed-free multiply-shift hash, so both lookups and
+/// slot layout are pure functions of the inserted data — byte-identical
+/// across runs, machines and thread counts.
+///
+/// The value 0 is reserved as the empty-slot marker. That restriction is
+/// free for both users: pair-combination *counts* are at least 1, and
+/// cross-value *ids* start at 1 because local id 0 is the OOV bucket — so
+/// [`OpenTable::get`] returning 0 for an absent key is exactly the OOV
+/// encoding.
+#[derive(Debug, Clone)]
+pub struct OpenTable {
+    /// Slot keys; meaningful only where the matching value is non-zero.
+    keys: Vec<u64>,
+    /// Slot values; 0 marks an empty slot.
+    vals: Vec<u32>,
+    /// `64 - log2(capacity)`, the multiply-shift right-shift amount.
+    shift: u32,
+    len: usize,
+}
+
+/// Fibonacci multiplier (2^64 / φ), the classic multiply-shift constant.
+const MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl OpenTable {
+    /// Initial capacity (slots). Must be a power of two.
+    const MIN_CAPACITY: usize = 16;
+
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty table pre-sized so that up to `keys` distinct keys
+    /// can be inserted without a growth rehash. `keys` is a hint: it bounds
+    /// nothing, it only avoids rehashing below it.
+    pub fn with_capacity(keys: usize) -> Self {
+        // Smallest power of two holding `keys` under the 7/8 load cap.
+        let mut cap = Self::MIN_CAPACITY;
+        while cap * 7 < keys * 8 {
+            cap *= 2;
+        }
+        Self {
+            keys: vec![0; cap],
+            vals: vec![0; cap],
+            shift: 64 - cap.trailing_zeros(),
+            len: 0,
+        }
+    }
+
+    /// Number of occupied slots (distinct keys).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no key has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Home slot of a key: fixed multiply-shift into the top bits.
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(MULT) >> self.shift) as usize
+    }
+
+    /// Index of the slot holding `key`, or of the empty slot where it would
+    /// be inserted (linear probing; the load factor cap guarantees one).
+    #[inline]
+    fn probe(&self, key: u64) -> usize {
+        let mask = self.keys.len() - 1;
+        let mut i = self.home(key);
+        loop {
+            if self.vals[i] == 0 || self.keys[i] == key {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Value stored for `key`; 0 when absent.
+    #[inline]
+    pub fn get(&self, key: u64) -> u32 {
+        let i = self.probe(key);
+        if self.vals[i] == 0 {
+            0
+        } else {
+            self.vals[i]
+        }
+    }
+
+    /// Adds `delta` to the count stored for `key`, inserting it at `delta`
+    /// when absent. `delta` must be non-zero.
+    #[inline]
+    pub fn add(&mut self, key: u64, delta: u32) {
+        debug_assert!(delta != 0, "OpenTable: zero is the empty marker");
+        let i = self.probe(key);
+        if self.vals[i] == 0 {
+            self.keys[i] = key;
+            self.vals[i] = delta;
+            self.len += 1;
+            self.maybe_grow();
+        } else {
+            self.vals[i] += delta;
+        }
+    }
+
+    /// Inserts `key -> val` (non-zero), overwriting any previous value.
+    #[inline]
+    pub fn insert(&mut self, key: u64, val: u32) {
+        debug_assert!(val != 0, "OpenTable: zero is the empty marker");
+        let i = self.probe(key);
+        if self.vals[i] == 0 {
+            self.keys[i] = key;
+            self.vals[i] = val;
+            self.len += 1;
+            self.maybe_grow();
+        } else {
+            self.vals[i] = val;
+        }
+    }
+
+    /// Doubles the capacity once occupancy passes 7/8 of the slots.
+    fn maybe_grow(&mut self) {
+        if self.len * 8 <= self.keys.len() * 7 {
+            return;
+        }
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_cap]);
+        self.shift = 64 - new_cap.trailing_zeros();
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if v != 0 {
+                let i = self.probe(k);
+                self.keys[i] = k;
+                self.vals[i] = v;
+            }
+        }
+    }
+
+    /// All keys whose value is at least `min`, **sorted ascending** — the
+    /// deterministic order downstream id assignment relies on.
+    pub fn keys_with_at_least(&self, min: u32) -> Vec<u64> {
+        let mut kept: Vec<u64> = self
+            .keys
+            .iter()
+            .zip(&self.vals)
+            .filter(|&(_, &v)| v >= min)
+            .map(|(&k, _)| k)
+            .collect();
+        kept.sort_unstable();
+        kept
+    }
+}
+
+impl Default for OpenTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +252,98 @@ mod tests {
         let var = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn open_table_counts_and_lookups() {
+        let mut t = OpenTable::new();
+        assert!(t.is_empty());
+        t.add(42, 1);
+        t.add(42, 1);
+        t.add(7, 3);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(42), 2);
+        assert_eq!(t.get(7), 3);
+        assert_eq!(t.get(8), 0, "absent key reads as 0");
+    }
+
+    #[test]
+    fn open_table_insert_overwrites() {
+        let mut t = OpenTable::new();
+        t.insert(5, 10);
+        t.insert(5, 11);
+        assert_eq!(t.get(5), 11);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn open_table_grows_past_initial_capacity() {
+        let mut t = OpenTable::new();
+        // Far beyond MIN_CAPACITY, including keys that collide in the top
+        // bits before growth.
+        for k in 0..10_000u64 {
+            t.add(k.wrapping_mul(0x10_0000_0001), 1);
+            t.add(k.wrapping_mul(0x10_0000_0001), 2);
+        }
+        assert_eq!(t.len(), 10_000);
+        for k in 0..10_000u64 {
+            assert_eq!(t.get(k.wrapping_mul(0x10_0000_0001)), 3, "key {k}");
+        }
+    }
+
+    #[test]
+    fn open_table_matches_std_hashmap() {
+        use std::collections::HashMap;
+        let mut t = OpenTable::new();
+        let mut reference: HashMap<u64, u32> = HashMap::new();
+        // A deterministic pseudo-random workload with repeats.
+        for i in 0..5_000u64 {
+            let key = splitmix64(i) % 700;
+            t.add(key, 1);
+            *reference.entry(key).or_insert(0) += 1;
+        }
+        assert_eq!(t.len(), reference.len());
+        // lint: allow(hash-iter, reason="test-only comparison; every entry is checked independently")
+        for (&k, &v) in &reference {
+            assert_eq!(t.get(k), v, "key {k}");
+        }
+        // Threshold + sort must agree with the sorted HashMap view.
+        let mut expect: Vec<u64> = reference
+            .iter()
+            .filter(|&(_, &v)| v >= 8)
+            .map(|(&k, _)| k)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(t.keys_with_at_least(8), expect);
+    }
+
+    #[test]
+    fn with_capacity_presizes_and_still_grows() {
+        let mut t = OpenTable::with_capacity(1000);
+        let cap = t.keys.len();
+        assert!(cap * 7 >= 1000 * 8 / 8 * 8 && cap.is_power_of_two());
+        for k in 0..1000u64 {
+            t.add(splitmix64(k), 1);
+        }
+        assert_eq!(t.keys.len(), cap, "no rehash below the hint");
+        for k in 1000..5000u64 {
+            t.add(splitmix64(k), 1);
+        }
+        assert_eq!(t.len(), 5000, "growth past the hint still works");
+        for k in 0..5000u64 {
+            assert_eq!(t.get(splitmix64(k)), 1);
+        }
+    }
+
+    #[test]
+    fn open_table_keys_with_at_least_handles_zero_key() {
+        // Key 0 is a valid raw cross value (both field values 0) and must
+        // not be confused with the empty-slot marker.
+        let mut t = OpenTable::new();
+        t.add(0, 5);
+        assert_eq!(t.get(0), 5);
+        assert_eq!(t.keys_with_at_least(1), vec![0]);
+        assert_eq!(t.keys_with_at_least(6), Vec::<u64>::new());
     }
 
     #[test]

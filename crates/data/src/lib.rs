@@ -20,7 +20,8 @@
 //!
 //! Entry points: [`profiles`] for the four scaled-down dataset profiles,
 //! [`generator::SyntheticGenerator`] for custom workloads,
-//! [`dataset::EncodedDataset`] + [`batch::BatchIter`] for training.
+//! [`dataset::EncodedDataset`] + [`prefetch::BatchStream`] for training
+//! (with [`batch::BatchIter`] as the underlying pull-based iterator).
 
 #![forbid(unsafe_code)]
 
@@ -29,6 +30,7 @@ pub mod cross;
 pub mod dataset;
 pub mod generator;
 pub mod hash;
+pub mod prefetch;
 pub mod profiles;
 pub mod schema;
 pub mod stats;
@@ -41,5 +43,6 @@ mod proptests;
 pub use batch::{Batch, BatchIter};
 pub use dataset::{DatasetBundle, EncodedDataset, Split};
 pub use generator::{PlantedKind, RawDataset, SyntheticGenerator, SyntheticSpec};
+pub use prefetch::BatchStream;
 pub use profiles::Profile;
 pub use schema::{PairIndexer, Schema};

@@ -84,6 +84,96 @@ proptest! {
     }
 
     #[test]
+    fn open_addressing_cross_vocab_matches_hashmap_reference(
+        rows in proptest::collection::vec(0u32..9, 40..160),
+        min_count in 1u32..4,
+    ) {
+        use std::collections::HashMap;
+        let m = 3usize;
+        let n = rows.len() / m;
+        let rows = &rows[..n * m];
+        let schema = Schema::new(vec![9, 9, 9]);
+        let cv = CrossVocab::build(&schema, rows, min_count);
+        // Reference: the historical per-pair SipHash HashMap build with
+        // sorted id assignment.
+        let indexer = schema.pairs();
+        let mut counts: Vec<HashMap<u64, u32>> = vec![HashMap::new(); indexer.num_pairs()];
+        for r in 0..n {
+            let row = &rows[r * m..(r + 1) * m];
+            for (p, (i, j)) in indexer.iter().enumerate() {
+                *counts[p]
+                    .entry(crate::cross::raw_cross(row[i], row[j]))
+                    .or_insert(0) += 1;
+            }
+        }
+        let mut expected_encoded = vec![0u32; n * indexer.num_pairs()];
+        let mut offset = 0u32;
+        for (p, c) in counts.iter().enumerate() {
+            // lint: allow(hash-iter, reason="test reference path; collected and sorted before id assignment")
+            let mut kept: Vec<u64> = c
+                .iter()
+                .filter(|&(_, &cnt)| cnt >= min_count)
+                .map(|(&v, _)| v)
+                .collect();
+            kept.sort_unstable();
+            let ids: HashMap<u64, u32> = kept
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32 + 1))
+                .collect();
+            prop_assert_eq!(cv.sizes()[p], kept.len() as u32 + 1, "pair {} size", p);
+            prop_assert_eq!(cv.offset(p), offset, "pair {} offset", p);
+            let (fi, fj) = indexer.pair_at(p);
+            for r in 0..n {
+                let row = &rows[r * m..(r + 1) * m];
+                let raw = crate::cross::raw_cross(row[fi], row[fj]);
+                expected_encoded[r * indexer.num_pairs() + p] =
+                    offset + ids.get(&raw).copied().unwrap_or(0);
+            }
+            offset += kept.len() as u32 + 1;
+        }
+        prop_assert_eq!(cv.encode_rows(&schema, rows), expected_encoded);
+    }
+
+    #[test]
+    fn prefetched_stream_is_identical_to_serial_stream(
+        n in 20usize..200,
+        batch_size in 1usize..50,
+        shuffle in proptest::bool::ANY,
+        seed_value in 0u64..20,
+    ) {
+        let seed = shuffle.then_some(seed_value);
+        let spec = SyntheticSpec {
+            name: "stream-prop".into(),
+            seed: 2,
+            cardinalities: vec![5, 4],
+            zipf_exponent: 0.6,
+            planted: vec![PlantedKind::Factorized],
+            field_weight_std: 0.2,
+            memorized_std: 0.5,
+            factorized_std: 0.5,
+            latent_dim: 2,
+            nonlinear_std: 0.0,
+            noise_std: 0.0,
+            target_pos_ratio: 0.3,
+        };
+        let bundle = DatasetBundle::from_spec(spec, 250, 1, 3);
+        let range = 0..n.min(bundle.len());
+        let mut collected = [Vec::new(), Vec::new()];
+        for (slot, prefetch) in [false, true].into_iter().enumerate() {
+            crate::prefetch::BatchStream::new(&bundle.data, range.clone(), batch_size, seed)
+                .prefetch(prefetch)
+                .for_each(|b| {
+                    collected[slot].extend_from_slice(&b.fields);
+                    collected[slot].extend_from_slice(&b.cross);
+                    collected[slot].extend(b.labels.iter().map(|&y| y as u32));
+                });
+        }
+        let [serial, prefetched] = collected;
+        prop_assert_eq!(serial, prefetched);
+    }
+
+    #[test]
     fn batches_partition_any_range(
         n in 10usize..200,
         batch_size in 1usize..40,

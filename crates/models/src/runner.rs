@@ -1,7 +1,7 @@
 //! Shared training / evaluation loops for the model zoo.
 
 use crate::traits::{BaselineConfig, CtrModel};
-use optinter_data::{BatchIter, DatasetBundle};
+use optinter_data::{BatchStream, DatasetBundle};
 use optinter_metrics::{evaluate, EvalResult};
 use std::ops::Range;
 
@@ -27,17 +27,18 @@ pub fn train_model(model: &mut dyn CtrModel, bundle: &DatasetBundle, cfg: &Basel
     for epoch in 0..cfg.epochs.max(1) {
         let mut sum = 0.0f32;
         let mut count = 0usize;
-        let iter = BatchIter::new(
+        BatchStream::new(
             &bundle.data,
             bundle.split.train.clone(),
             cfg.batch_size,
             Some(cfg.seed.wrapping_add(0xE90C + epoch as u64)),
         )
-        .with_cross(model.needs_cross());
-        for batch in iter {
-            sum += model.train_batch(&batch);
+        .with_cross(model.needs_cross())
+        .prefetch(cfg.prefetch)
+        .for_each(|batch| {
+            sum += model.train_batch(batch);
             count += 1;
-        }
+        });
         final_loss = sum / count.max(1) as f32;
         model.end_epoch(epoch);
     }
@@ -53,12 +54,15 @@ pub fn evaluate_model(
 ) -> EvalResult {
     let mut probs = Vec::with_capacity(range.len());
     let mut labels = Vec::with_capacity(range.len());
-    let iter =
-        BatchIter::new(&bundle.data, range, batch_size, None).with_cross(model.needs_cross());
-    for batch in iter {
-        probs.extend(model.predict(&batch));
-        labels.extend_from_slice(&batch.labels);
-    }
+    // No config reaches this signature, so evaluation stays on the caller
+    // thread (the recycled-buffer serial path of the stream).
+    BatchStream::new(&bundle.data, range, batch_size, None)
+        .with_cross(model.needs_cross())
+        .prefetch(false)
+        .for_each(|batch| {
+            probs.extend(model.predict(batch));
+            labels.extend_from_slice(&batch.labels);
+        });
     evaluate(&probs, &labels)
 }
 
@@ -77,17 +81,18 @@ pub fn run_model(
     for epoch in 0..cfg.epochs.max(1) {
         let mut sum = 0.0f32;
         let mut count = 0usize;
-        let iter = BatchIter::new(
+        BatchStream::new(
             &bundle.data,
             bundle.split.train.clone(),
             cfg.batch_size,
             Some(cfg.seed.wrapping_add(0xE90C + epoch as u64)),
         )
-        .with_cross(model.needs_cross());
-        for batch in iter {
-            sum += model.train_batch(&batch);
+        .with_cross(model.needs_cross())
+        .prefetch(cfg.prefetch)
+        .for_each(|batch| {
+            sum += model.train_batch(batch);
             count += 1;
-        }
+        });
         final_train_loss = sum / count.max(1) as f32;
         model.end_epoch(epoch);
         let val = evaluate_model(model, bundle, bundle.split.val.clone(), cfg.batch_size);

@@ -98,6 +98,10 @@ pub struct BaselineConfig {
     /// Intra-batch data-parallel threads for deep classifiers (1 = serial).
     /// Any value produces bit-identical results; see `optinter_tensor::pool`.
     pub num_threads: usize,
+    /// Overlap batch assembly with compute via the prefetching
+    /// `optinter_data::BatchStream` (default on). Either value produces
+    /// bit-identical results.
+    pub prefetch: bool,
 }
 
 impl Default for BaselineConfig {
@@ -116,6 +120,7 @@ impl Default for BaselineConfig {
             grda_c: 5e-4,
             grda_mu: 0.8,
             num_threads: 1,
+            prefetch: true,
         }
     }
 }
@@ -146,6 +151,15 @@ impl BaselineConfig {
     pub fn with_threads(&self, num_threads: usize) -> Self {
         Self {
             num_threads,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with input prefetching toggled (the bench
+    /// `--no-prefetch` A/B switch).
+    pub fn with_prefetch(&self, prefetch: bool) -> Self {
+        Self {
+            prefetch,
             ..self.clone()
         }
     }

@@ -237,15 +237,17 @@ fn cmd_evaluate(opts: &Options) -> Result<(), String> {
     load_net_weights(&mut net, &path).map_err(|e| format!("{}: {e}", path.display()))?;
     let mut probs = Vec::new();
     let mut labels = Vec::new();
-    for batch in optinter::data::BatchIter::new(
+    optinter::data::BatchStream::new(
         &bundle.data,
         bundle.split.test.clone(),
         cfg.batch_size,
         None,
-    ) {
-        probs.extend(net.predict(&batch));
+    )
+    .prefetch(cfg.prefetch)
+    .for_each(|batch| {
+        probs.extend(net.predict(batch));
         labels.extend_from_slice(&batch.labels);
-    }
+    });
     let eval = optinter::metrics::evaluate(&probs, &labels);
     let ece = expected_calibration_error(&probs, &labels, 10);
     println!(

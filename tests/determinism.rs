@@ -6,8 +6,11 @@
 //! tolerance. See `optinter_tensor::pool` and DESIGN.md for why this holds.
 
 use optinter_core::net::DataDims;
-use optinter_core::{Architecture, FactFn, Method, OptInterConfig, OptInterNet, Supernet};
-use optinter_data::{Batch, BatchIter, DatasetBundle, Profile};
+use optinter_core::{
+    search_architecture, Architecture, FactFn, Method, OptInterConfig, OptInterNet, SearchStrategy,
+    Supernet,
+};
+use optinter_data::{Batch, BatchIter, BatchStream, DatasetBundle, Profile};
 
 const THREADS: [usize; 3] = [1, 2, 4];
 
@@ -108,6 +111,135 @@ fn fixed_architecture_training_is_bit_identical_across_thread_counts() {
             bits(&reference),
             bits(&probs),
             "fixed-arch predictions diverge at {threads} threads"
+        );
+    }
+}
+
+/// Trains a fixed mixed architecture through `BatchStream` with prefetching
+/// toggled and returns (per-batch loss bits, predicted probabilities).
+fn train_fixed_stream(
+    bundle: &DatasetBundle,
+    threads: usize,
+    prefetch: bool,
+) -> (Vec<u32>, Vec<f32>) {
+    let dims = DataDims::of(&bundle.data);
+    let arch = Architecture::new(
+        (0..dims.num_pairs)
+            .map(|p| Method::from_index(p % 3))
+            .collect(),
+    );
+    let cfg = OptInterConfig {
+        seed: 5,
+        num_threads: threads,
+        fact_fn: FactFn::Generalized,
+        ..OptInterConfig::test_small()
+    };
+    let mut net = OptInterNet::new(cfg, dims, arch);
+    let mut losses = Vec::new();
+    for epoch in 0..2u64 {
+        BatchStream::new(&bundle.data, 0..1_000, 128, Some(epoch))
+            .prefetch(prefetch)
+            .for_each(|batch| {
+                losses.push(net.train_batch(batch).to_bits());
+            });
+    }
+    (losses, net.predict(&test_batch(bundle)))
+}
+
+#[test]
+fn fixed_arch_prefetch_toggle_is_bit_identical_across_thread_counts() {
+    let bundle = bundle();
+    for &threads in &THREADS {
+        let (loss_off, probs_off) = train_fixed_stream(&bundle, threads, false);
+        let (loss_on, probs_on) = train_fixed_stream(&bundle, threads, true);
+        assert!(!loss_off.is_empty());
+        assert_eq!(
+            loss_off, loss_on,
+            "per-batch losses diverge with prefetching at {threads} threads"
+        );
+        assert_eq!(
+            bits(&probs_off),
+            bits(&probs_on),
+            "predictions diverge with prefetching at {threads} threads"
+        );
+    }
+}
+
+/// Trains the supernet through `BatchStream` with prefetching toggled and
+/// returns (per-batch loss bits, predicted probabilities, alpha probs).
+fn train_supernet_stream(
+    bundle: &DatasetBundle,
+    threads: usize,
+    prefetch: bool,
+) -> (Vec<u32>, Vec<f32>, Vec<[f32; 3]>) {
+    let dims = DataDims::of(&bundle.data);
+    let cfg = OptInterConfig {
+        seed: 3,
+        num_threads: threads,
+        fact_fn: FactFn::Generalized,
+        ..OptInterConfig::test_small()
+    };
+    let mut net = Supernet::new(cfg, dims);
+    let mut losses = Vec::new();
+    for epoch in 0..2u64 {
+        BatchStream::new(&bundle.data, 0..1_000, 128, Some(epoch))
+            .prefetch(prefetch)
+            .for_each(|batch| {
+                losses.push(net.train_batch(batch, 0.7).to_bits());
+            });
+    }
+    let probs = net.predict(&test_batch(bundle), 0.7);
+    let alpha = net.arch_probs();
+    (losses, probs, alpha)
+}
+
+#[test]
+fn supernet_prefetch_toggle_is_bit_identical_across_thread_counts() {
+    let bundle = bundle();
+    for &threads in &THREADS {
+        let (loss_off, probs_off, alpha_off) = train_supernet_stream(&bundle, threads, false);
+        let (loss_on, probs_on, alpha_on) = train_supernet_stream(&bundle, threads, true);
+        assert_eq!(
+            loss_off, loss_on,
+            "supernet per-batch losses diverge with prefetching at {threads} threads"
+        );
+        assert_eq!(
+            bits(&probs_off),
+            bits(&probs_on),
+            "supernet predictions diverge with prefetching at {threads} threads"
+        );
+        for (p, (a, b)) in alpha_off.iter().zip(alpha_on.iter()).enumerate() {
+            assert_eq!(
+                bits(a),
+                bits(b),
+                "alpha probabilities diverge with prefetching at pair {p}, {threads} threads"
+            );
+        }
+    }
+}
+
+/// The full search pipelines must also be unaffected by the prefetch flag:
+/// the selected architecture and final loss are compared bitwise through
+/// the public `search_architecture` entry point.
+#[test]
+fn search_is_bit_identical_with_and_without_prefetching() {
+    let bundle = bundle();
+    for strategy in [SearchStrategy::Joint, SearchStrategy::BiLevel] {
+        let cfg = OptInterConfig {
+            seed: 11,
+            search_epochs: 1,
+            ..OptInterConfig::test_small()
+        };
+        let on = search_architecture(&bundle, &cfg.with_prefetch(true), strategy);
+        let off = search_architecture(&bundle, &cfg.with_prefetch(false), strategy);
+        assert_eq!(
+            on.architecture, off.architecture,
+            "{strategy:?}: selected architecture diverges with prefetching"
+        );
+        assert_eq!(
+            on.final_loss.to_bits(),
+            off.final_loss.to_bits(),
+            "{strategy:?}: final loss diverges with prefetching"
         );
     }
 }
