@@ -13,11 +13,15 @@
 //! with/without the prefetching stream).
 //!
 //! Usage: `cargo run --release -p optinter-bench --bin perf -- [--quick]
-//! [--label NAME] [--out PATH] [--no-prefetch]`. `--quick` shrinks
-//! iteration counts to a smoke run (seconds, used by CI to catch kernels
-//! that panic on odd shapes); the JSON is still written. `--no-prefetch`
-//! runs the epoch measurements without assembly/compute overlap (the
-//! stream rows are then labelled `stream_serial`), for A/B comparisons.
+//! [--label NAME] [--out PATH] [--no-prefetch] [--check-against PATH]`.
+//! `--quick` shrinks iteration counts to a smoke run (seconds, used by CI
+//! to catch kernels that panic on odd shapes); the JSON is still written.
+//! `--no-prefetch` runs the epoch measurements without assembly/compute
+//! overlap (the stream rows are then labelled `stream_serial`), for A/B
+//! comparisons. `--check-against PATH` exits non-zero when any train-step
+//! `rows_per_sec` lands more than 10% below the matching row of the last
+//! entry in PATH (the committed trajectory), so CI catches throughput
+//! regressions, not just panics.
 
 use optinter_bench::perf::{self, PerfOptions};
 
@@ -41,9 +45,18 @@ fn main() {
                     i += 1;
                 }
             }
+            "--check-against" => {
+                if let Some(v) = args.get(i + 1) {
+                    opts.check_against = Some(v.clone());
+                    i += 1;
+                }
+            }
             other => eprintln!("perf: ignoring unknown flag {other}"),
         }
         i += 1;
     }
-    perf::run(&opts);
+    if let Err(e) = perf::run(&opts) {
+        eprintln!("perf: FAILED: {e}");
+        std::process::exit(1);
+    }
 }

@@ -8,8 +8,15 @@
 //! which is differentiable in `a_k`, so the architecture parameters learn
 //! by plain gradient descent jointly with the network weights.
 
-use optinter_tensor::ops::{softmax_backward_slice, softmax_slice};
+use crate::arch::Method;
+use optinter_tensor::ops::{softmax_backward_slice, softmax_into};
 use rand::Rng;
+
+/// Size of the search space per pair: `K = |{memorize, factorize, naive}|`.
+/// Fixed at compile time so a [`GumbelSample`] is a plain value type and
+/// drawing one never touches the heap (the supernet draws one per pair per
+/// step — see `tests/alloc_steady_state.rs`).
+pub const K: usize = Method::ALL.len();
 
 /// Draws one standard Gumbel noise sample.
 #[inline]
@@ -21,28 +28,33 @@ pub fn gumbel_noise(rng: &mut impl Rng) -> f32 {
 
 /// One relaxed selection over `K` candidates: the sampled probabilities and
 /// the cached pieces needed to backpropagate into the logits.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct GumbelSample {
     /// Relaxed probabilities `p_k` (sum to 1).
-    pub probs: Vec<f32>,
+    pub probs: [f32; K],
     tau: f32,
 }
 
 impl GumbelSample {
     /// Samples `p = softmax((logits + g) / tau)` with fresh Gumbel noise.
     pub fn draw(logits: &[f32], tau: f32, rng: &mut impl Rng) -> Self {
-        let perturbed: Vec<f32> = logits.iter().map(|&a| a + gumbel_noise(rng)).collect();
-        let probs = softmax_slice(&perturbed, tau);
+        assert_eq!(logits.len(), K, "expected {K} method logits");
+        let mut perturbed = [0.0f32; K];
+        for (p, &a) in perturbed.iter_mut().zip(logits.iter()) {
+            *p = a + gumbel_noise(rng);
+        }
+        let mut probs = [0.0f32; K];
+        softmax_into(&perturbed, tau, &mut probs);
         Self { probs, tau }
     }
 
     /// Deterministic variant without noise (used at evaluation time when a
     /// soft architecture is still active, and in tests).
     pub fn deterministic(logits: &[f32], tau: f32) -> Self {
-        Self {
-            probs: softmax_slice(logits, tau),
-            tau,
-        }
+        assert_eq!(logits.len(), K, "expected {K} method logits");
+        let mut probs = [0.0f32; K];
+        softmax_into(logits, tau, &mut probs);
+        Self { probs, tau }
     }
 
     /// Backpropagates an upstream gradient on the probabilities into the
@@ -72,6 +84,7 @@ impl TauSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use optinter_tensor::ops::softmax_slice;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -327,7 +327,10 @@ impl OptInterNet {
                                         }
                                     }
                                     FactFn::Generalized => {
-                                        let w = fw_val.expect("generalized weights").row(p);
+                                        let Some(fw) = fw_val else {
+                                            unreachable!("generalized slot without fact_weights")
+                                        };
+                                        let w = fw.row(p);
                                         for c in 0..s1 {
                                             dst_row[slot.input_offset + c] =
                                                 w[c] * eo_row[ei_start + c] * eo_row[ej_start + c];
@@ -436,7 +439,10 @@ impl OptInterNet {
                                         }
                                     }
                                     FactFn::Generalized => {
-                                        let w = fw_val.expect("generalized weights").row(p);
+                                        let Some(fw) = fw_val else {
+                                            unreachable!("generalized slot without fact_weights")
+                                        };
+                                        let w = fw.row(p);
                                         for c in 0..s1 {
                                             let g = g_row[slot.input_offset + c];
                                             d_row[i * s1 + c] += g * w[c] * ej[c];
@@ -469,7 +475,7 @@ impl OptInterNet {
     /// Applies one Adam step to all weights.
     pub fn step(&mut self) {
         self.adam_net.begin_step();
-        let mut adam = self.adam_net.clone();
+        let mut adam = self.adam_net;
         self.mlp.visit_params(&mut |p| adam.step(p, 0.0));
         if let Some(fw) = self.fact_weights.as_mut() {
             adam.step(fw, 0.0);

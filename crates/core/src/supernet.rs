@@ -251,7 +251,10 @@ impl Supernet {
                                 }
                             }
                             FactFn::Generalized => {
-                                let w = fw_val.expect("generalized weights").row(p);
+                                let Some(fw) = fw_val else {
+                                    unreachable!("generalized slot without fact_weights")
+                                };
+                                let w = fw.row(p);
                                 for c in 0..s1 {
                                     dst[c] = w[c] * ei[c] * ej[c];
                                 }
@@ -359,6 +362,7 @@ impl Supernet {
             // The generalized product is the only factorization with its own
             // weights; for the other two the secondary buffer is empty and
             // `dw` comes out as a zero-length slice.
+            // lint: allow(hot-path-alloc, reason="zero-capacity sentinel; Vec::new never touches the heap")
             let mut no_fw: Vec<f32> = Vec::new();
             let (fw_grad, fw_width): (&mut [f32], usize) = match self.fact_weights.as_mut() {
                 Some(fw) => (fw.grad.as_mut_slice(), s1),
@@ -461,7 +465,10 @@ impl Supernet {
                                 }
                             }
                             FactFn::Generalized => {
-                                let w = fw_val.expect("generalized weights").row(p);
+                                let Some(fw) = fw_val else {
+                                    unreachable!("generalized slot without fact_weights")
+                                };
+                                let w = fw.row(p);
                                 for c in 0..s1.min(d) {
                                     let def = pf * g[c];
                                     deo_row[i * s1 + c] += def * w[c] * ej[c];
@@ -494,7 +501,7 @@ impl Supernet {
     pub fn step_weights(&mut self) {
         self.adam_net.begin_step();
         let l2 = self.cfg.l2_orig;
-        let mut adam = self.adam_net.clone();
+        let mut adam = self.adam_net;
         self.mlp.visit_params(&mut |p| adam.step(p, 0.0));
         if let Some(fw) = self.fact_weights.as_mut() {
             adam.step(fw, 0.0);
@@ -509,7 +516,9 @@ impl Supernet {
     /// this on validation batches). Discards pending embedding gradients.
     pub fn step_arch(&mut self) {
         self.adam_arch.begin_step();
-        self.adam_arch.clone().step(&mut self.arch, 0.0);
+        let mut adam = self.adam_arch;
+        adam.step(&mut self.arch, 0.0);
+        self.adam_arch = adam;
     }
 
     /// Zeroes only the architecture gradient (bi-level: after a Θ step the

@@ -128,6 +128,7 @@ impl<'a> BatchIter<'a> {
             return false;
         };
         self.next_span += 1;
+        // lint: allow(hot-path-alloc, reason="Range<usize> clone is a stack copy, no heap allocation")
         out.fill(self.data, &self.order[span.clone()], self.include_cross);
         true
     }

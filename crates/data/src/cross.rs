@@ -277,7 +277,6 @@ mod tests {
         let maps: Vec<HashMap<u64, u32>> = counts
             .iter()
             .map(|c| {
-                // lint: allow(hash-iter, reason="test reference path; collected and sorted before id assignment")
                 let mut kept: Vec<u64> = c
                     .iter()
                     .filter(|&(_, &cnt)| cnt >= min_count)

@@ -297,6 +297,7 @@ impl SyntheticGenerator {
                 );
             }
         }
+        // lint: allow(float-reduction-order, reason="fixed-order slice of 3 per-field terms, iteration order is structural")
         abc.iter().map(|&x| (1.5 * x / m).tanh()).product::<f32>() * self.spec.nonlinear_std
     }
 
@@ -338,6 +339,7 @@ impl SyntheticGenerator {
         let mut hi = 30.0f32;
         for _ in 0..60 {
             let mid = 0.5 * (lo + hi);
+            // lint: allow(float-reduction-order, reason="sequential slice iteration; order fixed by the Vec layout")
             let mean: f32 = logits.iter().map(|&z| sigmoid(z + mid)).sum::<f32>() / n_calib as f32;
             if mean < target {
                 lo = mid;

@@ -303,7 +303,6 @@ mod tests {
             *reference.entry(key).or_insert(0) += 1;
         }
         assert_eq!(t.len(), reference.len());
-        // lint: allow(hash-iter, reason="test-only comparison; every entry is checked independently")
         for (&k, &v) in &reference {
             assert_eq!(t.get(k), v, "key {k}");
         }

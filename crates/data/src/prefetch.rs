@@ -120,7 +120,11 @@ impl<'a> BatchStream<'a> {
         }
         std::thread::scope(|scope| {
             let (full_tx, full_rx) = mpsc::sync_channel::<Batch>(QUEUE_SLOTS);
-            let (free_tx, free_rx) = mpsc::channel::<Batch>();
+            // The free-list is bounded too: an unbounded channel allocates a
+            // node per send, while a sync_channel works out of a ring buffer
+            // sized up front. Capacity NUM_BUFFERS means a send can never
+            // block — there are only NUM_BUFFERS buffers in existence.
+            let (free_tx, free_rx) = mpsc::sync_channel::<Batch>(NUM_BUFFERS);
             scope.spawn(move || {
                 let mut fresh: Vec<Batch> = (0..NUM_BUFFERS).map(|_| Batch::empty()).collect();
                 loop {

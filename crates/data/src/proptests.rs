@@ -109,7 +109,6 @@ proptest! {
         let mut expected_encoded = vec![0u32; n * indexer.num_pairs()];
         let mut offset = 0u32;
         for (p, c) in counts.iter().enumerate() {
-            // lint: allow(hash-iter, reason="test reference path; collected and sorted before id assignment")
             let mut kept: Vec<u64> = c
                 .iter()
                 .filter(|&(_, &cnt)| cnt >= min_count)

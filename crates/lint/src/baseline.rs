@@ -1,25 +1,28 @@
-//! The panic-ratchet baseline: committed per-crate ceilings on
-//! `.unwrap()` / `.expect(` counts that may only go down.
+//! The ratchet baselines: committed per-crate ceilings that may only go
+//! down.
 //!
-//! Stored as `lint-baseline.toml` at the workspace root. We parse the tiny
-//! TOML subset we emit ourselves (one `[unwrap-expect]` table of
-//! `key = integer` lines, `#` comments) rather than pulling in a TOML
-//! crate — the linter is dependency-free by design.
+//! Two tables live in `lint-baseline.toml` at the workspace root:
+//! `[unwrap-expect]` ceilings on `.unwrap()` / `.expect(` counts and
+//! `[hot-path-alloc]` ceilings on unwaived allocation sites inside the
+//! hot-path function set (see `rules::is_hot_fn`). We parse the tiny TOML
+//! subset we emit ourselves (`[table]` headers, `key = integer` lines, `#`
+//! comments) rather than pulling in a TOML crate — the linter is
+//! dependency-free by design.
 
 use std::collections::BTreeMap;
 
-/// Per-crate unwrap/expect ceilings, keyed by crate key (`tensor`, `nn`,
-/// ..., `root`).
+/// Per-crate ceilings, keyed by crate key (`tensor`, `nn`, ..., `root`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
     pub unwrap_expect: BTreeMap<String, usize>,
+    pub hot_path_alloc: BTreeMap<String, usize>,
 }
 
 impl Baseline {
     /// Parses the `lint-baseline.toml` subset. Errors carry the offending
     /// line number.
     pub fn parse(text: &str) -> Result<Self, String> {
-        let mut unwrap_expect = BTreeMap::new();
+        let mut baseline = Baseline::default();
         let mut section = String::new();
         for (i, raw) in text.lines().enumerate() {
             let lineno = i + 1;
@@ -43,62 +46,96 @@ impl Baseline {
             let value: usize = value.trim().parse().map_err(|_| {
                 format!("baseline line {lineno}: value is not a non-negative integer")
             })?;
-            match section.as_str() {
-                "unwrap-expect" => {
-                    if unwrap_expect.insert(key.clone(), value).is_some() {
-                        return Err(format!("baseline line {lineno}: duplicate key `{key}`"));
-                    }
-                }
+            let table = match section.as_str() {
+                "unwrap-expect" => &mut baseline.unwrap_expect,
+                "hot-path-alloc" => &mut baseline.hot_path_alloc,
                 other => {
                     return Err(format!(
-                        "baseline line {lineno}: unknown table `[{other}]` \
-                         (only [unwrap-expect] is recognised)"
+                        "baseline line {lineno}: unknown table `[{other}]` (recognised: \
+                         [unwrap-expect], [hot-path-alloc])"
                     ));
                 }
+            };
+            if table.insert(key.clone(), value).is_some() {
+                return Err(format!("baseline line {lineno}: duplicate key `{key}`"));
             }
         }
-        Ok(Self { unwrap_expect })
+        Ok(baseline)
     }
 
     /// Serialises back to the same TOML subset `parse` accepts.
     pub fn to_toml(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "# Panic-ratchet baseline, maintained by `cargo run -p optinter-lint -- update-baseline`.\n\
-             # Per-crate ceilings on `.unwrap()` / `.expect(` sites in non-test code.\n\
-             # Counts may only decrease; raising a ceiling requires editing this file\n\
-             # by hand in the same PR that adds the panic site, which is the review hook.\n\
+            "# Ratchet baselines, maintained by `cargo run -p optinter-lint -- update-baseline`.\n\
+             # Per-crate ceilings on `.unwrap()` / `.expect(` sites ([unwrap-expect]) and on\n\
+             # unwaived allocation sites inside hot-path fns ([hot-path-alloc]), both counted\n\
+             # in non-test code. Counts may only decrease; raising a ceiling requires editing\n\
+             # this file by hand in the same PR that adds the site, which is the review hook.\n\
              \n[unwrap-expect]\n",
         );
         for (k, v) in &self.unwrap_expect {
+            out.push_str(&format!("{k} = {v}\n"));
+        }
+        out.push_str("\n[hot-path-alloc]\n");
+        for (k, v) in &self.hot_path_alloc {
             out.push_str(&format!("{k} = {v}\n"));
         }
         out
     }
 
     /// Compares observed counts against the ceilings. Returns one message
-    /// per violation: a crate above its ceiling, or a crate with panics but
+    /// per violation: a crate above its ceiling, or a crate with sites but
     /// no baseline entry at all.
-    pub fn check(&self, observed: &BTreeMap<String, usize>) -> Vec<String> {
-        let mut problems = Vec::new();
-        for (krate, &count) in observed {
-            match self.unwrap_expect.get(krate) {
-                Some(&ceiling) if count > ceiling => problems.push(format!(
-                    "[panic-ratchet] crate `{krate}` has {count} unwrap/expect sites in \
-                     non-test code, above the baseline ceiling of {ceiling}; handle the \
-                     error or, if genuinely unreachable, raise the ceiling by hand in \
-                     lint-baseline.toml with justification in the PR"
-                )),
-                None if count > 0 => problems.push(format!(
-                    "[panic-ratchet] crate `{krate}` has {count} unwrap/expect sites but \
-                     no entry in lint-baseline.toml; run `cargo run -p optinter-lint -- \
-                     update-baseline` and commit the result"
-                )),
-                _ => {}
-            }
-        }
+    pub fn check(
+        &self,
+        unwrap_expect: &BTreeMap<String, usize>,
+        hot_path_alloc: &BTreeMap<String, usize>,
+    ) -> Vec<String> {
+        let mut problems = check_table(
+            "panic-ratchet",
+            &self.unwrap_expect,
+            unwrap_expect,
+            "unwrap/expect sites",
+            "handle the error or, if genuinely unreachable, raise the ceiling by hand in \
+             lint-baseline.toml with justification in the PR",
+        );
+        problems.extend(check_table(
+            "hot-path-alloc",
+            &self.hot_path_alloc,
+            hot_path_alloc,
+            "allocation sites in hot-path fns",
+            "reuse scratch buffers (Workspace / `_into` convention), waive genuinely \
+             non-allocating matches, or raise the ceiling by hand in lint-baseline.toml \
+             with justification in the PR",
+        ));
         problems
     }
+}
+
+fn check_table(
+    rule: &str,
+    ceilings: &BTreeMap<String, usize>,
+    observed: &BTreeMap<String, usize>,
+    what: &str,
+    advice: &str,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    for (krate, &count) in observed {
+        match ceilings.get(krate) {
+            Some(&ceiling) if count > ceiling => problems.push(format!(
+                "[{rule}] crate `{krate}` has {count} {what} in non-test code, above the \
+                 baseline ceiling of {ceiling}; {advice}"
+            )),
+            None if count > 0 => problems.push(format!(
+                "[{rule}] crate `{krate}` has {count} {what} but no entry in \
+                 lint-baseline.toml; run `cargo run -p optinter-lint -- update-baseline` \
+                 and commit the result"
+            )),
+            _ => {}
+        }
+    }
+    problems
 }
 
 #[cfg(test)]
@@ -110,6 +147,8 @@ mod tests {
         let mut b = Baseline::default();
         b.unwrap_expect.insert("core".to_string(), 3);
         b.unwrap_expect.insert("data".to_string(), 0);
+        b.hot_path_alloc.insert("nn".to_string(), 0);
+        b.hot_path_alloc.insert("models".to_string(), 7);
         let text = b.to_toml();
         assert_eq!(Baseline::parse(&text).expect("parse"), b);
     }
@@ -120,6 +159,7 @@ mod tests {
         assert!(Baseline::parse("[unwrap-expect]\ncore = many").is_err());
         assert!(Baseline::parse("[other]\ncore = 1").is_err());
         assert!(Baseline::parse("[unwrap-expect]\ncore = 1\ncore = 2").is_err());
+        assert!(Baseline::parse("[hot-path-alloc]\nnn = 0\nnn = 1").is_err());
     }
 
     #[test]
@@ -128,10 +168,25 @@ mod tests {
         let mut observed = BTreeMap::new();
         observed.insert("core".to_string(), 2); // at ceiling: fine
         observed.insert("data".to_string(), 0); // below: fine
-        assert!(b.check(&observed).is_empty());
+        assert!(b.check(&observed, &BTreeMap::new()).is_empty());
         observed.insert("core".to_string(), 3); // above: flagged
         observed.insert("nn".to_string(), 1); // missing entry: flagged
-        let problems = b.check(&observed);
+        let problems = b.check(&observed, &BTreeMap::new());
         assert_eq!(problems.len(), 2, "{problems:?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_table_is_checked_independently() {
+        let b = Baseline::parse("[unwrap-expect]\nnn = 1\n\n[hot-path-alloc]\nnn = 0\n")
+            .expect("parse");
+        let mut unwraps = BTreeMap::new();
+        unwraps.insert("nn".to_string(), 1);
+        let mut allocs = BTreeMap::new();
+        allocs.insert("nn".to_string(), 0);
+        assert!(b.check(&unwraps, &allocs).is_empty());
+        allocs.insert("nn".to_string(), 2);
+        let problems = b.check(&unwraps, &allocs);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("hot-path-alloc"), "{problems:?}");
     }
 }

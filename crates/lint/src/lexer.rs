@@ -14,8 +14,9 @@
 //! rules read them: `unsafe`-confinement looks for `// SAFETY:` and the
 //! suppression convention looks for `// lint: allow(...)`.
 
-/// A lexed token. `Str`/`Char`/`Num` drop their text — no rule needs it —
-/// while idents, lifetimes and comments keep theirs.
+/// A lexed token. `Str`/`Char` drop their text and `Num` keeps only its
+/// float-ness — no rule needs more — while idents, lifetimes and comments
+/// keep their text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Tok {
     /// Identifier or keyword (`unsafe`, `for`, `HashMap`, `r#type`, ...).
@@ -28,8 +29,11 @@ pub enum Tok {
     Str,
     /// Char or byte-char literal: `'x'`, `'\u{1F600}'`, `b'\n'`.
     Char,
-    /// Numeric literal (integers, floats, any radix, suffixes).
-    Num,
+    /// Numeric literal (integers, floats, any radix, suffixes). `float` is
+    /// true when the literal is a float (decimal point, exponent, or an
+    /// `f32`/`f64` suffix) — the float-reduction-order rule reads it to
+    /// spot float accumulators in `fold(0.0, ...)` calls.
+    Num { float: bool },
     /// Comment text, markers included (`// …`, `/* … */`, `/// …`, `//! …`).
     Comment(String),
 }
@@ -205,6 +209,7 @@ impl<'a> Lexer<'a> {
 
     /// Loose numeric literal starting at a digit.
     fn number(&mut self) -> Tok {
+        let start = self.pos;
         let radix_prefixed = self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b');
         loop {
             let c = self.peek(0);
@@ -222,7 +227,20 @@ impl<'a> Lexer<'a> {
                 // `1.5` yes; `0..n` and `x.method()` no.
                 self.pos += 1;
             } else {
-                return Tok::Num;
+                let text = &self.src[start..self.pos];
+                // An `e`/`E` is an exponent only when a digit or sign
+                // follows (`1e9`, `2.5E+3`); the `e` in a `usize` suffix
+                // is not one.
+                let has_exponent = text.windows(2).any(|w| {
+                    (w[0] == b'e' || w[0] == b'E')
+                        && (w[1].is_ascii_digit() || w[1] == b'+' || w[1] == b'-')
+                });
+                let float = !radix_prefixed
+                    && (text.contains(&b'.')
+                        || has_exponent
+                        || text.ends_with(b"f32")
+                        || text.ends_with(b"f64"));
+                return Tok::Num { float };
             }
         }
     }
@@ -448,7 +466,26 @@ mod tests {
         // `0..10` must lex as Num, '.', '.', Num.
         let dots = toks.iter().filter(|t| **t == Tok::Punct('.')).count();
         assert_eq!(dots, 2);
-        assert_eq!(toks.iter().filter(|t| **t == Tok::Num).count(), 4);
+        assert_eq!(
+            toks.iter().filter(|t| matches!(t, Tok::Num { .. })).count(),
+            4
+        );
+    }
+
+    #[test]
+    fn float_literals_are_marked_float() {
+        let float = |src: &str| match kinds(src).as_slice() {
+            [Tok::Num { float }] => *float,
+            other => panic!("{src} lexed as {other:?}"),
+        };
+        for src in ["1.5", "0.0", "1e9", "2.5E3", "1f32", "3f64", "1_000.25"] {
+            assert!(float(src), "{src} should be float");
+        }
+        for src in [
+            "0", "42", "0xFF", "0o17", "0b101", "1_000", "7u32", "9usize",
+        ] {
+            assert!(!float(src), "{src} should be integer");
+        }
     }
 
     #[test]

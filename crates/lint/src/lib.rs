@@ -11,6 +11,7 @@
 
 pub mod baseline;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 use baseline::Baseline;
@@ -23,6 +24,8 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Per-crate unwrap/expect counts in non-test code (ratchet input).
     pub unwrap_expect: BTreeMap<String, usize>,
+    /// Per-crate unwaived hot-path allocation site counts (ratchet input).
+    pub hot_path_alloc: BTreeMap<String, usize>,
     pub files_checked: usize,
 }
 
@@ -129,6 +132,7 @@ pub fn check_source(meta: &FileMeta, src: &str) -> rules::FileAnalysis {
                 message: format!("lexer error: {}", e.message),
             }],
             unwrap_expect_count: 0,
+            hot_path_alloc: Vec::new(),
         },
     }
 }
@@ -139,27 +143,47 @@ pub fn check_workspace(root: &Path) -> Result<Report, String> {
     let sources = workspace_sources(root)?;
     let mut diagnostics = Vec::new();
     let mut unwrap_expect: BTreeMap<String, usize> = BTreeMap::new();
+    let mut hot_path_alloc: BTreeMap<String, usize> = BTreeMap::new();
+    let mut hot_sites: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
     let files_checked = sources.len();
     for (path, meta) in &sources {
         let src = std::fs::read_to_string(path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let analysis = check_source(meta, &src);
+        let mut analysis = check_source(meta, &src);
         diagnostics.extend(analysis.diagnostics);
         *unwrap_expect.entry(meta.crate_key.clone()).or_insert(0) += analysis.unwrap_expect_count;
+        *hot_path_alloc.entry(meta.crate_key.clone()).or_insert(0) += analysis.hot_path_alloc.len();
+        hot_sites
+            .entry(meta.crate_key.clone())
+            .or_default()
+            .append(&mut analysis.hot_path_alloc);
     }
 
-    // Panic ratchet: observed counts vs the committed baseline.
+    // Ratchets: observed counts vs the committed baseline.
     let baseline_path = root.join("lint-baseline.toml");
     match std::fs::read_to_string(&baseline_path) {
         Ok(text) => {
             let baseline = Baseline::parse(&text)?;
-            for problem in baseline.check(&unwrap_expect) {
+            for problem in baseline.check(&unwrap_expect, &hot_path_alloc) {
                 diagnostics.push(Diagnostic {
                     path: "lint-baseline.toml".to_string(),
                     line: 0,
                     rule: Rule::PanicRatchet,
                     message: problem,
                 });
+            }
+            // For crates over their hot-path-alloc ceiling, also list the
+            // individual sites so the violation is actionable. (Within the
+            // ceiling the sites are tolerated debt, not diagnostics.)
+            for (krate, &count) in &hot_path_alloc {
+                let ceiling = baseline.hot_path_alloc.get(krate).copied();
+                let over = match ceiling {
+                    Some(c) => count > c,
+                    None => count > 0,
+                };
+                if over {
+                    diagnostics.extend(hot_sites.remove(krate).unwrap_or_default());
+                }
             }
         }
         Err(_) => diagnostics.push(Diagnostic {
@@ -175,6 +199,7 @@ pub fn check_workspace(root: &Path) -> Result<Report, String> {
     Ok(Report {
         diagnostics,
         unwrap_expect,
+        hot_path_alloc,
         files_checked,
     })
 }
@@ -191,23 +216,33 @@ pub fn update_baseline(root: &Path) -> Result<String, String> {
         .transpose()?
         .unwrap_or_default();
     let mut raised = Vec::new();
-    for (krate, &count) in &report.unwrap_expect {
-        if let Some(&ceiling) = old.unwrap_expect.get(krate) {
-            if count > ceiling {
-                raised.push(format!("{krate}: {ceiling} -> {count}"));
+    for (table, counts, ceilings) in [
+        ("unwrap-expect", &report.unwrap_expect, &old.unwrap_expect),
+        (
+            "hot-path-alloc",
+            &report.hot_path_alloc,
+            &old.hot_path_alloc,
+        ),
+    ] {
+        for (krate, &count) in counts {
+            if let Some(&ceiling) = ceilings.get(krate) {
+                if count > ceiling {
+                    raised.push(format!("{table}.{krate}: {ceiling} -> {count}"));
+                }
             }
         }
     }
     if !raised.is_empty() {
         return Err(format!(
             "update-baseline would RAISE ceilings ({}); the ratchet only tightens. \
-             Remove the new unwrap/expect sites, or edit lint-baseline.toml by hand \
-             with justification in the PR.",
+             Remove the new sites, or edit lint-baseline.toml by hand with \
+             justification in the PR.",
             raised.join(", ")
         ));
     }
     let new = Baseline {
         unwrap_expect: report.unwrap_expect.clone(),
+        hot_path_alloc: report.hot_path_alloc.clone(),
     };
     std::fs::write(&baseline_path, new.to_toml())
         .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;

@@ -2,17 +2,28 @@
 //!
 //! ```text
 //! cargo run -p optinter-lint -- check              # lint, exit 1 on findings
-//! cargo run -p optinter-lint -- update-baseline    # tighten the panic ratchet
+//! cargo run -p optinter-lint -- check --json       # machine-readable report
+//! cargo run -p optinter-lint -- check --github     # GitHub ::error annotations
+//! cargo run -p optinter-lint -- update-baseline    # tighten the ratchets
 //! cargo run -p optinter-lint -- check --root PATH  # lint another checkout
 //! ```
 
+use optinter_lint::Report;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Output {
+    Human,
+    Json,
+    Github,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd: Option<&str> = None;
     let mut root_arg: Option<PathBuf> = None;
+    let mut output = Output::Human;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -24,6 +35,8 @@ fn main() -> ExitCode {
                     None => return usage("--root needs a path"),
                 }
             }
+            "--json" => output = Output::Json,
+            "--github" => output = Output::Github,
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unexpected argument `{other}`")),
         }
@@ -32,6 +45,9 @@ fn main() -> ExitCode {
     let Some(cmd) = cmd else {
         return usage("missing command");
     };
+    if output != Output::Human && cmd != "check" {
+        return usage("--json/--github only apply to `check`");
+    }
 
     let root = match root_arg {
         Some(r) => r,
@@ -49,26 +65,7 @@ fn main() -> ExitCode {
 
     match cmd {
         "check" => match optinter_lint::check_workspace(&root) {
-            Ok(report) => {
-                if report.is_clean() {
-                    println!(
-                        "optinter-lint: {} files clean (hash-iter, unsafe-confinement, \
-                         wall-clock, panic-ratchet)",
-                        report.files_checked
-                    );
-                    ExitCode::SUCCESS
-                } else {
-                    for d in &report.diagnostics {
-                        eprintln!("{d}");
-                    }
-                    eprintln!(
-                        "optinter-lint: {} violation(s) across {} files",
-                        report.diagnostics.len(),
-                        report.files_checked
-                    );
-                    ExitCode::FAILURE
-                }
-            }
+            Ok(report) => render(&report, output),
             Err(e) => fail(&e),
         },
         "update-baseline" => match optinter_lint::update_baseline(&root) {
@@ -82,11 +79,131 @@ fn main() -> ExitCode {
     }
 }
 
+fn render(report: &Report, output: Output) -> ExitCode {
+    match output {
+        Output::Human => {
+            if report.is_clean() {
+                println!(
+                    "optinter-lint: {} files clean (hash-iter, unsafe-confinement, \
+                     wall-clock, panic-ratchet, hot-path-alloc, float-reduction-order)",
+                    report.files_checked
+                );
+            } else {
+                for d in &report.diagnostics {
+                    eprintln!("{d}");
+                }
+                eprintln!(
+                    "optinter-lint: {} violation(s) across {} files",
+                    report.diagnostics.len(),
+                    report.files_checked
+                );
+            }
+        }
+        Output::Json => println!("{}", to_json(report)),
+        Output::Github => {
+            // One workflow-command annotation per diagnostic; GitHub shows
+            // them inline on the PR diff. Still exits non-zero so the job
+            // fails.
+            for d in &report.diagnostics {
+                println!(
+                    "::error file={},line={},title=optinter-lint {}::{}",
+                    gh_escape_property(&d.path),
+                    d.line.max(1),
+                    gh_escape_property(d.rule.name()),
+                    gh_escape_data(&d.message)
+                );
+            }
+            println!(
+                "optinter-lint: {} violation(s) across {} files",
+                report.diagnostics.len(),
+                report.files_checked
+            );
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Renders the report as one JSON object. Hand-rolled — the linter is
+/// dependency-free — so every dynamic string goes through `json_string`.
+fn to_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_string(&d.path),
+            d.line,
+            json_string(d.rule.name()),
+            json_string(&d.message)
+        ));
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    for (key, counts) in [
+        ("unwrap_expect", &report.unwrap_expect),
+        ("hot_path_alloc", &report.hot_path_alloc),
+    ] {
+        out.push_str(&format!("  \"{key}\": {{"));
+        for (i, (krate, n)) in counts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {}", json_string(krate), n));
+        }
+        out.push_str("},\n");
+    }
+    out.push_str(&format!(
+        "  \"files_checked\": {},\n  \"clean\": {}\n}}",
+        report.files_checked,
+        report.is_clean()
+    ));
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Escaping for the message part of a GitHub workflow command.
+fn gh_escape_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escaping for property values (`file=`, `title=`): the data escapes plus
+/// the property delimiters.
+fn gh_escape_property(s: &str) -> String {
+    gh_escape_data(s).replace(':', "%3A").replace(',', "%2C")
+}
+
 fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("optinter-lint: {err}");
     }
-    eprintln!("usage: optinter-lint <check|update-baseline> [--root PATH]");
+    eprintln!("usage: optinter-lint <check|update-baseline> [--root PATH] [--json|--github]");
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -1,4 +1,4 @@
-//! The four lint rules, run over the token stream of one file at a time.
+//! The lint rules, run over the token stream of one file at a time.
 //!
 //! Rules are heuristic but *sound against the failure mode they police*:
 //!
@@ -12,13 +12,29 @@
 //!    they are confined to the bench crate.
 //! 4. **panic-ratchet** — `.unwrap()`/`.expect(` counts per crate may not
 //!    grow past the committed baseline (`lint-baseline.toml`).
+//! 5. **hot-path-alloc** — allocation inside the hot-path function set
+//!    (`forward_step`, `backward*`, `step`, `*_into`, `*_accumulate`, the
+//!    sparse optimizer applies, ...) undoes the zero-alloc steady state the
+//!    `tests/alloc_steady_state.rs` harness proves dynamically. Sites are
+//!    counted per crate and ratcheted in `lint-baseline.toml`
+//!    (`[hot-path-alloc]`), like the panic ratchet. Scope-aware: uses the
+//!    brace-tree parser to attribute each site to its enclosing `fn`.
+//! 6. **float-reduction-order** — `.sum::<f32/f64>()`, `.product()` and
+//!    `fold` with a float accumulator outside the fixed-iteration-order
+//!    allowlist can silently change summation order and break the bitwise
+//!    1/2/4-thread equality `tests/determinism.rs` pins.
+//! 7. **unused-waiver** — a `lint: allow` directive whose rule never fires
+//!    on the covered lines is stale and must be deleted; stale waivers
+//!    would silently swallow the next real regression at that site.
 //!
-//! Suppression convention (documented in DESIGN.md §7): a comment
+//! Suppression convention (documented in DESIGN.md §7/§10): a comment
 //! `// lint: allow(<rule>, reason="...")` on the offending line or the line
-//! directly above waives rules 1 and 3 at that site. A waiver without a
-//! reason is itself an error — the reason is the audit trail.
+//! directly above waives rules 1, 3, 5 and 6 at that site. A waiver without
+//! a reason is itself an error — the reason is the audit trail.
 
 use crate::lexer::{Tok, Token};
+use crate::parser::Tree;
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Rule identifiers; `Display` gives the names used in diagnostics and in
@@ -29,8 +45,12 @@ pub enum Rule {
     UnsafeConfinement,
     WallClock,
     PanicRatchet,
+    HotPathAlloc,
+    FloatReductionOrder,
+    UnusedWaiver,
     Directive,
     Lex,
+    Parse,
 }
 
 impl Rule {
@@ -40,8 +60,12 @@ impl Rule {
             Rule::UnsafeConfinement => "unsafe-confinement",
             Rule::WallClock => "wall-clock",
             Rule::PanicRatchet => "panic-ratchet",
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::FloatReductionOrder => "float-reduction-order",
+            Rule::UnusedWaiver => "unused-waiver",
             Rule::Directive => "lint-directive",
             Rule::Lex => "lex",
+            Rule::Parse => "parse",
         }
     }
 }
@@ -85,7 +109,13 @@ pub struct FileMeta {
 const HASH_ITER_CRATES: &[&str] = &["tensor", "nn", "core", "models", "metrics", "data"];
 
 /// Modules allowed to contain `unsafe` (with SAFETY comments).
-const UNSAFE_ALLOWLIST: &[&str] = &["crates/tensor/src/pool.rs", "crates/nn/src/embedding.rs"];
+const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/tensor/src/pool.rs",
+    "crates/nn/src/embedding.rs",
+    // The counting global allocator: `unsafe impl GlobalAlloc` is the only
+    // way to observe heap traffic from safe Rust.
+    "tests/alloc_steady_state.rs",
+];
 
 /// Crate keys exempt from the wall-clock/entropy rule.
 const WALL_CLOCK_EXEMPT: &[&str] = &["bench"];
@@ -121,15 +151,57 @@ const HASH_ITER_METHODS: &[&str] = &[
 /// between the comment and the `unsafe` token).
 const SAFETY_LOOKBACK_TOKENS: usize = 30;
 
-/// Per-file analysis output: diagnostics plus the panic-ratchet tally.
+/// Crates exempt from the hot-path-alloc rule: the bench crate measures
+/// (and may allocate freely around the measured region) and the linter has
+/// no training hot path.
+const HOT_PATH_EXEMPT_CRATES: &[&str] = &["bench", "lint"];
+
+/// Function names that ARE the hot path: exact matches.
+const HOT_FN_EXACT: &[&str] = &[
+    "step",
+    "step_weights",
+    "step_arch",
+    "step_row",
+    "train_batch",
+    "apply_adam",
+    "apply_sgd",
+    "forward_step",
+];
+
+/// Hot-path name prefixes (`backward`, `backward_mlp`, `accumulate_grad*`).
+const HOT_FN_PREFIXES: &[&str] = &["backward", "accumulate_grad"];
+
+/// Hot-path name suffixes: the `_into`/`_inplace` buffer-reuse convention
+/// and the `*_accumulate` gradient paths.
+const HOT_FN_SUFFIXES: &[&str] = &["_into", "_accumulate", "_inplace"];
+
+/// Crates exempt from the float-reduction-order rule (no training-path
+/// reductions: bench aggregates its own timings, the linter has no floats).
+const FLOAT_REDUCTION_EXEMPT_CRATES: &[&str] = &["bench", "lint"];
+
+/// Modules that guarantee fixed iteration order for their float
+/// reductions: the sequential tensor kernels (whose summation order is the
+/// determinism *reference*, see DESIGN.md §6) and the calibration metric,
+/// which reduces over pre-sorted slices.
+const FLOAT_REDUCTION_ALLOWLIST: &[&str] = &[
+    "crates/tensor/src/matrix.rs",
+    "crates/tensor/src/ops.rs",
+    "crates/tensor/src/stats.rs",
+    "crates/metrics/src/calibration.rs",
+];
+
+/// Per-file analysis output: diagnostics plus the ratchet tallies.
 pub struct FileAnalysis {
     pub diagnostics: Vec<Diagnostic>,
     /// `.unwrap()` / `.expect(` sites in non-test code.
     pub unwrap_expect_count: usize,
+    /// Unwaived allocation sites in hot-path fns (ratcheted per crate, so
+    /// they are collected here rather than pushed into `diagnostics`).
+    pub hot_path_alloc: Vec<Diagnostic>,
 }
 
-/// Runs every per-file rule. (The ratchet comparison against the baseline
-/// happens at workspace level, from the summed counts.)
+/// Runs every per-file rule. (The ratchet comparisons against the baseline
+/// happen at workspace level, from the summed counts.)
 pub fn analyze_file(meta: &FileMeta, tokens: &[Token]) -> FileAnalysis {
     let code: Vec<usize> = tokens
         .iter()
@@ -139,27 +211,58 @@ pub fn analyze_file(meta: &FileMeta, tokens: &[Token]) -> FileAnalysis {
         .collect();
     let test_mask = test_mask(tokens, &code, meta.is_test_file);
     let allows = collect_allows(meta, tokens);
-    let mut diagnostics = allows.errors;
+    let mut diagnostics = Vec::new();
+    let mut hot_path_alloc = Vec::new();
 
-    hash_iter_rule(
-        meta,
-        tokens,
-        &code,
-        &test_mask,
-        &allows.suppressed,
-        &mut diagnostics,
-    );
+    hash_iter_rule(meta, tokens, &code, &test_mask, &allows, &mut diagnostics);
     unsafe_rule(meta, tokens, &code, &mut diagnostics);
-    wall_clock_rule(meta, tokens, &code, &allows.suppressed, &mut diagnostics);
+    wall_clock_rule(meta, tokens, &code, &allows, &mut diagnostics);
+    float_reduction_rule(meta, tokens, &code, &test_mask, &allows, &mut diagnostics);
     let unwrap_expect_count = count_unwrap_expect(tokens, &code, &test_mask);
+
+    // The scope-aware rule needs the brace tree; a parse failure is
+    // reported like a lex failure (the file would not compile anyway) and
+    // suppresses the unused-waiver check, whose usage records would be
+    // incomplete.
+    match Tree::parse(tokens) {
+        Ok(tree) => {
+            hot_path_alloc_rule(
+                meta,
+                tokens,
+                &code,
+                &tree,
+                &test_mask,
+                &allows,
+                &mut hot_path_alloc,
+            );
+            allows.report_unused(meta, &mut diagnostics);
+        }
+        Err(e) => diagnostics.push(Diagnostic {
+            path: meta.rel_path.clone(),
+            line: e.line,
+            rule: Rule::Parse,
+            message: format!("brace-tree parse error: {}", e.message),
+        }),
+    }
+
+    // Directive errors (malformed / reason-less waivers) come last so rule
+    // diagnostics keep their historical relative order within a file.
+    let mut diagnostics = {
+        let mut all = allows.errors;
+        all.append(&mut diagnostics);
+        all
+    };
+    diagnostics.sort_by_key(|d| d.line);
 
     FileAnalysis {
         diagnostics,
         unwrap_expect_count,
+        hot_path_alloc,
     }
 }
 
 /// Marks every token that lives inside `#[cfg(test)]` / `#[test]` items.
+/// A file-level inner attribute `#![cfg(test)]` masks the whole file.
 fn test_mask(tokens: &[Token], code: &[usize], whole_file: bool) -> Vec<bool> {
     let mut mask = vec![whole_file; tokens.len()];
     if whole_file {
@@ -167,6 +270,45 @@ fn test_mask(tokens: &[Token], code: &[usize], whole_file: bool) -> Vec<bool> {
     }
     let n = code.len();
     let tok = |ci: usize| &tokens[code[ci]].tok;
+    // Leading inner attributes: `#![...]` only appears at the head of the
+    // file (module-level inner attributes in nested mods are not used in
+    // this workspace), so scanning the prefix is enough.
+    let mut head = 0;
+    while head + 2 < n
+        && *tok(head) == Tok::Punct('#')
+        && *tok(head + 1) == Tok::Punct('!')
+        && *tok(head + 2) == Tok::Punct('[')
+    {
+        let mut depth = 0usize;
+        let mut j = head + 2;
+        let mut attr_head: Option<&str> = None;
+        let mut is_test_attr = false;
+        while j < n {
+            match tok(j) {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(name) => {
+                    if attr_head.is_none() {
+                        attr_head = Some(name);
+                    }
+                    if name == "test" && matches!(attr_head, Some("test") | Some("cfg")) {
+                        is_test_attr = true;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if is_test_attr {
+            return vec![true; tokens.len()];
+        }
+        head = j + 1;
+    }
     let mut ci = 0;
     while ci < n {
         if *tok(ci) != Tok::Punct('#') || ci + 1 >= n || *tok(ci + 1) != Tok::Punct('[') {
@@ -261,15 +403,56 @@ fn test_mask(tokens: &[Token], code: &[usize], whole_file: bool) -> Vec<bool> {
     mask
 }
 
-/// Parsed `lint: allow` directives: rule name -> set of lines covered
-/// (the directive's own line and the line after it).
+/// Parsed `lint: allow` directives.
+///
+/// `suppressed` maps rule name -> covered line -> the directive's own line
+/// (a directive covers its line and the next). Suppression hits are
+/// recorded in `used` so that, after every rule has run, any directive
+/// that never suppressed anything is flagged by the unused-waiver rule.
+/// `used` is interior-mutable because the rules hold `&Allows`.
 struct Allows {
-    suppressed: BTreeMap<&'static str, BTreeSet<u32>>,
+    suppressed: BTreeMap<&'static str, BTreeMap<u32, u32>>,
+    /// Every well-formed directive, as (rule name, directive line).
+    directives: Vec<(&'static str, u32)>,
+    used: RefCell<BTreeSet<(&'static str, u32)>>,
     errors: Vec<Diagnostic>,
 }
 
+impl Allows {
+    /// Is `rule` waived at `line`? A hit marks the directive as used.
+    fn is_suppressed(&self, rule: Rule, line: u32) -> bool {
+        let Some(&directive_line) = self.suppressed.get(rule.name()).and_then(|m| m.get(&line))
+        else {
+            return false;
+        };
+        self.used.borrow_mut().insert((rule.name(), directive_line));
+        true
+    }
+
+    /// Flags every directive whose rule never fired on a covered line.
+    fn report_unused(&self, meta: &FileMeta, diagnostics: &mut Vec<Diagnostic>) {
+        let used = self.used.borrow();
+        for &(rule_key, line) in &self.directives {
+            if used.contains(&(rule_key, line)) {
+                continue;
+            }
+            diagnostics.push(Diagnostic {
+                path: meta.rel_path.clone(),
+                line,
+                rule: Rule::UnusedWaiver,
+                message: format!(
+                    "waiver for `{rule_key}` never fires on this line or the next — delete \
+                     it (a stale waiver would silently swallow the next real regression \
+                     at this site)"
+                ),
+            });
+        }
+    }
+}
+
 fn collect_allows(meta: &FileMeta, tokens: &[Token]) -> Allows {
-    let mut suppressed: BTreeMap<&'static str, BTreeSet<u32>> = BTreeMap::new();
+    let mut suppressed: BTreeMap<&'static str, BTreeMap<u32, u32>> = BTreeMap::new();
+    let mut directives = Vec::new();
     let mut errors = Vec::new();
     for t in tokens {
         let Tok::Comment(text) = &t.tok else { continue };
@@ -302,6 +485,8 @@ fn collect_allows(meta: &FileMeta, tokens: &[Token]) -> Allows {
         let known = match rule_name {
             "hash-iter" => Some(Rule::HashIter.name()),
             "wall-clock" => Some(Rule::WallClock.name()),
+            "hot-path-alloc" => Some(Rule::HotPathAlloc.name()),
+            "float-reduction-order" => Some(Rule::FloatReductionOrder.name()),
             _ => None,
         };
         let Some(rule_key) = known else {
@@ -310,8 +495,8 @@ fn collect_allows(meta: &FileMeta, tokens: &[Token]) -> Allows {
                 line: t.line,
                 rule: Rule::Directive,
                 message: format!(
-                    "unknown or non-waivable rule `{rule_name}` in lint directive \
-                     (waivable: hash-iter, wall-clock)"
+                    "unknown or non-waivable rule `{rule_name}` in lint directive (waivable: \
+                     hash-iter, wall-clock, hot-path-alloc, float-reduction-order)"
                 ),
             });
             continue;
@@ -333,16 +518,16 @@ fn collect_allows(meta: &FileMeta, tokens: &[Token]) -> Allows {
             continue;
         }
         let entry = suppressed.entry(rule_key).or_default();
-        entry.insert(t.line);
-        entry.insert(t.line + 1);
+        entry.insert(t.line, t.line);
+        entry.insert(t.line + 1, t.line);
+        directives.push((rule_key, t.line));
     }
-    Allows { suppressed, errors }
-}
-
-fn is_suppressed(allows: &BTreeMap<&'static str, BTreeSet<u32>>, rule: Rule, line: u32) -> bool {
-    allows
-        .get(rule.name())
-        .is_some_and(|lines| lines.contains(&line))
+    Allows {
+        suppressed,
+        directives,
+        used: RefCell::new(BTreeSet::new()),
+        errors,
+    }
 }
 
 /// Code-index ranges (inclusive, in `code` space) of every `fn` body.
@@ -516,7 +701,7 @@ fn hash_iter_rule(
     tokens: &[Token],
     code: &[usize],
     test_mask: &[bool],
-    allows: &BTreeMap<&'static str, BTreeSet<u32>>,
+    allows: &Allows,
     diagnostics: &mut Vec<Diagnostic>,
 ) {
     if !HASH_ITER_CRATES.contains(&meta.crate_key.as_str()) {
@@ -531,7 +716,7 @@ fn hash_iter_rule(
     let line = |ci: usize| tokens[code[ci]].line;
     let mut report = |ci: usize, name: &str, how: &str| {
         let l = line(ci);
-        if test_mask[code[ci]] || is_suppressed(allows, Rule::HashIter, l) {
+        if test_mask[code[ci]] || allows.is_suppressed(Rule::HashIter, l) {
             return;
         }
         diagnostics.push(Diagnostic {
@@ -656,7 +841,7 @@ fn wall_clock_rule(
     meta: &FileMeta,
     tokens: &[Token],
     code: &[usize],
-    allows: &BTreeMap<&'static str, BTreeSet<u32>>,
+    allows: &Allows,
     diagnostics: &mut Vec<Diagnostic>,
 ) {
     if WALL_CLOCK_EXEMPT.contains(&meta.crate_key.as_str()) {
@@ -670,7 +855,7 @@ fn wall_clock_rule(
             continue;
         }
         let l = tokens[ti].line;
-        if is_suppressed(allows, Rule::WallClock, l) {
+        if allows.is_suppressed(Rule::WallClock, l) {
             continue;
         }
         diagnostics.push(Diagnostic {
@@ -683,6 +868,229 @@ fn wall_clock_rule(
                  `// lint: allow(wall-clock, reason=\"...\")`)"
             ),
         });
+    }
+}
+
+/// Is `name` in the configured hot-path function set?
+pub fn is_hot_fn(name: &str) -> bool {
+    HOT_FN_EXACT.contains(&name)
+        || HOT_FN_PREFIXES.iter().any(|p| name.starts_with(p))
+        || HOT_FN_SUFFIXES.iter().any(|s| name.ends_with(s))
+}
+
+/// Scope-aware rule 5: allocation tokens inside hot-path fn bodies.
+///
+/// The matched patterns are the allocating constructors and methods that
+/// appear in this codebase (`Vec::new`, `vec![]`, `format!`, `.clone()`,
+/// `.to_vec()`, `.collect()`, ...). The heuristic is syntactic — a
+/// `.clone()` of a `Copy` type matches too — which is the point of the
+/// waiver escape hatch: a non-allocating match gets a one-line reasoned
+/// waiver, and everything else is a real allocation the ratchet counts.
+fn hot_path_alloc_rule(
+    meta: &FileMeta,
+    tokens: &[Token],
+    code: &[usize],
+    tree: &Tree,
+    test_mask: &[bool],
+    allows: &Allows,
+    sites: &mut Vec<Diagnostic>,
+) {
+    if HOT_PATH_EXEMPT_CRATES.contains(&meta.crate_key.as_str()) || meta.is_test_file {
+        return;
+    }
+    let n = code.len();
+    let tok = |ci: usize| &tokens[code[ci]].tok;
+    // What allocates at code index `ci`, if anything: (display label,
+    // code index the diagnostic anchors to).
+    let alloc_at = |ci: usize| -> Option<(String, usize)> {
+        match tok(ci) {
+            // `Vec::new`, `Vec::with_capacity`, `Box::new`, `String::from`...
+            Tok::Ident(ty) if matches!(ty.as_str(), "Vec" | "Box" | "String") => {
+                if ci + 3 >= n || *tok(ci + 1) != Tok::Punct(':') || *tok(ci + 2) != Tok::Punct(':')
+                {
+                    return None;
+                }
+                let Tok::Ident(m) = tok(ci + 3) else {
+                    return None;
+                };
+                let ctor = matches!(
+                    (ty.as_str(), m.as_str()),
+                    ("Vec" | "String", "new" | "with_capacity" | "from") | ("Box", "new")
+                );
+                ctor.then(|| (format!("{ty}::{m}"), ci))
+            }
+            // `vec![...]` / `format!(...)`.
+            Tok::Ident(mac) if matches!(mac.as_str(), "vec" | "format") => {
+                (ci + 1 < n && *tok(ci + 1) == Tok::Punct('!')).then(|| (format!("{mac}!"), ci))
+            }
+            // `.clone()`, `.to_vec()`, `.collect()` (with or without
+            // turbofish), `.to_owned()`, `.to_string()`.
+            Tok::Punct('.') => {
+                let Some(Tok::Ident(m)) = (ci + 2 < n).then(|| tok(ci + 1)) else {
+                    return None;
+                };
+                if !matches!(
+                    m.as_str(),
+                    "clone" | "to_vec" | "collect" | "to_owned" | "to_string"
+                ) {
+                    return None;
+                }
+                let called = *tok(ci + 2) == Tok::Punct('(')
+                    || (*tok(ci + 2) == Tok::Punct(':')
+                        && ci + 3 < n
+                        && *tok(ci + 3) == Tok::Punct(':'));
+                called.then(|| (format!(".{m}()"), ci + 1))
+            }
+            _ => None,
+        }
+    };
+    for ci in 0..n {
+        let Some((label, at)) = alloc_at(ci) else {
+            continue;
+        };
+        let raw = code[at];
+        if test_mask[raw] {
+            continue;
+        }
+        let Some(fi) = tree.innermost_fn_at(raw) else {
+            continue;
+        };
+        let f = &tree.fns[fi];
+        if f.is_test || !is_hot_fn(&f.name) {
+            continue;
+        }
+        let line = tokens[raw].line;
+        if allows.is_suppressed(Rule::HotPathAlloc, line) {
+            continue;
+        }
+        sites.push(Diagnostic {
+            path: meta.rel_path.clone(),
+            line,
+            rule: Rule::HotPathAlloc,
+            message: format!(
+                "`{label}` allocates inside hot-path fn `{}`; reuse a scratch buffer \
+                 (Workspace / `_into` convention) or waive with \
+                 `// lint: allow(hot-path-alloc, reason=\"...\")`",
+                f.name
+            ),
+        });
+    }
+}
+
+/// Rule 6: float reductions whose summation order is not structurally
+/// fixed. `.sum::<f32/f64>()`, `.product()` and `fold` with a float
+/// accumulator re-associate float addition if the iterator order ever
+/// changes (rayon-style splitting, hash iteration, a refactor to chunked
+/// traversal), which breaks the bitwise 1/2/4-thread equality that
+/// `tests/determinism.rs` pins. Reductions belong in the allowlisted
+/// fixed-order kernel modules; anywhere else the site needs a waiver.
+fn float_reduction_rule(
+    meta: &FileMeta,
+    tokens: &[Token],
+    code: &[usize],
+    test_mask: &[bool],
+    allows: &Allows,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    if FLOAT_REDUCTION_EXEMPT_CRATES.contains(&meta.crate_key.as_str())
+        || FLOAT_REDUCTION_ALLOWLIST.contains(&meta.rel_path.as_str())
+        || meta.rel_path.starts_with("examples/")
+        || meta.is_test_file
+    {
+        return;
+    }
+    let n = code.len();
+    let tok = |ci: usize| &tokens[code[ci]].tok;
+    // The `f32`/`f64` of a turbofish `::<f32>` at `ci` (the first `:`).
+    let turbofish_float = |ci: usize| -> Option<&str> {
+        if ci + 3 >= n
+            || *tok(ci) != Tok::Punct(':')
+            || *tok(ci + 1) != Tok::Punct(':')
+            || *tok(ci + 2) != Tok::Punct('<')
+        {
+            return None;
+        }
+        match tok(ci + 3) {
+            Tok::Ident(ty) if ty == "f32" || ty == "f64" => Some(ty),
+            _ => None,
+        }
+    };
+    let mut report = |ci: usize, what: String| {
+        let raw = code[ci];
+        if test_mask[raw] {
+            return;
+        }
+        let line = tokens[raw].line;
+        if allows.is_suppressed(Rule::FloatReductionOrder, line) {
+            return;
+        }
+        diagnostics.push(Diagnostic {
+            path: meta.rel_path.clone(),
+            line,
+            rule: Rule::FloatReductionOrder,
+            message: format!(
+                "{what}: unordered float reduction can change summation order and break \
+                 bitwise determinism across thread counts; move it into a fixed-order \
+                 kernel module ({}) or waive with \
+                 `// lint: allow(float-reduction-order, reason=\"...\")`",
+                FLOAT_REDUCTION_ALLOWLIST.join(", ")
+            ),
+        });
+    };
+    for ci in 0..n {
+        if *tok(ci) != Tok::Punct('.') || ci + 1 >= n {
+            continue;
+        }
+        let Tok::Ident(m) = tok(ci + 1) else {
+            continue;
+        };
+        match m.as_str() {
+            // `.sum::<f32>()` / `.sum::<f64>()`; untyped `.sum()` is
+            // overwhelmingly an integer reduction here and inference-typed
+            // float sums are beyond a token heuristic.
+            "sum" => {
+                if let Some(ty) = turbofish_float(ci + 2) {
+                    report(ci + 1, format!("`.sum::<{ty}>()`"));
+                }
+            }
+            // `.product()` fires untyped too (every use in this codebase
+            // multiplies probabilities); an integer turbofish exempts it.
+            "product" => {
+                if let Some(ty) = turbofish_float(ci + 2) {
+                    report(ci + 1, format!("`.product::<{ty}>()`"));
+                } else if ci + 2 < n && *tok(ci + 2) == Tok::Punct('(') {
+                    report(ci + 1, "`.product()`".to_string());
+                }
+            }
+            // `.fold(` with a float accumulator: a float literal or an
+            // `f32::`/`f64::` constant in the first argument.
+            "fold" => {
+                if ci + 2 >= n || *tok(ci + 2) != Tok::Punct('(') {
+                    continue;
+                }
+                let mut depth = 0usize;
+                let mut float_acc = false;
+                for j in ci + 2..n.min(ci + 18) {
+                    match tok(j) {
+                        Tok::Punct('(') => depth += 1,
+                        Tok::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Punct(',') if depth == 1 => break,
+                        Tok::Num { float: true } => float_acc = true,
+                        Tok::Ident(ty) if ty == "f32" || ty == "f64" => float_acc = true,
+                        _ => {}
+                    }
+                }
+                if float_acc {
+                    report(ci + 1, "`fold` with a float accumulator".to_string());
+                }
+            }
+            _ => {}
+        }
     }
 }
 
@@ -985,5 +1393,150 @@ mod tests {
         let tokens = lex("fn f(x: Option<u32>) -> u32 { x.unwrap() }").expect("lex");
         let a = analyze_file(&meta, &tokens);
         assert_eq!(a.unwrap_expect_count, 0);
+    }
+
+    // ---- rule 6: hot-path-alloc -------------------------------------------
+
+    #[test]
+    fn hot_path_alloc_fires_inside_hot_fns_only() {
+        let src = r#"
+            pub fn step(&mut self) {
+                let scratch: Vec<f32> = Vec::new();
+                let copy = self.adam.clone();
+            }
+            pub fn backward_grads(&mut self) {
+                let rows = vec![0u32; 4];
+            }
+            pub fn gather_into(&self, out: &mut [f32]) {
+                let msg = format!("x");
+            }
+            pub fn setup(&mut self) {
+                // Not a hot-path name: allocation here is fine.
+                let table: Vec<f32> = Vec::new();
+                let s = String::from("boot");
+            }
+        "#;
+        let a = analyze("crates/nn/src/fixture.rs", "nn", src);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        assert_eq!(a.hot_path_alloc.len(), 4, "{:?}", a.hot_path_alloc);
+        assert!(a
+            .hot_path_alloc
+            .iter()
+            .all(|d| d.rule == Rule::HotPathAlloc));
+    }
+
+    #[test]
+    fn hot_path_alloc_respects_waiver_and_exemptions() {
+        let waived = r#"
+            pub fn step(&mut self) {
+                // lint: allow(hot-path-alloc, reason="one-time lazy init")
+                let scratch: Vec<f32> = Vec::new();
+            }
+        "#;
+        let a = analyze("crates/nn/src/fixture.rs", "nn", waived);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        assert!(a.hot_path_alloc.is_empty(), "{:?}", a.hot_path_alloc);
+
+        // The bench crate is exempt wholesale.
+        let src = "pub fn step(&mut self) { let v: Vec<f32> = Vec::new(); }";
+        let a = analyze("crates/bench/src/fixture.rs", "bench", src);
+        assert!(a.hot_path_alloc.is_empty(), "{:?}", a.hot_path_alloc);
+
+        // Test code inside a non-exempt crate is exempt too.
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn step() { let v: Vec<f32> = Vec::new(); }
+            }
+        "#;
+        let a = analyze("crates/nn/src/fixture.rs", "nn", src);
+        assert!(a.hot_path_alloc.is_empty(), "{:?}", a.hot_path_alloc);
+    }
+
+    #[test]
+    fn unused_hot_path_alloc_waiver_is_flagged() {
+        let src = r#"
+            pub fn step(&mut self) {
+                // lint: allow(hot-path-alloc, reason="stale: nothing allocates below")
+                let x = 1 + 1;
+            }
+        "#;
+        let a = analyze("crates/nn/src/fixture.rs", "nn", src);
+        assert_eq!(
+            rules_of(&a),
+            vec![Rule::UnusedWaiver],
+            "{:?}",
+            a.diagnostics
+        );
+    }
+
+    // ---- rule 7: float-reduction-order ------------------------------------
+
+    #[test]
+    fn float_reduction_fires_on_float_sum_product_fold() {
+        let src = r#"
+            pub fn stats(xs: &[f32]) -> f32 {
+                let s = xs.iter().sum::<f32>();
+                let p = xs.iter().map(|&x| x as f64).product::<f64>();
+                let f = xs.iter().fold(0.0f32, |acc, &x| acc + x);
+                s + p as f32 + f
+            }
+        "#;
+        let a = analyze("crates/core/src/fixture.rs", "core", src);
+        assert_eq!(
+            rules_of(&a),
+            vec![
+                Rule::FloatReductionOrder,
+                Rule::FloatReductionOrder,
+                Rule::FloatReductionOrder
+            ],
+            "{:?}",
+            a.diagnostics
+        );
+    }
+
+    #[test]
+    fn float_reduction_skips_integer_and_untyped_sums() {
+        let src = r#"
+            pub fn counts(xs: &[u32]) -> u64 {
+                let a = xs.iter().map(|&x| x as u64).sum::<u64>();
+                let b: u64 = xs.iter().map(|&x| x as u64).sum();
+                let c = xs.iter().map(|&x| x as u64).product::<u64>();
+                let d = xs.iter().fold(0u64, |acc, &x| acc + x as u64);
+                a + b + c + d
+            }
+        "#;
+        let a = analyze("crates/core/src/fixture.rs", "core", src);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn float_reduction_respects_allowlist_waiver_and_test_code() {
+        // Fixed-iteration-order modules are allowlisted wholesale.
+        let src = "pub fn dot(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() }";
+        let a = analyze("crates/tensor/src/ops.rs", "tensor", src);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+
+        // A reasoned waiver suppresses the diagnostic elsewhere.
+        let waived = r#"
+            pub fn total(xs: &[f32]) -> f32 {
+                // lint: allow(float-reduction-order, reason="slice order is structural")
+                xs.iter().sum::<f32>()
+            }
+        "#;
+        let a = analyze("crates/core/src/fixture.rs", "core", waived);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+
+        // Test code may reduce floats freely.
+        let test_src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let s: f32 = [1.0f32].iter().sum::<f32>(); let _ = s; }
+            }
+        "#;
+        let a = analyze("crates/core/src/fixture.rs", "core", test_src);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
     }
 }

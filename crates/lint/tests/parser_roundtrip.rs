@@ -1,0 +1,125 @@
+//! The brace-tree parser's structural invariant: flattening the tree
+//! re-emits every token exactly once, in source order. Checked two ways —
+//! against every real source file in this workspace, and against randomly
+//! generated brace-balanced pseudo-Rust (proptest), which exercises
+//! nesting shapes the real sources happen not to contain.
+
+use optinter_lint::lexer::lex;
+use optinter_lint::parser::Tree;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = rd.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            let name = entry.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs(&entry, out);
+        } else if entry.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(entry);
+        }
+    }
+}
+
+fn assert_roundtrip(label: &str, src: &str) {
+    let tokens = lex(src).unwrap_or_else(|e| panic!("{label}: lex error: {e:?}"));
+    let tree = Tree::parse(&tokens).unwrap_or_else(|e| panic!("{label}: parse error: {e:?}"));
+    let flat = tree.flatten(tokens.len());
+    let expect: Vec<usize> = (0..tokens.len()).collect();
+    assert_eq!(
+        flat, expect,
+        "{label}: flatten is not a token-for-token round-trip"
+    );
+}
+
+/// Every `.rs` file in the workspace (shims included — they are real Rust
+/// too, even if the linter's rules skip them) must parse into a tree that
+/// flattens back to the identity permutation.
+#[test]
+fn every_workspace_source_roundtrips() {
+    let root = optinter_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let mut files = Vec::new();
+    collect_rs(&root, &mut files);
+    assert!(
+        files.len() > 40,
+        "walker found only {} files; wrong root?",
+        files.len()
+    );
+    let mut fns_seen = 0usize;
+    for path in files {
+        let src = std::fs::read_to_string(&path).expect("readable source");
+        let label = path.display().to_string();
+        assert_roundtrip(&label, &src);
+        let tokens = lex(&src).expect("already lexed once");
+        fns_seen += Tree::parse(&tokens).expect("already parsed once").fns.len();
+    }
+    assert!(
+        fns_seen > 500,
+        "only {fns_seen} fn items across the workspace; fn detection is broken"
+    );
+}
+
+/// Renders a byte script as brace-balanced pseudo-Rust. Each byte picks a
+/// fragment; closing braces are only emitted below the current depth and
+/// whatever stays open is closed at the end, so every generated source is
+/// balanced by construction.
+fn render_source(script: &[u8]) -> String {
+    let fragments: [&str; 12] = [
+        "fn f() {\n",
+        "pub fn g(x: u32) -> u32 {\n",
+        "}\n",
+        "let x = 1;\n",
+        "if x > 0 {\n",
+        "match x {\n",
+        "struct S;\n",
+        "// a comment with } and { inside\n",
+        "let s = \"string with } brace\";\n",
+        "let c = '{';\n",
+        "#[inline]\n",
+        "let y = 2.5e3 + x as f32;\n",
+    ];
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for &b in script {
+        let frag = fragments[b as usize % fragments.len()];
+        if frag.starts_with('}') {
+            if depth == 0 {
+                continue;
+            }
+            depth -= 1;
+        } else if frag.trim_end().ends_with('{') {
+            depth += 1;
+        }
+        out.push_str(frag);
+    }
+    for _ in 0..depth {
+        out.push_str("}\n");
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    // 0..12 covers every fragment exactly once (render_source indexes mod 12).
+    fn random_brace_balanced_sources_roundtrip(script in proptest::collection::vec(0u8..12, 0..120)) {
+        let src = render_source(&script);
+        let tokens = lex(&src).expect("generated source must lex");
+        let tree = match Tree::parse(&tokens) {
+            Ok(t) => t,
+            Err(e) => panic!("generated source failed to parse: {e:?}\n---\n{src}"),
+        };
+        let flat = tree.flatten(tokens.len());
+        let expect: Vec<usize> = (0..tokens.len()).collect();
+        prop_assert_eq!(flat, expect);
+    }
+}

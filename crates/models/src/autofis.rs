@@ -239,13 +239,13 @@ impl CtrModel for AutoFis {
         self.emb
             .accumulate_grad_fields(&batch.fields, m, &self.d_emb);
         self.adam.begin_step();
-        let mut adam = self.adam.clone();
+        let mut adam = self.adam;
         self.mlp.visit_params(&mut |p| adam.step(p, 0.0));
         self.adam = adam;
         self.emb.apply_adam(&self.adam, self.l2);
         if self.fixed_mask.is_none() {
             self.grda.begin_step();
-            let mut grda = self.grda.clone();
+            let mut grda = self.grda;
             grda.step(&mut self.gates, 0.0);
             self.grda = grda;
         } else {

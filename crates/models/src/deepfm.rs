@@ -163,7 +163,7 @@ impl CtrModel for DeepFm {
             .accumulate_grad_fields(&batch.fields, m, &self.d_emb);
         self.bias.grad.set(0, 0, dbias);
         self.adam.begin_step();
-        let mut adam = self.adam.clone();
+        let mut adam = self.adam;
         self.mlp.visit_params(&mut |p| adam.step(p, 0.0));
         adam.step(&mut self.bias, 0.0);
         self.adam = adam;

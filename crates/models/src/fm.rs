@@ -37,6 +37,8 @@ pub struct FmFamily {
     num_fields: usize,
     dim: usize,
     pairs: PairIndexer,
+    /// Recycled per-field id buffer for the linear-term sparse update.
+    ids_scratch: Vec<u32>,
 }
 
 impl FmFamily {
@@ -70,6 +72,7 @@ impl FmFamily {
             num_fields,
             dim: k,
             pairs,
+            ids_scratch: Vec::new(),
         }
     }
 
@@ -172,7 +175,7 @@ impl CtrModel for FmFamily {
             let g = numerics::stable_bce_grad(z, y) * inv_b;
             grad_rows.set(r, 0, g);
             dbias += g;
-            let row = emb.row(r).to_vec();
+            let row = emb.row(r);
             let d_row = d_emb.row_mut(r);
             match self.variant {
                 Variant::Plain => {
@@ -201,10 +204,10 @@ impl CtrModel for FmFamily {
                 }
                 Variant::FieldMatrixed => {
                     for (p, (i, j)) in self.pairs.iter().enumerate() {
-                        let w = self.pair_params.value.row(p).to_vec();
+                        let w = self.pair_params.value.row(p);
                         let dw = self.pair_params.grad.row_mut(p);
-                        let vi: Vec<f32> = row[i * k..(i + 1) * k].to_vec();
-                        let vj: Vec<f32> = row[j * k..(j + 1) * k].to_vec();
+                        let vi = &row[i * k..(i + 1) * k];
+                        let vj = &row[j * k..(j + 1) * k];
                         for a in 0..k {
                             let mut wvj = 0.0f32;
                             for c in 0..k {
@@ -226,15 +229,17 @@ impl CtrModel for FmFamily {
         }
         // Linear part.
         for f in 0..m {
-            let ids: Vec<u32> = (0..b).map(|r| batch.fields[r * m + f]).collect();
-            self.linear.accumulate_grad(&ids, &grad_rows);
+            self.ids_scratch.clear();
+            self.ids_scratch
+                .extend((0..b).map(|r| batch.fields[r * m + f]));
+            self.linear.accumulate_grad(&self.ids_scratch, &grad_rows);
         }
         self.emb.accumulate_grad_fields(&batch.fields, m, &d_emb);
         self.bias.grad.set(0, 0, dbias);
         self.adam.begin_step();
         self.linear.apply_adam(&self.adam, 0.0);
         self.emb.apply_adam(&self.adam, self.l2);
-        let mut adam = self.adam.clone();
+        let mut adam = self.adam;
         adam.step(&mut self.bias, 0.0);
         if self.variant != Variant::Plain {
             adam.step(&mut self.pair_params, 0.0);

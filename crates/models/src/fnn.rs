@@ -80,7 +80,7 @@ impl CtrModel for Fnn {
         self.emb
             .accumulate_grad_fields(&batch.fields, m, &self.dinput);
         self.adam.begin_step();
-        let mut adam = self.adam.clone();
+        let mut adam = self.adam;
         self.mlp.visit_params(&mut |p| adam.step(p, 0.0));
         self.adam = adam;
         self.emb.apply_adam(&self.adam, self.l2);

@@ -15,6 +15,11 @@ pub struct Lr {
     adam: Adam,
     l2: f32,
     num_fields: usize,
+    /// Scratch reused across train steps so steady-state training is
+    /// allocation-free (proven by `tests/alloc_steady_state.rs`).
+    logits_scratch: Vec<f32>,
+    grad_rows: Matrix,
+    ids_scratch: Vec<u32>,
 }
 
 impl Lr {
@@ -28,14 +33,18 @@ impl Lr {
             adam: Adam::with_lr_eps(cfg.lr, cfg.adam_eps),
             l2: cfg.l2,
             num_fields,
+            logits_scratch: Vec::new(),
+            grad_rows: Matrix::zeros(0, 1),
+            ids_scratch: Vec::new(),
         }
     }
 
-    fn logits(&self, batch: &Batch) -> Vec<f32> {
+    fn logits_into(&self, batch: &Batch, out: &mut Vec<f32>) {
         let m = self.num_fields;
         let b = batch.len();
         let bias = self.bias.value.get(0, 0);
-        let mut out = Vec::with_capacity(b);
+        out.clear();
+        out.reserve(b);
         for r in 0..b {
             let mut z = bias;
             for f in 0..m {
@@ -43,6 +52,11 @@ impl Lr {
             }
             out.push(z);
         }
+    }
+
+    fn logits(&self, batch: &Batch) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.logits_into(batch, &mut out);
         out
     }
 }
@@ -64,28 +78,33 @@ impl CtrModel for Lr {
     fn train_batch(&mut self, batch: &Batch) -> f32 {
         let m = self.num_fields;
         let b = batch.len();
-        let logits = self.logits(batch);
+        let mut logits = std::mem::take(&mut self.logits_scratch);
+        self.logits_into(batch, &mut logits);
         let inv_b = 1.0 / b as f32;
         let mut loss = 0.0f32;
-        let mut grad_rows = Matrix::zeros(b, 1);
+        self.grad_rows.reset(b, 1);
         let mut dbias = 0.0f32;
         for (r, &z) in logits.iter().enumerate().take(b) {
             let y = batch.labels[r];
             loss += numerics::stable_bce(z, y);
             let g = numerics::stable_bce_grad(z, y) * inv_b;
-            grad_rows.set(r, 0, g);
+            self.grad_rows.set(r, 0, g);
             dbias += g;
         }
         // Each field contributes gradient g to its weight.
         for f in 0..m {
-            let ids: Vec<u32> = (0..b).map(|r| batch.fields[r * m + f]).collect();
-            self.weights.accumulate_grad(&ids, &grad_rows);
+            self.ids_scratch.clear();
+            self.ids_scratch
+                .extend((0..b).map(|r| batch.fields[r * m + f]));
+            self.weights
+                .accumulate_grad(&self.ids_scratch, &self.grad_rows);
         }
         self.bias.grad.set(0, 0, dbias);
         self.adam.begin_step();
         self.weights.apply_adam(&self.adam, self.l2);
-        let mut adam = self.adam.clone();
+        let mut adam = self.adam;
         adam.step(&mut self.bias, 0.0);
+        self.logits_scratch = logits;
         loss * inv_b
     }
 

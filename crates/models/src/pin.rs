@@ -190,7 +190,7 @@ impl CtrModel for Pin {
         self.emb
             .accumulate_grad_fields(&batch.fields, m, &self.d_emb);
         self.adam.begin_step();
-        let mut adam = self.adam.clone();
+        let mut adam = self.adam;
         self.top.visit_params(&mut |p| adam.step(p, 0.0));
         for subnet in self.subnets.iter_mut() {
             subnet.visit_params(&mut |p| adam.step(p, 0.0));

@@ -215,7 +215,7 @@ impl CtrModel for Pnn {
         self.emb
             .accumulate_grad_fields(&batch.fields, self.num_fields, &self.d_emb);
         self.adam.begin_step();
-        let mut adam = self.adam.clone();
+        let mut adam = self.adam;
         self.mlp.visit_params(&mut |p| adam.step(p, 0.0));
         self.adam = adam;
         self.emb.apply_adam(&self.adam, self.l2);

@@ -16,6 +16,8 @@ pub struct Poly2 {
     l2: f32,
     num_fields: usize,
     num_pairs: usize,
+    /// Scratch reused across train steps (zero-alloc steady state).
+    ids_scratch: Vec<u32>,
 }
 
 impl Poly2 {
@@ -35,6 +37,7 @@ impl Poly2 {
             l2: cfg.l2,
             num_fields,
             num_pairs,
+            ids_scratch: Vec::new(),
         }
     }
 
@@ -90,18 +93,22 @@ impl CtrModel for Poly2 {
             dbias += g;
         }
         for f in 0..m {
-            let ids: Vec<u32> = (0..b).map(|r| batch.fields[r * m + f]).collect();
-            self.linear.accumulate_grad(&ids, &grad_rows);
+            self.ids_scratch.clear();
+            self.ids_scratch
+                .extend((0..b).map(|r| batch.fields[r * m + f]));
+            self.linear.accumulate_grad(&self.ids_scratch, &grad_rows);
         }
         for k in 0..p {
-            let ids: Vec<u32> = (0..b).map(|r| batch.cross[r * p + k]).collect();
-            self.cross.accumulate_grad(&ids, &grad_rows);
+            self.ids_scratch.clear();
+            self.ids_scratch
+                .extend((0..b).map(|r| batch.cross[r * p + k]));
+            self.cross.accumulate_grad(&self.ids_scratch, &grad_rows);
         }
         self.bias.grad.set(0, 0, dbias);
         self.adam.begin_step();
         self.linear.apply_adam(&self.adam, self.l2);
         self.cross.apply_adam(&self.adam, self.l2);
-        let mut adam = self.adam.clone();
+        let mut adam = self.adam;
         adam.step(&mut self.bias, 0.0);
         loss * inv_b
     }

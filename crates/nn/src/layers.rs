@@ -156,6 +156,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        // lint: allow(hot-path-alloc, reason="allocating convenience Layer API; the training loop calls backward_inplace")
         let mut dx = grad_out.clone();
         self.backward_inplace(&mut dx);
         dx

@@ -20,7 +20,7 @@ pub trait DenseOptimizer {
 }
 
 /// Plain stochastic gradient descent.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Sgd {
     /// Learning rate.
     pub lr: f32,
@@ -79,7 +79,9 @@ impl Default for AdamConfig {
 }
 
 /// Adam optimizer with per-parameter moment state and a shared timestep.
-#[derive(Debug, Clone)]
+/// `Copy` so hot-path callers that need a disjoint borrow can copy the
+/// optimizer (config + timestep) instead of heap-cloning it.
+#[derive(Debug, Clone, Copy)]
 pub struct Adam {
     /// Hyper-parameters.
     pub config: AdamConfig,
@@ -153,8 +155,9 @@ impl DenseOptimizer for Adam {
         p.ensure_slots();
         let (bc1, bc2) = self.bias_corrections();
         let c = self.config;
-        let m = p.slot_a.as_mut().expect("adam m slot");
-        let v = p.slot_b.as_mut().expect("adam v slot");
+        let (Some(m), Some(v)) = (p.slot_a.as_mut(), p.slot_b.as_mut()) else {
+            unreachable!("ensure_slots allocated both moment slots");
+        };
         let value = p.value.as_mut_slice();
         let grad = p.grad.as_mut_slice();
         for i in 0..value.len() {
@@ -205,7 +208,7 @@ impl Default for GrdaConfig {
 }
 
 /// GRDA optimizer. Keeps the dual accumulator in the parameter's slot A.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Grda {
     /// Hyper-parameters.
     pub config: GrdaConfig,
@@ -234,11 +237,14 @@ impl DenseOptimizer for Grda {
         // The accumulator starts at the initial parameter value so that the
         // first shrinkage is relative to the initialisation.
         if p.slot_a.is_none() {
+            // lint: allow(hot-path-alloc, reason="one-time lazy accumulator init on the first step, not steady-state")
             p.slot_a = Some(p.value.clone());
         }
         let lr = self.config.lr;
         let thr = self.threshold();
-        let acc = p.slot_a.as_mut().expect("grda accumulator");
+        let Some(acc) = p.slot_a.as_mut() else {
+            unreachable!("accumulator initialised above");
+        };
         for i in 0..p.value.len() {
             let a = acc.as_mut_slice();
             a[i] -= lr * p.grad.as_slice()[i];

@@ -31,16 +31,27 @@ pub fn softmax_rows_inplace(m: &mut Matrix, tau: f32) {
     }
 }
 
-/// Row-wise softmax over a plain slice, returning probabilities.
-pub fn softmax_slice(x: &[f32], tau: f32) -> Vec<f32> {
+/// Softmax over a plain slice, written into a caller-provided buffer —
+/// the allocation-free form of [`softmax_slice`] for hot paths.
+pub fn softmax_into(x: &[f32], tau: f32, out: &mut [f32]) {
     assert!(tau > 0.0, "softmax temperature must be positive, got {tau}");
+    assert_eq!(x.len(), out.len(), "softmax_into: length mismatch");
     let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let mut out: Vec<f32> = x.iter().map(|&v| ((v - max) / tau).exp()).collect();
-    let sum: f32 = out.iter().sum();
+    let mut sum = 0.0f32;
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = ((v - max) / tau).exp();
+        sum += *o;
+    }
     let inv = 1.0 / sum;
     for v in out.iter_mut() {
         *v *= inv;
     }
+}
+
+/// Row-wise softmax over a plain slice, returning probabilities.
+pub fn softmax_slice(x: &[f32], tau: f32) -> Vec<f32> {
+    let mut out = vec![0.0; x.len()];
+    softmax_into(x, tau, &mut out);
     out
 }
 

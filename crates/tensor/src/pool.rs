@@ -142,7 +142,12 @@ impl Inner {
             debug_assert_eq!(st.running, 0, "pool: overlapping run calls");
             st.epoch += 1;
             st.task = Some(task);
-            st.counter = Arc::new(AtomicUsize::new(0));
+            // Reset in place rather than allocating a fresh Arc: by the
+            // time a new epoch starts, the completion barrier of the
+            // previous `run` guarantees no worker still touches the
+            // counter, and keeping `run` allocation-free is what lets
+            // tests/alloc_steady_state.rs hold across thread counts.
+            st.counter.store(0, Ordering::Relaxed);
             st.num_jobs = num_jobs;
             st.running = self.workers;
             self.shared.work.notify_all();

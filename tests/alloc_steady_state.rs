@@ -1,0 +1,179 @@
+//! Runtime cross-check of the `hot-path-alloc` lint rule: a counting
+//! global allocator proves that steady-state training performs **zero**
+//! heap allocations per batch — for the fixed-architecture OptInterNet,
+//! the search-stage Supernet, and the LR baseline, with the prefetching
+//! pipeline on and off.
+//!
+//! The static rule (`optinter-lint`, DESIGN.md §10) can only flag
+//! allocation *tokens* it can see; this test closes the loop by counting
+//! what the allocator actually does. Together they make the zero-alloc
+//! claim in `crates/data/src/prefetch.rs` and `optinter_nn::Workspace`
+//! enforceable instead of aspirational.
+//!
+//! Everything runs inside a single `#[test]` so no concurrent test can
+//! pollute the global counter.
+
+use optinter_core::net::DataDims;
+use optinter_core::{Architecture, FactFn, Method, OptInterConfig, OptInterNet, Supernet};
+use optinter_data::{Batch, BatchStream, DatasetBundle, Profile};
+use optinter_models::{BaselineConfig, CtrModel, Lr};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of heap acquisitions (alloc + realloc) since process start.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A pass-through allocator that counts every heap acquisition.
+/// Deallocations are free to happen (dropping moves no new memory), so
+/// only `alloc` and `realloc` bump the counter. `alloc_zeroed` falls back
+/// to the default impl, which routes through `alloc`.
+struct CountingAlloc;
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// GlobalAlloc contract; the counter update has no effect on the returned
+// memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: layout is forwarded unchanged to `System.alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    // SAFETY: ptr/layout come from a matching `alloc` and are forwarded
+    // unchanged to `System.dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: ptr/layout/new_size are forwarded unchanged to
+    // `System.realloc`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const ROWS: usize = 1_920;
+const BATCH: usize = 128; // divides ROWS: every batch has the same size
+const NUM_BATCHES: usize = ROWS / BATCH;
+
+/// Batches to exclude from the zero-alloc assertion at the start of the
+/// measurement epoch. With prefetching the producer's `NUM_BUFFERS` (4)
+/// recycled buffers plus the `QUEUE_SLOTS` (2) in-flight batches grow to
+/// full size while the consumer works through the first few batches;
+/// inline, a single recycled buffer reaches full size immediately.
+const WARMUP_PREFETCH: usize = 6;
+const WARMUP_INLINE: usize = 2;
+
+fn bundle() -> DatasetBundle {
+    Profile::Tiny.bundle_with_rows(ROWS, 29)
+}
+
+/// Runs one warm-up epoch (grows every scratch buffer to its working-set
+/// maximum), then a measurement epoch asserting that each post-warm-up
+/// batch triggered zero heap acquisitions — anywhere in the process,
+/// producer thread included.
+fn assert_zero_alloc_epoch(
+    name: &str,
+    bundle: &DatasetBundle,
+    prefetch: bool,
+    train: &mut dyn FnMut(&Batch),
+) {
+    let warmup = if prefetch {
+        WARMUP_PREFETCH
+    } else {
+        WARMUP_INLINE
+    };
+    BatchStream::new(&bundle.data, 0..ROWS, BATCH, Some(0))
+        .prefetch(prefetch)
+        .for_each(|b| train(b));
+
+    let mut marks: Vec<u64> = Vec::with_capacity(NUM_BATCHES + 1);
+    BatchStream::new(&bundle.data, 0..ROWS, BATCH, Some(1))
+        .prefetch(prefetch)
+        .for_each(|b| {
+            marks.push(ALLOCS.load(Ordering::Relaxed));
+            train(b);
+        });
+    marks.push(ALLOCS.load(Ordering::Relaxed));
+
+    assert_eq!(
+        marks.len(),
+        NUM_BATCHES + 1,
+        "{name}: unexpected batch count"
+    );
+    for (k, pair) in marks.windows(2).enumerate().skip(warmup) {
+        assert_eq!(
+            pair[1] - pair[0],
+            0,
+            "{name} (prefetch={prefetch}): batch {k} of the measurement epoch \
+             performed {} heap allocation(s); steady-state training must not \
+             touch the heap",
+            pair[1] - pair[0],
+        );
+    }
+}
+
+#[test]
+fn steady_state_training_performs_zero_heap_allocations() {
+    // Sanity: the counter actually observes allocations.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let probe: Vec<u8> = Vec::with_capacity(64);
+    std::hint::black_box(&probe);
+    assert!(
+        ALLOCS.load(Ordering::Relaxed) > before,
+        "counting allocator is not installed"
+    );
+    drop(probe);
+
+    let bundle = bundle();
+    let dims = DataDims::of(&bundle.data);
+
+    for prefetch in [false, true] {
+        // Fixed-architecture OptInterNet with a mix of all three methods,
+        // on the 2-thread pool so the worker hand-off path is covered.
+        let arch = Architecture::new(
+            (0..dims.num_pairs)
+                .map(|p| Method::from_index(p % 3))
+                .collect(),
+        );
+        let cfg = OptInterConfig {
+            seed: 7,
+            num_threads: 2,
+            fact_fn: FactFn::Generalized,
+            ..OptInterConfig::test_small()
+        };
+        let mut net = OptInterNet::new(cfg, dims.clone(), arch);
+        let mut loss_sum = 0.0f32;
+        assert_zero_alloc_epoch("OptInterNet", &bundle, prefetch, &mut |b| {
+            loss_sum += net.train_batch(b);
+        });
+        assert!(loss_sum.is_finite(), "OptInterNet loss diverged");
+
+        // Search-stage Supernet: Gumbel draws, relaxed mixing, arch grads.
+        let cfg = OptInterConfig {
+            seed: 11,
+            num_threads: 2,
+            fact_fn: FactFn::Generalized,
+            ..OptInterConfig::test_small()
+        };
+        let mut supernet = Supernet::new(cfg, dims.clone());
+        let mut loss_sum = 0.0f32;
+        assert_zero_alloc_epoch("Supernet", &bundle, prefetch, &mut |b| {
+            loss_sum += supernet.train_batch(b, 0.7);
+        });
+        assert!(loss_sum.is_finite(), "Supernet loss diverged");
+
+        // A paper baseline: logistic regression through the CtrModel trait.
+        let cfg = BaselineConfig::test_small();
+        let mut lr = Lr::new(&cfg, bundle.data.orig_vocab, bundle.data.num_fields);
+        let mut loss_sum = 0.0f32;
+        assert_zero_alloc_epoch("LR", &bundle, prefetch, &mut |b| {
+            loss_sum += lr.train_batch(b);
+        });
+        assert!(loss_sum.is_finite(), "LR loss diverged");
+    }
+}
