@@ -62,6 +62,36 @@ impl Batch {
             self.labels.push(data.labels[r]);
         }
     }
+
+    /// Clears the buffer and fixes its per-example shape, ready for
+    /// [`Batch::push_row`]. Capacity is retained, so a recycled buffer
+    /// assembles request rows without heap allocations — the serving
+    /// micro-batcher's steady-state path.
+    pub fn begin(&mut self, num_fields: usize, num_pairs: usize) {
+        self.fields.clear();
+        self.cross.clear();
+        self.labels.clear();
+        self.num_fields = num_fields;
+        self.num_pairs = num_pairs;
+    }
+
+    /// Appends one example. `cross` may be empty (a cross-free batch) or
+    /// exactly `num_pairs` long; mixing the two within a batch panics on
+    /// the next consumer shape check.
+    pub fn push_row(&mut self, fields: &[u32], cross: &[u32], label: f32) {
+        debug_assert_eq!(
+            fields.len(),
+            self.num_fields,
+            "push_row: field count mismatch"
+        );
+        debug_assert!(
+            cross.is_empty() || cross.len() == self.num_pairs,
+            "push_row: cross width mismatch"
+        );
+        self.fields.extend_from_slice(fields);
+        self.cross.extend_from_slice(cross);
+        self.labels.push(label);
+    }
 }
 
 /// Iterator producing gathered mini-batches over a row range.

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod channel;
 pub mod cross;
 pub mod dataset;
 pub mod generator;

@@ -32,9 +32,9 @@
 //! propagates the panic to the caller.
 
 use crate::batch::{Batch, BatchIter};
+use crate::channel;
 use crate::dataset::EncodedDataset;
 use std::ops::Range;
-use std::sync::mpsc;
 
 /// Recycled batch buffers owned by the pipeline. Two can sit in the full
 /// queue while one is being filled and one is being consumed.
@@ -119,12 +119,15 @@ impl<'a> BatchStream<'a> {
             return;
         }
         std::thread::scope(|scope| {
-            let (full_tx, full_rx) = mpsc::sync_channel::<Batch>(QUEUE_SLOTS);
-            // The free-list is bounded too: an unbounded channel allocates a
-            // node per send, while a sync_channel works out of a ring buffer
-            // sized up front. Capacity NUM_BUFFERS means a send can never
-            // block — there are only NUM_BUFFERS buffers in existence.
-            let (free_tx, free_rx) = mpsc::sync_channel::<Batch>(NUM_BUFFERS);
+            // `optinter_data::channel` rather than `std::sync::mpsc`: the
+            // std channel lazily registers parked threads in a growable
+            // waker list, so the first blocking recv of an epoch could
+            // allocate mid-measurement. Ours preallocates everything.
+            let (full_tx, full_rx) = channel::bounded::<Batch>(QUEUE_SLOTS);
+            // The free-list is bounded too, at capacity NUM_BUFFERS, so a
+            // send can never block — there are only NUM_BUFFERS buffers in
+            // existence.
+            let (free_tx, free_rx) = channel::bounded::<Batch>(NUM_BUFFERS);
             scope.spawn(move || {
                 let mut fresh: Vec<Batch> = (0..NUM_BUFFERS).map(|_| Batch::empty()).collect();
                 loop {

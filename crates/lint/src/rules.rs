@@ -106,7 +106,7 @@ pub struct FileMeta {
 }
 
 /// Crates whose non-test code the hash-iter rule applies to.
-const HASH_ITER_CRATES: &[&str] = &["tensor", "nn", "core", "models", "metrics", "data"];
+const HASH_ITER_CRATES: &[&str] = &["tensor", "nn", "core", "models", "metrics", "data", "serve"];
 
 /// Modules allowed to contain `unsafe` (with SAFETY comments).
 const UNSAFE_ALLOWLIST: &[&str] = &[

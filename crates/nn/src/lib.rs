@@ -39,7 +39,7 @@ mod proptests;
 
 pub use embedding::EmbeddingTable;
 pub use layers::{Dense, LayerNorm, Relu};
-pub use loss::{bce_with_logits, bce_with_logits_into};
+pub use loss::{bce_with_logits, bce_with_logits_into, probabilities_into};
 pub use mlp::{Mlp, MlpConfig};
 pub use optim::{Adam, AdamConfig, DenseOptimizer, Grda, GrdaConfig, Sgd};
 pub use param::Parameter;

@@ -46,6 +46,22 @@ pub fn probabilities(logits: &Matrix) -> Vec<f32> {
         .collect()
 }
 
+/// [`probabilities`] into a caller-owned buffer (cleared first) — the
+/// allocation-free form the serving scorer uses. Applies the same
+/// `sigmoid`, so outputs are bitwise-identical to the allocating form.
+pub fn probabilities_into(logits: &Matrix, out: &mut Vec<f32>) {
+    assert_eq!(
+        logits.cols(),
+        1,
+        "probabilities_into: logits must be [B, 1]"
+    );
+    out.clear();
+    out.reserve(logits.rows());
+    for i in 0..logits.rows() {
+        out.push(numerics::sigmoid(logits.get(i, 0)));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +99,18 @@ mod tests {
         crate::gradcheck::assert_grad_matches(&logits, &grad, 1e-3, 1e-2, |m| {
             bce_with_logits(m, &labels).0
         });
+    }
+
+    #[test]
+    fn probabilities_into_matches_allocating_form_bitwise() {
+        let logits = Matrix::from_rows(&[&[0.3], &[-1.7], &[42.0]]);
+        let alloc = probabilities(&logits);
+        let mut reused = vec![9.9f32; 8]; // stale contents must be cleared
+        probabilities_into(&logits, &mut reused);
+        assert_eq!(alloc.len(), reused.len());
+        for (a, b) in alloc.iter().zip(reused.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

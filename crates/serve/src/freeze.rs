@@ -1,0 +1,230 @@
+//! Turning a trained `OptInterNet` into a [`FrozenModel`].
+//!
+//! Freeze-time layout work:
+//!
+//! - **Hot-first embedding reorder.** Vocab ids are already
+//!   frequency-then-key per field (`optinter_data::vocab`): within each
+//!   field's block, local id 0 is OOV and ids ascend by decreasing
+//!   frequency. The freezer interleaves fields *rank-major* — every
+//!   field's rank-0 row, then every rank-1 row, ... — so the rows a
+//!   Zipf-hot request mix actually touches cluster in the first pages of
+//!   the arena. The permutation is stored as `row_map` (training id →
+//!   arena row) and undone at lookup time, so scoring reads identical
+//!   bytes.
+//! - **Contiguous arena.** Each table is one dense `Matrix`; rows are
+//!   copied verbatim (f32) or quantized ([`Quant::F16`] / [`Quant::Int8`]).
+//! - **AUC-delta gate.** Quantization is only accepted when the frozen
+//!   scorer's AUC on a held-out synthetic eval set moves by at most
+//!   `max_auc_delta` from the training-path AUC ([`freeze_gated`]).
+
+use crate::artifact::{FrozenModel, Quant, TensorData};
+use crate::scorer::FrozenScorer;
+use optinter_core::net::DataDims;
+use optinter_core::OptInterNet;
+use optinter_data::{Batch, BatchIter, EncodedDataset};
+use optinter_metrics::auc;
+use optinter_tensor::Matrix;
+use std::fmt;
+use std::ops::Range;
+
+/// Why a gated freeze was rejected.
+#[derive(Debug)]
+pub enum FreezeError {
+    /// Quantization moved eval AUC beyond the allowed delta.
+    AucGate {
+        /// Training-path AUC on the eval set.
+        base_auc: f64,
+        /// Frozen (quantized) scorer AUC on the eval set.
+        frozen_auc: f64,
+        /// |base - frozen|.
+        delta: f64,
+        /// The configured ceiling.
+        max_delta: f64,
+    },
+    /// The frozen artifact failed to load back into a scorer — indicates
+    /// a freezer bug, surfaced as an error instead of a panic.
+    Model(String),
+}
+
+impl fmt::Display for FreezeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FreezeError::AucGate {
+                base_auc,
+                frozen_auc,
+                delta,
+                max_delta,
+            } => write!(
+                f,
+                "quantization rejected: eval AUC {base_auc:.6} -> {frozen_auc:.6} \
+                 (delta {delta:.6} > allowed {max_delta:.6})"
+            ),
+            FreezeError::Model(e) => write!(f, "frozen model rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FreezeError {}
+
+/// Rank-major hot-first permutation over the per-field vocab blocks:
+/// `row_map[training_id] = arena_row`. Fields' equally-ranked (equally
+/// hot) rows are adjacent in the arena.
+pub fn hot_first_row_map(field_offsets: &[u32], orig_vocab: u32) -> Vec<u32> {
+    let m = field_offsets.len();
+    let mut map = vec![0u32; orig_vocab as usize];
+    let mut next = 0u32;
+    let mut rank = 0u32;
+    let mut placed = 0usize;
+    while placed < orig_vocab as usize {
+        let before = placed;
+        for f in 0..m {
+            let lo = field_offsets[f];
+            let hi = if f + 1 < m {
+                field_offsets[f + 1]
+            } else {
+                orig_vocab
+            };
+            let id = lo + rank;
+            if id < hi {
+                map[id as usize] = next;
+                next += 1;
+                placed += 1;
+            }
+        }
+        assert!(
+            placed > before,
+            "hot_first_row_map: inconsistent field offsets"
+        );
+        rank += 1;
+    }
+    map
+}
+
+/// Applies a row permutation: `out.row(map[g]) = weights.row(g)`.
+fn permute_rows(weights: &Matrix, map: &[u32]) -> Matrix {
+    let (rows, cols) = weights.shape();
+    debug_assert_eq!(rows, map.len());
+    let mut out = Matrix::zeros(rows, cols);
+    for (g, &dst) in map.iter().enumerate() {
+        out.row_mut(dst as usize).copy_from_slice(weights.row(g));
+    }
+    out
+}
+
+/// Freezes a trained network into serving layout, without an accuracy
+/// gate. Use [`freeze_gated`] when quantizing.
+///
+/// `data` must be the dataset the network was trained against — its
+/// `field_offsets` drive the hot-first reorder and its dimensions are
+/// validated against the network's.
+pub fn freeze(net: &mut OptInterNet, data: &EncodedDataset, quant: Quant) -> FrozenModel {
+    let dims = DataDims::of(data);
+    let cfg = net.config().clone();
+    let arch = net.architecture().clone();
+    assert_eq!(
+        arch.num_pairs(),
+        dims.num_pairs,
+        "freeze: architecture/dataset mismatch"
+    );
+
+    let row_map = hot_first_row_map(&data.field_offsets, data.orig_vocab);
+    let weights = net.export_weights();
+    let mut tensors = Vec::with_capacity(weights.len());
+    for (name, matrix) in &weights {
+        let data = match name.as_str() {
+            // Embedding tables are the memory giants: reorder (e_orig)
+            // and quantize (both). Everything else stays f32.
+            "e_orig" => TensorData::encode(&permute_rows(matrix, &row_map), quant),
+            "e_cross" => TensorData::encode(matrix, quant),
+            _ => TensorData::F32(matrix.clone()),
+        };
+        tensors.push((name.clone(), data));
+    }
+
+    FrozenModel {
+        orig_dim: cfg.orig_dim,
+        cross_dim: cfg.cross_dim,
+        hidden: cfg.hidden.clone(),
+        layer_norm: cfg.layer_norm,
+        fact_fn: cfg.fact_fn,
+        quant,
+        dims,
+        arch,
+        row_map,
+        tensors,
+    }
+}
+
+/// [`freeze`] plus the AUC-delta acceptance gate: scores `eval_rows` of
+/// `data` through both the training path and the frozen scorer and
+/// rejects the artifact when the AUCs differ by more than `max_auc_delta`.
+///
+/// Returns the artifact together with the measured delta.
+///
+/// # Errors
+/// [`FreezeError::AucGate`] when the gate fires; [`FreezeError::Model`]
+/// if the freshly-frozen artifact cannot be loaded (freezer bug).
+pub fn freeze_gated(
+    net: &mut OptInterNet,
+    data: &EncodedDataset,
+    eval_rows: Range<usize>,
+    quant: Quant,
+    max_auc_delta: f64,
+) -> Result<(FrozenModel, f64), FreezeError> {
+    let frozen = freeze(net, data, quant);
+    let mut scorer =
+        FrozenScorer::new(&frozen, 1).map_err(|e| FreezeError::Model(e.to_string()))?;
+
+    let batch_size = net.config().batch_size;
+    let mut base_probs = Vec::new();
+    let mut frozen_probs = Vec::new();
+    let mut labels = Vec::new();
+    let mut batch = Batch::empty();
+    let mut scored = Vec::new();
+    let mut iter = BatchIter::new(data, eval_rows, batch_size, None).with_cross(true);
+    while iter.next_into(&mut batch) {
+        base_probs.extend(net.predict(&batch));
+        scorer.score_into(&batch, &mut scored);
+        frozen_probs.extend_from_slice(&scored);
+        labels.extend_from_slice(&batch.labels);
+    }
+
+    let base_auc = auc(&base_probs, &labels);
+    let frozen_auc = auc(&frozen_probs, &labels);
+    let delta = (base_auc - frozen_auc).abs();
+    if delta > max_auc_delta {
+        return Err(FreezeError::AucGate {
+            base_auc,
+            frozen_auc,
+            delta,
+            max_delta: max_auc_delta,
+        });
+    }
+    Ok((frozen, delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_major_map_interleaves_fields() {
+        // Two fields: sizes 3 and 2 (offsets 0, 3).
+        let map = hot_first_row_map(&[0, 3], 5);
+        // rank 0: ids 0 (f0) and 3 (f1); rank 1: ids 1, 4; rank 2: id 2.
+        assert_eq!(map, vec![0, 2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn map_is_a_permutation_on_ragged_fields() {
+        let offsets = [0u32, 1, 8, 10];
+        let vocab = 17u32;
+        let map = hot_first_row_map(&offsets, vocab);
+        let mut seen = vec![false; vocab as usize];
+        for &v in &map {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

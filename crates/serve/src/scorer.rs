@@ -1,0 +1,402 @@
+//! Zero-alloc single-request (and micro-batch) scorer over a frozen
+//! artifact.
+//!
+//! Bit-parity contract: for an unquantized ([`Quant::F32`]) artifact,
+//! [`FrozenScorer::score_into`] produces probabilities bitwise-identical
+//! to `OptInterNet::predict` on the same batch at any thread count. That
+//! holds because every stage reuses the training path's machinery:
+//!
+//! - embedding lookups are pure row copies (the hot-first permutation is
+//!   undone through `row_map`, so identical bytes land in identical
+//!   scratch positions);
+//! - MLP-input assembly runs the same per-row closure under the same
+//!   owner-computes [`Pool::for_rows`] sharding as `forward_step`;
+//! - the classifier is a real [`Mlp`] rebuilt from the frozen weights, so
+//!   the blocked matmul kernels and LayerNorm are literally the training
+//!   code;
+//! - probabilities go through the same `sigmoid`.
+//!
+//! Steady-state scoring performs zero heap allocations (proved by
+//! `tests/alloc_steady_state.rs`): all scratch lives in the scorer and is
+//! `reset` in place per request.
+
+use crate::artifact::{ArtifactError, FrozenModel, Quant};
+use optinter_core::net::DataDims;
+use optinter_core::{FactFn, Method};
+use optinter_data::Batch;
+use optinter_nn::loss::probabilities_into;
+use optinter_nn::{Layer, Mlp, MlpConfig};
+use optinter_tensor::{Matrix, Pool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Below this many scalars a pooled lookup dispatch costs more than the
+/// copies; mirrors `POOL_MIN_WORK` in `optinter_nn::embedding`. Either
+/// path writes identical bytes, so this is purely a latency knob.
+const SERIAL_LOOKUP_MIN: usize = 16 * 1024;
+
+/// Where a pair's features land in the MLP input — the same layout
+/// `OptInterNet::new` derives, recomputed from the frozen metadata.
+#[derive(Debug, Clone, Copy)]
+struct PairSlot {
+    method: Method,
+    input_offset: usize,
+    mem_slot: usize,
+    compact_offset: u32,
+}
+
+/// Deterministic serving-side replica of the training-time pair layout.
+#[derive(Debug)]
+struct PairLayout {
+    slots: Vec<PairSlot>,
+    num_memorized: usize,
+    input_dim: usize,
+    cross_rows: usize,
+}
+
+impl PairLayout {
+    fn of(model: &FrozenModel) -> Self {
+        let s1 = model.orig_dim;
+        let s2 = model.cross_dim;
+        let dims = &model.dims;
+        let mut slots = Vec::with_capacity(dims.num_pairs);
+        let mut input_offset = dims.num_fields * s1;
+        let mut compact_offset = 0u32;
+        let mut mem_slot = 0usize;
+        for p in 0..dims.num_pairs {
+            let method = model.arch.method(p);
+            slots.push(PairSlot {
+                method,
+                input_offset,
+                mem_slot,
+                compact_offset,
+            });
+            match method {
+                Method::Memorize => {
+                    input_offset += s2;
+                    compact_offset += dims.pair_vocab_sizes[p];
+                    mem_slot += 1;
+                }
+                Method::Factorize => input_offset += s1,
+                Method::Naive => {}
+            }
+        }
+        Self {
+            slots,
+            num_memorized: mem_slot,
+            input_dim: input_offset,
+            cross_rows: compact_offset.max(1) as usize,
+        }
+    }
+}
+
+/// A loaded, immutable model plus per-scorer scratch. One instance serves
+/// one thread of control; clone-free request scoring after warm-up.
+pub struct FrozenScorer {
+    dims: DataDims,
+    orig_dim: usize,
+    cross_dim: usize,
+    fact_fn: FactFn,
+    quant: Quant,
+    layout: PairLayout,
+    /// Hot-first embedding arena (permuted rows).
+    e_orig: Matrix,
+    /// Compact cross table (training order).
+    e_cross: Matrix,
+    fact_weights: Option<Matrix>,
+    row_map: Vec<u32>,
+    mlp: Mlp,
+    pool: Pool,
+    // Per-request scratch, reused across calls.
+    eo: Matrix,
+    em: Matrix,
+    input: Matrix,
+    logits: Matrix,
+    mem_ids: Vec<u32>,
+}
+
+impl FrozenScorer {
+    /// Builds a scorer over `model` with a `num_threads`-wide pool.
+    ///
+    /// # Errors
+    /// Returns [`ArtifactError::Corrupt`] when the model's tensors are
+    /// missing or shaped inconsistently with its metadata.
+    pub fn new(model: &FrozenModel, num_threads: usize) -> Result<Self, ArtifactError> {
+        let layout = PairLayout::of(model);
+        let dims = model.dims.clone();
+        let s1 = model.orig_dim;
+        let s2 = model.cross_dim;
+
+        if model.row_map.len() != dims.orig_vocab as usize {
+            return Err(corrupt(format!(
+                "row_map has {} entries for vocab {}",
+                model.row_map.len(),
+                dims.orig_vocab
+            )));
+        }
+        let e_orig = fetch(model, "e_orig", dims.orig_vocab as usize, s1)?;
+        let e_cross = fetch(model, "e_cross", layout.cross_rows, s2)?;
+        let fact_weights = if model.fact_fn == FactFn::Generalized {
+            Some(fetch(model, "fact_weights", dims.num_pairs, s1)?)
+        } else {
+            if model.tensor("fact_weights").is_some() {
+                return Err(corrupt(format!(
+                    "fact_weights present but fact_fn is {:?}",
+                    model.fact_fn
+                )));
+            }
+            None
+        };
+
+        // Rebuild a real Mlp (same kernels as training) and overwrite its
+        // parameters with the frozen ones, checking count and shapes.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mlp = Mlp::new(
+            &mut rng,
+            &MlpConfig {
+                input_dim: layout.input_dim,
+                hidden: model.hidden.clone(),
+                output_dim: 1,
+                layer_norm: model.layer_norm,
+                ln_eps: 1e-5,
+            },
+        );
+        let mut idx = 0usize;
+        let mut err: Option<ArtifactError> = None;
+        mlp.visit_params(&mut |p| {
+            if err.is_some() {
+                return;
+            }
+            let name = format!("mlp.{idx}");
+            match fetch(model, &name, p.value.rows(), p.value.cols()) {
+                Ok(m) => p.value = m,
+                Err(e) => err = Some(e),
+            }
+            idx += 1;
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        let expected_tensors = 2 + fact_weights.is_some() as usize + idx;
+        if model.tensors.len() != expected_tensors {
+            return Err(corrupt(format!(
+                "artifact has {} tensors, model shape needs {expected_tensors}",
+                model.tensors.len()
+            )));
+        }
+
+        let pool = Pool::new(num_threads);
+        mlp.set_pool(&pool);
+        Ok(Self {
+            dims,
+            orig_dim: s1,
+            cross_dim: s2,
+            fact_fn: model.fact_fn,
+            quant: model.quant,
+            layout,
+            e_orig,
+            e_cross,
+            fact_weights,
+            row_map: model.row_map.clone(),
+            mlp,
+            pool,
+            eo: Matrix::zeros(0, 0),
+            em: Matrix::zeros(0, 0),
+            input: Matrix::zeros(0, 0),
+            logits: Matrix::zeros(0, 0),
+            mem_ids: Vec::new(),
+        })
+    }
+
+    /// MLP input dimension (diagnostics).
+    pub fn input_dim(&self) -> usize {
+        self.layout.input_dim
+    }
+
+    /// Quantization mode of the loaded artifact.
+    pub fn quant(&self) -> Quant {
+        self.quant
+    }
+
+    /// Dataset dimensions baked into the artifact.
+    pub fn dims(&self) -> &DataDims {
+        &self.dims
+    }
+
+    /// Scores a batch of requests into `out` (cleared first): `out[i]` is
+    /// the predicted click probability of row `i`. Labels in `batch` are
+    /// ignored. Allocation-free at steady state.
+    pub fn score_into(&mut self, batch: &Batch, out: &mut Vec<f32>) {
+        let m = self.dims.num_fields;
+        let s1 = self.orig_dim;
+        let s2 = self.cross_dim;
+        assert_eq!(batch.num_fields, m, "FrozenScorer: field count mismatch");
+        let b = batch.len();
+        lookup_rows_into(
+            &self.e_orig,
+            Some(&self.row_map),
+            &batch.fields,
+            m,
+            &self.pool,
+            &mut self.eo,
+        );
+        self.gather_mem_ids_into(batch);
+        if self.layout.num_memorized > 0 {
+            lookup_rows_into(
+                &self.e_cross,
+                None,
+                &self.mem_ids,
+                self.layout.num_memorized,
+                &self.pool,
+                &mut self.em,
+            );
+        } else {
+            self.em.reset(b, 0);
+        }
+        // MLP-input assembly: the same per-row closure as
+        // `OptInterNet::forward_step`, sharded owner-computes so any
+        // thread count writes identical bytes.
+        self.input.reset(b, self.layout.input_dim);
+        {
+            let input_dim = self.layout.input_dim;
+            let slots = &self.layout.slots;
+            let pairs = self.dims.pairs();
+            let fact_fn = self.fact_fn;
+            let fw_val = self.fact_weights.as_ref();
+            let eo_ref = &self.eo;
+            let em_ref = &self.em;
+            self.pool
+                .for_rows(self.input.as_mut_slice(), input_dim, |r, dst_row| {
+                    let eo_row = eo_ref.row(r);
+                    dst_row[..m * s1].copy_from_slice(eo_row);
+                    for (p, slot) in slots.iter().enumerate() {
+                        match slot.method {
+                            Method::Memorize => {
+                                let src =
+                                    &em_ref.row(r)[slot.mem_slot * s2..(slot.mem_slot + 1) * s2];
+                                dst_row[slot.input_offset..slot.input_offset + s2]
+                                    .copy_from_slice(src);
+                            }
+                            Method::Factorize => {
+                                let (i, j) = pairs.pair_at(p);
+                                let (ei_start, ej_start) = (i * s1, j * s1);
+                                match fact_fn {
+                                    FactFn::Hadamard => {
+                                        for c in 0..s1 {
+                                            dst_row[slot.input_offset + c] =
+                                                eo_row[ei_start + c] * eo_row[ej_start + c];
+                                        }
+                                    }
+                                    FactFn::PointwiseAdd => {
+                                        for c in 0..s1 {
+                                            dst_row[slot.input_offset + c] =
+                                                eo_row[ei_start + c] + eo_row[ej_start + c];
+                                        }
+                                    }
+                                    FactFn::Generalized => {
+                                        let Some(fw) = fw_val else {
+                                            unreachable!("generalized slot without fact_weights")
+                                        };
+                                        let w = fw.row(p);
+                                        for c in 0..s1 {
+                                            dst_row[slot.input_offset + c] =
+                                                w[c] * eo_row[ei_start + c] * eo_row[ej_start + c];
+                                        }
+                                    }
+                                }
+                            }
+                            Method::Naive => {}
+                        }
+                    }
+                });
+        }
+        self.mlp.forward_into(&self.input, &mut self.logits);
+        probabilities_into(&self.logits, out);
+    }
+
+    /// Translates global cross ids to compact-table ids for memorized
+    /// pairs, exactly as the training path does.
+    fn gather_mem_ids_into(&mut self, batch: &Batch) {
+        self.mem_ids.clear();
+        if self.layout.num_memorized == 0 {
+            return;
+        }
+        assert!(
+            !batch.cross.is_empty(),
+            "architecture memorizes pairs but the batch has no cross features"
+        );
+        let p_count = self.dims.num_pairs;
+        let b = batch.len();
+        self.mem_ids.reserve(b * self.layout.num_memorized);
+        for r in 0..b {
+            let row = &batch.cross[r * p_count..(r + 1) * p_count];
+            for (p, slot) in self.layout.slots.iter().enumerate() {
+                if slot.method == Method::Memorize {
+                    let local = row[p] - self.dims.pair_offsets[p];
+                    self.mem_ids.push(slot.compact_offset + local);
+                }
+            }
+        }
+    }
+}
+
+fn corrupt(why: String) -> ArtifactError {
+    ArtifactError::Corrupt(why)
+}
+
+/// Fetches a named tensor, dequantizes it, and checks its shape.
+fn fetch(
+    model: &FrozenModel,
+    name: &str,
+    rows: usize,
+    cols: usize,
+) -> Result<Matrix, ArtifactError> {
+    let Some(t) = model.tensor(name) else {
+        return Err(corrupt(format!("missing tensor `{name}`")));
+    };
+    if t.rows() != rows || t.cols() != cols {
+        return Err(corrupt(format!(
+            "tensor `{name}` is {}x{}, expected {rows}x{cols}",
+            t.rows(),
+            t.cols()
+        )));
+    }
+    Ok(t.to_matrix())
+}
+
+/// Embedding gather: copies `table.row(map[flat[..]])` (or the identity
+/// mapping) into `out`, `[B, num_fields * dim]`. Row copies are
+/// order-independent, so the serial and pooled paths write identical
+/// bytes; the threshold only picks the faster one.
+fn lookup_rows_into(
+    table: &Matrix,
+    map: Option<&[u32]>,
+    flat: &[u32],
+    num_fields: usize,
+    pool: &Pool,
+    out: &mut Matrix,
+) {
+    let dim = table.cols();
+    debug_assert!(num_fields > 0);
+    debug_assert_eq!(flat.len() % num_fields, 0);
+    let batch = flat.len() / num_fields;
+    let width = num_fields * dim;
+    out.reset(batch, width);
+    let copy_row = |r: usize, dst: &mut [f32]| {
+        let ids = &flat[r * num_fields..(r + 1) * num_fields];
+        for (f, &id) in ids.iter().enumerate() {
+            let row = match map {
+                Some(m) => m[id as usize],
+                None => id,
+            };
+            dst[f * dim..(f + 1) * dim].copy_from_slice(table.row(row as usize));
+        }
+    };
+    if pool.is_serial() || flat.len() * dim < SERIAL_LOOKUP_MIN {
+        for r in 0..batch {
+            copy_row(r, out.row_mut(r));
+        }
+    } else {
+        pool.for_rows(out.as_mut_slice(), width, copy_row);
+    }
+}

@@ -109,6 +109,8 @@ struct State {
     num_jobs: usize,
     /// Workers still executing (or yet to notice) the current epoch.
     running: usize,
+    /// Workers that have finished OS-level thread startup.
+    started: usize,
     panicked: bool,
     shutdown: bool,
 }
@@ -194,6 +196,18 @@ impl Drop for Inner {
 
 fn worker_loop(shared: Arc<Shared>) {
     let mut seen_epoch = 0u64;
+    {
+        // Report startup so `Pool::new` can wait for it: the std runtime
+        // performs a few heap allocations on the *child* thread before
+        // this function runs (stack-overflow handler, thread-name
+        // registration), and until this point is reached they could land
+        // at an arbitrary moment in the parent's timeline — including
+        // inside a caller's zero-allocation measurement window
+        // (tests/alloc_steady_state.rs).
+        let mut st = shared.state.lock().unwrap();
+        st.started += 1;
+        shared.done.notify_all();
+    }
     loop {
         let (task, counter, num_jobs) = {
             let mut st = shared.state.lock().unwrap();
@@ -258,6 +272,7 @@ impl Pool {
                 counter: Arc::new(AtomicUsize::new(0)),
                 num_jobs: 0,
                 running: 0,
+                started: 0,
                 panicked: false,
                 shutdown: false,
             }),
@@ -273,6 +288,16 @@ impl Pool {
                     .expect("pool: failed to spawn worker thread")
             })
             .collect();
+        // Absorb worker startup before handing the pool out: after this
+        // wait, every thread's lazy runtime allocations are behind us and
+        // the steady state is genuinely allocation-free from the first
+        // `run` call.
+        {
+            let mut st = shared.state.lock().unwrap();
+            while st.started < workers {
+                st = shared.done.wait(st).unwrap();
+            }
+        }
         Self {
             inner: Some(Arc::new(Inner {
                 shared,

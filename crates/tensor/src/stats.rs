@@ -41,6 +41,19 @@ pub fn min_max(xs: &[f64]) -> (f64, f64) {
     (lo, hi)
 }
 
+/// Nearest-rank percentile of an ascending-sorted slice, `q` in `[0, 1]`.
+/// `q = 0` yields the minimum, `q = 1` the maximum.
+///
+/// # Panics
+/// Panics on empty input.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    debug_assert!((0.0..=1.0).contains(&q), "percentile rank out of range");
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
 /// Pearson correlation coefficient of two equal-length slices.
 ///
 /// Returns 0 when either side has zero variance.

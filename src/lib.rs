@@ -12,7 +12,9 @@
 //! - [`core`] — the OptInter framework: combination block, Gumbel-softmax
 //!   search, two-stage training;
 //! - [`models`] — the baseline zoo (LR, Poly2, FM family, FNN, PNNs,
-//!   DeepFM, PIN, AutoFIS).
+//!   DeepFM, PIN, AutoFIS);
+//! - [`serve`] — the low-latency serving path: frozen artifacts,
+//!   zero-alloc scoring, micro-batching front door.
 //!
 //! ## Quickstart
 //!
@@ -35,4 +37,5 @@ pub use optinter_data as data;
 pub use optinter_metrics as metrics;
 pub use optinter_models as models;
 pub use optinter_nn as nn;
+pub use optinter_serve as serve;
 pub use optinter_tensor as tensor;

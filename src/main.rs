@@ -21,6 +21,10 @@ use optinter::core::{
 };
 use optinter::data::{DatasetBundle, Profile};
 use optinter::metrics::expected_calibration_error;
+use optinter::serve::{
+    freeze_gated, run_zipf_load, FrozenModel, FrozenScorer, LoadSpec, MicroBatchOptions,
+    MonotonicClock, Quant,
+};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -43,6 +47,8 @@ fn main() -> ExitCode {
         "search" => cmd_search(&opts),
         "train" => cmd_train(&opts),
         "evaluate" => cmd_evaluate(&opts),
+        "freeze" => cmd_freeze(&opts),
+        "serve" => cmd_serve(&opts),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -70,6 +76,12 @@ USAGE:
                     [--save model.bin]
   optinter evaluate --profile <name> [--rows N] [--seed S]
                     --load model.bin [--arch-file f | --arch MFN..]
+  optinter freeze   --profile <name> [--rows N] [--seed S]
+                    --load model.bin [--arch-file f | --arch MFN..]
+                    --out model.osa [--quant f32|f16|int8] [--max-auc-delta 0.001]
+  optinter serve    --profile <name> [--rows N] [--seed S]
+                    --load-artifact model.osa [--threads N] [--requests N]
+                    [--zipf S] [--max-batch N] [--deadline-us U]
 
 PROFILES: criteo_like, avazu_like, ipinyou_like, private_like, tiny";
 
@@ -220,8 +232,10 @@ fn cmd_train(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_evaluate(opts: &Options) -> Result<(), String> {
-    let bundle = opts.bundle()?;
+/// Builds a network from `--load model.bin` plus the architecture flags
+/// (or the `.arch` side-file written by `train --save`) — shared by
+/// `evaluate` and `freeze`.
+fn load_trained_net(opts: &Options, bundle: &DatasetBundle) -> Result<OptInterNet, String> {
     let cfg = opts.config(bundle.data.num_pairs)?;
     let path = PathBuf::from(opts.get("load").ok_or("missing --load")?);
     // Architecture: explicit flag, or the side-file written by `train --save`.
@@ -233,8 +247,15 @@ fn cmd_evaluate(opts: &Options) -> Result<(), String> {
             .map_err(|e| format!("{}: {e}", arch_path.display()))?;
         architecture_from_string(s.trim())?
     };
-    let mut net = OptInterNet::new(cfg.clone(), DataDims::of(&bundle.data), arch);
+    let mut net = OptInterNet::new(cfg, DataDims::of(&bundle.data), arch);
     load_net_weights(&mut net, &path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(net)
+}
+
+fn cmd_evaluate(opts: &Options) -> Result<(), String> {
+    let bundle = opts.bundle()?;
+    let cfg = opts.config(bundle.data.num_pairs)?;
+    let mut net = load_trained_net(opts, &bundle)?;
     let mut probs = Vec::new();
     let mut labels = Vec::new();
     optinter::data::BatchStream::new(
@@ -256,6 +277,108 @@ fn cmd_evaluate(opts: &Options) -> Result<(), String> {
         eval.log_loss,
         ece,
         labels.len()
+    );
+    Ok(())
+}
+
+fn cmd_freeze(opts: &Options) -> Result<(), String> {
+    let bundle = opts.bundle()?;
+    let mut net = load_trained_net(opts, &bundle)?;
+    let out = PathBuf::from(opts.get("out").ok_or("missing --out")?);
+    let quant = match opts.get("quant").unwrap_or("f32") {
+        "f32" => Quant::F32,
+        "f16" => Quant::F16,
+        "int8" => Quant::Int8,
+        other => return Err(format!("unknown --quant `{other}` (f32|f16|int8)")),
+    };
+    let max_auc_delta = match opts.get("max-auc-delta") {
+        None => 0.001,
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("bad --max-auc-delta `{s}`"))?,
+    };
+    eprintln!(
+        "freezing ({} rows of held-out eval data)...",
+        bundle.split.test.len()
+    );
+    let (frozen, delta) = freeze_gated(
+        &mut net,
+        &bundle.data,
+        bundle.split.test.clone(),
+        quant,
+        max_auc_delta,
+    )
+    .map_err(|e| e.to_string())?;
+    frozen
+        .write_file(&out)
+        .map_err(|e| format!("{}: {e}", out.display()))?;
+    let bytes = frozen.to_bytes().len();
+    println!(
+        "froze {} artifact: {} tensors, {} embedding rows hot-first, \
+         AUC delta {delta:.6} (gate {max_auc_delta}), {bytes} bytes -> {}",
+        quant.name(),
+        frozen.tensors.len(),
+        frozen.row_map.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    let bundle = opts.bundle()?;
+    let path = PathBuf::from(opts.get("load-artifact").ok_or("missing --load-artifact")?);
+    let frozen = FrozenModel::read_file(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if frozen.dims.num_fields != bundle.data.num_fields
+        || frozen.dims.num_pairs != bundle.data.num_pairs
+    {
+        return Err(format!(
+            "artifact was frozen for {} fields / {} pairs, dataset has {} / {}",
+            frozen.dims.num_fields,
+            frozen.dims.num_pairs,
+            bundle.data.num_fields,
+            bundle.data.num_pairs
+        ));
+    }
+    let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
+        match opts.get(key) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("bad --{key} `{s}`")),
+        }
+    };
+    let threads = parse_usize("threads", 1)?;
+    let requests = parse_usize("requests", 50_000)?;
+    let max_batch = parse_usize("max-batch", 32)?;
+    let deadline_us = parse_usize("deadline-us", 200)?;
+    let zipf_s = match opts.get("zipf") {
+        None => 1.05,
+        Some(s) => s.parse().map_err(|_| format!("bad --zipf `{s}`"))?,
+    };
+    let mut scorer = FrozenScorer::new(&frozen, threads).map_err(|e| e.to_string())?;
+    let clock = MonotonicClock::new();
+    let mb = MicroBatchOptions {
+        queue_slots: 2 * max_batch.max(1),
+        max_batch,
+        deadline_ns: deadline_us as u64 * 1_000,
+    };
+    let spec = LoadSpec {
+        requests,
+        zipf_s,
+        seed: opts.seed()?,
+        interarrival_ns: 0,
+    };
+    eprintln!(
+        "serving {requests} Zipf(s={zipf_s}) requests, {threads} thread(s), \
+         max batch {max_batch}, deadline {deadline_us}us..."
+    );
+    let report = run_zipf_load(&mut scorer, &bundle.data, &clock, &mb, &spec);
+    let s = report.summary();
+    println!(
+        "scored {} requests: p50 {:.1}us  p99 {:.1}us  p999 {:.1}us  {:.0} rows/s",
+        s.count,
+        s.p50_ns / 1_000.0,
+        s.p99_ns / 1_000.0,
+        s.p999_ns / 1_000.0,
+        s.rows_per_sec
     );
     Ok(())
 }

@@ -17,6 +17,7 @@ use optinter_core::net::DataDims;
 use optinter_core::{Architecture, FactFn, Method, OptInterConfig, OptInterNet, Supernet};
 use optinter_data::{Batch, BatchStream, DatasetBundle, Profile};
 use optinter_models::{BaselineConfig, CtrModel, Lr};
+use optinter_serve::{freeze, serve, FrozenScorer, ManualClock, MicroBatchOptions, Quant};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -175,5 +176,104 @@ fn steady_state_training_performs_zero_heap_allocations() {
             loss_sum += lr.train_batch(b);
         });
         assert!(loss_sum.is_finite(), "LR loss diverged");
+    }
+
+    // ------------------------------------------------------------------
+    // Serving path. Same allocator, same bar: after warm-up, neither the
+    // single-request scorer nor the micro-batching front door may touch
+    // the heap per request.
+
+    let arch = Architecture::new(
+        (0..dims.num_pairs)
+            .map(|p| Method::from_index(p % 3))
+            .collect(),
+    );
+    let cfg = OptInterConfig {
+        seed: 13,
+        num_threads: 2,
+        fact_fn: FactFn::Generalized,
+        ..OptInterConfig::test_small()
+    };
+    let mut net = OptInterNet::new(cfg, dims.clone(), arch);
+    let frozen = freeze(&mut net, &bundle.data, Quant::F32);
+    let mut scorer = FrozenScorer::new(&frozen, 2).expect("frozen model loads");
+
+    // Single-request scorer: warm the scratch buffers, then count.
+    let mut batch = Batch::empty();
+    let mut probs = Vec::new();
+    for row in 0..8 {
+        batch.begin(bundle.data.num_fields, bundle.data.num_pairs);
+        batch.push_row(bundle.data.row_fields(row), bundle.data.row_cross(row), 0.0);
+        scorer.score_into(&batch, &mut probs);
+    }
+    for row in 0..64 {
+        batch.begin(bundle.data.num_fields, bundle.data.num_pairs);
+        batch.push_row(bundle.data.row_fields(row), bundle.data.row_cross(row), 0.0);
+        let before = ALLOCS.load(Ordering::Relaxed);
+        scorer.score_into(&batch, &mut probs);
+        let after = ALLOCS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "single-request scorer: request {row} performed {} heap \
+             allocation(s); serving must not touch the heap",
+            after - before
+        );
+    }
+
+    // Mutation control: the counter must catch an allocation on this very
+    // path — scoring into a *fresh* (capacity-0) output vector has to
+    // grow it on the heap. If this stops tripping, the assertions above
+    // are vacuous.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut fresh_probs = Vec::new();
+    scorer.score_into(&batch, &mut fresh_probs);
+    assert!(
+        ALLOCS.load(Ordering::Relaxed) > before,
+        "negative control failed: fresh output vector did not allocate"
+    );
+    drop(fresh_probs);
+
+    // Micro-batching front door: ManualClock never advances, so batches
+    // flush purely on max_batch; request buffers, the pending queue and
+    // the gather batch all reach steady-state size within the first few
+    // full buffer cycles.
+    const REQUESTS: usize = 512;
+    const SERVE_WARMUP: usize = 64;
+    let clock = ManualClock::new();
+    let opts = MicroBatchOptions {
+        queue_slots: 8,
+        max_batch: 8,
+        deadline_ns: u64::MAX / 2,
+    };
+    let mut serve_marks: Vec<u64> = Vec::with_capacity(REQUESTS + 1);
+    serve(
+        &mut scorer,
+        &clock,
+        &opts,
+        |mut submitter| {
+            for k in 0..REQUESTS {
+                let row = k % ROWS;
+                assert!(submitter.submit(
+                    k as u64,
+                    bundle.data.row_fields(row),
+                    bundle.data.row_cross(row),
+                ));
+            }
+        },
+        |resp| {
+            assert!(resp.prob.is_finite());
+            serve_marks.push(ALLOCS.load(Ordering::Relaxed));
+        },
+    );
+    assert_eq!(serve_marks.len(), REQUESTS, "micro-batcher lost responses");
+    for (k, pair) in serve_marks.windows(2).enumerate().skip(SERVE_WARMUP) {
+        assert_eq!(
+            pair[1] - pair[0],
+            0,
+            "micro-batch front door: response {k} performed {} heap \
+             allocation(s) at steady state",
+            pair[1] - pair[0]
+        );
     }
 }
