@@ -1,21 +1,46 @@
 //! The ratchet baselines: committed per-crate ceilings that may only go
-//! down.
+//! down, plus the declared reachability roots.
 //!
-//! Two tables live in `lint-baseline.toml` at the workspace root:
-//! `[unwrap-expect]` ceilings on `.unwrap()` / `.expect(` counts and
-//! `[hot-path-alloc]` ceilings on unwaived allocation sites inside the
-//! hot-path function set (see `rules::is_hot_fn`). We parse the tiny TOML
-//! subset we emit ourselves (`[table]` headers, `key = integer` lines, `#`
-//! comments) rather than pulling in a TOML crate — the linter is
-//! dependency-free by design.
+//! Five tables live in `lint-baseline.toml` at the workspace root:
+//!
+//! - `[unwrap-expect]` — per-crate ceilings on `.unwrap()` / `.expect(`
+//!   counts.
+//! - `[hot-path-alloc]` — per-crate ceilings on unwaived allocation sites
+//!   inside the *derived* hot-path fn set (reachable from
+//!   `[hot-path-roots]` plus the `*_into`/`step*` naming convention, see
+//!   `rules::is_hot_fn` and DESIGN.md §12).
+//! - `[hot-path-roots]` — named entry points whose transitive callees form
+//!   the hot-path set: `name = "qualified::fn::path"`.
+//! - `[panic-free-roots]` — entry points that must not reach a panic
+//!   site: `name = "qualified::fn::path"`, with an optional ` +index`
+//!   suffix that additionally bans unchecked slice indexing (used for the
+//!   untrusted-bytes artifact decode path).
+//! - `[panic-free]` — per-root ceilings on unwaived reachable panic sites.
+//!
+//! We parse the tiny TOML subset we emit ourselves (`[table]` headers,
+//! `key = integer` and `key = "string"` lines, `#` comments) rather than
+//! pulling in a TOML crate — the linter is dependency-free by design.
 
 use std::collections::BTreeMap;
 
-/// Per-crate ceilings, keyed by crate key (`tensor`, `nn`, ..., `root`).
+/// One `[panic-free-roots]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootSpec {
+    /// Qualified fn-path suffix (`serve::scorer::FrozenScorer::score_into`).
+    pub pattern: String,
+    /// Also count unchecked slice-index sites (` +index` suffix).
+    pub index_strict: bool,
+}
+
+/// Per-crate ceilings, keyed by crate key (`tensor`, `nn`, ..., `root`),
+/// plus the reachability roots and per-root panic-free ceilings.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
     pub unwrap_expect: BTreeMap<String, usize>,
     pub hot_path_alloc: BTreeMap<String, usize>,
+    pub hot_path_roots: BTreeMap<String, String>,
+    pub panic_free_roots: BTreeMap<String, RootSpec>,
+    pub panic_free: BTreeMap<String, usize>,
 }
 
 impl Baseline {
@@ -39,25 +64,83 @@ impl Baseline {
             }
             let Some((key, value)) = line.split_once('=') else {
                 return Err(format!(
-                    "baseline line {lineno}: expected `key = integer`, got `{line}`"
+                    "baseline line {lineno}: expected `key = value`, got `{line}`"
                 ));
             };
             let key = key.trim().trim_matches('"').to_string();
-            let value: usize = value.trim().parse().map_err(|_| {
-                format!("baseline line {lineno}: value is not a non-negative integer")
-            })?;
-            let table = match section.as_str() {
-                "unwrap-expect" => &mut baseline.unwrap_expect,
-                "hot-path-alloc" => &mut baseline.hot_path_alloc,
+            // Strip a trailing same-line comment from unquoted values.
+            let value = value.trim();
+            match section.as_str() {
+                "unwrap-expect" | "hot-path-alloc" | "panic-free" => {
+                    let value = value.split('#').next().unwrap_or("").trim();
+                    let value: usize = value.parse().map_err(|_| {
+                        format!("baseline line {lineno}: value is not a non-negative integer")
+                    })?;
+                    let table = match section.as_str() {
+                        "unwrap-expect" => &mut baseline.unwrap_expect,
+                        "hot-path-alloc" => &mut baseline.hot_path_alloc,
+                        _ => &mut baseline.panic_free,
+                    };
+                    if table.insert(key.clone(), value).is_some() {
+                        return Err(format!("baseline line {lineno}: duplicate key `{key}`"));
+                    }
+                }
+                "hot-path-roots" | "panic-free-roots" => {
+                    let Some(s) = value
+                        .strip_prefix('"')
+                        .and_then(|v| v.split('"').next())
+                        .filter(|s| !s.is_empty())
+                    else {
+                        return Err(format!(
+                            "baseline line {lineno}: root value must be a non-empty quoted \
+                             string, got `{value}`"
+                        ));
+                    };
+                    if section == "hot-path-roots" {
+                        if s.contains(' ') {
+                            return Err(format!(
+                                "baseline line {lineno}: hot-path root `{s}` must be a bare \
+                                 fn path (no flags)"
+                            ));
+                        }
+                        if baseline
+                            .hot_path_roots
+                            .insert(key.clone(), s.to_string())
+                            .is_some()
+                        {
+                            return Err(format!("baseline line {lineno}: duplicate key `{key}`"));
+                        }
+                    } else {
+                        let (pattern, index_strict) = match s.split_once(' ') {
+                            None => (s.to_string(), false),
+                            Some((p, "+index")) => (p.to_string(), true),
+                            Some((_, flag)) => {
+                                return Err(format!(
+                                    "baseline line {lineno}: unknown panic-free root flag \
+                                     `{flag}` (recognised: +index)"
+                                ));
+                            }
+                        };
+                        let spec = RootSpec {
+                            pattern,
+                            index_strict,
+                        };
+                        if baseline
+                            .panic_free_roots
+                            .insert(key.clone(), spec)
+                            .is_some()
+                        {
+                            return Err(format!("baseline line {lineno}: duplicate key `{key}`"));
+                        }
+                    }
+                }
                 other => {
                     return Err(format!(
                         "baseline line {lineno}: unknown table `[{other}]` (recognised: \
-                         [unwrap-expect], [hot-path-alloc])"
+                         [unwrap-expect], [hot-path-alloc], [hot-path-roots], \
+                         [panic-free-roots], [panic-free])"
                     ));
                 }
-            };
-            if table.insert(key.clone(), value).is_some() {
-                return Err(format!("baseline line {lineno}: duplicate key `{key}`"));
             }
         }
         Ok(baseline)
@@ -69,9 +152,12 @@ impl Baseline {
         out.push_str(
             "# Ratchet baselines, maintained by `cargo run -p optinter-lint -- update-baseline`.\n\
              # Per-crate ceilings on `.unwrap()` / `.expect(` sites ([unwrap-expect]) and on\n\
-             # unwaived allocation sites inside hot-path fns ([hot-path-alloc]), both counted\n\
-             # in non-test code. Counts may only decrease; raising a ceiling requires editing\n\
-             # this file by hand in the same PR that adds the site, which is the review hook.\n\
+             # unwaived allocation sites inside the derived hot-path fn set\n\
+             # ([hot-path-alloc]), both counted in non-test code. [hot-path-roots] and\n\
+             # [panic-free-roots] declare the reachability entry points (DESIGN.md \u{a7}12);\n\
+             # [panic-free] ratchets unwaived panic sites reachable from each root.\n\
+             # Counts may only decrease; raising a ceiling requires `--allow-raise` or a\n\
+             # hand edit in the same PR that adds the site, which is the review hook.\n\
              \n[unwrap-expect]\n",
         );
         for (k, v) in &self.unwrap_expect {
@@ -80,6 +166,25 @@ impl Baseline {
         out.push_str("\n[hot-path-alloc]\n");
         for (k, v) in &self.hot_path_alloc {
             out.push_str(&format!("{k} = {v}\n"));
+        }
+        if !self.hot_path_roots.is_empty() {
+            out.push_str("\n[hot-path-roots]\n");
+            for (k, v) in &self.hot_path_roots {
+                out.push_str(&format!("{k} = \"{v}\"\n"));
+            }
+        }
+        if !self.panic_free_roots.is_empty() {
+            out.push_str("\n[panic-free-roots]\n");
+            for (k, v) in &self.panic_free_roots {
+                let flag = if v.index_strict { " +index" } else { "" };
+                out.push_str(&format!("{k} = \"{}{flag}\"\n", v.pattern));
+            }
+        }
+        if !self.panic_free.is_empty() {
+            out.push_str("\n[panic-free]\n");
+            for (k, v) in &self.panic_free {
+                out.push_str(&format!("{k} = {v}\n"));
+            }
         }
         out
     }
@@ -94,6 +199,7 @@ impl Baseline {
     ) -> Vec<String> {
         let mut problems = check_table(
             "panic-ratchet",
+            "crate",
             &self.unwrap_expect,
             unwrap_expect,
             "unwrap/expect sites",
@@ -102,6 +208,7 @@ impl Baseline {
         );
         problems.extend(check_table(
             "hot-path-alloc",
+            "crate",
             &self.hot_path_alloc,
             hot_path_alloc,
             "allocation sites in hot-path fns",
@@ -111,24 +218,38 @@ impl Baseline {
         ));
         problems
     }
+
+    /// Compares per-root panic-free counts against `[panic-free]`.
+    pub fn check_panic_free(&self, observed: &BTreeMap<String, usize>) -> Vec<String> {
+        check_table(
+            "panic-free",
+            "root",
+            &self.panic_free,
+            observed,
+            "reachable unwaived panic sites",
+            "return a typed error instead, or waive sites that are unreachable by \
+             construction with `// lint: allow(panic-free, reason=\"...\")`",
+        )
+    }
 }
 
 fn check_table(
     rule: &str,
+    unit: &str,
     ceilings: &BTreeMap<String, usize>,
     observed: &BTreeMap<String, usize>,
     what: &str,
     advice: &str,
 ) -> Vec<String> {
     let mut problems = Vec::new();
-    for (krate, &count) in observed {
-        match ceilings.get(krate) {
+    for (key, &count) in observed {
+        match ceilings.get(key) {
             Some(&ceiling) if count > ceiling => problems.push(format!(
-                "[{rule}] crate `{krate}` has {count} {what} in non-test code, above the \
+                "[{rule}] {unit} `{key}` has {count} {what} in non-test code, above the \
                  baseline ceiling of {ceiling}; {advice}"
             )),
             None if count > 0 => problems.push(format!(
-                "[{rule}] crate `{krate}` has {count} {what} but no entry in \
+                "[{rule}] {unit} `{key}` has {count} {what} but no entry in \
                  lint-baseline.toml; run `cargo run -p optinter-lint -- update-baseline` \
                  and commit the result"
             )),
@@ -149,8 +270,39 @@ mod tests {
         b.unwrap_expect.insert("data".to_string(), 0);
         b.hot_path_alloc.insert("nn".to_string(), 0);
         b.hot_path_alloc.insert("models".to_string(), 7);
+        b.hot_path_roots.insert(
+            "serve-score".to_string(),
+            "serve::scorer::FrozenScorer::score_into".to_string(),
+        );
+        b.panic_free_roots.insert(
+            "artifact-decode".to_string(),
+            RootSpec {
+                pattern: "serve::artifact::FrozenModel::from_bytes".to_string(),
+                index_strict: true,
+            },
+        );
+        b.panic_free_roots.insert(
+            "serve-score".to_string(),
+            RootSpec {
+                pattern: "serve::scorer::FrozenScorer::score_into".to_string(),
+                index_strict: false,
+            },
+        );
+        b.panic_free.insert("serve-score".to_string(), 0);
+        b.panic_free.insert("artifact-decode".to_string(), 2);
         let text = b.to_toml();
         assert_eq!(Baseline::parse(&text).expect("parse"), b);
+    }
+
+    #[test]
+    fn roots_tables_are_omitted_when_empty() {
+        let b = Baseline::default();
+        let text = b.to_toml();
+        // The header comment names every table; only emitted table headers
+        // start at column 0.
+        assert!(!text.contains("\n[hot-path-roots]"));
+        assert!(!text.contains("\n[panic-free-roots]"));
+        assert!(!text.contains("\n[panic-free]"));
     }
 
     #[test]
@@ -160,6 +312,22 @@ mod tests {
         assert!(Baseline::parse("[other]\ncore = 1").is_err());
         assert!(Baseline::parse("[unwrap-expect]\ncore = 1\ncore = 2").is_err());
         assert!(Baseline::parse("[hot-path-alloc]\nnn = 0\nnn = 1").is_err());
+        // Root tables demand quoted strings, panic-free demands integers.
+        assert!(Baseline::parse("[hot-path-roots]\na = 3").is_err());
+        assert!(Baseline::parse("[hot-path-roots]\na = \"\"").is_err());
+        assert!(Baseline::parse("[hot-path-roots]\na = \"x y\"").is_err());
+        assert!(Baseline::parse("[panic-free-roots]\na = \"p +wat\"").is_err());
+        assert!(Baseline::parse("[panic-free]\na = \"x\"").is_err());
+        assert!(Baseline::parse("[panic-free-roots]\na = \"p\"\na = \"q\"").is_err());
+    }
+
+    #[test]
+    fn index_flag_parses() {
+        let b = Baseline::parse("[panic-free-roots]\nd = \"m::f +index\"\ns = \"m::g\"")
+            .expect("parse");
+        assert!(b.panic_free_roots["d"].index_strict);
+        assert_eq!(b.panic_free_roots["d"].pattern, "m::f");
+        assert!(!b.panic_free_roots["s"].index_strict);
     }
 
     #[test]
@@ -188,5 +356,22 @@ mod tests {
         let problems = b.check(&unwraps, &allocs);
         assert_eq!(problems.len(), 1, "{problems:?}");
         assert!(problems[0].contains("hot-path-alloc"), "{problems:?}");
+    }
+
+    #[test]
+    fn panic_free_ratchet_flags_per_root() {
+        let b = Baseline::parse("[panic-free-roots]\ns = \"m::f\"\n\n[panic-free]\ns = 0\n")
+            .expect("parse");
+        let mut observed = BTreeMap::new();
+        observed.insert("s".to_string(), 0);
+        assert!(b.check_panic_free(&observed).is_empty());
+        observed.insert("s".to_string(), 1);
+        let problems = b.check_panic_free(&observed);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("panic-free"), "{problems:?}");
+        // A root with sites but no ceiling entry is flagged too.
+        let mut extra = BTreeMap::new();
+        extra.insert("new-root".to_string(), 2);
+        assert_eq!(b.check_panic_free(&extra).len(), 1);
     }
 }

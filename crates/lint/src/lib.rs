@@ -1,22 +1,31 @@
 //! optinter-lint: a dependency-free workspace linter that statically
 //! enforces the invariants the determinism harness (PR 1) proves
-//! dynamically. See DESIGN.md §7 for the invariant model and the
+//! dynamically. See DESIGN.md §7 for the invariant model, §10 for the
+//! scope-aware rules and §12 for the call-graph layer and the
 //! `lint: allow` waiver convention.
 //!
 //! Entry points:
-//! - [`check_workspace`] — lint every source file, compare panic counts to
-//!   the committed baseline, return a [`Report`].
+//! - [`check_workspace`] — lint every source file, build the workspace
+//!   call graph, derive the hot-path fn set from `[hot-path-roots]`,
+//!   police panic-freedom of the `[panic-free-roots]` cones, compare every
+//!   ratchet to the committed baseline, return a [`Report`].
+//! - [`analyze_sources`] — the same pipeline over in-memory sources, so
+//!   fixture tests can exercise cross-file resolution and injection
+//!   scenarios without touching the filesystem.
 //! - [`update_baseline`] — rewrite `lint-baseline.toml` from the current
 //!   counts (used when a PR legitimately removes panic sites).
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 pub mod parser;
+pub mod reach;
 pub mod rules;
 
 use baseline::Baseline;
-use rules::{analyze_file, Diagnostic, FileMeta, Rule};
-use std::collections::BTreeMap;
+use callgraph::{CallGraph, FileSource};
+use rules::{Diagnostic, FileCtx, FileMeta, Rule};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// Everything one lint run found.
@@ -26,6 +35,14 @@ pub struct Report {
     pub unwrap_expect: BTreeMap<String, usize>,
     /// Per-crate unwaived hot-path allocation site counts (ratchet input).
     pub hot_path_alloc: BTreeMap<String, usize>,
+    /// Per-root unwaived reachable panic-site counts (ratchet input).
+    pub panic_free: BTreeMap<String, usize>,
+    /// Qualified paths of the derived hot-path fn set (roots ∪ name-glob
+    /// convention seeds, closed over calls).
+    pub hot_fns: BTreeSet<String>,
+    /// Qualified paths of just the glob-matched seeds — the pre-PR-7 hot
+    /// set, kept so the superset golden test can diff the two.
+    pub glob_hot_fns: BTreeSet<String>,
     pub files_checked: usize,
 }
 
@@ -119,11 +136,12 @@ fn collect_rs(
     Ok(())
 }
 
-/// Lints one file's source text. Exposed so fixture tests can drive the
-/// full pipeline (lex → rules) without touching the filesystem.
+/// Lints one file's source text standalone (glob-scoped hot set, no
+/// cross-file rules). Exposed so fixture tests can drive the per-file
+/// pipeline (lex → rules) without touching the filesystem.
 pub fn check_source(meta: &FileMeta, src: &str) -> rules::FileAnalysis {
     match lexer::lex(src) {
-        Ok(tokens) => analyze_file(meta, &tokens),
+        Ok(tokens) => rules::analyze_file(meta, &tokens),
         Err(e) => rules::FileAnalysis {
             diagnostics: vec![Diagnostic {
                 path: meta.rel_path.clone(),
@@ -137,34 +155,232 @@ pub fn check_source(meta: &FileMeta, src: &str) -> rules::FileAnalysis {
     }
 }
 
-/// Runs every rule over every workspace source file and compares the
-/// unwrap/expect tallies to `lint-baseline.toml`.
-pub fn check_workspace(root: &Path) -> Result<Report, String> {
-    let sources = workspace_sources(root)?;
+/// Reads every workspace source into memory as (meta, text) pairs — the
+/// input shape [`analyze_sources`] takes, so tests can mutate a file's
+/// text (inject an unwrap, delete a waiver) and re-lint.
+pub fn load_workspace_sources(root: &Path) -> Result<Vec<(FileMeta, String)>, String> {
+    let mut out = Vec::new();
+    for (path, meta) in workspace_sources(root)? {
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        out.push((meta, src));
+    }
+    Ok(out)
+}
+
+/// The full workspace pipeline over in-memory sources:
+///
+/// 1. per-file prelude rules (hash-iter, unsafe, wall-clock,
+///    float-reduction, unwrap tally), lex/parse diagnostics;
+/// 2. the workspace call graph over every parsed non-test file;
+/// 3. the derived hot-path set — everything reachable from the
+///    `[hot-path-roots]` entries *and* the name-glob convention seeds
+///    (`step*`, `*_into`, ...; a fn whose name promises zero-alloc is
+///    policed even if no root currently reaches it) — then the
+///    hot-path-alloc rule over that set;
+/// 4. panic-free reachability per `[panic-free-roots]` entry;
+/// 5. unused-waiver per file (after every rule that can mark waivers);
+/// 6. every ratchet against `baseline_text` (`None` reports the baseline
+///    as missing, like a deleted `lint-baseline.toml`).
+pub fn analyze_sources(
+    files: &[(FileMeta, String)],
+    baseline_text: Option<&str>,
+) -> Result<Report, String> {
+    let baseline = baseline_text.map(Baseline::parse).transpose()?;
+    let files_checked = files.len();
+
+    let mut ctxs: Vec<FileCtx> = Vec::with_capacity(files.len());
+    for (meta, src) in files {
+        match lexer::lex(src) {
+            Ok(tokens) => ctxs.push(rules::analyze_prelude(meta, tokens)),
+            Err(e) => {
+                let mut ctx = rules::analyze_prelude(meta, Vec::new());
+                ctx.diagnostics.push(Diagnostic {
+                    path: meta.rel_path.clone(),
+                    line: e.line,
+                    rule: Rule::Lex,
+                    message: format!("lexer error: {}", e.message),
+                });
+                ctxs.push(ctx);
+            }
+        }
+    }
+
+    // The call graph spans every parsed, non-test-file source.
+    let graph = {
+        let sources: Vec<FileSource<'_>> = ctxs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.meta.is_test_file)
+            .filter_map(|(i, c)| {
+                c.tree.as_ref().map(|tree| FileSource {
+                    file: i,
+                    meta: &c.meta,
+                    tokens: &c.tokens,
+                    code: &c.code,
+                    tree,
+                })
+            })
+            .collect();
+        CallGraph::build(&sources)
+    };
+
+    let mut config_diags: Vec<Diagnostic> = Vec::new();
+    let mut config = |message: String| {
+        config_diags.push(Diagnostic {
+            path: "lint-baseline.toml".to_string(),
+            line: 0,
+            rule: Rule::Config,
+            message,
+        });
+    };
+
+    // Derived hot set: declared roots ∪ glob convention seeds, closed over
+    // the call graph. The union keeps the derived set a superset of the
+    // old glob set by construction (the golden test pins this).
+    let mut seeds: Vec<usize> = Vec::new();
+    let mut glob_hot_fns = BTreeSet::new();
+    for (ni, node) in graph.nodes.iter().enumerate() {
+        if node.has_body && !node.is_test && rules::is_hot_fn(&node.name) {
+            seeds.push(ni);
+            glob_hot_fns.insert(node.qual.clone());
+        }
+    }
+    if let Some(b) = &baseline {
+        for (key, pat) in &b.hot_path_roots {
+            let hits = graph.resolve_pattern(pat);
+            if hits.is_empty() {
+                config(format!(
+                    "[hot-path-roots] `{key}` = \"{pat}\" matches no workspace fn; fix the \
+                     path or delete the root"
+                ));
+            }
+            seeds.extend(hits);
+        }
+    }
+    let hot_reach = reach::reachable_precise(&graph, &seeds);
+    let mut hot_sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); ctxs.len()];
+    let mut hot_fns = BTreeSet::new();
+    for (ni, node) in graph.nodes.iter().enumerate() {
+        if hot_reach.reached[ni] && node.has_body && !node.is_test {
+            hot_sets[node.file].insert(node.fn_idx);
+            hot_fns.insert(node.qual.clone());
+        }
+    }
+
+    for (i, ctx) in ctxs.iter_mut().enumerate() {
+        if let Some(tree) = ctx.tree.take() {
+            let mut sites = Vec::new();
+            rules::hot_path_alloc_rule(
+                &ctx.meta,
+                &ctx.tokens,
+                &ctx.code,
+                &tree,
+                &ctx.test_mask,
+                &ctx.allows,
+                Some(&hot_sets[i]),
+                &mut sites,
+            );
+            ctx.hot_path_alloc = sites;
+            ctx.tree = Some(tree);
+        }
+    }
+
+    // Panic-free reachability, one BFS per declared root. A site reachable
+    // from several roots counts against each; a waiver covers it for all
+    // (and is marked used the first time any root reaches it).
+    let file_sites: Vec<Vec<rules::PanicSite>> = ctxs
+        .iter()
+        .map(|c| match &c.tree {
+            Some(tree) if !c.meta.is_test_file => {
+                rules::panic_sites(&c.tokens, &c.code, tree, &c.test_mask)
+            }
+            _ => Vec::new(),
+        })
+        .collect();
+    let mut panic_free: BTreeMap<String, usize> = BTreeMap::new();
+    let mut panic_site_diags: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    if let Some(b) = &baseline {
+        for (key, spec) in &b.panic_free_roots {
+            let roots = graph.resolve_pattern(&spec.pattern);
+            if roots.is_empty() {
+                config(format!(
+                    "[panic-free-roots] `{key}` = \"{}\" matches no workspace fn; fix the \
+                     path or delete the root",
+                    spec.pattern
+                ));
+                continue;
+            }
+            let r = reach::reachable(&graph, &roots);
+            let mut count = 0usize;
+            let mut diags = Vec::new();
+            for (ni, node) in graph.nodes.iter().enumerate() {
+                if !r.reached[ni] {
+                    continue;
+                }
+                for site in file_sites[node.file]
+                    .iter()
+                    .filter(|s| s.fn_idx == node.fn_idx)
+                {
+                    if site.is_index && !spec.index_strict {
+                        continue;
+                    }
+                    if ctxs[node.file]
+                        .allows
+                        .is_suppressed(Rule::PanicFree, site.line)
+                    {
+                        continue;
+                    }
+                    count += 1;
+                    diags.push(Diagnostic {
+                        path: ctxs[node.file].meta.rel_path.clone(),
+                        line: site.line,
+                        rule: Rule::PanicFree,
+                        message: format!(
+                            "`{}` is reachable from panic-free root `{key}` \
+                             ({}); return a typed error instead, or waive with \
+                             `// lint: allow(panic-free, reason=\"...\")` if the site is \
+                             unreachable by construction",
+                            site.label,
+                            r.chain_to(&graph, ni)
+                        ),
+                    });
+                }
+            }
+            panic_free.insert(key.clone(), count);
+            panic_site_diags.insert(key.clone(), diags);
+        }
+        for key in b.panic_free.keys() {
+            if !b.panic_free_roots.contains_key(key) {
+                config(format!(
+                    "[panic-free] ceiling `{key}` has no matching [panic-free-roots] entry"
+                ));
+            }
+        }
+    }
+
+    // Per-file finish (unused-waiver) and aggregation.
     let mut diagnostics = Vec::new();
     let mut unwrap_expect: BTreeMap<String, usize> = BTreeMap::new();
     let mut hot_path_alloc: BTreeMap<String, usize> = BTreeMap::new();
-    let mut hot_sites: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
-    let files_checked = sources.len();
-    for (path, meta) in &sources {
-        let src = std::fs::read_to_string(path)
-            .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let mut analysis = check_source(meta, &src);
+    let mut hot_sites_by_crate: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    for ctx in ctxs {
+        let crate_key = ctx.meta.crate_key.clone();
+        let mut analysis = ctx.finish();
         diagnostics.extend(analysis.diagnostics);
-        *unwrap_expect.entry(meta.crate_key.clone()).or_insert(0) += analysis.unwrap_expect_count;
-        *hot_path_alloc.entry(meta.crate_key.clone()).or_insert(0) += analysis.hot_path_alloc.len();
-        hot_sites
-            .entry(meta.crate_key.clone())
+        *unwrap_expect.entry(crate_key.clone()).or_insert(0) += analysis.unwrap_expect_count;
+        *hot_path_alloc.entry(crate_key.clone()).or_insert(0) += analysis.hot_path_alloc.len();
+        hot_sites_by_crate
+            .entry(crate_key)
             .or_default()
             .append(&mut analysis.hot_path_alloc);
     }
+    diagnostics.append(&mut config_diags);
 
     // Ratchets: observed counts vs the committed baseline.
-    let baseline_path = root.join("lint-baseline.toml");
-    match std::fs::read_to_string(&baseline_path) {
-        Ok(text) => {
-            let baseline = Baseline::parse(&text)?;
-            for problem in baseline.check(&unwrap_expect, &hot_path_alloc) {
+    match &baseline {
+        Some(b) => {
+            for problem in b.check(&unwrap_expect, &hot_path_alloc) {
                 diagnostics.push(Diagnostic {
                     path: "lint-baseline.toml".to_string(),
                     line: 0,
@@ -176,17 +392,35 @@ pub fn check_workspace(root: &Path) -> Result<Report, String> {
             // individual sites so the violation is actionable. (Within the
             // ceiling the sites are tolerated debt, not diagnostics.)
             for (krate, &count) in &hot_path_alloc {
-                let ceiling = baseline.hot_path_alloc.get(krate).copied();
+                let ceiling = b.hot_path_alloc.get(krate).copied();
                 let over = match ceiling {
                     Some(c) => count > c,
                     None => count > 0,
                 };
                 if over {
-                    diagnostics.extend(hot_sites.remove(krate).unwrap_or_default());
+                    diagnostics.extend(hot_sites_by_crate.remove(krate).unwrap_or_default());
+                }
+            }
+            for problem in b.check_panic_free(&panic_free) {
+                diagnostics.push(Diagnostic {
+                    path: "lint-baseline.toml".to_string(),
+                    line: 0,
+                    rule: Rule::PanicFree,
+                    message: problem,
+                });
+            }
+            for (key, &count) in &panic_free {
+                let ceiling = b.panic_free.get(key).copied();
+                let over = match ceiling {
+                    Some(c) => count > c,
+                    None => count > 0,
+                };
+                if over {
+                    diagnostics.extend(panic_site_diags.remove(key).unwrap_or_default());
                 }
             }
         }
-        Err(_) => diagnostics.push(Diagnostic {
+        None => diagnostics.push(Diagnostic {
             path: "lint-baseline.toml".to_string(),
             line: 0,
             rule: Rule::PanicRatchet,
@@ -200,14 +434,26 @@ pub fn check_workspace(root: &Path) -> Result<Report, String> {
         diagnostics,
         unwrap_expect,
         hot_path_alloc,
+        panic_free,
+        hot_fns,
+        glob_hot_fns,
         files_checked,
     })
 }
 
-/// Rewrites `lint-baseline.toml` from the current per-crate counts.
-/// Refuses to *raise* any existing ceiling — the ratchet only tightens
-/// automatically; loosening is a deliberate hand edit.
-pub fn update_baseline(root: &Path) -> Result<String, String> {
+/// Runs every rule over every workspace source file and compares all
+/// ratchet tallies to `lint-baseline.toml`.
+pub fn check_workspace(root: &Path) -> Result<Report, String> {
+    let files = load_workspace_sources(root)?;
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.toml")).ok();
+    analyze_sources(&files, baseline_text.as_deref())
+}
+
+/// Rewrites `lint-baseline.toml` from the current per-crate and per-root
+/// counts, preserving the declared root tables. Refuses to *raise* any
+/// existing ceiling unless `allow_raise` is set — the ratchet only
+/// tightens automatically; loosening is a deliberate, flagged act.
+pub fn update_baseline(root: &Path, allow_raise: bool) -> Result<String, String> {
     let report = check_workspace(root)?;
     let baseline_path = root.join("lint-baseline.toml");
     let old = std::fs::read_to_string(&baseline_path)
@@ -223,26 +469,30 @@ pub fn update_baseline(root: &Path) -> Result<String, String> {
             &report.hot_path_alloc,
             &old.hot_path_alloc,
         ),
+        ("panic-free", &report.panic_free, &old.panic_free),
     ] {
-        for (krate, &count) in counts {
-            if let Some(&ceiling) = ceilings.get(krate) {
+        for (key, &count) in counts {
+            if let Some(&ceiling) = ceilings.get(key) {
                 if count > ceiling {
-                    raised.push(format!("{table}.{krate}: {ceiling} -> {count}"));
+                    raised.push(format!("{table}.{key}: {ceiling} -> {count}"));
                 }
             }
         }
     }
-    if !raised.is_empty() {
+    if !raised.is_empty() && !allow_raise {
         return Err(format!(
             "update-baseline would RAISE ceilings ({}); the ratchet only tightens. \
-             Remove the new sites, or edit lint-baseline.toml by hand with \
-             justification in the PR.",
+             Remove the new sites, re-run with --allow-raise, or edit \
+             lint-baseline.toml by hand with justification in the PR.",
             raised.join(", ")
         ));
     }
     let new = Baseline {
         unwrap_expect: report.unwrap_expect.clone(),
         hot_path_alloc: report.hot_path_alloc.clone(),
+        hot_path_roots: old.hot_path_roots.clone(),
+        panic_free_roots: old.panic_free_roots.clone(),
+        panic_free: report.panic_free.clone(),
     };
     std::fs::write(&baseline_path, new.to_toml())
         .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
@@ -296,5 +546,61 @@ mod tests {
             "lint violations:\n{}",
             rendered.join("\n")
         );
+    }
+
+    // ---- update-baseline raise refusal ------------------------------------
+
+    /// Builds a throwaway one-crate workspace under the system tmp dir.
+    fn scratch_workspace(tag: &str, lib_rs: &str, baseline: &str) -> PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("optinter-lint-ub-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("crates/alpha/src")).expect("mkdir");
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write");
+        std::fs::write(root.join("crates/alpha/src/lib.rs"), lib_rs).expect("write");
+        std::fs::write(root.join("lint-baseline.toml"), baseline).expect("write");
+        root
+    }
+
+    #[test]
+    fn update_baseline_refuses_raises_without_flag() {
+        let root = scratch_workspace(
+            "refuse",
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            "[unwrap-expect]\nalpha = 0\n",
+        );
+        let err = update_baseline(&root, false).expect_err("must refuse to raise");
+        assert!(err.contains("RAISE"), "{err}");
+        assert!(err.contains("unwrap-expect.alpha: 0 -> 1"), "{err}");
+        assert!(err.contains("--allow-raise"), "{err}");
+        // The baseline file is untouched.
+        let text = std::fs::read_to_string(root.join("lint-baseline.toml")).expect("read");
+        assert!(text.contains("alpha = 0"), "{text}");
+    }
+
+    #[test]
+    fn update_baseline_allow_raise_rewrites() {
+        let root = scratch_workspace(
+            "allow",
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            "[unwrap-expect]\nalpha = 0\n",
+        );
+        update_baseline(&root, true).expect("allow-raise path");
+        let text = std::fs::read_to_string(root.join("lint-baseline.toml")).expect("read");
+        assert!(text.contains("alpha = 1"), "{text}");
+    }
+
+    #[test]
+    fn update_baseline_tightens_without_flag_and_keeps_roots() {
+        let root = scratch_workspace(
+            "tighten",
+            "pub fn f(x: u32) -> u32 { x }\n",
+            "[unwrap-expect]\nalpha = 2\n\n[hot-path-roots]\nentry = \"alpha::f\"\n",
+        );
+        update_baseline(&root, false).expect("tightening needs no flag");
+        let text = std::fs::read_to_string(root.join("lint-baseline.toml")).expect("read");
+        assert!(text.contains("alpha = 0"), "{text}");
+        // The declared roots survive the rewrite.
+        assert!(text.contains("entry = \"alpha::f\""), "{text}");
     }
 }

@@ -5,6 +5,7 @@
 //! cargo run -p optinter-lint -- check --json       # machine-readable report
 //! cargo run -p optinter-lint -- check --github     # GitHub ::error annotations
 //! cargo run -p optinter-lint -- update-baseline    # tighten the ratchets
+//! cargo run -p optinter-lint -- update-baseline --allow-raise  # loosen (flagged)
 //! cargo run -p optinter-lint -- check --root PATH  # lint another checkout
 //! ```
 
@@ -24,6 +25,7 @@ fn main() -> ExitCode {
     let mut cmd: Option<&str> = None;
     let mut root_arg: Option<PathBuf> = None;
     let mut output = Output::Human;
+    let mut allow_raise = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -37,6 +39,7 @@ fn main() -> ExitCode {
             }
             "--json" => output = Output::Json,
             "--github" => output = Output::Github,
+            "--allow-raise" => allow_raise = true,
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unexpected argument `{other}`")),
         }
@@ -47,6 +50,9 @@ fn main() -> ExitCode {
     };
     if output != Output::Human && cmd != "check" {
         return usage("--json/--github only apply to `check`");
+    }
+    if allow_raise && cmd != "update-baseline" {
+        return usage("--allow-raise only applies to `update-baseline`");
     }
 
     let root = match root_arg {
@@ -68,7 +74,7 @@ fn main() -> ExitCode {
             Ok(report) => render(&report, output),
             Err(e) => fail(&e),
         },
-        "update-baseline" => match optinter_lint::update_baseline(&root) {
+        "update-baseline" => match optinter_lint::update_baseline(&root, allow_raise) {
             Ok(path) => {
                 println!("optinter-lint: wrote {path}");
                 ExitCode::SUCCESS
@@ -85,8 +91,10 @@ fn render(report: &Report, output: Output) -> ExitCode {
             if report.is_clean() {
                 println!(
                     "optinter-lint: {} files clean (hash-iter, unsafe-confinement, \
-                     wall-clock, panic-ratchet, hot-path-alloc, float-reduction-order)",
-                    report.files_checked
+                     wall-clock, panic-ratchet, hot-path-alloc, float-reduction-order, \
+                     panic-free); {} hot-path fns derived",
+                    report.files_checked,
+                    report.hot_fns.len()
                 );
             } else {
                 for d in &report.diagnostics {
@@ -150,6 +158,7 @@ fn to_json(report: &Report) -> String {
     for (key, counts) in [
         ("unwrap_expect", &report.unwrap_expect),
         ("hot_path_alloc", &report.hot_path_alloc),
+        ("panic_free", &report.panic_free),
     ] {
         out.push_str(&format!("  \"{key}\": {{"));
         for (i, (krate, n)) in counts.iter().enumerate() {
@@ -160,8 +169,17 @@ fn to_json(report: &Report) -> String {
         }
         out.push_str("},\n");
     }
+    out.push_str("  \"hot_fns\": [");
+    for (i, qual) in report.hot_fns.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_string(qual));
+    }
+    out.push_str("],\n");
     out.push_str(&format!(
-        "  \"files_checked\": {},\n  \"clean\": {}\n}}",
+        "  \"hot_fn_count\": {},\n  \"files_checked\": {},\n  \"clean\": {}\n}}",
+        report.hot_fns.len(),
         report.files_checked,
         report.is_clean()
     ));
@@ -203,7 +221,10 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("optinter-lint: {err}");
     }
-    eprintln!("usage: optinter-lint <check|update-baseline> [--root PATH] [--json|--github]");
+    eprintln!(
+        "usage: optinter-lint <check|update-baseline> [--root PATH] [--json|--github] \
+         [--allow-raise]"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

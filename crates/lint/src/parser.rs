@@ -158,7 +158,7 @@ impl Tree {
 
     /// Finds the block whose opening brace is at raw index `open`.
     /// Blocks are created in opening order, so binary search applies.
-    fn block_at_open(&self, open: usize) -> Option<usize> {
+    pub(crate) fn block_at_open(&self, open: usize) -> Option<usize> {
         self.blocks.binary_search_by_key(&open, |b| b.open).ok()
     }
 

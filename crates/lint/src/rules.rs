@@ -48,6 +48,8 @@ pub enum Rule {
     HotPathAlloc,
     FloatReductionOrder,
     UnusedWaiver,
+    PanicFree,
+    Config,
     Directive,
     Lex,
     Parse,
@@ -63,6 +65,8 @@ impl Rule {
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::FloatReductionOrder => "float-reduction-order",
             Rule::UnusedWaiver => "unused-waiver",
+            Rule::PanicFree => "panic-free",
+            Rule::Config => "lint-config",
             Rule::Directive => "lint-directive",
             Rule::Lex => "lex",
             Rule::Parse => "parse",
@@ -200,65 +204,117 @@ pub struct FileAnalysis {
     pub hot_path_alloc: Vec<Diagnostic>,
 }
 
-/// Runs every per-file rule. (The ratchet comparisons against the baseline
-/// happen at workspace level, from the summed counts.)
-pub fn analyze_file(meta: &FileMeta, tokens: &[Token]) -> FileAnalysis {
+/// Everything the workspace pipeline needs per file: the prelude rules'
+/// diagnostics plus the retained token stream, brace tree and waiver state
+/// that the cross-file rules (derived hot set, panic-free reachability)
+/// run over afterwards.
+pub struct FileCtx {
+    pub meta: FileMeta,
+    pub tokens: Vec<Token>,
+    /// Comment-free token indices.
+    pub code: Vec<usize>,
+    pub test_mask: Vec<bool>,
+    pub(crate) allows: Allows,
+    /// `None` on a brace-tree parse error (reported in `diagnostics`).
+    pub tree: Option<Tree>,
+    pub diagnostics: Vec<Diagnostic>,
+    pub unwrap_expect_count: usize,
+    /// Filled by [`hot_path_alloc_rule`], glob- or reachability-scoped.
+    pub hot_path_alloc: Vec<Diagnostic>,
+}
+
+/// Runs the purely-local rules (1, 2, 3, 6, the unwrap tally) and parses
+/// the brace tree, retaining everything the cross-file rules need. The
+/// unused-waiver pass is NOT run here — it must come after every rule that
+/// can mark a waiver used, which in workspace mode includes panic-free.
+pub(crate) fn analyze_prelude(meta: &FileMeta, tokens: Vec<Token>) -> FileCtx {
     let code: Vec<usize> = tokens
         .iter()
         .enumerate()
         .filter(|(_, t)| !matches!(t.tok, Tok::Comment(_)))
         .map(|(i, _)| i)
         .collect();
-    let test_mask = test_mask(tokens, &code, meta.is_test_file);
-    let allows = collect_allows(meta, tokens);
-    let mut diagnostics = Vec::new();
-    let mut hot_path_alloc = Vec::new();
-
-    hash_iter_rule(meta, tokens, &code, &test_mask, &allows, &mut diagnostics);
-    unsafe_rule(meta, tokens, &code, &mut diagnostics);
-    wall_clock_rule(meta, tokens, &code, &allows, &mut diagnostics);
-    float_reduction_rule(meta, tokens, &code, &test_mask, &allows, &mut diagnostics);
-    let unwrap_expect_count = count_unwrap_expect(tokens, &code, &test_mask);
-
-    // The scope-aware rule needs the brace tree; a parse failure is
-    // reported like a lex failure (the file would not compile anyway) and
-    // suppresses the unused-waiver check, whose usage records would be
-    // incomplete.
-    match Tree::parse(tokens) {
-        Ok(tree) => {
-            hot_path_alloc_rule(
-                meta,
-                tokens,
-                &code,
-                &tree,
-                &test_mask,
-                &allows,
-                &mut hot_path_alloc,
-            );
-            allows.report_unused(meta, &mut diagnostics);
-        }
-        Err(e) => diagnostics.push(Diagnostic {
-            path: meta.rel_path.clone(),
-            line: e.line,
-            rule: Rule::Parse,
-            message: format!("brace-tree parse error: {}", e.message),
-        }),
-    }
-
-    // Directive errors (malformed / reason-less waivers) come last so rule
+    let test_mask = test_mask(&tokens, &code, meta.is_test_file);
+    let mut allows = collect_allows(meta, &tokens);
+    // Directive errors (malformed / reason-less waivers) lead so rule
     // diagnostics keep their historical relative order within a file.
-    let mut diagnostics = {
-        let mut all = allows.errors;
-        all.append(&mut diagnostics);
-        all
-    };
-    diagnostics.sort_by_key(|d| d.line);
+    let mut diagnostics = std::mem::take(&mut allows.errors);
 
-    FileAnalysis {
+    hash_iter_rule(meta, &tokens, &code, &test_mask, &allows, &mut diagnostics);
+    unsafe_rule(meta, &tokens, &code, &mut diagnostics);
+    wall_clock_rule(meta, &tokens, &code, &allows, &mut diagnostics);
+    float_reduction_rule(meta, &tokens, &code, &test_mask, &allows, &mut diagnostics);
+    let unwrap_expect_count = count_unwrap_expect(&tokens, &code, &test_mask);
+
+    // The scope-aware rules need the brace tree; a parse failure is
+    // reported like a lex failure (the file would not compile anyway) and
+    // suppresses the tree-based rules and the unused-waiver check, whose
+    // usage records would be incomplete.
+    let tree = match Tree::parse(&tokens) {
+        Ok(tree) => Some(tree),
+        Err(e) => {
+            diagnostics.push(Diagnostic {
+                path: meta.rel_path.clone(),
+                line: e.line,
+                rule: Rule::Parse,
+                message: format!("brace-tree parse error: {}", e.message),
+            });
+            None
+        }
+    };
+
+    FileCtx {
+        meta: meta.clone(),
+        tokens,
+        code,
+        test_mask,
+        allows,
+        tree,
         diagnostics,
         unwrap_expect_count,
-        hot_path_alloc,
+        hot_path_alloc: Vec::new(),
     }
+}
+
+impl FileCtx {
+    /// Runs the unused-waiver pass and returns the finished per-file
+    /// analysis, diagnostics sorted by line. Call after every rule that
+    /// can mark a waiver used has run.
+    pub(crate) fn finish(mut self) -> FileAnalysis {
+        if self.tree.is_some() {
+            self.allows.report_unused(&self.meta, &mut self.diagnostics);
+        }
+        self.diagnostics.sort_by_key(|d| d.line);
+        FileAnalysis {
+            diagnostics: self.diagnostics,
+            unwrap_expect_count: self.unwrap_expect_count,
+            hot_path_alloc: self.hot_path_alloc,
+        }
+    }
+}
+
+/// Runs every per-file rule standalone, with the hot-path set defined by
+/// the name globs (the workspace pipeline in `lib.rs` instead derives the
+/// set from call-graph reachability). The ratchet comparisons against the
+/// baseline happen at workspace level, from the summed counts.
+pub fn analyze_file(meta: &FileMeta, tokens: &[Token]) -> FileAnalysis {
+    let mut ctx = analyze_prelude(meta, tokens.to_vec());
+    if let Some(tree) = ctx.tree.take() {
+        let mut sites = Vec::new();
+        hot_path_alloc_rule(
+            &ctx.meta,
+            &ctx.tokens,
+            &ctx.code,
+            &tree,
+            &ctx.test_mask,
+            &ctx.allows,
+            None,
+            &mut sites,
+        );
+        ctx.hot_path_alloc = sites;
+        ctx.tree = Some(tree);
+    }
+    ctx.finish()
 }
 
 /// Marks every token that lives inside `#[cfg(test)]` / `#[test]` items.
@@ -410,7 +466,7 @@ fn test_mask(tokens: &[Token], code: &[usize], whole_file: bool) -> Vec<bool> {
 /// recorded in `used` so that, after every rule has run, any directive
 /// that never suppressed anything is flagged by the unused-waiver rule.
 /// `used` is interior-mutable because the rules hold `&Allows`.
-struct Allows {
+pub(crate) struct Allows {
     suppressed: BTreeMap<&'static str, BTreeMap<u32, u32>>,
     /// Every well-formed directive, as (rule name, directive line).
     directives: Vec<(&'static str, u32)>,
@@ -420,7 +476,7 @@ struct Allows {
 
 impl Allows {
     /// Is `rule` waived at `line`? A hit marks the directive as used.
-    fn is_suppressed(&self, rule: Rule, line: u32) -> bool {
+    pub(crate) fn is_suppressed(&self, rule: Rule, line: u32) -> bool {
         let Some(&directive_line) = self.suppressed.get(rule.name()).and_then(|m| m.get(&line))
         else {
             return false;
@@ -487,6 +543,7 @@ fn collect_allows(meta: &FileMeta, tokens: &[Token]) -> Allows {
             "wall-clock" => Some(Rule::WallClock.name()),
             "hot-path-alloc" => Some(Rule::HotPathAlloc.name()),
             "float-reduction-order" => Some(Rule::FloatReductionOrder.name()),
+            "panic-free" => Some(Rule::PanicFree.name()),
             _ => None,
         };
         let Some(rule_key) = known else {
@@ -496,7 +553,7 @@ fn collect_allows(meta: &FileMeta, tokens: &[Token]) -> Allows {
                 rule: Rule::Directive,
                 message: format!(
                     "unknown or non-waivable rule `{rule_name}` in lint directive (waivable: \
-                     hash-iter, wall-clock, hot-path-alloc, float-reduction-order)"
+                     hash-iter, wall-clock, hot-path-alloc, float-reduction-order, panic-free)"
                 ),
             });
             continue;
@@ -886,13 +943,20 @@ pub fn is_hot_fn(name: &str) -> bool {
 /// `.clone()` of a `Copy` type matches too — which is the point of the
 /// waiver escape hatch: a non-allocating match gets a one-line reasoned
 /// waiver, and everything else is a real allocation the ratchet counts.
-fn hot_path_alloc_rule(
+///
+/// `hot` selects the hot-path membership test: `Some(set)` holds the fn
+/// indices (into `tree.fns`) of the *derived* hot set computed by
+/// call-graph reachability; `None` falls back to the name globs
+/// ([`is_hot_fn`]), used by standalone fixture analysis.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hot_path_alloc_rule(
     meta: &FileMeta,
     tokens: &[Token],
     code: &[usize],
     tree: &Tree,
     test_mask: &[bool],
     allows: &Allows,
+    hot: Option<&BTreeSet<usize>>,
     sites: &mut Vec<Diagnostic>,
 ) {
     if HOT_PATH_EXEMPT_CRATES.contains(&meta.crate_key.as_str()) || meta.is_test_file {
@@ -956,7 +1020,11 @@ fn hot_path_alloc_rule(
             continue;
         };
         let f = &tree.fns[fi];
-        if f.is_test || !is_hot_fn(&f.name) {
+        let in_hot_set = match hot {
+            Some(set) => set.contains(&fi),
+            None => is_hot_fn(&f.name),
+        };
+        if f.is_test || !in_hot_set {
             continue;
         }
         let line = tokens[raw].line;
@@ -1092,6 +1160,105 @@ fn float_reduction_rule(
             _ => {}
         }
     }
+}
+
+/// Macros that unconditionally abort the thread when they fire.
+/// `debug_assert*` is deliberately absent: it compiles out of release
+/// serving builds, so it cannot panic in production.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// One potential panic site, attributed to its enclosing fn. Whether it
+/// *counts* is decided at workspace level: only sites in fns reachable
+/// from a `[panic-free-roots]` entry are policed, and slice-index sites
+/// only for roots flagged `+index` (see DESIGN.md §12).
+pub(crate) struct PanicSite {
+    /// Index into the file's `Tree::fns`.
+    pub fn_idx: usize,
+    pub line: u32,
+    /// Display label: `assert_eq!`, `.unwrap()`, `slice index`.
+    pub label: String,
+    /// An unchecked `x[i]` / `x[a..b]` — counted only for `+index` roots.
+    pub is_index: bool,
+}
+
+/// Scans one file for panic sites: the panic-macro family, `.unwrap()` /
+/// `.expect(`, and unchecked slice indexing (`ident[`, `)[`, `][`). Test
+/// code is skipped; waivers are applied by the caller (workspace level),
+/// because a site is only "used" if some root actually reaches it.
+pub(crate) fn panic_sites(
+    tokens: &[Token],
+    code: &[usize],
+    tree: &Tree,
+    test_mask: &[bool],
+) -> Vec<PanicSite> {
+    use crate::callgraph::NON_CALL_KEYWORDS;
+    let n = code.len();
+    let tok = |ci: usize| &tokens[code[ci]].tok;
+    let mut out = Vec::new();
+    let push = |ci: usize, label: String, is_index: bool, out: &mut Vec<PanicSite>| {
+        let raw = code[ci];
+        if test_mask[raw] {
+            return;
+        }
+        let Some(fn_idx) = tree.innermost_fn_at(raw) else {
+            return; // const exprs, attribute args: not on any call path
+        };
+        if tree.fns[fn_idx].is_test {
+            return;
+        }
+        out.push(PanicSite {
+            fn_idx,
+            line: tokens[raw].line,
+            label,
+            is_index,
+        });
+    };
+    for ci in 0..n {
+        match tok(ci) {
+            Tok::Ident(name)
+                if PANIC_MACROS.contains(&name.as_str())
+                    && ci + 1 < n
+                    && *tok(ci + 1) == Tok::Punct('!') =>
+            {
+                push(ci, format!("{name}!"), false, &mut out);
+            }
+            Tok::Punct('.')
+                if ci + 2 < n
+                    && matches!(tok(ci + 1), Tok::Ident(m) if m == "unwrap" || m == "expect")
+                    && *tok(ci + 2) == Tok::Punct('(') =>
+            {
+                let Tok::Ident(m) = tok(ci + 1) else {
+                    continue;
+                };
+                push(ci + 1, format!(".{m}()"), false, &mut out);
+            }
+            Tok::Punct('[') if ci > 0 => {
+                // An index expression's `[` directly follows the indexed
+                // value: an identifier (`buf[i]`), a call (`row()[i]`), a
+                // `?` propagation (`take(n)?[0]`) or another index
+                // (`m[r][c]`). Types, slice patterns, attributes and
+                // literals are preceded by other punctuation.
+                let indexes = match tok(ci - 1) {
+                    Tok::Ident(name) => !NON_CALL_KEYWORDS.contains(&name.as_str()),
+                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('?') => true,
+                    _ => false,
+                };
+                if indexes {
+                    push(ci, "slice index".to_string(), true, &mut out);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
 }
 
 fn count_unwrap_expect(tokens: &[Token], code: &[usize], test_mask: &[bool]) -> usize {

@@ -1,0 +1,181 @@
+//! Whole-workspace call-graph lint tests (DESIGN.md §12).
+//!
+//! These run the real analyzer over the real workspace sources, then
+//! mutate the sources **in memory** to prove the rules actually bite:
+//! an injected panic site reachable from a serve root must fail the
+//! lint, and deleting a committed waiver must fail the lint. The golden
+//! test pins the contract that the derived hot-path set is a superset
+//! of the old per-file glob set, so growing the call graph can never
+//! silently shrink hot-path coverage.
+
+use optinter_lint::rules::{FileMeta, Rule};
+use optinter_lint::{analyze_sources, find_workspace_root, load_workspace_sources, Report};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+}
+
+fn load() -> (Vec<(FileMeta, String)>, String) {
+    let root = workspace_root();
+    let files = load_workspace_sources(&root).expect("load sources");
+    let baseline =
+        std::fs::read_to_string(root.join("lint-baseline.toml")).expect("read lint-baseline.toml");
+    (files, baseline)
+}
+
+fn analyze(files: &[(FileMeta, String)], baseline: &str) -> Report {
+    analyze_sources(files, Some(baseline)).expect("analyze")
+}
+
+/// Replaces `needle` with `with` inside the one source whose path ends
+/// in `path_suffix`, panicking if the anchor is missing — so the test
+/// fails loudly when the code it mutates is refactored away instead of
+/// silently testing nothing.
+fn inject(files: &mut [(FileMeta, String)], path_suffix: &str, needle: &str, with: &str) {
+    let (_, src) = files
+        .iter_mut()
+        .find(|(m, _)| m.rel_path.ends_with(path_suffix))
+        .unwrap_or_else(|| panic!("no workspace file ends with {path_suffix}"));
+    assert!(
+        src.contains(needle),
+        "injection anchor vanished from {path_suffix}: {needle:?}"
+    );
+    *src = src.replacen(needle, with, 1);
+}
+
+#[test]
+fn derived_hot_set_is_a_superset_of_the_glob_set() {
+    let (files, baseline) = load();
+    let report = analyze(&files, &baseline);
+    assert!(
+        report.is_clean(),
+        "workspace should lint clean:\n{:#?}",
+        report.diagnostics
+    );
+    // Golden contract: everything the old per-file glob heuristic called
+    // hot is still hot under the derived closure...
+    for f in &report.glob_hot_fns {
+        assert!(
+            report.hot_fns.contains(f),
+            "glob-hot fn {f} missing from the derived hot set"
+        );
+    }
+    // ...and the call graph genuinely widens coverage beyond the globs
+    // (matmul kernels, embedding lookups, and the like have no hot-name
+    // affix but sit inside every training step).
+    assert!(
+        report.hot_fns.len() > report.glob_hot_fns.len(),
+        "derived set ({}) should exceed the glob set ({})",
+        report.hot_fns.len(),
+        report.glob_hot_fns.len()
+    );
+}
+
+#[test]
+fn injected_unwrap_reachable_from_serve_roots_fails_the_lint() {
+    let (mut files, baseline) = load();
+    // `probabilities_into` is two call-graph hops from both serve roots
+    // (score_into -> probabilities_into), so this exercises the
+    // traversal, not just sites inside the root fn itself. The injected
+    // line only has to lex, not compile.
+    inject(
+        &mut files,
+        "crates/nn/src/loss.rs",
+        "    out.clear();",
+        "    out.clear();\n    std::env::var(\"INJECTED\").unwrap();",
+    );
+    let report = analyze(&files, &baseline);
+    assert!(!report.is_clean(), "injected unwrap should fail the lint");
+    let hits: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == Rule::PanicFree && d.path.ends_with("loss.rs"))
+        .collect();
+    assert!(
+        !hits.is_empty(),
+        "expected a panic-free diagnostic in loss.rs, got:\n{:#?}",
+        report.diagnostics
+    );
+    // The witness chain names the root whose cone the site sits in.
+    assert!(
+        hits.iter().any(|d| d.message.contains("serve-score")),
+        "diagnostic should cite the serve-score root:\n{hits:#?}"
+    );
+    assert!(
+        report.panic_free.get("serve-score").copied().unwrap_or(0) > 0,
+        "serve-score count should include the injected site"
+    );
+}
+
+#[test]
+fn injected_unwrap_inside_a_root_fn_fails_the_lint() {
+    let (mut files, baseline) = load();
+    inject(
+        &mut files,
+        "crates/serve/src/microbatch.rs",
+        "    batch.begin(num_fields, num_pairs);",
+        "    batch.begin(num_fields, num_pairs);\n    std::env::var(\"INJECTED\").unwrap();",
+    );
+    let report = analyze(&files, &baseline);
+    assert!(!report.is_clean());
+    assert!(
+        report.diagnostics.iter().any(|d| d.rule == Rule::PanicFree
+            && d.path.ends_with("microbatch.rs")
+            && d.message.contains("microbatch-flush")),
+        "expected a microbatch-flush diagnostic:\n{:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn deleting_a_panic_free_waiver_fails_the_lint() {
+    let (mut files, baseline) = load();
+    let (_, src) = files
+        .iter_mut()
+        .find(|(m, _)| m.rel_path.ends_with("crates/serve/src/scorer.rs"))
+        .expect("scorer.rs present");
+    let waiver_line = src
+        .lines()
+        .find(|l| l.contains("lint: allow(panic-free"))
+        .expect("scorer.rs should carry a panic-free waiver")
+        .to_string();
+    *src = src.replacen(&format!("{waiver_line}\n"), "", 1);
+    assert!(!src.contains(&waiver_line), "waiver should be gone");
+    let report = analyze(&files, &baseline);
+    assert!(
+        !report.is_clean(),
+        "deleting a waiver must surface the site it covered"
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::PanicFree && d.path.ends_with("scorer.rs")),
+        "expected the unwaived scorer.rs site to be reported:\n{:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn index_sites_only_count_for_index_strict_roots() {
+    let (mut files, baseline) = load();
+    // A slice index in the scoring cone is NOT a panic-free violation
+    // (only `+index` roots count them), but `.unwrap()` on the same
+    // line is. Guard both halves of that policy.
+    inject(
+        &mut files,
+        "crates/nn/src/loss.rs",
+        "    out.clear();",
+        "    out.clear();\n    let _probe = injected_slice[0];",
+    );
+    let report = analyze(&files, &baseline);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| !(d.rule == Rule::PanicFree && d.path.ends_with("loss.rs"))),
+        "a bare index outside the +index cones should not trip panic-free:\n{:#?}",
+        report.diagnostics
+    );
+}

@@ -51,6 +51,7 @@ impl Dense {
     /// layer's cached state — the allocation-free path [`crate::Mlp`] uses
     /// with workspace buffers.
     pub fn forward_into(&self, x: &Matrix, y: &mut Matrix) {
+        // lint: allow(panic-free, reason="input width is pinned at FrozenScorer construction: weights and workspace are sized from the same artifact dims")
         assert_eq!(x.cols(), self.in_dim(), "Dense: input dim mismatch");
         y.reset(x.rows(), self.out_dim());
         x.matmul_accumulate_pooled(&self.w.value, y, 1.0, &self.pool);
@@ -198,6 +199,7 @@ impl LayerNorm {
     /// activations are cached in a persistent buffer that is reused across
     /// steps, so the steady state allocates nothing.
     pub fn forward_into(&mut self, x: &Matrix, y: &mut Matrix) {
+        // lint: allow(panic-free, reason="input width is pinned at FrozenScorer construction: weights and workspace are sized from the same artifact dims")
         assert_eq!(x.cols(), self.dim(), "LayerNorm: dim mismatch");
         let n = x.cols();
         let xhat = self.cached_xhat.get_or_insert_with(|| Matrix::zeros(0, 0));

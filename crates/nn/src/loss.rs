@@ -50,6 +50,7 @@ pub fn probabilities(logits: &Matrix) -> Vec<f32> {
 /// allocation-free form the serving scorer uses. Applies the same
 /// `sigmoid`, so outputs are bitwise-identical to the allocating form.
 pub fn probabilities_into(logits: &Matrix, out: &mut Vec<f32>) {
+    // lint: allow(panic-free, reason="logits come out of Mlp::forward_into as [B, 1]; the shape is fixed at scorer construction")
     assert_eq!(
         logits.cols(),
         1,

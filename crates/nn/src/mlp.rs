@@ -114,6 +114,7 @@ impl Mlp {
     /// [`backward_into`](Self::backward_into). Allocation-free once the
     /// workspace has warmed up.
     pub fn forward_into(&mut self, x: &Matrix, out: &mut Matrix) {
+        // lint: allow(panic-free, reason="input width is pinned at FrozenScorer construction: weights and workspace are sized from the same artifact dims")
         assert_eq!(x.cols(), self.input_dim, "Mlp: input dim mismatch");
         for a in self.acts.drain(..) {
             self.ws.recycle(a);

@@ -360,7 +360,9 @@ impl FrozenModel {
             return Err(ArtifactError::UnsupportedVersion(version));
         }
         let checksum = r.u64("checksum")?;
-        let payload = &bytes[r.pos..];
+        let payload = bytes
+            .get(r.pos..)
+            .ok_or(ArtifactError::Truncated("payload"))?;
         if fnv1a64(payload) != checksum {
             return Err(ArtifactError::Corrupt("checksum mismatch".to_string()));
         }
@@ -434,7 +436,7 @@ impl FrozenModel {
                     let raw = r.take_mul(count, 4, "f32 tensor data")?;
                     let vals: Vec<f32> = raw
                         .chunks_exact(4)
-                        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                        .map(|c| f32::from_le_bytes(le_bytes(c)))
                         .collect();
                     TensorData::F32(Matrix::from_vec(rows, cols, vals))
                 }
@@ -442,7 +444,7 @@ impl FrozenModel {
                     let raw = r.take_mul(count, 2, "f16 tensor data")?;
                     let bits: Vec<u16> = raw
                         .chunks_exact(2)
-                        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                        .map(|c| u16::from_le_bytes(le_bytes(c)))
                         .collect();
                     TensorData::F16 { rows, cols, bits }
                 }
@@ -450,7 +452,7 @@ impl FrozenModel {
                     let raw_scales = r.take_mul(rows, 4, "int8 tensor scales")?;
                     let scales: Vec<f32> = raw_scales
                         .chunks_exact(4)
-                        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                        .map(|c| f32::from_le_bytes(le_bytes(c)))
                         .collect();
                     let raw = r.take(count, "int8 tensor data")?;
                     let values: Vec<i8> = raw.iter().map(|&b| b as i8).collect();
@@ -532,17 +534,19 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
 fn validate_permutation(map: &[u32], n: u32) -> Result<(), ArtifactError> {
     let mut seen = vec![false; n as usize];
     for (i, &v) in map.iter().enumerate() {
-        if v >= n {
-            return Err(ArtifactError::Corrupt(format!(
-                "row_map[{i}] = {v} out of range (vocab {n})"
-            )));
+        match seen.get_mut(v as usize) {
+            Some(slot) if !*slot => *slot = true,
+            Some(_) => {
+                return Err(ArtifactError::Corrupt(format!(
+                    "row_map maps two ids to row {v}"
+                )))
+            }
+            None => {
+                return Err(ArtifactError::Corrupt(format!(
+                    "row_map[{i}] = {v} out of range (vocab {n})"
+                )))
+            }
         }
-        if seen[v as usize] {
-            return Err(ArtifactError::Corrupt(format!(
-                "row_map maps two ids to row {v}"
-            )));
-        }
-        seen[v as usize] = true;
     }
     Ok(())
 }
@@ -555,11 +559,15 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ArtifactError> {
-        if self.buf.len() - self.pos < n {
-            return Err(ArtifactError::Truncated(what));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(ArtifactError::Truncated(what))?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(ArtifactError::Truncated(what))?;
+        self.pos = end;
         Ok(s)
     }
 
@@ -577,26 +585,35 @@ impl<'a> Reader<'a> {
     }
 
     fn u8(&mut self, what: &'static str) -> Result<u8, ArtifactError> {
-        Ok(self.take(1, what)?[0])
+        let s = self.take(1, what)?;
+        s.first().copied().ok_or(ArtifactError::Truncated(what))
     }
 
     fn u32(&mut self, what: &'static str) -> Result<u32, ArtifactError> {
-        let s = self.take(4, what)?;
-        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+        Ok(u32::from_le_bytes(le_bytes(self.take(4, what)?)))
     }
 
     fn u64(&mut self, what: &'static str) -> Result<u64, ArtifactError> {
-        let s = self.take(8, what)?;
-        Ok(u64::from_le_bytes([
-            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
-        ]))
+        Ok(u64::from_le_bytes(le_bytes(self.take(8, what)?)))
     }
 
     fn u32_vec(&mut self, count: usize, what: &'static str) -> Result<Vec<u32>, ArtifactError> {
         let raw = self.take_mul(count, 4, what)?;
         Ok(raw
             .chunks_exact(4)
-            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .map(|c| u32::from_le_bytes(le_bytes(c)))
             .collect())
     }
+}
+
+/// Copies a slice into a fixed array without indexing. Callers pass slices
+/// whose length `take`/`chunks_exact` already pinned to `N`; a shorter
+/// slice zero-fills instead of panicking, keeping the decode path
+/// structurally panic-free.
+fn le_bytes<const N: usize>(c: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (d, s) in out.iter_mut().zip(c) {
+        *d = *s;
+    }
+    out
 }

@@ -126,13 +126,37 @@ pub struct Submitter<'a, C: Clock> {
     tx: Sender<Request>,
     free_rx: Receiver<Request>,
     fresh: Vec<Request>,
+    num_fields: usize,
+    num_pairs: usize,
+    requires_cross: bool,
     clock: &'a C,
 }
 
 impl<C: Clock> Submitter<'_, C> {
     /// Submits one request, blocking while the queue is full. Returns
     /// `false` when the batcher is gone (serve loop panicked or exited).
+    ///
+    /// # Panics
+    /// Panics when the request does not match the scorer's schema:
+    /// `fields` must have exactly `num_fields` entries, and `cross` must
+    /// have exactly `num_pairs` entries whenever the scorer memorizes any
+    /// pair (otherwise it may also be empty). Validating here keeps
+    /// malformed requests on the caller's thread instead of panicking the
+    /// serving loop.
     pub fn submit(&mut self, id: u64, fields: &[u32], cross: &[u32]) -> bool {
+        assert_eq!(
+            fields.len(),
+            self.num_fields,
+            "submit: request has {} fields, the scorer expects {}",
+            fields.len(),
+            self.num_fields
+        );
+        assert!(
+            cross.len() == self.num_pairs || (cross.is_empty() && !self.requires_cross),
+            "submit: request cross width {} does not match the scorer's {} pairs",
+            cross.len(),
+            self.num_pairs
+        );
         let mut req = match self.fresh.pop() {
             Some(r) => r,
             None => match self.free_rx.recv() {
@@ -183,6 +207,7 @@ pub fn serve<C, G, F>(
 
     let num_fields = scorer.dims().num_fields;
     let num_pairs = scorer.dims().num_pairs;
+    let requires_cross = scorer.requires_cross();
     let mut pending: Vec<Request> = Vec::with_capacity(policy.max_batch);
     let mut batch = Batch::empty();
     let mut probs: Vec<f32> = Vec::new();
@@ -193,6 +218,9 @@ pub fn serve<C, G, F>(
                 tx: full_tx,
                 free_rx,
                 fresh,
+                num_fields,
+                num_pairs,
+                requires_cross,
                 clock,
             });
         });

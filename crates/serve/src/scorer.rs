@@ -223,6 +223,13 @@ impl FrozenScorer {
         &self.dims
     }
 
+    /// Whether scoring needs cross features in the batch (the frozen
+    /// architecture memorizes at least one pair). The micro-batch front
+    /// door uses this to validate requests before they are queued.
+    pub fn requires_cross(&self) -> bool {
+        self.layout.num_memorized > 0
+    }
+
     /// Scores a batch of requests into `out` (cleared first): `out[i]` is
     /// the predicted click probability of row `i`. Labels in `batch` are
     /// ignored. Allocation-free at steady state.
@@ -230,6 +237,7 @@ impl FrozenScorer {
         let m = self.dims.num_fields;
         let s1 = self.orig_dim;
         let s2 = self.cross_dim;
+        // lint: allow(panic-free, reason="flush_into builds the batch with the scorer's own dims and submit() validates request arity; a mismatch is a harness bug, not request data")
         assert_eq!(batch.num_fields, m, "FrozenScorer: field count mismatch");
         let b = batch.len();
         lookup_rows_into(
@@ -295,6 +303,7 @@ impl FrozenScorer {
                                     }
                                     FactFn::Generalized => {
                                         let Some(fw) = fw_val else {
+                                            // lint: allow(panic-free, reason="layout construction materializes fact_weights whenever any slot is Generalized")
                                             unreachable!("generalized slot without fact_weights")
                                         };
                                         let w = fw.row(p);
@@ -321,6 +330,7 @@ impl FrozenScorer {
         if self.layout.num_memorized == 0 {
             return;
         }
+        // lint: allow(panic-free, reason="submit() requires full-width cross whenever requires_cross(); queued requests always carry cross features")
         assert!(
             !batch.cross.is_empty(),
             "architecture memorizes pairs but the batch has no cross features"

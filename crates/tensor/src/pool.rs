@@ -22,7 +22,7 @@
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
 
 /// Raw-pointer wrapper that asserts a parallel job's writes are disjoint.
@@ -123,6 +123,24 @@ struct Shared {
     done: Condvar,
 }
 
+impl Shared {
+    /// The pool's single lock site. Poisoning stance: worker panics are
+    /// caught and surfaced through the `panicked` flag, so the mutex can
+    /// only be poisoned by a panic inside one of the pool's own short
+    /// critical sections — a pool bug whose panic should propagate.
+    fn locked(&self) -> MutexGuard<'_, State> {
+        // lint: allow(panic-free, reason="poisoning requires a prior panic inside a pool critical section (worker panics are caught and reported via the `panicked` flag); propagating that pool bug is the contract")
+        self.state.lock().unwrap()
+    }
+
+    /// The pool's single condvar-wait site; same poisoning stance as
+    /// [`Shared::locked`].
+    fn wait_on<'a>(&self, cv: &Condvar, st: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        // lint: allow(panic-free, reason="same poisoning stance as Shared::locked: only a prior pool-internal panic can poison the lock")
+        cv.wait(st).unwrap()
+    }
+}
+
 struct Inner {
     shared: Arc<Shared>,
     workers: usize,
@@ -140,7 +158,7 @@ impl Inner {
             )
         });
         let counter = {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = self.shared.locked();
             debug_assert_eq!(st.running, 0, "pool: overlapping run calls");
             st.epoch += 1;
             st.task = Some(task);
@@ -165,9 +183,9 @@ impl Inner {
         }));
         // Barrier: `f` (and the buffers it borrows) must outlive every
         // worker's use of it.
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = self.shared.locked();
         while st.running > 0 {
-            st = self.shared.done.wait(st).unwrap();
+            st = self.shared.wait_on(&self.shared.done, st);
         }
         st.task = None;
         let worker_panicked = std::mem::replace(&mut st.panicked, false);
@@ -176,6 +194,7 @@ impl Inner {
             panic::resume_unwind(payload);
         }
         if worker_panicked {
+            // lint: allow(panic-free, reason="deliberately re-raises a worker panic that already happened; the pool's contract is to propagate, not swallow")
             panic!("optinter-tensor pool: a worker thread panicked");
         }
     }
@@ -184,7 +203,7 @@ impl Inner {
 impl Drop for Inner {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = self.shared.locked();
             st.shutdown = true;
             self.shared.work.notify_all();
         }
@@ -204,13 +223,13 @@ fn worker_loop(shared: Arc<Shared>) {
         // at an arbitrary moment in the parent's timeline — including
         // inside a caller's zero-allocation measurement window
         // (tests/alloc_steady_state.rs).
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared.locked();
         st.started += 1;
         shared.done.notify_all();
     }
     loop {
         let (task, counter, num_jobs) = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = shared.locked();
             loop {
                 if st.shutdown {
                     return;
@@ -223,7 +242,7 @@ fn worker_loop(shared: Arc<Shared>) {
                         st.num_jobs,
                     );
                 }
-                st = shared.work.wait(st).unwrap();
+                st = shared.wait_on(&shared.work, st);
             }
         };
         // SAFETY: the caller of `Inner::run` blocks until `running` drops to
@@ -236,7 +255,7 @@ fn worker_loop(shared: Arc<Shared>) {
             }
             f(i);
         }));
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared.locked();
         if result.is_err() {
             st.panicked = true;
         }
@@ -293,9 +312,9 @@ impl Pool {
         // the steady state is genuinely allocation-free from the first
         // `run` call.
         {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = shared.locked();
             while st.started < workers {
-                st = shared.done.wait(st).unwrap();
+                st = shared.wait_on(&shared.done, st);
             }
         }
         Self {
@@ -372,7 +391,9 @@ impl Pool {
         T: Send,
         F: Fn(usize, &mut [T]) + Sync,
     {
+        // lint: allow(panic-free, reason="row_len and buffer length come from the matmul caller's construction-pinned shapes")
         assert!(row_len > 0, "for_rows: row_len must be positive");
+        // lint: allow(panic-free, reason="row_len and buffer length come from the matmul caller's construction-pinned shapes")
         assert_eq!(out.len() % row_len, 0, "for_rows: ragged buffer");
         let rows = out.len() / row_len;
         let (chunk, njobs) = chunks_for(rows, self.threads());
@@ -410,7 +431,9 @@ impl Pool {
         T: Send,
         F: Fn(usize, &mut [T]) + Sync,
     {
+        // lint: allow(panic-free, reason="row_len and buffer length come from the matmul caller's construction-pinned shapes")
         assert!(row_len > 0, "for_row_chunks: row_len must be positive");
+        // lint: allow(panic-free, reason="row_len and buffer length come from the matmul caller's construction-pinned shapes")
         assert_eq!(out.len() % row_len, 0, "for_row_chunks: ragged buffer");
         let rows = out.len() / row_len;
         let (chunk, njobs) = chunks_for(rows, self.threads());
@@ -586,7 +609,9 @@ impl<T> LaneRows<'_, T> {
     /// Panics when `r` is out of bounds or not owned by this lane.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        // lint: allow(panic-free, reason="ownership asserts back the SAFETY contract of the unsafe disjoint write; removing them trades a panic for UB")
         assert!(r < self.rows, "LaneRows: row {r} out of bounds");
+        // lint: allow(panic-free, reason="ownership asserts back the SAFETY contract of the unsafe disjoint write; removing them trades a panic for UB")
         assert!(
             self.owns(r),
             "LaneRows: row {r} is not owned by lane {} of {}",
