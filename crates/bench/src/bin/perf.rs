@@ -13,7 +13,8 @@
 //! with/without the prefetching stream).
 //!
 //! Usage: `cargo run --release -p optinter-bench --bin perf -- [--quick]
-//! [--label NAME] [--out PATH] [--no-prefetch] [--check-against PATH]`.
+//! [--label NAME] [--out PATH] [--no-prefetch] [--check-against PATH]
+//! [--backend scalar|avx2fma]`.
 //! `--quick` shrinks iteration counts to a smoke run (seconds, used by CI
 //! to catch kernels that panic on odd shapes); the JSON is still written.
 //! `--no-prefetch` runs the epoch measurements without assembly/compute
@@ -21,7 +22,11 @@
 //! comparisons. `--check-against PATH` exits non-zero when any train-step
 //! `rows_per_sec` lands more than 10% below the matching row of the last
 //! entry in PATH (the committed trajectory), so CI catches throughput
-//! regressions, not just panics.
+//! regressions, not just panics. `--backend` forces the kernel backend for
+//! the train/input/serve sections (the per-backend kernel section always
+//! measures every supported backend); the selection is recorded in the
+//! entry's `backend` field. CI gates with `--backend scalar` so the
+//! committed train/serve rows stay comparable across hosts.
 
 use optinter_bench::perf::{self, PerfOptions};
 
@@ -48,6 +53,12 @@ fn main() {
             "--check-against" => {
                 if let Some(v) = args.get(i + 1) {
                     opts.check_against = Some(v.clone());
+                    i += 1;
+                }
+            }
+            "--backend" => {
+                if let Some(v) = args.get(i + 1) {
+                    opts.backend = Some(v.clone());
                     i += 1;
                 }
             }

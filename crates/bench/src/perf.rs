@@ -13,6 +13,7 @@ use optinter_nn::{Adam, EmbeddingTable};
 use optinter_serve::{
     freeze, run_zipf_load, FrozenScorer, LoadSpec, MicroBatchOptions, MonotonicClock, Quant,
 };
+use optinter_tensor::kernels::{self, Backend};
 use optinter_tensor::stats::percentile_sorted;
 use optinter_tensor::{init, Matrix, Pool};
 use rand::rngs::StdRng;
@@ -38,6 +39,11 @@ pub struct PerfOptions {
     /// [`REGRESSION_TOLERANCE`] below the matching `(model, threads)` row
     /// of that file's last entry.
     pub check_against: Option<String>,
+    /// Kernel backend forced for the train/input/serve sections
+    /// (`--backend scalar|avx2fma`); `None` keeps the process default
+    /// (env override or CPU detection). The kernel section always measures
+    /// every supported backend side by side regardless.
+    pub backend: Option<String>,
 }
 
 /// Allowed fractional train-step throughput drop before
@@ -66,6 +72,7 @@ impl Default for PerfOptions {
             out: "results/BENCH_substrate.json".to_string(),
             prefetch: true,
             check_against: None,
+            backend: None,
         }
     }
 }
@@ -75,7 +82,8 @@ impl Default for PerfOptions {
 pub struct KernelRow {
     /// Kernel name (`matmul`, `matmul_at_b`, `matmul_a_bt`).
     pub kernel: String,
-    /// Kernel variant (`naive` reference or `blocked`).
+    /// Kernel variant: a backend name (`scalar` / `avx2fma`, dispatched
+    /// through the pooled entry points) or the `naive` reference.
     pub variant: String,
     /// `A` rows.
     pub m: usize,
@@ -162,6 +170,8 @@ pub struct PerfEntry {
     pub label: String,
     /// Whether this was a `--quick` smoke run.
     pub quick: bool,
+    /// Kernel backend the train/input/serve sections ran under.
+    pub backend: String,
     /// Kernel micro measurements.
     pub matmul: Vec<KernelRow>,
     /// Embedding accumulate/update measurements.
@@ -232,19 +242,33 @@ fn bench_matmul_variant(
 fn bench_matmuls(quick: bool) -> Vec<KernelRow> {
     let samples = if quick { 3 } else { 30 };
     let mut rows = Vec::new();
-    bench_matmul_variant(
-        &mut rows,
-        "blocked",
-        samples,
-        &|name, lhs, rhs, out, pool| match name {
-            "matmul" => lhs.matmul_into_pooled(rhs, out, pool),
-            "matmul_at_b" => {
-                out.fill_zero();
-                lhs.matmul_at_b_accumulate_pooled(rhs, out, 1.0, pool)
-            }
-            _ => lhs.matmul_a_bt_into_pooled(rhs, out, pool),
-        },
-    );
+    // Per-backend section: each supported backend is forced active for its
+    // rows so the pooled entry points dispatch to it, then the caller's
+    // selection is restored. These rows are reported, never gated — the
+    // committed trajectory stays scalar-comparable while the SIMD win is
+    // documented side by side.
+    let prev = kernels::active();
+    let mut backends = vec![Backend::Scalar];
+    if Backend::AvxFma.is_supported() {
+        backends.push(Backend::AvxFma);
+    }
+    for b in backends {
+        kernels::set_active(b);
+        bench_matmul_variant(
+            &mut rows,
+            b.name(),
+            samples,
+            &|name, lhs, rhs, out, pool| match name {
+                "matmul" => lhs.matmul_into_pooled(rhs, out, pool),
+                "matmul_at_b" => {
+                    out.fill_zero();
+                    lhs.matmul_at_b_accumulate_pooled(rhs, out, 1.0, pool)
+                }
+                _ => lhs.matmul_a_bt_into_pooled(rhs, out, pool),
+            },
+        );
+    }
+    kernels::set_active(prev);
     bench_matmul_variant(
         &mut rows,
         "naive",
@@ -994,8 +1018,19 @@ pub fn train_step_regressions(
 /// regressed beyond [`REGRESSION_TOLERANCE`] (the entry is still written
 /// first, so the failing numbers are inspectable).
 pub fn run(opts: &PerfOptions) -> Result<(), String> {
+    if let Some(name) = &opts.backend {
+        let b = Backend::parse(name)
+            .ok_or_else(|| format!("unknown kernel backend `{name}` (scalar|avx2fma)"))?;
+        if !b.is_supported() {
+            return Err(format!(
+                "kernel backend `{name}` is not supported on this host"
+            ));
+        }
+        kernels::set_active(b);
+    }
+    let backend = kernels::active().name().to_string();
     println!(
-        "perf: label={} quick={} out={}",
+        "perf: label={} quick={} out={} backend={backend}",
         opts.label, opts.quick, opts.out
     );
     let matmul = bench_matmuls(opts.quick);
@@ -1036,6 +1071,7 @@ pub fn run(opts: &PerfOptions) -> Result<(), String> {
     let entry = PerfEntry {
         label: opts.label.clone(),
         quick: opts.quick,
+        backend,
         matmul,
         embedding,
         train_step,

@@ -1,10 +1,14 @@
 //! The ratchet baselines: committed per-crate ceilings that may only go
 //! down, plus the declared reachability roots.
 //!
-//! Five tables live in `lint-baseline.toml` at the workspace root:
+//! Six tables live in `lint-baseline.toml` at the workspace root:
 //!
 //! - `[unwrap-expect]` — per-crate ceilings on `.unwrap()` / `.expect(`
 //!   counts.
+//! - `[unsafe-sites]` — per-crate ceilings on `unsafe` occurrences in
+//!   non-test code (all of which must also sit in the unsafe-confinement
+//!   allowlist and carry SAFETY comments; the ceiling pins the exact site
+//!   count so new `unsafe` shows up in review).
 //! - `[hot-path-alloc]` — per-crate ceilings on unwaived allocation sites
 //!   inside the *derived* hot-path fn set (reachable from
 //!   `[hot-path-roots]` plus the `*_into`/`step*` naming convention, see
@@ -37,6 +41,7 @@ pub struct RootSpec {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
     pub unwrap_expect: BTreeMap<String, usize>,
+    pub unsafe_sites: BTreeMap<String, usize>,
     pub hot_path_alloc: BTreeMap<String, usize>,
     pub hot_path_roots: BTreeMap<String, String>,
     pub panic_free_roots: BTreeMap<String, RootSpec>,
@@ -71,13 +76,14 @@ impl Baseline {
             // Strip a trailing same-line comment from unquoted values.
             let value = value.trim();
             match section.as_str() {
-                "unwrap-expect" | "hot-path-alloc" | "panic-free" => {
+                "unwrap-expect" | "unsafe-sites" | "hot-path-alloc" | "panic-free" => {
                     let value = value.split('#').next().unwrap_or("").trim();
                     let value: usize = value.parse().map_err(|_| {
                         format!("baseline line {lineno}: value is not a non-negative integer")
                     })?;
                     let table = match section.as_str() {
                         "unwrap-expect" => &mut baseline.unwrap_expect,
+                        "unsafe-sites" => &mut baseline.unsafe_sites,
                         "hot-path-alloc" => &mut baseline.hot_path_alloc,
                         _ => &mut baseline.panic_free,
                     };
@@ -137,8 +143,8 @@ impl Baseline {
                 other => {
                     return Err(format!(
                         "baseline line {lineno}: unknown table `[{other}]` (recognised: \
-                         [unwrap-expect], [hot-path-alloc], [hot-path-roots], \
-                         [panic-free-roots], [panic-free])"
+                         [unwrap-expect], [unsafe-sites], [hot-path-alloc], \
+                         [hot-path-roots], [panic-free-roots], [panic-free])"
                     ));
                 }
             }
@@ -151,9 +157,11 @@ impl Baseline {
         let mut out = String::new();
         out.push_str(
             "# Ratchet baselines, maintained by `cargo run -p optinter-lint -- update-baseline`.\n\
-             # Per-crate ceilings on `.unwrap()` / `.expect(` sites ([unwrap-expect]) and on\n\
-             # unwaived allocation sites inside the derived hot-path fn set\n\
-             # ([hot-path-alloc]), both counted in non-test code. [hot-path-roots] and\n\
+             # Per-crate ceilings on `.unwrap()` / `.expect(` sites ([unwrap-expect]),\n\
+             # `unsafe` sites ([unsafe-sites], which must also pass the unsafe-confinement\n\
+             # allowlist + SAFETY-comment rule), and unwaived allocation sites inside the\n\
+             # derived hot-path fn set ([hot-path-alloc]), all counted in non-test code.\n\
+             # [hot-path-roots] and\n\
              # [panic-free-roots] declare the reachability entry points (DESIGN.md \u{a7}12);\n\
              # [panic-free] ratchets unwaived panic sites reachable from each root.\n\
              # Counts may only decrease; raising a ceiling requires `--allow-raise` or a\n\
@@ -161,6 +169,10 @@ impl Baseline {
              \n[unwrap-expect]\n",
         );
         for (k, v) in &self.unwrap_expect {
+            out.push_str(&format!("{k} = {v}\n"));
+        }
+        out.push_str("\n[unsafe-sites]\n");
+        for (k, v) in &self.unsafe_sites {
             out.push_str(&format!("{k} = {v}\n"));
         }
         out.push_str("\n[hot-path-alloc]\n");
@@ -219,6 +231,21 @@ impl Baseline {
         problems
     }
 
+    /// Compares observed per-crate `unsafe` site counts against
+    /// `[unsafe-sites]`.
+    pub fn check_unsafe_sites(&self, observed: &BTreeMap<String, usize>) -> Vec<String> {
+        check_table(
+            "unsafe-sites",
+            "crate",
+            &self.unsafe_sites,
+            observed,
+            "`unsafe` sites",
+            "keep unsafe confined to the audited kernel modules; if the new site is \
+             justified, raise the ceiling with `update-baseline --allow-raise` (or a hand \
+             edit) in the same PR so the reviewer sees it",
+        )
+    }
+
     /// Compares per-root panic-free counts against `[panic-free]`.
     pub fn check_panic_free(&self, observed: &BTreeMap<String, usize>) -> Vec<String> {
         check_table(
@@ -268,6 +295,8 @@ mod tests {
         let mut b = Baseline::default();
         b.unwrap_expect.insert("core".to_string(), 3);
         b.unwrap_expect.insert("data".to_string(), 0);
+        b.unsafe_sites.insert("tensor".to_string(), 48);
+        b.unsafe_sites.insert("nn".to_string(), 0);
         b.hot_path_alloc.insert("nn".to_string(), 0);
         b.hot_path_alloc.insert("models".to_string(), 7);
         b.hot_path_roots.insert(
@@ -292,6 +321,28 @@ mod tests {
         b.panic_free.insert("artifact-decode".to_string(), 2);
         let text = b.to_toml();
         assert_eq!(Baseline::parse(&text).expect("parse"), b);
+    }
+
+    #[test]
+    fn check_unsafe_sites_flags_overages_and_missing_entries() {
+        let mut b = Baseline::default();
+        b.unsafe_sites.insert("tensor".to_string(), 2);
+        let mut observed = BTreeMap::new();
+        observed.insert("tensor".to_string(), 3);
+        observed.insert("serve".to_string(), 1);
+        observed.insert("core".to_string(), 0);
+        let problems = b.check_unsafe_sites(&observed);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(
+            problems.iter().any(|p| p.contains("`tensor` has 3")),
+            "{problems:?}"
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("`serve`") && p.contains("no entry")),
+            "{problems:?}"
+        );
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Per-crate unwrap/expect counts in non-test code (ratchet input).
     pub unwrap_expect: BTreeMap<String, usize>,
+    /// Per-crate `unsafe` site counts in non-test code (ratchet input).
+    pub unsafe_sites: BTreeMap<String, usize>,
     /// Per-crate unwaived hot-path allocation site counts (ratchet input).
     pub hot_path_alloc: BTreeMap<String, usize>,
     /// Per-root unwaived reachable panic-site counts (ratchet input).
@@ -150,6 +152,7 @@ pub fn check_source(meta: &FileMeta, src: &str) -> rules::FileAnalysis {
                 message: format!("lexer error: {}", e.message),
             }],
             unwrap_expect_count: 0,
+            unsafe_count: 0,
             hot_path_alloc: Vec::new(),
         },
     }
@@ -362,6 +365,7 @@ pub fn analyze_sources(
     // Per-file finish (unused-waiver) and aggregation.
     let mut diagnostics = Vec::new();
     let mut unwrap_expect: BTreeMap<String, usize> = BTreeMap::new();
+    let mut unsafe_sites: BTreeMap<String, usize> = BTreeMap::new();
     let mut hot_path_alloc: BTreeMap<String, usize> = BTreeMap::new();
     let mut hot_sites_by_crate: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
     for ctx in ctxs {
@@ -369,6 +373,7 @@ pub fn analyze_sources(
         let mut analysis = ctx.finish();
         diagnostics.extend(analysis.diagnostics);
         *unwrap_expect.entry(crate_key.clone()).or_insert(0) += analysis.unwrap_expect_count;
+        *unsafe_sites.entry(crate_key.clone()).or_insert(0) += analysis.unsafe_count;
         *hot_path_alloc.entry(crate_key.clone()).or_insert(0) += analysis.hot_path_alloc.len();
         hot_sites_by_crate
             .entry(crate_key)
@@ -400,6 +405,14 @@ pub fn analyze_sources(
                 if over {
                     diagnostics.extend(hot_sites_by_crate.remove(krate).unwrap_or_default());
                 }
+            }
+            for problem in b.check_unsafe_sites(&unsafe_sites) {
+                diagnostics.push(Diagnostic {
+                    path: "lint-baseline.toml".to_string(),
+                    line: 0,
+                    rule: Rule::UnsafeConfinement,
+                    message: problem,
+                });
             }
             for problem in b.check_panic_free(&panic_free) {
                 diagnostics.push(Diagnostic {
@@ -433,6 +446,7 @@ pub fn analyze_sources(
     Ok(Report {
         diagnostics,
         unwrap_expect,
+        unsafe_sites,
         hot_path_alloc,
         panic_free,
         hot_fns,
@@ -464,6 +478,7 @@ pub fn update_baseline(root: &Path, allow_raise: bool) -> Result<String, String>
     let mut raised = Vec::new();
     for (table, counts, ceilings) in [
         ("unwrap-expect", &report.unwrap_expect, &old.unwrap_expect),
+        ("unsafe-sites", &report.unsafe_sites, &old.unsafe_sites),
         (
             "hot-path-alloc",
             &report.hot_path_alloc,
@@ -489,6 +504,7 @@ pub fn update_baseline(root: &Path, allow_raise: bool) -> Result<String, String>
     }
     let new = Baseline {
         unwrap_expect: report.unwrap_expect.clone(),
+        unsafe_sites: report.unsafe_sites.clone(),
         hot_path_alloc: report.hot_path_alloc.clone(),
         hot_path_roots: old.hot_path_roots.clone(),
         panic_free_roots: old.panic_free_roots.clone(),
@@ -574,6 +590,20 @@ mod tests {
         assert!(err.contains("unwrap-expect.alpha: 0 -> 1"), "{err}");
         assert!(err.contains("--allow-raise"), "{err}");
         // The baseline file is untouched.
+        let text = std::fs::read_to_string(root.join("lint-baseline.toml")).expect("read");
+        assert!(text.contains("alpha = 0"), "{text}");
+    }
+
+    #[test]
+    fn update_baseline_refuses_unsafe_site_raise_without_flag() {
+        let root = scratch_workspace(
+            "unsafe-refuse",
+            "pub fn f(p: *const u32) -> u32 { unsafe { *p } }\n",
+            "[unwrap-expect]\nalpha = 0\n\n[unsafe-sites]\nalpha = 0\n",
+        );
+        let err = update_baseline(&root, false).expect_err("must refuse to raise");
+        assert!(err.contains("RAISE"), "{err}");
+        assert!(err.contains("unsafe-sites.alpha: 0 -> 1"), "{err}");
         let text = std::fs::read_to_string(root.join("lint-baseline.toml")).expect("read");
         assert!(text.contains("alpha = 0"), "{text}");
     }

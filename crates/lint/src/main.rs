@@ -157,6 +157,7 @@ fn to_json(report: &Report) -> String {
     out.push_str("],\n");
     for (key, counts) in [
         ("unwrap_expect", &report.unwrap_expect),
+        ("unsafe_sites", &report.unsafe_sites),
         ("hot_path_alloc", &report.hot_path_alloc),
         ("panic_free", &report.panic_free),
     ] {

@@ -5,10 +5,10 @@
 //!
 //! ```text
 //! magic[8]  = "OPTSRVA\0"
-//! version   u32  (currently 1)
+//! version   u32  (currently 2)
 //! checksum  u64  FNV-1a 64 over every byte after this field
 //! ---- checksummed payload ----
-//! quant u8 · layer_norm u8 · fact_fn u8
+//! quant u8 · layer_norm u8 · fact_fn u8 · backend u8
 //! orig_dim u32 · cross_dim u32
 //! hidden_count u32 · hidden[i] u32 ...
 //! num_fields u32 · num_pairs u32 · orig_vocab u32 · cross_vocab u32
@@ -31,6 +31,7 @@ use crate::quant::{f16_bits_to_f32, f32_to_f16_bits, quantize_row_i8};
 use optinter_core::net::DataDims;
 use optinter_core::persist::{architecture_from_string, architecture_to_string};
 use optinter_core::{Architecture, FactFn};
+use optinter_tensor::kernels::Backend;
 use optinter_tensor::Matrix;
 use std::fmt;
 use std::io::{Read as _, Write as _};
@@ -38,8 +39,10 @@ use std::path::Path;
 
 /// File magic: "OPTSRV" + artifact-format marker + NUL.
 pub const MAGIC: [u8; 8] = *b"OPTSRVA\0";
-/// Current artifact format version.
-pub const VERSION: u32 = 1;
+/// Current artifact format version. Version 2 added the `backend` byte
+/// (the kernel backend active when the model was frozen, for
+/// reproducibility of the freeze-time numerics).
+pub const VERSION: u32 = 2;
 
 /// Hard cap on tensor-name length (matches `optinter_core::persist`).
 const MAX_NAME_LEN: usize = 4096;
@@ -262,6 +265,11 @@ pub struct FrozenModel {
     pub layer_norm: bool,
     /// Factorization function baked into the architecture.
     pub fact_fn: FactFn,
+    /// Kernel backend active when the model was frozen. Recorded for
+    /// reproducibility (an FMA backend rounds differently from the scalar
+    /// one); loading does NOT force it — the scorer dispatches through the
+    /// process-wide selection and reports both.
+    pub backend: Backend,
     /// Quantization applied to the embedding tables.
     pub quant: Quant,
     /// Dataset dimensions the model was trained against.
@@ -283,10 +291,12 @@ impl FrozenModel {
 
     /// Serializes the artifact.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut payload = Vec::new();
-        payload.push(self.quant.tag());
-        payload.push(self.layer_norm as u8);
-        payload.push(fact_fn_tag(self.fact_fn));
+        let mut payload = vec![
+            self.quant.tag(),
+            self.layer_norm as u8,
+            fact_fn_tag(self.fact_fn),
+            self.backend.tag(),
+        ];
         put_u32(&mut payload, self.orig_dim as u32);
         put_u32(&mut payload, self.cross_dim as u32);
         put_u32(&mut payload, self.hidden.len() as u32);
@@ -378,6 +388,10 @@ impl FrozenModel {
             }
         };
         let fact_fn = fact_fn_from_tag(r.u8("fact_fn")?)?;
+        let backend_tag = r.u8("backend")?;
+        let backend = Backend::from_tag(backend_tag).ok_or_else(|| {
+            ArtifactError::Corrupt(format!("unknown kernel backend tag {backend_tag}"))
+        })?;
         let orig_dim = r.u32("orig_dim")? as usize;
         let cross_dim = r.u32("cross_dim")? as usize;
         if orig_dim == 0 || cross_dim == 0 {
@@ -484,6 +498,7 @@ impl FrozenModel {
             hidden,
             layer_norm,
             fact_fn,
+            backend,
             quant,
             dims: DataDims {
                 num_fields,

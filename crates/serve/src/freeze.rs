@@ -23,6 +23,7 @@ use optinter_core::net::DataDims;
 use optinter_core::OptInterNet;
 use optinter_data::{Batch, BatchIter, EncodedDataset};
 use optinter_metrics::auc;
+use optinter_tensor::kernels;
 use optinter_tensor::Matrix;
 use std::fmt;
 use std::ops::Range;
@@ -147,6 +148,7 @@ pub fn freeze(net: &mut OptInterNet, data: &EncodedDataset, quant: Quant) -> Fro
         hidden: cfg.hidden.clone(),
         layer_norm: cfg.layer_norm,
         fact_fn: cfg.fact_fn,
+        backend: kernels::active(),
         quant,
         dims,
         arch,

@@ -26,6 +26,7 @@ use optinter_core::{FactFn, Method};
 use optinter_data::Batch;
 use optinter_nn::loss::probabilities_into;
 use optinter_nn::{Layer, Mlp, MlpConfig};
+use optinter_tensor::kernels::{self, Backend};
 use optinter_tensor::{Matrix, Pool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -98,6 +99,12 @@ pub struct FrozenScorer {
     cross_dim: usize,
     fact_fn: FactFn,
     quant: Quant,
+    /// Kernel backend the scorer dispatches to, captured at load time so
+    /// the serving tier can report it (and compare it to the freeze-time
+    /// backend recorded in the artifact).
+    backend: Backend,
+    /// Backend recorded in the artifact at freeze time.
+    frozen_backend: Backend,
     layout: PairLayout,
     /// Hot-first embedding arena (permuted rows).
     e_orig: Matrix,
@@ -193,6 +200,8 @@ impl FrozenScorer {
             cross_dim: s2,
             fact_fn: model.fact_fn,
             quant: model.quant,
+            backend: kernels::active(),
+            frozen_backend: model.backend,
             layout,
             e_orig,
             e_cross,
@@ -216,6 +225,18 @@ impl FrozenScorer {
     /// Quantization mode of the loaded artifact.
     pub fn quant(&self) -> Quant {
         self.quant
+    }
+
+    /// Kernel backend this scorer dispatches to (captured at load time).
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Kernel backend recorded in the artifact at freeze time. When it
+    /// differs from [`Self::backend`], f32 scores can differ from the
+    /// freeze-time numerics in the last bits (FMA vs separate mul+add).
+    pub fn frozen_backend(&self) -> Backend {
+        self.frozen_backend
     }
 
     /// Dataset dimensions baked into the artifact.

@@ -29,12 +29,14 @@
 //! assert_eq!(c.as_slice(), a.as_slice());
 //! ```
 
-// `unsafe` lives only in `pool` (see DESIGN.md §7 and the optinter-lint
-// unsafe-confinement rule); inside an `unsafe fn`, every unsafe operation
-// still needs its own `unsafe {}` block with a SAFETY comment.
+// `unsafe` lives only in `pool` and the `kernels` SIMD backends (see
+// DESIGN.md §7/§13 and the optinter-lint unsafe-confinement rule); inside
+// an `unsafe fn`, every unsafe operation still needs its own `unsafe {}`
+// block with a SAFETY comment.
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod numerics;
 pub mod ops;

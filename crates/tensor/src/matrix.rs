@@ -223,6 +223,24 @@ impl Matrix {
             .collect()
     }
 
+    /// Copies column `c` into `out` — the allocation-free form of
+    /// [`col_to_vec`](Self::col_to_vec) for hot-path callers.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of bounds or `out.len() != self.rows`.
+    pub fn col_into(&self, c: usize, out: &mut [f32]) {
+        assert!(
+            c < self.cols,
+            "col_into: column {} out of bounds ({})",
+            c,
+            self.cols
+        );
+        assert_eq!(out.len(), self.rows, "col_into: output length mismatch");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.data[r * self.cols + c];
+        }
+    }
+
     /// Resets every element to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
         self.data.fill(0.0);
@@ -256,9 +274,9 @@ impl Matrix {
 
     /// Matrix product `self * other` written into `out` (overwriting it).
     ///
-    /// Runs the register-tiled kernel described in the module docs of
-    /// [`mm_acc_rows`]; see `reference::matmul_accumulate` for the naive
-    /// loop it is validated against.
+    /// Dispatches through the active kernel backend (see
+    /// [`crate::kernels`]); see `reference::matmul_accumulate` for the
+    /// naive loop it is validated against.
     ///
     /// # Panics
     /// Panics on any dimension mismatch.
@@ -287,7 +305,7 @@ impl Matrix {
             out.cols, other.cols,
             "matmul_accumulate: output col count mismatch"
         );
-        mm_acc_rows(
+        crate::kernels::active_kernel().mm_acc_rows(
             &self.data,
             self.cols,
             &other.data,
@@ -318,7 +336,7 @@ impl Matrix {
             out.cols, other.cols,
             "matmul_at_b: output col count mismatch"
         );
-        mm_atb_rows(
+        crate::kernels::active_kernel().mm_atb_rows(
             &self.data,
             self.cols,
             &other.data,
@@ -350,7 +368,7 @@ impl Matrix {
             out.cols, other.rows,
             "matmul_a_bt: output col count mismatch"
         );
-        mm_abt_rows(
+        crate::kernels::active_kernel().mm_abt_rows(
             &self.data,
             self.cols,
             &other.data,
@@ -411,10 +429,11 @@ impl Matrix {
         }
         let n = other.cols;
         let kdim = self.cols;
+        let kern = crate::kernels::active_kernel();
         pool.for_row_chunks(&mut out.data, n, |r0, out_chunk| {
             let rows_in = out_chunk.len() / n;
             let a_chunk = &self.data[r0 * kdim..(r0 + rows_in) * kdim];
-            mm_acc_rows(a_chunk, kdim, &other.data, n, out_chunk, alpha);
+            kern.mm_acc_rows(a_chunk, kdim, &other.data, n, out_chunk, alpha);
         });
     }
 
@@ -454,8 +473,9 @@ impl Matrix {
             return self.matmul_at_b_accumulate(other, out, alpha);
         }
         let n = other.cols;
+        let kern = crate::kernels::active_kernel();
         pool.for_row_chunks(&mut out.data, n, |k0, out_chunk| {
-            mm_atb_rows(&self.data, self.cols, &other.data, n, k0, out_chunk, alpha);
+            kern.mm_atb_rows(&self.data, self.cols, &other.data, n, k0, out_chunk, alpha);
         });
     }
 
@@ -486,10 +506,11 @@ impl Matrix {
         }
         let bn = other.rows;
         let ncols = self.cols;
+        let kern = crate::kernels::active_kernel();
         pool.for_row_chunks(&mut out.data, bn, |r0, out_chunk| {
             let rows_in = out_chunk.len() / bn;
             let a_chunk = &self.data[r0 * ncols..(r0 + rows_in) * ncols];
-            mm_abt_rows(a_chunk, ncols, &other.data, bn, out_chunk);
+            kern.mm_abt_rows(a_chunk, ncols, &other.data, bn, out_chunk);
         });
     }
 
@@ -683,379 +704,6 @@ pub fn axpy_slice(alpha: f32, x: &[f32], y: &mut [f32]) {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Register-tiled matmul microkernels.
-//
-// All three products run the same scheme: output rows are processed in
-// blocks of `MR = 4` and output columns in panels of `NR = 8`, with the
-// `MR x NR` accumulator tile held in registers across the entire reduction
-// loop (8 SSE registers for the tile, leaving room for the broadcast
-// multipliers and the loaded B panel in the 16-register x86-64 budget).
-// Each B/G panel row loaded from memory feeds `MR` rows of output, cutting
-// memory traffic `MR`-fold versus the naive `i-k-j` loop, and the `NR`-wide
-// independent lanes keep the SIMD units fed.
-//
-// **Determinism contract.** Every output element is produced by exactly one
-// accumulator chain that walks the reduction dimension in ascending order
-// and is added to (or stored into) the output exactly once — and the
-// remainder kernels (`MR = 1` row, scalar column tails) replay the *same*
-// per-element chain. The value of an element therefore does not depend on
-// which block shape computed it, which makes the kernels invariant under
-// any row regrouping: serial, pooled with any chunk split, and any thread
-// count all produce bit-identical results. What is *not* promised is
-// equality with other kernel versions (the naive `reference` kernels
-// accumulate directly into the output per step, a different FP ordering) —
-// the contract is run-to-run and thread-count invariance, not cross-version
-// FP ordering. See DESIGN.md §8.
-//
-// No `unsafe`: the kernels are built on `split_at`/`chunks_exact` and
-// fixed-size array tiles, which LLVM lowers without bounds checks.
-// ---------------------------------------------------------------------------
-
-/// Output-row block height of the microkernels.
-const MR: usize = 4;
-/// Output-column panel width of the microkernels.
-const NR: usize = 8;
-
-/// `out_rows += alpha * a_rows * b` for a contiguous block of output rows.
-///
-/// `a_rows` is the matching row block of `A` (`rows x k`), `b` the full
-/// `k x n` right-hand side, `out_rows` the `rows x n` output block.
-fn mm_acc_rows(a_rows: &[f32], k: usize, b: &[f32], n: usize, out_rows: &mut [f32], alpha: f32) {
-    if k == 0 || n == 0 {
-        return;
-    }
-    debug_assert_eq!(a_rows.len() % k, 0);
-    debug_assert_eq!(b.len(), k * n);
-    let mut a_blocks = a_rows.chunks_exact(MR * k);
-    let mut o_blocks = out_rows.chunks_exact_mut(MR * n);
-    for (ab, ob) in (&mut a_blocks).zip(&mut o_blocks) {
-        mm_acc_mr(ab, k, b, n, ob, alpha);
-    }
-    for (ar, or) in a_blocks
-        .remainder()
-        .chunks_exact(k)
-        .zip(o_blocks.into_remainder().chunks_exact_mut(n))
-    {
-        mm_acc_1(ar, b, n, or, alpha);
-    }
-}
-
-/// `MR`-row microkernel of [`mm_acc_rows`].
-///
-/// Per element `(r, c)`: `t = Σ_k a[r,k] * b[k,c]` in ascending `k` on a
-/// single accumulator, then `out += alpha * t` — `alpha` is applied once
-/// per element, outside the reduction loop.
-fn mm_acc_mr(ab: &[f32], k: usize, b: &[f32], n: usize, ob: &mut [f32], alpha: f32) {
-    let (a0, rest) = ab.split_at(k);
-    let (a1, rest) = rest.split_at(k);
-    let (a2, a3) = rest.split_at(k);
-    let (o0, rest) = ob.split_at_mut(n);
-    let (o1, rest) = rest.split_at_mut(n);
-    let (o2, o3) = rest.split_at_mut(n);
-    let mut c = 0;
-    while c + NR <= n {
-        let mut t0 = [0.0f32; NR];
-        let mut t1 = [0.0f32; NR];
-        let mut t2 = [0.0f32; NR];
-        let mut t3 = [0.0f32; NR];
-        let rows = b.chunks_exact(n).zip(a0).zip(a1).zip(a2).zip(a3);
-        for ((((brow, &x0), &x1), &x2), &x3) in rows {
-            let bp = &brow[c..c + NR];
-            for j in 0..NR {
-                t0[j] += x0 * bp[j];
-                t1[j] += x1 * bp[j];
-                t2[j] += x2 * bp[j];
-                t3[j] += x3 * bp[j];
-            }
-        }
-        for j in 0..NR {
-            o0[c + j] += alpha * t0[j];
-            o1[c + j] += alpha * t1[j];
-            o2[c + j] += alpha * t2[j];
-            o3[c + j] += alpha * t3[j];
-        }
-        c += NR;
-    }
-    while c < n {
-        let mut t0 = 0.0f32;
-        let mut t1 = 0.0f32;
-        let mut t2 = 0.0f32;
-        let mut t3 = 0.0f32;
-        let rows = b.chunks_exact(n).zip(a0).zip(a1).zip(a2).zip(a3);
-        for ((((brow, &x0), &x1), &x2), &x3) in rows {
-            let bv = brow[c];
-            t0 += x0 * bv;
-            t1 += x1 * bv;
-            t2 += x2 * bv;
-            t3 += x3 * bv;
-        }
-        o0[c] += alpha * t0;
-        o1[c] += alpha * t1;
-        o2[c] += alpha * t2;
-        o3[c] += alpha * t3;
-        c += 1;
-    }
-}
-
-/// Single-row tail of [`mm_acc_rows`]; replays the same per-element chain.
-fn mm_acc_1(ar: &[f32], b: &[f32], n: usize, or: &mut [f32], alpha: f32) {
-    let mut c = 0;
-    while c + NR <= n {
-        let mut t = [0.0f32; NR];
-        for (brow, &x) in b.chunks_exact(n).zip(ar) {
-            let bp = &brow[c..c + NR];
-            for j in 0..NR {
-                t[j] += x * bp[j];
-            }
-        }
-        for j in 0..NR {
-            or[c + j] += alpha * t[j];
-        }
-        c += NR;
-    }
-    while c < n {
-        let mut t = 0.0f32;
-        for (brow, &x) in b.chunks_exact(n).zip(ar) {
-            t += x * brow[c];
-        }
-        or[c] += alpha * t;
-        c += 1;
-    }
-}
-
-/// `out_chunk += alpha * (A^T G)` rows `k0..`, for `A: m x acols` and
-/// `G: m x n`; `out_chunk` is a contiguous block of `A^T G` output rows
-/// starting at row `k0` (i.e. column `k0` of `A`).
-fn mm_atb_rows(
-    a: &[f32],
-    acols: usize,
-    g: &[f32],
-    n: usize,
-    k0: usize,
-    out_chunk: &mut [f32],
-    alpha: f32,
-) {
-    if n == 0 {
-        return;
-    }
-    debug_assert_eq!(out_chunk.len() % n, 0);
-    let mut col = k0;
-    let mut o_blocks = out_chunk.chunks_exact_mut(MR * n);
-    for ob in &mut o_blocks {
-        mm_atb_mr(a, acols, g, n, col, ob, alpha);
-        col += MR;
-    }
-    for or in o_blocks.into_remainder().chunks_exact_mut(n) {
-        mm_atb_1(a, acols, g, n, col, or, alpha);
-        col += 1;
-    }
-}
-
-/// `MR`-output-row microkernel of [`mm_atb_rows`]: output rows are columns
-/// `col..col + MR` of `A`, reduced over `A`/`G` rows in ascending order.
-/// Same per-element scheme as [`mm_acc_mr`]: single ascending accumulator,
-/// `alpha` applied once at the end.
-fn mm_atb_mr(a: &[f32], acols: usize, g: &[f32], n: usize, col: usize, ob: &mut [f32], alpha: f32) {
-    let (o0, rest) = ob.split_at_mut(n);
-    let (o1, rest) = rest.split_at_mut(n);
-    let (o2, o3) = rest.split_at_mut(n);
-    let mut c = 0;
-    while c + NR <= n {
-        let mut t0 = [0.0f32; NR];
-        let mut t1 = [0.0f32; NR];
-        let mut t2 = [0.0f32; NR];
-        let mut t3 = [0.0f32; NR];
-        for (arow, grow) in a.chunks_exact(acols).zip(g.chunks_exact(n)) {
-            let av = &arow[col..col + MR];
-            let gp = &grow[c..c + NR];
-            for j in 0..NR {
-                t0[j] += av[0] * gp[j];
-                t1[j] += av[1] * gp[j];
-                t2[j] += av[2] * gp[j];
-                t3[j] += av[3] * gp[j];
-            }
-        }
-        for j in 0..NR {
-            o0[c + j] += alpha * t0[j];
-            o1[c + j] += alpha * t1[j];
-            o2[c + j] += alpha * t2[j];
-            o3[c + j] += alpha * t3[j];
-        }
-        c += NR;
-    }
-    while c < n {
-        let mut t0 = 0.0f32;
-        let mut t1 = 0.0f32;
-        let mut t2 = 0.0f32;
-        let mut t3 = 0.0f32;
-        for (arow, grow) in a.chunks_exact(acols).zip(g.chunks_exact(n)) {
-            let av = &arow[col..col + MR];
-            let gv = grow[c];
-            t0 += av[0] * gv;
-            t1 += av[1] * gv;
-            t2 += av[2] * gv;
-            t3 += av[3] * gv;
-        }
-        o0[c] += alpha * t0;
-        o1[c] += alpha * t1;
-        o2[c] += alpha * t2;
-        o3[c] += alpha * t3;
-        c += 1;
-    }
-}
-
-/// Single-output-row tail of [`mm_atb_rows`]; same per-element chain.
-fn mm_atb_1(a: &[f32], acols: usize, g: &[f32], n: usize, col: usize, or: &mut [f32], alpha: f32) {
-    let mut c = 0;
-    while c + NR <= n {
-        let mut t = [0.0f32; NR];
-        for (arow, grow) in a.chunks_exact(acols).zip(g.chunks_exact(n)) {
-            let x = arow[col];
-            let gp = &grow[c..c + NR];
-            for j in 0..NR {
-                t[j] += x * gp[j];
-            }
-        }
-        for j in 0..NR {
-            or[c + j] += alpha * t[j];
-        }
-        c += NR;
-    }
-    while c < n {
-        let mut t = 0.0f32;
-        for (arow, grow) in a.chunks_exact(acols).zip(g.chunks_exact(n)) {
-            t += arow[col] * grow[c];
-        }
-        or[c] += alpha * t;
-        c += 1;
-    }
-}
-
-/// `out_rows = a_rows * b^T` for a contiguous block of output rows:
-/// `a_rows` is `rows x ncols`, `b` is `bn x ncols`, `out_rows` is
-/// `rows x bn`. Every element is the same [`dot_lanes`] chain, so the
-/// 4-row cache blocking cannot affect results.
-fn mm_abt_rows(a_rows: &[f32], ncols: usize, b: &[f32], bn: usize, out_rows: &mut [f32]) {
-    if bn == 0 {
-        return;
-    }
-    if ncols == 0 {
-        out_rows.fill(0.0);
-        return;
-    }
-    let mut a_blocks = a_rows.chunks_exact(MR * ncols);
-    let mut o_blocks = out_rows.chunks_exact_mut(MR * bn);
-    for (ab, ob) in (&mut a_blocks).zip(&mut o_blocks) {
-        let (a0, rest) = ab.split_at(ncols);
-        let (a1, rest) = rest.split_at(ncols);
-        let (a2, a3) = rest.split_at(ncols);
-        let (o0, rest) = ob.split_at_mut(bn);
-        let (o1, rest) = rest.split_at_mut(bn);
-        let (o2, o3) = rest.split_at_mut(bn);
-        for (c, brow) in b.chunks_exact(ncols).enumerate() {
-            let [d0, d1, d2, d3] = dot4_lanes(a0, a1, a2, a3, brow);
-            o0[c] = d0;
-            o1[c] = d1;
-            o2[c] = d2;
-            o3[c] = d3;
-        }
-    }
-    for (ar, or) in a_blocks
-        .remainder()
-        .chunks_exact(ncols)
-        .zip(o_blocks.into_remainder().chunks_exact_mut(bn))
-    {
-        for (c, brow) in b.chunks_exact(ncols).enumerate() {
-            or[c] = dot_lanes(ar, brow);
-        }
-    }
-}
-
-/// Dot product via 16 independent strided partial sums reduced in a fixed
-/// order. The lanes break the serial FP dependency chain (the naive dot is
-/// add-latency-bound: one accumulator admits one element per ~4 cycles);
-/// the fixed pairwise reduction keeps the result a pure function of the
-/// operands, so every caller — any block shape, serial or pooled —
-/// computes bit-identical values.
-#[inline]
-fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
-    const L: usize = 16;
-    let mut acc = [0.0f32; L];
-    let mut ac = a.chunks_exact(L);
-    let mut bc = b.chunks_exact(L);
-    for (x, y) in (&mut ac).zip(&mut bc) {
-        for j in 0..L {
-            acc[j] += x[j] * y[j];
-        }
-    }
-    let mut tail = 0.0f32;
-    for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
-        tail += x * y;
-    }
-    reduce_lanes(&acc) + tail
-}
-
-/// Four dot products against a shared right-hand side, computed jointly so
-/// the `b` panel is loaded once per 16-lane step and the four accumulator
-/// sets interleave. Each of the four results is **bitwise identical** to
-/// `dot_lanes(a_i, b)`: same lane decomposition, same reduction tree, same
-/// scalar tail order.
-#[inline]
-#[allow(clippy::needless_range_loop)]
-fn dot4_lanes(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f32; 4] {
-    const L: usize = 16;
-    let n = b.len();
-    debug_assert!(a0.len() == n && a1.len() == n && a2.len() == n && a3.len() == n);
-    let whole = n - n % L;
-    let mut acc0 = [0.0f32; L];
-    let mut acc1 = [0.0f32; L];
-    let mut acc2 = [0.0f32; L];
-    let mut acc3 = [0.0f32; L];
-    let mut i = 0;
-    while i + L <= whole {
-        let bp = &b[i..i + L];
-        let x0 = &a0[i..i + L];
-        let x1 = &a1[i..i + L];
-        let x2 = &a2[i..i + L];
-        let x3 = &a3[i..i + L];
-        for j in 0..L {
-            acc0[j] += x0[j] * bp[j];
-            acc1[j] += x1[j] * bp[j];
-            acc2[j] += x2[j] * bp[j];
-            acc3[j] += x3[j] * bp[j];
-        }
-        i += L;
-    }
-    let mut t0 = 0.0f32;
-    let mut t1 = 0.0f32;
-    let mut t2 = 0.0f32;
-    let mut t3 = 0.0f32;
-    for j in whole..n {
-        t0 += a0[j] * b[j];
-        t1 += a1[j] * b[j];
-        t2 += a2[j] * b[j];
-        t3 += a3[j] * b[j];
-    }
-    [
-        reduce_lanes(&acc0) + t0,
-        reduce_lanes(&acc1) + t1,
-        reduce_lanes(&acc2) + t2,
-        reduce_lanes(&acc3) + t3,
-    ]
-}
-
-/// Fixed pairwise reduction of 16 partial sums (shared by [`dot_lanes`] and
-/// [`dot4_lanes`] so their results are bit-identical).
-#[inline]
-fn reduce_lanes(acc: &[f32; 16]) -> f32 {
-    let q0 = (acc[0] + acc[1]) + (acc[2] + acc[3]);
-    let q1 = (acc[4] + acc[5]) + (acc[6] + acc[7]);
-    let q2 = (acc[8] + acc[9]) + (acc[10] + acc[11]);
-    let q3 = (acc[12] + acc[13]) + (acc[14] + acc[15]);
-    (q0 + q1) + (q2 + q3)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1067,6 +715,21 @@ mod tests {
         assert_eq!(m.get(1, 2), 5.0);
         assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
         assert_eq!(m.col_to_vec(1), vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn col_into_matches_col_to_vec() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+        for c in 0..3 {
+            let mut out = vec![0.0f32; 4];
+            m.col_into(c, &mut out);
+            assert_eq!(out, m.col_to_vec(c));
+        }
+        let bad = std::panic::catch_unwind(|| {
+            let mut out = vec![0.0f32; 3];
+            m.col_into(0, &mut out);
+        });
+        assert!(bad.is_err(), "length mismatch must panic");
     }
 
     #[test]

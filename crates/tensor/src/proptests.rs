@@ -13,6 +13,7 @@
 
 #![cfg(test)]
 
+use crate::kernels::{self, Backend, MatMulKernel};
 use crate::matrix::Matrix;
 use crate::pool::Pool;
 use crate::reference;
@@ -146,5 +147,264 @@ proptest! {
                 "matmul_a_bt {m}x{k}x{n} t={threads} not bitwise at {i}: {s} vs {p}"
             );
         }
+    }
+}
+
+/// Kernel objects for every backend the host supports (scalar always,
+/// AVX2+FMA when detected) — called directly on slices, so the
+/// process-wide backend selection is never mutated from parallel test
+/// threads.
+fn backends() -> Vec<&'static dyn MatMulKernel> {
+    let mut v: Vec<&'static dyn MatMulKernel> = vec![kernels::kernel_for(Backend::Scalar)];
+    if Backend::AvxFma.is_supported() {
+        v.push(kernels::kernel_for(Backend::AvxFma));
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn backend_mm_acc_matches_reference(
+        m in 1usize..37,
+        k in 1usize..90,
+        n in 1usize..70,
+        salt in 0u64..1000,
+    ) {
+        let a = salted(m, k, salt);
+        let b = salted(k, n, salt ^ 0x5a);
+        let seed = salted(m, n, salt ^ 0xc3);
+        let mut expect = seed.clone();
+        reference::matmul_accumulate(&a, &b, &mut expect, 0.5);
+        for kern in backends() {
+            let mut got = seed.as_slice().to_vec();
+            kern.mm_acc_rows(a.as_slice(), k, b.as_slice(), n, &mut got, 0.5);
+            for (i, (x, y)) in got.iter().zip(expect.as_slice()).enumerate() {
+                prop_assert!(
+                    rel_close(*x, *y, 1e-4),
+                    "{} mm_acc {m}x{k}x{n} diverged at {i}: {x} vs {y}",
+                    kern.name()
+                );
+            }
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn backend_mm_atb_matches_reference(
+        m in 1usize..37,
+        k in 1usize..70,
+        n in 1usize..70,
+        salt in 0u64..1000,
+    ) {
+        let a = salted(m, k, salt);
+        let g = salted(m, n, salt ^ 0x5a);
+        let seed = salted(k, n, salt ^ 0xc3);
+        let mut expect = seed.clone();
+        reference::matmul_at_b_accumulate(&a, &g, &mut expect, -0.75);
+        for kern in backends() {
+            let mut got = seed.as_slice().to_vec();
+            kern.mm_atb_rows(a.as_slice(), k, g.as_slice(), n, 0, &mut got, -0.75);
+            for (i, (x, y)) in got.iter().zip(expect.as_slice()).enumerate() {
+                prop_assert!(
+                    rel_close(*x, *y, 1e-4),
+                    "{} mm_atb {m}x{k}x{n} diverged at {i}: {x} vs {y}",
+                    kern.name()
+                );
+            }
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn backend_mm_abt_matches_reference(
+        m in 1usize..37,
+        k in 1usize..90,
+        n in 1usize..37,
+        salt in 0u64..1000,
+    ) {
+        let a = salted(m, k, salt);
+        let b = salted(n, k, salt ^ 0x5a);
+        let mut expect = Matrix::zeros(m, n);
+        reference::matmul_a_bt_into(&a, &b, &mut expect);
+        for kern in backends() {
+            let mut got = vec![0.0f32; m * n];
+            kern.mm_abt_rows(a.as_slice(), k, b.as_slice(), n, &mut got);
+            for (i, (x, y)) in got.iter().zip(expect.as_slice()).enumerate() {
+                prop_assert!(
+                    rel_close(*x, *y, 1e-4),
+                    "{} mm_abt {m}x{k}x{n} diverged at {i}: {x} vs {y}",
+                    kern.name()
+                );
+            }
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Emulates arbitrary pooled chunk boundaries at the kernel-call
+    // level: computing a block of output rows in several contiguous calls
+    // must be bit-identical to one call, for every backend — this is the
+    // property the owner-computes pool paths rely on.
+    #[test]
+    fn backend_row_regrouping_is_bitwise_invariant(
+        m in 1usize..41,
+        k in 1usize..41,
+        n in 1usize..41,
+        raw_split in 1usize..41,
+        salt in 0u64..1000,
+    ) {
+        check_row_regrouping(m, k, n, raw_split, salt);
+    }
+}
+
+/// Non-finite inputs must propagate identically on every backend: the
+/// packed kernels compute zero-padded tail lanes but never store them, and
+/// no backend has a skip-zero fast path, so NaN/Inf classification must
+/// agree with the reference exactly.
+#[test]
+fn nan_inf_propagation_parity_across_backends() {
+    let (m, k, n) = (9, 21, 13);
+    let mut a = salted(m, k, 7);
+    a.set(2, 5, f32::NAN);
+    a.set(6, 1, f32::INFINITY);
+    a.set(7, 3, f32::NEG_INFINITY);
+    let b = salted(k, n, 9);
+    let seed = salted(m, n, 11);
+    let mut expect = seed.clone();
+    reference::matmul_accumulate(&a, &b, &mut expect, 1.0);
+    for kern in backends() {
+        let mut got = seed.as_slice().to_vec();
+        kern.mm_acc_rows(a.as_slice(), k, b.as_slice(), n, &mut got, 1.0);
+        for (i, (x, y)) in got.iter().zip(expect.as_slice()).enumerate() {
+            check_parity(*x, *y, kern.name(), "mm_acc", i);
+        }
+    }
+    // A^T G with non-finite entries in G.
+    let a = salted(m, k, 13);
+    let mut g = salted(m, n, 15);
+    g.set(4, 2, f32::NAN);
+    g.set(1, 9, f32::INFINITY);
+    let seed_t = salted(k, n, 17);
+    let mut expect_t = seed_t.clone();
+    reference::matmul_at_b_accumulate(&a, &g, &mut expect_t, 1.0);
+    for kern in backends() {
+        let mut got = seed_t.as_slice().to_vec();
+        kern.mm_atb_rows(a.as_slice(), k, g.as_slice(), n, 0, &mut got, 1.0);
+        for (i, (x, y)) in got.iter().zip(expect_t.as_slice()).enumerate() {
+            check_parity(*x, *y, kern.name(), "mm_atb", i);
+        }
+    }
+    // A B^T with non-finite entries in B.
+    let mut bt = salted(n, k, 19);
+    bt.set(3, 8, f32::NEG_INFINITY);
+    bt.set(10, 0, f32::NAN);
+    let mut expect_bt = Matrix::zeros(m, n);
+    reference::matmul_a_bt_into(&a, &bt, &mut expect_bt);
+    for kern in backends() {
+        let mut got = vec![0.0f32; m * n];
+        kern.mm_abt_rows(a.as_slice(), k, bt.as_slice(), n, &mut got);
+        for (i, (x, y)) in got.iter().zip(expect_bt.as_slice()).enumerate() {
+            check_parity(*x, *y, kern.name(), "mm_abt", i);
+        }
+    }
+}
+
+fn check_parity(x: f32, y: f32, backend: &str, op: &str, i: usize) {
+    if y.is_nan() {
+        assert!(x.is_nan(), "{backend} {op} at {i}: expected NaN, got {x}");
+    } else if y.is_infinite() {
+        assert_eq!(x, y, "{backend} {op} at {i}: expected {y}, got {x}");
+    } else {
+        assert!(rel_close(x, y, 1e-4), "{backend} {op} at {i}: {x} vs {y}");
+    }
+}
+
+/// Body of `backend_row_regrouping_is_bitwise_invariant`, extracted so the
+/// `proptest!` macro expansion stays within the recursion limit; plain
+/// `assert!` still fails (and shrinks) the enclosing property.
+fn check_row_regrouping(m: usize, k: usize, n: usize, raw_split: usize, salt: u64) {
+    let a = salted(m, k, salt);
+    let b = salted(k, n, salt ^ 0x11);
+    let g = salted(m, n, salt ^ 0x22);
+    let bt = salted(n, k, salt ^ 0x33);
+    let bitwise = |full: &[f32], parts: &[f32], name: &str, op: &str, split: usize| {
+        for (i, (x, y)) in full.iter().zip(parts.iter()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{name} {op} {m}x{k}x{n} split {split} not bitwise at {i}: {x} vs {y}"
+            );
+        }
+    };
+    for kern in backends() {
+        // out += alpha * A B, split over output rows.
+        let mut full = vec![0.5f32; m * n];
+        kern.mm_acc_rows(a.as_slice(), k, b.as_slice(), n, &mut full, 0.75);
+        let split = 1 + raw_split % m;
+        let mut parts = vec![0.5f32; m * n];
+        let mut r0 = 0;
+        while r0 < m {
+            let rows = split.min(m - r0);
+            kern.mm_acc_rows(
+                &a.as_slice()[r0 * k..(r0 + rows) * k],
+                k,
+                b.as_slice(),
+                n,
+                &mut parts[r0 * n..(r0 + rows) * n],
+                0.75,
+            );
+            r0 += rows;
+        }
+        bitwise(&full, &parts, kern.name(), "mm_acc", split);
+        // out += alpha * A^T G, split over output rows (= A columns).
+        let mut full_t = vec![-0.25f32; k * n];
+        kern.mm_atb_rows(a.as_slice(), k, g.as_slice(), n, 0, &mut full_t, -0.5);
+        let split = 1 + raw_split % k;
+        let mut parts_t = vec![-0.25f32; k * n];
+        let mut k0 = 0;
+        while k0 < k {
+            let rows = split.min(k - k0);
+            kern.mm_atb_rows(
+                a.as_slice(),
+                k,
+                g.as_slice(),
+                n,
+                k0,
+                &mut parts_t[k0 * n..(k0 + rows) * n],
+                -0.5,
+            );
+            k0 += rows;
+        }
+        bitwise(&full_t, &parts_t, kern.name(), "mm_atb", split);
+        // out = A B^T, split over output rows.
+        let mut full_bt = vec![0.0f32; m * n];
+        kern.mm_abt_rows(a.as_slice(), k, bt.as_slice(), n, &mut full_bt);
+        let split = 1 + raw_split % m;
+        let mut parts_bt = vec![0.0f32; m * n];
+        let mut r0 = 0;
+        while r0 < m {
+            let rows = split.min(m - r0);
+            kern.mm_abt_rows(
+                &a.as_slice()[r0 * k..(r0 + rows) * k],
+                k,
+                bt.as_slice(),
+                n,
+                &mut parts_bt[r0 * n..(r0 + rows) * n],
+            );
+            r0 += rows;
+        }
+        bitwise(&full_bt, &parts_bt, kern.name(), "mm_abt", split);
     }
 }

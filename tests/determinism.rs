@@ -11,8 +11,20 @@ use optinter_core::{
     Supernet,
 };
 use optinter_data::{Batch, BatchIter, BatchStream, DatasetBundle, Profile};
+use optinter_tensor::kernels::{self, Backend};
+use std::sync::Mutex;
 
 const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Every test in this binary takes this lock: the backend-parameterized
+/// test below mutates the process-wide kernel backend with
+/// `kernels::set_active`, and the bitwise comparisons in all the other
+/// tests assume the backend stays fixed while they run.
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+fn backend_lock() -> std::sync::MutexGuard<'static, ()> {
+    BACKEND_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 fn bundle() -> DatasetBundle {
     Profile::Tiny.bundle_with_rows(1_500, 23)
@@ -52,6 +64,7 @@ fn train_supernet(bundle: &DatasetBundle, threads: usize) -> (Vec<f32>, Vec<[f32
 
 #[test]
 fn supernet_training_is_bit_identical_across_thread_counts() {
+    let _guard = backend_lock();
     let bundle = bundle();
     let (ref_probs, ref_alpha, ref_auc) = train_supernet(&bundle, THREADS[0]);
     assert!(ref_auc > 0.5, "reference run did not learn: AUC {ref_auc}");
@@ -103,6 +116,7 @@ fn train_fixed_arch(bundle: &DatasetBundle, threads: usize) -> Vec<f32> {
 
 #[test]
 fn fixed_architecture_training_is_bit_identical_across_thread_counts() {
+    let _guard = backend_lock();
     let bundle = bundle();
     let reference = train_fixed_arch(&bundle, THREADS[0]);
     for &threads in &THREADS[1..] {
@@ -148,6 +162,7 @@ fn train_fixed_stream(
 
 #[test]
 fn fixed_arch_prefetch_toggle_is_bit_identical_across_thread_counts() {
+    let _guard = backend_lock();
     let bundle = bundle();
     for &threads in &THREADS {
         let (loss_off, probs_off) = train_fixed_stream(&bundle, threads, false);
@@ -195,6 +210,7 @@ fn train_supernet_stream(
 
 #[test]
 fn supernet_prefetch_toggle_is_bit_identical_across_thread_counts() {
+    let _guard = backend_lock();
     let bundle = bundle();
     for &threads in &THREADS {
         let (loss_off, probs_off, alpha_off) = train_supernet_stream(&bundle, threads, false);
@@ -223,6 +239,7 @@ fn supernet_prefetch_toggle_is_bit_identical_across_thread_counts() {
 /// the public `search_architecture` entry point.
 #[test]
 fn search_is_bit_identical_with_and_without_prefetching() {
+    let _guard = backend_lock();
     let bundle = bundle();
     for strategy in [SearchStrategy::Joint, SearchStrategy::BiLevel] {
         let cfg = OptInterConfig {
@@ -242,4 +259,63 @@ fn search_is_bit_identical_with_and_without_prefetching() {
             "{strategy:?}: final loss diverges with prefetching"
         );
     }
+}
+
+/// Per-backend thread-count determinism: for each kernel backend the host
+/// supports, 1/2/4-thread training runs must be bitwise identical — the
+/// owner-computes contract holds *per backend*. Results differ *across*
+/// backends (the AVX backend fuses multiply-add pairs), which is exactly
+/// why the comparison is grouped by backend here.
+#[test]
+fn training_is_bit_identical_across_thread_counts_per_backend() {
+    let _guard = backend_lock();
+    let bundle = bundle();
+    let mut backends = vec![Backend::Scalar];
+    if Backend::AvxFma.is_supported() {
+        backends.push(Backend::AvxFma);
+    }
+    let prev = kernels::set_active(backends[0]);
+    for &backend in &backends {
+        kernels::set_active(backend);
+        let (ref_probs, ref_alpha, ref_auc) = train_supernet(&bundle, THREADS[0]);
+        assert!(
+            ref_auc > 0.5,
+            "[{}] reference run did not learn: AUC {ref_auc}",
+            backend.name()
+        );
+        for &threads in &THREADS[1..] {
+            let (probs, alpha, auc) = train_supernet(&bundle, threads);
+            assert_eq!(
+                bits(&ref_probs),
+                bits(&probs),
+                "[{}] supernet logits diverge at {threads} threads",
+                backend.name()
+            );
+            for (p, (a, b)) in ref_alpha.iter().zip(alpha.iter()).enumerate() {
+                assert_eq!(
+                    bits(a),
+                    bits(b),
+                    "[{}] alpha probabilities diverge at pair {p}, {threads} threads",
+                    backend.name()
+                );
+            }
+            assert_eq!(
+                ref_auc.to_bits(),
+                auc.to_bits(),
+                "[{}] final AUC diverges at {threads} threads",
+                backend.name()
+            );
+        }
+        let fixed_ref = train_fixed_arch(&bundle, THREADS[0]);
+        for &threads in &THREADS[1..] {
+            let probs = train_fixed_arch(&bundle, threads);
+            assert_eq!(
+                bits(&fixed_ref),
+                bits(&probs),
+                "[{}] fixed-arch predictions diverge at {threads} threads",
+                backend.name()
+            );
+        }
+    }
+    kernels::set_active(prev);
 }
