@@ -6,9 +6,12 @@
 //! runs it before and after and appends a labelled entry, so regressions
 //! and wins stay visible in-repo. The workload is fixed: the matmul shapes
 //! of a batch-256 MLP step (including the 256x720x64 forward product), the
-//! sparse embedding accumulate/update path, one full training step of the
-//! search-stage supernet and the fixed-architecture OptInterNet at 1, 2
-//! and 4 threads, and the input pipeline on the AvazuLike profile
+//! sparse embedding accumulate/update path, the embedding-scale section
+//! (dense vs compositional hashed stores and dense-apply vs lazy Adam
+//! over a 10^7 key space, plus dense-vs-hashed train-step AUC on the
+//! giant_vocab profile), one full training step of the search-stage
+//! supernet and the fixed-architecture OptInterNet at 1, 2 and 4
+//! threads, and the input pipeline on the AvazuLike profile
 //! (cross-vocabulary build, row encoding, batch assembly, and full epochs
 //! with/without the prefetching stream).
 //!

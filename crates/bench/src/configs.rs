@@ -37,6 +37,9 @@ pub fn baseline_config(profile: Profile, seed: u64, threads: usize) -> BaselineC
                 ..BaselineConfig::test_small()
             };
         }
+        Profile::GiantVocab => {
+            cfg.embed_dim = 16;
+        }
     }
     cfg
 }
@@ -71,6 +74,7 @@ pub fn optinter_config(profile: Profile, seed: u64, threads: usize) -> OptInterC
                 ..OptInterConfig::test_small()
             };
         }
+        Profile::GiantVocab => cfg.cross_dim = 8,
     }
     cfg
 }

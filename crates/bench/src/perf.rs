@@ -9,7 +9,7 @@ use optinter_core::net::DataDims;
 use optinter_core::{Architecture, Method, OptInterConfig, OptInterNet, Supernet};
 use optinter_data::cross::{raw_cross, CrossVocab};
 use optinter_data::{Batch, BatchIter, BatchStream, Profile, Schema, SyntheticGenerator};
-use optinter_nn::{Adam, EmbeddingTable};
+use optinter_nn::{Adam, DenseOptimizer, EmbedOptimizerMode, EmbedStore, EmbeddingTable, StoreKind};
 use optinter_serve::{
     freeze, run_zipf_load, FrozenScorer, LoadSpec, MicroBatchOptions, MonotonicClock, Quant,
 };
@@ -110,6 +110,31 @@ pub struct EmbeddingRow {
     pub rows_per_sec: f64,
 }
 
+/// Memory-scaled embedding measurement on a giant-vocab key space.
+///
+/// Ops are scale-suffixed (`lookup_grad@1e7` full, `lookup_grad@2e5`
+/// quick) so `--check-against` keys from a quick smoke run can never
+/// cross-match a committed full-scale baseline: absent keys pass the
+/// gate, mismatched scales never compare.
+#[derive(Debug, Clone, Serialize)]
+pub struct EmbedScaleRow {
+    /// Measured operation (`lookup_grad@SCALE`, `adam_apply@SCALE`,
+    /// `train_step@SCALE`).
+    pub op: String,
+    /// Store or optimizer variant (`dense` / `hashed_qr` /
+    /// `hashed_double`; `dense_apply` / `lazy` for the optimizer wall).
+    pub variant: String,
+    /// Resident training bytes per key-space row: f32 weights plus the
+    /// two Adam moment planes, divided by the key space served.
+    pub bytes_per_row: f64,
+    /// Median wall-clock per call (per epoch for `train_step`).
+    pub ns_per_call: f64,
+    /// Batch (or trained) rows processed per second.
+    pub rows_per_sec: f64,
+    /// Validation AUC (`train_step` rows only; 0 for micro ops).
+    pub auc: f64,
+}
+
 /// Full train-step measurement at batch 256.
 #[derive(Debug, Clone, Serialize)]
 pub struct TrainRow {
@@ -176,6 +201,8 @@ pub struct PerfEntry {
     pub matmul: Vec<KernelRow>,
     /// Embedding accumulate/update measurements.
     pub embedding: Vec<EmbeddingRow>,
+    /// Memory-scaled embedding measurements (giant-vocab key space).
+    pub embedding_scale: Vec<EmbedScaleRow>,
     /// End-to-end train-step measurements.
     pub train_step: Vec<TrainRow>,
     /// Input-pipeline measurements.
@@ -321,6 +348,185 @@ fn bench_embedding(quick: bool) -> Vec<EmbeddingRow> {
         ns_per_call: acc_ns,
         rows_per_sec: batch as f64 / (acc_ns * 1e-9),
     });
+    rows
+}
+
+/// Resident training bytes per key: f32 weights plus the two Adam moment
+/// planes the optimizer materializes, over the key space served.
+fn bytes_per_row(params: usize, key_space: usize) -> f64 {
+    (params * 3 * std::mem::size_of::<f32>()) as f64 / key_space.max(1) as f64
+}
+
+/// Memory-scaled embedding measurements, the `giant_vocab` perf axis:
+///
+/// - `lookup_grad@SCALE`: one Zipf-hot lookup + gradient-accumulate +
+///   sparse-Adam touch per store scheme (dense vs the two compositional
+///   tables) over the raw key space, with resident bytes/row alongside —
+///   the memory/throughput tradeoff in one row.
+/// - `adam_apply@SCALE`: the optimizer wall. A full training touch under
+///   `DenseApply` (O(key_space) sweep per step) vs `LazyCatchUp`
+///   (touched rows only, deferred zero-grad replay) on the same dense
+///   table.
+/// - `train_step@SCALE`: end-to-end OptInterNet epochs on the
+///   `giant_vocab` profile, dense vs hashed stores, with validation AUC
+///   recorded so the memory saving is tied to model quality.
+///
+/// Full runs use the profile's ≥10⁷ raw key space; `--quick` shrinks to
+/// 2·10⁵ keys and relabels the ops so smoke keys never gate against a
+/// committed full-scale baseline.
+fn bench_embedding_scale(quick: bool) -> Vec<EmbedScaleRow> {
+    let (key_space, scale) = if quick {
+        (200_000usize, "@2e5")
+    } else {
+        (10_000_000usize, "@1e7")
+    };
+    let dim = 16usize;
+    let fields = 6usize; // giant_vocab field count
+    let batch = 1024usize;
+    let samples = if quick { 3 } else { 10 };
+
+    // Zipf-hot ids at the giant_vocab exponent: the head dominates, the
+    // tail keeps the touched-row set honest.
+    let zipf = optinter_data::zipf::Zipf::new(key_space as u32, 1.25);
+    let mut rng = StdRng::seed_from_u64(0x61A7);
+    let ids: Vec<u32> = (0..batch * fields).map(|_| zipf.sample(&mut rng)).collect();
+    let grad = Matrix::from_fn(batch, fields * dim, |r, c| {
+        ((r * 29 + c) as f32 * 0.01).cos()
+    });
+    let pool = Pool::serial();
+    let mut rows = Vec::new();
+
+    // Store-scheme comparison at matched sub-table budgets (~2·sqrt(V)
+    // rows, the quotient-remainder optimum).
+    let bucket = (key_space as f64).sqrt().ceil() as u32;
+    for (variant, kind) in [
+        ("dense", StoreKind::Dense),
+        ("hashed_qr", StoreKind::HashedQr { bucket }),
+        ("hashed_double", StoreKind::HashedDouble { rows: bucket }),
+    ] {
+        let mut store_rng = StdRng::seed_from_u64(0x5E);
+        let mut store = EmbedStore::new(kind, &mut store_rng, key_space, dim, 0xD1CE);
+        let mut adam = Adam::with_lr_eps(1e-3, 1e-8);
+        let mut out = Matrix::zeros(0, 0);
+        let ns = time_ns(samples, || {
+            adam.begin_step();
+            store.lookup_fields_pooled_into(&ids, fields, &pool, &mut out);
+            store.accumulate_grad_fields_pooled(&ids, fields, &grad, &pool);
+            store.apply_adam(&adam, 1e-4);
+        });
+        std::hint::black_box(out.as_slice());
+        rows.push(EmbedScaleRow {
+            op: format!("lookup_grad{scale}"),
+            variant: variant.to_string(),
+            bytes_per_row: bytes_per_row(store.num_params(), store.key_space()),
+            ns_per_call: ns,
+            rows_per_sec: batch as f64 / (ns * 1e-9),
+            auc: 0.0,
+        });
+    }
+
+    // The optimizer wall: identical touch sequence, dense full-sweep
+    // apply vs the lazy touched-row path, on the same dense table.
+    for (variant, mode) in [
+        ("dense_apply", EmbedOptimizerMode::DenseApply),
+        ("lazy", EmbedOptimizerMode::LazyCatchUp),
+    ] {
+        // The dense sweep costs seconds per step at 10^7 rows; a median
+        // of 3 bounds the section's wall clock without losing the
+        // orders-of-magnitude signal.
+        let apply_samples = if quick { 2 } else { 3 };
+        let mut store_rng = StdRng::seed_from_u64(0x5E);
+        let mut table = EmbeddingTable::new(&mut store_rng, key_space, dim);
+        table.set_optimizer_mode(mode);
+        let mut adam = Adam::with_lr_eps(1e-3, 1e-8);
+        let mut out = Matrix::zeros(0, 0);
+        let ns = time_ns(apply_samples, || {
+            adam.begin_step();
+            table.lookup_fields_into(&ids, fields, &mut out);
+            table.accumulate_grad_fields(&ids, fields, &grad);
+            table.apply_adam(&adam, 1e-4);
+        });
+        std::hint::black_box(out.as_slice());
+        rows.push(EmbedScaleRow {
+            op: format!("adam_apply{scale}"),
+            variant: variant.to_string(),
+            bytes_per_row: bytes_per_row(table.num_params(), table.vocab()),
+            ns_per_call: ns,
+            rows_per_sec: batch as f64 / (ns * 1e-9),
+            auc: 0.0,
+        });
+    }
+
+    // End-to-end: dense vs hashed stores on the giant_vocab profile at
+    // equal AUC. The hashed bucket targets ~6x fewer resident rows over
+    // the *materialized* vocabularies (a large remainder table keeps the
+    // Zipf-hot head near-private, so AUC tracks dense).
+    let n_rows = if quick { 6_000 } else { 60_000 };
+    let epochs = if quick { 1u64 } else { 2 };
+    let bundle = Profile::GiantVocab.bundle_with_rows(n_rows, 17);
+    let dims = DataDims::of(&bundle.data);
+    let train = bundle.split.train.clone();
+    let orig_bucket = (dims.orig_vocab / 6).max(1) as u32;
+    // The cross store only holds rows for memorized pairs (the M/F/N
+    // cycle memorizes every third pair), so size its bucket from that
+    // compact key space, not the full cross vocabulary.
+    let compact_cross: u32 = (0..dims.num_pairs)
+        .filter(|&p| Method::from_index(p % 3) == Method::Memorize)
+        .map(|p| dims.pair_vocab_sizes[p])
+        .sum();
+    let cross_bucket = (compact_cross / 6).max(1);
+    for (variant, orig_kind, cross_kind) in [
+        ("dense", StoreKind::Dense, StoreKind::Dense),
+        (
+            "hashed_qr",
+            StoreKind::HashedQr { bucket: orig_bucket },
+            StoreKind::HashedQr {
+                bucket: cross_bucket,
+            },
+        ),
+    ] {
+        let cfg = OptInterConfig {
+            seed: 7,
+            num_threads: 1,
+            batch_size: 256,
+            orig_dim: 16,
+            cross_dim: 8,
+            ..OptInterConfig::test_small()
+        }
+        .with_stores(orig_kind, cross_kind);
+        let arch = Architecture::new(
+            (0..dims.num_pairs)
+                .map(|p| Method::from_index(p % 3))
+                .collect(),
+        );
+        let mut net = OptInterNet::new(cfg, dims.clone(), arch);
+        let t0 = Instant::now();
+        for epoch in 0..epochs {
+            for b in BatchIter::new(&bundle.data, train.clone(), 256, Some(epoch)) {
+                std::hint::black_box(net.train_batch(&b));
+            }
+        }
+        let span = t0.elapsed().as_secs_f64().max(1e-9);
+        let mut probs = Vec::new();
+        let mut labels = Vec::new();
+        for b in BatchIter::new(&bundle.data, bundle.split.val.clone(), 512, None) {
+            probs.extend(net.predict(&b));
+            labels.extend_from_slice(&b.labels);
+        }
+        let auc = optinter_metrics::auc(&probs, &labels);
+        let (orig, cross) = net.embedding_stores();
+        rows.push(EmbedScaleRow {
+            op: format!("train_step{scale}"),
+            variant: variant.to_string(),
+            bytes_per_row: bytes_per_row(
+                orig.num_params() + cross.num_params(),
+                orig.key_space() + cross.key_space(),
+            ),
+            ns_per_call: span * 1e9 / epochs as f64,
+            rows_per_sec: (train.len() as u64 * epochs) as f64 / span,
+            auc,
+        });
+    }
     rows
 }
 
@@ -687,7 +893,9 @@ fn bench_serve(quick: bool) -> Vec<ServeRow> {
         let mut score_row = |scorer: &mut FrozenScorer, batch: &mut Batch, r: usize| {
             batch.begin(bundle.data.num_fields, bundle.data.num_pairs);
             batch.push_row(bundle.data.row_fields(r), bundle.data.row_cross(r), 0.0);
-            scorer.score_into(batch, &mut probs);
+            // Dataset rows are always in-vocab; a rejection here would be
+            // a harness bug and shows up as empty probabilities.
+            let _ = scorer.score_into(batch, &mut probs);
         };
         for _ in 0..64 {
             let r = zipf.sample(&mut rng) as usize;
@@ -912,6 +1120,91 @@ pub fn last_serve_rows(text: &str) -> Result<Vec<BaselineRow>, String> {
     Ok(rows)
 }
 
+/// Extracts `(op/variant, 1, rows_per_sec)` keys from the most recent
+/// entry carrying an `"embedding_scale"` section. Entries written before
+/// the giant-vocab axis existed have none — an empty baseline disables
+/// the gate for the transition run, exactly like the serve section.
+pub fn last_embed_scale_rows(text: &str) -> Result<Vec<BaselineRow>, String> {
+    let key = "\"embedding_scale\"";
+    let Some(at) = text.rfind(key) else {
+        return Ok(Vec::new());
+    };
+    let rest = &text[at + key.len()..];
+    let open = rest
+        .find('[')
+        .ok_or_else(|| "\"embedding_scale\" is not an array".to_string())?;
+    let mut depth = 0usize;
+    let mut end = None;
+    for (i, c) in rest[open..].char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(open + i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let end = end.ok_or_else(|| "unterminated \"embedding_scale\" array".to_string())?;
+    let body = &rest[open + 1..end];
+    let mut rows = Vec::new();
+    for obj in body.split('}') {
+        let Some(brace) = obj.find('{') else { continue };
+        let obj = &obj[brace + 1..];
+        let op = extract_json_string(obj, "op")?;
+        let variant = extract_json_string(obj, "variant")?;
+        let rows_per_sec = extract_json_number(obj, "rows_per_sec")?;
+        rows.push((format!("{op}/{variant}"), 1, rows_per_sec));
+    }
+    Ok(rows)
+}
+
+/// Embedding-scale ops whose throughput the gate ratchets, by prefix.
+/// `train_step@` rows are reported but not gated: they are a single
+/// epoch-scale sample whose variance on a shared runner dwarfs the
+/// tolerance (the AUC column is the invariant that matters there).
+/// The scale suffix keeps quick-mode keys (`@2e5`) from ever matching a
+/// committed full-scale (`@1e7`) baseline — absent keys pass.
+const GATED_EMBED_OPS: &[&str] = &["lookup_grad@", "adam_apply@"];
+
+/// Compares measured embedding-scale rows against a committed baseline,
+/// keyed by `op/variant` on `rows_per_sec`. Messages are prefixed
+/// `embed` so retain-keys never collide with the other sections.
+pub fn embed_scale_regressions(
+    measured: &[EmbedScaleRow],
+    baseline: &[BaselineRow],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    for row in measured {
+        if !GATED_EMBED_OPS.iter().any(|p| row.op.starts_with(p)) {
+            continue;
+        }
+        let key = format!("{}/{}", row.op, row.variant);
+        let Some((_, _, base_rps)) = baseline.iter().find(|(k, _, _)| *k == key) else {
+            continue;
+        };
+        if *base_rps <= 0.0 {
+            continue;
+        }
+        let ratio = row.rows_per_sec / base_rps;
+        if ratio < 1.0 - tolerance {
+            problems.push(format!(
+                "embed {key}: {:.0} rows/s vs committed {:.0} ({:+.1}%), below the \
+                 {:.0}% regression tolerance",
+                row.rows_per_sec,
+                base_rps,
+                (ratio - 1.0) * 100.0,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    problems
+}
+
 /// Per-row gate tolerance: `tolerance` where the row's thread count fits
 /// the machine, [`OVERSUBSCRIBED_TOLERANCE`] where it does not.
 fn row_tolerance(tolerance: f64, threads: usize, cores: usize) -> f64 {
@@ -1047,6 +1340,13 @@ pub fn run(opts: &PerfOptions) -> Result<(), String> {
             row.op, row.ns_per_call, row.rows_per_sec
         );
     }
+    let embedding_scale = bench_embedding_scale(opts.quick);
+    for row in &embedding_scale {
+        println!(
+            "  {:>16} {:>12}: {:>7.1} B/row  {:>12.0} ns  {:>10.0} rows/s  auc {:.4}",
+            row.op, row.variant, row.bytes_per_row, row.ns_per_call, row.rows_per_sec, row.auc
+        );
+    }
     let train_step = bench_train_steps(opts.quick);
     for row in &train_step {
         println!(
@@ -1074,6 +1374,7 @@ pub fn run(opts: &PerfOptions) -> Result<(), String> {
         backend,
         matmul,
         embedding,
+        embedding_scale,
         train_step,
         input,
         serve,
@@ -1089,12 +1390,14 @@ pub fn run(opts: &PerfOptions) -> Result<(), String> {
                 .map_err(|e| format!("check-against: {baseline_path}: {e}"))?;
             let serve = last_serve_rows(&text)
                 .map_err(|e| format!("check-against: {baseline_path}: {e}"))?;
-            Some((train, serve))
+            let embed = last_embed_scale_rows(&text)
+                .map_err(|e| format!("check-against: {baseline_path}: {e}"))?;
+            Some((train, serve, embed))
         }
         None => None,
     };
     append_entry(&opts.out, &entry);
-    if let (Some(baseline_path), Some((train_baseline, serve_baseline))) =
+    if let (Some(baseline_path), Some((train_baseline, serve_baseline, embed_baseline))) =
         (&opts.check_against, baseline)
     {
         let cores = machine_cores();
@@ -1109,6 +1412,11 @@ pub fn run(opts: &PerfOptions) -> Result<(), String> {
             &serve_baseline,
             REGRESSION_TOLERANCE,
             cores,
+        ));
+        problems.extend(embed_scale_regressions(
+            &entry.embedding_scale,
+            &embed_baseline,
+            REGRESSION_TOLERANCE,
         ));
         if !problems.is_empty() {
             // A single median can sink below the tolerance from external
@@ -1127,6 +1435,12 @@ pub fn run(opts: &PerfOptions) -> Result<(), String> {
                 REGRESSION_TOLERANCE,
                 cores,
             ));
+            let retry_embed = bench_embedding_scale(opts.quick);
+            confirmed.extend(embed_scale_regressions(
+                &retry_embed,
+                &embed_baseline,
+                REGRESSION_TOLERANCE,
+            ));
             let confirmed_rows: Vec<&str> = confirmed
                 .iter()
                 .filter_map(|p| p.split(':').next())
@@ -1139,7 +1453,8 @@ pub fn run(opts: &PerfOptions) -> Result<(), String> {
         }
         if problems.is_empty() {
             println!(
-                "perf: train-step and serve throughput within {:.0}% of {baseline_path}",
+                "perf: train-step, serve and embedding-scale throughput within {:.0}% of \
+                 {baseline_path}",
                 REGRESSION_TOLERANCE * 100.0
             );
         } else {
@@ -1305,6 +1620,73 @@ mod tests {
             1
         );
         assert!(train_step_regressions(&t2_dropped, &train_baseline, 0.10, 1).is_empty());
+    }
+
+    fn embed_trajectory(rps: f64) -> String {
+        format!(
+            r#"[
+{{
+  "label": "new",
+  "embedding_scale": [
+    {{"op": "lookup_grad@1e7", "variant": "dense", "bytes_per_row": 192.0, "ns_per_call": 1.0, "rows_per_sec": {rps}, "auc": 0.0}},
+    {{"op": "adam_apply@1e7", "variant": "lazy", "bytes_per_row": 192.0, "ns_per_call": 1.0, "rows_per_sec": 9000.0, "auc": 0.0}},
+    {{"op": "train_step@1e7", "variant": "hashed_qr", "bytes_per_row": 30.0, "ns_per_call": 1.0, "rows_per_sec": 4000.0, "auc": 0.79}}
+  ]
+}}
+]"#
+        )
+    }
+
+    fn measured_embed(op: &str, variant: &str, rows_per_sec: f64) -> EmbedScaleRow {
+        EmbedScaleRow {
+            op: op.to_string(),
+            variant: variant.to_string(),
+            bytes_per_row: 0.0,
+            ns_per_call: 0.0,
+            rows_per_sec,
+            auc: 0.0,
+        }
+    }
+
+    #[test]
+    fn embed_extractor_tolerates_pre_scale_trajectories() {
+        // Entries written before the giant-vocab axis have no
+        // "embedding_scale" section: empty baseline, not an error.
+        assert_eq!(
+            last_embed_scale_rows(&trajectory(1.0, 2.0)).expect("tolerated"),
+            Vec::new()
+        );
+        let rows = last_embed_scale_rows(&embed_trajectory(5000.0)).expect("parse");
+        assert_eq!(
+            rows,
+            vec![
+                ("lookup_grad@1e7/dense".to_string(), 1, 5000.0),
+                ("adam_apply@1e7/lazy".to_string(), 1, 9000.0),
+                ("train_step@1e7/hashed_qr".to_string(), 1, 4000.0),
+            ]
+        );
+        assert!(last_embed_scale_rows("{\"embedding_scale\": [{\"op\": \"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn embed_gate_fires_only_on_gated_ops_beyond_tolerance() {
+        let baseline = last_embed_scale_rows(&embed_trajectory(5000.0)).expect("parse");
+        let ok = [measured_embed("lookup_grad@1e7", "dense", 4800.0)];
+        assert!(embed_scale_regressions(&ok, &baseline, 0.10).is_empty());
+        let bad = [measured_embed("lookup_grad@1e7", "dense", 4000.0)];
+        let problems = embed_scale_regressions(&bad, &baseline, 0.10);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(
+            problems[0].starts_with("embed lookup_grad@1e7/dense"),
+            "{problems:?}"
+        );
+        // Quick-mode keys carry a different scale suffix and never match
+        // a committed full-scale baseline.
+        let quick = [measured_embed("lookup_grad@2e5", "dense", 1.0)];
+        assert!(embed_scale_regressions(&quick, &baseline, 0.10).is_empty());
+        // train_step rows are reported, never gated.
+        let train = [measured_embed("train_step@1e7", "hashed_qr", 1.0)];
+        assert!(embed_scale_regressions(&train, &baseline, 0.10).is_empty());
     }
 
     #[test]

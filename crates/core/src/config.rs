@@ -2,6 +2,7 @@
 //! single-core synthetic substrate.
 
 use crate::gumbel::TauSchedule;
+use optinter_nn::{EmbedOptimizerMode, StoreKind};
 
 /// The factorization function used by the factorized branch (paper Sec.
 /// II-C1). The paper takes the Hadamard product as the representative and
@@ -73,6 +74,19 @@ pub struct OptInterConfig {
     /// bit-identical results; off keeps training entirely on the caller
     /// thread (A/B timing, single-threaded debugging).
     pub prefetch: bool,
+    /// Storage scheme for the original-feature table `E^o`
+    /// ([`StoreKind::Dense`] reproduces historical trajectories bitwise;
+    /// the hashed kinds trade exactness for `O(√V)` memory at giant
+    /// vocabularies).
+    pub orig_store: StoreKind,
+    /// Storage scheme for the cross-product table `E^m`.
+    pub cross_store: StoreKind,
+    /// Embedding-optimizer row-visiting policy (sparse touched-row,
+    /// dense full-sweep reference, or lazy catch-up; see
+    /// `optinter_nn::EmbedOptimizerMode`). All modes with `l2 = 0` are
+    /// bitwise-equivalent on touched rows; `LazyCatchUp` defers
+    /// weight-decay-only updates until rows are next touched.
+    pub embed_opt: EmbedOptimizerMode,
 }
 
 impl Default for OptInterConfig {
@@ -102,6 +116,9 @@ impl Default for OptInterConfig {
             seed: 0,
             num_threads: 1,
             prefetch: true,
+            orig_store: StoreKind::Dense,
+            cross_store: StoreKind::Dense,
+            embed_opt: EmbedOptimizerMode::Sparse,
         }
     }
 }
@@ -170,6 +187,24 @@ impl OptInterConfig {
     pub fn with_prefetch(&self, prefetch: bool) -> Self {
         Self {
             prefetch,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with both embedding tables moved to the given
+    /// storage scheme (the giant-vocab dense-vs-hashed A/B switch).
+    pub fn with_stores(&self, orig_store: StoreKind, cross_store: StoreKind) -> Self {
+        Self {
+            orig_store,
+            cross_store,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with a different embedding-optimizer policy.
+    pub fn with_embed_opt(&self, embed_opt: EmbedOptimizerMode) -> Self {
+        Self {
+            embed_opt,
             ..self.clone()
         }
     }

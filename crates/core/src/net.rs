@@ -15,7 +15,7 @@ use crate::arch::{Architecture, Method};
 use crate::config::{FactFn, OptInterConfig};
 use optinter_data::{Batch, EncodedDataset, PairIndexer};
 use optinter_nn::{
-    bce_with_logits_into, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig,
+    bce_with_logits_into, loss, Adam, DenseOptimizer, EmbedStore, Layer, Mlp, MlpConfig,
     Parameter, Workspace,
 };
 use optinter_tensor::{Matrix, Pool};
@@ -77,9 +77,9 @@ pub struct OptInterNet {
     architecture: Architecture,
     slots: Vec<PairSlot>,
     num_memorized: usize,
-    e_orig: EmbeddingTable,
+    e_orig: EmbedStore,
     /// Compact cross table: rows only for memorized pairs.
-    e_cross: EmbeddingTable,
+    e_cross: EmbedStore,
     /// Per-pair weights for the generalized product (one row per pair,
     /// only rows of factorized pairs are used). `None` for the other
     /// factorization functions.
@@ -156,8 +156,24 @@ impl OptInterNet {
         let num_memorized = mem_slot;
         let input_dim = input_offset;
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF17ED);
-        let e_orig = EmbeddingTable::new(&mut rng, dims.orig_vocab as usize, s1);
-        let e_cross = EmbeddingTable::new(&mut rng, compact_offset.max(1) as usize, s2);
+        // Dense stores draw exactly what `EmbeddingTable::new` always drew
+        // here, so `StoreKind::Dense` configs keep historical trajectories.
+        let mut e_orig = EmbedStore::new(
+            cfg.orig_store,
+            &mut rng,
+            dims.orig_vocab as usize,
+            s1,
+            cfg.seed ^ 0x0517_0E0A,
+        );
+        let mut e_cross = EmbedStore::new(
+            cfg.cross_store,
+            &mut rng,
+            compact_offset.max(1) as usize,
+            s2,
+            cfg.seed ^ 0x0517_0ECA,
+        );
+        e_orig.set_optimizer_mode(cfg.embed_opt);
+        e_cross.set_optimizer_mode(cfg.embed_opt);
         let mut mlp = Mlp::new(
             &mut rng,
             &MlpConfig {
@@ -202,6 +218,13 @@ impl OptInterNet {
     /// The configuration the network was built with.
     pub fn config(&self) -> &OptInterConfig {
         &self.cfg
+    }
+
+    /// The original-feature and cross-product embedding stores (the
+    /// serving freezer reads their storage kind and hash seed to record
+    /// matching store descriptors in the artifact).
+    pub fn embedding_stores(&self) -> (&EmbedStore, &EmbedStore) {
+        (&self.e_orig, &self.e_cross)
     }
 
     /// MLP input dimension.
@@ -488,12 +511,26 @@ impl OptInterNet {
         }
     }
 
+    /// Replays any optimizer updates the `LazyCatchUp` embedding mode
+    /// deferred, bringing every row up to the current timestep. Call before
+    /// exporting or freezing weights; a no-op for the other modes.
+    pub fn catch_up_embeddings(&mut self) {
+        self.e_orig.catch_up_all(&self.adam_net, self.cfg.l2_orig);
+        if self.num_memorized > 0 {
+            self.e_cross.catch_up_all(&self.adam_cross, self.cfg.l2_cross);
+        }
+    }
+
     /// Exports every trainable weight as `(name, matrix)` pairs in a
-    /// stable order (used by [`crate::persist`]).
+    /// stable order (used by [`crate::persist`]). Dense stores export one
+    /// tensor (`e_orig` / `e_cross`); hashed stores export their two
+    /// sub-tables (`e_orig.t1` / `e_orig.t2`, etc.). Lazy optimizer tails
+    /// are flushed first so the export reflects the full trajectory.
     pub fn export_weights(&mut self) -> Vec<(String, Matrix)> {
+        self.catch_up_embeddings();
         let mut out = Vec::new();
-        out.push(("e_orig".to_string(), self.e_orig.weight().clone()));
-        out.push(("e_cross".to_string(), self.e_cross.weight().clone()));
+        self.e_orig.push_weights("e_orig", &mut out);
+        self.e_cross.push_weights("e_cross", &mut out);
         if let Some(fw) = self.fact_weights.as_ref() {
             out.push(("fact_weights".to_string(), fw.value.clone()));
         }
@@ -526,8 +563,9 @@ impl OptInterNet {
             }
             Ok((*m).clone())
         };
-        *self.e_orig.weight_mut() = fetch("e_orig", self.e_orig.weight().shape())?;
-        *self.e_cross.weight_mut() = fetch("e_cross", self.e_cross.weight().shape())?;
+        self.e_orig.import_weights("e_orig", &mut |name, shape| fetch(name, shape))?;
+        self.e_cross
+            .import_weights("e_cross", &mut |name, shape| fetch(name, shape))?;
         if let Some(fw) = self.fact_weights.as_mut() {
             fw.value = fetch("fact_weights", fw.value.shape())?;
             fw.reset_opt_state();
@@ -662,7 +700,7 @@ mod tests {
         let mut ids = Vec::new();
         net.gather_mem_ids_into(&batch, &mut ids);
         assert_eq!(ids.len(), 64 * net.num_memorized());
-        let max = net.e_cross.vocab() as u32;
+        let max = net.e_cross.key_space() as u32;
         assert!(ids.iter().all(|&id| id < max));
     }
 

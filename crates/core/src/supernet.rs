@@ -31,7 +31,7 @@ use crate::gumbel::GumbelSample;
 use crate::net::DataDims;
 use optinter_data::Batch;
 use optinter_nn::{
-    bce_with_logits_into, loss, Adam, DenseOptimizer, EmbeddingTable, Layer, Mlp, MlpConfig,
+    bce_with_logits_into, loss, Adam, DenseOptimizer, EmbedStore, Layer, Mlp, MlpConfig,
     Parameter, Workspace,
 };
 use optinter_tensor::{ops, Matrix, Pool};
@@ -42,8 +42,8 @@ use rand::SeedableRng;
 pub struct Supernet {
     cfg: OptInterConfig,
     dims: DataDims,
-    e_orig: EmbeddingTable,
-    e_cross: EmbeddingTable,
+    e_orig: EmbedStore,
+    e_cross: EmbedStore,
     mlp: Mlp,
     /// Architecture logits, one row per pair, columns `[mem, fac, naive]`.
     arch: Parameter,
@@ -107,8 +107,24 @@ impl Supernet {
             },
         );
         mlp.set_pool(&pool);
-        let e_orig = EmbeddingTable::new(&mut rng, dims.orig_vocab as usize, s1);
-        let e_cross = EmbeddingTable::new(&mut rng, dims.cross_vocab as usize, s2);
+        // Dense stores draw exactly what `EmbeddingTable::new` always drew
+        // here, so `StoreKind::Dense` configs keep historical trajectories.
+        let mut e_orig = EmbedStore::new(
+            cfg.orig_store,
+            &mut rng,
+            dims.orig_vocab as usize,
+            s1,
+            cfg.seed ^ 0x5000_0E0A,
+        );
+        let mut e_cross = EmbedStore::new(
+            cfg.cross_store,
+            &mut rng,
+            dims.cross_vocab as usize,
+            s2,
+            cfg.seed ^ 0x5000_0ECA,
+        );
+        e_orig.set_optimizer_mode(cfg.embed_opt);
+        e_cross.set_optimizer_mode(cfg.embed_opt);
         // Architecture logits start at zero: uniform prior over methods.
         let arch = Parameter::zeros(dims.num_pairs, 3);
         // Generalized-product weights start at 1: reduces to Hadamard.
@@ -510,6 +526,14 @@ impl Supernet {
         self.e_orig.apply_adam(&self.adam_net, l2);
         self.adam_cross.begin_step();
         self.e_cross.apply_adam(&self.adam_cross, self.cfg.l2_cross);
+    }
+
+    /// Replays any optimizer updates the `LazyCatchUp` embedding mode
+    /// deferred, bringing every row up to the current timestep. Call before
+    /// reading out weights; a no-op for the other modes.
+    pub fn catch_up_embeddings(&mut self) {
+        self.e_orig.catch_up_all(&self.adam_net, self.cfg.l2_orig);
+        self.e_cross.catch_up_all(&self.adam_cross, self.cfg.l2_cross);
     }
 
     /// Updates only the architecture parameters α (bi-level search uses

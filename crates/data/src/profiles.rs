@@ -14,6 +14,14 @@
 //!
 //! `tiny` is a fast profile for unit tests, doc examples and the
 //! quickstart; it is not part of the paper reproduction.
+//!
+//! `giant_vocab` is a memory-scaling profile, also outside the paper
+//! reproduction set: its raw key space exceeds 10^7 ids with Zipf-hot
+//! (`s = 1.25`) value draws, so only a small head of each field survives
+//! min-count thresholding while the embedding *key space* stays enormous.
+//! It exists to exercise compositional (hashed) embedding stores and the
+//! `embedding` perf section, where dense tables at the raw key space
+//! would be the memory wall.
 
 use crate::dataset::DatasetBundle;
 use crate::generator::{PlantedKind, SyntheticSpec};
@@ -31,6 +39,9 @@ pub enum Profile {
     PrivateLike,
     /// Small fast profile for tests and examples.
     Tiny,
+    /// Memory-scaling profile: >= 10^7 raw keys, Zipf-hot draws. Not part
+    /// of the paper reproduction; used by the `embedding` perf section.
+    GiantVocab,
 }
 
 impl Profile {
@@ -61,7 +72,14 @@ impl Profile {
             Profile::IpinyouLike => "ipinyou_like",
             Profile::PrivateLike => "private_like",
             Profile::Tiny => "tiny",
+            Profile::GiantVocab => "giant_vocab",
         }
+    }
+
+    /// Total raw key space (sum of field cardinalities before min-count
+    /// thresholding). For `GiantVocab` this exceeds 10^7.
+    pub fn raw_key_space(&self) -> usize {
+        self.spec().cardinalities.iter().map(|&c| c as usize).sum()
     }
 
     /// The generating spec.
@@ -157,6 +175,28 @@ impl Profile {
                     target_pos_ratio: 0.3,
                 }
             }
+            Profile::GiantVocab => {
+                // Four device/user-id-scale fields plus two small context
+                // fields; raw key space 10^7 + 52. The hot Zipf exponent
+                // keeps the *materialized* vocabulary (post min-count)
+                // small enough to train against as the dense reference
+                // while the declared key space stays giant.
+                let cards = vec![4_000_000, 3_000_000, 2_400_000, 600_000, 40, 12];
+                SyntheticSpec {
+                    name: self.name().into(),
+                    seed: 0x61A7,
+                    zipf_exponent: 1.25,
+                    planted: PlantedKind::assign_by_cardinality(&cards, 5, 5),
+                    cardinalities: cards,
+                    field_weight_std: 0.4,
+                    memorized_std: 1.2,
+                    factorized_std: 1.0,
+                    latent_dim: 4,
+                    nonlinear_std: 0.3,
+                    noise_std: 0.3,
+                    target_pos_ratio: 0.2,
+                }
+            }
         }
     }
 
@@ -168,6 +208,7 @@ impl Profile {
             Profile::IpinyouLike => 40_000,
             Profile::PrivateLike => 50_000,
             Profile::Tiny => 6_000,
+            Profile::GiantVocab => 60_000,
         }
     }
 
@@ -180,6 +221,7 @@ impl Profile {
             Profile::IpinyouLike => 3,
             Profile::PrivateLike => 3,
             Profile::Tiny => 1,
+            Profile::GiantVocab => 2,
         }
     }
 
@@ -207,9 +249,32 @@ mod tests {
             Profile::IpinyouLike,
             Profile::PrivateLike,
             Profile::Tiny,
+            Profile::GiantVocab,
         ] {
             p.spec().validate();
         }
+    }
+
+    #[test]
+    fn giant_vocab_key_space_exceeds_ten_million() {
+        assert!(Profile::GiantVocab.raw_key_space() >= 10_000_000);
+        let spec = Profile::GiantVocab.spec();
+        assert!(spec.zipf_exponent > 1.2, "profile must be Zipf-hot");
+    }
+
+    #[test]
+    fn giant_vocab_materialized_vocab_is_tiny_fraction_of_key_space() {
+        // Zipf-hot draws concentrate on a small head, so the post-min-count
+        // vocabulary must be orders of magnitude below the raw key space
+        // (this is the gap hashed stores exploit).
+        let b = Profile::GiantVocab.bundle_with_rows(4_000, 11);
+        assert_eq!(b.data.num_fields, 6);
+        let vocab = b.data.orig_vocab as usize;
+        assert!(vocab > 0);
+        assert!(
+            vocab * 100 < Profile::GiantVocab.raw_key_space(),
+            "materialized vocab {vocab} too close to raw key space"
+        );
     }
 
     #[test]

@@ -129,6 +129,35 @@ fn injected_unwrap_inside_a_root_fn_fails_the_lint() {
 }
 
 #[test]
+fn injected_panics_in_validation_and_table_lookup_fail_the_lint() {
+    // The typed-error contract: request validation and the (dense or
+    // hashed) embedding-table lookup both sit inside the serve-score
+    // cone, so a panic site in either must fail the lint. This is the
+    // static witness that out-of-range ids stay typed errors — the
+    // runtime half lives in tests/serve_errors.rs.
+    for anchor in [
+        "        let key_space = self.dims.orig_vocab;", // FrozenScorer::validate
+        "        let fill_row = |r: usize, dst: &mut [f32]| {", // ServingTable::lookup_into
+    ] {
+        let (mut files, baseline) = load();
+        inject(
+            &mut files,
+            "crates/serve/src/scorer.rs",
+            anchor,
+            &format!("{anchor}\n    std::env::var(\"INJECTED\").unwrap();"),
+        );
+        let report = analyze(&files, &baseline);
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule == Rule::PanicFree
+                && d.path.ends_with("scorer.rs")
+                && d.message.contains("serve-score")),
+            "anchor {anchor:?}: expected a serve-score diagnostic in scorer.rs:\n{:#?}",
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
 fn deleting_a_panic_free_waiver_fails_the_lint() {
     let (mut files, baseline) = load();
     let (_, src) = files

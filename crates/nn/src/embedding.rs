@@ -18,15 +18,51 @@
 //! diagnostics stable too). Touched slab rows are re-zeroed on apply/clear;
 //! untouched rows are never written, so the slab stays clean without a
 //! `vocab`-sized sweep.
+//!
+//! # Optimizer modes
+//!
+//! [`EmbedOptimizerMode`] selects what `apply_adam` visits per step:
+//!
+//! - `Sparse` (default): touched rows only, with weight decay applied to
+//!   touched rows only — the sparse-L2 convention every existing trajectory
+//!   in this repo was trained under.
+//! - `DenseApply`: a full `0..vocab` sweep per step — textbook dense Adam,
+//!   where momentum carry-over and weight decay move *every* row every step.
+//!   O(vocab·dim) per step; the reference the lazy path is tested against.
+//! - `LazyCatchUp`: dense-Adam *semantics* at touched-rows *cost*. Each row
+//!   remembers the last step it was brought up to date (`last_step`); when a
+//!   batch touches it again, the skipped steps are replayed as zero-gradient
+//!   Adam steps (each with that step's own bias corrections) before the live
+//!   gradient applies. [`catch_up_all`](EmbeddingTable::catch_up_all) replays
+//!   the tail for every row, after which the weights are bitwise identical
+//!   to a `DenseApply` run of the same touch/gradient sequence — see the
+//!   `lazy_catch_up_matches_dense_apply_bitwise` test and DESIGN.md §14.
 
 use crate::optim::Adam;
 use optinter_tensor::pool::Pool;
 use optinter_tensor::{init, Matrix};
 use rand::Rng;
 
+/// Which rows the embedding optimizer visits per `apply_adam` step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmbedOptimizerMode {
+    /// Touched rows only; weight decay hits touched rows only (sparse-L2).
+    #[default]
+    Sparse,
+    /// Full `0..vocab` sweep per step — dense Adam semantics, O(vocab·dim)
+    /// per step. The equivalence reference for `LazyCatchUp`.
+    DenseApply,
+    /// Dense Adam semantics at sparse cost: skipped steps are replayed as
+    /// zero-gradient catch-up steps on first re-touch (and by
+    /// [`catch_up_all`](EmbeddingTable::catch_up_all) at the end). Applies
+    /// to `apply_adam`; `apply_sgd` falls back to `Sparse` behaviour (a
+    /// zero-grad SGD step without weight decay is a no-op anyway).
+    LazyCatchUp,
+}
+
 /// Work size (scalar copies / adds) below which the pooled embedding paths
 /// stay serial; the fallback never changes results.
-const POOL_MIN_WORK: usize = 16 * 1024;
+pub(crate) const POOL_MIN_WORK: usize = 16 * 1024;
 
 /// An embedding table of shape `[vocab, dim]` with sparse gradients.
 pub struct EmbeddingTable {
@@ -44,6 +80,11 @@ pub struct EmbeddingTable {
     touched: Vec<u32>,
     /// `touched_flags[idx]` mirrors membership of `idx` in `touched`.
     touched_flags: Vec<bool>,
+    /// Optimizer row-visiting policy (see [`EmbedOptimizerMode`]).
+    opt_mode: EmbedOptimizerMode,
+    /// `LazyCatchUp` bookkeeping: the Adam timestep each row was last
+    /// brought up to date at. Lazily allocated to `[vocab]` on first apply.
+    last_step: Vec<u32>,
 }
 
 impl EmbeddingTable {
@@ -56,6 +97,8 @@ impl EmbeddingTable {
             grad_slab: Vec::new(),
             touched: Vec::new(),
             touched_flags: Vec::new(),
+            opt_mode: EmbedOptimizerMode::Sparse,
+            last_step: Vec::new(),
         }
     }
 
@@ -68,7 +111,21 @@ impl EmbeddingTable {
             grad_slab: Vec::new(),
             touched: Vec::new(),
             touched_flags: Vec::new(),
+            opt_mode: EmbedOptimizerMode::Sparse,
+            last_step: Vec::new(),
         }
+    }
+
+    /// Selects the optimizer row-visiting policy. Call before the first
+    /// `apply_adam`: switching modes mid-training is unsupported (the
+    /// `LazyCatchUp` bookkeeping only tracks steps taken while active).
+    pub fn set_optimizer_mode(&mut self, mode: EmbedOptimizerMode) {
+        self.opt_mode = mode;
+    }
+
+    /// The active optimizer row-visiting policy.
+    pub fn optimizer_mode(&self) -> EmbedOptimizerMode {
+        self.opt_mode
     }
 
     /// Vocabulary size (number of rows).
@@ -196,28 +253,39 @@ impl EmbeddingTable {
         });
     }
 
-    /// Mean-pooled lookup for multivalent features (paper Sec. II-B2):
-    /// each example has a *set* of values; their embeddings are averaged.
-    /// Empty sets produce a zero vector.
-    pub fn lookup_mean(&self, value_sets: &[Vec<u32>]) -> Matrix {
+    /// Mean-pooled lookup for multivalent features (paper Sec. II-B2) in
+    /// flat CSR form: example `r`'s value set is
+    /// `values[offsets[r]..offsets[r + 1]]`, so a whole ragged batch is two
+    /// borrowed slices — no per-example `Vec`. Each set's embeddings are
+    /// averaged into `out` row `r` (reshaped to `[offsets.len()-1, dim]`);
+    /// empty sets produce a zero vector. Allocation-free at steady state.
+    pub fn lookup_mean_into(&self, values: &[u32], offsets: &[usize], out: &mut Matrix) {
+        assert!(!offsets.is_empty(), "lookup_mean: offsets needs a final end");
+        assert_eq!(
+            *offsets.last().unwrap_or(&0),
+            values.len(),
+            "lookup_mean: offsets do not cover values"
+        );
         let dim = self.dim();
-        let mut out = Matrix::zeros(value_sets.len(), dim);
-        for (r, set) in value_sets.iter().enumerate() {
-            if set.is_empty() {
+        let batch = offsets.len() - 1;
+        out.reset(batch, dim);
+        for r in 0..batch {
+            let (start, end) = (offsets[r], offsets[r + 1]);
+            assert!(start <= end, "lookup_mean: offsets must be monotone");
+            if start == end {
                 continue;
             }
             let row = out.row_mut(r);
-            for &idx in set {
+            for &idx in &values[start..end] {
                 for (o, &w) in row.iter_mut().zip(self.weight.row(idx as usize).iter()) {
                     *o += w;
                 }
             }
-            let inv = 1.0 / set.len() as f32;
+            let inv = 1.0 / (end - start) as f32;
             for o in row.iter_mut() {
                 *o *= inv;
             }
         }
-        out
     }
 
     /// Accumulates gradients for a single-index lookup (inverse of
@@ -324,11 +392,22 @@ impl EmbeddingTable {
     }
 
     /// Accumulates gradients for a mean-pooled lookup (inverse of
-    /// [`lookup_mean`](Self::lookup_mean)).
-    pub fn accumulate_grad_mean(&mut self, value_sets: &[Vec<u32>], grad: &Matrix) {
+    /// [`lookup_mean_into`](Self::lookup_mean_into)), in the same flat CSR
+    /// form: `grad` row `r` is split evenly over
+    /// `values[offsets[r]..offsets[r + 1]]`. Allocation-free.
+    pub fn accumulate_grad_mean(&mut self, values: &[u32], offsets: &[usize], grad: &Matrix) {
+        assert!(
+            !offsets.is_empty(),
+            "accumulate_grad_mean: offsets needs a final end"
+        );
+        assert_eq!(
+            *offsets.last().unwrap_or(&0),
+            values.len(),
+            "accumulate_grad_mean: offsets do not cover values"
+        );
         assert_eq!(
             grad.rows(),
-            value_sets.len(),
+            offsets.len() - 1,
             "accumulate_grad_mean: batch mismatch"
         );
         assert_eq!(
@@ -338,12 +417,15 @@ impl EmbeddingTable {
         );
         self.ensure_arena();
         let dim = self.dim();
-        for (r, set) in value_sets.iter().enumerate() {
-            if set.is_empty() {
+        for r in 0..offsets.len() - 1 {
+            let (start, end) = (offsets[r], offsets[r + 1]);
+            assert!(start <= end, "accumulate_grad_mean: offsets must be monotone");
+            if start == end {
                 continue;
             }
-            let inv = 1.0 / set.len() as f32;
-            for &idx in set {
+            let inv = 1.0 / (end - start) as f32;
+            for k in start..end {
+                let idx = values[k];
                 self.touch(idx);
                 let i = idx as usize;
                 let acc = &mut self.grad_slab[i * dim..(i + 1) * dim];
@@ -359,18 +441,48 @@ impl EmbeddingTable {
         self.touched.len()
     }
 
-    /// Applies a lazy Adam update to every touched row in ascending-id
-    /// order, then clears the accumulated gradients. Weight decay is applied
-    /// to touched rows only (the sparse-L2 convention).
-    pub fn apply_adam(&mut self, adam: &Adam, weight_decay: f32) {
-        if self.touched.is_empty() {
-            return;
-        }
-        let (rows, cols) = self.weight.shape();
+    /// Ensures the Adam moment matrices exist.
+    fn ensure_moments(&mut self) {
         if self.m.is_none() {
+            let (rows, cols) = self.weight.shape();
             self.m = Some(Matrix::zeros(rows, cols));
             self.v = Some(Matrix::zeros(rows, cols));
         }
+    }
+
+    /// Ensures the `LazyCatchUp` per-row step bookkeeping exists.
+    fn ensure_last_step(&mut self) {
+        if self.last_step.is_empty() {
+            self.last_step.resize(self.vocab(), 0);
+        }
+    }
+
+    /// Applies one Adam step according to the active
+    /// [`EmbedOptimizerMode`], then clears the accumulated gradients.
+    ///
+    /// - `Sparse`: touched rows only, ascending-id order, weight decay on
+    ///   touched rows only.
+    /// - `DenseApply`: every row in `0..vocab` order (untouched rows see a
+    ///   zero gradient, so momentum and weight decay still move them).
+    /// - `LazyCatchUp`: touched rows only, ascending-id order, but each row
+    ///   first replays the steps it skipped as zero-gradient updates — the
+    ///   visited-row count is `O(touched)` per step while the resulting
+    ///   weights track the `DenseApply` trajectory exactly (bitwise, once
+    ///   [`catch_up_all`](Self::catch_up_all) flushes the tail).
+    pub fn apply_adam(&mut self, adam: &Adam, weight_decay: f32) {
+        match self.opt_mode {
+            EmbedOptimizerMode::Sparse => self.apply_adam_sparse(adam, weight_decay),
+            EmbedOptimizerMode::DenseApply => self.apply_adam_dense(adam, weight_decay),
+            EmbedOptimizerMode::LazyCatchUp => self.apply_adam_lazy(adam, weight_decay),
+        }
+    }
+
+    /// The historical touched-rows-only step (mode `Sparse`).
+    fn apply_adam_sparse(&mut self, adam: &Adam, weight_decay: f32) {
+        if self.touched.is_empty() {
+            return;
+        }
+        self.ensure_moments();
         let (bc1, bc2) = adam.bias_corrections();
         let dim = self.dim();
         let mut touched = std::mem::take(&mut self.touched);
@@ -396,9 +508,134 @@ impl EmbeddingTable {
         self.touched = touched;
     }
 
-    /// Applies plain SGD to touched rows (tests / ablations) in ascending-id
-    /// order, then clears.
+    /// Full-sweep dense Adam (mode `DenseApply`): the O(vocab·dim) wall the
+    /// lazy path exists to avoid, kept as its bitwise reference.
+    fn apply_adam_dense(&mut self, adam: &Adam, weight_decay: f32) {
+        if self.weight.is_empty() {
+            return;
+        }
+        self.ensure_arena();
+        self.ensure_moments();
+        let (bc1, bc2) = adam.bias_corrections();
+        let dim = self.dim();
+        if let (Some(m), Some(v)) = (self.m.as_mut(), self.v.as_mut()) {
+            for i in 0..self.weight.rows() {
+                let grad = &self.grad_slab[i * dim..(i + 1) * dim];
+                adam.step_row(
+                    self.weight.row_mut(i),
+                    grad,
+                    m.row_mut(i),
+                    v.row_mut(i),
+                    weight_decay,
+                    bc1,
+                    bc2,
+                );
+            }
+        }
+        for &idx in &self.touched {
+            let i = idx as usize;
+            self.grad_slab[i * dim..(i + 1) * dim].fill(0.0);
+            self.touched_flags[i] = false;
+        }
+        self.touched.clear();
+    }
+
+    /// Lazy dense-equivalent Adam (mode `LazyCatchUp`): visits the sorted
+    /// touched index only; each visited row first replays its skipped steps
+    /// as zero-gradient updates with the bias corrections those steps would
+    /// have used, then takes the live step.
+    fn apply_adam_lazy(&mut self, adam: &Adam, weight_decay: f32) {
+        if self.touched.is_empty() {
+            return;
+        }
+        self.ensure_moments();
+        self.ensure_last_step();
+        let t = adam.timestep().max(1);
+        let (bc1, bc2) = adam.bias_corrections();
+        let dim = self.dim();
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.sort_unstable();
+        if let (Some(m), Some(v)) = (self.m.as_mut(), self.v.as_mut()) {
+            for &idx in &touched {
+                let i = idx as usize;
+                let mut s = u64::from(self.last_step[i]) + 1;
+                while s < t {
+                    let (cb1, cb2) = adam.bias_corrections_at(s);
+                    adam.step_row_zero_grad(
+                        self.weight.row_mut(i),
+                        m.row_mut(i),
+                        v.row_mut(i),
+                        weight_decay,
+                        cb1,
+                        cb2,
+                    );
+                    s += 1;
+                }
+                let grad = &mut self.grad_slab[i * dim..(i + 1) * dim];
+                adam.step_row(
+                    self.weight.row_mut(i),
+                    grad,
+                    m.row_mut(i),
+                    v.row_mut(i),
+                    weight_decay,
+                    bc1,
+                    bc2,
+                );
+                grad.fill(0.0);
+                self.touched_flags[i] = false;
+                self.last_step[i] = t as u32;
+            }
+        }
+        touched.clear();
+        self.touched = touched;
+    }
+
+    /// Replays every row's outstanding zero-gradient steps up to `adam`'s
+    /// current timestep (fixed `0..vocab` order). After this, a
+    /// `LazyCatchUp` run is bitwise identical to a `DenseApply` run of the
+    /// same touch/gradient sequence. No-op in the other modes. Call once at
+    /// the end of training (or before exporting/serving weights).
+    pub fn catch_up_all(&mut self, adam: &Adam, weight_decay: f32) {
+        if self.opt_mode != EmbedOptimizerMode::LazyCatchUp || self.weight.is_empty() {
+            return;
+        }
+        let t = adam.timestep();
+        if t == 0 {
+            return;
+        }
+        self.ensure_moments();
+        self.ensure_last_step();
+        if let (Some(m), Some(v)) = (self.m.as_mut(), self.v.as_mut()) {
+            for i in 0..self.weight.rows() {
+                let mut s = u64::from(self.last_step[i]) + 1;
+                while s <= t {
+                    let (cb1, cb2) = adam.bias_corrections_at(s);
+                    adam.step_row_zero_grad(
+                        self.weight.row_mut(i),
+                        m.row_mut(i),
+                        v.row_mut(i),
+                        weight_decay,
+                        cb1,
+                        cb2,
+                    );
+                    s += 1;
+                }
+                self.last_step[i] = t as u32;
+            }
+        }
+    }
+
+    /// Applies plain SGD (tests / ablations), then clears. Touched rows in
+    /// ascending-id order, except in `DenseApply` mode, which sweeps every
+    /// row so weight decay hits the whole table. `LazyCatchUp` behaves like
+    /// `Sparse` here: with zero gradient and no decay an SGD step is a
+    /// no-op, so there is nothing to catch up on the production (wd = 0)
+    /// path, and the lazy machinery is Adam-specific.
     pub fn apply_sgd(&mut self, lr: f32, weight_decay: f32) {
+        if self.opt_mode == EmbedOptimizerMode::DenseApply {
+            self.apply_sgd_dense(lr, weight_decay);
+            return;
+        }
         let dim = self.dim();
         let mut touched = std::mem::take(&mut self.touched);
         touched.sort_unstable();
@@ -414,6 +651,28 @@ impl EmbeddingTable {
         }
         touched.clear();
         self.touched = touched;
+    }
+
+    /// Full-sweep SGD (mode `DenseApply`).
+    fn apply_sgd_dense(&mut self, lr: f32, weight_decay: f32) {
+        if self.weight.is_empty() {
+            return;
+        }
+        self.ensure_arena();
+        let dim = self.dim();
+        for i in 0..self.weight.rows() {
+            let grad = &self.grad_slab[i * dim..(i + 1) * dim];
+            let row = self.weight.row_mut(i);
+            for (w, &g) in row.iter_mut().zip(grad.iter()) {
+                *w -= lr * (g + weight_decay * *w);
+            }
+        }
+        for &idx in &self.touched {
+            let i = idx as usize;
+            self.grad_slab[i * dim..(i + 1) * dim].fill(0.0);
+            self.touched_flags[i] = false;
+        }
+        self.touched.clear();
     }
 
     /// Discards pending gradients without applying them.
@@ -477,11 +736,23 @@ mod tests {
     #[test]
     fn lookup_mean_pools() {
         let t = small_table();
-        let sets = vec![vec![0, 2], vec![], vec![3]];
-        let out = t.lookup_mean(&sets);
+        // CSR batch: {0, 2}, {}, {3}.
+        let values = [0u32, 2, 3];
+        let offsets = [0usize, 2, 2, 3];
+        let mut out = Matrix::zeros(0, 0);
+        t.lookup_mean_into(&values, &offsets, &mut out);
+        assert_eq!(out.shape(), (3, 2));
         assert_eq!(out.row(0), &[2.0, 3.0]); // mean of [0,1] and [4,5]
         assert_eq!(out.row(1), &[0.0, 0.0]);
         assert_eq!(out.row(2), &[6.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets do not cover values")]
+    fn lookup_mean_rejects_uncovering_offsets() {
+        let t = small_table();
+        let mut out = Matrix::zeros(0, 0);
+        t.lookup_mean_into(&[0u32, 1], &[0usize, 1], &mut out);
     }
 
     #[test]
@@ -510,13 +781,25 @@ mod tests {
     #[test]
     fn mean_grad_splits_evenly() {
         let mut t = small_table();
-        let sets = vec![vec![0, 1]];
+        // CSR batch: one example with value set {0, 1}.
         let grad = Matrix::from_rows(&[&[2.0, 2.0]]);
-        t.accumulate_grad_mean(&sets, &grad);
+        t.accumulate_grad_mean(&[0u32, 1], &[0usize, 2], &grad);
         t.apply_sgd(1.0, 0.0);
         // Each of rows 0 and 1 receives grad 1.0.
         assert_eq!(t.row(0), &[-1.0, 0.0]);
         assert_eq!(t.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_roundtrip_skips_empty_sets() {
+        let mut t = small_table();
+        // Batch of two: {} then {3}; the empty set neither reads nor
+        // writes any row.
+        let grad = Matrix::from_rows(&[&[5.0, 5.0], &[1.0, 1.0]]);
+        t.accumulate_grad_mean(&[3u32], &[0usize, 0, 1], &grad);
+        assert_eq!(t.touched_rows(), 1);
+        t.apply_sgd(1.0, 0.0);
+        assert_eq!(t.row(3), &[5.0, 6.0]);
     }
 
     #[test]
@@ -629,5 +912,78 @@ mod tests {
         let before = t.row(0).to_vec();
         t.apply_sgd(1.0, 0.0);
         assert_eq!(t.row(0), before.as_slice());
+    }
+
+    /// Drives `steps` Adam steps over a fixed pseudo-random touch/gradient
+    /// sequence (some steps touch nothing at all) and returns the final
+    /// weights. Shared by the mode-equivalence tests below.
+    fn run_mode(mode: EmbedOptimizerMode, weight_decay: f32, steps: u64) -> Vec<f32> {
+        let (vocab, dim) = (13usize, 3usize);
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut t = EmbeddingTable::new(&mut rng, vocab, dim);
+        t.set_optimizer_mode(mode);
+        let mut adam = Adam::with_lr_eps(0.02, 1e-8);
+        for step in 0..steps {
+            adam.begin_step();
+            // Steps 5 and 9 touch no row; the rest touch a drifting pair.
+            if step != 5 && step != 9 {
+                let a = ((step * 7 + 3) % vocab as u64) as u32;
+                let b = ((step * 5 + 1) % vocab as u64) as u32;
+                let g = 0.05 * (step as f32 + 1.0);
+                let grad = Matrix::from_fn(2, dim, |r, c| g * (1.0 + r as f32 + 0.1 * c as f32));
+                t.accumulate_grad(&[a, b], &grad);
+            }
+            t.apply_adam(&adam, weight_decay);
+        }
+        t.catch_up_all(&adam, weight_decay);
+        t.weight().as_slice().to_vec()
+    }
+
+    #[test]
+    fn lazy_catch_up_matches_dense_apply_bitwise() {
+        for &wd in &[0.0f32, 1e-2] {
+            let dense = run_mode(EmbedOptimizerMode::DenseApply, wd, 17);
+            let lazy = run_mode(EmbedOptimizerMode::LazyCatchUp, wd, 17);
+            for (k, (a, b)) in dense.iter().zip(lazy.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "wd={wd}: element {k} diverges: dense {a} vs lazy {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_mode_differs_from_dense_only_on_untouched_rows() {
+        // With wd = 0, a never-touched row has m = v = 0 and a zero
+        // gradient, so even the dense sweep leaves it exactly in place;
+        // rows touched at every step agree across all three modes.
+        let dense = run_mode(EmbedOptimizerMode::DenseApply, 0.0, 6);
+        let sparse = run_mode(EmbedOptimizerMode::Sparse, 0.0, 6);
+        let lazy = run_mode(EmbedOptimizerMode::LazyCatchUp, 0.0, 6);
+        assert_eq!(dense.len(), sparse.len());
+        // Sparse differs from dense somewhere (momentum carry-over on rows
+        // skipped between touches)...
+        assert!(
+            dense.iter().zip(sparse.iter()).any(|(a, b)| a != b),
+            "expected sparse and dense trajectories to diverge"
+        );
+        // ...while lazy+catch-up matches dense everywhere (checked bitwise
+        // in lazy_catch_up_matches_dense_apply_bitwise; spot-check here).
+        assert_eq!(dense, lazy);
+    }
+
+    #[test]
+    fn dense_apply_weight_decay_moves_untouched_rows() {
+        let mut t = EmbeddingTable::zeros(4, 2);
+        t.weight_mut().fill_with(1.0);
+        t.set_optimizer_mode(EmbedOptimizerMode::DenseApply);
+        let mut adam = Adam::with_lr_eps(0.1, 1e-8);
+        adam.begin_step();
+        t.accumulate_grad(&[0], &Matrix::filled(1, 2, 1.0));
+        t.apply_adam(&adam, 0.5);
+        // Row 3 was never touched but decays under the dense sweep.
+        assert!(t.row(3)[0] < 1.0, "untouched row did not decay: {:?}", t.row(3));
     }
 }

@@ -32,17 +32,22 @@ pub mod loss;
 pub mod mlp;
 pub mod optim;
 pub mod param;
+pub mod store;
 pub mod workspace;
 
 #[cfg(test)]
 mod proptests;
 
-pub use embedding::EmbeddingTable;
+pub use embedding::{EmbedOptimizerMode, EmbeddingTable};
 pub use layers::{Dense, LayerNorm, Relu};
 pub use loss::{bce_with_logits, bce_with_logits_into, probabilities_into};
 pub use mlp::{Mlp, MlpConfig};
 pub use optim::{Adam, AdamConfig, DenseOptimizer, Grda, GrdaConfig, Sgd};
 pub use param::Parameter;
+pub use store::{
+    double_hash_slots, qr_slots, splitmix64, EmbedStore, EmbeddingStore, HashScheme,
+    HashedEmbedding, StoreKind,
+};
 pub use workspace::Workspace;
 
 use optinter_tensor::Matrix;

@@ -111,7 +111,16 @@ impl Adam {
     /// Bias-correction factors `(1 - beta1^t, 1 - beta2^t)` at the current
     /// timestep, shared by dense and sparse updates.
     pub fn bias_corrections(&self) -> (f32, f32) {
-        let t = self.t.max(1) as i32;
+        self.bias_corrections_at(self.t)
+    }
+
+    /// Bias-correction factors at an arbitrary timestep `t`. The lazy
+    /// catch-up path replays skipped steps one at a time and needs the
+    /// corrections *those* steps would have used — computed here with the
+    /// exact float expression of [`bias_corrections`](Self::bias_corrections)
+    /// so a replayed step is bitwise identical to the live step it stands for.
+    pub fn bias_corrections_at(&self, t: u64) -> (f32, f32) {
+        let t = t.max(1) as i32;
         (
             1.0 - self.config.beta1.powi(t),
             1.0 - self.config.beta2.powi(t),
@@ -134,6 +143,35 @@ impl Adam {
         let c = self.config;
         for i in 0..value.len() {
             let mut g = grad[i];
+            if weight_decay > 0.0 {
+                g += weight_decay * value[i];
+            }
+            m[i] = c.beta1 * m[i] + (1.0 - c.beta1) * g;
+            v[i] = c.beta2 * v[i] + (1.0 - c.beta2) * g * g;
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            value[i] -= c.lr * m_hat / (v_hat.sqrt() + c.eps);
+        }
+    }
+
+    /// One Adam row step with an all-zero gradient — the catch-up step the
+    /// lazy embedding optimizer replays for rows skipped while untouched.
+    /// Element-for-element it performs the float operations of
+    /// [`step_row`](Self::step_row) with `grad[i] == 0.0`, so replaying `k`
+    /// zero-grad steps is bitwise identical to `k` live steps on a row whose
+    /// batches never touched it.
+    pub fn step_row_zero_grad(
+        &self,
+        value: &mut [f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        weight_decay: f32,
+        bc1: f32,
+        bc2: f32,
+    ) {
+        let c = self.config;
+        for i in 0..value.len() {
+            let mut g = 0.0f32;
             if weight_decay > 0.0 {
                 g += weight_decay * value[i];
             }

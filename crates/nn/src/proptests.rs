@@ -1,6 +1,7 @@
 //! Property-based tests on the NN substrate: every layer's backward pass
-//! must match finite differences for arbitrary shapes and inputs, and the
-//! optimizers must respect their invariants.
+//! must match finite differences for arbitrary shapes and inputs, the
+//! optimizers must respect their invariants, and the compositional
+//! embedding hashes must be pure, in-range functions of `(seed, id)`.
 
 #![cfg(test)]
 
@@ -9,6 +10,7 @@ use crate::layers::{Dense, LayerNorm, Relu};
 use crate::loss::bce_with_logits;
 use crate::optim::{Adam, DenseOptimizer, Grda, GrdaConfig};
 use crate::param::Parameter;
+use crate::store::{double_hash_slots, qr_slots, HashScheme, HashedEmbedding};
 use crate::Layer;
 use optinter_tensor::Matrix;
 use proptest::prelude::*;
@@ -121,5 +123,70 @@ proptest! {
         }
         prop_assert!(p.value.get(0, 0) >= 0.0);
         prop_assert!(p.value.get(0, 1) <= 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Quotient-remainder slots partition the declared key space: every id
+    // gets in-range slots and the pair reconstructs the id exactly
+    // (injectivity — no two ids share both rows).
+    #[test]
+    fn qr_slots_partition_every_id(
+        key_space in 1u32..200_000,
+        bucket in 1u32..5_000,
+        probe in 0u32..1_000_000,
+    ) {
+        let id = probe % key_space;
+        let (q, r) = qr_slots(bucket, id);
+        prop_assert!(q < key_space.div_ceil(bucket), "quotient {q} out of range");
+        prop_assert!(r < bucket, "remainder {r} out of range");
+        prop_assert_eq!(q * bucket + r, id, "slot pair must reconstruct the id");
+    }
+
+    // Double-hash slots are a pure function of `(seed, rows, id)` — same
+    // inputs, same slots — and always land in `[0, rows)`.
+    #[test]
+    fn double_hash_slots_pure_and_in_range(
+        seed in 0u64..u64::MAX,
+        rows in 1u32..100_000,
+        id in 0u32..u32::MAX,
+    ) {
+        let (s1, s2) = double_hash_slots(seed, rows, id);
+        prop_assert!(s1 < rows && s2 < rows, "slots ({s1}, {s2}) outside {rows} rows");
+        prop_assert_eq!((s1, s2), double_hash_slots(seed, rows, id), "hash must be pure");
+    }
+
+    // A hashed-store lookup is a pure function of `(init seed, hash seed,
+    // id)`: two stores built identically return bitwise-equal embeddings,
+    // and each equals the manual compose of its sub-table rows.
+    #[test]
+    fn hashed_lookup_is_pure_function_of_seed_and_id(
+        init_seed in 0u64..1000,
+        hash_seed in 0u64..u64::MAX,
+        id in 0u32..300,
+        qr in proptest::bool::ANY,
+    ) {
+        let scheme = if qr {
+            HashScheme::QuotientRemainder { bucket: 19 }
+        } else {
+            HashScheme::DoubleHash { rows: 31 }
+        };
+        let mut a = HashedEmbedding::new(
+            &mut StdRng::seed_from_u64(init_seed), 300, 4, scheme, hash_seed);
+        let mut b = HashedEmbedding::new(
+            &mut StdRng::seed_from_u64(init_seed), 300, 4, scheme, hash_seed);
+        let flat = [id];
+        let (mut out_a, mut out_b) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        a.lookup_fields_into(&flat, 1, &mut out_a);
+        b.lookup_fields_into(&flat, 1, &mut out_b);
+        let (s1, s2) = a.slots(id);
+        for d in 0..4 {
+            prop_assert_eq!(out_a.row(0)[d].to_bits(), out_b.row(0)[d].to_bits());
+            let want = a.table1().weight().row(s1 as usize)[d]
+                * a.table2().weight().row(s2 as usize)[d];
+            prop_assert_eq!(out_a.row(0)[d].to_bits(), want.to_bits());
+        }
     }
 }

@@ -14,12 +14,23 @@
 //! num_fields u32 · num_pairs u32 · orig_vocab u32 · cross_vocab u32
 //! pair_offsets[num_pairs] u32 · pair_vocab_sizes[num_pairs] u32
 //! arch[num_pairs] bytes of 'M'/'F'/'N'
-//! row_map[orig_vocab] u32       (training row id → arena row)
+//! orig_store desc · cross_store desc   (v3: see below)
+//! row_map[orig_vocab] u32       (training row id → arena row;
+//!                                present only when orig_store is dense)
 //! tensor_count u32, then per tensor:
 //!   name_len u32 · name bytes · enc u8 · rows u32 · cols u32
 //!   payload: f32 rows·cols·4 B | f16 rows·cols·2 B
 //!          | int8 rows·4 B scales then rows·cols·1 B values
 //! ```
+//!
+//! A store descriptor is `tag u8` (0 = dense) optionally followed by
+//! parameters: tag 1 (hashed quotient-remainder) and tag 2 (hashed
+//! double-hash) carry `param u32` (bucket / rows) then `seed u64`. A
+//! dense table stores one tensor under its base name (`e_orig`); a
+//! hashed table stores its two sub-tables as `<name>.t1` / `<name>.t2`
+//! and the scorer recomposes rows at lookup time with the same slot
+//! functions training used ([`optinter_nn::qr_slots`] /
+//! [`optinter_nn::double_hash_slots`]), so f32 serving stays bit-exact.
 //!
 //! Decoding is total: every malformed input — truncation, a flipped bit,
 //! an unknown version — maps to a typed [`ArtifactError`]; nothing in
@@ -41,8 +52,13 @@ use std::path::Path;
 pub const MAGIC: [u8; 8] = *b"OPTSRVA\0";
 /// Current artifact format version. Version 2 added the `backend` byte
 /// (the kernel backend active when the model was frozen, for
-/// reproducibility of the freeze-time numerics).
-pub const VERSION: u32 = 2;
+/// reproducibility of the freeze-time numerics). Version 3 added the
+/// per-table store descriptors (dense vs compositional hashed) and made
+/// `row_map` conditional on the original table being dense. Older
+/// versions are rejected rather than silently defaulted: the version
+/// field is outside the checksum, so inferring layout from it on
+/// mismatched inputs would turn bit flips into misparses.
+pub const VERSION: u32 = 3;
 
 /// Hard cap on tensor-name length (matches `optinter_core::persist`).
 const MAX_NAME_LEN: usize = 4096;
@@ -125,6 +141,81 @@ impl Quant {
             Quant::F32 => "f32",
             Quant::F16 => "f16",
             Quant::Int8 => "int8",
+        }
+    }
+}
+
+/// How an embedding table is stored in the artifact — the serving-side
+/// mirror of `optinter_nn::StoreKind`, plus the hash seed the training
+/// store used (the scorer must hash identically to recompose rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreDesc {
+    /// One dense tensor, one row per id.
+    Dense,
+    /// Quotient-remainder compositional table: two sub-tables of
+    /// `ceil(key_space / bucket)` and `bucket` rows, recomposed as the
+    /// elementwise product of rows `id / bucket` and `id % bucket`.
+    HashedQr {
+        /// Remainder-table size (must be nonzero).
+        bucket: u32,
+        /// Hash seed carried for format symmetry (QR slots ignore it).
+        seed: u64,
+    },
+    /// Double-hash compositional table: two sub-tables of `rows` rows
+    /// each, recomposed via two seeded multiply-shift hashes.
+    HashedDouble {
+        /// Rows in each sub-table (must be nonzero).
+        rows: u32,
+        /// Seed of the multiply-shift hash pair.
+        seed: u64,
+    },
+}
+
+impl StoreDesc {
+    /// Whether the table is stored as two composable sub-tensors.
+    pub fn is_hashed(self) -> bool {
+        !matches!(self, StoreDesc::Dense)
+    }
+
+    fn write(self, out: &mut Vec<u8>) {
+        match self {
+            StoreDesc::Dense => out.push(0),
+            StoreDesc::HashedQr { bucket, seed } => {
+                out.push(1);
+                put_u32(out, bucket);
+                out.extend_from_slice(&seed.to_le_bytes());
+            }
+            StoreDesc::HashedDouble { rows, seed } => {
+                out.push(2);
+                put_u32(out, rows);
+                out.extend_from_slice(&seed.to_le_bytes());
+            }
+        }
+    }
+
+    fn read(r: &mut Reader<'_>, what: &'static str) -> Result<Self, ArtifactError> {
+        match r.u8(what)? {
+            0 => Ok(StoreDesc::Dense),
+            tag @ (1 | 2) => {
+                let param = r.u32(what)?;
+                let seed = r.u64(what)?;
+                if param == 0 {
+                    return Err(ArtifactError::Corrupt(format!(
+                        "{what}: hashed store with zero-row sub-table"
+                    )));
+                }
+                Ok(if tag == 1 {
+                    StoreDesc::HashedQr {
+                        bucket: param,
+                        seed,
+                    }
+                } else {
+                    StoreDesc::HashedDouble { rows: param, seed }
+                })
+            }
+            other => Err(ArtifactError::Corrupt(format!(
+                "{what}: unknown store tag {other}"
+            ))),
         }
     }
 }
@@ -276,7 +367,13 @@ pub struct FrozenModel {
     pub dims: DataDims,
     /// Per-pair interaction methods.
     pub arch: Architecture,
-    /// Training-time global embedding id → hot-first arena row.
+    /// Storage scheme of the original-feature table.
+    pub orig_store: StoreDesc,
+    /// Storage scheme of the compact cross-product table.
+    pub cross_store: StoreDesc,
+    /// Training-time global embedding id → hot-first arena row. Empty
+    /// when `orig_store` is hashed (sub-table rows are shared across ids,
+    /// so there is no per-id arena to reorder).
     pub row_map: Vec<u32>,
     /// `(name, data)` pairs: `e_orig` (arena order), `e_cross`, optional
     /// `fact_weights`, then `mlp.0 ..` in visit order.
@@ -314,8 +411,12 @@ impl FrozenModel {
             put_u32(&mut payload, v);
         }
         payload.extend_from_slice(architecture_to_string(&self.arch).as_bytes());
-        for &v in &self.row_map {
-            put_u32(&mut payload, v);
+        self.orig_store.write(&mut payload);
+        self.cross_store.write(&mut payload);
+        if self.orig_store == StoreDesc::Dense {
+            for &v in &self.row_map {
+                put_u32(&mut payload, v);
+            }
         }
         put_u32(&mut payload, self.tensors.len() as u32);
         for (name, data) in &self.tensors {
@@ -423,8 +524,15 @@ impl FrozenModel {
             .map_err(|_| ArtifactError::Corrupt("architecture is not UTF-8".to_string()))?;
         let arch = architecture_from_string(arch_str)
             .map_err(|e| ArtifactError::Corrupt(format!("bad architecture: {e}")))?;
-        let row_map = r.u32_vec(orig_vocab as usize, "row_map")?;
-        validate_permutation(&row_map, orig_vocab)?;
+        let orig_store = StoreDesc::read(&mut r, "orig_store")?;
+        let cross_store = StoreDesc::read(&mut r, "cross_store")?;
+        let row_map = if orig_store == StoreDesc::Dense {
+            let map = r.u32_vec(orig_vocab as usize, "row_map")?;
+            validate_permutation(&map, orig_vocab)?;
+            map
+        } else {
+            Vec::new()
+        };
 
         let tensor_count = r.u32("tensor_count")? as usize;
         let mut tensors = Vec::with_capacity(tensor_count.min(1024));
@@ -509,6 +617,8 @@ impl FrozenModel {
                 pair_vocab_sizes,
             },
             arch,
+            orig_store,
+            cross_store,
             row_map,
             tensors,
         })

@@ -17,12 +17,13 @@
 //!   scorer's AUC on a held-out synthetic eval set moves by at most
 //!   `max_auc_delta` from the training-path AUC ([`freeze_gated`]).
 
-use crate::artifact::{FrozenModel, Quant, TensorData};
+use crate::artifact::{FrozenModel, Quant, StoreDesc, TensorData};
 use crate::scorer::FrozenScorer;
 use optinter_core::net::DataDims;
 use optinter_core::OptInterNet;
 use optinter_data::{Batch, BatchIter, EncodedDataset};
 use optinter_metrics::auc;
+use optinter_nn::{EmbedStore, StoreKind};
 use optinter_tensor::kernels;
 use optinter_tensor::Matrix;
 use std::fmt;
@@ -101,6 +102,16 @@ pub fn hot_first_row_map(field_offsets: &[u32], orig_vocab: u32) -> Vec<u32> {
     map
 }
 
+/// The artifact descriptor matching a training-time embedding store.
+fn store_desc(store: &EmbedStore) -> StoreDesc {
+    let seed = store.hash_seed().unwrap_or(0);
+    match store.kind() {
+        StoreKind::Dense => StoreDesc::Dense,
+        StoreKind::HashedQr { bucket } => StoreDesc::HashedQr { bucket, seed },
+        StoreKind::HashedDouble { rows } => StoreDesc::HashedDouble { rows, seed },
+    }
+}
+
 /// Applies a row permutation: `out.row(map[g]) = weights.row(g)`.
 fn permute_rows(weights: &Matrix, map: &[u32]) -> Matrix {
     let (rows, cols) = weights.shape();
@@ -128,15 +139,26 @@ pub fn freeze(net: &mut OptInterNet, data: &EncodedDataset, quant: Quant) -> Fro
         "freeze: architecture/dataset mismatch"
     );
 
-    let row_map = hot_first_row_map(&data.field_offsets, data.orig_vocab);
+    let (orig, cross) = net.embedding_stores();
+    let (orig_store, cross_store) = (store_desc(orig), store_desc(cross));
+    // The hot-first reorder only makes sense for a dense per-id arena; a
+    // hashed store's sub-table rows are shared across ids, so they are
+    // frozen verbatim and recomposed at lookup time.
+    let row_map = if orig_store == StoreDesc::Dense {
+        hot_first_row_map(&data.field_offsets, data.orig_vocab)
+    } else {
+        Vec::new()
+    };
     let weights = net.export_weights();
     let mut tensors = Vec::with_capacity(weights.len());
     for (name, matrix) in &weights {
         let data = match name.as_str() {
-            // Embedding tables are the memory giants: reorder (e_orig)
-            // and quantize (both). Everything else stays f32.
+            // Embedding tables are the memory giants: reorder (dense
+            // e_orig) and quantize (all). Everything else stays f32.
             "e_orig" => TensorData::encode(&permute_rows(matrix, &row_map), quant),
-            "e_cross" => TensorData::encode(matrix, quant),
+            "e_orig.t1" | "e_orig.t2" | "e_cross" | "e_cross.t1" | "e_cross.t2" => {
+                TensorData::encode(matrix, quant)
+            }
             _ => TensorData::F32(matrix.clone()),
         };
         tensors.push((name.clone(), data));
@@ -152,6 +174,8 @@ pub fn freeze(net: &mut OptInterNet, data: &EncodedDataset, quant: Quant) -> Fro
         quant,
         dims,
         arch,
+        orig_store,
+        cross_store,
         row_map,
         tensors,
     }
@@ -186,7 +210,9 @@ pub fn freeze_gated(
     let mut iter = BatchIter::new(data, eval_rows, batch_size, None).with_cross(true);
     while iter.next_into(&mut batch) {
         base_probs.extend(net.predict(&batch));
-        scorer.score_into(&batch, &mut scored);
+        scorer
+            .score_into(&batch, &mut scored)
+            .map_err(|e| FreezeError::Model(e.to_string()))?;
         frozen_probs.extend_from_slice(&scored);
         labels.extend_from_slice(&batch.labels);
     }

@@ -24,11 +24,11 @@ pub mod microbatch;
 pub mod quant;
 pub mod scorer;
 
-pub use artifact::{ArtifactError, FrozenModel, Quant, TensorData};
+pub use artifact::{ArtifactError, FrozenModel, Quant, StoreDesc, TensorData};
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use freeze::{freeze, freeze_gated, hot_first_row_map, FreezeError};
 pub use loadgen::{run_zipf_load, LatencySummary, LoadReport, LoadSpec};
 pub use microbatch::{
     serve, simulate, BatchPolicy, MicroBatchOptions, Response, SimResponse, Submitter,
 };
-pub use scorer::FrozenScorer;
+pub use scorer::{FrozenScorer, ScoreError};

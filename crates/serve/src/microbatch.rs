@@ -211,6 +211,9 @@ pub fn serve<C, G, F>(
     let mut pending: Vec<Request> = Vec::with_capacity(policy.max_batch);
     let mut batch = Batch::empty();
     let mut probs: Vec<f32> = Vec::new();
+    // Degraded-path scratch: only touched when a batch fails validation.
+    let mut single = Batch::empty();
+    let mut one: Vec<f32> = Vec::new();
 
     std::thread::scope(|s| {
         s.spawn(move || {
@@ -249,6 +252,7 @@ pub fn serve<C, G, F>(
                 &mut pending,
                 &mut batch,
                 &mut probs,
+                (&mut single, &mut one),
                 num_fields,
                 num_pairs,
                 &free_tx,
@@ -260,6 +264,12 @@ pub fn serve<C, G, F>(
 
 /// Scores the pending batch, emits its responses in order, and recycles
 /// the request buffers. Allocation-free at steady state.
+///
+/// When the batch is rejected with a typed `ScoreError` (an id outside
+/// the frozen key space — `submit` validates arity but not id ranges),
+/// the loop degrades to scoring each request alone: valid requests still
+/// get real probabilities and only the offending ones answer NaN. The
+/// serving loop itself never panics on request data.
 #[allow(clippy::too_many_arguments)]
 fn flush_into<C: Clock, F: FnMut(Response)>(
     scorer: &mut FrozenScorer,
@@ -267,6 +277,7 @@ fn flush_into<C: Clock, F: FnMut(Response)>(
     pending: &mut Vec<Request>,
     batch: &mut Batch,
     probs: &mut Vec<f32>,
+    (single, one): (&mut Batch, &mut Vec<f32>),
     num_fields: usize,
     num_pairs: usize,
     free_tx: &Sender<Request>,
@@ -279,7 +290,18 @@ fn flush_into<C: Clock, F: FnMut(Response)>(
     for req in pending.iter() {
         batch.push_row(&req.fields, &req.cross, 0.0);
     }
-    scorer.score_into(batch, probs);
+    if scorer.score_into(batch, probs).is_err() {
+        probs.clear();
+        for req in pending.iter() {
+            single.begin(num_fields, num_pairs);
+            single.push_row(&req.fields, &req.cross, 0.0);
+            let prob = match scorer.score_into(single, one) {
+                Ok(()) => one.first().copied().unwrap_or(f32::NAN),
+                Err(_) => f32::NAN,
+            };
+            probs.push(prob);
+        }
+    }
     let done_ns = clock.now_ns();
     for (req, &prob) in pending.iter().zip(probs.iter()) {
         on_response(Response {

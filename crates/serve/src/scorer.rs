@@ -8,7 +8,8 @@
 //!
 //! - embedding lookups are pure row copies (the hot-first permutation is
 //!   undone through `row_map`, so identical bytes land in identical
-//!   scratch positions);
+//!   scratch positions) — and for hashed stores, the same slot functions
+//!   and elementwise product the training store used;
 //! - MLP-input assembly runs the same per-row closure under the same
 //!   owner-computes [`Pool::for_rows`] sharding as `forward_step`;
 //! - the classifier is a real [`Mlp`] rebuilt from the frozen weights, so
@@ -20,16 +21,103 @@
 //! `tests/alloc_steady_state.rs`): all scratch lives in the scorer and is
 //! `reset` in place per request.
 
-use crate::artifact::{ArtifactError, FrozenModel, Quant};
+use crate::artifact::{ArtifactError, FrozenModel, Quant, StoreDesc};
 use optinter_core::net::DataDims;
 use optinter_core::{FactFn, Method};
 use optinter_data::Batch;
 use optinter_nn::loss::probabilities_into;
-use optinter_nn::{Layer, Mlp, MlpConfig};
+use optinter_nn::{double_hash_slots, qr_slots, HashScheme, Layer, Mlp, MlpConfig};
 use optinter_tensor::kernels::{self, Backend};
 use optinter_tensor::{Matrix, Pool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt;
+
+/// A malformed scoring request, surfaced as a typed error instead of a
+/// panic: the serving tier scores ids it did not mint, so out-of-range
+/// input is part of the error surface, not a programmer bug. All
+/// variants are allocation-free (plain fields) so returning one keeps
+/// the zero-alloc scoring contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreError {
+    /// The batch's field arity does not match the frozen schema.
+    FieldCountMismatch {
+        /// Fields per row in the batch.
+        got: usize,
+        /// Fields per row the artifact was trained with.
+        expected: usize,
+    },
+    /// The architecture memorizes pairs but the batch has no cross ids.
+    MissingCross,
+    /// The batch's cross width does not match the frozen pair count.
+    CrossCountMismatch {
+        /// Cross ids per row in the batch.
+        got: usize,
+        /// Pairs the artifact was trained with.
+        expected: usize,
+    },
+    /// An original-feature id is outside the frozen key space.
+    FieldIdOutOfRange {
+        /// Batch row of the offending id.
+        row: usize,
+        /// Field index within the row.
+        field: usize,
+        /// The id itself.
+        id: u32,
+        /// Exclusive upper bound (`dims.orig_vocab`).
+        key_space: u32,
+    },
+    /// A cross-product id is outside its pair's vocab block.
+    CrossIdOutOfRange {
+        /// Batch row of the offending id.
+        row: usize,
+        /// Pair index within the row.
+        pair: usize,
+        /// The id itself.
+        id: u32,
+        /// Inclusive lower bound (the pair's offset).
+        lo: u32,
+        /// Exclusive upper bound (offset + pair vocab size).
+        hi: u32,
+    },
+}
+
+impl fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoreError::FieldCountMismatch { got, expected } => {
+                write!(f, "request has {got} fields, the scorer expects {expected}")
+            }
+            ScoreError::MissingCross => {
+                write!(f, "architecture memorizes pairs but the batch has no cross features")
+            }
+            ScoreError::CrossCountMismatch { got, expected } => {
+                write!(f, "request has {got} cross ids per row, the scorer expects {expected}")
+            }
+            ScoreError::FieldIdOutOfRange {
+                row,
+                field,
+                id,
+                key_space,
+            } => write!(
+                f,
+                "row {row} field {field}: id {id} outside the frozen key space {key_space}"
+            ),
+            ScoreError::CrossIdOutOfRange {
+                row,
+                pair,
+                id,
+                lo,
+                hi,
+            } => write!(
+                f,
+                "row {row} pair {pair}: cross id {id} outside its vocab block [{lo}, {hi})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
 
 /// Below this many scalars a pooled lookup dispatch costs more than the
 /// copies; mirrors `POOL_MIN_WORK` in `optinter_nn::embedding`. Either
@@ -91,6 +179,87 @@ impl PairLayout {
     }
 }
 
+/// A frozen embedding table in serving form: either a dense arena (with
+/// an optional hot-first permutation to undo at lookup time) or a
+/// compositional pair of sub-tables whose rows are recomposed per id
+/// with the exact slot functions and elementwise product the training
+/// store used — which is what keeps f32 serving bit-identical to
+/// training for hashed stores too.
+enum ServingTable {
+    /// One row per id. `row_map` is `Some` for the hot-first reordered
+    /// original arena and `None` for the compact cross table.
+    Dense {
+        arena: Matrix,
+        row_map: Option<Vec<u32>>,
+    },
+    /// Two sub-tables composed as `t1.row(a) ⊙ t2.row(b)`.
+    Hashed {
+        t1: Matrix,
+        t2: Matrix,
+        scheme: HashScheme,
+        seed: u64,
+    },
+}
+
+impl ServingTable {
+    fn dim(&self) -> usize {
+        match self {
+            ServingTable::Dense { arena, .. } => arena.cols(),
+            ServingTable::Hashed { t1, .. } => t1.cols(),
+        }
+    }
+
+    /// Gathers `flat` (`B * num_fields` ids, already validated in-range)
+    /// into `out`, `[B, num_fields * dim]`. Row writes are
+    /// order-independent, so the serial and pooled paths produce
+    /// identical bytes; the threshold only picks the faster one.
+    fn lookup_into(&self, flat: &[u32], num_fields: usize, pool: &Pool, out: &mut Matrix) {
+        let dim = self.dim();
+        debug_assert!(num_fields > 0);
+        debug_assert_eq!(flat.len() % num_fields, 0);
+        let batch = flat.len() / num_fields;
+        let width = num_fields * dim;
+        out.reset(batch, width);
+        let fill_row = |r: usize, dst: &mut [f32]| {
+            let ids = &flat[r * num_fields..(r + 1) * num_fields];
+            for (f, &id) in ids.iter().enumerate() {
+                let cell = &mut dst[f * dim..(f + 1) * dim];
+                match self {
+                    ServingTable::Dense { arena, row_map } => {
+                        let row = match row_map {
+                            Some(m) => m[id as usize],
+                            None => id,
+                        };
+                        cell.copy_from_slice(arena.row(row as usize));
+                    }
+                    ServingTable::Hashed {
+                        t1,
+                        t2,
+                        scheme,
+                        seed,
+                    } => {
+                        let (a, b) = match *scheme {
+                            HashScheme::QuotientRemainder { bucket } => qr_slots(bucket, id),
+                            HashScheme::DoubleHash { rows } => double_hash_slots(*seed, rows, id),
+                        };
+                        let (ra, rb) = (t1.row(a as usize), t2.row(b as usize));
+                        for ((d, &x), &y) in cell.iter_mut().zip(ra).zip(rb) {
+                            *d = x * y;
+                        }
+                    }
+                }
+            }
+        };
+        if pool.is_serial() || flat.len() * dim < SERIAL_LOOKUP_MIN {
+            for r in 0..batch {
+                fill_row(r, out.row_mut(r));
+            }
+        } else {
+            pool.for_rows(out.as_mut_slice(), width, fill_row);
+        }
+    }
+}
+
 /// A loaded, immutable model plus per-scorer scratch. One instance serves
 /// one thread of control; clone-free request scoring after warm-up.
 pub struct FrozenScorer {
@@ -106,12 +275,11 @@ pub struct FrozenScorer {
     /// Backend recorded in the artifact at freeze time.
     frozen_backend: Backend,
     layout: PairLayout,
-    /// Hot-first embedding arena (permuted rows).
-    e_orig: Matrix,
+    /// Original-feature table (hot-first arena or hashed sub-tables).
+    orig: ServingTable,
     /// Compact cross table (training order).
-    e_cross: Matrix,
+    cross: ServingTable,
     fact_weights: Option<Matrix>,
-    row_map: Vec<u32>,
     mlp: Mlp,
     pool: Pool,
     // Per-request scratch, reused across calls.
@@ -134,15 +302,22 @@ impl FrozenScorer {
         let s1 = model.orig_dim;
         let s2 = model.cross_dim;
 
-        if model.row_map.len() != dims.orig_vocab as usize {
-            return Err(corrupt(format!(
-                "row_map has {} entries for vocab {}",
-                model.row_map.len(),
-                dims.orig_vocab
-            )));
-        }
-        let e_orig = fetch(model, "e_orig", dims.orig_vocab as usize, s1)?;
-        let e_cross = fetch(model, "e_cross", layout.cross_rows, s2)?;
+        let orig = build_table(
+            model,
+            "e_orig",
+            model.orig_store,
+            dims.orig_vocab as usize,
+            s1,
+            true,
+        )?;
+        let cross = build_table(
+            model,
+            "e_cross",
+            model.cross_store,
+            layout.cross_rows,
+            s2,
+            false,
+        )?;
         let fact_weights = if model.fact_fn == FactFn::Generalized {
             Some(fetch(model, "fact_weights", dims.num_pairs, s1)?)
         } else {
@@ -184,7 +359,11 @@ impl FrozenScorer {
         if let Some(e) = err {
             return Err(e);
         }
-        let expected_tensors = 2 + fact_weights.is_some() as usize + idx;
+        let embed_tensors = [model.orig_store, model.cross_store]
+            .iter()
+            .map(|d| if d.is_hashed() { 2 } else { 1 })
+            .sum::<usize>();
+        let expected_tensors = embed_tensors + fact_weights.is_some() as usize + idx;
         if model.tensors.len() != expected_tensors {
             return Err(corrupt(format!(
                 "artifact has {} tensors, model shape needs {expected_tensors}",
@@ -203,10 +382,9 @@ impl FrozenScorer {
             backend: kernels::active(),
             frozen_backend: model.backend,
             layout,
-            e_orig,
-            e_cross,
+            orig,
+            cross,
             fact_weights,
-            row_map: model.row_map.clone(),
             mlp,
             pool,
             eo: Matrix::zeros(0, 0),
@@ -254,26 +432,23 @@ impl FrozenScorer {
     /// Scores a batch of requests into `out` (cleared first): `out[i]` is
     /// the predicted click probability of row `i`. Labels in `batch` are
     /// ignored. Allocation-free at steady state.
-    pub fn score_into(&mut self, batch: &Batch, out: &mut Vec<f32>) {
+    ///
+    /// # Errors
+    /// Returns a typed [`ScoreError`] — never panics — when the batch
+    /// does not match the frozen schema or carries ids outside the
+    /// frozen key spaces; `out` is left cleared in that case.
+    pub fn score_into(&mut self, batch: &Batch, out: &mut Vec<f32>) -> Result<(), ScoreError> {
+        out.clear();
+        self.validate(batch)?;
         let m = self.dims.num_fields;
         let s1 = self.orig_dim;
         let s2 = self.cross_dim;
-        // lint: allow(panic-free, reason="flush_into builds the batch with the scorer's own dims and submit() validates request arity; a mismatch is a harness bug, not request data")
-        assert_eq!(batch.num_fields, m, "FrozenScorer: field count mismatch");
         let b = batch.len();
-        lookup_rows_into(
-            &self.e_orig,
-            Some(&self.row_map),
-            &batch.fields,
-            m,
-            &self.pool,
-            &mut self.eo,
-        );
+        self.orig
+            .lookup_into(&batch.fields, m, &self.pool, &mut self.eo);
         self.gather_mem_ids_into(batch);
         if self.layout.num_memorized > 0 {
-            lookup_rows_into(
-                &self.e_cross,
-                None,
+            self.cross.lookup_into(
                 &self.mem_ids,
                 self.layout.num_memorized,
                 &self.pool,
@@ -342,20 +517,76 @@ impl FrozenScorer {
         }
         self.mlp.forward_into(&self.input, &mut self.logits);
         probabilities_into(&self.logits, out);
+        Ok(())
+    }
+
+    /// Checks a batch against the frozen schema and key spaces *before*
+    /// any table access, so the scoring hot path never indexes out of
+    /// range. Allocation-free: every [`ScoreError`] is plain fields.
+    fn validate(&self, batch: &Batch) -> Result<(), ScoreError> {
+        let m = self.dims.num_fields;
+        if batch.num_fields != m {
+            return Err(ScoreError::FieldCountMismatch {
+                got: batch.num_fields,
+                expected: m,
+            });
+        }
+        let key_space = self.dims.orig_vocab;
+        for (i, &id) in batch.fields.iter().enumerate() {
+            if id >= key_space {
+                return Err(ScoreError::FieldIdOutOfRange {
+                    row: i / m.max(1),
+                    field: i % m.max(1),
+                    id,
+                    key_space,
+                });
+            }
+        }
+        if self.layout.num_memorized == 0 {
+            return Ok(());
+        }
+        if batch.cross.is_empty() {
+            return Err(ScoreError::MissingCross);
+        }
+        let p_count = self.dims.num_pairs;
+        let b = batch.len();
+        if batch.cross.len() != b * p_count {
+            return Err(ScoreError::CrossCountMismatch {
+                got: batch.cross.len() / b.max(1),
+                expected: p_count,
+            });
+        }
+        for r in 0..b {
+            let row = &batch.cross[r * p_count..(r + 1) * p_count];
+            for (p, slot) in self.layout.slots.iter().enumerate() {
+                if slot.method != Method::Memorize {
+                    continue;
+                }
+                let lo = self.dims.pair_offsets[p];
+                let hi = lo + self.dims.pair_vocab_sizes[p];
+                let id = row[p];
+                if id < lo || id >= hi {
+                    return Err(ScoreError::CrossIdOutOfRange {
+                        row: r,
+                        pair: p,
+                        id,
+                        lo,
+                        hi,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Translates global cross ids to compact-table ids for memorized
-    /// pairs, exactly as the training path does.
+    /// pairs, exactly as the training path does. Runs after
+    /// [`Self::validate`], so every id is inside its pair's vocab block.
     fn gather_mem_ids_into(&mut self, batch: &Batch) {
         self.mem_ids.clear();
         if self.layout.num_memorized == 0 {
             return;
         }
-        // lint: allow(panic-free, reason="submit() requires full-width cross whenever requires_cross(); queued requests always carry cross features")
-        assert!(
-            !batch.cross.is_empty(),
-            "architecture memorizes pairs but the batch has no cross features"
-        );
         let p_count = self.dims.num_pairs;
         let b = batch.len();
         self.mem_ids.reserve(b * self.layout.num_memorized);
@@ -395,39 +626,57 @@ fn fetch(
     Ok(t.to_matrix())
 }
 
-/// Embedding gather: copies `table.row(map[flat[..]])` (or the identity
-/// mapping) into `out`, `[B, num_fields * dim]`. Row copies are
-/// order-independent, so the serial and pooled paths write identical
-/// bytes; the threshold only picks the faster one.
-fn lookup_rows_into(
-    table: &Matrix,
-    map: Option<&[u32]>,
-    flat: &[u32],
-    num_fields: usize,
-    pool: &Pool,
-    out: &mut Matrix,
-) {
-    let dim = table.cols();
-    debug_assert!(num_fields > 0);
-    debug_assert_eq!(flat.len() % num_fields, 0);
-    let batch = flat.len() / num_fields;
-    let width = num_fields * dim;
-    out.reset(batch, width);
-    let copy_row = |r: usize, dst: &mut [f32]| {
-        let ids = &flat[r * num_fields..(r + 1) * num_fields];
-        for (f, &id) in ids.iter().enumerate() {
-            let row = match map {
-                Some(m) => m[id as usize],
-                None => id,
+/// Builds the serving form of one embedding table from the artifact's
+/// store descriptor, fetching and shape-checking its tensor(s).
+/// `permuted` marks the hot-first-reordered original arena.
+fn build_table(
+    model: &FrozenModel,
+    name: &str,
+    desc: StoreDesc,
+    key_space: usize,
+    dim: usize,
+    permuted: bool,
+) -> Result<ServingTable, ArtifactError> {
+    match desc {
+        StoreDesc::Dense => {
+            let arena = fetch(model, name, key_space, dim)?;
+            let row_map = if permuted {
+                if model.row_map.len() != key_space {
+                    return Err(corrupt(format!(
+                        "row_map has {} entries for vocab {key_space}",
+                        model.row_map.len()
+                    )));
+                }
+                Some(model.row_map.clone())
+            } else {
+                None
             };
-            dst[f * dim..(f + 1) * dim].copy_from_slice(table.row(row as usize));
+            Ok(ServingTable::Dense { arena, row_map })
         }
-    };
-    if pool.is_serial() || flat.len() * dim < SERIAL_LOOKUP_MIN {
-        for r in 0..batch {
-            copy_row(r, out.row_mut(r));
+        StoreDesc::HashedQr { bucket, seed } => {
+            let t1 = fetch(
+                model,
+                &format!("{name}.t1"),
+                key_space.div_ceil(bucket as usize),
+                dim,
+            )?;
+            let t2 = fetch(model, &format!("{name}.t2"), bucket as usize, dim)?;
+            Ok(ServingTable::Hashed {
+                t1,
+                t2,
+                scheme: HashScheme::QuotientRemainder { bucket },
+                seed,
+            })
         }
-    } else {
-        pool.for_rows(out.as_mut_slice(), width, copy_row);
+        StoreDesc::HashedDouble { rows, seed } => {
+            let t1 = fetch(model, &format!("{name}.t1"), rows as usize, dim)?;
+            let t2 = fetch(model, &format!("{name}.t2"), rows as usize, dim)?;
+            Ok(ServingTable::Hashed {
+                t1,
+                t2,
+                scheme: HashScheme::DoubleHash { rows },
+                seed,
+            })
+        }
     }
 }

@@ -75,6 +75,21 @@ pub trait MatMulKernel: Sync {
     /// `a_rows` is `rows x ncols`, `b` is `bn x ncols`, `out_rows` is
     /// `rows x bn`.
     fn mm_abt_rows(&self, a_rows: &[f32], ncols: usize, b: &[f32], bn: usize, out_rows: &mut [f32]);
+
+    /// Pre-sizes, on the calling thread, any thread-local scratch that
+    /// [`mm_acc_rows`](Self::mm_acc_rows) needs for a `k x n` right-hand
+    /// side. Pooled matmuls pass this to
+    /// [`Pool::for_row_chunks_prepared`](crate::Pool::for_row_chunks_prepared)
+    /// so every worker's scratch grows on first sight of a shape — not at
+    /// the scheduling-dependent moment that worker first wins a chunk
+    /// (which could land inside a caller's zero-allocation window).
+    /// Backends without scratch keep the default no-op.
+    fn warm_acc_scratch(&self, _k: usize, _n: usize) {}
+
+    /// [`warm_acc_scratch`](Self::warm_acc_scratch) for
+    /// [`mm_atb_rows`](Self::mm_atb_rows), whose packing scratch scales
+    /// with the reduction length `m` (the shared row count of A and G).
+    fn warm_atb_scratch(&self, _m: usize) {}
 }
 
 /// Which kernel implementation the process dispatches to.
@@ -745,6 +760,25 @@ impl MatMulKernel for AvxFmaBackend {
         }
         scalar::mm_abt_rows(a_rows, ncols, b, bn, out_rows);
     }
+
+    fn warm_acc_scratch(&self, k: usize, n: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if avx_fma_detected() {
+            avx::warm_acc_scratch(k, n);
+        }
+        // The scalar fallback keeps no scratch.
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = (k, n);
+    }
+
+    fn warm_atb_scratch(&self, m: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if avx_fma_detected() {
+            avx::warm_atb_scratch(m);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = m;
+    }
 }
 
 // The packed microkernels.
@@ -787,12 +821,34 @@ mod avx {
 
     thread_local! {
         // Packing scratch: grown via `resize` to the per-thread working-set
-        // maximum on first use and reused afterwards, so steady-state train
-        // steps and serve requests never touch the heap (the counting
-        // allocator test covers this; pool worker threads are persistent,
-        // so their TLS warms up once).
+        // maximum and reused afterwards, so steady-state train steps and
+        // serve requests never touch the heap (the counting allocator test
+        // covers this; pool worker threads are persistent). Growth must be
+        // *deterministic* to honor that: pool job assignment is dynamic, so
+        // a worker that sat out every call of a shape during a caller's
+        // warm-up would otherwise first grow its scratch at an arbitrary
+        // later win — which is why the pooled matmuls warm every thread via
+        // `Pool::for_row_chunks_prepared` + `warm_*_scratch` below.
         static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
         static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Grows this thread's packing scratch to what [`mm_acc_rows`] will
+    /// `resize` to for a `k x n` right-hand side, so the later resize is
+    /// capacity-neutral. Sizes must stay in lockstep with [`mm_acc_rows`].
+    pub(super) fn warm_acc_scratch(k: usize, n: usize) {
+        if k == 0 || n == 0 {
+            return;
+        }
+        let panels = n.div_ceil(NR);
+        PACK_B.with(|pb_cell| pb_cell.borrow_mut().resize(panels * NR * k, 0.0));
+        PACK_A.with(|pa_cell| pa_cell.borrow_mut().resize(MR * k, 0.0));
+    }
+
+    /// [`warm_acc_scratch`] for [`mm_atb_rows`], which packs `MR` A-columns
+    /// of length `m` (the shared A/G row count).
+    pub(super) fn warm_atb_scratch(m: usize) {
+        PACK_A.with(|pa_cell| pa_cell.borrow_mut().resize(m * MR, 0.0));
     }
 
     /// `out_rows += alpha * a_rows * b`; AVX twin of

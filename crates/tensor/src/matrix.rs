@@ -430,11 +430,19 @@ impl Matrix {
         let n = other.cols;
         let kdim = self.cols;
         let kern = crate::kernels::active_kernel();
-        pool.for_row_chunks(&mut out.data, n, |r0, out_chunk| {
-            let rows_in = out_chunk.len() / n;
-            let a_chunk = &self.data[r0 * kdim..(r0 + rows_in) * kdim];
-            kern.mm_acc_rows(a_chunk, kdim, &other.data, n, out_chunk, alpha);
-        });
+        // The prepare hook sizes every participating thread's packing
+        // scratch before it can win a chunk, keeping scratch growth
+        // deterministic (see Pool::for_row_chunks_prepared).
+        pool.for_row_chunks_prepared(
+            &mut out.data,
+            n,
+            || kern.warm_acc_scratch(kdim, n),
+            |r0, out_chunk| {
+                let rows_in = out_chunk.len() / n;
+                let a_chunk = &self.data[r0 * kdim..(r0 + rows_in) * kdim];
+                kern.mm_acc_rows(a_chunk, kdim, &other.data, n, out_chunk, alpha);
+            },
+        );
     }
 
     /// `self^T * other` row-blocked across `pool`, allocating.
@@ -474,9 +482,15 @@ impl Matrix {
         }
         let n = other.cols;
         let kern = crate::kernels::active_kernel();
-        pool.for_row_chunks(&mut out.data, n, |k0, out_chunk| {
-            kern.mm_atb_rows(&self.data, self.cols, &other.data, n, k0, out_chunk, alpha);
-        });
+        // Same deterministic scratch warming as matmul_accumulate_pooled.
+        pool.for_row_chunks_prepared(
+            &mut out.data,
+            n,
+            || kern.warm_atb_scratch(self.rows),
+            |k0, out_chunk| {
+                kern.mm_atb_rows(&self.data, self.cols, &other.data, n, k0, out_chunk, alpha);
+            },
+        );
     }
 
     /// `self * other^T` row-blocked across `pool`, allocating.

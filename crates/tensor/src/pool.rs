@@ -98,6 +98,17 @@ type Task = *const (dyn Fn(usize) + Sync);
 #[derive(Clone, Copy)]
 struct SendTask(Task);
 
+/// Per-epoch preparation hook: runs exactly once on every participating
+/// thread (caller and each worker) before that thread grabs any job.
+type Prep = *const (dyn Fn() + Sync);
+
+#[derive(Clone, Copy)]
+struct SendPrep(Prep);
+
+// SAFETY: same discipline as `SendTask` — the pointer is only dereferenced
+// between publication and the completion barrier in `Inner::run`.
+unsafe impl Send for SendPrep {}
+
 // SAFETY: the task pointer is only dereferenced between job publication and
 // the completion barrier in `Inner::run`, while the referent is alive.
 unsafe impl Send for SendTask {}
@@ -105,6 +116,7 @@ unsafe impl Send for SendTask {}
 struct State {
     epoch: u64,
     task: Option<SendTask>,
+    prep: Option<SendPrep>,
     counter: Arc<AtomicUsize>,
     num_jobs: usize,
     /// Workers still executing (or yet to notice) the current epoch.
@@ -148,7 +160,12 @@ struct Inner {
 }
 
 impl Inner {
-    fn run(&self, num_jobs: usize, f: &(dyn Fn(usize) + Sync)) {
+    fn run(
+        &self,
+        num_jobs: usize,
+        prep: Option<&(dyn Fn() + Sync)>,
+        f: &(dyn Fn(usize) + Sync),
+    ) {
         // SAFETY: the transmute erases the closure's lifetime so it can sit
         // in shared state; the completion barrier below guarantees every
         // worker is done with it before this frame returns.
@@ -157,11 +174,21 @@ impl Inner {
                 f as *const (dyn Fn(usize) + Sync),
             )
         });
+        // SAFETY: as above — the prep closure outlives the completion
+        // barrier for the same reason the task closure does.
+        let prep_task = prep.map(|p| {
+            SendPrep(unsafe {
+                std::mem::transmute::<*const (dyn Fn() + Sync + '_), Prep>(
+                    p as *const (dyn Fn() + Sync),
+                )
+            })
+        });
         let counter = {
             let mut st = self.shared.locked();
             debug_assert_eq!(st.running, 0, "pool: overlapping run calls");
             st.epoch += 1;
             st.task = Some(task);
+            st.prep = prep_task;
             // Reset in place rather than allocating a fresh Arc: by the
             // time a new epoch starts, the completion barrier of the
             // previous `run` guarantees no worker still touches the
@@ -174,12 +201,17 @@ impl Inner {
             st.counter.clone()
         };
         // The caller participates instead of idling.
-        let caller_result = panic::catch_unwind(AssertUnwindSafe(|| loop {
-            let i = counter.fetch_add(1, Ordering::Relaxed);
-            if i >= num_jobs {
-                break;
+        let caller_result = panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(p) = prep {
+                p();
             }
-            f(i);
+            loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= num_jobs {
+                    break;
+                }
+                f(i);
+            }
         }));
         // Barrier: `f` (and the buffers it borrows) must outlive every
         // worker's use of it.
@@ -188,6 +220,7 @@ impl Inner {
             st = self.shared.wait_on(&self.shared.done, st);
         }
         st.task = None;
+        st.prep = None;
         let worker_panicked = std::mem::replace(&mut st.panicked, false);
         drop(st);
         if let Err(payload) = caller_result {
@@ -228,7 +261,7 @@ fn worker_loop(shared: Arc<Shared>) {
         shared.done.notify_all();
     }
     loop {
-        let (task, counter, num_jobs) = {
+        let (task, prep, counter, num_jobs) = {
             let mut st = shared.locked();
             loop {
                 if st.shutdown {
@@ -238,6 +271,7 @@ fn worker_loop(shared: Arc<Shared>) {
                     seen_epoch = st.epoch;
                     break (
                         st.task.expect("pool: epoch advanced without a task"),
+                        st.prep,
                         st.counter.clone(),
                         st.num_jobs,
                     );
@@ -246,14 +280,22 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         };
         // SAFETY: the caller of `Inner::run` blocks until `running` drops to
-        // zero, so the closure behind `task` is alive for this whole block.
+        // zero, so the closures behind `task` and `prep` are alive for this
+        // whole block.
         let f = unsafe { &*task.0 };
-        let result = panic::catch_unwind(AssertUnwindSafe(|| loop {
-            let i = counter.fetch_add(1, Ordering::Relaxed);
-            if i >= num_jobs {
-                break;
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(p) = prep {
+                // SAFETY: as above — published alongside `task` and fenced
+                // by the same completion barrier.
+                unsafe { (*p.0)() };
             }
-            f(i);
+            loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= num_jobs {
+                    break;
+                }
+                f(i);
+            }
         }));
         let mut st = shared.locked();
         if result.is_err() {
@@ -288,6 +330,7 @@ impl Pool {
             state: Mutex::new(State {
                 epoch: 0,
                 task: None,
+                prep: None,
                 counter: Arc::new(AtomicUsize::new(0)),
                 num_jobs: 0,
                 running: 0,
@@ -367,7 +410,52 @@ impl Pool {
                     f(0);
                     return;
                 }
-                inner.run(num_jobs, &f);
+                inner.run(num_jobs, None, &f);
+            }
+        }
+    }
+
+    /// [`run`](Self::run) with a per-thread preparation hook: `prep` runs
+    /// exactly once on every thread that may execute jobs this epoch — the
+    /// caller and, when the epoch is dispatched to the pool, every worker,
+    /// *including workers that end up winning zero jobs* — before that
+    /// thread grabs its first job.
+    ///
+    /// This exists for kernels with lazily-grown thread-local scratch: job
+    /// assignment is dynamic (threads race on a shared counter), so which
+    /// thread sees which shape is scheduling-dependent, and a worker that
+    /// sat out earlier calls would otherwise grow its scratch at an
+    /// arbitrary later moment — e.g. inside a caller's zero-allocation
+    /// measurement window (tests/alloc_steady_state.rs). A `prep` that
+    /// pre-sizes the scratch makes the growth happen deterministically on
+    /// first sight of a shape, on every thread. Workers already rendezvous
+    /// with every epoch for the completion barrier, so the hook adds no
+    /// synchronization.
+    ///
+    /// Single-job and serial-pool calls run `prep` on the caller only —
+    /// no other thread can touch a job, so no other scratch is needed.
+    pub fn run_prepared<P, F>(&self, num_jobs: usize, prep: P, f: F)
+    where
+        P: Fn() + Sync,
+        F: Fn(usize) + Sync,
+    {
+        match &self.inner {
+            None => {
+                prep();
+                for i in 0..num_jobs {
+                    f(i);
+                }
+            }
+            Some(inner) => {
+                if num_jobs == 0 {
+                    return;
+                }
+                if num_jobs == 1 {
+                    prep();
+                    f(0);
+                    return;
+                }
+                inner.run(num_jobs, Some(&prep), &f);
             }
         }
     }
@@ -431,6 +519,19 @@ impl Pool {
         T: Send,
         F: Fn(usize, &mut [T]) + Sync,
     {
+        self.for_row_chunks_prepared(out, row_len, || {}, f);
+    }
+
+    /// [`for_row_chunks`](Self::for_row_chunks) with a per-thread
+    /// preparation hook (see [`run_prepared`](Self::run_prepared)): `prep`
+    /// runs once on every thread that may receive a chunk, before that
+    /// thread's first chunk.
+    pub fn for_row_chunks_prepared<T, P, F>(&self, out: &mut [T], row_len: usize, prep: P, f: F)
+    where
+        T: Send,
+        P: Fn() + Sync,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
         // lint: allow(panic-free, reason="row_len and buffer length come from the matmul caller's construction-pinned shapes")
         assert!(row_len > 0, "for_row_chunks: row_len must be positive");
         // lint: allow(panic-free, reason="row_len and buffer length come from the matmul caller's construction-pinned shapes")
@@ -438,7 +539,7 @@ impl Pool {
         let rows = out.len() / row_len;
         let (chunk, njobs) = chunks_for(rows, self.threads());
         let ptr = SendPtr(out.as_mut_ptr());
-        self.run(njobs, |job| {
+        self.run_prepared(njobs, prep, |job| {
             let r0 = job * chunk;
             let r1 = (r0 + chunk).min(rows);
             if r0 >= r1 {

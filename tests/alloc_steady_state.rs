@@ -17,6 +17,7 @@ use optinter_core::net::DataDims;
 use optinter_core::{Architecture, FactFn, Method, OptInterConfig, OptInterNet, Supernet};
 use optinter_data::{Batch, BatchStream, DatasetBundle, Profile};
 use optinter_models::{BaselineConfig, CtrModel, Lr};
+use optinter_nn::{EmbedOptimizerMode, StoreKind};
 use optinter_serve::{freeze, serve, FrozenScorer, ManualClock, MicroBatchOptions, Quant};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -154,6 +155,33 @@ fn steady_state_training_performs_zero_heap_allocations() {
         });
         assert!(loss_sum.is_finite(), "OptInterNet loss diverged");
 
+        // Hashed-store OptInterNet with the lazy embedding optimizer: the
+        // compositional lookup/compose scratch, the sub-table gradient
+        // arenas and the lazy catch-up bookkeeping must all reach their
+        // working-set maximum during warm-up, exactly like the dense path.
+        let arch = Architecture::new(
+            (0..dims.num_pairs)
+                .map(|p| Method::from_index(p % 3))
+                .collect(),
+        );
+        let cfg = OptInterConfig {
+            seed: 7,
+            num_threads: 2,
+            fact_fn: FactFn::Generalized,
+            ..OptInterConfig::test_small()
+        }
+        .with_stores(
+            StoreKind::HashedQr { bucket: 13 },
+            StoreKind::HashedDouble { rows: 37 },
+        )
+        .with_embed_opt(EmbedOptimizerMode::LazyCatchUp);
+        let mut net = OptInterNet::new(cfg, dims.clone(), arch);
+        let mut loss_sum = 0.0f32;
+        assert_zero_alloc_epoch("OptInterNet(hashed,lazy)", &bundle, prefetch, &mut |b| {
+            loss_sum += net.train_batch(b);
+        });
+        assert!(loss_sum.is_finite(), "hashed OptInterNet loss diverged");
+
         // Search-stage Supernet: Gumbel draws, relaxed mixing, arch grads.
         let cfg = OptInterConfig {
             seed: 11,
@@ -204,13 +232,13 @@ fn steady_state_training_performs_zero_heap_allocations() {
     for row in 0..8 {
         batch.begin(bundle.data.num_fields, bundle.data.num_pairs);
         batch.push_row(bundle.data.row_fields(row), bundle.data.row_cross(row), 0.0);
-        scorer.score_into(&batch, &mut probs);
+        scorer.score_into(&batch, &mut probs).expect("valid batch scores");
     }
     for row in 0..64 {
         batch.begin(bundle.data.num_fields, bundle.data.num_pairs);
         batch.push_row(bundle.data.row_fields(row), bundle.data.row_cross(row), 0.0);
         let before = ALLOCS.load(Ordering::Relaxed);
-        scorer.score_into(&batch, &mut probs);
+        scorer.score_into(&batch, &mut probs).expect("valid batch scores");
         let after = ALLOCS.load(Ordering::Relaxed);
         assert_eq!(
             after - before,
@@ -227,7 +255,7 @@ fn steady_state_training_performs_zero_heap_allocations() {
     // are vacuous.
     let before = ALLOCS.load(Ordering::Relaxed);
     let mut fresh_probs = Vec::new();
-    scorer.score_into(&batch, &mut fresh_probs);
+    scorer.score_into(&batch, &mut fresh_probs).expect("valid batch scores");
     assert!(
         ALLOCS.load(Ordering::Relaxed) > before,
         "negative control failed: fresh output vector did not allocate"

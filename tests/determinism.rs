@@ -11,6 +11,7 @@ use optinter_core::{
     Supernet,
 };
 use optinter_data::{Batch, BatchIter, BatchStream, DatasetBundle, Profile};
+use optinter_nn::{EmbedOptimizerMode, StoreKind};
 use optinter_tensor::kernels::{self, Backend};
 use std::sync::Mutex;
 
@@ -126,6 +127,84 @@ fn fixed_architecture_training_is_bit_identical_across_thread_counts() {
             bits(&probs),
             "fixed-arch predictions diverge at {threads} threads"
         );
+    }
+}
+
+/// Trains a fixed mixed architecture over configurable embedding stores
+/// and optimizer mode; returns (per-batch loss bits, predicted probs).
+fn train_fixed_stores(
+    bundle: &DatasetBundle,
+    threads: usize,
+    orig_store: StoreKind,
+    cross_store: StoreKind,
+    embed_opt: EmbedOptimizerMode,
+) -> (Vec<u32>, Vec<f32>) {
+    let dims = DataDims::of(&bundle.data);
+    let arch = Architecture::new(
+        (0..dims.num_pairs)
+            .map(|p| Method::from_index(p % 3))
+            .collect(),
+    );
+    let cfg = OptInterConfig {
+        seed: 5,
+        num_threads: threads,
+        fact_fn: FactFn::Generalized,
+        ..OptInterConfig::test_small()
+    }
+    .with_stores(orig_store, cross_store)
+    .with_embed_opt(embed_opt);
+    let mut net = OptInterNet::new(cfg, dims, arch);
+    let mut losses = Vec::new();
+    for epoch in 0..2u64 {
+        for batch in BatchIter::new(&bundle.data, 0..1_000, 128, Some(epoch)) {
+            let loss = net.train_batch(&batch);
+            assert!(loss.is_finite(), "threads={threads}: loss {loss}");
+            losses.push(loss.to_bits());
+        }
+    }
+    (losses, net.predict(&test_batch(bundle)))
+}
+
+#[test]
+fn hashed_stores_and_lazy_adam_are_bit_identical_across_thread_counts() {
+    let _guard = backend_lock();
+    let bundle = bundle();
+    // Every store kind × optimizer-mode combination the config exposes
+    // must satisfy the same owner-computes contract as the dense path:
+    // losses and predictions bitwise equal at 1, 2 and 4 threads.
+    let cases = [
+        (
+            StoreKind::HashedQr { bucket: 13 },
+            StoreKind::HashedDouble { rows: 31 },
+            EmbedOptimizerMode::Sparse,
+        ),
+        (
+            StoreKind::HashedQr { bucket: 13 },
+            StoreKind::Dense,
+            EmbedOptimizerMode::LazyCatchUp,
+        ),
+        (
+            StoreKind::Dense,
+            StoreKind::Dense,
+            EmbedOptimizerMode::LazyCatchUp,
+        ),
+    ];
+    for (orig, cross, mode) in cases {
+        let (ref_losses, ref_probs) =
+            train_fixed_stores(&bundle, THREADS[0], orig, cross, mode);
+        assert!(!ref_losses.is_empty());
+        for &threads in &THREADS[1..] {
+            let (losses, probs) = train_fixed_stores(&bundle, threads, orig, cross, mode);
+            assert_eq!(
+                ref_losses, losses,
+                "per-batch losses diverge at {threads} threads ({orig:?}/{cross:?}, {mode:?})"
+            );
+            assert_eq!(
+                bits(&ref_probs),
+                bits(&probs),
+                "predictions diverge at {threads} threads ({orig:?}/{cross:?}, {mode:?})"
+            );
+        }
     }
 }
 

@@ -7,9 +7,10 @@
 use optinter_core::net::DataDims;
 use optinter_core::{Architecture, Method, OptInterConfig, OptInterNet};
 use optinter_data::{DatasetBundle, Profile};
-use optinter_serve::{freeze, ArtifactError, FrozenModel, Quant};
+use optinter_nn::StoreKind;
+use optinter_serve::{freeze, ArtifactError, FrozenModel, Quant, StoreDesc};
 
-fn frozen(quant: Quant) -> FrozenModel {
+fn frozen_with_stores(quant: Quant, orig: StoreKind, cross: StoreKind) -> FrozenModel {
     let bundle: DatasetBundle = Profile::Tiny.bundle_with_rows(300, 7);
     let dims = DataDims::of(&bundle.data);
     let arch = Architecture::new(
@@ -20,9 +21,14 @@ fn frozen(quant: Quant) -> FrozenModel {
     let cfg = OptInterConfig {
         seed: 4,
         ..OptInterConfig::test_small()
-    };
+    }
+    .with_stores(orig, cross);
     let mut net = OptInterNet::new(cfg, dims, arch);
     freeze(&mut net, &bundle.data, quant)
+}
+
+fn frozen(quant: Quant) -> FrozenModel {
+    frozen_with_stores(quant, StoreKind::Dense, StoreKind::Dense)
 }
 
 #[test]
@@ -36,6 +42,39 @@ fn freeze_load_freeze_is_byte_identical_for_every_quantization() {
             bytes,
             reloaded.to_bytes(),
             "{quant:?}: re-serialized artifact differs from the original bytes"
+        );
+    }
+}
+
+#[test]
+fn hashed_store_artifacts_round_trip_and_reject_corruption() {
+    let model = frozen_with_stores(
+        Quant::F16,
+        StoreKind::HashedQr { bucket: 9 },
+        StoreKind::HashedDouble { rows: 23 },
+    );
+    assert!(matches!(model.orig_store, StoreDesc::HashedQr { bucket: 9, .. }));
+    assert!(matches!(
+        model.cross_store,
+        StoreDesc::HashedDouble { rows: 23, .. }
+    ));
+    assert!(model.row_map.is_empty());
+    let bytes = model.to_bytes();
+    let reloaded = FrozenModel::from_bytes(&bytes).expect("hashed artifact loads");
+    assert_eq!(reloaded.orig_store, model.orig_store);
+    assert_eq!(reloaded.cross_store, model.cross_store);
+    assert_eq!(bytes, reloaded.to_bytes());
+
+    // The store descriptors sit inside the checksummed payload, so the
+    // truncation and bit-flip sweeps below cover them too; spot-check a
+    // targeted flip of each payload byte region still errors.
+    let step = (bytes.len() / 211).max(1);
+    for i in (20..bytes.len()).step_by(step) {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x04;
+        assert!(
+            FrozenModel::from_bytes(&corrupt).is_err(),
+            "flip at byte {i} went undetected"
         );
     }
 }

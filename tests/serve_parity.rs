@@ -9,7 +9,8 @@
 use optinter_core::net::DataDims;
 use optinter_core::{Architecture, FactFn, Method, OptInterConfig, OptInterNet};
 use optinter_data::{Batch, BatchIter, DatasetBundle, Profile};
-use optinter_serve::{freeze, freeze_gated, FreezeError, FrozenScorer, Quant};
+use optinter_nn::StoreKind;
+use optinter_serve::{freeze, freeze_gated, FreezeError, FrozenModel, FrozenScorer, Quant};
 
 const THREADS: [usize; 3] = [1, 2, 4];
 
@@ -58,7 +59,7 @@ fn assert_bit_parity(net: &mut OptInterNet, bundle: &DatasetBundle, batch_size: 
         let mut batches = 0;
         while iter.next_into(&mut batch) {
             let expected = net.predict(&batch);
-            scorer.score_into(&batch, &mut probs);
+            scorer.score_into(&batch, &mut probs).expect("valid batch scores");
             assert_eq!(
                 bits(&expected),
                 bits(&probs),
@@ -104,7 +105,7 @@ fn f16_artifact_passes_the_default_auc_gate() {
         .next()
         .expect("batch");
     let mut probs = Vec::new();
-    scorer.score_into(&batch, &mut probs);
+    scorer.score_into(&batch, &mut probs).expect("valid batch scores");
     assert_eq!(probs.len(), 100);
     assert!(probs.iter().all(|p| p.is_finite() && *p > 0.0 && *p < 1.0));
 }
@@ -144,4 +145,73 @@ fn unquantized_gate_reports_zero_delta() {
     let (_, delta) = freeze_gated(&mut net, &bundle.data, 1_000..1_400, Quant::F32, 0.0)
         .expect("f32 freeze is lossless");
     assert_eq!(delta, 0.0);
+}
+
+/// A short training run over hashed embedding stores.
+fn trained_hashed_net(
+    bundle: &DatasetBundle,
+    orig_store: StoreKind,
+    cross_store: StoreKind,
+) -> OptInterNet {
+    let dims = DataDims::of(&bundle.data);
+    let arch = Architecture::new(
+        (0..dims.num_pairs)
+            .map(|p| Method::from_index(p % 3))
+            .collect(),
+    );
+    let cfg = OptInterConfig {
+        seed: 11,
+        ..OptInterConfig::test_small()
+    }
+    .with_stores(orig_store, cross_store);
+    let mut net = OptInterNet::new(cfg, dims, arch);
+    for epoch in 0..2u64 {
+        for batch in BatchIter::new(&bundle.data, 0..1_000, 128, Some(epoch)) {
+            let loss = net.train_batch(&batch);
+            assert!(loss.is_finite(), "training loss {loss}");
+        }
+    }
+    net
+}
+
+#[test]
+fn hashed_store_artifacts_round_trip_and_score_bit_identically() {
+    // The serving side must recompose hashed rows exactly as training
+    // did — through the serialized artifact, at every thread count.
+    let bundle = bundle();
+    for (orig_store, cross_store) in [
+        (StoreKind::HashedQr { bucket: 13 }, StoreKind::Dense),
+        (
+            StoreKind::HashedDouble { rows: 37 },
+            StoreKind::HashedQr { bucket: 7 },
+        ),
+    ] {
+        let mut net = trained_hashed_net(&bundle, orig_store, cross_store);
+        let frozen = freeze(&mut net, &bundle.data, Quant::F32);
+        assert_eq!(frozen.orig_store.is_hashed(), true);
+        assert!(frozen.row_map.is_empty(), "hashed orig store keeps no row_map");
+        let bytes = frozen.to_bytes();
+        let reloaded = FrozenModel::from_bytes(&bytes).expect("hashed artifact loads");
+        assert_eq!(bytes, reloaded.to_bytes(), "byte round trip");
+        for &threads in &THREADS {
+            let mut scorer = FrozenScorer::new(&reloaded, threads).expect("scorer loads");
+            let mut iter = BatchIter::new(&bundle.data, 1_000..1_400, 64, None);
+            let mut batch = Batch::empty();
+            let mut probs = Vec::new();
+            let mut batches = 0;
+            while iter.next_into(&mut batch) {
+                let expected = net.predict(&batch);
+                scorer
+                    .score_into(&batch, &mut probs)
+                    .expect("in-vocab batch scores");
+                assert_eq!(
+                    bits(&expected),
+                    bits(&probs),
+                    "hashed frozen scorer diverges ({orig_store:?}/{cross_store:?}, threads {threads})"
+                );
+                batches += 1;
+            }
+            assert!(batches > 0);
+        }
+    }
 }
