@@ -97,7 +97,10 @@ pub fn run(opts: &ExpOptions) {
         let mut cfg = optinter_config(profile, opts.seed, opts.threads);
         cfg.tau = tau;
         let r = run_two_stage(&bundle, &cfg, SearchStrategy::Joint);
-        let arch = r.architecture.as_ref().expect("architecture");
+        let Some(arch) = r.architecture.as_ref() else {
+            eprintln!("tau ablation `{name}`: two-stage run yielded no architecture; skipping row");
+            continue;
+        };
         table.push(vec![
             name.into(),
             format!("{:.4}", r.auc),

@@ -54,7 +54,7 @@ pub fn run(opts: &ExpOptions) {
             .tag()
             .chars()
             .next()
-            .expect("tag")
+            .unwrap_or('?')
     });
 
     // Quantify the correlation the paper shows visually: rank-correlate MI

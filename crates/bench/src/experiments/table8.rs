@@ -66,10 +66,13 @@ pub fn run(opts: &ExpOptions) {
             ("OptInter (joint)", SearchStrategy::Joint),
         ] {
             let r = run_two_stage(&bundle, &cfg, strat);
-            let arch = r
-                .architecture
-                .as_ref()
-                .expect("two-stage yields an architecture");
+            let Some(arch) = r.architecture.as_ref() else {
+                eprintln!(
+                    "table8 `{name}` on {}: two-stage run yielded no architecture; skipping row",
+                    profile.name()
+                );
+                continue;
+            };
             table.push(vec![
                 name.into(),
                 format!("{:.4}", r.auc),

@@ -9,7 +9,9 @@ use optinter_core::net::DataDims;
 use optinter_core::{Architecture, Method, OptInterConfig, OptInterNet, Supernet};
 use optinter_data::cross::{raw_cross, CrossVocab};
 use optinter_data::{Batch, BatchIter, BatchStream, Profile, Schema, SyntheticGenerator};
-use optinter_nn::{Adam, DenseOptimizer, EmbedOptimizerMode, EmbedStore, EmbeddingTable, StoreKind};
+use optinter_nn::{
+    Adam, DenseOptimizer, EmbedOptimizerMode, EmbedStore, EmbeddingTable, StoreKind,
+};
 use optinter_serve::{
     freeze, run_zipf_load, FrozenScorer, LoadSpec, MicroBatchOptions, MonotonicClock, Quant,
 };
@@ -479,7 +481,9 @@ fn bench_embedding_scale(quick: bool) -> Vec<EmbedScaleRow> {
         ("dense", StoreKind::Dense, StoreKind::Dense),
         (
             "hashed_qr",
-            StoreKind::HashedQr { bucket: orig_bucket },
+            StoreKind::HashedQr {
+                bucket: orig_bucket,
+            },
             StoreKind::HashedQr {
                 bucket: cross_bucket,
             },

@@ -15,8 +15,8 @@ use crate::arch::{Architecture, Method};
 use crate::config::{FactFn, OptInterConfig};
 use optinter_data::{Batch, EncodedDataset, PairIndexer};
 use optinter_nn::{
-    bce_with_logits_into, loss, Adam, DenseOptimizer, EmbedStore, Layer, Mlp, MlpConfig,
-    Parameter, Workspace,
+    bce_with_logits_into, loss, Adam, DenseOptimizer, EmbedStore, Layer, Mlp, MlpConfig, Parameter,
+    Workspace,
 };
 use optinter_tensor::{Matrix, Pool};
 use rand::rngs::StdRng;
@@ -517,7 +517,8 @@ impl OptInterNet {
     pub fn catch_up_embeddings(&mut self) {
         self.e_orig.catch_up_all(&self.adam_net, self.cfg.l2_orig);
         if self.num_memorized > 0 {
-            self.e_cross.catch_up_all(&self.adam_cross, self.cfg.l2_cross);
+            self.e_cross
+                .catch_up_all(&self.adam_cross, self.cfg.l2_cross);
         }
     }
 
@@ -563,7 +564,8 @@ impl OptInterNet {
             }
             Ok((*m).clone())
         };
-        self.e_orig.import_weights("e_orig", &mut |name, shape| fetch(name, shape))?;
+        self.e_orig
+            .import_weights("e_orig", &mut |name, shape| fetch(name, shape))?;
         self.e_cross
             .import_weights("e_cross", &mut |name, shape| fetch(name, shape))?;
         if let Some(fw) = self.fact_weights.as_mut() {

@@ -31,8 +31,8 @@ use crate::gumbel::GumbelSample;
 use crate::net::DataDims;
 use optinter_data::Batch;
 use optinter_nn::{
-    bce_with_logits_into, loss, Adam, DenseOptimizer, EmbedStore, Layer, Mlp, MlpConfig,
-    Parameter, Workspace,
+    bce_with_logits_into, loss, Adam, DenseOptimizer, EmbedStore, Layer, Mlp, MlpConfig, Parameter,
+    Workspace,
 };
 use optinter_tensor::{ops, Matrix, Pool};
 use rand::rngs::StdRng;
@@ -533,7 +533,8 @@ impl Supernet {
     /// reading out weights; a no-op for the other modes.
     pub fn catch_up_embeddings(&mut self) {
         self.e_orig.catch_up_all(&self.adam_net, self.cfg.l2_orig);
-        self.e_cross.catch_up_all(&self.adam_cross, self.cfg.l2_cross);
+        self.e_cross
+            .catch_up_all(&self.adam_cross, self.cfg.l2_cross);
     }
 
     /// Updates only the architecture parameters α (bi-level search uses

@@ -88,6 +88,7 @@ pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
 /// cannot leave the queue of owned values inconsistent, and the panic
 /// itself still propagates through `std::thread::scope`.
 fn lock<T>(m: &Mutex<State<T>>) -> MutexGuard<'_, State<T>> {
+    // lint: allow(no-blocking-cone, reason="declared queue hand-off: the channel mutex guards only the VecDeque push/pop, never user code, so the critical section is a few instructions")
     match m.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -108,6 +109,7 @@ impl<T> Sender<T> {
                 self.0.not_empty.notify_one();
                 return Ok(());
             }
+            // lint: allow(no-blocking-cone, reason="declared backpressure point: a bounded channel must park producers when full; flush_into only reaches this through the response Sender, which is sized to the in-flight batch and never fills")
             st = match self.0.not_full.wait(st) {
                 Ok(g) => g,
                 Err(poisoned) => poisoned.into_inner(),

@@ -1,7 +1,7 @@
 //! The ratchet baselines: committed per-crate ceilings that may only go
 //! down, plus the declared reachability roots.
 //!
-//! Six tables live in `lint-baseline.toml` at the workspace root:
+//! Ten tables live in `lint-baseline.toml` at the workspace root:
 //!
 //! - `[unwrap-expect]` — per-crate ceilings on `.unwrap()` / `.expect(`
 //!   counts.
@@ -20,6 +20,16 @@
 //!   suffix that additionally bans unchecked slice indexing (used for the
 //!   untrusted-bytes artifact decode path).
 //! - `[panic-free]` — per-root ceilings on unwaived reachable panic sites.
+//! - `[determinism-roots]` — entry points whose call cones must stay
+//!   bit-deterministic (no clock/entropy/hash-iteration reachable; float
+//!   reductions only in the pinned-order allowlist): `name = "fn::path"`.
+//! - `[determinism-cone]` — per-root ceilings on unwaived determinism
+//!   violations reached from each `[determinism-roots]` entry.
+//! - `[no-block-roots]` — entry points whose call cones must never park
+//!   the thread (mutex `lock`, condvar `wait`, blocking `recv`, `sleep`,
+//!   `join`) except at sites waived in place: `name = "fn::path"`.
+//! - `[no-blocking-cone]` — per-root ceilings on unwaived blocking sites
+//!   reached from each `[no-block-roots]` entry.
 //!
 //! We parse the tiny TOML subset we emit ourselves (`[table]` headers,
 //! `key = integer` and `key = "string"` lines, `#` comments) rather than
@@ -46,6 +56,10 @@ pub struct Baseline {
     pub hot_path_roots: BTreeMap<String, String>,
     pub panic_free_roots: BTreeMap<String, RootSpec>,
     pub panic_free: BTreeMap<String, usize>,
+    pub determinism_roots: BTreeMap<String, String>,
+    pub determinism_cone: BTreeMap<String, usize>,
+    pub no_block_roots: BTreeMap<String, String>,
+    pub no_blocking_cone: BTreeMap<String, usize>,
 }
 
 impl Baseline {
@@ -76,7 +90,8 @@ impl Baseline {
             // Strip a trailing same-line comment from unquoted values.
             let value = value.trim();
             match section.as_str() {
-                "unwrap-expect" | "unsafe-sites" | "hot-path-alloc" | "panic-free" => {
+                "unwrap-expect" | "unsafe-sites" | "hot-path-alloc" | "panic-free"
+                | "determinism-cone" | "no-blocking-cone" => {
                     let value = value.split('#').next().unwrap_or("").trim();
                     let value: usize = value.parse().map_err(|_| {
                         format!("baseline line {lineno}: value is not a non-negative integer")
@@ -85,13 +100,15 @@ impl Baseline {
                         "unwrap-expect" => &mut baseline.unwrap_expect,
                         "unsafe-sites" => &mut baseline.unsafe_sites,
                         "hot-path-alloc" => &mut baseline.hot_path_alloc,
+                        "determinism-cone" => &mut baseline.determinism_cone,
+                        "no-blocking-cone" => &mut baseline.no_blocking_cone,
                         _ => &mut baseline.panic_free,
                     };
                     if table.insert(key.clone(), value).is_some() {
                         return Err(format!("baseline line {lineno}: duplicate key `{key}`"));
                     }
                 }
-                "hot-path-roots" | "panic-free-roots" => {
+                "hot-path-roots" | "panic-free-roots" | "determinism-roots" | "no-block-roots" => {
                     let Some(s) = value
                         .strip_prefix('"')
                         .and_then(|v| v.split('"').next())
@@ -102,18 +119,19 @@ impl Baseline {
                              string, got `{value}`"
                         ));
                     };
-                    if section == "hot-path-roots" {
+                    if section != "panic-free-roots" {
                         if s.contains(' ') {
                             return Err(format!(
-                                "baseline line {lineno}: hot-path root `{s}` must be a bare \
-                                 fn path (no flags)"
+                                "baseline line {lineno}: root `{s}` in [{section}] must be a \
+                                 bare fn path (no flags)"
                             ));
                         }
-                        if baseline
-                            .hot_path_roots
-                            .insert(key.clone(), s.to_string())
-                            .is_some()
-                        {
+                        let table = match section.as_str() {
+                            "hot-path-roots" => &mut baseline.hot_path_roots,
+                            "determinism-roots" => &mut baseline.determinism_roots,
+                            _ => &mut baseline.no_block_roots,
+                        };
+                        if table.insert(key.clone(), s.to_string()).is_some() {
                             return Err(format!("baseline line {lineno}: duplicate key `{key}`"));
                         }
                     } else {
@@ -144,7 +162,9 @@ impl Baseline {
                     return Err(format!(
                         "baseline line {lineno}: unknown table `[{other}]` (recognised: \
                          [unwrap-expect], [unsafe-sites], [hot-path-alloc], \
-                         [hot-path-roots], [panic-free-roots], [panic-free])"
+                         [hot-path-roots], [panic-free-roots], [panic-free], \
+                         [determinism-roots], [determinism-cone], [no-block-roots], \
+                         [no-blocking-cone])"
                     ));
                 }
             }
@@ -195,6 +215,30 @@ impl Baseline {
         if !self.panic_free.is_empty() {
             out.push_str("\n[panic-free]\n");
             for (k, v) in &self.panic_free {
+                out.push_str(&format!("{k} = {v}\n"));
+            }
+        }
+        if !self.determinism_roots.is_empty() {
+            out.push_str("\n[determinism-roots]\n");
+            for (k, v) in &self.determinism_roots {
+                out.push_str(&format!("{k} = \"{v}\"\n"));
+            }
+        }
+        if !self.determinism_cone.is_empty() {
+            out.push_str("\n[determinism-cone]\n");
+            for (k, v) in &self.determinism_cone {
+                out.push_str(&format!("{k} = {v}\n"));
+            }
+        }
+        if !self.no_block_roots.is_empty() {
+            out.push_str("\n[no-block-roots]\n");
+            for (k, v) in &self.no_block_roots {
+                out.push_str(&format!("{k} = \"{v}\"\n"));
+            }
+        }
+        if !self.no_blocking_cone.is_empty() {
+            out.push_str("\n[no-blocking-cone]\n");
+            for (k, v) in &self.no_blocking_cone {
                 out.push_str(&format!("{k} = {v}\n"));
             }
         }
@@ -258,6 +302,35 @@ impl Baseline {
              construction with `// lint: allow(panic-free, reason=\"...\")`",
         )
     }
+
+    /// Compares per-root determinism-violation counts against
+    /// `[determinism-cone]`.
+    pub fn check_determinism_cone(&self, observed: &BTreeMap<String, usize>) -> Vec<String> {
+        check_table(
+            "determinism-cone",
+            "root",
+            &self.determinism_cone,
+            observed,
+            "reachable unwaived determinism violations",
+            "thread the seeded RNG / remove the clock read / sort before iterating, or \
+             waive an order-neutral site with \
+             `// lint: allow(determinism-cone, reason=\"...\")`",
+        )
+    }
+
+    /// Compares per-root blocking-site counts against `[no-blocking-cone]`.
+    pub fn check_no_blocking_cone(&self, observed: &BTreeMap<String, usize>) -> Vec<String> {
+        check_table(
+            "no-blocking-cone",
+            "root",
+            &self.no_blocking_cone,
+            observed,
+            "reachable unwaived blocking sites",
+            "keep the serving path lock-free (move the blocking call off the scoring \
+             cone), or waive a declared hand-off site with \
+             `// lint: allow(no-blocking-cone, reason=\"...\")`",
+        )
+    }
 }
 
 fn check_table(
@@ -319,8 +392,44 @@ mod tests {
         );
         b.panic_free.insert("serve-score".to_string(), 0);
         b.panic_free.insert("artifact-decode".to_string(), 2);
+        b.determinism_roots.insert(
+            "optinter-train".to_string(),
+            "core::net::OptInterNet::train_batch".to_string(),
+        );
+        b.determinism_cone.insert("optinter-train".to_string(), 0);
+        b.no_block_roots.insert(
+            "serve-score".to_string(),
+            "serve::scorer::FrozenScorer::score_into".to_string(),
+        );
+        b.no_blocking_cone.insert("serve-score".to_string(), 0);
         let text = b.to_toml();
         assert_eq!(Baseline::parse(&text).expect("parse"), b);
+    }
+
+    #[test]
+    fn cone_tables_parse_and_check() {
+        let b = Baseline::parse(
+            "[determinism-roots]\nt = \"m::train\"\n\n[determinism-cone]\nt = 0\n\n\
+             [no-block-roots]\ns = \"m::score\"\n\n[no-blocking-cone]\ns = 0\n",
+        )
+        .expect("parse");
+        assert_eq!(b.determinism_roots["t"], "m::train");
+        assert_eq!(b.no_block_roots["s"], "m::score");
+        let mut observed = BTreeMap::new();
+        observed.insert("t".to_string(), 0);
+        assert!(b.check_determinism_cone(&observed).is_empty());
+        observed.insert("t".to_string(), 2);
+        let problems = b.check_determinism_cone(&observed);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("determinism-cone"), "{problems:?}");
+        let mut blocks = BTreeMap::new();
+        blocks.insert("s".to_string(), 1);
+        let problems = b.check_no_blocking_cone(&blocks);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("no-blocking-cone"), "{problems:?}");
+        // Root tables reject flags — only panic-free-roots takes `+index`.
+        assert!(Baseline::parse("[determinism-roots]\nt = \"m::f +index\"").is_err());
+        assert!(Baseline::parse("[no-block-roots]\ns = 3").is_err());
     }
 
     #[test]

@@ -1,0 +1,633 @@
+//! Interprocedural effect inference over the workspace call graph
+//! (DESIGN.md §15).
+//!
+//! The per-file rules (§10) answer "does this token do something
+//! suspicious"; the call-graph rules (§12) answer "can a declared root
+//! reach this fn". This module joins the two: every fn in the call-graph
+//! index gets an **effect set** — what the fn (or anything it can call)
+//! may do — seeded from the same token-level detectors the per-file rules
+//! run and propagated to a fixed point over the call edges. The cone
+//! rules (`determinism-cone`, `no-blocking-cone`) and the refactored
+//! `hot-path-alloc`/`panic-free` consumers in `lib.rs` then police
+//! declared roots against these summaries instead of re-deriving their
+//! own bespoke closures.
+//!
+//! Conservatism guarantees:
+//!
+//! - **Seeding is a superset of the per-file detections by
+//!   construction**: the seeds come from the *same* collector functions
+//!   (`rules::clock_entropy_sites`, `hash_iter_sites`, ... — see
+//!   `rules.rs`) the per-file rules consume, run *before* any policy
+//!   (crate exemptions, allowlists, waivers) is applied. A site the
+//!   per-file rule would flag is therefore always present as a seed; the
+//!   golden test in `tests/whole_workspace.rs` pins this.
+//! - **Propagation traverses every edge**, including the conservative
+//!   name-fallback edges (`recv.m()` resolving to every method named
+//!   `m`), so a summary over-approximates: it may claim an effect the fn
+//!   cannot dynamically exhibit, never the reverse (within the known
+//!   token-level blind spots documented in `callgraph.rs`: derive
+//!   bodies, UFCS, fn pointers).
+//! - **Policy is applied by the consumers, not here.** Waivers are only
+//!   consulted when a rule actually evaluates a reached site, so the
+//!   unused-waiver pass stays exact.
+
+use crate::callgraph::CallGraph;
+use crate::lexer::Token;
+use crate::parser::Tree;
+use crate::rules;
+use std::collections::VecDeque;
+
+/// The effect lattice: one bit per effect, ordered arbitrarily. Joins are
+/// bitwise-or; the fixed point exists because the lattice is finite and
+/// propagation is monotone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Effect {
+    /// Reads wall-clock or monotonic time (`Instant`, `SystemTime`, ...).
+    ReadsClock,
+    /// Reaches for OS entropy (`OsRng`, `thread_rng`, `RandomState`, ...).
+    ReadsEntropy,
+    /// Iterates a hash container, whose order depends on the hash seed.
+    HashIter,
+    /// Performs a float reduction whose summation order is not
+    /// structurally fixed (`.sum::<f32>()`, float `fold`, ...).
+    FloatOrderSensitive,
+    /// May park the thread: mutex `lock`, condvar `wait*`, blocking
+    /// channel `recv*`, `thread::sleep`, zero-arg `join()`.
+    Blocks,
+    /// May touch the heap (`Vec::new`, `.clone()`, `format!`, ...).
+    Allocates,
+    /// May panic (panic macros, `.unwrap()`/`.expect(`, slice indexing).
+    Panics,
+    /// Contains an `unsafe` token.
+    Unsafe,
+}
+
+impl Effect {
+    pub const ALL: [Effect; 8] = [
+        Effect::ReadsClock,
+        Effect::ReadsEntropy,
+        Effect::HashIter,
+        Effect::FloatOrderSensitive,
+        Effect::Blocks,
+        Effect::Allocates,
+        Effect::Panics,
+        Effect::Unsafe,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Effect::ReadsClock => "ReadsClock",
+            Effect::ReadsEntropy => "ReadsEntropy",
+            Effect::HashIter => "HashIter",
+            Effect::FloatOrderSensitive => "FloatOrderSensitive",
+            Effect::Blocks => "Blocks",
+            Effect::Allocates => "Allocates",
+            Effect::Panics => "Panics",
+            Effect::Unsafe => "Unsafe",
+        }
+    }
+
+    fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+}
+
+/// A set of effects, packed into one word so per-node summaries stay
+/// cheap to copy and compare during the fixed-point iteration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EffectSet(u16);
+
+impl EffectSet {
+    pub const EMPTY: EffectSet = EffectSet(0);
+
+    pub fn of(effects: &[Effect]) -> EffectSet {
+        let mut s = EffectSet::EMPTY;
+        for &e in effects {
+            s.insert(e);
+        }
+        s
+    }
+
+    pub fn insert(&mut self, e: Effect) {
+        self.0 |= e.bit();
+    }
+
+    pub fn contains(self, e: Effect) -> bool {
+        self.0 & e.bit() != 0
+    }
+
+    pub fn union(self, other: EffectSet) -> EffectSet {
+        EffectSet(self.0 | other.0)
+    }
+
+    pub fn intersects(self, other: EffectSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `{ReadsClock, Blocks}` — the rendering used in reports and the
+    /// per-root summary lines.
+    pub fn render(self) -> String {
+        let names: Vec<&str> = Effect::ALL
+            .iter()
+            .filter(|&&e| self.contains(e))
+            .map(|&e| e.name())
+            .collect();
+        format!("{{{}}}", names.join(", "))
+    }
+}
+
+/// One seed site: a token-level fact inside a specific fn's body, before
+/// any policy. `line`/`label` feed diagnostics; `is_index` distinguishes
+/// unchecked slice indexing inside [`Effect::Panics`] (policed only for
+/// `+index` panic-free roots, exactly as before the refactor).
+#[derive(Debug, Clone)]
+pub struct EffectSite {
+    pub effect: Effect,
+    pub line: u32,
+    pub label: String,
+    pub is_index: bool,
+}
+
+/// One analyzed file feeding the seeding pass. `file` must match the id
+/// used when building the [`CallGraph`] (so `graph.node_at` resolves).
+pub struct SeedSource<'a> {
+    pub file: usize,
+    pub tokens: &'a [Token],
+    pub code: &'a [usize],
+    pub tree: &'a Tree,
+    pub test_mask: &'a [bool],
+}
+
+/// Per-fn effect seeds and fixed-point summaries, indexed by call-graph
+/// node id.
+pub struct EffectIndex {
+    /// Token-level seed sites inside each fn's own body.
+    pub seeds: Vec<Vec<EffectSite>>,
+    /// `summary[n]` = seeds of `n` ∪ summaries of everything `n` can
+    /// call, over **all** edges (conservative fallbacks included).
+    pub summary: Vec<EffectSet>,
+}
+
+impl EffectIndex {
+    /// Seeds every node from the shared token-level collectors, then
+    /// propagates bottom-up to a fixed point with a worklist over the
+    /// reverse call edges.
+    pub fn build(graph: &CallGraph, files: &[SeedSource<'_>]) -> EffectIndex {
+        let n = graph.nodes.len();
+        let mut seeds: Vec<Vec<EffectSite>> = vec![Vec::new(); n];
+
+        for f in files {
+            let mut add = |ci: usize, effect: Effect, label: String, is_index: bool| {
+                let raw = f.code[ci];
+                if f.test_mask[raw] {
+                    return;
+                }
+                let Some(fn_idx) = f.tree.innermost_fn_at(raw) else {
+                    return; // item scope: no fn body, nothing to attribute
+                };
+                if f.tree.fns[fn_idx].is_test {
+                    return;
+                }
+                let Some(node) = graph.node_at(f.file, fn_idx) else {
+                    return;
+                };
+                seeds[node].push(EffectSite {
+                    effect,
+                    line: f.tokens[raw].line,
+                    label,
+                    is_index,
+                });
+            };
+
+            let (clock, entropy) = rules::clock_entropy_sites(f.tokens, f.code);
+            for s in clock {
+                add(s.ci, Effect::ReadsClock, s.label, false);
+            }
+            for s in entropy {
+                add(s.ci, Effect::ReadsEntropy, s.label, false);
+            }
+            for s in rules::hash_iter_sites(f.tokens, f.code) {
+                add(
+                    s.ci,
+                    Effect::HashIter,
+                    format!("`{}` {}", s.name, s.how),
+                    false,
+                );
+            }
+            for s in rules::float_reduction_sites(f.tokens, f.code) {
+                add(s.ci, Effect::FloatOrderSensitive, s.label, false);
+            }
+            for s in rules::blocking_sites(f.tokens, f.code) {
+                add(s.ci, Effect::Blocks, s.label, false);
+            }
+            for s in rules::alloc_sites(f.tokens, f.code) {
+                add(s.ci, Effect::Allocates, s.label, false);
+            }
+            for s in rules::unsafe_token_sites(f.tokens, f.code) {
+                add(s.ci, Effect::Unsafe, s.label, false);
+            }
+            // Panic sites are already fn-attributed by the existing
+            // collector; map them straight onto nodes.
+            for s in rules::panic_sites(f.tokens, f.code, f.tree, f.test_mask) {
+                if let Some(node) = graph.node_at(f.file, s.fn_idx) {
+                    seeds[node].push(EffectSite {
+                        effect: Effect::Panics,
+                        line: s.line,
+                        label: s.label,
+                        is_index: s.is_index,
+                    });
+                }
+            }
+        }
+
+        // Bottom-up fixed point: summary[u] = seed[u] | ⋃ summary[v] for
+        // every callee v. Worklist over reverse edges; monotone joins on a
+        // finite lattice terminate (cycles just stop changing).
+        let mut summary: Vec<EffectSet> = seeds
+            .iter()
+            .map(|sites| {
+                let mut s = EffectSet::EMPTY;
+                for site in sites {
+                    s.insert(site.effect);
+                }
+                s
+            })
+            .collect();
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (u, callees) in graph.edges.iter().enumerate() {
+            for &v in callees {
+                rev[v].push(u);
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..n).collect();
+        let mut queued = vec![true; n];
+        while let Some(v) = queue.pop_front() {
+            queued[v] = false;
+            for &u in &rev[v] {
+                let merged = summary[u].union(summary[v]);
+                if merged != summary[u] {
+                    summary[u] = merged;
+                    if !queued[u] {
+                        queued[u] = true;
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+
+        EffectIndex { seeds, summary }
+    }
+
+    /// The joined summary over a set of roots (what a `[determinism-roots]`
+    /// entry with several pattern hits may reach, total).
+    pub fn summary_of(&self, roots: &[usize]) -> EffectSet {
+        roots
+            .iter()
+            .fold(EffectSet::EMPTY, |acc, &r| acc.union(self.summary[r]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{CallGraph, FileSource};
+    use crate::lexer::{lex, Tok};
+    use crate::rules::FileMeta;
+
+    struct Fixture {
+        tokens: Vec<Token>,
+        code: Vec<usize>,
+        tree: Tree,
+        test_mask: Vec<bool>,
+        meta: FileMeta,
+    }
+
+    fn fixture(src: &str) -> Fixture {
+        let tokens = lex(src).expect("fixture must lex");
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.tok, Tok::Comment(_)))
+            .map(|(i, _)| i)
+            .collect();
+        let tree = Tree::parse(&tokens).expect("fixture must parse");
+        let test_mask = vec![false; tokens.len()];
+        let meta = FileMeta {
+            rel_path: "crates/alpha/src/lib.rs".to_string(),
+            crate_key: "alpha".to_string(),
+            is_test_file: false,
+        };
+        Fixture {
+            tokens,
+            code,
+            tree,
+            test_mask,
+            meta,
+        }
+    }
+
+    fn index_of(src: &str) -> (CallGraph, EffectIndex) {
+        let f = fixture(src);
+        let graph = CallGraph::build(&[FileSource {
+            file: 0,
+            meta: &f.meta,
+            tokens: &f.tokens,
+            code: &f.code,
+            tree: &f.tree,
+        }]);
+        let idx = EffectIndex::build(
+            &graph,
+            &[SeedSource {
+                file: 0,
+                tokens: &f.tokens,
+                code: &f.code,
+                tree: &f.tree,
+                test_mask: &f.test_mask,
+            }],
+        );
+        (graph, idx)
+    }
+
+    fn node(g: &CallGraph, qual: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|n| n.qual == qual)
+            .unwrap_or_else(|| panic!("no node {qual}"))
+    }
+
+    #[test]
+    fn effect_set_packs_and_renders() {
+        let mut s = EffectSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Effect::Blocks);
+        s.insert(Effect::ReadsClock);
+        assert!(s.contains(Effect::Blocks));
+        assert!(!s.contains(Effect::Panics));
+        assert!(s.intersects(EffectSet::of(&[Effect::Blocks])));
+        assert!(!s.intersects(EffectSet::of(&[Effect::HashIter])));
+        assert_eq!(s.render(), "{ReadsClock, Blocks}");
+        assert_eq!(s, EffectSet::of(&[Effect::ReadsClock, Effect::Blocks]));
+    }
+
+    #[test]
+    fn seeds_attribute_sites_to_their_fn() {
+        let (g, idx) = index_of(
+            r#"
+            pub fn clocky() -> u64 { let t = Instant::now(); 0 }
+            pub fn clean(x: u32) -> u32 { x + 1 }
+            "#,
+        );
+        let clocky = node(&g, "alpha::clocky");
+        let clean = node(&g, "alpha::clean");
+        assert!(idx.seeds[clocky]
+            .iter()
+            .any(|s| s.effect == Effect::ReadsClock && s.label == "Instant"));
+        assert!(idx.seeds[clean].is_empty());
+        assert!(idx.summary[clocky].contains(Effect::ReadsClock));
+        assert!(idx.summary[clean].is_empty());
+    }
+
+    #[test]
+    fn summaries_propagate_through_calls_and_cycles() {
+        let (g, idx) = index_of(
+            r#"
+            pub fn root() { middle(); }
+            fn middle() { leaf(); root(); }
+            fn leaf() { let mut m = std::sync::Mutex::new(0u32); let _g = m.lock(); }
+            fn island() { let _rng = rand::thread_rng(); }
+            "#,
+        );
+        let root = node(&g, "alpha::root");
+        assert!(idx.summary[root].contains(Effect::Blocks));
+        // `island` is unreached: its entropy must not leak into `root`.
+        assert!(!idx.summary[root].contains(Effect::ReadsEntropy));
+        assert!(idx.summary[node(&g, "alpha::island")].contains(Effect::ReadsEntropy));
+        // The seed stays on the leaf only.
+        assert!(idx.seeds[root].is_empty());
+        assert!(!idx.seeds[node(&g, "alpha::leaf")].is_empty());
+    }
+
+    #[test]
+    fn conservative_method_edges_propagate_effects() {
+        // `x.helper()` on an unknown receiver falls back to every method
+        // named `helper` — the summary must absorb both candidates.
+        let (g, idx) = index_of(
+            r#"
+            pub struct A;
+            pub struct B;
+            impl A { pub fn helper(&self) { let v: Vec<u32> = Vec::new(); } }
+            impl B { pub fn helper(&self) { panic!("boom"); } }
+            pub fn entry(x: &A) { x.helper(); }
+            "#,
+        );
+        let entry = node(&g, "alpha::entry");
+        assert!(idx.summary[entry].contains(Effect::Allocates));
+        assert!(idx.summary[entry].contains(Effect::Panics));
+    }
+
+    #[test]
+    fn every_effect_kind_seeds() {
+        let (g, idx) = index_of(
+            r#"
+            pub fn everything(counts: &HashMap<u32, u32>, xs: &[f32]) -> f32 {
+                let t = SystemTime::now();
+                let r = rand::rngs::OsRng;
+                for (_, v) in counts.iter() { let _ = v; }
+                let s = xs.iter().sum::<f32>();
+                std::thread::sleep(core::time::Duration::from_millis(1));
+                let copy = xs.to_vec();
+                let first = xs[0];
+                // SAFETY: fixture only.
+                unsafe { std::ptr::read(xs.as_ptr()) };
+                copy.len() as f32 + s + first
+            }
+            "#,
+        );
+        let n = node(&g, "alpha::everything");
+        let have: EffectSet = idx.summary[n];
+        for e in Effect::ALL {
+            assert!(
+                have.contains(e),
+                "missing {} in {}",
+                e.name(),
+                have.render()
+            );
+        }
+        // The slice-index panic seed keeps its `is_index` marker.
+        assert!(idx.seeds[n]
+            .iter()
+            .any(|s| s.effect == Effect::Panics && s.is_index));
+    }
+
+    #[test]
+    fn test_code_does_not_seed() {
+        let src = r#"
+            pub fn real() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let _ = Instant::now(); }
+            }
+        "#;
+        let f = fixture(src);
+        let mask = crate::rules::test_mask_for(&f.tokens, &f.code, false);
+        let graph = CallGraph::build(&[FileSource {
+            file: 0,
+            meta: &f.meta,
+            tokens: &f.tokens,
+            code: &f.code,
+            tree: &f.tree,
+        }]);
+        let idx = EffectIndex::build(
+            &graph,
+            &[SeedSource {
+                file: 0,
+                tokens: &f.tokens,
+                code: &f.code,
+                tree: &f.tree,
+                test_mask: &mask,
+            }],
+        );
+        assert!(idx.seeds.iter().all(|s| s.is_empty()));
+    }
+
+    #[test]
+    fn summary_of_joins_roots() {
+        let (g, idx) = index_of(
+            r#"
+            pub fn a() { let t = Instant::now(); }
+            pub fn b() { let mut m = std::sync::Mutex::new(0u32); let _g = m.lock(); }
+            "#,
+        );
+        let joined = idx.summary_of(&[node(&g, "alpha::a"), node(&g, "alpha::b")]);
+        assert!(joined.contains(Effect::ReadsClock));
+        assert!(joined.contains(Effect::Blocks));
+        assert!(!joined.contains(Effect::Panics));
+    }
+
+    /// Golden superset pin over the real workspace: every token-level
+    /// collector site in non-test code inside a non-test fn body MUST
+    /// resolve to a call-graph node and appear among that node's effect
+    /// seeds with matching line. This is the "superset by construction"
+    /// guarantee the module docs promise — if fn attribution or node
+    /// resolution ever silently dropped a site, the cones would
+    /// under-approximate and this test fails.
+    #[test]
+    fn workspace_seeds_are_a_superset_of_the_collector_sites() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = crate::load_workspace_sources(&root).expect("load workspace sources");
+        let ctxs: Vec<crate::rules::FileCtx> = files
+            .iter()
+            .map(|(meta, src)| {
+                let tokens = lex(src).unwrap_or_else(|e| {
+                    panic!(
+                        "{}: lexer error at line {}: {}",
+                        meta.rel_path, e.line, e.message
+                    )
+                });
+                crate::rules::analyze_prelude(meta, tokens)
+            })
+            .collect();
+        let graph = CallGraph::build(
+            &ctxs
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.meta.is_test_file)
+                .filter_map(|(i, c)| {
+                    c.tree.as_ref().map(|tree| FileSource {
+                        file: i,
+                        meta: &c.meta,
+                        tokens: &c.tokens,
+                        code: &c.code,
+                        tree,
+                    })
+                })
+                .collect::<Vec<_>>(),
+        );
+        let idx = EffectIndex::build(
+            &graph,
+            &ctxs
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.meta.is_test_file)
+                .filter_map(|(i, c)| {
+                    c.tree.as_ref().map(|tree| SeedSource {
+                        file: i,
+                        tokens: &c.tokens,
+                        code: &c.code,
+                        tree,
+                        test_mask: &c.test_mask,
+                    })
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        let mut checked = 0usize;
+        for (i, c) in ctxs.iter().enumerate() {
+            if c.meta.is_test_file {
+                continue;
+            }
+            let Some(tree) = c.tree.as_ref() else {
+                continue;
+            };
+            let mut expect = |ci: usize, effect: Effect, what: &str| {
+                let raw = c.code[ci];
+                if c.test_mask[raw] {
+                    return;
+                }
+                let Some(fn_idx) = tree.innermost_fn_at(raw) else {
+                    return; // item scope (consts, statics): not attributable
+                };
+                if tree.fns[fn_idx].is_test {
+                    return;
+                }
+                let line = c.tokens[raw].line;
+                let node = graph.node_at(i, fn_idx).unwrap_or_else(|| {
+                    panic!(
+                        "{}:{line}: fn containing {what} site has no call-graph node",
+                        c.meta.rel_path
+                    )
+                });
+                assert!(
+                    idx.seeds[node]
+                        .iter()
+                        .any(|s| s.effect == effect && s.line == line),
+                    "{}:{line}: {what} collector site missing from `{}` seeds",
+                    c.meta.rel_path,
+                    graph.nodes[node].qual,
+                );
+                checked += 1;
+            };
+
+            let (clock, entropy) = crate::rules::clock_entropy_sites(&c.tokens, &c.code);
+            for s in &clock {
+                expect(s.ci, Effect::ReadsClock, "clock");
+            }
+            for s in &entropy {
+                expect(s.ci, Effect::ReadsEntropy, "entropy");
+            }
+            for s in crate::rules::hash_iter_sites(&c.tokens, &c.code) {
+                expect(s.ci, Effect::HashIter, "hash-iter");
+            }
+            for s in crate::rules::float_reduction_sites(&c.tokens, &c.code) {
+                expect(s.ci, Effect::FloatOrderSensitive, "float-reduction");
+            }
+            for s in crate::rules::blocking_sites(&c.tokens, &c.code) {
+                expect(s.ci, Effect::Blocks, "blocking");
+            }
+            for s in crate::rules::alloc_sites(&c.tokens, &c.code) {
+                expect(s.ci, Effect::Allocates, "alloc");
+            }
+            for s in crate::rules::unsafe_token_sites(&c.tokens, &c.code) {
+                expect(s.ci, Effect::Unsafe, "unsafe");
+            }
+        }
+        // The workspace is not trivially empty of effects; if this ever
+        // drops to zero the test went vacuous and needs a new anchor.
+        assert!(checked > 500, "only {checked} collector sites checked");
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod baseline;
 pub mod callgraph;
+pub mod effects;
 pub mod lexer;
 pub mod parser;
 pub mod reach;
@@ -24,6 +25,7 @@ pub mod rules;
 
 use baseline::Baseline;
 use callgraph::{CallGraph, FileSource};
+use effects::{Effect, EffectIndex, EffectSet, SeedSource};
 use rules::{Diagnostic, FileCtx, FileMeta, Rule};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
@@ -39,6 +41,13 @@ pub struct Report {
     pub hot_path_alloc: BTreeMap<String, usize>,
     /// Per-root unwaived reachable panic-site counts (ratchet input).
     pub panic_free: BTreeMap<String, usize>,
+    /// Per-root unwaived determinism violations (ratchet input).
+    pub determinism_cone: BTreeMap<String, usize>,
+    /// Per-root unwaived blocking sites (ratchet input).
+    pub no_blocking_cone: BTreeMap<String, usize>,
+    /// Rendered effect summary per declared cone root
+    /// (`determinism:<key>` / `no-block:<key>` → `{ReadsClock, ...}`).
+    pub root_effects: BTreeMap<String, String>,
     /// Qualified paths of the derived hot-path fn set (roots ∪ name-glob
     /// convention seeds, closed over calls).
     pub hot_fns: BTreeSet<String>,
@@ -149,6 +158,7 @@ pub fn check_source(meta: &FileMeta, src: &str) -> rules::FileAnalysis {
                 path: meta.rel_path.clone(),
                 line: e.line,
                 rule: Rule::Lex,
+                witness: None,
                 message: format!("lexer error: {}", e.message),
             }],
             unwrap_expect_count: 0,
@@ -175,15 +185,23 @@ pub fn load_workspace_sources(root: &Path) -> Result<Vec<(FileMeta, String)>, St
 ///
 /// 1. per-file prelude rules (hash-iter, unsafe, wall-clock,
 ///    float-reduction, unwrap tally), lex/parse diagnostics;
-/// 2. the workspace call graph over every parsed non-test file;
+/// 2. the workspace call graph over every parsed non-test file, then the
+///    interprocedural effect index over it (token-level seeds per fn,
+///    fixed-point summaries over all call edges — DESIGN.md §15);
 /// 3. the derived hot-path set — everything reachable from the
 ///    `[hot-path-roots]` entries *and* the name-glob convention seeds
 ///    (`step*`, `*_into`, ...; a fn whose name promises zero-alloc is
-///    policed even if no root currently reaches it) — then the
-///    hot-path-alloc rule over that set;
-/// 4. panic-free reachability per `[panic-free-roots]` entry;
-/// 5. unused-waiver per file (after every rule that can mark waivers);
-/// 6. every ratchet against `baseline_text` (`None` reports the baseline
+///    policed even if no root currently reaches it) — policed against the
+///    `Allocates` effect seeds;
+/// 4. panic-free reachability per `[panic-free-roots]` entry, from the
+///    `Panics` seeds;
+/// 5. the determinism cone per `[determinism-roots]` entry (no
+///    clock/entropy/hash-iteration reachable; float reductions only in
+///    the pinned-order allowlist) and the no-blocking cone per
+///    `[no-block-roots]` entry (no reachable `Blocks` effect), each with
+///    witness call chains;
+/// 6. unused-waiver per file (after every rule that can mark waivers);
+/// 7. every ratchet against `baseline_text` (`None` reports the baseline
 ///    as missing, like a deleted `lint-baseline.toml`).
 pub fn analyze_sources(
     files: &[(FileMeta, String)],
@@ -202,6 +220,7 @@ pub fn analyze_sources(
                     path: meta.rel_path.clone(),
                     line: e.line,
                     rule: Rule::Lex,
+                    witness: None,
                     message: format!("lexer error: {}", e.message),
                 });
                 ctxs.push(ctx);
@@ -228,12 +247,34 @@ pub fn analyze_sources(
         CallGraph::build(&sources)
     };
 
+    // The effect index spans the same files as the graph: per-fn seeds
+    // from the shared token-level collectors, summaries at the fixed
+    // point over every call edge (conservative fallbacks included).
+    let effect_idx = {
+        let sources: Vec<SeedSource<'_>> = ctxs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.meta.is_test_file)
+            .filter_map(|(i, c)| {
+                c.tree.as_ref().map(|tree| SeedSource {
+                    file: i,
+                    tokens: &c.tokens,
+                    code: &c.code,
+                    tree,
+                    test_mask: &c.test_mask,
+                })
+            })
+            .collect();
+        EffectIndex::build(&graph, &sources)
+    };
+
     let mut config_diags: Vec<Diagnostic> = Vec::new();
     let mut config = |message: String| {
         config_diags.push(Diagnostic {
             path: "lint-baseline.toml".to_string(),
             line: 0,
             rule: Rule::Config,
+            witness: None,
             message,
         });
     };
@@ -262,45 +303,47 @@ pub fn analyze_sources(
         }
     }
     let hot_reach = reach::reachable_precise(&graph, &seeds);
-    let mut hot_sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); ctxs.len()];
     let mut hot_fns = BTreeSet::new();
+
+    // Derived hot-path allocations: the `Allocates` effect seeds of every
+    // fn in the hot set, policed with the same crate exemptions and
+    // waivers as the standalone glob path in `rules.rs`.
+    let mut hot_alloc_sites: Vec<Vec<Diagnostic>> = vec![Vec::new(); ctxs.len()];
     for (ni, node) in graph.nodes.iter().enumerate() {
-        if hot_reach.reached[ni] && node.has_body && !node.is_test {
-            hot_sets[node.file].insert(node.fn_idx);
-            hot_fns.insert(node.qual.clone());
+        if !hot_reach.reached[ni] || !node.has_body || node.is_test {
+            continue;
         }
-    }
-
-    for (i, ctx) in ctxs.iter_mut().enumerate() {
-        if let Some(tree) = ctx.tree.take() {
-            let mut sites = Vec::new();
-            rules::hot_path_alloc_rule(
-                &ctx.meta,
-                &ctx.tokens,
-                &ctx.code,
-                &tree,
-                &ctx.test_mask,
-                &ctx.allows,
-                Some(&hot_sets[i]),
-                &mut sites,
-            );
-            ctx.hot_path_alloc = sites;
-            ctx.tree = Some(tree);
+        hot_fns.insert(node.qual.clone());
+        let ctx = &ctxs[node.file];
+        if rules::HOT_PATH_EXEMPT_CRATES.contains(&ctx.meta.crate_key.as_str())
+            || ctx.meta.is_test_file
+        {
+            continue;
         }
-    }
-
-    // Panic-free reachability, one BFS per declared root. A site reachable
-    // from several roots counts against each; a waiver covers it for all
-    // (and is marked used the first time any root reaches it).
-    let file_sites: Vec<Vec<rules::PanicSite>> = ctxs
-        .iter()
-        .map(|c| match &c.tree {
-            Some(tree) if !c.meta.is_test_file => {
-                rules::panic_sites(&c.tokens, &c.code, tree, &c.test_mask)
+        for site in &effect_idx.seeds[ni] {
+            if site.effect != Effect::Allocates
+                || ctx.allows.is_suppressed(Rule::HotPathAlloc, site.line)
+            {
+                continue;
             }
-            _ => Vec::new(),
-        })
-        .collect();
+            hot_alloc_sites[node.file].push(rules::hot_path_alloc_diag(
+                &ctx.meta,
+                site.line,
+                &site.label,
+                &node.name,
+            ));
+        }
+    }
+    for (i, ctx) in ctxs.iter_mut().enumerate() {
+        let mut sites = std::mem::take(&mut hot_alloc_sites[i]);
+        sites.sort_by_key(|d| d.line);
+        ctx.hot_path_alloc = sites;
+    }
+
+    // Panic-free reachability, one BFS per declared root over the
+    // `Panics` effect seeds. A site reachable from several roots counts
+    // against each; a waiver covers it for all (and is marked used the
+    // first time any root reaches it).
     let mut panic_free: BTreeMap<String, usize> = BTreeMap::new();
     let mut panic_site_diags: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
     if let Some(b) = &baseline {
@@ -321,10 +364,10 @@ pub fn analyze_sources(
                 if !r.reached[ni] {
                     continue;
                 }
-                for site in file_sites[node.file]
-                    .iter()
-                    .filter(|s| s.fn_idx == node.fn_idx)
-                {
+                for site in &effect_idx.seeds[ni] {
+                    if site.effect != Effect::Panics {
+                        continue;
+                    }
                     if site.is_index && !spec.index_strict {
                         continue;
                     }
@@ -339,6 +382,7 @@ pub fn analyze_sources(
                         path: ctxs[node.file].meta.rel_path.clone(),
                         line: site.line,
                         rule: Rule::PanicFree,
+                        witness: Some(r.full_chain_to(&graph, ni)),
                         message: format!(
                             "`{}` is reachable from panic-free root `{key}` \
                              ({}); return a typed error instead, or waive with \
@@ -357,6 +401,166 @@ pub fn analyze_sources(
             if !b.panic_free_roots.contains_key(key) {
                 config(format!(
                     "[panic-free] ceiling `{key}` has no matching [panic-free-roots] entry"
+                ));
+            }
+        }
+    }
+
+    // The two effect cones. Each declared root gets its joined summary
+    // recorded (for the JSON report), a fast path when the summary cannot
+    // intersect the banned set, and otherwise a BFS with parent tracking
+    // so every violation carries a witness call chain.
+    let mut determinism_cone: BTreeMap<String, usize> = BTreeMap::new();
+    let mut determinism_diags: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    let mut no_blocking_cone: BTreeMap<String, usize> = BTreeMap::new();
+    let mut no_blocking_diags: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    let mut root_effects: BTreeMap<String, String> = BTreeMap::new();
+    if let Some(b) = &baseline {
+        let det_banned = EffectSet::of(&[
+            Effect::ReadsClock,
+            Effect::ReadsEntropy,
+            Effect::HashIter,
+            Effect::FloatOrderSensitive,
+        ]);
+        for (key, pat) in &b.determinism_roots {
+            let roots = graph.resolve_pattern(pat);
+            if roots.is_empty() {
+                config(format!(
+                    "[determinism-roots] `{key}` = \"{pat}\" matches no workspace fn; fix \
+                     the path or delete the root"
+                ));
+                continue;
+            }
+            let summary = effect_idx.summary_of(&roots);
+            root_effects.insert(format!("determinism:{key}"), summary.render());
+            let mut count = 0usize;
+            let mut diags = Vec::new();
+            // The summary is the fixed point over every edge, so a
+            // non-intersecting summary proves the BFS would find nothing
+            // (waived sites still seed, so in-cone waivers stay used).
+            if summary.intersects(det_banned) {
+                let r = reach::reachable(&graph, &roots);
+                for (ni, node) in graph.nodes.iter().enumerate() {
+                    if !r.reached[ni] {
+                        continue;
+                    }
+                    let ctx = &ctxs[node.file];
+                    for site in &effect_idx.seeds[ni] {
+                        // Which shield (if any) covers this effect kind:
+                        // clock/entropy only yield to an explicit cone
+                        // waiver (their per-file wall-clock waivers claim
+                        // "not on the training path", which is exactly
+                        // what the cone verifies); hash-iter and float
+                        // reductions also yield to their per-file rule's
+                        // own waiver/allowlist, which claim the *effect*
+                        // is neutralized (sorted, fixed-order kernel).
+                        let shielded = match site.effect {
+                            Effect::ReadsClock | Effect::ReadsEntropy => {
+                                ctx.allows.is_suppressed(Rule::DeterminismCone, site.line)
+                            }
+                            Effect::HashIter => {
+                                ctx.allows.is_suppressed(Rule::HashIter, site.line)
+                                    || ctx.allows.is_suppressed(Rule::DeterminismCone, site.line)
+                            }
+                            Effect::FloatOrderSensitive => {
+                                rules::FLOAT_REDUCTION_ALLOWLIST
+                                    .contains(&ctx.meta.rel_path.as_str())
+                                    || ctx
+                                        .allows
+                                        .is_suppressed(Rule::FloatReductionOrder, site.line)
+                                    || ctx.allows.is_suppressed(Rule::DeterminismCone, site.line)
+                            }
+                            _ => continue,
+                        };
+                        if shielded {
+                            continue;
+                        }
+                        count += 1;
+                        diags.push(Diagnostic {
+                            path: ctx.meta.rel_path.clone(),
+                            line: site.line,
+                            rule: Rule::DeterminismCone,
+                            witness: Some(r.full_chain_to(&graph, ni)),
+                            message: format!(
+                                "`{}` ({}) is reachable from determinism root `{key}` ({}); \
+                                 the search trajectory must be bit-reproducible — thread \
+                                 the seeded RNG, drop the clock read, or sort before \
+                                 iterating; a genuinely order-neutral site can be waived \
+                                 with `// lint: allow(determinism-cone, reason=\"...\")`",
+                                site.label,
+                                site.effect.name(),
+                                r.chain_to(&graph, ni)
+                            ),
+                        });
+                    }
+                }
+            }
+            determinism_cone.insert(key.clone(), count);
+            determinism_diags.insert(key.clone(), diags);
+        }
+        for key in b.determinism_cone.keys() {
+            if !b.determinism_roots.contains_key(key) {
+                config(format!(
+                    "[determinism-cone] ceiling `{key}` has no matching [determinism-roots] \
+                     entry"
+                ));
+            }
+        }
+
+        let block_banned = EffectSet::of(&[Effect::Blocks]);
+        for (key, pat) in &b.no_block_roots {
+            let roots = graph.resolve_pattern(pat);
+            if roots.is_empty() {
+                config(format!(
+                    "[no-block-roots] `{key}` = \"{pat}\" matches no workspace fn; fix the \
+                     path or delete the root"
+                ));
+                continue;
+            }
+            let summary = effect_idx.summary_of(&roots);
+            root_effects.insert(format!("no-block:{key}"), summary.render());
+            let mut count = 0usize;
+            let mut diags = Vec::new();
+            if summary.intersects(block_banned) {
+                let r = reach::reachable(&graph, &roots);
+                for (ni, node) in graph.nodes.iter().enumerate() {
+                    if !r.reached[ni] {
+                        continue;
+                    }
+                    let ctx = &ctxs[node.file];
+                    for site in &effect_idx.seeds[ni] {
+                        if site.effect != Effect::Blocks
+                            || ctx.allows.is_suppressed(Rule::NoBlockingCone, site.line)
+                        {
+                            continue;
+                        }
+                        count += 1;
+                        diags.push(Diagnostic {
+                            path: ctx.meta.rel_path.clone(),
+                            line: site.line,
+                            rule: Rule::NoBlockingCone,
+                            witness: Some(r.full_chain_to(&graph, ni)),
+                            message: format!(
+                                "`{}` (Blocks) is reachable from no-block root `{key}` \
+                                 ({}); the serving path must never park the thread — move \
+                                 the blocking call off the scoring cone, or waive a \
+                                 declared hand-off site with \
+                                 `// lint: allow(no-blocking-cone, reason=\"...\")`",
+                                site.label,
+                                r.chain_to(&graph, ni)
+                            ),
+                        });
+                    }
+                }
+            }
+            no_blocking_cone.insert(key.clone(), count);
+            no_blocking_diags.insert(key.clone(), diags);
+        }
+        for key in b.no_blocking_cone.keys() {
+            if !b.no_block_roots.contains_key(key) {
+                config(format!(
+                    "[no-blocking-cone] ceiling `{key}` has no matching [no-block-roots] \
+                     entry"
                 ));
             }
         }
@@ -390,6 +594,7 @@ pub fn analyze_sources(
                     path: "lint-baseline.toml".to_string(),
                     line: 0,
                     rule: Rule::PanicRatchet,
+                    witness: None,
                     message: problem,
                 });
             }
@@ -411,6 +616,7 @@ pub fn analyze_sources(
                     path: "lint-baseline.toml".to_string(),
                     line: 0,
                     rule: Rule::UnsafeConfinement,
+                    witness: None,
                     message: problem,
                 });
             }
@@ -419,6 +625,7 @@ pub fn analyze_sources(
                     path: "lint-baseline.toml".to_string(),
                     line: 0,
                     rule: Rule::PanicFree,
+                    witness: None,
                     message: problem,
                 });
             }
@@ -432,11 +639,50 @@ pub fn analyze_sources(
                     diagnostics.extend(panic_site_diags.remove(key).unwrap_or_default());
                 }
             }
+            for problem in b.check_determinism_cone(&determinism_cone) {
+                diagnostics.push(Diagnostic {
+                    path: "lint-baseline.toml".to_string(),
+                    line: 0,
+                    rule: Rule::DeterminismCone,
+                    witness: None,
+                    message: problem,
+                });
+            }
+            for (key, &count) in &determinism_cone {
+                let ceiling = b.determinism_cone.get(key).copied();
+                let over = match ceiling {
+                    Some(c) => count > c,
+                    None => count > 0,
+                };
+                if over {
+                    diagnostics.extend(determinism_diags.remove(key).unwrap_or_default());
+                }
+            }
+            for problem in b.check_no_blocking_cone(&no_blocking_cone) {
+                diagnostics.push(Diagnostic {
+                    path: "lint-baseline.toml".to_string(),
+                    line: 0,
+                    rule: Rule::NoBlockingCone,
+                    witness: None,
+                    message: problem,
+                });
+            }
+            for (key, &count) in &no_blocking_cone {
+                let ceiling = b.no_blocking_cone.get(key).copied();
+                let over = match ceiling {
+                    Some(c) => count > c,
+                    None => count > 0,
+                };
+                if over {
+                    diagnostics.extend(no_blocking_diags.remove(key).unwrap_or_default());
+                }
+            }
         }
         None => diagnostics.push(Diagnostic {
             path: "lint-baseline.toml".to_string(),
             line: 0,
             rule: Rule::PanicRatchet,
+            witness: None,
             message: "missing lint-baseline.toml; run `cargo run -p optinter-lint -- \
                       update-baseline` and commit the result"
                 .to_string(),
@@ -449,6 +695,9 @@ pub fn analyze_sources(
         unsafe_sites,
         hot_path_alloc,
         panic_free,
+        determinism_cone,
+        no_blocking_cone,
+        root_effects,
         hot_fns,
         glob_hot_fns,
         files_checked,
@@ -485,6 +734,16 @@ pub fn update_baseline(root: &Path, allow_raise: bool) -> Result<String, String>
             &old.hot_path_alloc,
         ),
         ("panic-free", &report.panic_free, &old.panic_free),
+        (
+            "determinism-cone",
+            &report.determinism_cone,
+            &old.determinism_cone,
+        ),
+        (
+            "no-blocking-cone",
+            &report.no_blocking_cone,
+            &old.no_blocking_cone,
+        ),
     ] {
         for (key, &count) in counts {
             if let Some(&ceiling) = ceilings.get(key) {
@@ -509,6 +768,10 @@ pub fn update_baseline(root: &Path, allow_raise: bool) -> Result<String, String>
         hot_path_roots: old.hot_path_roots.clone(),
         panic_free_roots: old.panic_free_roots.clone(),
         panic_free: report.panic_free.clone(),
+        determinism_roots: old.determinism_roots.clone(),
+        determinism_cone: report.determinism_cone.clone(),
+        no_block_roots: old.no_block_roots.clone(),
+        no_blocking_cone: report.no_blocking_cone.clone(),
     };
     std::fs::write(&baseline_path, new.to_toml())
         .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;

@@ -4,6 +4,7 @@
 //! cargo run -p optinter-lint -- check              # lint, exit 1 on findings
 //! cargo run -p optinter-lint -- check --json       # machine-readable report
 //! cargo run -p optinter-lint -- check --github     # GitHub ::error annotations
+//! cargo run -p optinter-lint -- check --sarif      # SARIF 2.1.0 for code scanning
 //! cargo run -p optinter-lint -- update-baseline    # tighten the ratchets
 //! cargo run -p optinter-lint -- update-baseline --allow-raise  # loosen (flagged)
 //! cargo run -p optinter-lint -- check --root PATH  # lint another checkout
@@ -18,6 +19,7 @@ enum Output {
     Human,
     Json,
     Github,
+    Sarif,
 }
 
 fn main() -> ExitCode {
@@ -39,6 +41,7 @@ fn main() -> ExitCode {
             }
             "--json" => output = Output::Json,
             "--github" => output = Output::Github,
+            "--sarif" => output = Output::Sarif,
             "--allow-raise" => allow_raise = true,
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unexpected argument `{other}`")),
@@ -49,7 +52,7 @@ fn main() -> ExitCode {
         return usage("missing command");
     };
     if output != Output::Human && cmd != "check" {
-        return usage("--json/--github only apply to `check`");
+        return usage("--json/--github/--sarif only apply to `check`");
     }
     if allow_raise && cmd != "update-baseline" {
         return usage("--allow-raise only applies to `update-baseline`");
@@ -92,7 +95,8 @@ fn render(report: &Report, output: Output) -> ExitCode {
                 println!(
                     "optinter-lint: {} files clean (hash-iter, unsafe-confinement, \
                      wall-clock, panic-ratchet, hot-path-alloc, float-reduction-order, \
-                     panic-free); {} hot-path fns derived",
+                     panic-free, determinism-cone, no-blocking-cone); {} hot-path fns \
+                     derived",
                     report.files_checked,
                     report.hot_fns.len()
                 );
@@ -111,14 +115,20 @@ fn render(report: &Report, output: Output) -> ExitCode {
         Output::Github => {
             // One workflow-command annotation per diagnostic; GitHub shows
             // them inline on the PR diff. Still exits non-zero so the job
-            // fails.
+            // fails. Reachability diagnostics append the full (non-elided)
+            // witness chain so a reviewer can audit every hop from the
+            // annotation alone.
             for d in &report.diagnostics {
+                let message = match &d.witness {
+                    Some(w) => format!("{} [witness: {w}]", d.message),
+                    None => d.message.clone(),
+                };
                 println!(
                     "::error file={},line={},title=optinter-lint {}::{}",
                     gh_escape_property(&d.path),
                     d.line.max(1),
                     gh_escape_property(d.rule.name()),
-                    gh_escape_data(&d.message)
+                    gh_escape_data(&message)
                 );
             }
             println!(
@@ -127,6 +137,7 @@ fn render(report: &Report, output: Output) -> ExitCode {
                 report.files_checked
             );
         }
+        Output::Sarif => println!("{}", to_sarif(report)),
     }
     if report.is_clean() {
         ExitCode::SUCCESS
@@ -143,8 +154,12 @@ fn to_json(report: &Report) -> String {
         if i > 0 {
             out.push(',');
         }
+        let witness = match &d.witness {
+            Some(w) => format!(", \"witness\": {}", json_string(w)),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}{witness}}}",
             json_string(&d.path),
             d.line,
             json_string(d.rule.name()),
@@ -160,6 +175,8 @@ fn to_json(report: &Report) -> String {
         ("unsafe_sites", &report.unsafe_sites),
         ("hot_path_alloc", &report.hot_path_alloc),
         ("panic_free", &report.panic_free),
+        ("determinism_cone", &report.determinism_cone),
+        ("no_blocking_cone", &report.no_blocking_cone),
     ] {
         out.push_str(&format!("  \"{key}\": {{"));
         for (i, (krate, n)) in counts.iter().enumerate() {
@@ -170,6 +187,14 @@ fn to_json(report: &Report) -> String {
         }
         out.push_str("},\n");
     }
+    out.push_str("  \"root_effects\": {");
+    for (i, (root, summary)) in report.root_effects.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {}", json_string(root), json_string(summary)));
+    }
+    out.push_str("},\n");
     out.push_str("  \"hot_fns\": [");
     for (i, qual) in report.hot_fns.iter().enumerate() {
         if i > 0 {
@@ -184,6 +209,65 @@ fn to_json(report: &Report) -> String {
         report.files_checked,
         report.is_clean()
     ));
+    out
+}
+
+/// Renders the report as a minimal SARIF 2.1.0 log — one run, one rule
+/// descriptor per distinct rule that fired, one result per diagnostic —
+/// for the GitHub code-scanning upload action. Witness chains ride in the
+/// result message so the annotation shows the full `root -> ... -> site`
+/// path.
+fn to_sarif(report: &Report) -> String {
+    let mut rules: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .map(|d| d.rule.name())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    rules.sort_unstable();
+    let mut out = String::from(
+        "{\n  \"$schema\": \
+         \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [{\n    \"tool\": {\"driver\": {\n      \
+         \"name\": \"optinter-lint\",\n      \"rules\": [",
+    );
+    for (i, rule) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_string(rule),
+            json_string(&format!("optinter-lint rule {rule}"))
+        ));
+    }
+    if !rules.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }},\n    \"results\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let message = match &d.witness {
+            Some(w) => format!("{} [witness: {w}]", d.message),
+            None => d.message.clone(),
+        };
+        out.push_str(&format!(
+            "\n      {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \
+             {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+            json_string(d.rule.name()),
+            json_string(&message),
+            json_string(&d.path),
+            d.line.max(1)
+        ));
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push_str("]\n  }]\n}");
     out
 }
 
@@ -223,8 +307,8 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("optinter-lint: {err}");
     }
     eprintln!(
-        "usage: optinter-lint <check|update-baseline> [--root PATH] [--json|--github] \
-         [--allow-raise]"
+        "usage: optinter-lint <check|update-baseline> [--root PATH] \
+         [--json|--github|--sarif] [--allow-raise]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS
@@ -236,4 +320,55 @@ fn usage(err: &str) -> ExitCode {
 fn fail(msg: &str) -> ExitCode {
     eprintln!("optinter-lint: {msg}");
     ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optinter_lint::rules::{Diagnostic, Rule};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn report_with(diagnostics: Vec<Diagnostic>) -> Report {
+        Report {
+            diagnostics,
+            unwrap_expect: BTreeMap::new(),
+            unsafe_sites: BTreeMap::new(),
+            hot_path_alloc: BTreeMap::new(),
+            panic_free: BTreeMap::new(),
+            determinism_cone: BTreeMap::new(),
+            no_blocking_cone: BTreeMap::new(),
+            root_effects: BTreeMap::new(),
+            hot_fns: BTreeSet::new(),
+            glob_hot_fns: BTreeSet::new(),
+            files_checked: 1,
+        }
+    }
+
+    #[test]
+    fn sarif_escapes_messages_and_carries_witness_chains() {
+        let report = report_with(vec![Diagnostic {
+            path: "crates/core/src/net.rs".to_string(),
+            line: 7,
+            rule: Rule::DeterminismCone,
+            witness: Some("core::a -> core::b".to_string()),
+            message: "a \"quoted\"\nmessage".to_string(),
+        }]);
+        let sarif = to_sarif(&report);
+        // Well-formed enough for a JSON parser: balanced braces/brackets
+        // and properly escaped quotes/newlines inside string values.
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\": \"determinism-cone\""));
+        assert!(sarif.contains("\\\"quoted\\\"\\nmessage"));
+        assert!(sarif.contains("[witness: core::a -> core::b]"));
+        assert!(sarif.contains("\"startLine\": 7"));
+        // Line 0 (config diagnostics) clamps to SARIF's 1-based minimum.
+        let cfg = report_with(vec![Diagnostic {
+            path: "lint-baseline.toml".to_string(),
+            line: 0,
+            rule: Rule::Config,
+            witness: None,
+            message: "bad table".to_string(),
+        }]);
+        assert!(to_sarif(&cfg).contains("\"startLine\": 1"));
+    }
 }

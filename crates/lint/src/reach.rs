@@ -59,14 +59,7 @@ impl Reach {
     /// `seed -> ... -> node` using qualified fn paths. Long chains are
     /// elided in the middle; the endpoints are what a reader needs.
     pub fn chain_to(&self, graph: &CallGraph, node: usize) -> String {
-        let mut rev = vec![node];
-        let mut cur = node;
-        while let Some(p) = self.parent[cur] {
-            rev.push(p);
-            cur = p;
-        }
-        rev.reverse();
-        let quals: Vec<&str> = rev.iter().map(|&n| graph.nodes[n].qual.as_str()).collect();
+        let quals = self.chain_quals(graph, node);
         if quals.len() <= 5 {
             quals.join(" -> ")
         } else {
@@ -78,6 +71,24 @@ impl Reach {
                 quals[quals.len() - 1]
             )
         }
+    }
+
+    /// The full witness chain, never elided — what `check --github` and
+    /// `check --sarif` annotations carry so a reviewer can audit every
+    /// hop without re-running the lint locally.
+    pub fn full_chain_to(&self, graph: &CallGraph, node: usize) -> String {
+        self.chain_quals(graph, node).join(" -> ")
+    }
+
+    fn chain_quals<'g>(&self, graph: &'g CallGraph, node: usize) -> Vec<&'g str> {
+        let mut rev = vec![node];
+        let mut cur = node;
+        while let Some(p) = self.parent[cur] {
+            rev.push(p);
+            cur = p;
+        }
+        rev.reverse();
+        rev.iter().map(|&n| graph.nodes[n].qual.as_str()).collect()
     }
 }
 

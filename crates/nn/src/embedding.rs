@@ -260,7 +260,10 @@ impl EmbeddingTable {
     /// averaged into `out` row `r` (reshaped to `[offsets.len()-1, dim]`);
     /// empty sets produce a zero vector. Allocation-free at steady state.
     pub fn lookup_mean_into(&self, values: &[u32], offsets: &[usize], out: &mut Matrix) {
-        assert!(!offsets.is_empty(), "lookup_mean: offsets needs a final end");
+        assert!(
+            !offsets.is_empty(),
+            "lookup_mean: offsets needs a final end"
+        );
         assert_eq!(
             *offsets.last().unwrap_or(&0),
             values.len(),
@@ -419,7 +422,10 @@ impl EmbeddingTable {
         let dim = self.dim();
         for r in 0..offsets.len() - 1 {
             let (start, end) = (offsets[r], offsets[r + 1]);
-            assert!(start <= end, "accumulate_grad_mean: offsets must be monotone");
+            assert!(
+                start <= end,
+                "accumulate_grad_mean: offsets must be monotone"
+            );
             if start == end {
                 continue;
             }
@@ -984,6 +990,10 @@ mod tests {
         t.accumulate_grad(&[0], &Matrix::filled(1, 2, 1.0));
         t.apply_adam(&adam, 0.5);
         // Row 3 was never touched but decays under the dense sweep.
-        assert!(t.row(3)[0] < 1.0, "untouched row did not decay: {:?}", t.row(3));
+        assert!(
+            t.row(3)[0] < 1.0,
+            "untouched row did not decay: {:?}",
+            t.row(3)
+        );
     }
 }

@@ -404,7 +404,10 @@ impl HashedEmbedding {
         grad: &Matrix,
         pool: &Pool,
     ) {
-        assert!(num_fields > 0, "accumulate_grad_fields: need at least one field");
+        assert!(
+            num_fields > 0,
+            "accumulate_grad_fields: need at least one field"
+        );
         assert_eq!(
             flat.len() % num_fields,
             0,

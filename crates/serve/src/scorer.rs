@@ -89,10 +89,16 @@ impl fmt::Display for ScoreError {
                 write!(f, "request has {got} fields, the scorer expects {expected}")
             }
             ScoreError::MissingCross => {
-                write!(f, "architecture memorizes pairs but the batch has no cross features")
+                write!(
+                    f,
+                    "architecture memorizes pairs but the batch has no cross features"
+                )
             }
             ScoreError::CrossCountMismatch { got, expected } => {
-                write!(f, "request has {got} cross ids per row, the scorer expects {expected}")
+                write!(
+                    f,
+                    "request has {got} cross ids per row, the scorer expects {expected}"
+                )
             }
             ScoreError::FieldIdOutOfRange {
                 row,

@@ -142,6 +142,7 @@ impl Shared {
     /// critical sections — a pool bug whose panic should propagate.
     fn locked(&self) -> MutexGuard<'_, State> {
         // lint: allow(panic-free, reason="poisoning requires a prior panic inside a pool critical section (worker panics are caught and reported via the `panicked` flag); propagating that pool bug is the contract")
+        // lint: allow(no-blocking-cone, reason="declared pool hand-off: the state mutex guards only task pickup/completion bookkeeping; scoring reaches it solely to dispatch rows to workers, and the critical sections are a few instructions")
         self.state.lock().unwrap()
     }
 
@@ -149,6 +150,7 @@ impl Shared {
     /// [`Shared::locked`].
     fn wait_on<'a>(&self, cv: &Condvar, st: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
         // lint: allow(panic-free, reason="same poisoning stance as Shared::locked: only a prior pool-internal panic can poison the lock")
+        // lint: allow(no-blocking-cone, reason="declared pool hand-off: the calling thread parks only while workers drain the dispatched batch; this is the pool's join point, not an open-ended wait")
         cv.wait(st).unwrap()
     }
 }
@@ -160,12 +162,7 @@ struct Inner {
 }
 
 impl Inner {
-    fn run(
-        &self,
-        num_jobs: usize,
-        prep: Option<&(dyn Fn() + Sync)>,
-        f: &(dyn Fn(usize) + Sync),
-    ) {
+    fn run(&self, num_jobs: usize, prep: Option<&(dyn Fn() + Sync)>, f: &(dyn Fn(usize) + Sync)) {
         // SAFETY: the transmute erases the closure's lifetime so it can sit
         // in shared state; the completion barrier below guarantees every
         // worker is done with it before this frame returns.

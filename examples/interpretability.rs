@@ -43,7 +43,7 @@ fn main() {
         "pair", "fields", "MI (nats)", "searched", "planted"
     );
     let mut rows: Vec<(usize, f64)> = mi.iter().copied().enumerate().collect();
-    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite MI"));
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (p, mi_p) in &rows {
         let (i, j) = pairs.pair_at(*p);
         println!(

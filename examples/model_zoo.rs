@@ -41,7 +41,7 @@ fn main() {
         results.push((report.model.clone(), report.auc));
     }
 
-    results.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite AUC"));
+    results.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\nLeaderboard (by AUC):");
     for (rank, (name, auc)) in results.iter().enumerate() {
         println!("  {}. {name:<8} {auc:.4}", rank + 1);

@@ -50,7 +50,10 @@ fn main() {
 
     // 3. OptInter: search the best method per pair, then re-train.
     let report = run_two_stage(&bundle, &cfg, SearchStrategy::Joint);
-    let arch = report.architecture.as_ref().expect("architecture");
+    let Some(arch) = report.architecture.as_ref() else {
+        eprintln!("two-stage run yielded no architecture; nothing to report");
+        return;
+    };
     println!(
         "OptInter (search + re-train)  AUC {:.4}  log-loss {:.4}  params {}",
         report.auc, report.log_loss, report.num_params

@@ -232,13 +232,17 @@ fn steady_state_training_performs_zero_heap_allocations() {
     for row in 0..8 {
         batch.begin(bundle.data.num_fields, bundle.data.num_pairs);
         batch.push_row(bundle.data.row_fields(row), bundle.data.row_cross(row), 0.0);
-        scorer.score_into(&batch, &mut probs).expect("valid batch scores");
+        scorer
+            .score_into(&batch, &mut probs)
+            .expect("valid batch scores");
     }
     for row in 0..64 {
         batch.begin(bundle.data.num_fields, bundle.data.num_pairs);
         batch.push_row(bundle.data.row_fields(row), bundle.data.row_cross(row), 0.0);
         let before = ALLOCS.load(Ordering::Relaxed);
-        scorer.score_into(&batch, &mut probs).expect("valid batch scores");
+        scorer
+            .score_into(&batch, &mut probs)
+            .expect("valid batch scores");
         let after = ALLOCS.load(Ordering::Relaxed);
         assert_eq!(
             after - before,
@@ -255,7 +259,9 @@ fn steady_state_training_performs_zero_heap_allocations() {
     // are vacuous.
     let before = ALLOCS.load(Ordering::Relaxed);
     let mut fresh_probs = Vec::new();
-    scorer.score_into(&batch, &mut fresh_probs).expect("valid batch scores");
+    scorer
+        .score_into(&batch, &mut fresh_probs)
+        .expect("valid batch scores");
     assert!(
         ALLOCS.load(Ordering::Relaxed) > before,
         "negative control failed: fresh output vector did not allocate"

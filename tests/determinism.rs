@@ -190,8 +190,7 @@ fn hashed_stores_and_lazy_adam_are_bit_identical_across_thread_counts() {
         ),
     ];
     for (orig, cross, mode) in cases {
-        let (ref_losses, ref_probs) =
-            train_fixed_stores(&bundle, THREADS[0], orig, cross, mode);
+        let (ref_losses, ref_probs) = train_fixed_stores(&bundle, THREADS[0], orig, cross, mode);
         assert!(!ref_losses.is_empty());
         for &threads in &THREADS[1..] {
             let (losses, probs) = train_fixed_stores(&bundle, threads, orig, cross, mode);

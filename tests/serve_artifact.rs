@@ -53,7 +53,10 @@ fn hashed_store_artifacts_round_trip_and_reject_corruption() {
         StoreKind::HashedQr { bucket: 9 },
         StoreKind::HashedDouble { rows: 23 },
     );
-    assert!(matches!(model.orig_store, StoreDesc::HashedQr { bucket: 9, .. }));
+    assert!(matches!(
+        model.orig_store,
+        StoreDesc::HashedQr { bucket: 9, .. }
+    ));
     assert!(matches!(
         model.cross_store,
         StoreDesc::HashedDouble { rows: 23, .. }

@@ -15,7 +15,11 @@ fn bundle() -> DatasetBundle {
     Profile::Tiny.bundle_with_rows(600, 5)
 }
 
-fn scorer_for(bundle: &DatasetBundle, orig_store: StoreKind, cross_store: StoreKind) -> FrozenScorer {
+fn scorer_for(
+    bundle: &DatasetBundle,
+    orig_store: StoreKind,
+    cross_store: StoreKind,
+) -> FrozenScorer {
     let dims = DataDims::of(&bundle.data);
     let arch = Architecture::new(
         (0..dims.num_pairs)
@@ -93,7 +97,13 @@ fn cross_id_outside_its_pair_block_is_a_typed_error() {
         batch.push_row(bundle.data.row_fields(0), &cross, 0.0);
         let mut probs = Vec::new();
         match scorer.score_into(&batch, &mut probs) {
-            Err(ScoreError::CrossIdOutOfRange { row, pair, id, lo, hi }) => {
+            Err(ScoreError::CrossIdOutOfRange {
+                row,
+                pair,
+                id,
+                lo,
+                hi,
+            }) => {
                 assert_eq!((row, pair), (0, 0));
                 assert_eq!(id, hi);
                 assert!(lo < hi);

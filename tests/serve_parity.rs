@@ -59,7 +59,9 @@ fn assert_bit_parity(net: &mut OptInterNet, bundle: &DatasetBundle, batch_size: 
         let mut batches = 0;
         while iter.next_into(&mut batch) {
             let expected = net.predict(&batch);
-            scorer.score_into(&batch, &mut probs).expect("valid batch scores");
+            scorer
+                .score_into(&batch, &mut probs)
+                .expect("valid batch scores");
             assert_eq!(
                 bits(&expected),
                 bits(&probs),
@@ -105,7 +107,9 @@ fn f16_artifact_passes_the_default_auc_gate() {
         .next()
         .expect("batch");
     let mut probs = Vec::new();
-    scorer.score_into(&batch, &mut probs).expect("valid batch scores");
+    scorer
+        .score_into(&batch, &mut probs)
+        .expect("valid batch scores");
     assert_eq!(probs.len(), 100);
     assert!(probs.iter().all(|p| p.is_finite() && *p > 0.0 && *p < 1.0));
 }
@@ -189,7 +193,10 @@ fn hashed_store_artifacts_round_trip_and_score_bit_identically() {
         let mut net = trained_hashed_net(&bundle, orig_store, cross_store);
         let frozen = freeze(&mut net, &bundle.data, Quant::F32);
         assert_eq!(frozen.orig_store.is_hashed(), true);
-        assert!(frozen.row_map.is_empty(), "hashed orig store keeps no row_map");
+        assert!(
+            frozen.row_map.is_empty(),
+            "hashed orig store keeps no row_map"
+        );
         let bytes = frozen.to_bytes();
         let reloaded = FrozenModel::from_bytes(&bytes).expect("hashed artifact loads");
         assert_eq!(bytes, reloaded.to_bytes(), "byte round trip");
